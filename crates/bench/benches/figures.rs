@@ -1,0 +1,37 @@
+//! Per-figure regenerator benchmarks — one Criterion benchmark per figure
+//! of the paper's evaluation (Figures 1(a)–6).
+//!
+//! Each benchmark runs the *same pipeline* the `perpetuum-exp` CLI uses for
+//! that figure (topology generation → policy → simulator → aggregation),
+//! scaled down (1 topology per point, `T = 50`) so `cargo bench` completes
+//! in minutes. The full-scale tables in EXPERIMENTS.md come from
+//! `perpetuum-exp --all --topologies 100`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use perpetuum_exp::figures::{run_figure_scaled, FigureId};
+use std::hint::black_box;
+
+const TOPOLOGIES: usize = 1;
+const SCALE: f64 = 0.05; // T = 50
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    for id in FigureId::ALL {
+        group.bench_function(id.id(), |b| {
+            b.iter(|| {
+                let fd = run_figure_scaled(black_box(id), TOPOLOGIES, 42, SCALE);
+                // The benchmark doubles as a liveness check: a figure run
+                // that kills sensors is a regression even if it is fast.
+                let deaths: usize =
+                    fd.series.iter().flat_map(|s| s.deaths.iter()).sum();
+                assert_eq!(deaths, 0, "{}: sensor deaths", fd.id);
+                black_box(fd)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+//! Criterion benchmark crate for perpetuum (benches live in `benches/`).

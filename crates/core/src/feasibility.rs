@@ -1,0 +1,169 @@
+//! Independent feasibility checking.
+//!
+//! A schedule series is feasible (Section III.C) when, for every sensor,
+//! (i) the gap between consecutive charges never exceeds its maximum
+//! charging cycle, and (ii) neither do the leading gap from `t = 0` (all
+//! sensors start fully charged) nor the trailing gap to the end of the
+//! period `T`. This module re-derives charge times from the series and
+//! checks both conditions without trusting anything the planners computed —
+//! it is the test oracle for every algorithm in the crate.
+
+use crate::network::Instance;
+use crate::schedule::ScheduleSeries;
+
+/// A feasibility violation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// The gap `(from, to]` between two consecutive charges of `sensor`
+    /// exceeds its cycle `tau`. `from == 0.0` covers the leading gap.
+    GapExceeded {
+        /// Offending sensor index.
+        sensor: usize,
+        /// Start of the gap (previous charge, or 0).
+        from: f64,
+        /// End of the gap (next charge).
+        to: f64,
+        /// The sensor's maximum charging cycle.
+        tau: f64,
+    },
+    /// The gap from the last charge of `sensor` to the horizon exceeds
+    /// `tau`.
+    TailExceeded {
+        /// Offending sensor index.
+        sensor: usize,
+        /// Time of the last charge (or 0 if never charged).
+        last: f64,
+        /// The monitoring period `T`.
+        horizon: f64,
+        /// The sensor's maximum charging cycle.
+        tau: f64,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::GapExceeded { sensor, from, to, tau } => write!(
+                f,
+                "sensor {sensor}: charge gap {from}..{to} ({} units) exceeds cycle {tau}",
+                to - from
+            ),
+            Violation::TailExceeded { sensor, last, horizon, tau } => write!(
+                f,
+                "sensor {sensor}: last charged at {last}, horizon {horizon} ({} units) exceeds cycle {tau}",
+                horizon - last
+            ),
+        }
+    }
+}
+
+/// Numerical slack on gap comparisons: dispatch times are sums of `f64`
+/// multiples of `τ_1`, so exact-`τ` gaps may overshoot by rounding noise.
+const EPS: f64 = 1e-9;
+
+/// Checks a series against the instance's cycles and horizon. Returns all
+/// violations (empty `Ok` means every sensor survives the whole period).
+pub fn check_series(instance: &Instance, series: &ScheduleSeries) -> Result<(), Vec<Violation>> {
+    check_with(
+        instance.cycles(),
+        instance.horizon(),
+        |sensor| series.charge_times(sensor),
+    )
+}
+
+/// Core checker over explicit charge times; `charges(i)` must return the
+/// ascending charge times of sensor `i`. Exposed so the simulator can check
+/// *executed* charges (ground truth) as well as planned ones.
+pub fn check_with(
+    cycles: &[f64],
+    horizon: f64,
+    charges: impl Fn(usize) -> Vec<f64>,
+) -> Result<(), Vec<Violation>> {
+    let mut violations = Vec::new();
+    for (i, &tau) in cycles.iter().enumerate() {
+        let times = charges(i);
+        let mut prev = 0.0; // fully charged at t = 0
+        for &t in &times {
+            if t - prev > tau + EPS {
+                violations.push(Violation::GapExceeded { sensor: i, from: prev, to: t, tau });
+            }
+            prev = t;
+        }
+        if horizon - prev > tau + EPS {
+            violations.push(Violation::TailExceeded { sensor: i, last: prev, horizon, tau });
+        }
+    }
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_good() {
+        let r = check_with(&[2.0, 5.0], 10.0, |i| match i {
+            0 => vec![2.0, 4.0, 6.0, 8.0],
+            _ => vec![5.0],
+        });
+        assert!(r.is_ok());
+    }
+
+    #[test]
+    fn detects_mid_gap() {
+        let r = check_with(&[2.0], 10.0, |_| vec![2.0, 6.0, 8.0]);
+        let v = r.unwrap_err();
+        assert_eq!(v.len(), 1);
+        assert_eq!(
+            v[0],
+            Violation::GapExceeded { sensor: 0, from: 2.0, to: 6.0, tau: 2.0 }
+        );
+    }
+
+    #[test]
+    fn detects_leading_gap() {
+        let r = check_with(&[3.0], 10.0, |_| vec![4.0, 7.0, 10.0]);
+        let v = r.unwrap_err();
+        assert!(matches!(v[0], Violation::GapExceeded { from, .. } if from == 0.0));
+    }
+
+    #[test]
+    fn detects_tail_gap() {
+        let r = check_with(&[3.0], 10.0, |_| vec![3.0, 6.0]);
+        let v = r.unwrap_err();
+        assert_eq!(
+            v[0],
+            Violation::TailExceeded { sensor: 0, last: 6.0, horizon: 10.0, tau: 3.0 }
+        );
+    }
+
+    #[test]
+    fn never_charged_but_long_cycle_ok() {
+        assert!(check_with(&[10.0], 10.0, |_| vec![]).is_ok());
+        assert!(check_with(&[9.0], 10.0, |_| vec![]).is_err());
+    }
+
+    #[test]
+    fn exact_gap_equal_to_tau_allowed() {
+        // |t2 - t1| ≤ τ is the paper's constraint — equality is fine.
+        assert!(check_with(&[2.0], 8.0, |_| vec![2.0, 4.0, 6.0, 8.0 - 2.0]).is_ok());
+    }
+
+    #[test]
+    fn reports_all_violations() {
+        let r = check_with(&[1.0, 1.0], 3.0, |_| vec![]);
+        let v = r.unwrap_err();
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let g = Violation::GapExceeded { sensor: 3, from: 1.0, to: 5.0, tau: 2.0 };
+        let s = format!("{g}");
+        assert!(s.contains("sensor 3") && s.contains("exceeds cycle 2"));
+    }
+}

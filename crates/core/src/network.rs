@@ -1,0 +1,240 @@
+//! The network model of Section III: sensors, depots and the metric
+//! complete graph `G = (V ∪ R, E; w)` over them.
+
+use perpetuum_geom::Point2;
+use perpetuum_graph::DistMatrix;
+
+/// A sensor index, `0..n`.
+pub type SensorId = usize;
+
+/// The geometry of a WSN charging problem: sensor and depot positions plus
+/// the Euclidean metric closure over all of them.
+///
+/// Node-id convention used across the whole workspace: node `i < n` is
+/// sensor `i`; node `n + l` is depot `l` (`0 ≤ l < q`). Charging cycles are
+/// deliberately *not* part of this type — the fixed-cycle planners take an
+/// [`Instance`], while the variable-cycle machinery re-estimates cycles
+/// continuously and passes them explicitly.
+#[derive(Debug, Clone)]
+pub struct Network {
+    sensor_pos: Vec<Point2>,
+    depot_pos: Vec<Point2>,
+    dist: DistMatrix,
+}
+
+impl Network {
+    /// Builds the metric complete graph over `sensors ∪ depots`.
+    ///
+    /// # Panics
+    /// Panics when there are no depots (the paper requires `q ≥ 1`) or any
+    /// coordinate is non-finite.
+    pub fn new(sensors: Vec<Point2>, depots: Vec<Point2>) -> Self {
+        assert!(!depots.is_empty(), "at least one depot (mobile charger) is required");
+        assert!(
+            sensors.iter().chain(depots.iter()).all(|p| p.is_finite()),
+            "positions must be finite"
+        );
+        let all: Vec<Point2> = sensors.iter().chain(depots.iter()).copied().collect();
+        let dist = DistMatrix::from_points(&all);
+        Self { sensor_pos: sensors, depot_pos: depots, dist }
+    }
+
+    /// Number of sensors `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.sensor_pos.len()
+    }
+
+    /// Number of depots / mobile chargers `q`.
+    #[inline]
+    pub fn q(&self) -> usize {
+        self.depot_pos.len()
+    }
+
+    /// Total node count `n + q`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.n() + self.q()
+    }
+
+    /// Node id of sensor `i`.
+    #[inline]
+    pub fn sensor_node(&self, i: SensorId) -> usize {
+        debug_assert!(i < self.n());
+        i
+    }
+
+    /// Node id of depot `l`.
+    #[inline]
+    pub fn depot_node(&self, l: usize) -> usize {
+        debug_assert!(l < self.q());
+        self.n() + l
+    }
+
+    /// All depot node ids, in depot order.
+    pub fn depot_nodes(&self) -> Vec<usize> {
+        (self.n()..self.node_count()).collect()
+    }
+
+    /// True when `node` is a depot.
+    #[inline]
+    pub fn is_depot(&self, node: usize) -> bool {
+        node >= self.n() && node < self.node_count()
+    }
+
+    /// Position of sensor `i`.
+    #[inline]
+    pub fn sensor_pos(&self, i: SensorId) -> Point2 {
+        self.sensor_pos[i]
+    }
+
+    /// All sensor positions.
+    #[inline]
+    pub fn sensor_positions(&self) -> &[Point2] {
+        &self.sensor_pos
+    }
+
+    /// Position of depot `l`.
+    #[inline]
+    pub fn depot_pos(&self, l: usize) -> Point2 {
+        self.depot_pos[l]
+    }
+
+    /// The distance matrix over all `n + q` nodes.
+    #[inline]
+    pub fn dist(&self) -> &DistMatrix {
+        &self.dist
+    }
+}
+
+/// A fixed-maximum-charging-cycle problem instance (Section V): the
+/// network, a cycle `τ_i > 0` per sensor, and the monitoring period `T`.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    network: Network,
+    cycles: Vec<f64>,
+    horizon: f64,
+}
+
+impl Instance {
+    /// # Panics
+    /// Panics when `cycles.len() != network.n()`, any cycle is not strictly
+    /// positive and finite, or the horizon is not positive.
+    pub fn new(network: Network, cycles: Vec<f64>, horizon: f64) -> Self {
+        assert_eq!(
+            cycles.len(),
+            network.n(),
+            "one maximum charging cycle per sensor"
+        );
+        assert!(
+            cycles.iter().all(|&t| t > 0.0 && t.is_finite()),
+            "cycles must be positive and finite"
+        );
+        assert!(horizon > 0.0 && horizon.is_finite(), "horizon must be positive");
+        Self { network, cycles, horizon }
+    }
+
+    /// The underlying network geometry.
+    #[inline]
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Maximum charging cycles `τ_i`.
+    #[inline]
+    pub fn cycles(&self) -> &[f64] {
+        &self.cycles
+    }
+
+    /// Monitoring period `T`.
+    #[inline]
+    pub fn horizon(&self) -> f64 {
+        self.horizon
+    }
+
+    /// Shorthand for `network().n()`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.network.n()
+    }
+
+    /// Shorthand for `network().q()`.
+    #[inline]
+    pub fn q(&self) -> usize {
+        self.network.q()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Network {
+        Network::new(
+            vec![Point2::new(1.0, 0.0), Point2::new(0.0, 2.0)],
+            vec![Point2::new(0.0, 0.0), Point2::new(5.0, 5.0)],
+        )
+    }
+
+    #[test]
+    fn node_id_convention() {
+        let net = tiny();
+        assert_eq!(net.n(), 2);
+        assert_eq!(net.q(), 2);
+        assert_eq!(net.node_count(), 4);
+        assert_eq!(net.sensor_node(1), 1);
+        assert_eq!(net.depot_node(0), 2);
+        assert_eq!(net.depot_nodes(), vec![2, 3]);
+        assert!(!net.is_depot(1));
+        assert!(net.is_depot(2));
+        assert!(!net.is_depot(4));
+    }
+
+    #[test]
+    fn distances_cover_sensor_depot_pairs() {
+        let net = tiny();
+        assert_eq!(net.dist().get(0, 2), 1.0); // sensor 0 to depot 0
+        assert_eq!(net.dist().get(1, 2), 2.0); // sensor 1 to depot 0
+        assert!(net.dist().is_metric(1e-9));
+    }
+
+    #[test]
+    fn zero_sensor_network_is_allowed() {
+        let net = Network::new(vec![], vec![Point2::ORIGIN]);
+        assert_eq!(net.n(), 0);
+        assert_eq!(net.depot_nodes(), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one depot")]
+    fn rejects_zero_depots() {
+        Network::new(vec![Point2::ORIGIN], vec![]);
+    }
+
+    #[test]
+    fn instance_validation() {
+        let inst = Instance::new(tiny(), vec![1.0, 4.0], 100.0);
+        assert_eq!(inst.cycles(), &[1.0, 4.0]);
+        assert_eq!(inst.horizon(), 100.0);
+        assert_eq!(inst.n(), 2);
+        assert_eq!(inst.q(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "one maximum charging cycle per sensor")]
+    fn instance_rejects_wrong_cycle_count() {
+        Instance::new(tiny(), vec![1.0], 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn instance_rejects_nonpositive_cycle() {
+        Instance::new(tiny(), vec![1.0, 0.0], 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon")]
+    fn instance_rejects_bad_horizon() {
+        Instance::new(tiny(), vec![1.0, 1.0], 0.0);
+    }
+}

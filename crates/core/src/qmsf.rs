@@ -1,0 +1,333 @@
+//! **Algorithm 1** — the `q`-rooted Minimum Spanning Forest.
+//!
+//! Given a complete weighted graph over terminals (to-be-charged sensors)
+//! and `q` roots (depots), find `q` disjoint trees spanning all terminals,
+//! each containing a distinct root, of minimum total weight. The paper's
+//! exact algorithm: contract all roots into a single super-root (taking the
+//! cheapest root edge per terminal), compute an MST, then un-contract.
+//!
+//! Lemma 1 of the paper proves this exact in `O(n²)` time; the proptests in
+//! this crate verify optimality against brute force on small instances.
+//!
+//! [`rooted_msf_general`] accepts arbitrary terminal–root distances, which
+//! Section VI.B needs: its repair step uses *super-roots representing whole
+//! schedulings*, whose distance to a sensor is the nearest distance to any
+//! node already in the scheduling.
+
+use perpetuum_graph::mst::prim;
+use perpetuum_graph::DistMatrix;
+
+/// A forest of root-attached trees produced by [`rooted_msf_general`].
+#[derive(Debug, Clone)]
+pub struct RootedForest {
+    /// `trees[r]` — edges of the tree attached to root `r`, each edge given
+    /// in *terminal/root index space*: see [`ForestEdge`].
+    pub trees: Vec<Vec<ForestEdge>>,
+    /// `assignment[t]` — index of the root whose tree contains terminal `t`.
+    pub assignment: Vec<usize>,
+    /// Total forest weight.
+    pub weight: f64,
+}
+
+/// An edge of a rooted forest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForestEdge {
+    /// An edge between two terminals (indices into the terminal list).
+    TermTerm(usize, usize),
+    /// An edge from a root to a terminal: `(root index, terminal index)`.
+    RootTerm(usize, usize),
+}
+
+impl RootedForest {
+    /// Terminals assigned to root `r`, in ascending terminal index.
+    pub fn terminals_of(&self, r: usize) -> Vec<usize> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter_map(|(t, &root)| (root == r).then_some(t))
+            .collect()
+    }
+}
+
+/// Exact `q`-rooted MSF over explicit distances.
+///
+/// * `term_dist` — `m × m` distances between the `m` terminals,
+/// * `root_dist[r][t]` — distance from root `r` to terminal `t`
+///   (`root_dist.len()` is the number of roots, `q ≥ 1`).
+///
+/// Returns the optimal forest. Terminals with no peers still get attached
+/// to their cheapest root. An empty terminal set yields `q` empty trees.
+pub fn rooted_msf_general(term_dist: &DistMatrix, root_dist: &[Vec<f64>]) -> RootedForest {
+    let m = term_dist.len();
+    let q = root_dist.len();
+    assert!(q >= 1, "at least one root required");
+    assert!(
+        root_dist.iter().all(|r| r.len() == m),
+        "root distance rows must cover every terminal"
+    );
+    if m == 0 {
+        return RootedForest { trees: vec![Vec::new(); q], assignment: Vec::new(), weight: 0.0 };
+    }
+
+    // Contract: node t < m is terminal t, node m is the super-root whose
+    // edge to terminal t costs min_r root_dist[r][t] via best_root[t].
+    let mut best_root = vec![0usize; m];
+    let mut best_cost = vec![f64::INFINITY; m];
+    for (r, row) in root_dist.iter().enumerate() {
+        for (t, &d) in row.iter().enumerate() {
+            if d < best_cost[t] {
+                best_cost[t] = d;
+                best_root[t] = r;
+            }
+        }
+    }
+    let contracted = DistMatrix::from_fn(m + 1, |i, j| {
+        // from_fn only asks for i < j, so j == m exactly when the super-root
+        // is involved.
+        if j == m {
+            best_cost[i]
+        } else {
+            term_dist.get(i, j)
+        }
+    });
+    let mst = prim(&contracted);
+
+    // Un-contract. Each MST edge incident to the super-root attaches one
+    // sub-tree to a specific physical root; DSU over the terminal-terminal
+    // edges recovers those sub-trees.
+    let mut dsu = perpetuum_graph::DisjointSets::new(m);
+    let mut term_edges: Vec<(usize, usize)> = Vec::new();
+    let mut root_edges: Vec<(usize, usize)> = Vec::new(); // (root, terminal)
+    let mut weight = 0.0;
+    for (u, v) in mst {
+        let (a, b) = (u.min(v), u.max(v));
+        if b == m {
+            root_edges.push((best_root[a], a));
+            weight += best_cost[a];
+        } else {
+            term_edges.push((a, b));
+            dsu.union(a, b);
+            weight += term_dist.get(a, b);
+        }
+    }
+
+    // Every component of the terminal sub-forest hangs off exactly one
+    // super-root edge (tree property), which fixes its root assignment.
+    let mut comp_root = std::collections::HashMap::new();
+    for &(r, t) in &root_edges {
+        let prev = comp_root.insert(dsu.find(t), r);
+        debug_assert!(prev.is_none(), "a tree component can only attach to one root");
+    }
+
+    let mut assignment = vec![usize::MAX; m];
+    for (t, slot) in assignment.iter_mut().enumerate() {
+        *slot = *comp_root
+            .get(&dsu.find(t))
+            .expect("every terminal component touches the super-root in an MST");
+    }
+
+    let mut trees: Vec<Vec<ForestEdge>> = vec![Vec::new(); q];
+    for &(r, t) in &root_edges {
+        trees[r].push(ForestEdge::RootTerm(r, t));
+    }
+    for &(a, b) in &term_edges {
+        trees[assignment[a]].push(ForestEdge::TermTerm(a, b));
+    }
+
+    RootedForest { trees, assignment, weight }
+}
+
+/// **Algorithm 1** on a host graph: `q`-rooted MSF over `terminals` and
+/// `roots` given as node ids of `dist` (the full `n + q` node matrix of a
+/// [`crate::network::Network`]). Edges in the result are still expressed in
+/// terminal/root *index* space; use `terminals[t]` / `roots[r]` to map back.
+pub fn q_rooted_msf(dist: &DistMatrix, terminals: &[usize], roots: &[usize]) -> RootedForest {
+    let term_dist = dist.induced(terminals);
+    let root_dist: Vec<Vec<f64>> = roots
+        .iter()
+        .map(|&r| terminals.iter().map(|&t| dist.get(r, t)).collect())
+        .collect();
+    rooted_msf_general(&term_dist, &root_dist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perpetuum_geom::Point2;
+
+    /// Brute force: try every assignment of terminals to roots, MST each
+    /// group (root + its terminals), return the best total weight.
+    fn brute_force_msf(term_dist: &DistMatrix, root_dist: &[Vec<f64>]) -> f64 {
+        let m = term_dist.len();
+        let q = root_dist.len();
+        let mut best = f64::INFINITY;
+        let mut assign = vec![0usize; m];
+        loop {
+            // Weight of this assignment: MST per root over root + group.
+            let mut total = 0.0;
+            #[allow(clippy::needless_range_loop)]
+            for r in 0..q {
+                let group: Vec<usize> =
+                    (0..m).filter(|&t| assign[t] == r).collect();
+                if group.is_empty() {
+                    continue;
+                }
+                // Build a local matrix: node 0 = root, nodes 1.. = group.
+                let g = DistMatrix::from_fn(group.len() + 1, |i, j| {
+                    if i == 0 {
+                        root_dist[r][group[j - 1]]
+                    } else {
+                        term_dist.get(group[i - 1], group[j - 1])
+                    }
+                });
+                let mst = prim(&g);
+                total += perpetuum_graph::mst::tree_weight(&g, &mst);
+            }
+            best = best.min(total);
+            // Next assignment in base-q counting.
+            let mut i = 0;
+            loop {
+                if i == m {
+                    return best;
+                }
+                assign[i] += 1;
+                if assign[i] < q {
+                    break;
+                }
+                assign[i] = 0;
+                i += 1;
+            }
+        }
+    }
+
+    fn forest_weight_ok(f: &RootedForest, term_dist: &DistMatrix, root_dist: &[Vec<f64>]) {
+        let mut w = 0.0;
+        for tree in &f.trees {
+            for e in tree {
+                w += match *e {
+                    ForestEdge::TermTerm(a, b) => term_dist.get(a, b),
+                    ForestEdge::RootTerm(r, t) => root_dist[r][t],
+                };
+            }
+        }
+        assert!((w - f.weight).abs() < 1e-9, "declared weight {} vs summed {}", f.weight, w);
+    }
+
+    #[test]
+    fn empty_terminals() {
+        let f = rooted_msf_general(&DistMatrix::zeros(0), &[vec![], vec![]]);
+        assert_eq!(f.weight, 0.0);
+        assert_eq!(f.trees.len(), 2);
+        assert!(f.assignment.is_empty());
+    }
+
+    #[test]
+    fn single_terminal_attaches_to_cheapest_root() {
+        let term = DistMatrix::zeros(1);
+        let roots = vec![vec![5.0], vec![2.0], vec![7.0]];
+        let f = rooted_msf_general(&term, &roots);
+        assert_eq!(f.assignment, vec![1]);
+        assert_eq!(f.weight, 2.0);
+        assert_eq!(f.trees[1], vec![ForestEdge::RootTerm(1, 1 - 1)]);
+        assert!(f.trees[0].is_empty() && f.trees[2].is_empty());
+    }
+
+    #[test]
+    fn two_clusters_two_roots() {
+        // Terminals 0,1 near root 0; terminals 2,3 near root 1.
+        let pts = [
+            Point2::new(0.0, 1.0),
+            Point2::new(0.0, 2.0),
+            Point2::new(100.0, 1.0),
+            Point2::new(100.0, 2.0),
+        ];
+        let term = DistMatrix::from_points(&pts);
+        let r0 = Point2::new(0.0, 0.0);
+        let r1 = Point2::new(100.0, 0.0);
+        let roots = vec![
+            pts.iter().map(|p| p.dist(r0)).collect::<Vec<_>>(),
+            pts.iter().map(|p| p.dist(r1)).collect::<Vec<_>>(),
+        ];
+        let f = rooted_msf_general(&term, &roots);
+        assert_eq!(f.assignment, vec![0, 0, 1, 1]);
+        assert!((f.weight - 4.0).abs() < 1e-9);
+        forest_weight_ok(&f, &term, &roots);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        use rand::{Rng, SeedableRng};
+        for seed in 0..8u64 {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let m = rng.gen_range(2..6);
+            let q = rng.gen_range(1..4);
+            let pts: Vec<Point2> = (0..m)
+                .map(|_| Point2::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)))
+                .collect();
+            let rpts: Vec<Point2> = (0..q)
+                .map(|_| Point2::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)))
+                .collect();
+            let term = DistMatrix::from_points(&pts);
+            let roots: Vec<Vec<f64>> = rpts
+                .iter()
+                .map(|r| pts.iter().map(|p| p.dist(*r)).collect())
+                .collect();
+            let f = rooted_msf_general(&term, &roots);
+            let bf = brute_force_msf(&term, &roots);
+            assert!(
+                (f.weight - bf).abs() < 1e-9,
+                "seed {seed}: algorithm {} vs brute force {bf}",
+                f.weight
+            );
+            forest_weight_ok(&f, &term, &roots);
+        }
+    }
+
+    #[test]
+    fn host_graph_wrapper_consistency() {
+        // 3 sensors, 2 depots on a line: sensors at 1, 2, 10; depots at 0, 9.
+        let sensors = [
+            Point2::new(1.0, 0.0),
+            Point2::new(2.0, 0.0),
+            Point2::new(10.0, 0.0),
+        ];
+        let depots = [Point2::new(0.0, 0.0), Point2::new(9.0, 0.0)];
+        let all: Vec<Point2> = sensors.iter().chain(depots.iter()).copied().collect();
+        let dist = DistMatrix::from_points(&all);
+        let f = q_rooted_msf(&dist, &[0, 1, 2], &[3, 4]);
+        // Sensors 0,1 go to depot 0 (cost 1+1), sensor 2 to depot 1 (cost 1).
+        assert_eq!(f.assignment, vec![0, 0, 1]);
+        assert!((f.weight - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn forest_spans_every_terminal_exactly_once() {
+        let pts: Vec<Point2> = (0..12)
+            .map(|i| Point2::new((i * 17 % 7) as f64 * 10.0, (i * 29 % 11) as f64 * 10.0))
+            .collect();
+        let term = DistMatrix::from_points(&pts);
+        let roots: Vec<Vec<f64>> = (0..3)
+            .map(|r| {
+                let rp = Point2::new(r as f64 * 40.0, 50.0);
+                pts.iter().map(|p| p.dist(rp)).collect()
+            })
+            .collect();
+        let f = rooted_msf_general(&term, &roots);
+        // Assignments all valid, every terminal in exactly one tree.
+        assert!(f.assignment.iter().all(|&r| r < 3));
+        let mut count = [0usize; 12];
+        for r in 0..3 {
+            for t in f.terminals_of(r) {
+                count[t] += 1;
+            }
+        }
+        assert!(count.iter().all(|&c| c == 1));
+        // Edge counts: a tree with k terminals has exactly k edges
+        // (k-1 terminal-terminal + 1 root edge) when k ≥ 1.
+        for r in 0..3 {
+            let k = f.terminals_of(r).len();
+            let expected = if k == 0 { 0 } else { k };
+            assert_eq!(f.trees[r].len(), expected, "root {r}");
+        }
+    }
+}

@@ -1,0 +1,358 @@
+//! **Algorithm 2** — the 2-approximate `q`-rooted TSP.
+//!
+//! Find `q` closed tours, one through each depot, jointly covering a given
+//! sensor set, of minimum total length. The paper's 2-approximation:
+//!
+//! 1. compute the optimal `q`-rooted MSF (Algorithm 1, [`crate::qmsf`]),
+//! 2. double each tree's edges, extract an Euler circuit from the depot,
+//!    and shortcut repeated nodes.
+//!
+//! The MSF weight lower-bounds the optimal tour cost (drop one edge per
+//! optimal tour and you get a feasible forest), and doubling at most
+//! doubles it — Theorem 1.
+//!
+//! The optional *polish* pass (2-opt + Or-opt on each tour) is **not** part
+//! of the paper's algorithm; it exists for the tour-polish ablation bench
+//! and never breaks the approximation guarantee because local search only
+//! shortens tours.
+
+use crate::qmsf::{q_rooted_msf, ForestEdge};
+use perpetuum_graph::euler::{double_edges, euler_circuit};
+use perpetuum_graph::tsp_christofides::tour_from_tree_matched;
+use perpetuum_graph::tsp_savings::savings_tour;
+use perpetuum_graph::tsp_heur::polish;
+use perpetuum_graph::{DistMatrix, Tour};
+
+/// How each MSF tree is turned into a closed tour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Routing {
+    /// The paper's Algorithm 2: double the tree, Euler circuit, shortcut.
+    /// Carries the provable 2× bound.
+    #[default]
+    Doubling,
+    /// Christofides-style: tree + greedy minimum matching over its
+    /// odd-degree vertices, Euler circuit, shortcut. Empirically shorter;
+    /// still within the doubling bound (a matching never outweighs the
+    /// tree). Routing-ablation only — not part of the paper's algorithm.
+    Matching,
+    /// Clarke–Wright savings construction over each MSF group's sensor
+    /// set (only the group membership comes from Algorithm 1; the tour is
+    /// built from scratch). No approximation guarantee; routing-ablation
+    /// only.
+    Savings,
+}
+
+/// The `q` closed tours produced by Algorithm 2.
+#[derive(Debug, Clone)]
+pub struct QTours {
+    /// `tours[l]` starts at root `l` (as a node id of the host graph). A
+    /// charger with nothing to do gets a singleton tour of its depot.
+    pub tours: Vec<Tour>,
+    /// Total length of all tours.
+    pub cost: f64,
+}
+
+impl QTours {
+    /// Recomputes the total length (used by tests to cross-check `cost`).
+    pub fn total_length(&self, dist: &DistMatrix) -> f64 {
+        self.tours.iter().map(|t| t.length(dist)).sum()
+    }
+
+    /// All sensor node ids covered, ascending. `roots` is consulted to
+    /// exclude depots.
+    pub fn covered_nodes(&self, is_root: impl Fn(usize) -> bool) -> Vec<usize> {
+        let mut v: Vec<usize> = self
+            .tours
+            .iter()
+            .flat_map(|t| t.nodes().iter().copied())
+            .filter(|&n| !is_root(n))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// **Algorithm 2** on a host graph: closed tours over `terminals`, one per
+/// root in `roots` (node ids of `dist`). Set `polish_rounds > 0` to run the
+/// ablation-only local-search pass on each tour.
+///
+/// ```
+/// use perpetuum_core::qtsp::q_rooted_tsp;
+/// use perpetuum_geom::Point2;
+/// use perpetuum_graph::DistMatrix;
+///
+/// // Nodes 0–2 are sensors, 3 and 4 are depots.
+/// let dist = DistMatrix::from_points(&[
+///     Point2::new(10.0, 0.0),
+///     Point2::new(20.0, 0.0),
+///     Point2::new(90.0, 0.0),
+///     Point2::new(0.0, 0.0),   // depot A
+///     Point2::new(100.0, 0.0), // depot B
+/// ]);
+/// let tours = q_rooted_tsp(&dist, &[0, 1, 2], &[3, 4], 0);
+/// assert_eq!(tours.tours.len(), 2);
+/// // Near sensors go to depot A, the far one to depot B.
+/// assert_eq!(tours.tours[0].nodes(), &[3, 0, 1]);
+/// assert_eq!(tours.tours[1].nodes(), &[4, 2]);
+/// assert!((tours.cost - (40.0 + 20.0)).abs() < 1e-9);
+/// ```
+pub fn q_rooted_tsp(
+    dist: &DistMatrix,
+    terminals: &[usize],
+    roots: &[usize],
+    polish_rounds: usize,
+) -> QTours {
+    q_rooted_tsp_routed(dist, terminals, roots, Routing::Doubling, polish_rounds)
+}
+
+/// [`q_rooted_tsp`] with an explicit tree-to-tour [`Routing`] method.
+pub fn q_rooted_tsp_routed(
+    dist: &DistMatrix,
+    terminals: &[usize],
+    roots: &[usize],
+    routing: Routing,
+    polish_rounds: usize,
+) -> QTours {
+    debug_assert!(
+        terminals.iter().all(|t| !roots.contains(t)),
+        "terminals and roots must be disjoint"
+    );
+    let forest = q_rooted_msf(dist, terminals, roots);
+    let mut tours = Vec::with_capacity(roots.len());
+    let mut cost = 0.0;
+    // Scratch edge buffer reused across roots.
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for (r, &root_node) in roots.iter().enumerate() {
+        edges.clear();
+        for e in &forest.trees[r] {
+            let (u, v) = match *e {
+                ForestEdge::TermTerm(a, b) => (terminals[a], terminals[b]),
+                ForestEdge::RootTerm(_, t) => (root_node, terminals[t]),
+            };
+            edges.push((u, v));
+        }
+        if edges.is_empty() {
+            tours.push(Tour::singleton(root_node));
+            continue;
+        }
+        let mut tour = match routing {
+            Routing::Doubling => {
+                let doubled = double_edges(&edges);
+                let circuit = euler_circuit(dist.len(), &doubled, root_node)
+                    .expect("a doubled tree always has an Euler circuit from its root");
+                Tour::shortcut(&circuit)
+            }
+            Routing::Matching => tour_from_tree_matched(dist, dist.len(), &edges, root_node),
+            Routing::Savings => {
+                let customers: Vec<usize> = forest.terminals_of(r)
+                    .into_iter()
+                    .map(|t| terminals[t])
+                    .collect();
+                savings_tour(dist, root_node, &customers)
+            }
+        };
+        debug_assert_eq!(tour.start(), Some(root_node));
+        if polish_rounds > 0 {
+            polish(&mut tour, dist, polish_rounds);
+        }
+        cost += tour.length(dist);
+        tours.push(tour);
+    }
+    QTours { tours, cost }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perpetuum_geom::Point2;
+    use perpetuum_graph::tsp_exact::held_karp;
+
+    fn host(sensors: &[Point2], depots: &[Point2]) -> DistMatrix {
+        let all: Vec<Point2> = sensors.iter().chain(depots.iter()).copied().collect();
+        DistMatrix::from_points(&all)
+    }
+
+    #[test]
+    fn empty_terminals_gives_singleton_tours() {
+        let dist = host(&[], &[Point2::ORIGIN, Point2::new(1.0, 1.0)]);
+        let qt = q_rooted_tsp(&dist, &[], &[0, 1], 0);
+        assert_eq!(qt.cost, 0.0);
+        assert_eq!(qt.tours.len(), 2);
+        assert!(qt.tours.iter().all(|t| t.len() == 1));
+    }
+
+    #[test]
+    fn single_sensor_out_and_back() {
+        let dist = host(&[Point2::new(3.0, 4.0)], &[Point2::ORIGIN]);
+        let qt = q_rooted_tsp(&dist, &[0], &[1], 0);
+        assert!((qt.cost - 10.0).abs() < 1e-9);
+        assert_eq!(qt.tours[0].nodes(), &[1, 0]);
+    }
+
+    #[test]
+    fn tours_start_at_their_roots_and_cover_terminals() {
+        let sensors: Vec<Point2> = (0..10)
+            .map(|i| Point2::new((i * 13 % 7) as f64 * 30.0, (i * 7 % 5) as f64 * 40.0))
+            .collect();
+        let depots = vec![Point2::new(0.0, 0.0), Point2::new(200.0, 200.0)];
+        let dist = host(&sensors, &depots);
+        let terminals: Vec<usize> = (0..10).collect();
+        let roots = vec![10, 11];
+        let qt = q_rooted_tsp(&dist, &terminals, &roots, 0);
+        for (l, t) in qt.tours.iter().enumerate() {
+            assert_eq!(t.start(), Some(roots[l]));
+        }
+        assert_eq!(qt.covered_nodes(|n| n >= 10), terminals);
+        assert!((qt.cost - qt.total_length(&dist)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cost_within_twice_msf_weight() {
+        let sensors: Vec<Point2> = (0..15)
+            .map(|i| {
+                Point2::new(((i * 37) % 101) as f64 * 9.0, ((i * 53) % 97) as f64 * 10.0)
+            })
+            .collect();
+        let depots = vec![
+            Point2::new(100.0, 100.0),
+            Point2::new(800.0, 100.0),
+            Point2::new(450.0, 800.0),
+        ];
+        let dist = host(&sensors, &depots);
+        let terminals: Vec<usize> = (0..15).collect();
+        let roots = vec![15, 16, 17];
+        let forest = q_rooted_msf(&dist, &terminals, &roots);
+        let qt = q_rooted_tsp(&dist, &terminals, &roots, 0);
+        assert!(qt.cost <= 2.0 * forest.weight + 1e-9);
+        // MSF also lower-bounds the tour cost itself.
+        assert!(qt.cost >= forest.weight - 1e-9);
+    }
+
+    #[test]
+    fn q1_within_twice_exact_optimum() {
+        // With q = 1 the problem is plain TSP; compare against Held–Karp.
+        for seed in 0..4u64 {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let sensors: Vec<Point2> = (0..9)
+                .map(|_| Point2::new(rng.gen_range(0.0..500.0), rng.gen_range(0.0..500.0)))
+                .collect();
+            let depot = vec![Point2::new(250.0, 250.0)];
+            let dist = host(&sensors, &depot);
+            let terminals: Vec<usize> = (0..9).collect();
+            let qt = q_rooted_tsp(&dist, &terminals, &[9], 0);
+            // Full-graph TSP (all 10 nodes) is the q=1 optimum.
+            let (_, opt) = held_karp(&dist);
+            assert!(
+                qt.cost <= 2.0 * opt + 1e-9,
+                "seed {seed}: approx {} vs opt {opt}",
+                qt.cost
+            );
+            assert!(qt.cost >= opt - 1e-9);
+        }
+    }
+
+    #[test]
+    fn polish_never_worsens() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let sensors: Vec<Point2> = (0..25)
+            .map(|_| Point2::new(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0)))
+            .collect();
+        let depots = vec![Point2::new(500.0, 500.0), Point2::new(0.0, 0.0)];
+        let dist = host(&sensors, &depots);
+        let terminals: Vec<usize> = (0..25).collect();
+        let plain = q_rooted_tsp(&dist, &terminals, &[25, 26], 0);
+        let polished = q_rooted_tsp(&dist, &terminals, &[25, 26], 20);
+        assert!(polished.cost <= plain.cost + 1e-9);
+        // Polishing preserves coverage and roots.
+        assert_eq!(polished.covered_nodes(|n| n >= 25), terminals);
+        assert_eq!(polished.tours[0].start(), Some(25));
+        assert_eq!(polished.tours[1].start(), Some(26));
+    }
+
+    #[test]
+    fn matching_routing_covers_and_stays_within_doubling_bound() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let sensors: Vec<Point2> = (0..20)
+            .map(|_| Point2::new(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0)))
+            .collect();
+        let depots = vec![Point2::new(500.0, 500.0), Point2::new(0.0, 0.0)];
+        let dist = host(&sensors, &depots);
+        let terminals: Vec<usize> = (0..20).collect();
+        let roots = vec![20, 21];
+        let forest = q_rooted_msf(&dist, &terminals, &roots);
+        let matched = q_rooted_tsp_routed(&dist, &terminals, &roots, Routing::Matching, 0);
+        assert_eq!(matched.covered_nodes(|n| n >= 20), terminals);
+        assert!(matched.cost <= 2.0 * forest.weight + 1e-9);
+        for (l, t) in matched.tours.iter().enumerate() {
+            assert_eq!(t.start(), Some(roots[l]));
+        }
+    }
+
+    #[test]
+    fn savings_routing_covers_and_competes() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let sensors: Vec<Point2> = (0..25)
+            .map(|_| Point2::new(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0)))
+            .collect();
+        let depots = vec![Point2::new(500.0, 500.0), Point2::new(100.0, 100.0)];
+        let dist = host(&sensors, &depots);
+        let terminals: Vec<usize> = (0..25).collect();
+        let roots = vec![25, 26];
+        let saved = q_rooted_tsp_routed(&dist, &terminals, &roots, Routing::Savings, 0);
+        assert_eq!(saved.covered_nodes(|n| n >= 25), terminals);
+        for (l, t) in saved.tours.iter().enumerate() {
+            assert_eq!(t.start(), Some(roots[l]));
+        }
+        // No guarantee, but it should at least beat the star bound.
+        let star: f64 = terminals
+            .iter()
+            .map(|&s| {
+                2.0 * roots
+                    .iter()
+                    .map(|&r| dist.get(s, r))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .sum();
+        assert!(saved.cost <= star + 1e-9);
+    }
+
+    #[test]
+    fn matching_routing_beats_doubling_on_average() {
+        use rand::{Rng, SeedableRng};
+        let mut matched_total = 0.0;
+        let mut doubled_total = 0.0;
+        for seed in 0..8u64 {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed + 300);
+            let sensors: Vec<Point2> = (0..30)
+                .map(|_| Point2::new(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0)))
+                .collect();
+            let depots = vec![Point2::new(500.0, 500.0)];
+            let dist = host(&sensors, &depots);
+            let terminals: Vec<usize> = (0..30).collect();
+            matched_total +=
+                q_rooted_tsp_routed(&dist, &terminals, &[30], Routing::Matching, 0).cost;
+            doubled_total += q_rooted_tsp(&dist, &terminals, &[30], 0).cost;
+        }
+        assert!(
+            matched_total < doubled_total,
+            "matched {matched_total} vs doubled {doubled_total}"
+        );
+    }
+
+    #[test]
+    fn far_sensor_goes_to_near_depot() {
+        // One sensor next to depot 1 must not be toured by depot 0.
+        let dist = host(
+            &[Point2::new(99.0, 0.0)],
+            &[Point2::new(0.0, 0.0), Point2::new(100.0, 0.0)],
+        );
+        let qt = q_rooted_tsp(&dist, &[0], &[1, 2], 0);
+        assert_eq!(qt.tours[0].len(), 1);
+        assert_eq!(qt.tours[1].nodes(), &[2, 0]);
+        assert!((qt.cost - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,278 @@
+//! Charging schedulings and schedule series (Section III.B).
+//!
+//! A *charging scheduling* `(C_j, t_j)` dispatches all `q` chargers at time
+//! `t_j` on the closed tours of `C_j`. Because Algorithm 3 reuses the same
+//! `K + 1` distinct tour sets for hundreds of dispatch times, a
+//! [`ScheduleSeries`] stores tour sets once and lets dispatches reference
+//! them by index — the service cost of a 1000-dispatch plan costs `O(1)`
+//! per dispatch to account, not `O(n)`.
+
+use perpetuum_graph::{DistMatrix, Tour};
+use serde::{Deserialize, Serialize};
+
+use crate::qtsp::QTours;
+
+/// The `q` closed tours of one charging scheduling, plus cached cost and
+/// covered-sensor membership.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TourSet {
+    tours: Vec<Tour>,
+    cost: f64,
+    /// Sorted node ids of covered sensors (depots excluded).
+    sensors: Vec<usize>,
+}
+
+impl TourSet {
+    /// Builds a tour set from raw tours.
+    ///
+    /// `is_depot` distinguishes depot nodes so the sensor membership cache
+    /// excludes them; `dist` is used to compute the cost.
+    pub fn new(tours: Vec<Tour>, dist: &DistMatrix, is_depot: impl Fn(usize) -> bool) -> Self {
+        let cost = tours.iter().map(|t| t.length(dist)).sum();
+        let mut sensors: Vec<usize> = tours
+            .iter()
+            .flat_map(|t| t.nodes().iter().copied())
+            .filter(|&v| !is_depot(v))
+            .collect();
+        sensors.sort_unstable();
+        sensors.dedup();
+        Self { tours, cost, sensors }
+    }
+
+    /// Converts the output of Algorithm 2 into a tour set (the cost is
+    /// taken from the solver, which already summed it).
+    pub fn from_qtours(qt: QTours, is_depot: impl Fn(usize) -> bool) -> Self {
+        let mut sensors: Vec<usize> = qt
+            .tours
+            .iter()
+            .flat_map(|t| t.nodes().iter().copied())
+            .filter(|&v| !is_depot(v))
+            .collect();
+        sensors.sort_unstable();
+        sensors.dedup();
+        Self { tours: qt.tours, cost: qt.cost, sensors }
+    }
+
+    /// The `q` tours (singleton tours for idle chargers).
+    pub fn tours(&self) -> &[Tour] {
+        &self.tours
+    }
+
+    /// Total travelled distance of this scheduling.
+    pub fn cost(&self) -> f64 {
+        self.cost
+    }
+
+    /// Covered sensor node ids, sorted ascending.
+    pub fn sensors(&self) -> &[usize] {
+        &self.sensors
+    }
+
+    /// True when the scheduling charges `sensor`.
+    pub fn contains_sensor(&self, sensor: usize) -> bool {
+        self.sensors.binary_search(&sensor).is_ok()
+    }
+
+    /// True when no sensor is covered (all chargers idle).
+    pub fn is_idle(&self) -> bool {
+        self.sensors.is_empty()
+    }
+}
+
+/// One dispatch: the tour set `set` (an index into the series) executed at
+/// `time`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Dispatch {
+    /// Dispatch time `t_j ∈ (0, T)` — or `[0, T)` for the variable-cycle
+    /// repair scheduling `(C'_0, t)`.
+    pub time: f64,
+    /// Index into [`ScheduleSeries::sets`].
+    pub set: usize,
+}
+
+/// A complete series of charging schedulings over the monitoring period.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ScheduleSeries {
+    sets: Vec<TourSet>,
+    dispatches: Vec<Dispatch>,
+}
+
+impl ScheduleSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a tour set, returning its index.
+    pub fn add_set(&mut self, set: TourSet) -> usize {
+        self.sets.push(set);
+        self.sets.len() - 1
+    }
+
+    /// Appends a dispatch of set `set` at `time`.
+    ///
+    /// # Panics
+    /// Panics when `set` is out of range or `time` is not finite.
+    pub fn push_dispatch(&mut self, time: f64, set: usize) {
+        assert!(set < self.sets.len(), "unknown tour set {set}");
+        assert!(time.is_finite() && time >= 0.0, "bad dispatch time {time}");
+        self.dispatches.push(Dispatch { time, set });
+    }
+
+    /// The registered tour sets.
+    pub fn sets(&self) -> &[TourSet] {
+        &self.sets
+    }
+
+    /// All dispatches in insertion order (the planners insert in time
+    /// order; [`ScheduleSeries::sort_by_time`] restores it otherwise).
+    pub fn dispatches(&self) -> &[Dispatch] {
+        &self.dispatches
+    }
+
+    /// Stable-sorts dispatches by time.
+    pub fn sort_by_time(&mut self) {
+        self.dispatches
+            .sort_by(|a, b| a.time.partial_cmp(&b.time).expect("dispatch times are finite"));
+    }
+
+    /// The tour set of a dispatch.
+    pub fn set_of(&self, d: &Dispatch) -> &TourSet {
+        &self.sets[d.set]
+    }
+
+    /// Total service cost: the sum of tour-set costs over all dispatches —
+    /// the paper's objective `Σ_j w(C_j)`.
+    pub fn service_cost(&self) -> f64 {
+        self.dispatches.iter().map(|d| self.sets[d.set].cost()).sum()
+    }
+
+    /// Number of dispatches.
+    pub fn dispatch_count(&self) -> usize {
+        self.dispatches.len()
+    }
+
+    /// Total number of individual sensor charges across the series.
+    pub fn total_charges(&self) -> usize {
+        self.dispatches
+            .iter()
+            .map(|d| self.sets[d.set].sensors().len())
+            .sum()
+    }
+
+    /// Charge times of `sensor` (node id), ascending.
+    pub fn charge_times(&self, sensor: usize) -> Vec<f64> {
+        let mut times: Vec<f64> = self
+            .dispatches
+            .iter()
+            .filter(|d| self.sets[d.set].contains_sensor(sensor))
+            .map(|d| d.time)
+            .collect();
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        times
+    }
+
+    /// Per-charger travelled distance across the series. `q` is the number
+    /// of chargers; every tour set must have exactly `q` tours.
+    pub fn per_charger_distance(&self, dist: &DistMatrix, q: usize) -> Vec<f64> {
+        let mut out = vec![0.0; q];
+        for d in &self.dispatches {
+            let set = &self.sets[d.set];
+            assert_eq!(set.tours().len(), q, "tour sets must have q tours");
+            for (l, t) in set.tours().iter().enumerate() {
+                out[l] += t.length(dist);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perpetuum_geom::Point2;
+
+    /// 2 sensors (nodes 0, 1) + 1 depot (node 2) on a line.
+    fn dist() -> DistMatrix {
+        DistMatrix::from_points(&[
+            Point2::new(1.0, 0.0),
+            Point2::new(2.0, 0.0),
+            Point2::new(0.0, 0.0),
+        ])
+    }
+
+    fn is_depot(v: usize) -> bool {
+        v == 2
+    }
+
+    #[test]
+    fn tour_set_cost_and_membership() {
+        let d = dist();
+        let ts = TourSet::new(vec![Tour::new(vec![2, 0, 1])], &d, is_depot);
+        assert!((ts.cost() - 4.0).abs() < 1e-12); // 1 + 1 + 2
+        assert_eq!(ts.sensors(), &[0, 1]);
+        assert!(ts.contains_sensor(0));
+        assert!(!ts.contains_sensor(2));
+        assert!(!ts.is_idle());
+    }
+
+    #[test]
+    fn idle_tour_set() {
+        let d = dist();
+        let ts = TourSet::new(vec![Tour::singleton(2)], &d, is_depot);
+        assert_eq!(ts.cost(), 0.0);
+        assert!(ts.is_idle());
+    }
+
+    #[test]
+    fn series_accounting() {
+        let d = dist();
+        let mut s = ScheduleSeries::new();
+        let both = s.add_set(TourSet::new(vec![Tour::new(vec![2, 0, 1])], &d, is_depot));
+        let near = s.add_set(TourSet::new(vec![Tour::new(vec![2, 0])], &d, is_depot));
+        s.push_dispatch(1.0, near);
+        s.push_dispatch(2.0, both);
+        s.push_dispatch(3.0, near);
+        assert_eq!(s.dispatch_count(), 3);
+        // near costs 2, both costs 4.
+        assert!((s.service_cost() - 8.0).abs() < 1e-12);
+        assert_eq!(s.total_charges(), 4);
+        assert_eq!(s.charge_times(0), vec![1.0, 2.0, 3.0]);
+        assert_eq!(s.charge_times(1), vec![2.0]);
+    }
+
+    #[test]
+    fn sort_by_time_restores_order() {
+        let d = dist();
+        let mut s = ScheduleSeries::new();
+        let set = s.add_set(TourSet::new(vec![Tour::new(vec![2, 0])], &d, is_depot));
+        s.push_dispatch(5.0, set);
+        s.push_dispatch(1.0, set);
+        s.sort_by_time();
+        assert_eq!(s.dispatches()[0].time, 1.0);
+        assert_eq!(s.dispatches()[1].time, 5.0);
+    }
+
+    #[test]
+    fn per_charger_distance_splits() {
+        let d = dist();
+        let mut s = ScheduleSeries::new();
+        let set = s.add_set(TourSet::new(
+            vec![Tour::new(vec![2, 0]), Tour::singleton(2)],
+            &d,
+            is_depot,
+        ));
+        s.push_dispatch(1.0, set);
+        s.push_dispatch(2.0, set);
+        let per = s.per_charger_distance(&d, 2);
+        assert!((per[0] - 4.0).abs() < 1e-12);
+        assert_eq!(per[1], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown tour set")]
+    fn dispatch_of_unknown_set_panics() {
+        let mut s = ScheduleSeries::new();
+        s.push_dispatch(1.0, 0);
+    }
+}

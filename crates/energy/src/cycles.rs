@@ -1,0 +1,222 @@
+//! The charging-cycle distributions of Section VII.A.
+//!
+//! * **Linear**: the *average* cycle `τ̄_i` of sensor `v_i` is proportional
+//!   to its distance from the base station — the nearest sensor averages
+//!   `τ_min`, the farthest `τ_max` (sensors near the base station relay the
+//!   most traffic, so they drain fastest). The realised cycle is drawn
+//!   uniformly from `[τ̄_i − σ, τ̄_i + σ]` (`σ = 2` by default in the paper).
+//! * **Random**: the cycle is uniform on `[τ_min, τ_max]` — the multimedia
+//!   WSN case where image processing dominates and distance to the base
+//!   station is irrelevant.
+//!
+//! Sampled cycles are clamped into `[τ_min, τ_max]`: the paper leaves the
+//! boundary behaviour unspecified, but negative or sub-`τ_min` cycles are
+//! meaningless (`Δl = τ_min` is the greedy trigger granularity) and the
+//! clamp keeps `τ_min` the true minimum cycle, as every experiment assumes.
+
+use perpetuum_geom::Point2;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How sensor charging cycles relate to geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CycleDistribution {
+    /// Mean cycle grows linearly with distance to the base station;
+    /// realised cycles jitter by ±`sigma` around the mean.
+    Linear {
+        /// Half-width of the uniform jitter around the mean cycle.
+        sigma: f64,
+    },
+    /// Cycles are uniform on `[τ_min, τ_max]`, independent of position.
+    Random,
+}
+
+impl CycleDistribution {
+    /// The paper's default linear distribution (`σ = 2`).
+    pub fn linear_default() -> Self {
+        CycleDistribution::Linear { sigma: 2.0 }
+    }
+
+    /// Mean (expected) cycle of a sensor at `pos`, given the base station
+    /// location and the cycle range. For [`CycleDistribution::Random`] this
+    /// is the range midpoint.
+    ///
+    /// The linear map normalises by the farthest sensor actually deployed,
+    /// so callers pass `max_bs_dist = max_i dist(v_i, bs)`; a zero
+    /// `max_bs_dist` (all sensors on the base station) degenerates to
+    /// `τ_min`.
+    pub fn mean_cycle(
+        &self,
+        pos: Point2,
+        base_station: Point2,
+        max_bs_dist: f64,
+        tau_min: f64,
+        tau_max: f64,
+    ) -> f64 {
+        debug_assert!(tau_min > 0.0 && tau_max >= tau_min);
+        match self {
+            CycleDistribution::Linear { .. } => {
+                if max_bs_dist <= 0.0 {
+                    return tau_min;
+                }
+                let frac = (pos.dist(base_station) / max_bs_dist).clamp(0.0, 1.0);
+                tau_min + frac * (tau_max - tau_min)
+            }
+            CycleDistribution::Random => 0.5 * (tau_min + tau_max),
+        }
+    }
+
+    /// Samples one realised cycle for a sensor with mean cycle `mean`,
+    /// clamped into `[τ_min, τ_max]`.
+    pub fn sample<R: Rng + ?Sized>(
+        &self,
+        mean: f64,
+        tau_min: f64,
+        tau_max: f64,
+        rng: &mut R,
+    ) -> f64 {
+        let raw = match self {
+            CycleDistribution::Linear { sigma } => {
+                if *sigma == 0.0 {
+                    mean
+                } else {
+                    rng.gen_range((mean - sigma)..=(mean + sigma))
+                }
+            }
+            CycleDistribution::Random => rng.gen_range(tau_min..=tau_max),
+        };
+        raw.clamp(tau_min, tau_max)
+    }
+
+    /// Samples the full cycle vector for a deployment: mean per position,
+    /// then one realisation each.
+    pub fn sample_all<R: Rng + ?Sized>(
+        &self,
+        positions: &[Point2],
+        base_station: Point2,
+        tau_min: f64,
+        tau_max: f64,
+        rng: &mut R,
+    ) -> Vec<f64> {
+        let max_bs = positions
+            .iter()
+            .map(|p| p.dist(base_station))
+            .fold(0.0f64, f64::max);
+        positions
+            .iter()
+            .map(|&p| {
+                let mean = self.mean_cycle(p, base_station, max_bs, tau_min, tau_max);
+                self.sample(mean, tau_min, tau_max, rng)
+            })
+            .collect()
+    }
+
+    /// Mean cycles (without jitter) for the whole deployment — the
+    /// simulator resamples around these each slot in the variable-cycle
+    /// experiments.
+    pub fn mean_all(
+        &self,
+        positions: &[Point2],
+        base_station: Point2,
+        tau_min: f64,
+        tau_max: f64,
+    ) -> Vec<f64> {
+        let max_bs = positions
+            .iter()
+            .map(|p| p.dist(base_station))
+            .fold(0.0f64, f64::max);
+        positions
+            .iter()
+            .map(|&p| self.mean_cycle(p, base_station, max_bs, tau_min, tau_max))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perpetuum_geom::rng::derived_rng;
+
+    #[test]
+    fn linear_mean_interpolates_by_distance() {
+        let d = CycleDistribution::linear_default();
+        let bs = Point2::new(0.0, 0.0);
+        let near = Point2::new(0.0, 0.0);
+        let mid = Point2::new(50.0, 0.0);
+        let far = Point2::new(100.0, 0.0);
+        assert_eq!(d.mean_cycle(near, bs, 100.0, 1.0, 50.0), 1.0);
+        assert!((d.mean_cycle(mid, bs, 100.0, 1.0, 50.0) - 25.5).abs() < 1e-12);
+        assert_eq!(d.mean_cycle(far, bs, 100.0, 1.0, 50.0), 50.0);
+    }
+
+    #[test]
+    fn linear_degenerate_all_at_bs() {
+        let d = CycleDistribution::linear_default();
+        let bs = Point2::new(5.0, 5.0);
+        assert_eq!(d.mean_cycle(bs, bs, 0.0, 1.0, 50.0), 1.0);
+    }
+
+    #[test]
+    fn random_mean_is_midpoint() {
+        let d = CycleDistribution::Random;
+        let bs = Point2::ORIGIN;
+        assert_eq!(d.mean_cycle(Point2::new(3.0, 4.0), bs, 100.0, 1.0, 50.0), 25.5);
+    }
+
+    #[test]
+    fn samples_respect_clamp() {
+        let mut rng = derived_rng(5, 0);
+        let d = CycleDistribution::Linear { sigma: 10.0 };
+        for _ in 0..1000 {
+            // Mean at the bottom of the range: raw draws often fall below
+            // τ_min and must clamp.
+            let s = d.sample(1.0, 1.0, 50.0, &mut rng);
+            assert!((1.0..=50.0).contains(&s));
+        }
+        let mass_at_min = (0..1000)
+            .filter(|_| d.sample(1.0, 1.0, 50.0, &mut rng) == 1.0)
+            .count();
+        assert!(mass_at_min > 100, "clamping should concentrate mass at τ_min");
+    }
+
+    #[test]
+    fn zero_sigma_is_deterministic() {
+        let mut rng = derived_rng(5, 1);
+        let d = CycleDistribution::Linear { sigma: 0.0 };
+        assert_eq!(d.sample(7.0, 1.0, 50.0, &mut rng), 7.0);
+    }
+
+    #[test]
+    fn random_samples_cover_range() {
+        let mut rng = derived_rng(5, 2);
+        let d = CycleDistribution::Random;
+        let samples: Vec<f64> = (0..2000).map(|_| d.sample(0.0, 1.0, 50.0, &mut rng)).collect();
+        let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().cloned().fold(0.0f64, f64::max);
+        assert!(lo < 3.0, "low tail unreached: {lo}");
+        assert!(hi > 48.0, "high tail unreached: {hi}");
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 25.5).abs() < 1.5, "mean {mean} far from 25.5");
+    }
+
+    #[test]
+    fn sample_all_matches_geometry() {
+        let mut rng = derived_rng(5, 3);
+        let bs = Point2::new(0.0, 0.0);
+        let pts = vec![bs, Point2::new(100.0, 0.0)];
+        let d = CycleDistribution::Linear { sigma: 0.0 };
+        let cycles = d.sample_all(&pts, bs, 1.0, 50.0, &mut rng);
+        assert_eq!(cycles, vec![1.0, 50.0]);
+    }
+
+    #[test]
+    fn mean_all_uses_farthest_sensor() {
+        let bs = Point2::new(0.0, 0.0);
+        let pts = vec![Point2::new(10.0, 0.0), Point2::new(20.0, 0.0)];
+        let d = CycleDistribution::linear_default();
+        let means = d.mean_all(&pts, bs, 1.0, 50.0);
+        // Farthest sensor (20 m) maps to τ_max, the 10 m one to the middle.
+        assert_eq!(means[1], 50.0);
+        assert!((means[0] - 25.5).abs() < 1e-12);
+    }
+}

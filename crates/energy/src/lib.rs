@@ -1,0 +1,27 @@
+//! Energy models for the `perpetuum` workspace.
+//!
+//! Section III of the paper models every sensor `v_i` as a rechargeable
+//! battery of capacity `B_i` drained at rate `ρ_i`, giving the *maximum
+//! charging cycle* `τ_i = B_i / ρ_i`. Section VI adds time-varying rates and
+//! a lightweight EWMA prediction at each sensor; Section VII.A defines the
+//! two charging-cycle distributions the evaluation sweeps (linear in
+//! distance to the base station, and uniform random).
+//!
+//! This crate provides those pieces:
+//!
+//! * [`Battery`] — exact energy bookkeeping with piecewise-constant drain,
+//! * [`cycles`] — the *linear* and *random* cycle distributions,
+//! * [`consumption`] — fixed and per-slot-resampled consumption processes,
+//! * [`predictor`] — the paper's EWMA rate predictor
+//!   (`ρ̂(t+1) = γ·ρ(t) + (1−γ)·ρ̂(t)`) and the derived residual-lifetime /
+//!   maximum-cycle estimators.
+
+pub mod battery;
+pub mod consumption;
+pub mod cycles;
+pub mod predictor;
+
+pub use battery::Battery;
+pub use consumption::{ConsumptionProcess, FixedRate, MarkovBurst, SlottedResample};
+pub use cycles::CycleDistribution;
+pub use predictor::{EwmaPredictor, HoltPredictor};

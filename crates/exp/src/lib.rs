@@ -1,0 +1,30 @@
+//! Experiment harness reproducing every figure of Section VII.
+//!
+//! | Id | Paper figure | Sweep | Algorithms |
+//! |---|---|---|---|
+//! | `fig1a` | Fig. 1(a) | network size `n`, linear distribution | MinTotalDistance vs Greedy |
+//! | `fig1b` | Fig. 1(b) | network size `n`, random distribution | MinTotalDistance vs Greedy |
+//! | `fig2a` | Fig. 2(a) | `τ_max`, linear distribution | MinTotalDistance vs Greedy |
+//! | `fig2b` | Fig. 2(b) | `τ_max`, random distribution | MinTotalDistance vs Greedy |
+//! | `fig3`  | Fig. 3 | network size `n`, variable cycles | MinTotalDistance-var vs Greedy |
+//! | `fig4`  | Fig. 4 | `τ_max`, variable cycles | MinTotalDistance-var vs Greedy |
+//! | `fig5`  | Fig. 5 | slot length `ΔT`, variable cycles | MinTotalDistance-var vs Greedy |
+//! | `fig6`  | Fig. 6 | jitter `σ`, variable cycles | MinTotalDistance-var vs Greedy |
+//!
+//! Every data point is the mean over `topologies` independent seeded
+//! topologies (100 in the paper), run in parallel with `perpetuum-par` and
+//! reported in km.
+
+pub mod ablation;
+pub mod extras;
+pub mod figures;
+pub mod output;
+pub mod plot;
+pub mod report;
+pub mod viz;
+pub mod scenario;
+
+pub use ablation::{run_ablation, AblationId};
+pub use extras::{run_extension, ExtensionId};
+pub use figures::{run_figure, FigureData, FigureId, Series};
+pub use scenario::{Algo, CustomExperiment, Deployment, Scenario, Topology};

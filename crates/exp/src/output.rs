@@ -1,0 +1,174 @@
+//! Rendering figure data as aligned text tables, CSV and JSON.
+
+use crate::figures::FigureData;
+use std::io::Write;
+use std::path::Path;
+
+/// Renders a figure as an aligned text table (the "same rows the paper
+/// plots" view).
+pub fn render_table(fd: &FigureData) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{}\n", fd.title));
+    out.push_str(&format!(
+        "topologies per point: {}   seed: {}   costs in km\n",
+        fd.topologies, fd.seed
+    ));
+
+    // Header.
+    let mut header = format!("{:>14}", fd.x_label);
+    for s in &fd.series {
+        header.push_str(&format!("  {:>22}", s.name));
+    }
+    if fd.series.len() == 2 {
+        header.push_str(&format!("  {:>8}", "ratio"));
+    }
+    out.push_str(&header);
+    out.push('\n');
+    out.push_str(&"-".repeat(header.len()));
+    out.push('\n');
+
+    for (i, &x) in fd.xs.iter().enumerate() {
+        out.push_str(&format!("{:>14}", format_x(x)));
+        for s in &fd.series {
+            out.push_str(&format!(
+                "  {:>13.1} ±{:>6.1}",
+                s.values[i], s.std_devs[i]
+            ));
+        }
+        if fd.series.len() == 2 {
+            let r = fd.series[0].values[i] / fd.series[1].values[i].max(f64::MIN_POSITIVE);
+            out.push_str(&format!("  {r:>8.3}"));
+        }
+        out.push('\n');
+    }
+
+    let total_deaths: usize = fd
+        .series
+        .iter()
+        .flat_map(|s| s.deaths.iter())
+        .sum();
+    out.push_str(&format!("total sensor deaths across all runs: {total_deaths}\n"));
+    out
+}
+
+/// Formats an x value with just enough precision: integers plainly,
+/// sub-10 values with three decimals, the rest with one.
+fn format_x(x: f64) -> String {
+    if x == x.trunc() {
+        format!("{x:.0}")
+    } else if x.abs() < 10.0 {
+        format!("{x:.3}")
+    } else {
+        format!("{x:.1}")
+    }
+}
+
+/// Renders a figure as CSV: `x,<series...>,<series_std...>,<series_deaths...>`.
+pub fn render_csv(fd: &FigureData) -> String {
+    let mut out = String::new();
+    out.push_str(&fd.x_label.replace(' ', "_"));
+    for s in &fd.series {
+        out.push_str(&format!(",{}", s.name.replace(' ', "_")));
+    }
+    for s in &fd.series {
+        out.push_str(&format!(",{}_std", s.name.replace(' ', "_")));
+    }
+    for s in &fd.series {
+        out.push_str(&format!(",{}_deaths", s.name.replace(' ', "_")));
+    }
+    out.push('\n');
+    for (i, &x) in fd.xs.iter().enumerate() {
+        out.push_str(&format!("{x}"));
+        for s in &fd.series {
+            out.push_str(&format!(",{}", s.values[i]));
+        }
+        for s in &fd.series {
+            out.push_str(&format!(",{}", s.std_devs[i]));
+        }
+        for s in &fd.series {
+            out.push_str(&format!(",{}", s.deaths[i]));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes `<dir>/<id>.csv` and `<dir>/<id>.json` for a figure, creating
+/// `dir` if needed.
+pub fn write_files(fd: &FigureData, dir: &Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let csv_path = dir.join(format!("{}.csv", fd.id));
+    let mut f = std::fs::File::create(csv_path)?;
+    f.write_all(render_csv(fd).as_bytes())?;
+    let json_path = dir.join(format!("{}.json", fd.id));
+    let mut g = std::fs::File::create(json_path)?;
+    g.write_all(serde_json::to_string_pretty(fd)?.as_bytes())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::Series;
+
+    fn sample() -> FigureData {
+        FigureData {
+            id: "fig1a".into(),
+            title: "Fig. 1(a)".into(),
+            x_label: "network size n".into(),
+            xs: vec![100.0, 200.0],
+            series: vec![
+                Series {
+                    name: "MinTotalDistance".into(),
+                    values: vec![1000.5, 2000.25],
+                    std_devs: vec![10.0, 20.0],
+                    deaths: vec![0, 0],
+                },
+                Series {
+                    name: "Greedy".into(),
+                    values: vec![2000.0, 4000.0],
+                    std_devs: vec![30.0, 40.0],
+                    deaths: vec![0, 0],
+                },
+            ],
+            topologies: 100,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn table_contains_all_series_and_ratio() {
+        let t = render_table(&sample());
+        assert!(t.contains("MinTotalDistance"));
+        assert!(t.contains("Greedy"));
+        assert!(t.contains("ratio"));
+        assert!(t.contains("0.500"));
+        assert!(t.contains("total sensor deaths across all runs: 0"));
+    }
+
+    #[test]
+    fn csv_layout() {
+        let c = render_csv(&sample());
+        let mut lines = c.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "network_size_n,MinTotalDistance,Greedy,MinTotalDistance_std,Greedy_std,MinTotalDistance_deaths,Greedy_deaths"
+        );
+        assert_eq!(lines.next().unwrap(), "100,1000.5,2000,10,30,0,0");
+        assert_eq!(lines.next().unwrap(), "200,2000.25,4000,20,40,0,0");
+    }
+
+    #[test]
+    fn write_files_round_trips() {
+        let dir = std::env::temp_dir().join("perpetuum_exp_test_out");
+        let fd = sample();
+        write_files(&fd, &dir).unwrap();
+        let json = std::fs::read_to_string(dir.join("fig1a.json")).unwrap();
+        let parsed: FigureData = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed.xs, fd.xs);
+        assert_eq!(parsed.series[1].values, fd.series[1].values);
+        let csv = std::fs::read_to_string(dir.join("fig1a.csv")).unwrap();
+        assert!(csv.starts_with("network_size_n,"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

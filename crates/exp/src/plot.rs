@@ -1,0 +1,168 @@
+//! Terminal (ASCII) line plots of figure data.
+//!
+//! `perpetuum-exp --plot` renders each figure the way the paper plots it —
+//! service cost against the swept parameter, one curve per algorithm —
+//! directly in the terminal, so the shape comparison with the paper's
+//! figures needs no external tooling.
+
+use crate::figures::FigureData;
+
+/// Per-series glyphs, in series order.
+const GLYPHS: [char; 6] = ['o', 'x', '+', '*', '#', '@'];
+
+/// Renders `fd` as an ASCII chart of `width × height` characters
+/// (excluding axis labels). Values are linearly mapped; the y-axis starts
+/// at zero like the paper's figures.
+pub fn render_ascii(fd: &FigureData, width: usize, height: usize) -> String {
+    assert!(width >= 16 && height >= 4, "chart too small to draw");
+    let y_max = fd
+        .series
+        .iter()
+        .flat_map(|s| s.values.iter())
+        .cloned()
+        .fold(0.0f64, f64::max)
+        .max(f64::MIN_POSITIVE);
+    let x_min = fd.xs.first().copied().unwrap_or(0.0);
+    let x_max = fd.xs.last().copied().unwrap_or(1.0);
+    let x_span = (x_max - x_min).max(f64::MIN_POSITIVE);
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in fd.series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        // Mark data points and connect consecutive ones with interpolation.
+        let coord = |i: usize| -> (isize, isize) {
+            let cx = ((fd.xs[i] - x_min) / x_span * (width - 1) as f64).round() as isize;
+            let cy = (height - 1) as isize
+                - (s.values[i] / y_max * (height - 1) as f64).round() as isize;
+            (cx, cy)
+        };
+        for i in 0..fd.xs.len() {
+            let (cx, cy) = coord(i);
+            if i + 1 < fd.xs.len() {
+                let (nx, ny) = coord(i + 1);
+                let steps = (nx - cx).abs().max((ny - cy).abs()).max(1);
+                for step in 0..=steps {
+                    let frac = step as f64 / steps as f64;
+                    let px = cx + ((nx - cx) as f64 * frac).round() as isize;
+                    let py = cy + ((ny - cy) as f64 * frac).round() as isize;
+                    if (0..width as isize).contains(&px) && (0..height as isize).contains(&py) {
+                        let cell = &mut grid[py as usize][px as usize];
+                        if *cell == ' ' {
+                            *cell = '.';
+                        }
+                    }
+                }
+            }
+            if (0..width as isize).contains(&cx) && (0..height as isize).contains(&cy) {
+                grid[cy as usize][cx as usize] = glyph;
+            }
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("{}\n", fd.title));
+    for (row, line) in grid.iter().enumerate() {
+        let label = if row == 0 {
+            format!("{y_max:>9.0} |")
+        } else if row == height - 1 {
+            format!("{:>9.0} |", 0.0)
+        } else {
+            format!("{:>9} |", "")
+        };
+        out.push_str(&label);
+        out.extend(line.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>9} +{}\n", "", "-".repeat(width)));
+    out.push_str(&format!(
+        "{:>9}  {:<width$}\n",
+        "",
+        format!("{x_min:.0} … {x_max:.0}  ({})", fd.x_label),
+        width = width
+    ));
+    for (si, s) in fd.series.iter().enumerate() {
+        out.push_str(&format!(
+            "{:>9}  {} {}\n",
+            "",
+            GLYPHS[si % GLYPHS.len()],
+            s.name
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::Series;
+
+    fn sample() -> FigureData {
+        FigureData {
+            id: "fig".into(),
+            title: "Title".into(),
+            x_label: "n".into(),
+            xs: vec![100.0, 200.0, 300.0],
+            series: vec![
+                Series {
+                    name: "A".into(),
+                    values: vec![10.0, 20.0, 30.0],
+                    std_devs: vec![0.0; 3],
+                    deaths: vec![0; 3],
+                },
+                Series {
+                    name: "B".into(),
+                    values: vec![30.0, 45.0, 60.0],
+                    std_devs: vec![0.0; 3],
+                    deaths: vec![0; 3],
+                },
+            ],
+            topologies: 1,
+            seed: 0,
+        }
+    }
+
+    #[test]
+    fn renders_glyphs_and_legend() {
+        let s = render_ascii(&sample(), 40, 10);
+        assert!(s.contains('o'), "series A glyph missing:\n{s}");
+        assert!(s.contains('x'), "series B glyph missing:\n{s}");
+        assert!(s.contains("o A"));
+        assert!(s.contains("x B"));
+        assert!(s.contains("Title"));
+        assert!(s.contains("100 … 300"));
+    }
+
+    #[test]
+    fn y_axis_runs_from_zero_to_max() {
+        let s = render_ascii(&sample(), 40, 10);
+        assert!(s.contains("       60 |"), "max label:\n{s}");
+        assert!(s.contains("        0 |"), "zero label:\n{s}");
+    }
+
+    #[test]
+    fn monotone_series_has_monotone_heights() {
+        // The top-most marked row of series B must be to the right of the
+        // bottom-most (costs grow with x).
+        let s = render_ascii(&sample(), 40, 12);
+        // Only chart rows (they carry the " |" axis); skips the legend.
+        let rows: Vec<&str> = s.lines().filter(|l| l.contains(" |")).collect();
+        let mut first_x_col = None;
+        let mut last_x_col = None;
+        for line in &rows {
+            if let Some(col) = line.find('x') {
+                if first_x_col.is_none() {
+                    first_x_col = Some(col); // topmost 'x' (highest value)
+                }
+                last_x_col = Some(col);
+            }
+        }
+        // Topmost x (largest y) is at the right edge; bottom-most at left.
+        assert!(first_x_col.unwrap() > last_x_col.unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn rejects_tiny_canvas() {
+        render_ascii(&sample(), 5, 2);
+    }
+}

@@ -1,0 +1,152 @@
+//! Markdown report generation.
+//!
+//! `perpetuum-exp --out results --report report.md` turns every
+//! `results/*.json` produced by the runners into one markdown document
+//! with a table per experiment — the raw material EXPERIMENTS.md is
+//! curated from.
+
+use crate::figures::FigureData;
+use std::path::Path;
+
+/// Renders one figure as a markdown section with a pipe table.
+pub fn render_markdown_section(fd: &FigureData) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("## {}\n\n", fd.title));
+    out.push_str(&format!(
+        "{} topologies per point, seed {}, costs in km (mean ± sd).\n\n",
+        fd.topologies, fd.seed
+    ));
+
+    // Header row.
+    out.push_str(&format!("| {} |", fd.x_label));
+    for s in &fd.series {
+        out.push_str(&format!(" {} |", s.name));
+    }
+    let two_cost_series = fd.series.len() == 2;
+    if two_cost_series {
+        out.push_str(" ratio |");
+    }
+    out.push('\n');
+    out.push_str("|---|");
+    for _ in &fd.series {
+        out.push_str("---|");
+    }
+    if two_cost_series {
+        out.push_str("---|");
+    }
+    out.push('\n');
+
+    for (i, &x) in fd.xs.iter().enumerate() {
+        out.push_str(&format!("| {x} |"));
+        for s in &fd.series {
+            out.push_str(&format!(" {:.1} ± {:.1} |", s.values[i], s.std_devs[i]));
+        }
+        if two_cost_series {
+            let denom = fd.series[1].values[i];
+            if denom.abs() > f64::MIN_POSITIVE {
+                out.push_str(&format!(" {:.3} |", fd.series[0].values[i] / denom));
+            } else {
+                out.push_str(" - |");
+            }
+        }
+        out.push('\n');
+    }
+
+    let deaths: usize = fd.series.iter().flat_map(|s| s.deaths.iter()).sum();
+    out.push_str(&format!("\nTotal sensor deaths across all runs: **{deaths}**.\n\n"));
+    out
+}
+
+/// Renders a full report from multiple figures.
+pub fn render_markdown_report(figures: &[FigureData], heading: &str) -> String {
+    let mut out = format!("# {heading}\n\n");
+    for fd in figures {
+        out.push_str(&render_markdown_section(fd));
+    }
+    out
+}
+
+/// Loads every `*.json` under `dir` (as written by
+/// [`crate::output::write_files`]) in lexicographic order.
+pub fn load_results_dir(dir: &Path) -> std::io::Result<Vec<FigureData>> {
+    let mut paths: Vec<_> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    paths.sort();
+    let mut out = Vec::with_capacity(paths.len());
+    for p in paths {
+        let text = std::fs::read_to_string(&p)?;
+        let fd: FigureData = serde_json::from_str(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        out.push(fd);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::Series;
+    use crate::output::write_files;
+
+    fn sample(id: &str) -> FigureData {
+        FigureData {
+            id: id.into(),
+            title: format!("Figure {id}"),
+            x_label: "n".into(),
+            xs: vec![100.0, 200.0],
+            series: vec![
+                Series {
+                    name: "A".into(),
+                    values: vec![10.0, 20.0],
+                    std_devs: vec![1.0, 2.0],
+                    deaths: vec![0, 0],
+                },
+                Series {
+                    name: "B".into(),
+                    values: vec![20.0, 50.0],
+                    std_devs: vec![2.0, 5.0],
+                    deaths: vec![0, 0],
+                },
+            ],
+            topologies: 7,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn section_contains_table_and_ratio() {
+        let md = render_markdown_section(&sample("x"));
+        assert!(md.contains("## Figure x"));
+        assert!(md.contains("| n | A | B | ratio |"));
+        assert!(md.contains("| 100 | 10.0 ± 1.0 | 20.0 ± 2.0 | 0.500 |"));
+        assert!(md.contains("deaths across all runs: **0**"));
+    }
+
+    #[test]
+    fn report_concatenates_sections() {
+        let md = render_markdown_report(&[sample("a"), sample("b")], "Results");
+        assert!(md.starts_with("# Results"));
+        assert!(md.contains("## Figure a"));
+        assert!(md.contains("## Figure b"));
+    }
+
+    #[test]
+    fn round_trip_through_results_dir() {
+        let dir = std::env::temp_dir().join("perpetuum_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Clean stale files from earlier runs.
+        for e in std::fs::read_dir(&dir).unwrap().flatten() {
+            std::fs::remove_file(e.path()).ok();
+        }
+        write_files(&sample("fig_a"), &dir).unwrap();
+        write_files(&sample("fig_b"), &dir).unwrap();
+        let loaded = load_results_dir(&dir).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded[0].id, "fig_a");
+        assert_eq!(loaded[1].id, "fig_b");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,402 @@
+//! Experiment scenarios: the workload generator of Section VII.A.
+//!
+//! Defaults match the paper exactly: `n` sensors uniform in a 1000 m ×
+//! 1000 m field, base station at the centre, `q = 5` depots (one at the
+//! base station, the rest uniform), `T = 1000`, `ΔT = 10`, `τ_min = 1`,
+//! `τ_max = 50`, linear cycle distribution with `σ = 2`, and each data
+//! point averaged over 100 random topologies.
+
+use perpetuum_core::network::Network;
+use perpetuum_energy::CycleDistribution;
+use perpetuum_geom::{deploy, derived_rng, Field};
+use perpetuum_geom::Point2;
+use perpetuum_sim::{run, GreedyPolicy, MtdPolicy, SimConfig, SimResult, VarPolicy, World};
+use serde::{Deserialize, Serialize};
+
+/// Which algorithm a run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Algo {
+    /// Algorithm 3, planned once from the initial cycles.
+    Mtd,
+    /// `MinTotalDistance-var`: Algorithm 3 + applicability-band replanning.
+    MtdVar,
+    /// The greedy threshold baseline.
+    Greedy,
+}
+
+impl Algo {
+    /// Display name (matches the paper's figure legends).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algo::Mtd => "MinTotalDistance",
+            Algo::MtdVar => "MinTotalDistance-var",
+            Algo::Greedy => "Greedy",
+        }
+    }
+}
+
+/// How sensors are placed in the field.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Deployment {
+    /// Uniform random — the paper's evaluation setting.
+    Uniform,
+    /// Low-discrepancy Halton pattern (engineered deployments).
+    Halton,
+    /// Clustered around `clusters` random hot spots with the given spread.
+    Clustered {
+        /// Number of cluster centres.
+        clusters: usize,
+        /// Triangular-kernel spread around each centre (m).
+        spread: f64,
+    },
+}
+
+/// A fully specified experiment scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Field width and height (m).
+    pub field_size: f64,
+    /// Number of sensors `n`.
+    pub n: usize,
+    /// Number of depots / chargers `q`.
+    pub q: usize,
+    /// Minimum maximum-charging-cycle `τ_min`.
+    pub tau_min: f64,
+    /// Maximum maximum-charging-cycle `τ_max`.
+    pub tau_max: f64,
+    /// Cycle distribution (linear-in-distance or uniform random).
+    pub dist: CycleDistribution,
+    /// Monitoring period `T`.
+    pub horizon: f64,
+    /// Slot length `ΔT` (variable-cycle experiments).
+    pub slot: f64,
+    /// Whether cycles vary over time (Section VI) or stay fixed (Section V).
+    pub variable: bool,
+    /// Sensor placement pattern (the paper uses [`Deployment::Uniform`]).
+    pub deployment: Deployment,
+}
+
+impl Scenario {
+    /// The paper's default setting (fixed cycles).
+    pub fn paper_fixed() -> Self {
+        Self {
+            field_size: 1000.0,
+            n: 200,
+            q: 5,
+            tau_min: 1.0,
+            tau_max: 50.0,
+            dist: CycleDistribution::linear_default(),
+            horizon: 1000.0,
+            slot: 10.0,
+            variable: false,
+            deployment: Deployment::Uniform,
+        }
+    }
+
+    /// The paper's default variable-cycle setting.
+    pub fn paper_variable() -> Self {
+        Self { variable: true, ..Self::paper_fixed() }
+    }
+
+    /// The deployment field.
+    pub fn field(&self) -> Field {
+        Field::new(self.field_size, self.field_size)
+    }
+
+    /// Builds topology number `index` for this scenario under `master_seed`.
+    ///
+    /// Stream layout: sub-stream 0 drives positions, 1 drives cycles, 2
+    /// drives in-simulation rate resampling — so e.g. changing `σ` never
+    /// perturbs sensor placement across compared runs.
+    pub fn build_topology(&self, master_seed: u64, index: u64) -> Topology {
+        let field = self.field();
+        let base = perpetuum_geom::derive_seed(master_seed, index);
+        let mut pos_rng = derived_rng(base, 0);
+        let sensors: Vec<Point2> = match self.deployment {
+            Deployment::Uniform => deploy::uniform_deployment(field, self.n, &mut pos_rng),
+            Deployment::Halton => {
+                // Distinct deterministic pattern per topology index.
+                deploy::halton_deployment(field, self.n, (index as usize) * self.n)
+            }
+            Deployment::Clustered { clusters, spread } => {
+                deploy::clustered_deployment(field, clusters, self.n, spread, &mut pos_rng)
+            }
+        };
+        let depots = deploy::place_depots(
+            field,
+            field.center(),
+            self.q,
+            deploy::DepotPlacement::OneAtBaseStation,
+            &mut pos_rng,
+        );
+        let network = Network::new(sensors, depots);
+
+        let bs = field.center();
+        let mean_cycles =
+            self.dist
+                .mean_all(network.sensor_positions(), bs, self.tau_min, self.tau_max);
+        let mut cyc_rng = derived_rng(base, 1);
+        let init_cycles = self.dist.sample_all(
+            network.sensor_positions(),
+            bs,
+            self.tau_min,
+            self.tau_max,
+            &mut cyc_rng,
+        );
+
+        Topology {
+            network,
+            mean_cycles,
+            init_cycles,
+            sim_seed: perpetuum_geom::derive_seed(base, 2),
+        }
+    }
+
+    /// Builds the simulated world for a topology.
+    pub fn build_world(&self, topo: &Topology) -> World {
+        if self.variable {
+            World::variable(
+                topo.network.clone(),
+                &topo.mean_cycles,
+                self.dist,
+                self.tau_min,
+                self.tau_max,
+            )
+        } else {
+            World::fixed(topo.network.clone(), &topo.init_cycles)
+        }
+    }
+
+    /// Runs one `(algorithm, topology)` pair end to end.
+    pub fn run_once(&self, algo: Algo, master_seed: u64, index: u64) -> SimResult {
+        let topo = self.build_topology(master_seed, index);
+        let world = self.build_world(&topo);
+        let cfg = SimConfig { horizon: self.horizon, slot: self.slot, seed: topo.sim_seed, charger_speed: None };
+        match algo {
+            Algo::Mtd => {
+                let mut p = MtdPolicy::new(&topo.network);
+                run(world, &cfg, &mut p)
+            }
+            Algo::MtdVar => {
+                let mut p = VarPolicy::new(&topo.network);
+                let mut r = run(world, &cfg, &mut p);
+                r.replans = p.replans();
+                r
+            }
+            Algo::Greedy => {
+                let mut p = GreedyPolicy::new(&topo.network, self.tau_min);
+                run(world, &cfg, &mut p)
+            }
+        }
+    }
+}
+
+/// A custom experiment: a scenario plus the algorithms to compare and a
+/// sweep over network sizes — loadable from JSON for the CLI's
+/// `--scenario` flag.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CustomExperiment {
+    /// Human-readable name (used as the table title and file stem).
+    pub name: String,
+    /// The base scenario.
+    pub scenario: Scenario,
+    /// Algorithms to compare.
+    pub algos: Vec<Algo>,
+    /// Network sizes to sweep (empty = just the scenario's own `n`).
+    #[serde(default)]
+    pub network_sizes: Vec<usize>,
+}
+
+impl CustomExperiment {
+    /// Parses a JSON description.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| e.to_string())
+    }
+
+    /// Runs the experiment, averaging each point over `topologies`
+    /// topologies.
+    pub fn run(&self, topologies: usize, seed: u64) -> crate::figures::FigureData {
+        use crate::figures::Series;
+        use perpetuum_par::{mean, par_map, std_dev};
+        let ns: Vec<usize> = if self.network_sizes.is_empty() {
+            vec![self.scenario.n]
+        } else {
+            self.network_sizes.clone()
+        };
+        let mut series: Vec<Series> = self
+            .algos
+            .iter()
+            .map(|a| Series {
+                name: a.name().to_string(),
+                values: Vec::new(),
+                std_devs: Vec::new(),
+                deaths: Vec::new(),
+            })
+            .collect();
+        for &n in &ns {
+            let s = Scenario { n, ..self.scenario };
+            for (ai, &algo) in self.algos.iter().enumerate() {
+                let results = par_map(topologies, |i| s.run_once(algo, seed, i as u64));
+                let costs: Vec<f64> =
+                    results.iter().map(|r| r.service_cost / 1000.0).collect();
+                series[ai].values.push(mean(&costs));
+                series[ai].std_devs.push(std_dev(&costs));
+                series[ai]
+                    .deaths
+                    .push(results.iter().map(|r| r.deaths.len()).sum());
+            }
+        }
+        let id: String = self
+            .name
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        crate::figures::FigureData {
+            id,
+            title: self.name.clone(),
+            x_label: "network size n".to_string(),
+            xs: ns.iter().map(|&n| n as f64).collect(),
+            series,
+            topologies,
+            seed,
+        }
+    }
+}
+
+/// One concrete random topology of a scenario.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// Sensor + depot geometry.
+    pub network: Network,
+    /// Mean cycle `τ̄_i` per sensor (drives slot resampling).
+    pub mean_cycles: Vec<f64>,
+    /// Initial realised cycles (fixed-cycle experiments use these for the
+    /// whole run).
+    pub init_cycles: Vec<f64>,
+    /// Seed for the in-simulation rate-resampling stream.
+    pub sim_seed: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_section_7a() {
+        let s = Scenario::paper_fixed();
+        assert_eq!(s.field_size, 1000.0);
+        assert_eq!(s.q, 5);
+        assert_eq!(s.tau_min, 1.0);
+        assert_eq!(s.tau_max, 50.0);
+        assert_eq!(s.horizon, 1000.0);
+        assert_eq!(s.slot, 10.0);
+        assert!(!s.variable);
+        assert!(Scenario::paper_variable().variable);
+    }
+
+    #[test]
+    fn topology_is_deterministic() {
+        let s = Scenario { n: 30, ..Scenario::paper_fixed() };
+        let a = s.build_topology(42, 3);
+        let b = s.build_topology(42, 3);
+        assert_eq!(a.init_cycles, b.init_cycles);
+        assert_eq!(a.sim_seed, b.sim_seed);
+        assert_eq!(
+            a.network.sensor_positions(),
+            b.network.sensor_positions()
+        );
+        let c = s.build_topology(42, 4);
+        assert_ne!(a.init_cycles, c.init_cycles);
+    }
+
+    #[test]
+    fn first_depot_at_base_station() {
+        let s = Scenario { n: 10, ..Scenario::paper_fixed() };
+        let t = s.build_topology(7, 0);
+        assert_eq!(t.network.depot_pos(0), s.field().center());
+    }
+
+    #[test]
+    fn cycles_within_range() {
+        let s = Scenario { n: 100, ..Scenario::paper_fixed() };
+        let t = s.build_topology(11, 0);
+        assert!(t
+            .init_cycles
+            .iter()
+            .all(|&c| (s.tau_min..=s.tau_max).contains(&c)));
+        assert!(t
+            .mean_cycles
+            .iter()
+            .all(|&c| (s.tau_min..=s.tau_max).contains(&c)));
+    }
+
+    #[test]
+    fn deployment_kinds_produce_valid_topologies() {
+        for deployment in [
+            Deployment::Uniform,
+            Deployment::Halton,
+            Deployment::Clustered { clusters: 4, spread: 60.0 },
+        ] {
+            let s = Scenario { n: 25, deployment, ..Scenario::paper_fixed() };
+            let t = s.build_topology(3, 1);
+            assert_eq!(t.network.n(), 25);
+            let bounds = s.field().bounds();
+            assert!(t
+                .network
+                .sensor_positions()
+                .iter()
+                .all(|&p| bounds.contains(p)));
+            // Halton is deterministic per index, independent of the seed.
+            if deployment == Deployment::Halton {
+                let t2 = Scenario { n: 25, deployment, ..Scenario::paper_fixed() }
+                    .build_topology(99, 1);
+                assert_eq!(t.network.sensor_positions(), t2.network.sensor_positions());
+            }
+        }
+    }
+
+    #[test]
+    fn custom_experiment_round_trips_and_runs() {
+        let json = r#"{
+            "name": "tiny sweep",
+            "scenario": {
+                "field_size": 1000.0, "n": 10, "q": 3,
+                "tau_min": 1.0, "tau_max": 20.0,
+                "dist": { "Linear": { "sigma": 2.0 } },
+                "horizon": 50.0, "slot": 10.0,
+                "variable": false, "deployment": "Uniform"
+            },
+            "algos": ["Mtd", "Greedy"],
+            "network_sizes": [10, 20]
+        }"#;
+        let exp = CustomExperiment::from_json(json).unwrap();
+        assert_eq!(exp.algos.len(), 2);
+        let fd = exp.run(2, 5);
+        assert_eq!(fd.xs, vec![10.0, 20.0]);
+        assert_eq!(fd.series.len(), 2);
+        assert!(fd.series.iter().all(|s| s.deaths.iter().all(|&d| d == 0)));
+        // MTD wins under the linear distribution here too.
+        assert!(fd.series[0].values[1] < fd.series[1].values[1]);
+        // Bad JSON reports an error instead of panicking.
+        assert!(CustomExperiment::from_json("{").is_err());
+    }
+
+    #[test]
+    fn run_once_all_algorithms_survive_small_case() {
+        let s = Scenario {
+            n: 15,
+            horizon: 100.0,
+            ..Scenario::paper_fixed()
+        };
+        for algo in [Algo::Mtd, Algo::Greedy] {
+            let r = s.run_once(algo, 5, 0);
+            assert!(r.is_perpetual(), "{}: {:?}", algo.name(), r.deaths);
+            assert!(r.service_cost > 0.0);
+        }
+        let sv = Scenario { variable: true, ..s };
+        for algo in [Algo::MtdVar, Algo::Greedy] {
+            let r = sv.run_once(algo, 5, 0);
+            assert!(r.is_perpetual(), "{} var: {:?}", algo.name(), r.deaths);
+        }
+    }
+}

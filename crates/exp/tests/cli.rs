@@ -1,0 +1,154 @@
+//! End-to-end tests of the `perpetuum-exp` binary.
+
+use std::process::Command;
+
+fn exe() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_perpetuum-exp"))
+}
+
+#[test]
+fn list_shows_every_experiment_id() {
+    let out = exe().arg("--list").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    for id in [
+        "fig1a", "fig1b", "fig2a", "fig2b", "fig3", "fig4", "fig5", "fig6",
+        "ablation_rounding", "ablation_tour_polish", "ablation_repair", "ablation_routing",
+        "ext_burst", "ext_minmax", "ext_range", "ext_speed", "ext_noise", "ext_ratio",
+        "ext_aging",
+    ] {
+        assert!(text.contains(id), "missing {id} in --list output");
+    }
+}
+
+#[test]
+fn figure_run_prints_table_and_writes_files() {
+    let dir = std::env::temp_dir().join("perpetuum_cli_test_out");
+    std::fs::remove_dir_all(&dir).ok();
+    let out = exe()
+        .args([
+            "--figure",
+            "fig1a",
+            "--topologies",
+            "1",
+            "--scale",
+            "0.02",
+            "--out",
+        ])
+        .arg(&dir)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("Fig. 1(a)"));
+    assert!(text.contains("MinTotalDistance"));
+    assert!(text.contains("Greedy"));
+    assert!(dir.join("fig1a.csv").exists());
+    assert!(dir.join("fig1a.json").exists());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn plot_flag_renders_ascii_chart() {
+    let out = exe()
+        .args(["--figure", "fig1a", "--topologies", "1", "--scale", "0.02", "--plot"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("o MinTotalDistance"), "legend missing:\n{text}");
+    assert!(text.contains("x Greedy"));
+}
+
+#[test]
+fn render_topology_writes_svg() {
+    let path = std::env::temp_dir().join("perpetuum_cli_topo.svg");
+    std::fs::remove_file(&path).ok();
+    let out = exe()
+        .arg("--render-topology")
+        .arg(&path)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let svg = std::fs::read_to_string(&path).unwrap();
+    assert!(svg.starts_with("<svg"));
+    assert!(svg.contains("<circle"));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn report_from_results_dir() {
+    let dir = std::env::temp_dir().join("perpetuum_cli_report_out");
+    std::fs::remove_dir_all(&dir).ok();
+    let report = std::env::temp_dir().join("perpetuum_cli_report.md");
+    std::fs::remove_file(&report).ok();
+    let out = exe()
+        .args(["--figure", "fig1a", "--topologies", "1", "--scale", "0.02", "--out"])
+        .arg(&dir)
+        .arg("--report")
+        .arg(&report)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let md = std::fs::read_to_string(&report).unwrap();
+    assert!(md.starts_with("# perpetuum experiment report"));
+    assert!(md.contains("## Fig. 1(a)"));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_file(&report).ok();
+}
+
+#[test]
+fn bad_arguments_fail_with_usage() {
+    for args in [vec!["--figure", "fig99"], vec!["--bogus"], vec![]] {
+        let out = exe().args(&args).output().expect("binary runs");
+        assert!(!out.status.success(), "args {args:?} should fail");
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(err.contains("USAGE"), "no usage for {args:?}");
+    }
+}
+
+#[test]
+fn custom_scenario_json_runs() {
+    let path = std::env::temp_dir().join("perpetuum_cli_scenario.json");
+    std::fs::write(
+        &path,
+        r#"{
+            "name": "cli custom",
+            "scenario": {
+                "field_size": 1000.0, "n": 8, "q": 2,
+                "tau_min": 1.0, "tau_max": 10.0,
+                "dist": { "Linear": { "sigma": 2.0 } },
+                "horizon": 30.0, "slot": 10.0,
+                "variable": false, "deployment": "Halton"
+            },
+            "algos": ["Mtd", "Greedy"]
+        }"#,
+    )
+    .unwrap();
+    let out = exe()
+        .args(["--topologies", "1", "--scenario"])
+        .arg(&path)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("cli custom"));
+    assert!(text.contains("MinTotalDistance"));
+    std::fs::remove_file(&path).ok();
+
+    // Malformed JSON fails cleanly.
+    let bad = std::env::temp_dir().join("perpetuum_cli_scenario_bad.json");
+    std::fs::write(&bad, "{ nope").unwrap();
+    let out = exe().arg("--scenario").arg(&bad).output().expect("binary runs");
+    assert!(!out.status.success());
+    std::fs::remove_file(&bad).ok();
+}
+
+#[test]
+fn zero_topologies_rejected() {
+    let out = exe()
+        .args(["--figure", "fig1a", "--topologies", "0"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+}

@@ -1,0 +1,177 @@
+//! Axis-aligned bounding boxes and the rectangular deployment field.
+
+use crate::point::Point2;
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned bounding box, closed on all sides.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Aabb {
+    /// Lower-left corner.
+    pub min: Point2,
+    /// Upper-right corner.
+    pub max: Point2,
+}
+
+impl Aabb {
+    /// Creates a box from two opposite corners (in any order).
+    pub fn new(a: Point2, b: Point2) -> Self {
+        Self {
+            min: Point2::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Point2::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// Smallest box containing every point, or `None` for an empty slice.
+    pub fn containing(points: &[Point2]) -> Option<Self> {
+        let first = *points.first()?;
+        let mut bb = Aabb::new(first, first);
+        for p in &points[1..] {
+            bb.min.x = bb.min.x.min(p.x);
+            bb.min.y = bb.min.y.min(p.y);
+            bb.max.x = bb.max.x.max(p.x);
+            bb.max.y = bb.max.y.max(p.y);
+        }
+        Some(bb)
+    }
+
+    /// Width along x.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height along y.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Geometric centre.
+    #[inline]
+    pub fn center(&self) -> Point2 {
+        self.min.midpoint(self.max)
+    }
+
+    /// True when `p` lies inside or on the boundary.
+    #[inline]
+    pub fn contains(&self, p: Point2) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Length of the diagonal — an upper bound on any pairwise distance
+    /// inside the box.
+    #[inline]
+    pub fn diameter(&self) -> f64 {
+        self.min.dist(self.max)
+    }
+}
+
+/// The rectangular deployment field of a sensor network, anchored at the
+/// origin. The paper's evaluation uses a 1000 m × 1000 m field.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Field {
+    /// Field width (m).
+    pub width: f64,
+    /// Field height (m).
+    pub height: f64,
+}
+
+impl Field {
+    /// Creates a field of the given dimensions.
+    ///
+    /// # Panics
+    /// Panics if either dimension is not strictly positive and finite.
+    pub fn new(width: f64, height: f64) -> Self {
+        assert!(
+            width > 0.0 && height > 0.0 && width.is_finite() && height.is_finite(),
+            "field dimensions must be positive and finite, got {width} x {height}"
+        );
+        Self { width, height }
+    }
+
+    /// The paper's default evaluation field: 1000 m × 1000 m.
+    pub fn paper_default() -> Self {
+        Self::new(1000.0, 1000.0)
+    }
+
+    /// The field as a bounding box anchored at the origin.
+    pub fn bounds(&self) -> Aabb {
+        Aabb::new(Point2::ORIGIN, Point2::new(self.width, self.height))
+    }
+
+    /// Centre of the field — where the paper places the base station.
+    pub fn center(&self) -> Point2 {
+        Point2::new(self.width * 0.5, self.height * 0.5)
+    }
+
+    /// Maximum possible distance between any two points of the field.
+    pub fn diameter(&self) -> f64 {
+        self.bounds().diameter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aabb_normalizes_corners() {
+        let bb = Aabb::new(Point2::new(5.0, -1.0), Point2::new(-2.0, 3.0));
+        assert_eq!(bb.min, Point2::new(-2.0, -1.0));
+        assert_eq!(bb.max, Point2::new(5.0, 3.0));
+        assert_eq!(bb.width(), 7.0);
+        assert_eq!(bb.height(), 4.0);
+    }
+
+    #[test]
+    fn aabb_containing_points() {
+        let pts = [
+            Point2::new(1.0, 2.0),
+            Point2::new(-3.0, 5.0),
+            Point2::new(0.0, 0.0),
+        ];
+        let bb = Aabb::containing(&pts).unwrap();
+        assert_eq!(bb.min, Point2::new(-3.0, 0.0));
+        assert_eq!(bb.max, Point2::new(1.0, 5.0));
+        for p in pts {
+            assert!(bb.contains(p));
+        }
+        assert!(Aabb::containing(&[]).is_none());
+    }
+
+    #[test]
+    fn aabb_contains_boundary() {
+        let bb = Aabb::new(Point2::ORIGIN, Point2::new(1.0, 1.0));
+        assert!(bb.contains(Point2::new(0.0, 0.0)));
+        assert!(bb.contains(Point2::new(1.0, 1.0)));
+        assert!(bb.contains(Point2::new(0.5, 1.0)));
+        assert!(!bb.contains(Point2::new(1.0001, 0.5)));
+    }
+
+    #[test]
+    fn field_center_and_diameter() {
+        let f = Field::paper_default();
+        assert_eq!(f.center(), Point2::new(500.0, 500.0));
+        assert!((f.diameter() - 2f64.sqrt() * 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn field_bounds_anchored_at_origin() {
+        let f = Field::new(200.0, 100.0);
+        let bb = f.bounds();
+        assert_eq!(bb.min, Point2::ORIGIN);
+        assert_eq!(bb.max, Point2::new(200.0, 100.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn field_rejects_zero_width() {
+        Field::new(0.0, 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn field_rejects_nan() {
+        Field::new(f64::NAN, 10.0);
+    }
+}

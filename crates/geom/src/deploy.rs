@@ -1,0 +1,275 @@
+//! Sensor deployments and depot placement.
+//!
+//! Section VII.A of the paper deploys `n` sensors uniformly at random in a
+//! 1000 m × 1000 m field, puts the base station at the centre, and uses
+//! `q = 5` depots — one co-located with the base station (the most
+//! energy-hungry sensors cluster there) and the rest uniform in the field.
+//! [`uniform_deployment`] and [`place_depots`] reproduce exactly that;
+//! [`grid_deployment`] and [`clustered_deployment`] provide additional
+//! workloads for the examples and tests.
+
+use crate::aabb::Field;
+use crate::point::Point2;
+use rand::Rng;
+
+/// Draws `n` points uniformly at random inside the field.
+pub fn uniform_deployment<R: Rng + ?Sized>(field: Field, n: usize, rng: &mut R) -> Vec<Point2> {
+    (0..n)
+        .map(|_| {
+            Point2::new(
+                rng.gen_range(0.0..=field.width),
+                rng.gen_range(0.0..=field.height),
+            )
+        })
+        .collect()
+}
+
+/// A regular `nx × ny` grid of points, inset by half a cell from the field
+/// boundary so no point lies on the edge.
+pub fn grid_deployment(field: Field, nx: usize, ny: usize) -> Vec<Point2> {
+    assert!(nx > 0 && ny > 0, "grid dimensions must be positive");
+    let dx = field.width / nx as f64;
+    let dy = field.height / ny as f64;
+    let mut pts = Vec::with_capacity(nx * ny);
+    for j in 0..ny {
+        for i in 0..nx {
+            pts.push(Point2::new(
+                (i as f64 + 0.5) * dx,
+                (j as f64 + 0.5) * dy,
+            ));
+        }
+    }
+    pts
+}
+
+/// Draws `n` points grouped around `clusters` uniformly-placed cluster
+/// centres with a Gaussian-ish spread (`spread` is the standard deviation of
+/// a clamped-into-field triangular kernel — cheap and dependency-free).
+///
+/// Models the "hot spot" deployments common in surveillance WSNs.
+pub fn clustered_deployment<R: Rng + ?Sized>(
+    field: Field,
+    clusters: usize,
+    n: usize,
+    spread: f64,
+    rng: &mut R,
+) -> Vec<Point2> {
+    assert!(clusters > 0, "need at least one cluster");
+    assert!(spread >= 0.0, "spread must be non-negative");
+    let centers = uniform_deployment(field, clusters, rng);
+    let bounds = field.bounds();
+    (0..n)
+        .map(|i| {
+            let c = centers[i % clusters];
+            // Sum of two uniforms gives a triangular kernel centred on 0.
+            let jitter = |rng: &mut R| {
+                (rng.gen_range(-1.0..=1.0f64) + rng.gen_range(-1.0..=1.0f64)) * spread
+            };
+            let p = Point2::new(c.x + jitter(rng), c.y + jitter(rng));
+            Point2::new(
+                p.x.clamp(bounds.min.x, bounds.max.x),
+                p.y.clamp(bounds.min.y, bounds.max.y),
+            )
+        })
+        .collect()
+}
+
+/// A low-discrepancy (Halton-sequence) deployment: `n` points whose
+/// coordinates follow the base-2 and base-3 van der Corput sequences.
+/// Covers the field far more evenly than uniform random placement — the
+/// "engineered deployment" counterpart to [`uniform_deployment`], used by
+/// examples to show how deployment regularity affects tour lengths.
+///
+/// `offset` skips the first `offset` sequence elements, giving distinct
+/// deterministic deployments.
+pub fn halton_deployment(field: Field, n: usize, offset: usize) -> Vec<Point2> {
+    (0..n)
+        .map(|i| {
+            let k = i + offset + 1; // index 0 of van der Corput is 0 — skip
+            Point2::new(
+                van_der_corput(k, 2) * field.width,
+                van_der_corput(k, 3) * field.height,
+            )
+        })
+        .collect()
+}
+
+/// The `k`-th element of the van der Corput sequence in the given base:
+/// reflect the base-`b` digits of `k` about the radix point.
+fn van_der_corput(mut k: usize, base: usize) -> f64 {
+    let mut result = 0.0;
+    let mut denom = 1.0;
+    while k > 0 {
+        denom *= base as f64;
+        result += (k % base) as f64 / denom;
+        k /= base;
+    }
+    result
+}
+
+/// How depots are positioned relative to the base station.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DepotPlacement {
+    /// One depot co-located with the base station, the remaining `q − 1`
+    /// uniform in the field — the paper's evaluation setting.
+    OneAtBaseStation,
+    /// All `q` depots uniform in the field.
+    AllRandom,
+}
+
+/// Places `q` depots in the field.
+///
+/// With [`DepotPlacement::OneAtBaseStation`] the first depot is exactly
+/// `base_station`; with `q = 0` the result is empty.
+pub fn place_depots<R: Rng + ?Sized>(
+    field: Field,
+    base_station: Point2,
+    q: usize,
+    placement: DepotPlacement,
+    rng: &mut R,
+) -> Vec<Point2> {
+    match placement {
+        DepotPlacement::AllRandom => uniform_deployment(field, q, rng),
+        DepotPlacement::OneAtBaseStation => {
+            if q == 0 {
+                return Vec::new();
+            }
+            let mut depots = Vec::with_capacity(q);
+            depots.push(base_station);
+            depots.extend(uniform_deployment(field, q - 1, rng));
+            depots
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::derived_rng;
+
+    #[test]
+    fn uniform_points_inside_field() {
+        let field = Field::paper_default();
+        let mut rng = derived_rng(1, 0);
+        let pts = uniform_deployment(field, 200, &mut rng);
+        assert_eq!(pts.len(), 200);
+        let bounds = field.bounds();
+        assert!(pts.iter().all(|&p| bounds.contains(p)));
+    }
+
+    #[test]
+    fn uniform_deployment_deterministic_per_seed() {
+        let field = Field::paper_default();
+        let a = uniform_deployment(field, 50, &mut derived_rng(9, 4));
+        let b = uniform_deployment(field, 50, &mut derived_rng(9, 4));
+        assert_eq!(a, b);
+        let c = uniform_deployment(field, 50, &mut derived_rng(9, 5));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn grid_shape_and_bounds() {
+        let field = Field::new(100.0, 50.0);
+        let pts = grid_deployment(field, 4, 2);
+        assert_eq!(pts.len(), 8);
+        let bounds = field.bounds();
+        assert!(pts.iter().all(|&p| bounds.contains(p)));
+        // First cell centre.
+        assert_eq!(pts[0], Point2::new(12.5, 12.5));
+        // Last cell centre.
+        assert_eq!(pts[7], Point2::new(87.5, 37.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn grid_rejects_zero_dim() {
+        grid_deployment(Field::paper_default(), 0, 3);
+    }
+
+    #[test]
+    fn clustered_points_inside_field_and_clustered() {
+        let field = Field::paper_default();
+        let mut rng = derived_rng(2, 0);
+        let pts = clustered_deployment(field, 3, 300, 30.0, &mut rng);
+        assert_eq!(pts.len(), 300);
+        let bounds = field.bounds();
+        assert!(pts.iter().all(|&p| bounds.contains(p)));
+        // Points assigned to the same cluster (stride 3) should be close to
+        // each other on average compared with the field diameter.
+        let same_cluster_dist = pts[0].dist(pts[3]);
+        assert!(same_cluster_dist < field.diameter() / 2.0);
+    }
+
+    #[test]
+    fn halton_points_inside_field_and_deterministic() {
+        let field = Field::paper_default();
+        let pts = halton_deployment(field, 100, 0);
+        assert_eq!(pts.len(), 100);
+        let bounds = field.bounds();
+        assert!(pts.iter().all(|&p| bounds.contains(p)));
+        assert_eq!(pts, halton_deployment(field, 100, 0));
+        assert_ne!(pts, halton_deployment(field, 100, 100));
+    }
+
+    #[test]
+    fn halton_covers_more_evenly_than_clumps() {
+        // Low-discrepancy check: split the field into a 4x4 grid; every
+        // cell should receive at least one of 64 Halton points.
+        let field = Field::paper_default();
+        let pts = halton_deployment(field, 64, 0);
+        let mut cells = [[false; 4]; 4];
+        for p in pts {
+            let cx = ((p.x / 250.0) as usize).min(3);
+            let cy = ((p.y / 250.0) as usize).min(3);
+            cells[cx][cy] = true;
+        }
+        assert!(cells.iter().flatten().all(|&c| c), "{cells:?}");
+    }
+
+    #[test]
+    fn van_der_corput_known_values() {
+        // Base 2: 1 → 0.5, 2 → 0.25, 3 → 0.75, 4 → 0.125.
+        let f = Field::new(1.0, 1.0);
+        let pts = halton_deployment(f, 4, 0);
+        let xs: Vec<f64> = pts.iter().map(|p| p.x).collect();
+        assert_eq!(xs, vec![0.5, 0.25, 0.75, 0.125]);
+        // Base 3: 1 → 1/3, 2 → 2/3, 3 → 1/9.
+        assert!((pts[0].y - 1.0 / 3.0).abs() < 1e-12);
+        assert!((pts[1].y - 2.0 / 3.0).abs() < 1e-12);
+        assert!((pts[2].y - 1.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn depots_one_at_base_station() {
+        let field = Field::paper_default();
+        let bs = field.center();
+        let mut rng = derived_rng(3, 0);
+        let depots = place_depots(field, bs, 5, DepotPlacement::OneAtBaseStation, &mut rng);
+        assert_eq!(depots.len(), 5);
+        assert_eq!(depots[0], bs);
+        let bounds = field.bounds();
+        assert!(depots.iter().all(|&d| bounds.contains(d)));
+    }
+
+    #[test]
+    fn depots_zero_q() {
+        let field = Field::paper_default();
+        let mut rng = derived_rng(3, 1);
+        let depots = place_depots(
+            field,
+            field.center(),
+            0,
+            DepotPlacement::OneAtBaseStation,
+            &mut rng,
+        );
+        assert!(depots.is_empty());
+    }
+
+    #[test]
+    fn depots_all_random() {
+        let field = Field::paper_default();
+        let mut rng = derived_rng(3, 2);
+        let depots = place_depots(field, field.center(), 4, DepotPlacement::AllRandom, &mut rng);
+        assert_eq!(depots.len(), 4);
+    }
+}

@@ -1,0 +1,148 @@
+//! Convex hulls (Andrew's monotone chain).
+//!
+//! Used as a test oracle for the TSP machinery: for points in convex
+//! position the optimal tour *is* the hull, and in general every closed
+//! tour through a point set is at least as long as the perimeter of its
+//! convex hull.
+
+use crate::point::Point2;
+
+/// Cross product `(b − a) × (c − a)`: positive for a left turn.
+#[inline]
+fn cross(a: Point2, b: Point2, c: Point2) -> f64 {
+    (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
+}
+
+/// The convex hull of `points` in counter-clockwise order, starting from
+/// the lexicographically smallest point. Collinear boundary points are
+/// dropped; duplicates are tolerated. Fewer than three distinct points
+/// return what is left (possibly a single point or a segment).
+pub fn convex_hull(points: &[Point2]) -> Vec<Point2> {
+    let mut pts: Vec<Point2> = points.to_vec();
+    pts.sort_by(|a, b| {
+        a.x.partial_cmp(&b.x)
+            .expect("coordinates must not be NaN")
+            .then(a.y.partial_cmp(&b.y).expect("coordinates must not be NaN"))
+    });
+    pts.dedup_by(|a, b| a.x == b.x && a.y == b.y);
+    let n = pts.len();
+    if n <= 2 {
+        return pts;
+    }
+
+    let mut hull: Vec<Point2> = Vec::with_capacity(2 * n);
+    // Lower hull.
+    for &p in &pts {
+        while hull.len() >= 2 && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0 {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    // Upper hull.
+    let lower_len = hull.len() + 1;
+    for &p in pts.iter().rev().skip(1) {
+        while hull.len() >= lower_len
+            && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    hull.pop(); // last point repeats the first
+    hull
+}
+
+/// Perimeter of the convex hull of `points` — a lower bound on the length
+/// of any closed tour visiting all of them.
+pub fn hull_perimeter(points: &[Point2]) -> f64 {
+    let hull = convex_hull(points);
+    crate::point::closed_tour_length(&hull)
+}
+
+/// True when `p` lies inside or on the boundary of the convex polygon
+/// `hull` (counter-clockwise vertex order, as produced by
+/// [`convex_hull`]).
+pub fn hull_contains(hull: &[Point2], p: Point2) -> bool {
+    if hull.len() < 3 {
+        // Degenerate hull: containment means lying on the point/segment.
+        return match hull {
+            [] => false,
+            [a] => a.dist(p) < 1e-9,
+            [a, b] => {
+                let d = a.dist(*b);
+                (a.dist(p) + p.dist(*b) - d).abs() < 1e-9
+            }
+            _ => unreachable!(),
+        };
+    }
+    for i in 0..hull.len() {
+        let a = hull[i];
+        let b = hull[(i + 1) % hull.len()];
+        if cross(a, b, p) < -1e-9 {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_hull() {
+        let pts = [
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(0.0, 1.0),
+            Point2::new(0.5, 0.5), // interior
+            Point2::new(0.5, 0.0), // collinear on an edge
+        ];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 4);
+        assert!((hull_perimeter(&pts) - 4.0).abs() < 1e-12);
+        assert!(hull_contains(&hull, Point2::new(0.5, 0.5)));
+        assert!(hull_contains(&hull, Point2::new(1.0, 1.0)));
+        assert!(!hull_contains(&hull, Point2::new(1.1, 0.5)));
+    }
+
+    #[test]
+    fn degenerate_hulls() {
+        assert!(convex_hull(&[]).is_empty());
+        let single = [Point2::new(2.0, 3.0)];
+        assert_eq!(convex_hull(&single).len(), 1);
+        assert_eq!(hull_perimeter(&single), 0.0);
+        // Collinear points: hull degenerates to the two extremes.
+        let line: Vec<Point2> = (0..5).map(|i| Point2::new(i as f64, 0.0)).collect();
+        let hull = convex_hull(&line);
+        assert_eq!(hull.len(), 2);
+        assert!(hull_contains(&hull, Point2::new(2.0, 0.0)));
+        assert!(!hull_contains(&hull, Point2::new(2.0, 0.1)));
+    }
+
+    #[test]
+    fn duplicates_tolerated() {
+        let pts = [
+            Point2::new(0.0, 0.0),
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(0.0, 1.0),
+        ];
+        assert_eq!(convex_hull(&pts).len(), 3);
+    }
+
+    #[test]
+    fn hull_contains_all_inputs() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let pts: Vec<Point2> = (0..100)
+            .map(|_| Point2::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)))
+            .collect();
+        let hull = convex_hull(&pts);
+        assert!(hull.len() >= 3);
+        for &p in &pts {
+            assert!(hull_contains(&hull, p));
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Property-based tests for the geometry substrate.
+
+use perpetuum_geom::{
+    point::{centroid, closed_tour_length, polyline_length},
+    Aabb, Point2,
+};
+use proptest::prelude::*;
+
+fn finite_coord() -> impl Strategy<Value = f64> {
+    -1.0e4..1.0e4
+}
+
+fn point() -> impl Strategy<Value = Point2> {
+    (finite_coord(), finite_coord()).prop_map(|(x, y)| Point2::new(x, y))
+}
+
+proptest! {
+    #[test]
+    fn triangle_inequality(a in point(), b in point(), c in point()) {
+        prop_assert!(a.dist(c) <= a.dist(b) + b.dist(c) + 1e-9);
+    }
+
+    #[test]
+    fn distance_symmetry_and_nonnegativity(a in point(), b in point()) {
+        prop_assert!((a.dist(b) - b.dist(a)).abs() < 1e-12);
+        prop_assert!(a.dist(b) >= 0.0);
+    }
+
+    #[test]
+    fn identity_of_indiscernibles(a in point()) {
+        prop_assert_eq!(a.dist(a), 0.0);
+    }
+
+    #[test]
+    fn midpoint_halves_distance(a in point(), b in point()) {
+        let m = a.midpoint(b);
+        prop_assert!((a.dist(m) - a.dist(b) / 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn containing_box_contains_all(pts in prop::collection::vec(point(), 1..64)) {
+        let bb = Aabb::containing(&pts).unwrap();
+        for p in &pts {
+            prop_assert!(bb.contains(*p));
+        }
+        // Centroid also lies inside the box (convexity).
+        prop_assert!(bb.contains(centroid(&pts).unwrap()));
+    }
+
+    #[test]
+    fn closed_tour_at_least_polyline(pts in prop::collection::vec(point(), 2..32)) {
+        prop_assert!(closed_tour_length(&pts) + 1e-9 >= polyline_length(&pts));
+    }
+
+    #[test]
+    fn tour_length_invariant_under_rotation(pts in prop::collection::vec(point(), 3..16)) {
+        // Rotating the starting node of a closed tour never changes its length.
+        let base = closed_tour_length(&pts);
+        let mut rotated = pts.clone();
+        rotated.rotate_left(1);
+        prop_assert!((closed_tour_length(&rotated) - base).abs() < 1e-6);
+    }
+}

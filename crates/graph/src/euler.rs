@@ -1,0 +1,201 @@
+//! Euler circuits of undirected multigraphs (Hierholzer's algorithm).
+//!
+//! Algorithm 2 of the paper doubles the edges of each depot-rooted tree; the
+//! doubled tree is an Eulerian multigraph, and short-cutting its Euler
+//! circuit yields the 2-approximate closed tour. Lemma 3's proof also glues
+//! several closed tours through a shared depot into one Eulerian graph, so
+//! the implementation here handles arbitrary connected even-degree
+//! multigraphs, not just doubled trees.
+
+/// An Euler circuit of the multigraph given by `edges` (parallel edges are
+/// expressed by repeating them), starting and ending at `start`.
+///
+/// Returns the circuit as a node sequence `v_0 = start, v_1, …, v_m = start`
+/// with one entry per traversed edge plus the final return, or `None` when
+/// the graph has no Euler circuit from `start` (odd-degree node, edges
+/// disconnected from `start`, or `start` isolated while edges exist).
+///
+/// An empty edge set yields the trivial circuit `[start]`.
+pub fn euler_circuit(n: usize, edges: &[(usize, usize)], start: usize) -> Option<Vec<usize>> {
+    assert!(start < n, "start node out of bounds");
+    if edges.is_empty() {
+        return Some(vec![start]);
+    }
+
+    // Adjacency as (neighbor, edge id); `used` marks consumed edge ids.
+    let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+    for (id, &(u, v)) in edges.iter().enumerate() {
+        assert!(u < n && v < n, "edge endpoint out of bounds");
+        adj[u].push((v, id));
+        adj[v].push((u, id));
+    }
+    // Euler circuit requires all degrees even.
+    if adj.iter().any(|a| a.len() % 2 == 1) {
+        return None;
+    }
+    if adj[start].is_empty() {
+        return None; // edges exist but none reachable from start
+    }
+
+    let mut used = vec![false; edges.len()];
+    // next[v]: index into adj[v] of the next candidate edge (skip-consumed).
+    let mut next = vec![0usize; n];
+    let mut stack = vec![start];
+    let mut circuit = Vec::with_capacity(edges.len() + 1);
+
+    while let Some(&v) = stack.last() {
+        // Advance past used edges.
+        let mut advanced = false;
+        while next[v] < adj[v].len() {
+            let (to, id) = adj[v][next[v]];
+            if used[id] {
+                next[v] += 1;
+            } else {
+                used[id] = true;
+                next[v] += 1;
+                stack.push(to);
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            circuit.push(v);
+            stack.pop();
+        }
+    }
+
+    // All edges must be consumed, otherwise the graph was disconnected.
+    if used.iter().all(|&u| u) {
+        circuit.reverse();
+        Some(circuit)
+    } else {
+        None
+    }
+}
+
+/// Doubles every edge (the multigraph used by the tree-doubling step of
+/// Algorithm 2).
+pub fn double_edges(edges: &[(usize, usize)]) -> Vec<(usize, usize)> {
+    let mut out = Vec::with_capacity(edges.len() * 2);
+    for &e in edges {
+        out.push(e);
+        out.push(e);
+    }
+    out
+}
+
+/// Validates that `circuit` is an Euler circuit of `edges` starting at
+/// `start`: consecutive pairs consume each multigraph edge exactly once and
+/// the walk is closed.
+pub fn is_euler_circuit(edges: &[(usize, usize)], start: usize, circuit: &[usize]) -> bool {
+    if edges.is_empty() {
+        return circuit == [start];
+    }
+    if circuit.len() != edges.len() + 1
+        || circuit.first() != Some(&start)
+        || circuit.last() != Some(&start)
+    {
+        return false;
+    }
+    // Multiset of undirected edges.
+    let canon = |u: usize, v: usize| if u <= v { (u, v) } else { (v, u) };
+    let mut want: std::collections::HashMap<(usize, usize), isize> = std::collections::HashMap::new();
+    for &(u, v) in edges {
+        *want.entry(canon(u, v)).or_insert(0) += 1;
+    }
+    for w in circuit.windows(2) {
+        let e = canon(w[0], w[1]);
+        match want.get_mut(&e) {
+            Some(c) if *c > 0 => *c -= 1,
+            _ => return false,
+        }
+    }
+    want.values().all(|&c| c == 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph_trivial_circuit() {
+        let c = euler_circuit(3, &[], 1).unwrap();
+        assert_eq!(c, vec![1]);
+        assert!(is_euler_circuit(&[], 1, &c));
+    }
+
+    #[test]
+    fn doubled_path_has_circuit() {
+        // Path 0-1-2 doubled: 0-1,0-1,1-2,1-2.
+        let edges = double_edges(&[(0, 1), (1, 2)]);
+        let c = euler_circuit(3, &edges, 0).unwrap();
+        assert!(is_euler_circuit(&edges, 0, &c));
+        assert_eq!(c.len(), 5);
+    }
+
+    #[test]
+    fn doubled_star_has_circuit() {
+        let tree = [(0, 1), (0, 2), (0, 3), (0, 4)];
+        let edges = double_edges(&tree);
+        let c = euler_circuit(5, &edges, 0).unwrap();
+        assert!(is_euler_circuit(&edges, 0, &c));
+    }
+
+    #[test]
+    fn circuit_from_non_root_of_doubled_tree() {
+        let tree = [(0, 1), (1, 2), (2, 3)];
+        let edges = double_edges(&tree);
+        let c = euler_circuit(4, &edges, 2).unwrap();
+        assert!(is_euler_circuit(&edges, 2, &c));
+    }
+
+    #[test]
+    fn odd_degree_fails() {
+        // A single edge has two odd-degree endpoints.
+        assert!(euler_circuit(2, &[(0, 1)], 0).is_none());
+    }
+
+    #[test]
+    fn triangle_has_circuit() {
+        let edges = [(0, 1), (1, 2), (2, 0)];
+        let c = euler_circuit(3, &edges, 0).unwrap();
+        assert!(is_euler_circuit(&edges, 0, &c));
+    }
+
+    #[test]
+    fn two_triangles_sharing_node_glue() {
+        // The Lemma-3 construction: two closed tours through node 0.
+        let edges = [(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (4, 0)];
+        let c = euler_circuit(5, &edges, 0).unwrap();
+        assert!(is_euler_circuit(&edges, 0, &c));
+    }
+
+    #[test]
+    fn disconnected_edges_fail() {
+        // Triangle on 0,1,2 plus a disjoint triangle on 3,4,5.
+        let edges = [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)];
+        assert!(euler_circuit(6, &edges, 0).is_none());
+    }
+
+    #[test]
+    fn isolated_start_with_edges_fails() {
+        let edges = [(1, 2), (2, 3), (3, 1)];
+        assert!(euler_circuit(4, &edges, 0).is_none());
+    }
+
+    #[test]
+    fn self_loops_supported() {
+        // A self loop contributes 2 to the degree and is traversable.
+        let edges = [(0, 0), (0, 1), (1, 0)];
+        let c = euler_circuit(2, &edges, 0).unwrap();
+        assert!(is_euler_circuit(&edges, 0, &c));
+    }
+
+    #[test]
+    fn validator_rejects_wrong_walks() {
+        let edges = [(0, 1), (1, 2), (2, 0)];
+        assert!(!is_euler_circuit(&edges, 0, &[0, 1, 2])); // not closed
+        assert!(!is_euler_circuit(&edges, 0, &[0, 2, 1, 0, 0])); // wrong length/edges
+        assert!(!is_euler_circuit(&edges, 1, &[0, 1, 2, 0])); // wrong start
+    }
+}

@@ -1,0 +1,42 @@
+//! Graph machinery for the `perpetuum` workspace.
+//!
+//! The scheduling algorithms of the paper operate on *metric complete
+//! graphs*: every pair of nodes (sensors or depots) is joined by an edge
+//! weighted with their Euclidean distance. This crate implements, from
+//! scratch, everything the schedulers need on such graphs:
+//!
+//! * [`DistMatrix`] — a flat, dense, symmetric distance matrix,
+//! * [`dsu::DisjointSets`] — union–find with path halving and union by size,
+//! * [`mst`] — Prim's algorithm in `O(n²)` on dense matrices (the right
+//!   complexity class for complete graphs) and Kruskal on edge lists,
+//! * [`euler`] — Hierholzer's algorithm for Euler circuits of multigraphs
+//!   (used on doubled trees, the heart of the 2-approximation),
+//! * [`tour`] — closed tours, walk short-cutting and validation,
+//! * [`tsp_exact`] — Held–Karp dynamic programming for reference optima on
+//!   small instances,
+//! * [`tsp_heur`] — nearest-neighbour construction and 2-opt / Or-opt local
+//!   search used for tour polishing ablations,
+//! * [`matching`] — greedy + 2-swap minimum-weight perfect matching,
+//! * [`tsp_christofides`] — MST + odd-vertex-matching tour construction
+//!   (the routing ablation's alternative to tree doubling),
+//! * [`tsp_savings`] — Clarke–Wright savings construction (the classic
+//!   VRP route builder, a third routing variant),
+//! * [`one_tree`] — Held–Karp 1-tree lower bounds for certifying tour
+//!   quality beyond exact-solver reach.
+
+pub mod dsu;
+pub mod euler;
+pub mod matching;
+pub mod matrix;
+pub mod mst;
+pub mod one_tree;
+pub mod tour;
+pub mod tsp_christofides;
+pub mod tsp_savings;
+pub mod tsp_exact;
+pub mod tsp_heur;
+pub mod tsp_hilbert;
+
+pub use dsu::DisjointSets;
+pub use matrix::DistMatrix;
+pub use tour::Tour;

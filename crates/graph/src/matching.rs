@@ -1,0 +1,211 @@
+//! Minimum-weight perfect matching heuristics.
+//!
+//! Needed by the Christofides-style routing variant: after an MST is
+//! built, its odd-degree vertices must be matched at minimum weight. An
+//! exact solution needs Edmonds' blossom algorithm; this module provides a
+//! *greedy + local-improvement* matching instead — simple, `O(m² log m)`,
+//! and within a few percent of optimal on Euclidean instances. The
+//! consequence (documented in DESIGN.md) is that the 3/2 Christofides
+//! guarantee does not formally hold here; the routing still never loses
+//! to tree doubling in our ablation because both are polished by the same
+//! short-cutting.
+
+use crate::matrix::DistMatrix;
+
+/// A perfect matching over an even-sized node set, as `(u, v)` pairs.
+pub type Matching = Vec<(usize, usize)>;
+
+/// Greedy minimum-weight perfect matching over `nodes` (must be of even
+/// size): repeatedly match the globally closest unmatched pair, then
+/// improve with pair swaps until a local optimum.
+///
+/// # Panics
+/// Panics when `nodes.len()` is odd.
+pub fn greedy_min_matching(dist: &DistMatrix, nodes: &[usize]) -> Matching {
+    assert!(nodes.len().is_multiple_of(2), "perfect matching needs an even node count");
+    let m = nodes.len();
+    if m == 0 {
+        return Vec::new();
+    }
+
+    // All pairs sorted by weight.
+    let mut pairs: Vec<(usize, usize)> = Vec::with_capacity(m * (m - 1) / 2);
+    for a in 0..m {
+        for b in (a + 1)..m {
+            pairs.push((a, b));
+        }
+    }
+    pairs.sort_by(|&(a1, b1), &(a2, b2)| {
+        let w1 = dist.get(nodes[a1], nodes[b1]);
+        let w2 = dist.get(nodes[a2], nodes[b2]);
+        w1.partial_cmp(&w2).expect("distances must not be NaN")
+    });
+
+    let mut used = vec![false; m];
+    let mut matching: Vec<(usize, usize)> = Vec::with_capacity(m / 2);
+    for (a, b) in pairs {
+        if !used[a] && !used[b] {
+            used[a] = true;
+            used[b] = true;
+            matching.push((a, b));
+            if matching.len() == m / 2 {
+                break;
+            }
+        }
+    }
+
+    improve_matching(dist, nodes, &mut matching);
+    matching.into_iter().map(|(a, b)| (nodes[a], nodes[b])).collect()
+}
+
+/// 2-swap local search: for every pair of matched edges `(a,b)`, `(c,d)`,
+/// try the re-pairings `(a,c)+(b,d)` and `(a,d)+(b,c)`; keep the best.
+/// Runs to a local optimum.
+fn improve_matching(dist: &DistMatrix, nodes: &[usize], matching: &mut [(usize, usize)]) {
+    let w = |a: usize, b: usize| dist.get(nodes[a], nodes[b]);
+    loop {
+        let mut improved = false;
+        for i in 0..matching.len() {
+            for j in (i + 1)..matching.len() {
+                let (a, b) = matching[i];
+                let (c, d) = matching[j];
+                let cur = w(a, b) + w(c, d);
+                let alt1 = w(a, c) + w(b, d);
+                let alt2 = w(a, d) + w(b, c);
+                if alt1 + 1e-12 < cur && alt1 <= alt2 {
+                    matching[i] = (a, c);
+                    matching[j] = (b, d);
+                    improved = true;
+                } else if alt2 + 1e-12 < cur {
+                    matching[i] = (a, d);
+                    matching[j] = (b, c);
+                    improved = true;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+}
+
+/// Total weight of a matching.
+pub fn matching_weight(dist: &DistMatrix, matching: &Matching) -> f64 {
+    matching.iter().map(|&(u, v)| dist.get(u, v)).sum()
+}
+
+/// Exact minimum matching by exhaustive recursion — test oracle, `m ≤ 12`.
+pub fn exact_min_matching_weight(dist: &DistMatrix, nodes: &[usize]) -> f64 {
+    assert!(nodes.len().is_multiple_of(2) && nodes.len() <= 12);
+    fn rec(dist: &DistMatrix, remaining: &[usize]) -> f64 {
+        if remaining.is_empty() {
+            return 0.0;
+        }
+        let first = remaining[0];
+        let mut best = f64::INFINITY;
+        for &partner in &remaining[1..] {
+            let rest: Vec<usize> = remaining
+                .iter()
+                .copied()
+                .filter(|&x| x != first && x != partner)
+                .collect();
+            let w = dist.get(first, partner) + rec(dist, &rest);
+            best = best.min(w);
+        }
+        best
+    }
+    rec(dist, nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perpetuum_geom::Point2;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn empty_matching() {
+        let d = DistMatrix::zeros(0);
+        assert!(greedy_min_matching(&d, &[]).is_empty());
+    }
+
+    #[test]
+    fn single_pair() {
+        let d = DistMatrix::from_points(&[Point2::new(0.0, 0.0), Point2::new(1.0, 0.0)]);
+        let m = greedy_min_matching(&d, &[0, 1]);
+        assert_eq!(m, vec![(0, 1)]);
+        assert_eq!(matching_weight(&d, &m), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_count_rejected() {
+        let d = DistMatrix::zeros(3);
+        greedy_min_matching(&d, &[0, 1, 2]);
+    }
+
+    #[test]
+    fn matches_each_node_once() {
+        let pts: Vec<Point2> = (0..10)
+            .map(|i| Point2::new((i * 31 % 13) as f64 * 7.0, (i * 17 % 11) as f64 * 9.0))
+            .collect();
+        let d = DistMatrix::from_points(&pts);
+        let nodes: Vec<usize> = (0..10).collect();
+        let m = greedy_min_matching(&d, &nodes);
+        assert_eq!(m.len(), 5);
+        let mut seen = [false; 10];
+        for (u, v) in m {
+            assert!(!seen[u] && !seen[v]);
+            seen[u] = true;
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn near_optimal_on_random_instances() {
+        for seed in 0..8u64 {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let m = 2 * rng.gen_range(2..6);
+            let pts: Vec<Point2> = (0..m)
+                .map(|_| Point2::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)))
+                .collect();
+            let d = DistMatrix::from_points(&pts);
+            let nodes: Vec<usize> = (0..m).collect();
+            let greedy = matching_weight(&d, &greedy_min_matching(&d, &nodes));
+            let exact = exact_min_matching_weight(&d, &nodes);
+            assert!(greedy >= exact - 1e-9, "seed {seed}");
+            assert!(
+                greedy <= exact * 1.25 + 1e-9,
+                "seed {seed}: greedy {greedy} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn improvement_fixes_crossing_pairs() {
+        // Points where pure greedy picks (0,1) first and strands (2,3) far
+        // apart; the 2-swap must recover.
+        let pts = [
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(0.0, 10.0),
+            Point2::new(1.0, 10.0),
+        ];
+        let d = DistMatrix::from_points(&pts);
+        let m = greedy_min_matching(&d, &[0, 1, 2, 3]);
+        assert_eq!(matching_weight(&d, &m), 2.0);
+    }
+
+    #[test]
+    fn subset_matching_uses_host_ids() {
+        let pts = [
+            Point2::new(0.0, 0.0),
+            Point2::new(5.0, 5.0), // not in the matching
+            Point2::new(1.0, 0.0),
+        ];
+        let d = DistMatrix::from_points(&pts);
+        let m = greedy_min_matching(&d, &[0, 2]);
+        assert_eq!(m, vec![(0, 2)]);
+    }
+}

@@ -1,0 +1,185 @@
+//! Minimum spanning trees on dense and sparse graphs.
+
+use crate::dsu::DisjointSets;
+use crate::matrix::DistMatrix;
+
+/// An undirected tree edge `(u, v)`.
+pub type Edge = (usize, usize);
+
+/// Prim's algorithm on a dense distance matrix, `O(n²)` time and `O(n)`
+/// extra space — optimal for the complete metric graphs the schedulers use.
+///
+/// Returns the `n − 1` edges of an MST over all nodes of `dist` (empty for
+/// `n ≤ 1`). Node 0 is the implicit root.
+pub fn prim(dist: &DistMatrix) -> Vec<Edge> {
+    let n = dist.len();
+    if n <= 1 {
+        return Vec::new();
+    }
+    let mut in_tree = vec![false; n];
+    // best[v] = cheapest known connection cost of v to the growing tree,
+    // via node parent[v].
+    let mut best = vec![f64::INFINITY; n];
+    let mut parent = vec![usize::MAX; n];
+    let mut edges = Vec::with_capacity(n - 1);
+
+    in_tree[0] = true;
+    for (v, b) in best.iter_mut().enumerate().skip(1) {
+        *b = dist.get(0, v);
+        parent[v] = 0;
+    }
+
+    for _ in 1..n {
+        // Pick the cheapest fringe node.
+        let mut u = usize::MAX;
+        let mut bu = f64::INFINITY;
+        for v in 0..n {
+            if !in_tree[v] && best[v] < bu {
+                bu = best[v];
+                u = v;
+            }
+        }
+        // A complete graph with finite weights always yields a fringe node;
+        // guard anyway so non-finite inputs fail loudly.
+        assert!(u != usize::MAX, "graph is disconnected or has non-finite weights");
+        in_tree[u] = true;
+        edges.push((parent[u], u));
+        let row = dist.row(u);
+        for v in 0..n {
+            if !in_tree[v] && row[v] < best[v] {
+                best[v] = row[v];
+                parent[v] = u;
+            }
+        }
+    }
+    edges
+}
+
+/// Kruskal's algorithm over an explicit edge list `(u, v, w)` on `n` nodes.
+///
+/// Returns MST (or minimum spanning forest, if disconnected) edges. Used as
+/// a cross-check for [`prim`] and for sparse auxiliary graphs.
+pub fn kruskal(n: usize, edges: &[(usize, usize, f64)]) -> Vec<Edge> {
+    let mut order: Vec<usize> = (0..edges.len()).collect();
+    order.sort_by(|&a, &b| {
+        edges[a]
+            .2
+            .partial_cmp(&edges[b].2)
+            .expect("edge weights must not be NaN")
+    });
+    let mut dsu = DisjointSets::new(n);
+    let mut out = Vec::with_capacity(n.saturating_sub(1));
+    for idx in order {
+        let (u, v, _) = edges[idx];
+        if dsu.union(u, v) {
+            out.push((u, v));
+            if out.len() + 1 == n {
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Total weight of a set of edges under `dist`.
+pub fn tree_weight(dist: &DistMatrix, edges: &[Edge]) -> f64 {
+    edges.iter().map(|&(u, v)| dist.get(u, v)).sum()
+}
+
+/// Checks that `edges` form a spanning tree of the `n`-node graph:
+/// exactly `n − 1` edges, no cycles, all nodes connected.
+pub fn is_spanning_tree(n: usize, edges: &[Edge]) -> bool {
+    if n == 0 {
+        return edges.is_empty();
+    }
+    if edges.len() != n - 1 {
+        return false;
+    }
+    let mut dsu = DisjointSets::new(n);
+    for &(u, v) in edges {
+        if u >= n || v >= n || !dsu.union(u, v) {
+            return false;
+        }
+    }
+    dsu.set_count() == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perpetuum_geom::Point2;
+
+    fn line_points(n: usize) -> Vec<Point2> {
+        (0..n).map(|i| Point2::new(i as f64, 0.0)).collect()
+    }
+
+    #[test]
+    fn prim_on_line_is_chain() {
+        let pts = line_points(5);
+        let dist = DistMatrix::from_points(&pts);
+        let mst = prim(&dist);
+        assert!(is_spanning_tree(5, &mst));
+        assert_eq!(tree_weight(&dist, &mst), 4.0);
+    }
+
+    #[test]
+    fn prim_trivial_sizes() {
+        assert!(prim(&DistMatrix::zeros(0)).is_empty());
+        assert!(prim(&DistMatrix::zeros(1)).is_empty());
+        let dist = DistMatrix::from_points(&line_points(2));
+        let mst = prim(&dist);
+        assert_eq!(mst, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn prim_matches_kruskal_weight() {
+        // A deterministic, irregular point cloud.
+        let pts: Vec<Point2> = (0..20)
+            .map(|i| {
+                let i = i as f64;
+                Point2::new((i * 37.0) % 101.0, (i * i * 13.0) % 89.0)
+            })
+            .collect();
+        let dist = DistMatrix::from_points(&pts);
+        let p = prim(&dist);
+        let edges: Vec<(usize, usize, f64)> = (0..20)
+            .flat_map(|i| ((i + 1)..20).map(move |j| (i, j)))
+            .map(|(i, j)| (i, j, dist.get(i, j)))
+            .collect();
+        let k = kruskal(20, &edges);
+        assert!(is_spanning_tree(20, &p));
+        assert!(is_spanning_tree(20, &k));
+        assert!((tree_weight(&dist, &p) - tree_weight(&dist, &k)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kruskal_disconnected_gives_forest() {
+        // Two components: {0,1} and {2,3}, no cross edges.
+        let edges = [(0, 1, 1.0), (2, 3, 2.0)];
+        let f = kruskal(4, &edges);
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn mst_weight_is_minimal_on_square() {
+        // Unit square: MST weight is 3 (three sides), never includes the
+        // diagonal.
+        let pts = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(0.0, 1.0),
+        ];
+        let dist = DistMatrix::from_points(&pts);
+        let mst = prim(&dist);
+        assert!((tree_weight(&dist, &mst) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn is_spanning_tree_rejects_cycles_and_wrong_counts() {
+        assert!(!is_spanning_tree(3, &[(0, 1)]));
+        assert!(!is_spanning_tree(3, &[(0, 1), (1, 0)]));
+        assert!(is_spanning_tree(3, &[(0, 1), (1, 2)]));
+        assert!(!is_spanning_tree(4, &[(0, 1), (1, 2), (0, 2)]));
+    }
+}

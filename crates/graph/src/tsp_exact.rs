@@ -1,0 +1,190 @@
+//! Exact TSP via Held–Karp dynamic programming.
+//!
+//! Used as the reference optimum in tests and benches that validate the
+//! 2-approximation of Algorithm 2 and the lower-bound reasoning of Lemma 3.
+//! `O(n² 2ⁿ)` — intended for `n ≤ 20`.
+
+use crate::matrix::DistMatrix;
+use crate::tour::Tour;
+
+/// Hard cap on instance size: `2^20` subsets × 20 nodes ≈ 170 MB of `f32`
+/// would already hurt; 20 nodes of `f64` is ~168 MB — we cap below that.
+pub const HELD_KARP_MAX_NODES: usize = 18;
+
+/// Solves TSP exactly over all nodes of `dist`, returning the optimal
+/// closed tour starting at node 0 and its length.
+///
+/// # Panics
+/// Panics when `dist.len() > HELD_KARP_MAX_NODES`.
+pub fn held_karp(dist: &DistMatrix) -> (Tour, f64) {
+    let n = dist.len();
+    assert!(
+        n <= HELD_KARP_MAX_NODES,
+        "Held–Karp limited to {HELD_KARP_MAX_NODES} nodes, got {n}"
+    );
+    match n {
+        0 => return (Tour::new(vec![]), 0.0),
+        1 => return (Tour::singleton(0), 0.0),
+        2 => return (Tour::new(vec![0, 1]), 2.0 * dist.get(0, 1)),
+        _ => {}
+    }
+
+    // dp[mask][v]: cheapest path from node 0 visiting exactly the nodes of
+    // `mask` (which always contains 0 and v) and ending at v.
+    let full: usize = (1 << n) - 1;
+    let mut dp = vec![f64::INFINITY; (full + 1) * n];
+    let mut parent = vec![usize::MAX; (full + 1) * n];
+    dp[n] = 0.0; // mask {0} (= 1 << 0), ending at node 0
+
+    for mask in 1..=full {
+        if mask & 1 == 0 {
+            continue; // paths always start at node 0
+        }
+        for last in 0..n {
+            if mask & (1 << last) == 0 {
+                continue;
+            }
+            let cur = dp[mask * n + last];
+            if !cur.is_finite() {
+                continue;
+            }
+            let row = dist.row(last);
+            for nxt in 1..n {
+                if mask & (1 << nxt) != 0 {
+                    continue;
+                }
+                let nmask = mask | (1 << nxt);
+                let cand = cur + row[nxt];
+                if cand < dp[nmask * n + nxt] {
+                    dp[nmask * n + nxt] = cand;
+                    parent[nmask * n + nxt] = last;
+                }
+            }
+        }
+    }
+
+    // Close the tour back to node 0.
+    let mut best = f64::INFINITY;
+    let mut best_last = usize::MAX;
+    for last in 1..n {
+        let cand = dp[full * n + last] + dist.get(last, 0);
+        if cand < best {
+            best = cand;
+            best_last = last;
+        }
+    }
+
+    // Reconstruct.
+    let mut order = Vec::with_capacity(n);
+    let mut mask = full;
+    let mut v = best_last;
+    while v != usize::MAX && v != 0 {
+        order.push(v);
+        let p = parent[mask * n + v];
+        mask &= !(1 << v);
+        v = p;
+    }
+    order.push(0);
+    order.reverse();
+    (Tour::new(order), best)
+}
+
+/// Brute-force TSP by permutation enumeration (`n ≤ 10`), for testing the
+/// Held–Karp implementation itself.
+pub fn brute_force(dist: &DistMatrix) -> f64 {
+    let n = dist.len();
+    assert!(n <= 10, "brute force limited to 10 nodes");
+    if n < 2 {
+        return 0.0;
+    }
+    let mut perm: Vec<usize> = (1..n).collect();
+    let mut best = f64::INFINITY;
+    permute(&mut perm, 0, &mut |p| {
+        let mut len = dist.get(0, p[0]);
+        for w in p.windows(2) {
+            len += dist.get(w[0], w[1]);
+        }
+        len += dist.get(p[p.len() - 1], 0);
+        if len < best {
+            best = len;
+        }
+    });
+    best
+}
+
+fn permute(arr: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
+    if k == arr.len() {
+        f(arr);
+        return;
+    }
+    for i in k..arr.len() {
+        arr.swap(k, i);
+        permute(arr, k + 1, f);
+        arr.swap(k, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perpetuum_geom::Point2;
+
+    #[test]
+    fn trivial_sizes() {
+        assert_eq!(held_karp(&DistMatrix::zeros(0)).1, 0.0);
+        assert_eq!(held_karp(&DistMatrix::zeros(1)).1, 0.0);
+        let d = DistMatrix::from_points(&[Point2::new(0.0, 0.0), Point2::new(3.0, 4.0)]);
+        let (t, len) = held_karp(&d);
+        assert_eq!(len, 10.0);
+        assert_eq!(t.nodes(), &[0, 1]);
+    }
+
+    #[test]
+    fn square_optimum_is_perimeter() {
+        let d = DistMatrix::from_points(&[
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(0.0, 1.0),
+        ]);
+        let (t, len) = held_karp(&d);
+        assert!((len - 4.0).abs() < 1e-12);
+        assert!((t.length(&d) - len).abs() < 1e-12);
+        assert_eq!(t.start(), Some(0));
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_clouds() {
+        for seed in 0..5u64 {
+            let pts: Vec<Point2> = (0..8)
+                .map(|i| {
+                    let h = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(i * 0x12345);
+                    Point2::new((h % 1000) as f64, ((h >> 13) % 1000) as f64)
+                })
+                .collect();
+            let d = DistMatrix::from_points(&pts);
+            let (t, hk) = held_karp(&d);
+            let bf = brute_force(&d);
+            assert!((hk - bf).abs() < 1e-9, "seed {seed}: hk={hk} bf={bf}");
+            assert!((t.length(&d) - hk).abs() < 1e-9);
+            // Tour covers every node exactly once.
+            let mut nodes: Vec<usize> = t.nodes().to_vec();
+            nodes.sort_unstable();
+            assert_eq!(nodes, (0..8).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn collinear_points_tour_is_twice_span() {
+        let pts: Vec<Point2> = (0..6).map(|i| Point2::new(i as f64, 0.0)).collect();
+        let d = DistMatrix::from_points(&pts);
+        let (_, len) = held_karp(&d);
+        assert!((len - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "Held–Karp limited")]
+    fn rejects_oversize() {
+        held_karp(&DistMatrix::zeros(HELD_KARP_MAX_NODES + 1));
+    }
+}

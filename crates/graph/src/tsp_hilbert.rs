@@ -1,0 +1,198 @@
+//! Hilbert space-filling-curve tour construction.
+//!
+//! Sort the points by their position along a Hilbert curve over the
+//! bounding box and visit them in that order. `O(n log n)`, no distance
+//! matrix needed, and asymptotically within a constant factor of optimal
+//! for uniform points — the constructor of choice when `n` is far beyond
+//! what matrix-based methods can hold. Included as a scalability
+//! reference point for the routing ablation.
+
+use crate::matrix::DistMatrix;
+use crate::tour::Tour;
+use perpetuum_geom::{Aabb, Point2};
+
+/// Curve resolution: coordinates are quantised to `2^ORDER` cells per
+/// axis. 16 gives a 65536² grid — far below a metre for any field this
+/// workspace simulates.
+const ORDER: u32 = 16;
+
+/// Maps a cell coordinate `(x, y)` (each `< 2^ORDER`) to its index along
+/// the Hilbert curve of order `ORDER` (16).
+pub fn hilbert_d(mut x: u32, mut y: u32) -> u64 {
+    let n: u32 = 1 << ORDER;
+    let mut d: u64 = 0;
+    let mut s: u32 = n / 2;
+    while s > 0 {
+        let rx = u32::from((x & s) > 0);
+        let ry = u32::from((y & s) > 0);
+        d += (s as u64) * (s as u64) * ((3 * rx) ^ ry) as u64;
+        // Rotate the quadrant (standard xy2d rotation, reflecting in the
+        // full n × n grid).
+        if ry == 0 {
+            if rx == 1 {
+                x = n - 1 - x;
+                y = n - 1 - y;
+            }
+            std::mem::swap(&mut x, &mut y);
+        }
+        s /= 2;
+    }
+    d
+}
+
+/// Hilbert index of a point within `bounds`.
+fn hilbert_index(p: Point2, bounds: &Aabb) -> u64 {
+    let side = (1u32 << ORDER) as f64;
+    let w = bounds.width().max(f64::MIN_POSITIVE);
+    let h = bounds.height().max(f64::MIN_POSITIVE);
+    let x = (((p.x - bounds.min.x) / w) * (side - 1.0)).round() as u32;
+    let y = (((p.y - bounds.min.y) / h) * (side - 1.0)).round() as u32;
+    hilbert_d(x.min((1 << ORDER) - 1), y.min((1 << ORDER) - 1))
+}
+
+/// Closed tour over `customers` (indices into `points`) starting at
+/// `start` (also an index into `points`), visiting the customers in
+/// Hilbert-curve order beginning at the curve position nearest after the
+/// start point.
+pub fn hilbert_tour(points: &[Point2], start: usize, customers: &[usize]) -> Tour {
+    if customers.is_empty() {
+        return Tour::singleton(start);
+    }
+    let all: Vec<Point2> = customers
+        .iter()
+        .map(|&c| points[c])
+        .chain(std::iter::once(points[start]))
+        .collect();
+    let bounds = Aabb::containing(&all).expect("non-empty");
+
+    let mut keyed: Vec<(u64, usize)> = customers
+        .iter()
+        .map(|&c| (hilbert_index(points[c], &bounds), c))
+        .collect();
+    keyed.sort_unstable();
+
+    // Rotate so the tour leaves the depot toward the nearest curve
+    // position ≥ the depot's own index (keeps the first hop short).
+    let start_key = hilbert_index(points[start], &bounds);
+    let pivot = keyed.partition_point(|&(k, _)| k < start_key);
+    let mut order = Vec::with_capacity(customers.len() + 1);
+    order.push(start);
+    order.extend(keyed[pivot..].iter().map(|&(_, c)| c));
+    order.extend(keyed[..pivot].iter().map(|&(_, c)| c));
+    Tour::new(order)
+}
+
+/// [`hilbert_tour`] over all nodes of a [`DistMatrix`]-backed point set —
+/// convenience for benchmarks comparing constructors.
+pub fn hilbert_tour_all(points: &[Point2], start: usize) -> Tour {
+    let customers: Vec<usize> = (0..points.len()).filter(|&i| i != start).collect();
+    hilbert_tour(points, start, &customers)
+}
+
+/// Helper for tests: tour length via an on-the-fly matrix.
+pub fn tour_length_points(points: &[Point2], tour: &Tour) -> f64 {
+    let dist = DistMatrix::from_points(points);
+    tour.length(&dist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::one_tree::one_tree_lower_bound;
+    use crate::tsp_heur::nearest_neighbor;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point2> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point2::new(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0)))
+            .collect()
+    }
+
+    #[test]
+    fn hilbert_d_first_cells() {
+        // Curve locality: the four unit cells at the origin are exactly
+        // the first four curve positions, starting at (0,0), and
+        // consecutive positions are grid neighbours.
+        let cells = [(0u32, 0u32), (0, 1), (1, 1), (1, 0)];
+        let mut by_d: Vec<((u32, u32), u64)> =
+            cells.iter().map(|&(x, y)| ((x, y), hilbert_d(x, y))).collect();
+        by_d.sort_by_key(|&(_, d)| d);
+        let ds: Vec<u64> = by_d.iter().map(|&(_, d)| d).collect();
+        assert_eq!(ds, vec![0, 1, 2, 3]);
+        assert_eq!(by_d[0].0, (0, 0));
+        for w in by_d.windows(2) {
+            let (a, b) = (w[0].0, w[1].0);
+            let manhattan = a.0.abs_diff(b.0) + a.1.abs_diff(b.1);
+            assert_eq!(manhattan, 1, "curve jump between {a:?} and {b:?}");
+        }
+    }
+
+    #[test]
+    fn hilbert_is_a_bijection_on_a_small_grid() {
+        // All 16x16 cells map to distinct indices in [0, 256).
+        let mut seen = std::collections::HashSet::new();
+        let scale = (1u32 << ORDER) / 16;
+        for x in 0..16u32 {
+            for y in 0..16u32 {
+                let d = hilbert_d(x * scale, y * scale);
+                assert!(seen.insert(d), "collision at ({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn tour_covers_everything_once() {
+        let pts = random_points(40, 1);
+        let customers: Vec<usize> = (1..40).collect();
+        let t = hilbert_tour(&pts, 0, &customers);
+        assert_eq!(t.start(), Some(0));
+        let mut nodes: Vec<usize> = t.nodes().to_vec();
+        nodes.sort_unstable();
+        assert_eq!(nodes, (0..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn within_small_factor_of_one_tree_bound() {
+        for seed in 0..5u64 {
+            let pts = random_points(50, seed + 10);
+            let t = hilbert_tour_all(&pts, 0);
+            let len = tour_length_points(&pts, &t);
+            let d = DistMatrix::from_points(&pts);
+            let lb = one_tree_lower_bound(&d);
+            assert!(len >= lb - 1e-9);
+            assert!(
+                len <= 2.2 * lb,
+                "seed {seed}: hilbert {len} vs 1-tree bound {lb}"
+            );
+        }
+    }
+
+    #[test]
+    fn competitive_with_nearest_neighbor_on_uniform_points() {
+        let mut hilbert_total = 0.0;
+        let mut nn_total = 0.0;
+        for seed in 20..26u64 {
+            let pts = random_points(120, seed);
+            let d = DistMatrix::from_points(&pts);
+            hilbert_total += hilbert_tour_all(&pts, 0).length(&d);
+            nn_total += nearest_neighbor(&d, 0).length(&d);
+        }
+        // Hilbert has no pathological last-hop like NN; on uniform points
+        // they land in the same league (within 35% of each other).
+        let ratio = hilbert_total / nn_total;
+        assert!((0.65..=1.35).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let pts = random_points(3, 9);
+        assert_eq!(hilbert_tour(&pts, 1, &[]).nodes(), &[1]);
+        let t = hilbert_tour(&pts, 0, &[2]);
+        assert_eq!(t.nodes(), &[0, 2]);
+        // All points identical: still a valid permutation.
+        let same = vec![Point2::new(5.0, 5.0); 4];
+        let t = hilbert_tour(&same, 0, &[1, 2, 3]);
+        assert_eq!(t.len(), 4);
+    }
+}

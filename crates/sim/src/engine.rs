@@ -1,0 +1,569 @@
+//! The simulation engine.
+//!
+//! Time advances through a merged stream of three event kinds:
+//!
+//! 1. **slot boundaries** (`t = m·ΔT`) — every sensor's rate process is
+//!    resampled, predictors observe the new rate (sensors monitor their
+//!    energy far more often than `ΔT`, Section VI.A), and the policy may
+//!    replace its pending plan;
+//! 2. **policy checks** (`t = m·tick`, only for polling policies) — the
+//!    policy may trigger an immediate dispatch;
+//! 3. **dispatches** — the next pending scheduling of the active plan is
+//!    executed: its tour costs are charged to the service-cost meter and
+//!    every covered sensor is recharged to full, instantaneously (the
+//!    paper ignores charging and travel time, Section III.A).
+//!
+//! Between events, batteries drain linearly at the current rates; a sensor
+//! whose level would cross zero inside a segment dies at the analytically
+//! interpolated instant (and stays at zero until recharged).
+//!
+//! # Travel-time mode
+//!
+//! Setting [`SimConfig::charger_speed`] replaces the instant-charge model
+//! with physical chargers: each sensor on a tour is charged when the
+//! vehicle *reaches* it (dispatch time + prefix distance / speed, delayed
+//! further if the charger is still out on a previous tour). The paper
+//! argues its zero-duration model is valid because a charging task is
+//! "several orders of magnitude" shorter than sensor lifetimes; this mode
+//! lets the `speed` extension experiment measure exactly where that
+//! argument breaks (deaths appear as speed drops).
+
+use crate::metrics::{DeathEvent, SimResult};
+use crate::policy::{ChargingPolicy, Observation, PlanUpdate};
+use crate::trace::{SimTrace, TraceEvent};
+use crate::world::World;
+use perpetuum_core::schedule::{ScheduleSeries, TourSet};
+use perpetuum_energy::EwmaPredictor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A pending in-transit charge (travel-time mode): the charger reaches
+/// `sensor` at `time`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct ChargeArrival {
+    time: f64,
+    sensor: usize,
+    dispatched_at: f64,
+}
+
+impl Eq for ChargeArrival {}
+
+impl PartialOrd for ChargeArrival {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ChargeArrival {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then(self.sensor.cmp(&other.sensor))
+    }
+}
+
+/// Engine parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Monitoring period `T`.
+    pub horizon: f64,
+    /// Slot length `ΔT` (rates are constant within a slot).
+    pub slot: f64,
+    /// Seed for the rate-resampling stream.
+    pub seed: u64,
+    /// Charger travel speed in distance units per time unit. `None` (the
+    /// paper's model) charges every toured sensor instantaneously at the
+    /// dispatch time.
+    pub charger_speed: Option<f64>,
+}
+
+impl SimConfig {
+    /// The paper's defaults: `T = 1000`, `ΔT = 10`, instant charging.
+    pub fn paper_default(seed: u64) -> Self {
+        Self { horizon: 1000.0, slot: 10.0, seed, charger_speed: None }
+    }
+}
+
+/// Runs `policy` against `world` and returns the measured results.
+///
+/// The world is consumed (batteries and rate processes are stateful).
+pub fn run<P: ChargingPolicy>(world: World, cfg: &SimConfig, policy: &mut P) -> SimResult {
+    run_inner(world, cfg, policy, None)
+}
+
+/// Like [`run`], additionally recording every simulation event.
+pub fn run_traced<P: ChargingPolicy>(
+    world: World,
+    cfg: &SimConfig,
+    policy: &mut P,
+) -> (SimResult, SimTrace) {
+    let mut trace = SimTrace::default();
+    let result = run_inner(world, cfg, policy, Some(&mut trace));
+    (result, trace)
+}
+
+fn run_inner<P: ChargingPolicy>(
+    mut world: World,
+    cfg: &SimConfig,
+    policy: &mut P,
+    mut trace: Option<&mut SimTrace>,
+) -> SimResult {
+    assert!(cfg.horizon > 0.0, "horizon must be positive");
+    assert!(cfg.slot > 0.0, "slot must be positive");
+    let n = world.n();
+    let q = world.q();
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut result = SimResult {
+        per_charger_distance: vec![0.0; q],
+        charge_log: vec![Vec::new(); n],
+        ..Default::default()
+    };
+
+    // Slot 0: initial rates; predictors start at the observed (possibly
+    // noisy) rate. Energy always drains at the true rate; what sensors
+    // *report* — and therefore everything the policies see — carries the
+    // world's measurement noise.
+    let noise = world.measurement_noise;
+    let mut measure = {
+        let mut noise_rng = StdRng::seed_from_u64(cfg.seed ^ 0x9E37_79B9_7F4A_7C15);
+        move |true_rate: f64| -> f64 {
+            if noise == 0.0 {
+                true_rate
+            } else {
+                use rand::Rng;
+                true_rate * (1.0 + noise_rng.gen_range(-noise..=noise))
+            }
+        }
+    };
+    let mut rates: Vec<f64> = world
+        .processes
+        .iter_mut()
+        .map(|p| p.rate_for_slot(0, &mut rng))
+        .collect();
+    let mut reported: Vec<f64> = rates.iter().map(|&r| measure(r)).collect();
+    let mut predictors: Vec<EwmaPredictor> = reported
+        .iter()
+        .map(|&r| EwmaPredictor::new(world.gamma, r))
+        .collect();
+    let mut capacities = world.capacities();
+
+    let mut plan = ScheduleSeries::new();
+    let mut dptr = 0usize; // next pending dispatch in `plan`
+    // Death bookkeeping lives here, not in `Battery`: a battery at exactly
+    // zero at a charging instant is *alive* (the paper allows charge gaps
+    // equal to the cycle), so death means strictly crossing zero between
+    // charges.
+    let mut dead = vec![false; n];
+    // Travel-time mode state: in-transit charges and per-charger return
+    // times.
+    let mut arrivals: BinaryHeap<Reverse<ChargeArrival>> = BinaryHeap::new();
+    let mut busy_until = vec![0.0f64; q];
+    if let Some(speed) = cfg.charger_speed {
+        assert!(speed > 0.0, "charger speed must be positive");
+    }
+
+    // Scratch buffers refreshed before each policy call.
+    let mut levels: Vec<f64> = world.batteries.iter().map(|b| b.level()).collect();
+    let mut rho_hat: Vec<f64> = predictors.iter().map(|p| p.predicted_rate()).collect();
+
+    macro_rules! observation {
+        ($t:expr) => {{
+            for (i, b) in world.batteries.iter().enumerate() {
+                levels[i] = b.level();
+                capacities[i] = b.capacity(); // batteries may age
+            }
+            for (i, p) in predictors.iter().enumerate() {
+                rho_hat[i] = p.predicted_rate();
+            }
+            Observation {
+                time: $t,
+                horizon: cfg.horizon,
+                levels: &levels,
+                rho_hat: &rho_hat,
+                rho_now: &reported,
+                capacities: &capacities,
+            }
+        }};
+    }
+
+    macro_rules! apply_update {
+        ($upd:expr, $t:expr) => {
+            match $upd {
+                PlanUpdate::Keep => {}
+                PlanUpdate::Replace(series) => {
+                    debug_assert!(series
+                        .dispatches()
+                        .iter()
+                        .all(|d| d.time >= $t - 1e-9));
+                    if let Some(tr) = trace.as_deref_mut() {
+                        tr.events.push(TraceEvent::PlanReplaced {
+                            time: $t,
+                            pending: series.dispatch_count(),
+                        });
+                    }
+                    plan = series;
+                    dptr = 0;
+                }
+            }
+        };
+    }
+
+    // t = 0: initial plan.
+    {
+        let obs = observation!(0.0);
+        let upd = policy.initialize(&obs);
+        apply_update!(upd, 0.0);
+    }
+
+    let tick = policy.check_interval();
+    let mut next_check = tick;
+    let mut slot_idx: u64 = 1;
+    let mut next_slot = cfg.slot;
+    let mut t = 0.0f64;
+
+    // Immediate dispatches a polling policy can trigger at t = 0 are not a
+    // thing in the paper's model (all sensors start full), so checks start
+    // at the first tick.
+
+    loop {
+        // Next event time.
+        let mut tn = cfg.horizon;
+        if next_slot < tn {
+            tn = next_slot;
+        }
+        if let Some(c) = next_check {
+            if c < tn {
+                tn = c;
+            }
+        }
+        if let Some(d) = plan.dispatches().get(dptr) {
+            if d.time < tn {
+                tn = d.time;
+            }
+        }
+        if let Some(Reverse(a)) = arrivals.peek() {
+            if a.time < tn {
+                tn = a.time;
+            }
+        }
+
+        // Drain across [t, tn).
+        let dt = tn - t;
+        if dt > 0.0 {
+            for (i, b) in world.batteries.iter_mut().enumerate() {
+                if dead[i] {
+                    continue;
+                }
+                // Strict crossing (with float slack): draining exactly to
+                // zero at a boundary is survivable if a charge lands there.
+                if rates[i] * dt > b.level() + 1e-9 {
+                    dead[i] = true;
+                    let when = t + b.lifetime_at(rates[i]);
+                    if let Some(tr) = trace.as_deref_mut() {
+                        tr.events.push(TraceEvent::Death { time: when, sensor: i });
+                    }
+                    result.deaths.push(DeathEvent { sensor: i, time: when });
+                }
+                b.drain(rates[i], dt);
+            }
+        }
+        t = tn;
+        if t >= cfg.horizon {
+            break;
+        }
+
+        // Events at time t: in-transit arrivals land first, then slot,
+        // check and dispatch processing.
+        while let Some(Reverse(a)) = arrivals.peek() {
+            if a.time > t {
+                break;
+            }
+            let a = arrivals.pop().expect("peeked").0;
+            world.batteries[a.sensor].charge_full();
+            dead[a.sensor] = false;
+            result.charges += 1;
+            result.charge_log[a.sensor].push(a.time);
+            if let Some(tr) = trace.as_deref_mut() {
+                tr.events.push(TraceEvent::Charge { time: a.time, sensor: a.sensor });
+            }
+            let delay = a.time - a.dispatched_at;
+            result.total_charge_delay += delay;
+            result.max_charge_delay = result.max_charge_delay.max(delay);
+        }
+
+        if t == next_slot {
+            for (i, p) in world.processes.iter_mut().enumerate() {
+                let r = p.rate_for_slot(slot_idx, &mut rng);
+                rates[i] = r;
+                reported[i] = measure(r);
+                predictors[i].observe(reported[i]);
+            }
+            if let Some(tr) = trace.as_deref_mut() {
+                tr.events.push(TraceEvent::SlotBoundary { time: t, slot: slot_idx });
+            }
+            slot_idx += 1;
+            next_slot = slot_idx as f64 * cfg.slot;
+            let obs = observation!(t);
+            let upd = policy.on_slot_boundary(&obs);
+            apply_update!(upd, t);
+            // Polling policies also get a check right after rates change,
+            // so a slot boundary that falls between two ticks cannot hide
+            // a rate spike for most of a tick.
+            if tick.is_some() && Some(t) != next_check {
+                let obs = observation!(t);
+                if let Some(set) = policy.on_check(&obs) {
+                    execute(
+                        &set,
+                        t,
+                        &mut world,
+                        &mut result,
+                        &mut dead,
+                        n,
+                        cfg.charger_speed,
+                        &mut arrivals,
+                        &mut busy_until,
+                        trace.as_deref_mut(),
+                    );
+                }
+            }
+        }
+
+        if Some(t) == next_check {
+            let obs = observation!(t);
+            if let Some(set) = policy.on_check(&obs) {
+                execute(
+                    &set,
+                    t,
+                    &mut world,
+                    &mut result,
+                    &mut dead,
+                    n,
+                    cfg.charger_speed,
+                    &mut arrivals,
+                    &mut busy_until,
+                    trace.as_deref_mut(),
+                );
+            }
+            next_check = tick.map(|k| t + k);
+        }
+
+        while let Some(d) = plan.dispatches().get(dptr) {
+            if d.time > t {
+                break;
+            }
+            let set = plan.set_of(d).clone();
+            execute(
+                &set,
+                t,
+                &mut world,
+                &mut result,
+                &mut dead,
+                n,
+                cfg.charger_speed,
+                &mut arrivals,
+                &mut busy_until,
+                trace.as_deref_mut(),
+            );
+            dptr += 1;
+        }
+    }
+
+    result
+}
+
+/// Executes one charging scheduling at time `t`. With a charger speed,
+/// sensors are charged when the vehicle reaches them (and a charger still
+/// out on a previous tour departs only after returning); without one, all
+/// covered sensors are charged instantaneously (the paper's model).
+#[allow(clippy::too_many_arguments)]
+fn execute(
+    set: &TourSet,
+    t: f64,
+    world: &mut World,
+    result: &mut SimResult,
+    dead: &mut [bool],
+    n: usize,
+    charger_speed: Option<f64>,
+    arrivals: &mut BinaryHeap<Reverse<ChargeArrival>>,
+    busy_until: &mut [f64],
+    mut trace: Option<&mut SimTrace>,
+) {
+    if let Some(tr) = trace.as_deref_mut() {
+        tr.events.push(TraceEvent::Dispatch {
+            time: t,
+            sensors: set.sensors().len(),
+            cost: set.cost(),
+        });
+    }
+    result.service_cost += set.cost();
+    result.dispatches += 1;
+    result.max_dispatch_cost = result.max_dispatch_cost.max(set.cost());
+    let dist = world.network.dist();
+    for (l, tour) in set.tours().iter().enumerate() {
+        let len = tour.length(dist);
+        result.per_charger_distance[l] += len;
+        result.max_tour_length = result.max_tour_length.max(len);
+        if let Some(speed) = charger_speed {
+            if tour.len() < 2 {
+                continue;
+            }
+            let depart = t.max(busy_until[l]);
+            let nodes = tour.nodes();
+            let mut prefix = 0.0;
+            for w in nodes.windows(2) {
+                prefix += dist.get(w[0], w[1]);
+                let sensor = w[1];
+                debug_assert!(sensor < n, "tours visit the depot only first");
+                arrivals.push(Reverse(ChargeArrival {
+                    time: depart + prefix / speed,
+                    sensor,
+                    dispatched_at: t,
+                }));
+            }
+            busy_until[l] = depart + len / speed;
+        }
+    }
+    if charger_speed.is_none() {
+        for &node in set.sensors() {
+            debug_assert!(node < n, "tour sets must only list sensor nodes");
+            world.batteries[node].charge_full();
+            dead[node] = false;
+            result.charges += 1;
+            result.charge_log[node].push(t);
+            if let Some(tr) = trace.as_deref_mut() {
+                tr.events.push(TraceEvent::Charge { time: t, sensor: node });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{GreedyPolicy, MtdPolicy};
+    use perpetuum_core::network::Network;
+    use perpetuum_geom::Point2;
+
+    fn line_network(n: usize) -> Network {
+        let sensors: Vec<Point2> = (0..n)
+            .map(|i| Point2::new((i + 1) as f64 * 10.0, 0.0))
+            .collect();
+        Network::new(sensors, vec![Point2::ORIGIN])
+    }
+
+    #[test]
+    fn mtd_keeps_fixed_world_alive() {
+        let network = line_network(4);
+        let cycles = [1.0, 2.0, 3.5, 8.0];
+        let world = World::fixed(network.clone(), &cycles);
+        let mut policy = MtdPolicy::new(&network);
+        let cfg = SimConfig { horizon: 50.0, slot: 10.0, seed: 1, charger_speed: None };
+        let r = run(world, &cfg, &mut policy);
+        assert!(r.is_perpetual(), "deaths: {:?}", r.deaths);
+        assert!(r.service_cost > 0.0);
+        assert!(r.dispatches > 0);
+        // Executed charges replay as a feasible series.
+        perpetuum_core::feasibility::check_with(&cycles, 50.0, |i| r.charge_log[i].clone())
+            .unwrap();
+    }
+
+    #[test]
+    fn greedy_keeps_fixed_world_alive() {
+        let network = line_network(5);
+        let cycles = [1.0, 2.0, 2.7, 6.0, 11.0];
+        let world = World::fixed(network.clone(), &cycles);
+        let mut policy = GreedyPolicy::new(&network, 1.0);
+        let cfg = SimConfig { horizon: 60.0, slot: 10.0, seed: 2, charger_speed: None };
+        let r = run(world, &cfg, &mut policy);
+        assert!(r.is_perpetual(), "deaths: {:?}", r.deaths);
+        perpetuum_core::feasibility::check_with(&cycles, 60.0, |i| r.charge_log[i].clone())
+            .unwrap();
+    }
+
+    #[test]
+    fn sim_greedy_matches_offline_greedy_plan() {
+        // Under fixed rates the EWMA prediction is exact, so the online
+        // greedy must reproduce the deterministic offline unrolling.
+        let network = line_network(6);
+        let cycles = [1.0, 2.0, 3.0, 5.0, 8.0, 13.0];
+        let horizon = 40.0;
+        let world = World::fixed(network.clone(), &cycles);
+        let mut policy = GreedyPolicy::new(&network, 1.0);
+        let cfg = SimConfig { horizon, slot: 10.0, seed: 3, charger_speed: None };
+        let r = run(world, &cfg, &mut policy);
+
+        let inst = perpetuum_core::network::Instance::new(
+            network.clone(),
+            cycles.to_vec(),
+            horizon,
+        );
+        let offline = perpetuum_core::greedy::plan_greedy_fixed(
+            &inst,
+            &perpetuum_core::greedy::GreedyConfig::paper_default(1.0),
+        );
+        assert!((r.service_cost - offline.service_cost()).abs() < 1e-6);
+        for i in 0..6 {
+            assert_eq!(r.charge_log[i], offline.charge_times(i), "sensor {i}");
+        }
+    }
+
+    #[test]
+    fn sim_mtd_matches_offline_plan_cost() {
+        let network = line_network(5);
+        let cycles = [1.0, 1.5, 4.0, 9.0, 30.0];
+        let horizon = 64.0;
+        let world = World::fixed(network.clone(), &cycles);
+        let mut policy = MtdPolicy::new(&network);
+        let cfg = SimConfig { horizon, slot: 10.0, seed: 4, charger_speed: None };
+        let r = run(world, &cfg, &mut policy);
+
+        let inst = perpetuum_core::network::Instance::new(
+            network.clone(),
+            cycles.to_vec(),
+            horizon,
+        );
+        let offline = perpetuum_core::mtd::plan_min_total_distance(
+            &inst,
+            &perpetuum_core::mtd::MtdConfig::default(),
+        );
+        assert!((r.service_cost - offline.service_cost()).abs() < 1e-6);
+        assert_eq!(r.dispatches, offline.dispatch_count());
+    }
+
+    #[test]
+    fn unattended_world_records_deaths() {
+        struct DoNothing;
+        impl ChargingPolicy for DoNothing {
+            fn name(&self) -> &'static str {
+                "DoNothing"
+            }
+            fn initialize(&mut self, _obs: &Observation) -> PlanUpdate {
+                PlanUpdate::Keep
+            }
+        }
+        let network = line_network(2);
+        let world = World::fixed(network, &[3.0, 7.0]);
+        let cfg = SimConfig { horizon: 20.0, slot: 10.0, seed: 5, charger_speed: None };
+        let r = run(world, &cfg, &mut DoNothing);
+        assert_eq!(r.deaths.len(), 2);
+        // Death times are the exact depletion instants.
+        assert!((r.deaths[0].time - 3.0).abs() < 1e-9);
+        assert!((r.deaths[1].time - 7.0).abs() < 1e-9);
+        assert_eq!(r.service_cost, 0.0);
+    }
+
+    #[test]
+    fn per_charger_distances_sum_to_service_cost() {
+        let network = line_network(4);
+        let cycles = [1.0, 2.0, 4.0, 8.0];
+        let world = World::fixed(network.clone(), &cycles);
+        let mut policy = MtdPolicy::new(&network);
+        let cfg = SimConfig { horizon: 32.0, slot: 10.0, seed: 6, charger_speed: None };
+        let r = run(world, &cfg, &mut policy);
+        let sum: f64 = r.per_charger_distance.iter().sum();
+        assert!((sum - r.service_cost).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,35 @@
+//! Time-slotted discrete-event simulator for WSN charging.
+//!
+//! The paper evaluates its algorithms purely in simulation (Section VII):
+//! sensors drain at (possibly slot-varying) rates, the base station runs a
+//! charging policy, and mobile chargers execute closed tours whose summed
+//! length is the *service cost*. Charging and travel times are ignored
+//! relative to sensor lifetimes (Section III.A), so a dispatch recharges
+//! its sensors instantaneously at the dispatch time — exactly the model
+//! under which the paper's guarantees are stated.
+//!
+//! The crate provides:
+//!
+//! * [`world`] — the simulated network: batteries, per-slot rate processes,
+//!   EWMA predictors,
+//! * [`policy`] — the [`policy::ChargingPolicy`] trait and the paper's
+//!   three policies (`MinTotalDistance`, `MinTotalDistance-var`, Greedy),
+//! * [`engine`] — the event loop: drains energy exactly between events,
+//!   resamples rates at slot boundaries, executes dispatches, detects
+//!   sensor deaths,
+//! * [`metrics`] — per-run results: service cost, dispatch/charge counts,
+//!   deaths, per-charger distances, replans.
+
+pub mod engine;
+pub mod metrics;
+pub mod policy;
+pub mod trace;
+pub mod world;
+
+pub use engine::{run, run_traced, SimConfig};
+pub use metrics::{DeathEvent, SimResult};
+pub use trace::{SimTrace, TraceEvent};
+pub use policy::{
+    ChargingPolicy, GreedyPolicy, MtdPolicy, Observation, PeriodicPolicy, PlanUpdate, VarPolicy,
+};
+pub use world::{RateProcess, World};

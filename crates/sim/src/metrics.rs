@@ -1,0 +1,101 @@
+//! Per-run simulation results.
+
+use serde::{Deserialize, Serialize};
+
+/// A sensor running out of energy before its next charge.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeathEvent {
+    /// The sensor that died.
+    pub sensor: usize,
+    /// Estimated death time (linear interpolation inside the drain segment
+    /// in which the battery hit zero).
+    pub time: f64,
+}
+
+/// Everything a simulation run measures.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Total travelled distance of all chargers — the paper's objective
+    /// (same length unit as the input coordinates; the experiment harness
+    /// reports km).
+    pub service_cost: f64,
+    /// Number of executed charging schedulings.
+    pub dispatches: usize,
+    /// Total individual sensor charges.
+    pub charges: usize,
+    /// Sensor deaths (perpetual operation means this stays empty).
+    pub deaths: Vec<DeathEvent>,
+    /// Travelled distance per charger (indexed by depot).
+    pub per_charger_distance: Vec<f64>,
+    /// Plan replacements after initialisation (MinTotalDistance-var
+    /// recomputations; 0 for offline plans).
+    pub replans: usize,
+    /// Longest single charger tour observed across all dispatches (m).
+    /// Divided by the vehicle speed this bounds the duration of a charging
+    /// task — the quantity the paper assumes is "several orders of
+    /// magnitude less than the lifetime of a fully-charged sensor".
+    pub max_tour_length: f64,
+    /// Largest total per-dispatch travel (the busiest single scheduling).
+    pub max_dispatch_cost: f64,
+    /// Travel-time mode only: summed delay between dispatch and the
+    /// charger actually reaching each sensor (0 under instant charging).
+    pub total_charge_delay: f64,
+    /// Travel-time mode only: the worst single charge delay.
+    pub max_charge_delay: f64,
+    /// Ascending charge times per sensor — ground truth for feasibility
+    /// checking in tests.
+    pub charge_log: Vec<Vec<f64>>,
+}
+
+impl SimResult {
+    /// True when every sensor survived the whole run.
+    pub fn is_perpetual(&self) -> bool {
+        self.deaths.is_empty()
+    }
+
+    /// Upper bound on any charging task's duration, given a charger speed
+    /// (m per time unit): the longest tour divided by the speed.
+    pub fn max_task_duration(&self, speed: f64) -> f64 {
+        assert!(speed > 0.0, "speed must be positive");
+        self.max_tour_length / speed
+    }
+
+    /// Mean charges per sensor.
+    pub fn mean_charges_per_sensor(&self) -> f64 {
+        if self.charge_log.is_empty() {
+            0.0
+        } else {
+            self.charges as f64 / self.charge_log.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perpetual_iff_no_deaths() {
+        let mut r = SimResult::default();
+        assert!(r.is_perpetual());
+        r.deaths.push(DeathEvent { sensor: 3, time: 12.5 });
+        assert!(!r.is_perpetual());
+    }
+
+    #[test]
+    fn max_task_duration_scales_with_speed() {
+        let r = SimResult { max_tour_length: 3000.0, ..Default::default() };
+        assert_eq!(r.max_task_duration(1000.0), 3.0);
+    }
+
+    #[test]
+    fn mean_charges() {
+        let r = SimResult {
+            charges: 10,
+            charge_log: vec![vec![]; 4],
+            ..Default::default()
+        };
+        assert_eq!(r.mean_charges_per_sensor(), 2.5);
+        assert_eq!(SimResult::default().mean_charges_per_sensor(), 0.0);
+    }
+}

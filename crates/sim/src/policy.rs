@@ -1,0 +1,530 @@
+//! Charging policies: what the base station runs.
+//!
+//! A policy sees only what a real base station would see — battery levels
+//! reported by the sensors and the EWMA-predicted consumption rates
+//! (Section VI.A) — never the ground-truth future rates. The engine calls
+//! it at `t = 0` ([`ChargingPolicy::initialize`]), at every slot boundary
+//! after rates change ([`ChargingPolicy::on_slot_boundary`]), and, if the
+//! policy polls (the greedy baseline), every [`ChargingPolicy::check_interval`].
+
+use perpetuum_core::greedy::greedy_batch;
+use perpetuum_core::mtd::{plan_min_total_distance, MtdConfig};
+use perpetuum_core::network::{Instance, Network};
+use perpetuum_core::schedule::{ScheduleSeries, TourSet};
+use perpetuum_core::var::{replan_variable_with, RepairStrategy, VarInput};
+use perpetuum_energy::predictor::schedule_still_applicable;
+
+/// What the base station observes at a decision point.
+#[derive(Debug, Clone, Copy)]
+pub struct Observation<'a> {
+    /// Current time.
+    pub time: f64,
+    /// Monitoring period end `T`.
+    pub horizon: f64,
+    /// Residual energy per sensor (self-reported).
+    pub levels: &'a [f64],
+    /// EWMA-predicted consumption rate `ρ̂_i` per sensor (Section VI.A).
+    pub rho_hat: &'a [f64],
+    /// The consumption rate each sensor currently *measures*. The paper's
+    /// sensors monitor their energy "periodically (e.g. every a few
+    /// hours)", i.e. far more often than the slot length `ΔT`, so the
+    /// current-slot rate is observable (the future is not).
+    pub rho_now: &'a [f64],
+    /// Battery capacity `B_i` per sensor.
+    pub capacities: &'a [f64],
+}
+
+impl<'a> Observation<'a> {
+    /// The conservative planning rate `max(ρ̂_i, ρ_i(now))`.
+    ///
+    /// The EWMA alone lags a sharp rate increase by several slots, long
+    /// enough to kill a sensor whose cycle just collapsed; planning against
+    /// the worse of the predicted and the currently measured rate is what
+    /// makes "none of the sensors runs out of energy" actually hold. This
+    /// is the one deliberate strengthening of the paper's estimator (see
+    /// DESIGN.md).
+    pub fn rate_safe(&self, i: usize) -> f64 {
+        self.rho_hat[i].max(self.rho_now[i])
+    }
+
+    /// Estimated residual lifetime `l̂_i = re_i / max(ρ̂_i, ρ_i(now))`.
+    pub fn residual_hat(&self, i: usize) -> f64 {
+        self.levels[i] / self.rate_safe(i)
+    }
+
+    /// Estimated maximum charging cycle `τ̂_i = B_i / max(ρ̂_i, ρ_i(now))`.
+    pub fn max_cycle_hat(&self, i: usize) -> f64 {
+        self.capacities[i] / self.rate_safe(i)
+    }
+
+    /// The paper's un-guarded cycle estimate `B_i / ρ̂_i` (EWMA only).
+    pub fn max_cycle_pred(&self, i: usize) -> f64 {
+        self.capacities[i] / self.rho_hat[i]
+    }
+
+    /// All estimated maximum cycles.
+    pub fn max_cycles_hat(&self) -> Vec<f64> {
+        (0..self.levels.len()).map(|i| self.max_cycle_hat(i)).collect()
+    }
+
+    /// All estimated residual lifetimes, clamped to the estimated cycle
+    /// (level ≤ capacity already guarantees this; the clamp absorbs
+    /// floating-point noise).
+    pub fn residuals_hat(&self) -> Vec<f64> {
+        (0..self.levels.len())
+            .map(|i| self.residual_hat(i).min(self.max_cycle_hat(i)))
+            .collect()
+    }
+}
+
+/// A policy's reaction to a decision point.
+#[derive(Debug, Clone)]
+pub enum PlanUpdate {
+    /// Keep the pending dispatches.
+    Keep,
+    /// Drop all pending dispatches and install this series (all dispatch
+    /// times must be `≥` the observation time).
+    Replace(ScheduleSeries),
+}
+
+/// A base-station charging policy.
+pub trait ChargingPolicy {
+    /// Human-readable name (used in experiment tables).
+    fn name(&self) -> &'static str;
+
+    /// Polling period, if the policy polls between slot boundaries (the
+    /// greedy baseline checks every `Δl`).
+    fn check_interval(&self) -> Option<f64> {
+        None
+    }
+
+    /// Called once at `t = 0`, after initial rates are known.
+    fn initialize(&mut self, obs: &Observation) -> PlanUpdate;
+
+    /// Called at every slot boundary (rates just changed, predictors
+    /// updated).
+    fn on_slot_boundary(&mut self, _obs: &Observation) -> PlanUpdate {
+        PlanUpdate::Keep
+    }
+
+    /// Called every [`Self::check_interval`]; an immediate dispatch is
+    /// executed at the observation time.
+    fn on_check(&mut self, _obs: &Observation) -> Option<TourSet> {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// **Algorithm 3** as a policy: plan once from the initial estimated cycles
+/// and never look back. The right policy for fixed-cycle worlds; under
+/// variable cycles it is knowingly oblivious (that is what Figures 3–6
+/// replace it with `MinTotalDistance-var` for).
+#[derive(Debug)]
+pub struct MtdPolicy<'a> {
+    network: &'a Network,
+    cfg: MtdConfig,
+    /// Safety margin: plan as if every cycle were `τ̂ · (1 − margin)`.
+    /// Zero (the paper's model) plans against the exact cycles; a positive
+    /// margin buys slack for charger travel time (see the `speed`
+    /// extension experiment). Must lie in `[0, 1)`.
+    pub cycle_margin: f64,
+}
+
+impl<'a> MtdPolicy<'a> {
+    /// Plain Algorithm 3.
+    pub fn new(network: &'a Network) -> Self {
+        Self { network, cfg: MtdConfig::default(), cycle_margin: 0.0 }
+    }
+
+    /// Algorithm 3 with the ablation-only tour polish.
+    pub fn with_config(network: &'a Network, cfg: MtdConfig) -> Self {
+        Self { network, cfg, cycle_margin: 0.0 }
+    }
+
+    /// Algorithm 3 planning against `τ̂ · (1 − margin)`.
+    pub fn with_margin(network: &'a Network, cycle_margin: f64) -> Self {
+        assert!((0.0..1.0).contains(&cycle_margin), "margin must be in [0, 1)");
+        Self { network, cfg: MtdConfig::default(), cycle_margin }
+    }
+}
+
+impl ChargingPolicy for MtdPolicy<'_> {
+    fn name(&self) -> &'static str {
+        "MinTotalDistance"
+    }
+
+    fn initialize(&mut self, obs: &Observation) -> PlanUpdate {
+        let shrink = 1.0 - self.cycle_margin;
+        let cycles: Vec<f64> = obs.max_cycles_hat().iter().map(|c| c * shrink).collect();
+        if cycles.is_empty() {
+            return PlanUpdate::Keep;
+        }
+        let instance = Instance::new(self.network.clone(), cycles, obs.horizon);
+        PlanUpdate::Replace(plan_min_total_distance(&instance, &self.cfg))
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// The greedy baseline of Section VII.A as an online policy: every `Δl`,
+/// batch the sensors whose estimated residual lifetime is `≤ Δl` and charge
+/// them via the `q`-rooted TSP.
+#[derive(Debug)]
+pub struct GreedyPolicy<'a> {
+    network: &'a Network,
+    /// Residual-lifetime threshold `Δl` (`= τ_min` in the paper).
+    pub threshold: f64,
+    /// Polling period; defaults to the threshold (the paper couples the
+    /// two), but can be shortened independently — e.g. to keep a widened
+    /// noise-margin threshold from also slowing the polls.
+    pub poll: Option<f64>,
+    /// Local-search rounds per tour (ablation only).
+    pub polish_rounds: usize,
+}
+
+impl<'a> GreedyPolicy<'a> {
+    /// Greedy with the paper's threshold `Δl = τ_min`.
+    pub fn new(network: &'a Network, tau_min: f64) -> Self {
+        Self { network, threshold: tau_min, poll: None, polish_rounds: 0 }
+    }
+}
+
+impl ChargingPolicy for GreedyPolicy<'_> {
+    fn name(&self) -> &'static str {
+        "Greedy"
+    }
+
+    fn check_interval(&self) -> Option<f64> {
+        Some(self.poll.unwrap_or(self.threshold))
+    }
+
+    fn initialize(&mut self, _obs: &Observation) -> PlanUpdate {
+        PlanUpdate::Keep // purely reactive
+    }
+
+    fn on_check(&mut self, obs: &Observation) -> Option<TourSet> {
+        let pending: Vec<usize> = (0..obs.levels.len())
+            .filter(|&i| obs.residual_hat(i) <= self.threshold + 1e-9)
+            .collect();
+        if pending.is_empty() {
+            None
+        } else {
+            Some(greedy_batch(self.network, &pending, self.polish_rounds))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// **`MinTotalDistance-var`** (Section VI.B): plan with Algorithm 3, then at
+/// each slot boundary test whether every sensor's newly estimated maximum
+/// cycle still lies in the applicability band `[τ̂'_i, 2·τ̂'_i)` of its
+/// assigned cycle; replan (with the `V^a` repair) whenever one does not.
+#[derive(Debug)]
+pub struct VarPolicy<'a> {
+    network: &'a Network,
+    assigned: Vec<f64>,
+    /// Ascending scheduled charge times per sensor, from the current plan.
+    scheduled: Vec<Vec<f64>>,
+    /// Repair strategy (paper default: nearest scheduling).
+    pub repair: RepairStrategy,
+    /// Local-search rounds per tour (ablation only).
+    pub polish_rounds: usize,
+    /// Safety margin: plan as if cycles and residuals were a factor
+    /// `(1 − margin)` smaller. Zero is the paper's model; a positive
+    /// margin absorbs measurement noise and charger travel time. Must lie
+    /// in `[0, 1)`.
+    pub cycle_margin: f64,
+    replans: usize,
+}
+
+impl<'a> VarPolicy<'a> {
+    /// The paper's `MinTotalDistance-var`.
+    pub fn new(network: &'a Network) -> Self {
+        Self {
+            network,
+            assigned: Vec::new(),
+            scheduled: Vec::new(),
+            repair: RepairStrategy::NearestScheduling,
+            polish_rounds: 0,
+            cycle_margin: 0.0,
+            replans: 0,
+        }
+    }
+
+    /// `MinTotalDistance-var` planning against `(1 − margin)`-shrunken
+    /// estimates.
+    pub fn with_margin(network: &'a Network, cycle_margin: f64) -> Self {
+        assert!((0.0..1.0).contains(&cycle_margin), "margin must be in [0, 1)");
+        Self { cycle_margin, ..Self::new(network) }
+    }
+
+    /// Number of replans performed after initialisation.
+    pub fn replans(&self) -> usize {
+        self.replans
+    }
+
+    fn replan(&mut self, obs: &Observation) -> PlanUpdate {
+        let shrink = 1.0 - self.cycle_margin;
+        let max_cycles: Vec<f64> =
+            obs.max_cycles_hat().iter().map(|c| c * shrink).collect();
+        let residuals: Vec<f64> =
+            obs.residuals_hat().iter().map(|r| r * shrink).collect();
+        let input = VarInput {
+            network: self.network,
+            max_cycles: &max_cycles,
+            residuals: &residuals,
+            now: obs.time,
+            horizon: obs.horizon,
+            polish_rounds: self.polish_rounds,
+        };
+        let plan = replan_variable_with(&input, self.repair);
+        self.assigned = plan.assigned_cycles;
+        self.scheduled = (0..obs.levels.len())
+            .map(|i| plan.series.charge_times(self.network.sensor_node(i)))
+            .collect();
+        PlanUpdate::Replace(plan.series)
+    }
+
+    /// True when `sensor`'s estimated residual lifetime reaches its next
+    /// scheduled charge (or the horizon, if it is never charged again).
+    fn residual_reaches_next_charge(&self, obs: &Observation, sensor: usize) -> bool {
+        let next = self.scheduled[sensor]
+            .iter()
+            .copied()
+            .find(|&t| t > obs.time + 1e-9)
+            .unwrap_or(obs.horizon);
+        obs.time + self.residual_shrunk(obs, sensor) + 1e-9 >= next
+    }
+
+    fn residual_shrunk(&self, obs: &Observation, sensor: usize) -> f64 {
+        obs.residual_hat(sensor) * (1.0 - self.cycle_margin)
+    }
+}
+
+impl ChargingPolicy for VarPolicy<'_> {
+    fn name(&self) -> &'static str {
+        "MinTotalDistance-var"
+    }
+
+    fn initialize(&mut self, obs: &Observation) -> PlanUpdate {
+        if obs.levels.is_empty() {
+            return PlanUpdate::Keep;
+        }
+        self.replan(obs)
+    }
+
+    fn on_slot_boundary(&mut self, obs: &Observation) -> PlanUpdate {
+        if self.assigned.is_empty() {
+            return PlanUpdate::Keep;
+        }
+        // The paper's applicability band covers sensors that are charged
+        // from full at their assigned cadence; a sensor part-way through a
+        // wait can still be starved by an in-band rate increase, so the
+        // residual must also reach its next scheduled charge.
+        let shrink = 1.0 - self.cycle_margin;
+        let applicable = (0..obs.levels.len()).all(|i| {
+            schedule_still_applicable(self.assigned[i], obs.max_cycle_hat(i) * shrink)
+                && self.residual_reaches_next_charge(obs, i)
+        });
+        if applicable {
+            PlanUpdate::Keep
+        } else {
+            self.replans += 1;
+            self.replan(obs)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// The naive strategy Section III.C dismisses, as a policy: dispatch the
+/// full-network tour set at every multiple of a fixed period. Used as the
+/// upper-anchor baseline in tests and cost comparisons.
+#[derive(Debug)]
+pub struct PeriodicPolicy<'a> {
+    network: &'a Network,
+    /// Dispatch period (the paper's strawman uses `τ_min`).
+    pub period: f64,
+}
+
+impl<'a> PeriodicPolicy<'a> {
+    /// Charges everyone every `period`.
+    pub fn new(network: &'a Network, period: f64) -> Self {
+        assert!(period > 0.0, "period must be positive");
+        Self { network, period }
+    }
+}
+
+impl ChargingPolicy for PeriodicPolicy<'_> {
+    fn name(&self) -> &'static str {
+        "Periodic"
+    }
+
+    fn initialize(&mut self, obs: &Observation) -> PlanUpdate {
+        let n = obs.levels.len();
+        if n == 0 {
+            return PlanUpdate::Keep;
+        }
+        let all: Vec<usize> = (0..n).collect();
+        let set = greedy_batch(self.network, &all, 0);
+        let mut series = ScheduleSeries::new();
+        let id = series.add_set(set);
+        let mut t = self.period;
+        while t < obs.horizon {
+            series.push_dispatch(t, id);
+            t += self.period;
+        }
+        PlanUpdate::Replace(series)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perpetuum_geom::Point2;
+
+    fn net() -> Network {
+        Network::new(
+            vec![
+                Point2::new(100.0, 0.0),
+                Point2::new(0.0, 100.0),
+                Point2::new(200.0, 200.0),
+            ],
+            vec![Point2::ORIGIN],
+        )
+    }
+
+    fn obs<'a>(
+        time: f64,
+        horizon: f64,
+        levels: &'a [f64],
+        rho: &'a [f64],
+        caps: &'a [f64],
+    ) -> Observation<'a> {
+        // Tests drive steady-state observations: measured == predicted.
+        Observation { time, horizon, levels, rho_hat: rho, rho_now: rho, capacities: caps }
+    }
+
+    #[test]
+    fn observation_derived_quantities() {
+        let levels = [0.5, 1.0];
+        let rho = [0.25, 0.1];
+        let caps = [1.0, 1.0];
+        let o = obs(0.0, 10.0, &levels, &rho, &caps);
+        assert!((o.residual_hat(0) - 2.0).abs() < 1e-12);
+        assert!((o.max_cycle_hat(1) - 10.0).abs() < 1e-12);
+        assert_eq!(o.max_cycles_hat(), vec![4.0, 10.0]);
+        assert_eq!(o.residuals_hat(), vec![2.0, 10.0]);
+    }
+
+    #[test]
+    fn conservative_rate_dominates_lagging_ewma() {
+        let levels = [0.5];
+        let rho_hat = [0.1]; // EWMA still remembers the old, slow drain
+        let rho_now = [0.5]; // the sensor currently drains 5x faster
+        let caps = [1.0];
+        let o = Observation {
+            time: 0.0,
+            horizon: 10.0,
+            levels: &levels,
+            rho_hat: &rho_hat,
+            rho_now: &rho_now,
+            capacities: &caps,
+        };
+        assert_eq!(o.rate_safe(0), 0.5);
+        assert!((o.residual_hat(0) - 1.0).abs() < 1e-12); // not 5.0
+        assert!((o.max_cycle_hat(0) - 2.0).abs() < 1e-12); // not 10.0
+        assert!((o.max_cycle_pred(0) - 10.0).abs() < 1e-12); // paper's raw estimate
+    }
+
+    #[test]
+    fn mtd_policy_plans_once() {
+        let network = net();
+        let mut p = MtdPolicy::new(&network);
+        let levels = [1.0, 1.0, 1.0];
+        let rho = [1.0, 0.5, 0.25]; // cycles 1, 2, 4
+        let caps = [1.0; 3];
+        let o = obs(0.0, 16.0, &levels, &rho, &caps);
+        match p.initialize(&o) {
+            PlanUpdate::Replace(series) => {
+                assert!(series.dispatch_count() > 0);
+                // Sensor 0 (cycle 1) charged at every integer time.
+                assert_eq!(series.charge_times(0).len(), 15);
+            }
+            PlanUpdate::Keep => panic!("expected a plan"),
+        }
+        // Slot boundaries never disturb the fixed plan.
+        assert!(matches!(p.on_slot_boundary(&o), PlanUpdate::Keep));
+    }
+
+    #[test]
+    fn greedy_policy_batches_urgent_sensors() {
+        let network = net();
+        let mut p = GreedyPolicy::new(&network, 1.0);
+        assert_eq!(p.check_interval(), Some(1.0));
+        let levels = [0.2, 1.0, 0.9];
+        let rho = [0.5, 0.1, 1.0]; // residuals: 0.4, 10, 0.9
+        let caps = [1.0; 3];
+        let o = obs(5.0, 100.0, &levels, &rho, &caps);
+        let set = p.on_check(&o).expect("two sensors are urgent");
+        assert_eq!(set.sensors(), &[0, 2]);
+        // Nothing urgent → no dispatch.
+        let levels2 = [1.0, 1.0, 1.0];
+        let rho2 = [0.1, 0.1, 0.1];
+        let o2 = obs(6.0, 100.0, &levels2, &rho2, &caps);
+        assert!(p.on_check(&o2).is_none());
+    }
+
+    #[test]
+    fn var_policy_replans_only_outside_band() {
+        let network = net();
+        let mut p = VarPolicy::new(&network);
+        let caps = [1.0; 3];
+        let levels = [1.0, 1.0, 1.0];
+        let rho = [1.0, 0.5, 0.25]; // cycles 1, 2, 4 → assigned 1, 2, 4
+        let o = obs(0.0, 64.0, &levels, &rho, &caps);
+        assert!(matches!(p.initialize(&o), PlanUpdate::Replace(_)));
+        assert_eq!(p.replans(), 0);
+
+        // Cycles drift inside the band: 1.5, 3.0, 7.9 → keep.
+        let rho_in = [1.0 / 1.5, 1.0 / 3.0, 1.0 / 7.9];
+        let o_in = obs(10.0, 64.0, &levels, &rho_in, &caps);
+        assert!(matches!(p.on_slot_boundary(&o_in), PlanUpdate::Keep));
+
+        // Sensor 0's cycle halves below its assigned cycle → replan.
+        let rho_out = [2.0, 0.5, 0.25];
+        let levels_mid = [0.3, 0.8, 0.9];
+        let o_out = obs(20.0, 64.0, &levels_mid, &rho_out, &caps);
+        assert!(matches!(p.on_slot_boundary(&o_out), PlanUpdate::Replace(_)));
+        assert_eq!(p.replans(), 1);
+    }
+
+    #[test]
+    fn periodic_policy_plans_full_network_rounds() {
+        let network = net();
+        let mut p = PeriodicPolicy::new(&network, 2.0);
+        let levels = [1.0, 1.0, 1.0];
+        let rho = [0.5, 0.5, 0.5];
+        let caps = [1.0; 3];
+        let o = obs(0.0, 10.0, &levels, &rho, &caps);
+        match p.initialize(&o) {
+            PlanUpdate::Replace(series) => {
+                assert_eq!(series.dispatch_count(), 4); // 2, 4, 6, 8
+                for d in series.dispatches() {
+                    assert_eq!(series.set_of(d).sensors().len(), 3);
+                }
+            }
+            PlanUpdate::Keep => panic!("expected a plan"),
+        }
+    }
+
+    #[test]
+    fn var_policy_names() {
+        let network = net();
+        assert_eq!(VarPolicy::new(&network).name(), "MinTotalDistance-var");
+        assert_eq!(MtdPolicy::new(&network).name(), "MinTotalDistance");
+        assert_eq!(GreedyPolicy::new(&network, 1.0).name(), "Greedy");
+    }
+}

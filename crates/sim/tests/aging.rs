@@ -1,0 +1,86 @@
+//! Battery-aging tests: capacities fade with every recharge and the
+//! adaptive policy re-tightens its schedule to match.
+
+use perpetuum_core::network::Network;
+use perpetuum_geom::Point2;
+use perpetuum_sim::{run, MtdPolicy, SimConfig, VarPolicy, World};
+
+fn line_network(n: usize) -> Network {
+    let sensors: Vec<Point2> = (0..n)
+        .map(|i| Point2::new((i + 1) as f64 * 10.0, 0.0))
+        .collect();
+    Network::new(sensors, vec![Point2::ORIGIN])
+}
+
+#[test]
+fn zero_fade_is_the_ideal_world() {
+    let network = line_network(3);
+    let cycles = [2.0, 4.0, 8.0];
+    let cfg = SimConfig { horizon: 60.0, slot: 10.0, seed: 1, charger_speed: None };
+    let base = {
+        let mut p = VarPolicy::new(&network);
+        run(World::fixed(network.clone(), &cycles), &cfg, &mut p)
+    };
+    let faded = {
+        let mut p = VarPolicy::new(&network);
+        run(
+            World::fixed(network.clone(), &cycles).with_battery_fade(0.0),
+            &cfg,
+            &mut p,
+        )
+    };
+    assert_eq!(base.service_cost, faded.service_cost);
+    assert_eq!(base.charge_log, faded.charge_log);
+}
+
+#[test]
+fn var_policy_adapts_to_aging_batteries() {
+    // 2% capacity fade per charge. Replans only happen at slot boundaries
+    // (every 10), and a cycle-4 sensor recharges ~3 times per slot — so
+    // the plan must carry a margin covering the intra-slot fade drift
+    // (0.98³ ≈ 6%); 8% does it. The applicability-band test then triggers
+    // replans as capacities sag, and — crucially — nobody dies.
+    let network = line_network(4);
+    let cycles = [4.0, 6.0, 8.0, 12.0];
+    let cfg = SimConfig { horizon: 400.0, slot: 10.0, seed: 2, charger_speed: None };
+    let mut policy = VarPolicy::with_margin(&network, 0.08);
+    let r = run(
+        World::fixed(network.clone(), &cycles).with_battery_fade(0.02),
+        &cfg,
+        &mut policy,
+    );
+    assert!(r.is_perpetual(), "deaths: {:?}", r.deaths);
+    assert!(
+        policy.replans() > 0,
+        "fading cycles must eventually leave the applicability band"
+    );
+    // Charge gaps must shrink over the run for the fastest-aging sensor.
+    let log = &r.charge_log[0];
+    assert!(log.len() >= 6);
+    let early_gap = log[1] - log[0];
+    let late_gap = log[log.len() - 1] - log[log.len() - 2];
+    assert!(
+        late_gap < early_gap,
+        "gaps should tighten as capacity fades: early {early_gap}, late {late_gap}"
+    );
+}
+
+#[test]
+fn oblivious_policy_loses_sensors_to_aging() {
+    // MinTotalDistance plans once from the fresh capacities; with fade the
+    // true cycles shrink below the planned cadence and sensors die — the
+    // negative control for the test above.
+    let network = line_network(4);
+    let cycles = [4.0, 6.0, 8.0, 12.0];
+    let cfg = SimConfig { horizon: 400.0, slot: 10.0, seed: 3, charger_speed: None };
+    let mut policy = MtdPolicy::new(&network);
+    let r = run(
+        World::fixed(network.clone(), &cycles).with_battery_fade(0.02),
+        &cfg,
+        &mut policy,
+    );
+    assert!(
+        !r.deaths.is_empty(),
+        "an aging-oblivious plan must eventually miss"
+    );
+}

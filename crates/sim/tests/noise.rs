@@ -1,0 +1,111 @@
+//! Measurement-noise robustness: policies plan against noisy reported
+//! rates while energy drains at the truth.
+
+use perpetuum_core::network::Network;
+use perpetuum_geom::{deploy, derived_rng, Field};
+use perpetuum_sim::{run, GreedyPolicy, SimConfig, VarPolicy, World};
+use perpetuum_energy::CycleDistribution;
+
+fn setup(n: usize, seed: u64) -> (Network, Vec<f64>) {
+    let field = Field::paper_default();
+    let mut rng = derived_rng(seed, 0);
+    let sensors = deploy::uniform_deployment(field, n, &mut rng);
+    let depots = deploy::place_depots(
+        field,
+        field.center(),
+        3,
+        deploy::DepotPlacement::OneAtBaseStation,
+        &mut rng,
+    );
+    let network = Network::new(sensors, depots);
+    let dist = CycleDistribution::Linear { sigma: 2.0 };
+    let means = dist.mean_all(network.sensor_positions(), field.center(), 2.0, 50.0);
+    (network, means)
+}
+
+#[test]
+fn zero_noise_identical_to_baseline() {
+    let (network, means) = setup(20, 31);
+    let cfg = SimConfig { horizon: 100.0, slot: 10.0, seed: 31, charger_speed: None };
+    let dist = CycleDistribution::Linear { sigma: 2.0 };
+    let base = {
+        let world = World::variable(network.clone(), &means, dist, 2.0, 50.0);
+        let mut p = VarPolicy::new(&network);
+        run(world, &cfg, &mut p)
+    };
+    let zero_noise = {
+        let world = World::variable(network.clone(), &means, dist, 2.0, 50.0)
+            .with_measurement_noise(0.0);
+        let mut p = VarPolicy::new(&network);
+        run(world, &cfg, &mut p)
+    };
+    assert_eq!(base.service_cost, zero_noise.service_cost);
+    assert_eq!(base.charge_log, zero_noise.charge_log);
+}
+
+#[test]
+fn greedy_threshold_margin_absorbs_noise() {
+    // With the paper's Δl = τ_min and 10% under-reported rates, sensors
+    // die just before the next poll; widening the threshold to cover the
+    // worst-case reporting error restores perpetual operation.
+    let (network, means) = setup(25, 32);
+    let dist = CycleDistribution::Linear { sigma: 2.0 };
+    let make = || {
+        World::variable(network.clone(), &means, dist, 2.0, 50.0)
+            .with_measurement_noise(0.10)
+    };
+    let cfg = SimConfig { horizon: 200.0, slot: 10.0, seed: 32, charger_speed: None };
+
+    let mut plain = GreedyPolicy::new(&network, 1.0);
+    let r_plain = run(make(), &cfg, &mut plain);
+    // The un-margined baseline is *expected* to lose sensors here.
+    assert!(!r_plain.deaths.is_empty(), "noise should bite the naive threshold");
+
+    let mut widened = GreedyPolicy::new(&network, 1.0);
+    widened.threshold = 1.3; // covers poll period + 10% mis-estimate slack
+    widened.poll = Some(1.0); // …while still polling at the old cadence
+    let r_wide = run(make(), &cfg, &mut widened);
+    assert!(r_wide.is_perpetual(), "deaths: {:?}", r_wide.deaths);
+}
+
+#[test]
+fn noise_changes_but_does_not_break_var_policy() {
+    let (network, means) = setup(25, 33);
+    let dist = CycleDistribution::Linear { sigma: 2.0 };
+    let cfg = SimConfig { horizon: 200.0, slot: 10.0, seed: 33, charger_speed: None };
+
+    let clean = {
+        let world = World::variable(network.clone(), &means, dist, 2.0, 50.0);
+        let mut p = VarPolicy::new(&network);
+        run(world, &cfg, &mut p)
+    };
+    let noisy = {
+        let world = World::variable(network.clone(), &means, dist, 2.0, 50.0)
+            .with_measurement_noise(0.10);
+        // A 15% planning margin out-weighs the ≤ +11% cycle over-estimate
+        // a −10% rate report can cause.
+        let mut p = VarPolicy::with_margin(&network, 0.15);
+        run(world, &cfg, &mut p)
+    };
+    // The noise stream must actually perturb behaviour…
+    assert_ne!(clean.service_cost, noisy.service_cost);
+    // …and the margin must keep everyone alive at bounded extra cost.
+    assert!(noisy.is_perpetual(), "deaths: {:?}", noisy.deaths);
+    assert!(noisy.service_cost < clean.service_cost * 2.0);
+}
+
+#[test]
+fn noisy_runs_are_still_deterministic() {
+    let (network, means) = setup(15, 34);
+    let dist = CycleDistribution::Linear { sigma: 2.0 };
+    let cfg = SimConfig { horizon: 100.0, slot: 10.0, seed: 34, charger_speed: None };
+    let make = || {
+        World::variable(network.clone(), &means, dist, 2.0, 50.0).with_measurement_noise(0.2)
+    };
+    let mut p1 = VarPolicy::new(&network);
+    let r1 = run(make(), &cfg, &mut p1);
+    let mut p2 = VarPolicy::new(&network);
+    let r2 = run(make(), &cfg, &mut p2);
+    assert_eq!(r1.service_cost, r2.service_cost);
+    assert_eq!(r1.charge_log, r2.charge_log);
+}

@@ -1,0 +1,104 @@
+//! Property-based tests of simulator invariants on randomly generated
+//! worlds.
+
+use perpetuum_core::network::Network;
+use perpetuum_energy::CycleDistribution;
+use perpetuum_geom::Point2;
+use perpetuum_sim::{run, GreedyPolicy, MtdPolicy, SimConfig, VarPolicy, World};
+use proptest::prelude::*;
+
+fn points(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Point2>> {
+    prop::collection::vec((0.0..1000.0f64, 0.0..1000.0f64), n)
+        .prop_map(|v| v.into_iter().map(|(x, y)| Point2::new(x, y)).collect())
+}
+
+prop_compose! {
+    fn world_setup()(
+        sensors in points(1..16),
+        depots in points(1..4),
+        seed in 0u64..1000,
+        horizon in 20.0..120.0f64,
+    )(
+        cycles in prop::collection::vec(1.0..30.0f64, sensors.len()),
+        sensors in Just(sensors),
+        depots in Just(depots),
+        seed in Just(seed),
+        horizon in Just(horizon),
+    ) -> (Network, Vec<f64>, u64, f64) {
+        (Network::new(sensors, depots), cycles, seed, horizon)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn fixed_world_invariants_hold_for_every_policy(
+        (network, cycles, seed, horizon) in world_setup()
+    ) {
+        let tau_min = cycles.iter().cloned().fold(f64::INFINITY, f64::min);
+        let cfg = SimConfig { horizon, slot: 10.0, seed, charger_speed: None };
+
+        let run_one = |which: usize| {
+            let world = World::fixed(network.clone(), &cycles);
+            match which {
+                0 => {
+                    let mut p = MtdPolicy::new(&network);
+                    run(world, &cfg, &mut p)
+                }
+                1 => {
+                    let mut p = GreedyPolicy::new(&network, tau_min);
+                    run(world, &cfg, &mut p)
+                }
+                _ => {
+                    let mut p = VarPolicy::new(&network);
+                    run(world, &cfg, &mut p)
+                }
+            }
+        };
+
+        for which in 0..3 {
+            let r = run_one(which);
+            // Perpetual operation under the paper's fixed-cycle model.
+            prop_assert!(r.deaths.is_empty(), "policy {which}: {:?}", r.deaths);
+            // Per-charger distances decompose the service cost.
+            let sum: f64 = r.per_charger_distance.iter().sum();
+            prop_assert!((sum - r.service_cost).abs() < 1e-6, "policy {which}");
+            // Charge logs are sorted, in (0, horizon), and count correctly.
+            let mut total = 0usize;
+            for log in &r.charge_log {
+                total += log.len();
+                for w in log.windows(2) {
+                    prop_assert!(w[0] <= w[1] + 1e-12);
+                }
+                for &t in log {
+                    prop_assert!(t > 0.0 && t < horizon);
+                }
+            }
+            prop_assert_eq!(total, r.charges, "policy {}", which);
+            // Ground-truth feasibility from executed charges.
+            prop_assert!(perpetuum_core::feasibility::check_with(
+                &cycles, horizon, |i| r.charge_log[i].clone()
+            ).is_ok(), "policy {}", which);
+            // Metrics are self-consistent.
+            prop_assert!(r.max_dispatch_cost <= r.service_cost + 1e-9);
+            prop_assert!(r.max_tour_length <= r.max_dispatch_cost + 1e-9);
+        }
+    }
+
+    #[test]
+    fn variable_world_var_policy_survives(
+        (network, _cycles, seed, horizon) in world_setup(),
+        sigma in 0.0..8.0f64,
+    ) {
+        let dist = CycleDistribution::Linear { sigma };
+        let bs = Point2::new(500.0, 500.0);
+        let means = dist.mean_all(network.sensor_positions(), bs, 1.0, 30.0);
+        let world = World::variable(network.clone(), &means, dist, 1.0, 30.0);
+        let cfg = SimConfig { horizon, slot: 10.0, seed, charger_speed: None };
+        let mut p = VarPolicy::new(&network);
+        let r = run(world, &cfg, &mut p);
+        prop_assert!(r.deaths.is_empty(), "σ {sigma}: {:?}", r.deaths);
+        prop_assert!(r.service_cost >= 0.0);
+    }
+}

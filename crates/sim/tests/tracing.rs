@@ -1,0 +1,104 @@
+//! Traced-run tests: the trace agrees with the result metrics and with the
+//! untraced run.
+
+use perpetuum_core::network::Network;
+use perpetuum_geom::Point2;
+use perpetuum_sim::{run, run_traced, MtdPolicy, SimConfig, TraceEvent, VarPolicy, World};
+use perpetuum_energy::CycleDistribution;
+
+fn line_network(n: usize) -> Network {
+    let sensors: Vec<Point2> = (0..n)
+        .map(|i| Point2::new((i + 1) as f64 * 10.0, 0.0))
+        .collect();
+    Network::new(sensors, vec![Point2::ORIGIN])
+}
+
+#[test]
+fn trace_counts_match_result_metrics() {
+    let network = line_network(4);
+    let cycles = [1.0, 2.0, 3.5, 8.0];
+    let cfg = SimConfig { horizon: 40.0, slot: 10.0, seed: 1, charger_speed: None };
+    let mut policy = MtdPolicy::new(&network);
+    let (r, trace) = run_traced(World::fixed(network.clone(), &cycles), &cfg, &mut policy);
+
+    let (slots, replans, dispatches, charges, deaths) = trace.counts();
+    assert_eq!(dispatches, r.dispatches);
+    assert_eq!(charges, r.charges);
+    assert_eq!(deaths, r.deaths.len());
+    assert_eq!(slots, 3, "boundaries at 10, 20, 30");
+    assert_eq!(replans, 1, "only the initial plan install");
+}
+
+#[test]
+fn traced_and_untraced_results_agree() {
+    let network = line_network(5);
+    let cycles = [1.0, 2.0, 3.0, 5.0, 8.0];
+    let cfg = SimConfig { horizon: 50.0, slot: 10.0, seed: 2, charger_speed: None };
+    let r1 = {
+        let mut p = MtdPolicy::new(&network);
+        run(World::fixed(network.clone(), &cycles), &cfg, &mut p)
+    };
+    let (r2, _) = {
+        let mut p = MtdPolicy::new(&network);
+        run_traced(World::fixed(network.clone(), &cycles), &cfg, &mut p)
+    };
+    assert_eq!(r1.service_cost, r2.service_cost);
+    assert_eq!(r1.charge_log, r2.charge_log);
+}
+
+#[test]
+fn sensor_timeline_matches_charge_log() {
+    let network = line_network(3);
+    let cycles = [2.0, 4.0, 8.0];
+    let cfg = SimConfig { horizon: 32.0, slot: 8.0, seed: 3, charger_speed: None };
+    let mut policy = MtdPolicy::new(&network);
+    let (r, trace) = run_traced(World::fixed(network.clone(), &cycles), &cfg, &mut policy);
+    for sensor in 0..3 {
+        let charges: Vec<f64> = trace
+            .sensor_events(sensor)
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Charge { time, .. } => Some(*time),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(charges, r.charge_log[sensor], "sensor {sensor}");
+    }
+}
+
+#[test]
+fn var_policy_replans_visible_in_trace() {
+    let network = line_network(6);
+    let means = [5.0, 10.0, 15.0, 20.0, 30.0, 45.0];
+    let world = World::variable(
+        network.clone(),
+        &means,
+        CycleDistribution::Linear { sigma: 4.0 },
+        1.0,
+        50.0,
+    );
+    let cfg = SimConfig { horizon: 150.0, slot: 10.0, seed: 4, charger_speed: None };
+    let mut policy = VarPolicy::new(&network);
+    let (_, trace) = run_traced(world, &cfg, &mut policy);
+    let (_, replans, ..) = trace.counts();
+    // Initial install + the policy's replans.
+    assert_eq!(replans, 1 + policy.replans());
+    // Render never panics and has one line per event.
+    assert_eq!(trace.render().lines().count(), trace.events.len());
+}
+
+#[test]
+fn event_times_are_monotone_except_death_interpolation() {
+    let network = line_network(4);
+    let cycles = [1.5, 2.5, 4.5, 7.5];
+    let cfg = SimConfig { horizon: 60.0, slot: 7.0, seed: 5, charger_speed: None };
+    let mut policy = MtdPolicy::new(&network);
+    let (_, trace) = run_traced(World::fixed(network.clone(), &cycles), &cfg, &mut policy);
+    let mut prev = 0.0f64;
+    for e in &trace.events {
+        if !matches!(e, TraceEvent::Death { .. }) {
+            assert!(e.time() + 1e-9 >= prev, "{e:?} before {prev}");
+            prev = e.time();
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Travel-time mode: charges land when the vehicle arrives, not at
+//! dispatch time — probing the paper's zero-task-duration assumption.
+
+use perpetuum_core::network::Network;
+use perpetuum_geom::Point2;
+use perpetuum_sim::{run, MtdPolicy, SimConfig, World};
+
+fn line_network(n: usize) -> Network {
+    let sensors: Vec<Point2> = (0..n)
+        .map(|i| Point2::new((i + 1) as f64 * 10.0, 0.0))
+        .collect();
+    Network::new(sensors, vec![Point2::ORIGIN])
+}
+
+#[test]
+fn fast_chargers_match_instant_model() {
+    let network = line_network(4);
+    let cycles = [1.0, 2.0, 3.5, 8.0];
+    let horizon = 50.0;
+
+    // A 5% cycle margin: the slack a real deployment reserves for travel
+    // time (without it, any sensor whose cycle equals its rounded cycle is
+    // charged with zero slack and dies by an epsilon at ANY finite speed).
+    let instant = {
+        let mut p = MtdPolicy::with_margin(&network, 0.05);
+        let cfg = SimConfig { horizon, slot: 10.0, seed: 1, charger_speed: None };
+        run(World::fixed(network.clone(), &cycles), &cfg, &mut p)
+    };
+    let fast = {
+        let mut p = MtdPolicy::with_margin(&network, 0.05);
+        // 1e7 m per time unit: any tour completes in microseconds of model
+        // time.
+        let cfg = SimConfig { horizon, slot: 10.0, seed: 1, charger_speed: Some(1e7) };
+        run(World::fixed(network.clone(), &cycles), &cfg, &mut p)
+    };
+    assert!(fast.is_perpetual(), "deaths: {:?}", fast.deaths);
+    assert_eq!(fast.dispatches, instant.dispatches);
+    assert!((fast.service_cost - instant.service_cost).abs() < 1e-9);
+    assert_eq!(fast.charges, instant.charges);
+    // Same charge times up to negligible travel offsets.
+    for i in 0..4 {
+        assert_eq!(fast.charge_log[i].len(), instant.charge_log[i].len());
+        for (a, b) in fast.charge_log[i].iter().zip(instant.charge_log[i].iter()) {
+            assert!((a - b).abs() < 1e-3, "sensor {i}: {a} vs {b}");
+        }
+    }
+    assert!(fast.total_charge_delay > 0.0);
+    assert!(fast.max_charge_delay < 1e-3);
+}
+
+#[test]
+fn charges_arrive_in_tour_order() {
+    // One depot, two sensors 10 m and 20 m out; speed 10 → arrivals at
+    // dispatch + 1 and dispatch + 2.
+    let network = line_network(2);
+    let cycles = [8.0, 8.0];
+    let mut p = MtdPolicy::new(&network);
+    let cfg = SimConfig { horizon: 17.0, slot: 100.0, seed: 2, charger_speed: Some(10.0) };
+    let r = run(World::fixed(network.clone(), &cycles), &cfg, &mut p);
+    // Dispatch at t = 8: tour 0 → s0 (10 m) → s1 (20 m) → 0. The second
+    // dispatch (t = 16) sends arrivals at 17 and 18, past the horizon, so
+    // only the first tour's charges are delivered and accounted.
+    assert_eq!(r.dispatches, 2); // t = 8 and t = 16
+    assert_eq!(r.charge_log[0][0], 9.0);
+    assert_eq!(r.charge_log[1][0], 10.0);
+    assert!((r.total_charge_delay - (1.0 + 2.0)).abs() < 1e-9);
+    assert_eq!(r.max_charge_delay, 2.0);
+}
+
+#[test]
+fn slow_chargers_kill_sensors() {
+    // Tour takes 4 time units but the sensors only last ~1–2 beyond their
+    // schedule margin: deaths must appear and be recorded honestly.
+    let network = line_network(3);
+    let cycles = [1.0, 1.0, 1.0];
+    let mut p = MtdPolicy::new(&network);
+    // Tour 0→10→20→30→0 = 60 m at speed 15 → 4 time units per round.
+    let cfg = SimConfig { horizon: 20.0, slot: 100.0, seed: 3, charger_speed: Some(15.0) };
+    let r = run(World::fixed(network.clone(), &cycles), &cfg, &mut p);
+    assert!(
+        !r.deaths.is_empty(),
+        "a 4-unit tour against 1-unit cycles must kill sensors"
+    );
+    assert!(r.max_charge_delay >= 1.0);
+}
+
+#[test]
+fn busy_charger_delays_next_departure() {
+    // Cycle-1 sensors and a slow charger: the dispatch at t = 2 cannot
+    // leave before the t = 1 tour returns, so delays accumulate.
+    let network = line_network(2);
+    let cycles = [1.0, 1.0];
+    let mut p = MtdPolicy::new(&network);
+    // Tour length 40 m, speed 20 → 2 time units per tour, dispatched every 1.
+    let cfg = SimConfig { horizon: 10.0, slot: 100.0, seed: 4, charger_speed: Some(20.0) };
+    let r = run(World::fixed(network.clone(), &cycles), &cfg, &mut p);
+    // First tour departs at 1, returns at 3; second departs at 3, not 2.
+    // Sensor 0 (10 m out) is reached at 1.5, then 3.5, then 5.5, ...
+    let log = &r.charge_log[0];
+    assert!((log[0] - 1.5).abs() < 1e-9, "{log:?}");
+    assert!((log[1] - 3.5).abs() < 1e-9, "{log:?}");
+    // Deaths inevitably pile up — the point is the accounting stays sane.
+    let sum: f64 = r.per_charger_distance.iter().sum();
+    assert!((sum - r.service_cost).abs() < 1e-9);
+}

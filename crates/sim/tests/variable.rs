@@ -1,0 +1,137 @@
+//! End-to-end tests of the variable-cycle pipeline: slot-resampled rates,
+//! EWMA prediction, applicability-band replanning and `V^a` repair.
+
+use perpetuum_core::network::Network;
+use perpetuum_energy::CycleDistribution;
+use perpetuum_geom::{deploy, rng::derived_rng, Field};
+use perpetuum_sim::{run, GreedyPolicy, MtdPolicy, SimConfig, VarPolicy, World};
+
+fn paper_like_world(n: usize, seed: u64, sigma: f64) -> (Network, World) {
+    let field = Field::paper_default();
+    let mut rng = derived_rng(seed, 0);
+    let sensors = deploy::uniform_deployment(field, n, &mut rng);
+    let depots = deploy::place_depots(
+        field,
+        field.center(),
+        3,
+        deploy::DepotPlacement::OneAtBaseStation,
+        &mut rng,
+    );
+    let network = Network::new(sensors, depots);
+    let dist = CycleDistribution::Linear { sigma };
+    let means = dist.mean_all(
+        network.sensor_positions(),
+        field.center(),
+        1.0,
+        50.0,
+    );
+    let world = World::variable(network.clone(), &means, dist, 1.0, 50.0);
+    (network, world)
+}
+
+#[test]
+fn var_policy_keeps_network_alive_and_replans() {
+    let (network, world) = paper_like_world(30, 7, 2.0);
+    let mut policy = VarPolicy::new(&network);
+    let cfg = SimConfig { horizon: 200.0, slot: 10.0, seed: 7, charger_speed: None };
+    let r = run(world, &cfg, &mut policy);
+    assert!(
+        r.deaths.is_empty(),
+        "unexpected deaths: {:?} (replans: {})",
+        r.deaths,
+        policy.replans()
+    );
+    assert!(r.service_cost > 0.0);
+    assert!(
+        policy.replans() > 0,
+        "σ = 2 over 20 slots should trigger at least one replan"
+    );
+}
+
+#[test]
+fn greedy_keeps_variable_network_alive() {
+    let (network, world) = paper_like_world(30, 8, 2.0);
+    let mut policy = GreedyPolicy::new(&network, 1.0);
+    let cfg = SimConfig { horizon: 200.0, slot: 10.0, seed: 8, charger_speed: None };
+    let r = run(world, &cfg, &mut policy);
+    assert!(r.deaths.is_empty(), "unexpected deaths: {:?}", r.deaths);
+    assert!(r.service_cost > 0.0);
+}
+
+#[test]
+fn var_beats_greedy_on_linear_distribution() {
+    // The paper's headline: MinTotalDistance-var undercuts Greedy under the
+    // linear distribution. Average over a few topologies to wash out noise.
+    let mut var_total = 0.0;
+    let mut greedy_total = 0.0;
+    for seed in 0..5u64 {
+        let (network, world) = paper_like_world(40, 100 + seed, 2.0);
+        let cfg = SimConfig { horizon: 300.0, slot: 10.0, seed: 100 + seed, charger_speed: None };
+
+        let mut var_policy = VarPolicy::new(&network);
+        let rv = run(world.clone(), &cfg, &mut var_policy);
+        assert!(rv.deaths.is_empty(), "var deaths: {:?}", rv.deaths);
+        var_total += rv.service_cost;
+
+        let mut greedy_policy = GreedyPolicy::new(&network, 1.0);
+        let rg = run(world, &cfg, &mut greedy_policy);
+        assert!(rg.deaths.is_empty(), "greedy deaths: {:?}", rg.deaths);
+        greedy_total += rg.service_cost;
+    }
+    assert!(
+        var_total < greedy_total,
+        "var {var_total} should undercut greedy {greedy_total}"
+    );
+}
+
+#[test]
+fn sigma_zero_variable_world_matches_fixed_mtd() {
+    // With σ = 0, cycles never change, no replans trigger, and the var
+    // policy degenerates to Algorithm 3.
+    let (network, world) = paper_like_world(25, 9, 0.0);
+    let cfg = SimConfig { horizon: 150.0, slot: 10.0, seed: 9, charger_speed: None };
+
+    let mut var_policy = VarPolicy::new(&network);
+    let rv = run(world.clone(), &cfg, &mut var_policy);
+    assert_eq!(var_policy.replans(), 0);
+
+    let mut mtd_policy = MtdPolicy::new(&network);
+    let rm = run(world, &cfg, &mut mtd_policy);
+    assert!((rv.service_cost - rm.service_cost).abs() < 1e-6);
+    assert_eq!(rv.dispatches, rm.dispatches);
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let (network, world) = paper_like_world(20, 11, 2.0);
+    let cfg = SimConfig { horizon: 100.0, slot: 10.0, seed: 11, charger_speed: None };
+    let mut p1 = VarPolicy::new(&network);
+    let r1 = run(world.clone(), &cfg, &mut p1);
+    let mut p2 = VarPolicy::new(&network);
+    let r2 = run(world, &cfg, &mut p2);
+    assert_eq!(r1.service_cost, r2.service_cost);
+    assert_eq!(r1.dispatches, r2.dispatches);
+    assert_eq!(r1.charge_log, r2.charge_log);
+}
+
+#[test]
+fn random_distribution_also_survives() {
+    let field = Field::paper_default();
+    let mut rng = derived_rng(21, 0);
+    let sensors = deploy::uniform_deployment(field, 30, &mut rng);
+    let depots = deploy::place_depots(
+        field,
+        field.center(),
+        5,
+        deploy::DepotPlacement::OneAtBaseStation,
+        &mut rng,
+    );
+    let network = Network::new(sensors, depots);
+    let dist = CycleDistribution::Random;
+    let means = dist.mean_all(network.sensor_positions(), field.center(), 1.0, 50.0);
+    let world = World::variable(network.clone(), &means, dist, 1.0, 50.0);
+    let cfg = SimConfig { horizon: 200.0, slot: 10.0, seed: 21, charger_speed: None };
+    let mut policy = VarPolicy::new(&network);
+    let r = run(world, &cfg, &mut policy);
+    assert!(r.deaths.is_empty(), "deaths: {:?}", r.deaths);
+}

@@ -1,0 +1,83 @@
+//! Charger fleet sizing: how many mobile chargers does a deployment need?
+//!
+//! An operations question the paper's machinery answers directly: sweep the
+//! number of depots `q` and watch the service cost and the per-charger
+//! workload. More chargers shorten tours (each charger serves a smaller
+//! region) with diminishing returns — useful when trading vehicle capital
+//! cost against travel cost.
+//!
+//! ```text
+//! cargo run --release --example charger_fleet_sizing
+//! ```
+
+use perpetuum::core::network::Network;
+use perpetuum::energy::CycleDistribution;
+use perpetuum::geom::{deploy, derived_rng, Field};
+use perpetuum::prelude::*;
+
+fn main() {
+    let field = Field::paper_default();
+    let n = 200;
+    let horizon = 500.0;
+    let dist = CycleDistribution::linear_default();
+
+    println!("Charger fleet sizing — n = {n}, T = {horizon}, linear distribution\n");
+    println!(
+        "{:>3} {:>18} {:>22} {:>24}",
+        "q", "service cost (km)", "max charger load (km)", "marginal saving (km)"
+    );
+
+    let mut prev_cost: Option<f64> = None;
+    for q in [1usize, 2, 3, 5, 7, 10] {
+        // Average over a few deployments; the sensor layout stays fixed per
+        // seed while the q-1 non-base-station depots are re-drawn.
+        let mut costs = Vec::new();
+        let mut max_loads = Vec::new();
+        for seed in 0..5u64 {
+            let mut rng = derived_rng(31337, seed);
+            let sensors = deploy::uniform_deployment(field, n, &mut rng);
+            let depots = deploy::place_depots(
+                field,
+                field.center(),
+                q,
+                deploy::DepotPlacement::OneAtBaseStation,
+                &mut rng,
+            );
+            let network = Network::new(sensors, depots);
+            let cycles = dist.sample_all(
+                network.sensor_positions(),
+                field.center(),
+                1.0,
+                50.0,
+                &mut rng,
+            );
+            let world = World::fixed(network.clone(), &cycles);
+            let cfg = SimConfig { horizon, slot: 10.0, seed: 9000 + seed, charger_speed: None };
+            let mut policy = MtdPolicy::new(&network);
+            let r = run(world, &cfg, &mut policy);
+            assert!(r.is_perpetual());
+            costs.push(r.service_cost / 1000.0);
+            max_loads.push(
+                r.per_charger_distance
+                    .iter()
+                    .cloned()
+                    .fold(0.0f64, f64::max)
+                    / 1000.0,
+            );
+        }
+        let cost = perpetuum::par::mean(&costs);
+        let max_load = perpetuum::par::mean(&max_loads);
+        let saving = prev_cost.map(|p| p - cost);
+        match saving {
+            Some(s) => println!("{q:>3} {cost:>18.1} {max_load:>22.1} {s:>24.1}"),
+            None => println!("{q:>3} {cost:>18.1} {max_load:>22.1} {:>24}", "-"),
+        }
+        prev_cost = Some(cost);
+    }
+
+    println!("\nWith one depot already at the base station (where the hungry relay");
+    println!("sensors cluster), extra randomly-placed chargers barely move the");
+    println!("*total* service cost — but they spread the workload: the busiest");
+    println!("charger's share falls steadily, which is what bounds per-vehicle");
+    println!("battery/fuel requirements and fleet turnaround time.");
+}

@@ -1,0 +1,73 @@
+//! Multimedia surveillance WSN with workload swings (Section VI).
+//!
+//! Camera sensors burn energy on image processing, so consumption is
+//! unrelated to the distance from the base station (the *random*
+//! distribution) and changes with scene activity. This example runs the
+//! variable-cycle pipeline: per-slot cycle resampling, EWMA prediction at
+//! each sensor, and `MinTotalDistance-var` replanning whenever a sensor
+//! drifts out of its applicability band — versus the greedy baseline.
+//!
+//! ```text
+//! cargo run --release --example multimedia_surveillance
+//! ```
+
+use perpetuum::core::network::Network;
+use perpetuum::energy::CycleDistribution;
+use perpetuum::geom::{deploy, derived_rng, Field};
+use perpetuum::prelude::*;
+
+fn main() {
+    let field = Field::paper_default();
+    let n = 150;
+    let horizon = 1000.0;
+    let slot = 10.0;
+
+    println!("Multimedia surveillance WSN — random cycle distribution, variable load");
+    println!("n = {n}, q = 5, T = {horizon}, dT = {slot}\n");
+
+    let mut total_var = 0.0;
+    let mut total_greedy = 0.0;
+    for seed in 0..5u64 {
+        let mut rng = derived_rng(77, seed);
+        let sensors = deploy::uniform_deployment(field, n, &mut rng);
+        let depots = deploy::place_depots(
+            field,
+            field.center(),
+            5,
+            deploy::DepotPlacement::OneAtBaseStation,
+            &mut rng,
+        );
+        let network = Network::new(sensors, depots);
+        let dist = CycleDistribution::Random;
+        let means = dist.mean_all(network.sensor_positions(), field.center(), 1.0, 50.0);
+        let cfg = SimConfig { horizon, slot, seed: 1000 + seed, charger_speed: None };
+
+        let world = World::variable(network.clone(), &means, dist, 1.0, 50.0);
+        let mut var_policy = VarPolicy::new(&network);
+        let rv = run(world.clone(), &cfg, &mut var_policy);
+        assert!(rv.is_perpetual(), "deaths under MinTotalDistance-var: {:?}", rv.deaths);
+
+        let mut greedy_policy = GreedyPolicy::new(&network, 1.0);
+        let rg = run(world, &cfg, &mut greedy_policy);
+        assert!(rg.is_perpetual(), "deaths under Greedy: {:?}", rg.deaths);
+
+        println!(
+            "deployment {seed}: var {:7.1} km ({:3} replans, {:5} charges) | greedy {:7.1} km ({:5} charges)",
+            rv.service_cost / 1000.0,
+            var_policy.replans(),
+            rv.charges,
+            rg.service_cost / 1000.0,
+            rg.charges,
+        );
+        total_var += rv.service_cost;
+        total_greedy += rg.service_cost;
+    }
+
+    println!(
+        "\noverall: var/greedy cost ratio = {:.3}",
+        total_var / total_greedy
+    );
+    println!("Under the random distribution the gap narrows (paper: 87%–93%):");
+    println!("short-cycle sensors sit anywhere in the field, so every dispatch");
+    println!("must cover most of the area regardless of scheduling cleverness.");
+}

@@ -1,0 +1,108 @@
+//! Scaled-down smoke runs of every figure: the paper's qualitative claims
+//! must already show at small replication counts and shortened horizons.
+
+use perpetuum::exp::figures::{run_figure_scaled, FigureId};
+
+const TOPOLOGIES: usize = 2;
+const SEED: u64 = 4242;
+const SCALE: f64 = 0.1; // T = 100 instead of 1000
+
+#[test]
+fn fig1a_mtd_beats_greedy_under_linear_distribution() {
+    let fd = run_figure_scaled(FigureId::Fig1a, TOPOLOGIES, SEED, SCALE);
+    for (i, r) in fd.ratio(0, 1).iter().enumerate() {
+        assert!(*r < 0.9, "n = {}: ratio {r}", fd.xs[i]);
+    }
+    assert_perpetual(&fd);
+    assert_costs_grow_with_x(&fd);
+}
+
+#[test]
+fn fig1b_gap_narrows_under_random_distribution() {
+    let fd1a = run_figure_scaled(FigureId::Fig1a, TOPOLOGIES, SEED, SCALE);
+    let fd1b = run_figure_scaled(FigureId::Fig1b, TOPOLOGIES, SEED, SCALE);
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let linear_ratio = mean(&fd1a.ratio(0, 1));
+    let random_ratio = mean(&fd1b.ratio(0, 1));
+    assert!(
+        random_ratio > linear_ratio,
+        "random-distribution ratio {random_ratio} should exceed linear {linear_ratio}"
+    );
+    assert!(random_ratio < 1.05, "MTD should stay competitive: {random_ratio}");
+    assert_perpetual(&fd1b);
+}
+
+#[test]
+fn fig2a_costs_converge_at_small_tau_max() {
+    let fd = run_figure_scaled(FigureId::Fig2a, TOPOLOGIES, SEED, SCALE);
+    let ratios = fd.ratio(0, 1);
+    // τ_max = 1: every sensor has cycle 1; both algorithms must charge
+    // everyone every time unit → near-identical cost.
+    assert!(
+        (ratios[0] - 1.0).abs() < 0.1,
+        "τ_max = 1 ratio should be ~1, got {}",
+        ratios[0]
+    );
+    // τ_max = 50: the gap is wide open.
+    let last = *ratios.last().unwrap();
+    assert!(last < 0.8, "τ_max = 50 ratio should be well below 1, got {last}");
+    assert_perpetual(&fd);
+}
+
+#[test]
+fn fig3_var_beats_greedy_under_linear_distribution() {
+    let fd = run_figure_scaled(FigureId::Fig3, TOPOLOGIES, SEED, SCALE);
+    for (i, r) in fd.ratio(0, 1).iter().enumerate() {
+        assert!(*r < 1.0, "n = {}: ratio {r}", fd.xs[i]);
+    }
+    assert_perpetual(&fd);
+    assert_costs_grow_with_x(&fd);
+}
+
+#[test]
+fn fig5_costs_fall_as_slots_stabilize() {
+    let fd = run_figure_scaled(FigureId::Fig5, TOPOLOGIES, SEED, SCALE);
+    assert_perpetual(&fd);
+    // Compare the most unstable (ΔT = 1) against the most stable (ΔT = 20)
+    // points for the var algorithm: stability must help.
+    let var = &fd.series[0].values;
+    assert!(
+        var[0] > *var.last().unwrap(),
+        "ΔT = 1 cost {} should exceed ΔT = 20 cost {}",
+        var[0],
+        var.last().unwrap()
+    );
+}
+
+#[test]
+fn fig6_costs_rise_with_jitter() {
+    let fd = run_figure_scaled(FigureId::Fig6, TOPOLOGIES, SEED, SCALE);
+    assert_perpetual(&fd);
+    let var = &fd.series[0].values;
+    // σ = 0 vs σ = 50: large jitter puts short cycles far from the base
+    // station, inflating tours.
+    assert!(
+        *var.last().unwrap() > var[0],
+        "σ = 50 cost {} should exceed σ = 0 cost {}",
+        var.last().unwrap(),
+        var[0]
+    );
+}
+
+fn assert_perpetual(fd: &perpetuum::exp::figures::FigureData) {
+    for s in &fd.series {
+        let deaths: usize = s.deaths.iter().sum();
+        assert_eq!(deaths, 0, "{} ({}): sensor deaths", s.name, fd.id);
+    }
+}
+
+fn assert_costs_grow_with_x(fd: &perpetuum::exp::figures::FigureData) {
+    for s in &fd.series {
+        assert!(
+            *s.values.last().unwrap() > s.values[0],
+            "{} ({}): cost should grow across the sweep",
+            s.name,
+            fd.id
+        );
+    }
+}

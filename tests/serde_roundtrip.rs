@@ -1,0 +1,79 @@
+//! Serde round-trips of the public data types (plans survive persistence).
+
+use perpetuum::core::schedule::{ScheduleSeries, TourSet};
+use perpetuum::core::mtd::{plan_min_total_distance, MtdConfig};
+use perpetuum::core::network::{Instance, Network};
+use perpetuum::core::rounding::partition_cycles;
+use perpetuum::geom::Point2;
+
+fn instance() -> Instance {
+    let sensors = vec![
+        Point2::new(100.0, 50.0),
+        Point2::new(300.0, 400.0),
+        Point2::new(700.0, 200.0),
+    ];
+    let depots = vec![Point2::new(500.0, 500.0)];
+    Instance::new(Network::new(sensors, depots), vec![1.0, 3.0, 8.0], 32.0)
+}
+
+#[test]
+fn schedule_series_round_trips_with_identical_semantics() {
+    let inst = instance();
+    let plan = plan_min_total_distance(&inst, &MtdConfig::default());
+    let json = serde_json::to_string(&plan).unwrap();
+    let back: ScheduleSeries = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.dispatch_count(), plan.dispatch_count());
+    assert!((back.service_cost() - plan.service_cost()).abs() < 1e-12);
+    for i in 0..3 {
+        assert_eq!(back.charge_times(i), plan.charge_times(i));
+    }
+    // The restored plan still passes feasibility.
+    perpetuum::core::feasibility::check_series(&inst, &back).unwrap();
+}
+
+#[test]
+fn tour_set_round_trip_preserves_membership_and_cost() {
+    let inst = instance();
+    let plan = plan_min_total_distance(&inst, &MtdConfig::default());
+    let set = &plan.sets()[plan.sets().len() - 1];
+    let json = serde_json::to_string(set).unwrap();
+    let back: TourSet = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.sensors(), set.sensors());
+    assert!((back.cost() - set.cost()).abs() < 1e-9);
+    assert_eq!(back.tours().len(), set.tours().len());
+}
+
+#[test]
+fn cycle_partition_round_trips() {
+    let p = partition_cycles(&[1.0, 2.5, 7.0, 40.0]);
+    let json = serde_json::to_string(&p).unwrap();
+    let back: perpetuum::core::rounding::CyclePartition = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, p);
+}
+
+#[test]
+fn point_and_field_round_trip() {
+    let p = Point2::new(12.5, -3.25);
+    let back: Point2 = serde_json::from_str(&serde_json::to_string(&p).unwrap()).unwrap();
+    assert_eq!(back, p);
+    let f = perpetuum::geom::Field::paper_default();
+    let back: perpetuum::geom::Field =
+        serde_json::from_str(&serde_json::to_string(&f).unwrap()).unwrap();
+    assert_eq!(back, f);
+}
+
+#[test]
+fn sim_result_round_trips() {
+    use perpetuum::prelude::*;
+    let sensors = vec![Point2::new(50.0, 0.0), Point2::new(0.0, 80.0)];
+    let network = Network::new(sensors, vec![Point2::ORIGIN]);
+    let world = World::fixed(network.clone(), &[2.0, 5.0]);
+    let cfg = SimConfig { horizon: 20.0, slot: 10.0, seed: 3, charger_speed: None };
+    let mut policy = MtdPolicy::new(&network);
+    let r = run(world, &cfg, &mut policy);
+    let json = serde_json::to_string(&r).unwrap();
+    let back: SimResult = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.service_cost, r.service_cost);
+    assert_eq!(back.charge_log, r.charge_log);
+    assert_eq!(back.dispatches, r.dispatches);
+}
