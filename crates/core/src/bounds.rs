@@ -17,7 +17,7 @@
 //! the paper's worst-case `2(K + 2)`.
 
 use crate::network::Instance;
-use crate::qmsf::q_rooted_msf;
+use crate::qmsf::q_rooted_msf_src;
 use crate::rounding::partition_cycles;
 
 /// A certified lower bound on the optimal service cost of an instance,
@@ -77,7 +77,7 @@ pub fn lemma3_lower_bound(instance: &Instance) -> ServiceCostBound {
             continue;
         }
         let terminals = partition.cumulative(k);
-        let msf = q_rooted_msf(network.dist(), &terminals, &depots);
+        let msf = q_rooted_msf_src(&network.dist_source(), &terminals, &depots);
         let bound = windows as f64 * msf.weight;
         if bound > best.bound {
             best = ServiceCostBound { bound, achieving_class: k, windows };

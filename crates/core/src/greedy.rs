@@ -16,7 +16,7 @@
 //! online greedy policy shares with it.
 
 use crate::network::{Instance, Network};
-use crate::qtsp::q_rooted_tsp;
+use crate::qtsp::q_rooted_tsp_src;
 use crate::schedule::{ScheduleSeries, TourSet};
 
 /// Tunables for the greedy baseline.
@@ -46,7 +46,7 @@ impl GreedyConfig {
 pub fn greedy_batch(network: &Network, pending: &[usize], polish_rounds: usize) -> TourSet {
     let n = network.n();
     let depots = network.depot_nodes();
-    let qt = q_rooted_tsp(network.dist(), pending, &depots, polish_rounds);
+    let qt = q_rooted_tsp_src(&network.dist_source(), pending, &depots, polish_rounds);
     TourSet::from_qtours(qt, |v| v >= n)
 }
 

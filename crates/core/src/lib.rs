@@ -62,8 +62,12 @@ pub use minmax::{min_max_cover, MinMaxCover};
 pub use mtd::{plan_min_total_distance, MtdConfig};
 pub use naive::{plan_charge_all, plan_per_sensor_cadence};
 pub use network::{Instance, Network};
-pub use qmsf::{q_rooted_msf, rooted_msf_general, RootedForest};
-pub use qtsp::{q_rooted_tsp, q_rooted_tsp_routed, QTours, Routing};
+pub use qmsf::{
+    q_rooted_msf, q_rooted_msf_sparse, q_rooted_msf_src, rooted_msf_general, RootedForest,
+};
+pub use qtsp::{
+    q_rooted_tsp, q_rooted_tsp_routed, q_rooted_tsp_routed_src, q_rooted_tsp_src, QTours, Routing,
+};
 pub use rounding::{partition_cycles, power_class, CyclePartition};
 pub use schedule::{Dispatch, ScheduleSeries, TourSet};
 pub use split::{split_tour, split_tour_set, SplitError, SplitTourSet};

@@ -16,7 +16,7 @@
 //! `O(rounds · n · q)` routing calls — fine at experiment scale.
 
 use crate::network::Network;
-use crate::qtsp::{q_rooted_tsp_routed, Routing};
+use crate::qtsp::{q_rooted_tsp_routed_src, Routing};
 use crate::schedule::TourSet;
 use perpetuum_graph::Tour;
 
@@ -47,12 +47,12 @@ pub fn min_max_cover(
     max_rounds: usize,
 ) -> MinMaxCover {
     let q = network.q();
-    let dist = network.dist();
+    let dist = network.dist_source();
     let depots = network.depot_nodes();
 
     // Seed assignment from Algorithm 1's forest.
     let nodes: Vec<usize> = sensors.iter().map(|&i| network.sensor_node(i)).collect();
-    let forest = crate::qmsf::q_rooted_msf(dist, &nodes, &depots);
+    let forest = crate::qmsf::q_rooted_msf_src(&dist, &nodes, &depots);
     // assignment[s] indexes into `sensors`.
     let mut groups: Vec<Vec<usize>> = vec![Vec::new(); q];
     for (t, &r) in forest.assignment.iter().enumerate() {
@@ -65,12 +65,12 @@ pub fn min_max_cover(
         if group_nodes.is_empty() {
             return Tour::singleton(depot);
         }
-        let qt = q_rooted_tsp_routed(dist, &group_nodes, &[depot], routing, 2);
+        let qt = q_rooted_tsp_routed_src(&dist, &group_nodes, &[depot], routing, 2);
         qt.tours.into_iter().next().expect("one root, one tour")
     };
 
     let mut tours: Vec<Tour> = (0..q).map(|l| route(&groups[l], depots[l])).collect();
-    let mut lengths: Vec<f64> = tours.iter().map(|t| t.length(dist)).collect();
+    let mut lengths: Vec<f64> = tours.iter().map(|t| t.length(&dist)).collect();
     let mut moves = 0usize;
 
     for _ in 0..max_rounds {
@@ -90,7 +90,7 @@ pub fn min_max_cover(
             let mut donor: Vec<usize> = groups[worst].clone();
             donor.remove(pos);
             let donor_tour = route(&donor, depots[worst]);
-            let donor_len = donor_tour.length(dist);
+            let donor_len = donor_tour.length(&dist);
             for l in 0..q {
                 if l == worst {
                     continue;
@@ -98,7 +98,7 @@ pub fn min_max_cover(
                 let mut target = groups[l].clone();
                 target.push(t);
                 let target_tour = route(&target, depots[l]);
-                let target_len = target_tour.length(dist);
+                let target_len = target_tour.length(&dist);
                 // Makespan of the two affected tours after the move; other
                 // tours are unchanged.
                 let others = lengths
@@ -119,8 +119,8 @@ pub fn min_max_cover(
             Some((pos, l, donor_tour, target_tour, new_span)) if new_span + 1e-9 < worst_len => {
                 let t = groups[worst].remove(pos);
                 groups[l].push(t);
-                lengths[worst] = donor_tour.length(dist);
-                lengths[l] = target_tour.length(dist);
+                lengths[worst] = donor_tour.length(&dist);
+                lengths[l] = target_tour.length(&dist);
                 tours[worst] = donor_tour;
                 tours[l] = target_tour;
                 moves += 1;
@@ -145,7 +145,7 @@ impl MinMaxCover {
     /// schedule machinery).
     pub fn into_tour_set(self, network: &Network) -> TourSet {
         let n = network.n();
-        TourSet::new(self.tours, network.dist(), |v| v >= n)
+        TourSet::new(self.tours, &network.dist_source(), |v| v >= n)
     }
 }
 

@@ -17,7 +17,7 @@
 //! `⌈T/τ'_n⌉` times.
 
 use crate::network::Instance;
-use crate::qtsp::{q_rooted_tsp_routed, Routing};
+use crate::qtsp::{q_rooted_tsp_routed_src, Routing};
 use crate::rounding::{partition_cycles, CyclePartition};
 use crate::schedule::{ScheduleSeries, TourSet};
 
@@ -75,8 +75,8 @@ pub(crate) fn build_cumulative_tour_sets(
     (0..=partition.k_max())
         .map(|k| {
             let terminals = partition.cumulative(k);
-            let qt = q_rooted_tsp_routed(
-                network.dist(),
+            let qt = q_rooted_tsp_routed_src(
+                &network.dist_source(),
                 &terminals,
                 &depots,
                 cfg.routing,

@@ -15,7 +15,7 @@
 //!   "significantly increasing the service cost".
 
 use crate::network::Instance;
-use crate::qtsp::q_rooted_tsp;
+use crate::qtsp::q_rooted_tsp_src;
 use crate::schedule::{ScheduleSeries, TourSet};
 
 /// Charges each sensor individually at exact multiples of its own maximum
@@ -28,7 +28,7 @@ pub fn plan_per_sensor_cadence(instance: &Instance) -> ScheduleSeries {
     let mut dispatches: Vec<(f64, usize)> = Vec::new();
     for i in 0..n {
         let set_id = series.add_set(TourSet::from_qtours(
-            q_rooted_tsp(network.dist(), &[network.sensor_node(i)], &depots, 0),
+            q_rooted_tsp_src(&network.dist_source(), &[network.sensor_node(i)], &depots, 0),
             |v| v >= n,
         ));
         let tau = instance.cycles()[i];
@@ -56,7 +56,7 @@ pub fn plan_charge_all(instance: &Instance) -> ScheduleSeries {
     }
     let all: Vec<usize> = (0..n).collect();
     let set = series.add_set(TourSet::from_qtours(
-        q_rooted_tsp(network.dist(), &all, &network.depot_nodes(), 0),
+        q_rooted_tsp_src(&network.dist_source(), &all, &network.depot_nodes(), 0),
         |v| v >= n,
     ));
     let tau_min = instance

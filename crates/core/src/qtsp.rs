@@ -16,12 +16,12 @@
 //! and never breaks the approximation guarantee because local search only
 //! shortens tours.
 
-use crate::qmsf::{q_rooted_msf, ForestEdge};
+use crate::qmsf::{q_rooted_msf_src, ForestEdge};
 use perpetuum_graph::euler::{double_edges, euler_circuit};
 use perpetuum_graph::tsp_christofides::tour_from_tree_matched;
 use perpetuum_graph::tsp_savings::savings_tour;
 use perpetuum_graph::tsp_heur::polish;
-use perpetuum_graph::{DistMatrix, Tour};
+use perpetuum_graph::{DistMatrix, DistSource, Metric, Tour};
 
 /// How each MSF tree is turned into a closed tour.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -54,7 +54,7 @@ pub struct QTours {
 
 impl QTours {
     /// Recomputes the total length (used by tests to cross-check `cost`).
-    pub fn total_length(&self, dist: &DistMatrix) -> f64 {
+    pub fn total_length<M: Metric>(&self, dist: &M) -> f64 {
         self.tours.iter().map(|t| t.length(dist)).sum()
     }
 
@@ -113,57 +113,110 @@ pub fn q_rooted_tsp_routed(
     routing: Routing,
     polish_rounds: usize,
 ) -> QTours {
+    q_rooted_tsp_routed_src(&DistSource::dense(dist), terminals, roots, routing, polish_rounds)
+}
+
+/// [`q_rooted_tsp_routed`] over a [`DistSource`]: the planning entry point
+/// that never forces a dense matrix. `Dense` sources reproduce the classic
+/// pipeline exactly; `Points` sources use the sparse super-root MSF
+/// ([`crate::qmsf::q_rooted_msf_sparse`]) and compute distances on demand.
+pub fn q_rooted_tsp_src(
+    src: &DistSource<'_>,
+    terminals: &[usize],
+    roots: &[usize],
+    polish_rounds: usize,
+) -> QTours {
+    q_rooted_tsp_routed_src(src, terminals, roots, Routing::Doubling, polish_rounds)
+}
+
+/// [`q_rooted_tsp_routed`] over a [`DistSource`], with per-root tours
+/// built in parallel.
+///
+/// Each root's tour (edge mapping, Euler circuit / matching / savings,
+/// polish) depends only on its own tree, so the per-root computations are
+/// embarrassingly parallel; results are collected in root order and the
+/// cost is summed in that same order, making the output **bit-identical**
+/// to the sequential loop for any worker count.
+pub fn q_rooted_tsp_routed_src(
+    src: &DistSource<'_>,
+    terminals: &[usize],
+    roots: &[usize],
+    routing: Routing,
+    polish_rounds: usize,
+) -> QTours {
+    // Thread spawn costs ~tens of µs; below this terminal count the whole
+    // per-root build is cheaper than that, so stay sequential (the result
+    // is identical either way — see above).
+    const PAR_TERMINALS_THRESHOLD: usize = 256;
+    let workers = if terminals.len() >= PAR_TERMINALS_THRESHOLD {
+        perpetuum_par::default_workers(roots.len())
+    } else {
+        1
+    };
+    q_rooted_tsp_routed_src_workers(src, terminals, roots, routing, polish_rounds, workers)
+}
+
+/// [`q_rooted_tsp_routed_src`] with an explicit worker count — the parity
+/// tests use it to pin sequential vs parallel runs against each other.
+#[doc(hidden)]
+pub fn q_rooted_tsp_routed_src_workers(
+    src: &DistSource<'_>,
+    terminals: &[usize],
+    roots: &[usize],
+    routing: Routing,
+    polish_rounds: usize,
+    workers: usize,
+) -> QTours {
     debug_assert!(
         terminals.iter().all(|t| !roots.contains(t)),
         "terminals and roots must be disjoint"
     );
-    let forest = q_rooted_msf(dist, terminals, roots);
-    let mut tours = Vec::with_capacity(roots.len());
-    let mut cost = 0.0;
-    // Scratch edge buffer reused across roots.
-    let mut edges: Vec<(usize, usize)> = Vec::new();
-    for (r, &root_node) in roots.iter().enumerate() {
-        edges.clear();
-        for e in &forest.trees[r] {
-            let (u, v) = match *e {
+    let forest = q_rooted_msf_src(src, terminals, roots);
+    let groups = forest.terminals_by_root();
+    let node_count = src.len();
+
+    let build_tour = |r: usize| -> Tour {
+        let root_node = roots[r];
+        let edges: Vec<(usize, usize)> = forest.trees[r]
+            .iter()
+            .map(|e| match *e {
                 ForestEdge::TermTerm(a, b) => (terminals[a], terminals[b]),
                 ForestEdge::RootTerm(_, t) => (root_node, terminals[t]),
-            };
-            edges.push((u, v));
-        }
+            })
+            .collect();
         if edges.is_empty() {
-            tours.push(Tour::singleton(root_node));
-            continue;
+            return Tour::singleton(root_node);
         }
         let mut tour = match routing {
             Routing::Doubling => {
                 let doubled = double_edges(&edges);
-                let circuit = euler_circuit(dist.len(), &doubled, root_node)
+                let circuit = euler_circuit(node_count, &doubled, root_node)
                     .expect("a doubled tree always has an Euler circuit from its root");
                 Tour::shortcut(&circuit)
             }
-            Routing::Matching => tour_from_tree_matched(dist, dist.len(), &edges, root_node),
+            Routing::Matching => tour_from_tree_matched(src, node_count, &edges, root_node),
             Routing::Savings => {
-                let customers: Vec<usize> = forest.terminals_of(r)
-                    .into_iter()
-                    .map(|t| terminals[t])
-                    .collect();
-                savings_tour(dist, root_node, &customers)
+                let customers: Vec<usize> =
+                    groups[r].iter().map(|&t| terminals[t]).collect();
+                savings_tour(src, root_node, &customers)
             }
         };
         debug_assert_eq!(tour.start(), Some(root_node));
         if polish_rounds > 0 {
-            polish(&mut tour, dist, polish_rounds);
+            polish(&mut tour, src, polish_rounds);
         }
-        cost += tour.length(dist);
-        tours.push(tour);
-    }
+        tour
+    };
+
+    let tours = perpetuum_par::par_map_indexed(roots.len(), workers, build_tour);
+    let cost = tours.iter().map(|t| t.length(src)).sum();
     QTours { tours, cost }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::qmsf::q_rooted_msf;
     use perpetuum_geom::Point2;
     use perpetuum_graph::tsp_exact::held_karp;
 
@@ -341,6 +394,82 @@ mod tests {
             matched_total < doubled_total,
             "matched {matched_total} vs doubled {doubled_total}"
         );
+    }
+
+    #[test]
+    fn parallel_per_root_tours_are_bit_identical() {
+        // Above the parallel threshold, any worker count must reproduce the
+        // sequential result exactly — same tours, same cost bits.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+        let n = 300;
+        let sensors: Vec<Point2> = (0..n)
+            .map(|_| Point2::new(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0)))
+            .collect();
+        let depots = vec![
+            Point2::new(100.0, 100.0),
+            Point2::new(900.0, 100.0),
+            Point2::new(500.0, 900.0),
+            Point2::new(500.0, 500.0),
+        ];
+        let dist = host(&sensors, &depots);
+        let src = DistSource::dense(&dist);
+        let terminals: Vec<usize> = (0..n).collect();
+        let roots: Vec<usize> = (n..n + 4).collect();
+        for routing in [Routing::Doubling, Routing::Matching, Routing::Savings] {
+            let seq =
+                q_rooted_tsp_routed_src_workers(&src, &terminals, &roots, routing, 3, 1);
+            for workers in [2, 4, 7] {
+                let par = q_rooted_tsp_routed_src_workers(
+                    &src, &terminals, &roots, routing, 3, workers,
+                );
+                assert_eq!(seq.cost.to_bits(), par.cost.to_bits(), "{routing:?}/{workers}");
+                for (a, b) in seq.tours.iter().zip(&par.tours) {
+                    assert_eq!(a.nodes(), b.nodes(), "{routing:?}/{workers}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_source_matches_dense_pipeline() {
+        // A Points source solves the same MSF (weight parity is asserted
+        // exactly in qmsf::tests), but its Prim emits tree edges in a
+        // different order, so Euler shortcutting can pick a different —
+        // equally valid — tour. Assert the actual guarantees: identical
+        // coverage, the 2×MSF bound, and costs within a few percent.
+        use rand::{Rng, SeedableRng};
+        for seed in 0..5u64 {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed + 900);
+            let n = 60;
+            let sensors: Vec<Point2> = (0..n)
+                .map(|_| Point2::new(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0)))
+                .collect();
+            let depots = [Point2::new(250.0, 250.0), Point2::new(750.0, 750.0)];
+            let all: Vec<Point2> = sensors.iter().chain(depots.iter()).copied().collect();
+            let dist = DistMatrix::from_points(&all);
+            let terminals: Vec<usize> = (0..n).collect();
+            let roots = vec![n, n + 1];
+            let dense = q_rooted_tsp_src(&DistSource::dense(&dist), &terminals, &roots, 2);
+            let sparse = q_rooted_tsp_src(&DistSource::points(&all), &terminals, &roots, 2);
+            assert_eq!(
+                dense.covered_nodes(|v| v >= n),
+                sparse.covered_nodes(|v| v >= n),
+                "seed {seed}"
+            );
+            let msf = q_rooted_msf(&dist, &terminals, &roots);
+            for (label, qt) in [("dense", &dense), ("sparse", &sparse)] {
+                assert!(qt.cost <= 2.0 * msf.weight + 1e-9, "seed {seed} {label}");
+                assert!(qt.cost >= msf.weight - 1e-9, "seed {seed} {label}");
+            }
+            let rel = (dense.cost - sparse.cost).abs() / dense.cost;
+            assert!(
+                rel < 0.25,
+                "seed {seed}: dense {} vs sparse {} (rel {rel})",
+                dense.cost,
+                sparse.cost
+            );
+        }
     }
 
     #[test]

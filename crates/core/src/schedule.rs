@@ -7,7 +7,7 @@
 //! them by index — the service cost of a 1000-dispatch plan costs `O(1)`
 //! per dispatch to account, not `O(n)`.
 
-use perpetuum_graph::{DistMatrix, Tour};
+use perpetuum_graph::{Metric, Tour};
 use serde::{Deserialize, Serialize};
 
 use crate::qtsp::QTours;
@@ -27,7 +27,7 @@ impl TourSet {
     ///
     /// `is_depot` distinguishes depot nodes so the sensor membership cache
     /// excludes them; `dist` is used to compute the cost.
-    pub fn new(tours: Vec<Tour>, dist: &DistMatrix, is_depot: impl Fn(usize) -> bool) -> Self {
+    pub fn new<M: Metric>(tours: Vec<Tour>, dist: &M, is_depot: impl Fn(usize) -> bool) -> Self {
         let cost = tours.iter().map(|t| t.length(dist)).sum();
         let mut sensors: Vec<usize> = tours
             .iter()
@@ -174,7 +174,7 @@ impl ScheduleSeries {
 
     /// Per-charger travelled distance across the series. `q` is the number
     /// of chargers; every tour set must have exactly `q` tours.
-    pub fn per_charger_distance(&self, dist: &DistMatrix, q: usize) -> Vec<f64> {
+    pub fn per_charger_distance<M: Metric>(&self, dist: &M, q: usize) -> Vec<f64> {
         let mut out = vec![0.0; q];
         for d in &self.dispatches {
             let set = &self.sets[d.set];
@@ -191,6 +191,7 @@ impl ScheduleSeries {
 mod tests {
     use super::*;
     use perpetuum_geom::Point2;
+    use perpetuum_graph::DistMatrix;
 
     /// 2 sensors (nodes 0, 1) + 1 depot (node 2) on a line.
     fn dist() -> DistMatrix {

@@ -23,7 +23,7 @@ use std::collections::HashMap;
 
 use crate::mtd::{nu2, push_dispatch_timeline};
 use crate::network::Network;
-use crate::qtsp::q_rooted_tsp;
+use crate::qtsp::q_rooted_tsp_src;
 use crate::rounding::{partition_cycles, power_class};
 use crate::schedule::{ScheduleSeries, TourSet};
 use crate::qmsf::rooted_msf_general;
@@ -170,7 +170,7 @@ pub fn replan_variable_with(input: &VarInput, repair: RepairStrategy) -> VarPlan
     let depot_nodes = network.depot_nodes();
     let route = |sensors: &[usize]| -> TourSet {
         let nodes: Vec<usize> = sensors.iter().map(|&i| network.sensor_node(i)).collect();
-        let qt = q_rooted_tsp(network.dist(), &nodes, &depot_nodes, input.polish_rounds);
+        let qt = q_rooted_tsp_src(&network.dist_source(), &nodes, &depot_nodes, input.polish_rounds);
         TourSet::from_qtours(qt, |v| v >= n)
     };
 

@@ -12,16 +12,20 @@
 //!   paper),
 //! * [`deploy`] — random/grid/clustered sensor deployments and depot
 //!   placement matching Section VII.A of the paper,
+//! * [`index`] — exact spatial indexes (uniform grid, kd-tree) powering the
+//!   near-linear sparse planning pipeline,
 //! * [`rng`] — deterministic derivation of per-topology RNG streams from a
 //!   single master seed, so every experiment is reproducible bit-for-bit.
 
 pub mod aabb;
 pub mod deploy;
 pub mod hull;
+pub mod index;
 pub mod point;
 pub mod rng;
 
 pub use aabb::{Aabb, Field};
+pub use index::{knn_lists, BruteForceIndex, KdTree, SpatialIndex, UniformGrid};
 pub use deploy::{
     clustered_deployment, grid_deployment, halton_deployment, place_depots, uniform_deployment,
     DepotPlacement,

@@ -1,0 +1,79 @@
+//! Property tests: the accelerated spatial indexes are *exact* — every
+//! query agrees with the brute-force oracle on random point clouds,
+//! including duplicated points and degenerate layouts.
+
+use perpetuum_geom::index::{knn_lists, BruteForceIndex, KdTree, SpatialIndex, UniformGrid};
+use perpetuum_geom::Point2;
+use proptest::prelude::*;
+
+prop_compose! {
+    fn arb_points(max_n: usize)(
+        xy in prop::collection::vec((0.0..1000.0f64, 0.0..1000.0f64), 1..max_n)
+    ) -> Vec<Point2> {
+        xy.into_iter().map(|(x, y)| Point2::new(x, y)).collect()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn knn_parity_with_brute_force(
+        points in arb_points(180),
+        k in 1..12usize,
+        qx in -100.0..1100.0f64,
+        qy in -100.0..1100.0f64,
+    ) {
+        let q = Point2::new(qx, qy);
+        let brute = BruteForceIndex::new(&points);
+        let grid = UniformGrid::new(&points);
+        let tree = KdTree::new(&points);
+        let want = brute.knn(q, k);
+        prop_assert_eq!(grid.knn(q, k), want.clone());
+        prop_assert_eq!(tree.knn(q, k), want);
+    }
+
+    #[test]
+    fn radius_parity_with_brute_force(
+        points in arb_points(180),
+        radius in 0.0..800.0f64,
+        qx in 0.0..1000.0f64,
+        qy in 0.0..1000.0f64,
+    ) {
+        let q = Point2::new(qx, qy);
+        let brute = BruteForceIndex::new(&points);
+        let want = brute.in_radius(q, radius);
+        prop_assert_eq!(UniformGrid::new(&points).in_radius(q, radius), want.clone());
+        prop_assert_eq!(KdTree::new(&points).in_radius(q, radius), want);
+    }
+
+    #[test]
+    fn duplicated_points_keep_parity(
+        base in arb_points(40),
+        copies in 1..4usize,
+        k in 1..8usize,
+    ) {
+        // Every point appears `copies + 1` times: distance ties everywhere.
+        let mut points = base.clone();
+        for _ in 0..copies {
+            points.extend_from_slice(&base);
+        }
+        let brute = BruteForceIndex::new(&points);
+        let grid = UniformGrid::new(&points);
+        let tree = KdTree::new(&points);
+        for &q in base.iter().take(10) {
+            let want = brute.knn(q, k);
+            prop_assert_eq!(grid.knn(q, k), want.clone());
+            prop_assert_eq!(tree.knn(q, k), want);
+        }
+    }
+
+    #[test]
+    fn knn_lists_parity(points in arb_points(120), k in 1..9usize) {
+        let brute = BruteForceIndex::new(&points);
+        let grid = UniformGrid::new(&points);
+        let tree = KdTree::new(&points);
+        let want = knn_lists(&brute, k);
+        prop_assert_eq!(knn_lists(&grid, k), want.clone());
+        prop_assert_eq!(knn_lists(&tree, k), want);
+    }
+}

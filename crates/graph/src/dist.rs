@@ -1,0 +1,187 @@
+//! Distance access without a mandatory dense matrix.
+//!
+//! The paper's algorithms are written over a metric complete graph, and the
+//! seed implementation materialized it as an `n × n` [`DistMatrix`]
+//! everywhere. That representation is optimal up to a few thousand nodes
+//! and impossible beyond (n = 10,000 ⇒ 800 MB of f64). [`DistSource`] is
+//! the switch point: the *same* planning code runs against a dense matrix
+//! or against on-demand Euclidean distances computed from point positions,
+//! chosen per instance by a size threshold.
+//!
+//! [`Metric`] is the minimal read-only surface (`len` + `get`) the tour
+//! and local-search code needs; it is implemented by both [`DistMatrix`]
+//! and [`DistSource`], so algorithm functions stay generic and
+//! monomorphize to the exact code the seed had on the dense path.
+
+use crate::matrix::DistMatrix;
+use perpetuum_geom::Point2;
+
+/// Read-only access to pairwise distances of a metric graph.
+pub trait Metric {
+    /// Number of nodes.
+    fn len(&self) -> usize;
+
+    /// True when the graph has no nodes.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Distance between nodes `i` and `j`.
+    fn get(&self, i: usize, j: usize) -> f64;
+
+    /// Total weight of a walk visiting `nodes` in order (open, no return).
+    fn walk_len(&self, nodes: &[usize]) -> f64 {
+        nodes.windows(2).map(|w| self.get(w[0], w[1])).sum()
+    }
+
+    /// Smallest distance from `i` to any node in `targets`, with the
+    /// achieving target. `None` when `targets` is empty. First minimum in
+    /// target order wins ties (same rule as `DistMatrix::nearest_of`).
+    fn nearest_of(&self, i: usize, targets: &[usize]) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for &t in targets {
+            let d = self.get(i, t);
+            match best {
+                Some((_, bd)) if bd <= d => {}
+                _ => best = Some((t, d)),
+            }
+        }
+        best
+    }
+}
+
+impl Metric for DistMatrix {
+    #[inline]
+    fn len(&self) -> usize {
+        DistMatrix::len(self)
+    }
+
+    #[inline]
+    fn get(&self, i: usize, j: usize) -> f64 {
+        DistMatrix::get(self, i, j)
+    }
+}
+
+impl<M: Metric + ?Sized> Metric for &M {
+    #[inline]
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    #[inline]
+    fn get(&self, i: usize, j: usize) -> f64 {
+        (**self).get(i, j)
+    }
+}
+
+/// Where a planner's distances come from: a materialized dense matrix, or
+/// point positions queried on demand.
+///
+/// `Points` computes `points[i].dist(points[j])` per call — O(1) with no
+/// O(n²) memory, and *bit-identical* to the values `DistMatrix::from_points`
+/// stores (both evaluate the same IEEE expression), so switching sources
+/// never changes planner output, only its footprint.
+#[derive(Debug, Clone, Copy)]
+pub enum DistSource<'a> {
+    /// A dense `n × n` matrix (the classic representation).
+    Dense(&'a DistMatrix),
+    /// On-demand Euclidean distances over node positions.
+    Points(&'a [Point2]),
+}
+
+impl<'a> DistSource<'a> {
+    /// Wraps a dense matrix.
+    pub fn dense(dist: &'a DistMatrix) -> Self {
+        DistSource::Dense(dist)
+    }
+
+    /// Wraps point positions (node id = slice index).
+    pub fn points(points: &'a [Point2]) -> Self {
+        DistSource::Points(points)
+    }
+
+    /// The positions backing this source, when it has them.
+    pub fn positions(&self) -> Option<&'a [Point2]> {
+        match self {
+            DistSource::Dense(_) => None,
+            DistSource::Points(p) => Some(p),
+        }
+    }
+
+    /// True when distances live in a materialized dense matrix.
+    pub fn is_dense(&self) -> bool {
+        matches!(self, DistSource::Dense(_))
+    }
+}
+
+impl Metric for DistSource<'_> {
+    #[inline]
+    fn len(&self) -> usize {
+        match self {
+            DistSource::Dense(d) => d.len(),
+            DistSource::Points(p) => p.len(),
+        }
+    }
+
+    #[inline]
+    fn get(&self, i: usize, j: usize) -> f64 {
+        match self {
+            DistSource::Dense(d) => d.get(i, j),
+            DistSource::Points(p) => p[i].dist(p[j]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cloud(n: usize) -> Vec<Point2> {
+        (0..n)
+            .map(|i| {
+                let i = i as f64;
+                Point2::new((i * 37.0) % 101.0, (i * i * 13.0) % 89.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sources_agree_bit_for_bit() {
+        let pts = cloud(30);
+        let dense = DistMatrix::from_points(&pts);
+        let a = DistSource::dense(&dense);
+        let b = DistSource::points(&pts);
+        assert_eq!(Metric::len(&a), Metric::len(&b));
+        for i in 0..30 {
+            for j in 0..30 {
+                // Exact equality on purpose: the two sources must be
+                // interchangeable without any tolerance.
+                assert_eq!(a.get(i, j), b.get(i, j), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn trait_helpers_match_matrix_inherents() {
+        let pts = cloud(12);
+        let dense = DistMatrix::from_points(&pts);
+        let src = DistSource::points(&pts);
+        let walk: Vec<usize> = vec![0, 5, 2, 9, 1];
+        assert_eq!(src.walk_len(&walk), dense.walk_len(&walk));
+        assert_eq!(
+            Metric::nearest_of(&src, 3, &[7, 1, 11]),
+            dense.nearest_of(3, &[7, 1, 11])
+        );
+        assert_eq!(Metric::nearest_of(&src, 0, &[]), None);
+    }
+
+    #[test]
+    fn accessors() {
+        let pts = cloud(4);
+        let dense = DistMatrix::from_points(&pts);
+        assert!(DistSource::dense(&dense).is_dense());
+        assert!(!DistSource::points(&pts).is_dense());
+        assert!(DistSource::dense(&dense).positions().is_none());
+        assert_eq!(DistSource::points(&pts).positions().unwrap().len(), 4);
+    }
+}

@@ -6,6 +6,12 @@
 //! scratch, everything the schedulers need on such graphs:
 //!
 //! * [`DistMatrix`] — a flat, dense, symmetric distance matrix,
+//! * [`dist`] — the [`Metric`] trait and [`DistSource`] enum: planners run
+//!   against a dense matrix *or* on-demand point distances, so large
+//!   instances never materialize `n²` floats,
+//! * [`sparse`] — CSR k-NN graphs, binary-heap Prim in `O(m log n)` and
+//!   the [`sparse::mst_knn`] escalation driver (sparse first, dense only
+//!   on disconnection),
 //! * [`dsu::DisjointSets`] — union–find with path halving and union by size,
 //! * [`mst`] — Prim's algorithm in `O(n²)` on dense matrices (the right
 //!   complexity class for complete graphs) and Kruskal on edge lists,
@@ -24,12 +30,14 @@
 //! * [`one_tree`] — Held–Karp 1-tree lower bounds for certifying tour
 //!   quality beyond exact-solver reach.
 
+pub mod dist;
 pub mod dsu;
 pub mod euler;
 pub mod matching;
 pub mod matrix;
 pub mod mst;
 pub mod one_tree;
+pub mod sparse;
 pub mod tour;
 pub mod tsp_christofides;
 pub mod tsp_savings;
@@ -37,6 +45,8 @@ pub mod tsp_exact;
 pub mod tsp_heur;
 pub mod tsp_hilbert;
 
+pub use dist::{DistSource, Metric};
 pub use dsu::DisjointSets;
 pub use matrix::DistMatrix;
+pub use sparse::{knn_edges, mst_knn, prim_sparse, MstStrategy, SparseGraph, SparseMst};
 pub use tour::Tour;

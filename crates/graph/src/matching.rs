@@ -10,7 +10,7 @@
 //! to tree doubling in our ablation because both are polished by the same
 //! short-cutting.
 
-use crate::matrix::DistMatrix;
+use crate::dist::Metric;
 
 /// A perfect matching over an even-sized node set, as `(u, v)` pairs.
 pub type Matching = Vec<(usize, usize)>;
@@ -21,7 +21,7 @@ pub type Matching = Vec<(usize, usize)>;
 ///
 /// # Panics
 /// Panics when `nodes.len()` is odd.
-pub fn greedy_min_matching(dist: &DistMatrix, nodes: &[usize]) -> Matching {
+pub fn greedy_min_matching<M: Metric>(dist: &M, nodes: &[usize]) -> Matching {
     assert!(nodes.len().is_multiple_of(2), "perfect matching needs an even node count");
     let m = nodes.len();
     if m == 0 {
@@ -61,7 +61,7 @@ pub fn greedy_min_matching(dist: &DistMatrix, nodes: &[usize]) -> Matching {
 /// 2-swap local search: for every pair of matched edges `(a,b)`, `(c,d)`,
 /// try the re-pairings `(a,c)+(b,d)` and `(a,d)+(b,c)`; keep the best.
 /// Runs to a local optimum.
-fn improve_matching(dist: &DistMatrix, nodes: &[usize], matching: &mut [(usize, usize)]) {
+fn improve_matching<M: Metric>(dist: &M, nodes: &[usize], matching: &mut [(usize, usize)]) {
     let w = |a: usize, b: usize| dist.get(nodes[a], nodes[b]);
     loop {
         let mut improved = false;
@@ -90,14 +90,14 @@ fn improve_matching(dist: &DistMatrix, nodes: &[usize], matching: &mut [(usize, 
 }
 
 /// Total weight of a matching.
-pub fn matching_weight(dist: &DistMatrix, matching: &Matching) -> f64 {
+pub fn matching_weight<M: Metric>(dist: &M, matching: &Matching) -> f64 {
     matching.iter().map(|&(u, v)| dist.get(u, v)).sum()
 }
 
 /// Exact minimum matching by exhaustive recursion — test oracle, `m ≤ 12`.
-pub fn exact_min_matching_weight(dist: &DistMatrix, nodes: &[usize]) -> f64 {
+pub fn exact_min_matching_weight<M: Metric>(dist: &M, nodes: &[usize]) -> f64 {
     assert!(nodes.len().is_multiple_of(2) && nodes.len() <= 12);
-    fn rec(dist: &DistMatrix, remaining: &[usize]) -> f64 {
+    fn rec<M: Metric>(dist: &M, remaining: &[usize]) -> f64 {
         if remaining.is_empty() {
             return 0.0;
         }
@@ -120,6 +120,7 @@ pub fn exact_min_matching_weight(dist: &DistMatrix, nodes: &[usize]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::matrix::DistMatrix;
     use perpetuum_geom::Point2;
     use rand::{Rng, SeedableRng};
 

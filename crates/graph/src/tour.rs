@@ -1,9 +1,11 @@
 //! Closed tours and walk short-cutting.
 
-use crate::matrix::DistMatrix;
+use crate::dist::Metric;
 use serde::{Deserialize, Serialize};
 
-/// A closed tour over nodes of a [`DistMatrix`].
+/// A closed tour over nodes of a [`Metric`] graph (dense
+/// [`DistMatrix`](crate::matrix::DistMatrix) or on-demand
+/// [`DistSource`](crate::dist::DistSource)).
 ///
 /// The tour is stored as the visiting order `v_0, v_1, …, v_{m−1}`; the
 /// closing edge `v_{m−1} → v_0` is implicit. A tour with zero or one node
@@ -95,7 +97,7 @@ impl Tour {
     }
 
     /// Total length including the closing edge.
-    pub fn length(&self, dist: &DistMatrix) -> f64 {
+    pub fn length<M: Metric>(&self, dist: &M) -> f64 {
         if self.nodes.len() < 2 {
             return 0.0;
         }
@@ -124,6 +126,7 @@ impl Tour {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::matrix::DistMatrix;
     use perpetuum_geom::Point2;
 
     fn unit_square() -> DistMatrix {

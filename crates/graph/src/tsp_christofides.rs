@@ -9,6 +9,7 @@
 //! consistently shorter — which is exactly what the routing ablation
 //! measures.
 
+use crate::dist::Metric;
 use crate::euler::euler_circuit;
 use crate::matching::greedy_min_matching;
 use crate::matrix::DistMatrix;
@@ -22,8 +23,8 @@ use crate::tour::Tour;
 /// `n` is the host graph's node count (for adjacency sizing). The tree may
 /// be a single vertex (`tree` empty) — the result is then the singleton
 /// tour of `start`.
-pub fn tour_from_tree_matched(
-    dist: &DistMatrix,
+pub fn tour_from_tree_matched<M: Metric>(
+    dist: &M,
     n: usize,
     tree: &[Edge],
     start: usize,

@@ -5,12 +5,20 @@
 //! *tour-polish ablation*: how much of the doubling slack a cheap polish
 //! recovers in practice. `nearest_neighbor` provides an independent
 //! construction baseline for tests.
+//!
+//! All operators are generic over [`Metric`], so they run identically on a
+//! dense [`DistMatrix`](crate::matrix::DistMatrix) or an on-demand
+//! [`DistSource`](crate::dist::DistSource). For large instances,
+//! [`knn_candidates`] builds spatial-index-backed neighbour lists in
+//! `O(n · k · log n)` and [`two_opt_with_candidates`] consumes them —
+//! replacing the `O(n² log n)` sort-the-whole-row list construction.
 
-use crate::matrix::DistMatrix;
+use crate::dist::Metric;
 use crate::tour::Tour;
+use perpetuum_geom::{knn_lists, KdTree, Point2};
 
 /// Nearest-neighbour tour over all nodes of `dist`, starting at `start`.
-pub fn nearest_neighbor(dist: &DistMatrix, start: usize) -> Tour {
+pub fn nearest_neighbor<M: Metric>(dist: &M, start: usize) -> Tour {
     let n = dist.len();
     assert!(start < n, "start out of bounds");
     let mut visited = vec![false; n];
@@ -19,13 +27,15 @@ pub fn nearest_neighbor(dist: &DistMatrix, start: usize) -> Tour {
     visited[cur] = true;
     order.push(cur);
     for _ in 1..n {
-        let row = dist.row(cur);
         let mut best = usize::MAX;
         let mut bd = f64::INFINITY;
-        for (v, (&d, &vis)) in row.iter().zip(visited.iter()).enumerate() {
-            if !vis && d < bd {
-                bd = d;
-                best = v;
+        for (v, &vis) in visited.iter().enumerate() {
+            if !vis {
+                let d = dist.get(cur, v);
+                if d < bd {
+                    bd = d;
+                    best = v;
+                }
             }
         }
         visited[best] = true;
@@ -39,7 +49,7 @@ pub fn nearest_neighbor(dist: &DistMatrix, start: usize) -> Tour {
 /// shortens the closed tour, up to `max_rounds` full passes (or until a
 /// local optimum). Keeps the first node fixed, so depot-rooted tours stay
 /// depot-rooted. Returns the total improvement (≥ 0).
-pub fn two_opt(tour: &mut Tour, dist: &DistMatrix, max_rounds: usize) -> f64 {
+pub fn two_opt<M: Metric>(tour: &mut Tour, dist: &M, max_rounds: usize) -> f64 {
     let n = tour.len();
     if n < 4 {
         return 0.0;
@@ -85,7 +95,7 @@ pub fn two_opt(tour: &mut Tour, dist: &DistMatrix, max_rounds: usize) -> f64 {
 /// Or-opt local search: relocates chains of 1–3 consecutive nodes to a
 /// better position, up to `max_rounds` passes. The first node stays fixed.
 /// Returns the total improvement (≥ 0).
-pub fn or_opt(tour: &mut Tour, dist: &DistMatrix, max_rounds: usize) -> f64 {
+pub fn or_opt<M: Metric>(tour: &mut Tour, dist: &M, max_rounds: usize) -> f64 {
     let n = tour.len();
     if n < 4 {
         return 0.0;
@@ -148,48 +158,30 @@ pub fn or_opt(tour: &mut Tour, dist: &DistMatrix, max_rounds: usize) -> f64 {
     improvement
 }
 
-/// Neighbour-list 2-opt for large instances: instead of scanning all
-/// `O(n²)` edge pairs per pass, only consider reconnections `(a, c)` where
-/// `c` is one of `a`'s `k` nearest neighbours — the standard scaling
-/// technique for Euclidean local search. With `k ≈ 8–16` it finds nearly
-/// all of full 2-opt's improvement at a fraction of the cost.
+/// 2-opt restricted to precomputed candidate lists: only reconnections
+/// `(a, c)` with `c ∈ candidates[a]` are considered. `candidates` is
+/// indexed by *global node id*; ids outside the tour (or outside the slice)
+/// are skipped, so one list built for the whole instance serves every
+/// per-root tour.
 ///
 /// The first node stays fixed; returns the total improvement (≥ 0).
-pub fn two_opt_neighbors(
+pub fn two_opt_with_candidates<M: Metric>(
     tour: &mut Tour,
-    dist: &DistMatrix,
-    k: usize,
+    dist: &M,
+    candidates: &[Vec<usize>],
     max_rounds: usize,
 ) -> f64 {
     let n = tour.len();
-    if n < 4 || k == 0 {
+    if n < 4 {
         return 0.0;
     }
-
-    // k-nearest neighbour lists over the tour's nodes.
-    let nodes_now: Vec<usize> = tour.nodes().to_vec();
-    let k = k.min(n - 1);
-    let mut neighbors: std::collections::HashMap<usize, Vec<usize>> =
-        std::collections::HashMap::with_capacity(n);
-    for &a in &nodes_now {
-        let mut others: Vec<usize> = nodes_now.iter().copied().filter(|&b| b != a).collect();
-        others.sort_by(|&x, &y| {
-            dist.get(a, x)
-                .partial_cmp(&dist.get(a, y))
-                .expect("distances are not NaN")
-        });
-        others.truncate(k);
-        neighbors.insert(a, others);
-    }
-
     let mut improvement = 0.0;
     for _ in 0..max_rounds {
         let mut improved = false;
         // position of each node in the current order.
         let nodes = tour.nodes_mut();
-        let mut pos = vec![usize::MAX; 0];
         let max_id = *nodes.iter().max().unwrap() + 1;
-        pos.resize(max_id, usize::MAX);
+        let mut pos = vec![usize::MAX; max_id];
         for (i, &v) in nodes.iter().enumerate() {
             pos[v] = i;
         }
@@ -197,8 +189,16 @@ pub fn two_opt_neighbors(
             let a = nodes[i];
             let b = nodes[i + 1];
             let d_ab = dist.get(a, b);
-            for &c in &neighbors[&a] {
-                let j = pos[c];
+            let list = match candidates.get(a) {
+                Some(list) => list,
+                None => continue,
+            };
+            for &c in list {
+                // Candidates not on this tour have no position: skip.
+                let j = match pos.get(c) {
+                    Some(&j) => j,
+                    None => continue,
+                };
                 // Candidate move: reverse nodes[i+1..=j], replacing edges
                 // (a,b) and (c,d) with (a,c) and (b,d).
                 if j <= i + 1 || j >= n {
@@ -225,9 +225,71 @@ pub fn two_opt_neighbors(
     improvement
 }
 
+/// Candidate lists for [`two_opt_with_candidates`] from the kd-tree index:
+/// each node in `nodes` gets its `k` nearest other members of `nodes`
+/// (by position in `points`, which is indexed by global node id). Runs in
+/// `O(n · k · log n)` — the scalable replacement for sorting full distance
+/// rows. The returned vector is indexed by global node id.
+pub fn knn_candidates(points: &[Point2], nodes: &[usize], k: usize) -> Vec<Vec<usize>> {
+    let max_id = match nodes.iter().copied().max() {
+        Some(m) => m + 1,
+        None => return Vec::new(),
+    };
+    let pts: Vec<Point2> = nodes.iter().map(|&v| points[v]).collect();
+    let tree = KdTree::new(&pts);
+    let lists = knn_lists(&tree, k);
+    let mut out = vec![Vec::new(); max_id];
+    for (i, list) in lists.into_iter().enumerate() {
+        out[nodes[i]] = list.into_iter().map(|j| nodes[j]).collect();
+    }
+    out
+}
+
+/// Neighbour-list 2-opt for large instances: instead of scanning all
+/// `O(n²)` edge pairs per pass, only consider reconnections `(a, c)` where
+/// `c` is one of `a`'s `k` nearest neighbours — the standard scaling
+/// technique for Euclidean local search. With `k ≈ 8–16` it finds nearly
+/// all of full 2-opt's improvement at a fraction of the cost.
+///
+/// Builds the lists by sorting distance rows (`O(n² log n)`, works for any
+/// [`Metric`]); when point positions are at hand, build the lists with
+/// [`knn_candidates`] instead and call [`two_opt_with_candidates`]
+/// directly.
+///
+/// The first node stays fixed; returns the total improvement (≥ 0).
+pub fn two_opt_neighbors<M: Metric>(
+    tour: &mut Tour,
+    dist: &M,
+    k: usize,
+    max_rounds: usize,
+) -> f64 {
+    let n = tour.len();
+    if n < 4 || k == 0 {
+        return 0.0;
+    }
+
+    // k-nearest neighbour lists over the tour's nodes, indexed by node id.
+    let nodes_now: Vec<usize> = tour.nodes().to_vec();
+    let k = k.min(n - 1);
+    let max_id = *nodes_now.iter().max().unwrap() + 1;
+    let mut neighbors = vec![Vec::new(); max_id];
+    for &a in &nodes_now {
+        let mut others: Vec<usize> = nodes_now.iter().copied().filter(|&b| b != a).collect();
+        others.sort_by(|&x, &y| {
+            dist.get(a, x)
+                .partial_cmp(&dist.get(a, y))
+                .expect("distances are not NaN")
+        });
+        others.truncate(k);
+        neighbors[a] = others;
+    }
+
+    two_opt_with_candidates(tour, dist, &neighbors, max_rounds)
+}
+
 /// Convenience: 2-opt followed by Or-opt, alternating until neither helps
 /// (bounded by `max_rounds` alternations).
-pub fn polish(tour: &mut Tour, dist: &DistMatrix, max_rounds: usize) -> f64 {
+pub fn polish<M: Metric>(tour: &mut Tour, dist: &M, max_rounds: usize) -> f64 {
     let mut total = 0.0;
     for _ in 0..max_rounds {
         let gain = two_opt(tour, dist, max_rounds) + or_opt(tour, dist, max_rounds);
@@ -242,8 +304,8 @@ pub fn polish(tour: &mut Tour, dist: &DistMatrix, max_rounds: usize) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::matrix::DistMatrix;
     use crate::tsp_exact::held_karp;
-    use perpetuum_geom::Point2;
     use rand::{Rng, SeedableRng};
 
     fn random_points(n: usize, seed: u64) -> Vec<Point2> {
@@ -359,6 +421,53 @@ mod tests {
         let d2 = DistMatrix::from_points(&random_points(10, 1));
         let mut t2 = nearest_neighbor(&d2, 0);
         assert_eq!(two_opt_neighbors(&mut t2, &d2, 0, 10), 0.0, "k = 0 is a no-op");
+    }
+
+    #[test]
+    fn index_backed_candidates_match_row_sorted_quality() {
+        // knn_candidates (kd-tree) and the row-sorting construction produce
+        // the same neighbour sets up to tie order, so candidate-list 2-opt
+        // must land within the same tolerance band from either source.
+        let mut row_total = 0.0;
+        let mut idx_total = 0.0;
+        for seed in 40..46 {
+            let pts = random_points(80, seed);
+            let d = DistMatrix::from_points(&pts);
+            let mut t_row = nearest_neighbor(&d, 0);
+            two_opt_neighbors(&mut t_row, &d, 12, 10_000);
+            row_total += t_row.length(&d);
+            let nodes: Vec<usize> = (0..pts.len()).collect();
+            let cands = knn_candidates(&pts, &nodes, 12);
+            let mut t_idx = nearest_neighbor(&d, 0);
+            two_opt_with_candidates(&mut t_idx, &d, &cands, 10_000);
+            idx_total += t_idx.length(&d);
+        }
+        assert!(
+            idx_total <= row_total * 1.05 && row_total <= idx_total * 1.05,
+            "index-backed {idx_total} vs row-sorted {row_total}"
+        );
+    }
+
+    #[test]
+    fn candidates_outside_tour_are_skipped() {
+        // Candidate lists built over ALL global nodes, tour over a subset:
+        // off-tour candidate ids must be ignored, not crash or corrupt.
+        let pts = random_points(40, 9);
+        let d = DistMatrix::from_points(&pts);
+        let all: Vec<usize> = (0..pts.len()).collect();
+        let cands = knn_candidates(&pts, &all, 10);
+        let subset: Vec<usize> = (0..pts.len()).step_by(3).collect();
+        let mut t = Tour::new(subset.clone());
+        let before = t.length(&d);
+        let gain = two_opt_with_candidates(&mut t, &d, &cands, 1_000);
+        let after = t.length(&d);
+        assert!(gain >= 0.0);
+        assert!((before - after - gain).abs() < 1e-6);
+        let mut nodes: Vec<usize> = t.nodes().to_vec();
+        nodes.sort_unstable();
+        let mut want = subset;
+        want.sort_unstable();
+        assert_eq!(nodes, want);
     }
 
     #[test]

@@ -9,12 +9,12 @@
 //! matching, used as a third [`Routing`](../../perpetuum_core) variant in
 //! the routing ablation.
 
-use crate::matrix::DistMatrix;
+use crate::dist::Metric;
 use crate::tour::Tour;
 
 /// Builds a closed tour from `depot` over `customers` (host-graph node
 /// ids, not containing the depot) by Clarke–Wright savings merging.
-pub fn savings_tour(dist: &DistMatrix, depot: usize, customers: &[usize]) -> Tour {
+pub fn savings_tour<M: Metric>(dist: &M, depot: usize, customers: &[usize]) -> Tour {
     let m = customers.len();
     match m {
         0 => return Tour::singleton(depot),
@@ -84,6 +84,7 @@ pub fn savings_tour(dist: &DistMatrix, depot: usize, customers: &[usize]) -> Tou
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::matrix::DistMatrix;
     use crate::tsp_exact::held_karp;
     use perpetuum_geom::Point2;
     use rand::{Rng, SeedableRng};

@@ -7,11 +7,11 @@
 //! own topology, and results are returned **in input order** so a parallel
 //! sweep is bit-identical to a sequential one.
 //!
-//! Built on `crossbeam::scope` + an atomic work index (no unsafe, no
-//! dependency on a global thread pool).
+//! Built on `std::thread::scope` + an atomic work index (no unsafe, no
+//! external dependency, no global thread pool).
 
-use crossbeam::channel;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 
 /// Number of worker threads to use: the available parallelism, capped by
 /// the number of work items (never zero).
@@ -45,14 +45,16 @@ where
     }
 
     let next = AtomicUsize::new(0);
-    let (tx, rx) = channel::unbounded::<(usize, T)>();
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
 
-    crossbeam::scope(|scope| {
+    // `std::thread::scope` re-raises any worker panic after joining all
+    // threads, so a panicking `f` propagates to the caller.
+    std::thread::scope(|scope| {
         for _ in 0..workers {
             let tx = tx.clone();
             let next = &next;
             let f = &f;
-            scope.spawn(move |_| loop {
+            scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= items {
                     break;
@@ -63,8 +65,7 @@ where
             });
         }
         drop(tx);
-    })
-    .expect("a parallel worker panicked");
+    });
 
     let mut slots: Vec<Option<T>> = (0..items).map(|_| None).collect();
     for (i, v) in rx.try_iter() {

@@ -1,0 +1,320 @@
+//! Offline shim of the `criterion` API surface the workspace's benches use.
+//!
+//! A compact wall-clock harness behind criterion's bench-definition API:
+//! `criterion_group!`/`criterion_main!`, benchmark groups, `bench_function`
+//! / `bench_with_input`, `BenchmarkId`, and `Bencher::iter`. Each benchmark
+//! is warmed up, then timed over adaptively chosen batches; the harness
+//! reports min/mean/median nanoseconds per iteration.
+//!
+//! Extras the real criterion doesn't have:
+//!
+//! * `--quick` (as passed by CI) shrinks sample counts,
+//! * a positional CLI filter substring-matches benchmark ids,
+//! * setting `PERPETUUM_BENCH_JSON=<path>` writes all results as a JSON
+//!   array — the workspace's committed `BENCH_*.json` files come from this.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full id, `group/function` or `group/function/param`.
+    pub id: String,
+    /// Iterations measured (after warm-up).
+    pub iters: u64,
+    /// Minimum observed time per iteration (ns).
+    pub min_ns: f64,
+    /// Mean time per iteration (ns).
+    pub mean_ns: f64,
+    /// Median time per iteration (ns).
+    pub median_ns: f64,
+}
+
+/// The benchmark driver (parses CLI args, collects results).
+pub struct Criterion {
+    filter: Option<String>,
+    quick: bool,
+    results: Vec<BenchResult>,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { filter: None, quick: false, results: Vec::new(), sample_size: 60 }
+    }
+}
+
+impl Criterion {
+    /// Builds a driver from `cargo bench` CLI arguments. Criterion-specific
+    /// flags are accepted and ignored where they have no shim equivalent.
+    pub fn from_args() -> Self {
+        let mut c = Self::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--quick" => c.quick = true,
+                "--bench" | "--test" => {}
+                s if s.starts_with("--") => {
+                    // Flags with a value (e.g. --save-baseline x): skip it.
+                    if !s.contains('=') {
+                        let _ = args.next();
+                    }
+                }
+                s => c.filter = Some(s.to_string()),
+            }
+        }
+        c
+    }
+
+    /// Default number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, name: name.into(), sample_size: None }
+    }
+
+    /// Runs an ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchId, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        self.run_one(id.into_bench_id(), sample_size, f);
+    }
+
+    fn run_one<F>(&mut self, id: String, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let samples = if self.quick { sample_size.div_ceil(6).max(3) } else { sample_size };
+        let mut b = Bencher { samples, per_iter_ns: Vec::new() };
+        f(&mut b);
+        let mut times = b.per_iter_ns;
+        if times.is_empty() {
+            return;
+        }
+        times.sort_by(|a, b| a.partial_cmp(b).expect("bench times are finite"));
+        let iters = times.len() as u64;
+        let min_ns = times[0];
+        let mean_ns = times.iter().sum::<f64>() / times.len() as f64;
+        let median_ns = times[times.len() / 2];
+        println!(
+            "bench: {id:<60} min {:>12}  mean {:>12}  median {:>12}",
+            fmt_ns(min_ns),
+            fmt_ns(mean_ns),
+            fmt_ns(median_ns)
+        );
+        self.results.push(BenchResult { id, iters, min_ns, mean_ns, median_ns });
+    }
+
+    /// Prints the run summary; honours `PERPETUUM_BENCH_JSON`.
+    pub fn final_report(&self) {
+        println!("\n{} benchmarks measured", self.results.len());
+        if let Ok(path) = std::env::var("PERPETUUM_BENCH_JSON") {
+            let mut out = String::from("[\n");
+            for (i, r) in self.results.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&format!(
+                    "  {{\"id\": {:?}, \"iters\": {}, \"min_ns\": {:.1}, \"mean_ns\": {:.1}, \"median_ns\": {:.1}}}",
+                    r.id, r.iters, r.min_ns, r.mean_ns, r.median_ns
+                ));
+            }
+            out.push_str("\n]\n");
+            if let Err(e) = std::fs::write(&path, out) {
+                eprintln!("failed to write {path}: {e}");
+            } else {
+                println!("results written to {path}");
+            }
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'c> {
+    c: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchId, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_bench_id());
+        let samples = self.sample_size.unwrap_or(self.c.sample_size);
+        self.c.run_one(full, samples, f);
+    }
+
+    /// Runs a benchmark receiving a reference to `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: impl IntoBenchId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Ends the group (kept for API parity; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId {
+    inner: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, criterion's parameterized-benchmark id.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        Self { inner: format!("{name}/{parameter}") }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { inner: format!("{parameter}") }
+    }
+}
+
+/// Conversion into a benchmark id string.
+pub trait IntoBenchId {
+    /// The id as text.
+    fn into_bench_id(self) -> String;
+}
+
+impl IntoBenchId for BenchmarkId {
+    fn into_bench_id(self) -> String {
+        self.inner
+    }
+}
+
+impl IntoBenchId for &str {
+    fn into_bench_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchId for String {
+    fn into_bench_id(self) -> String {
+        self
+    }
+}
+
+/// Times closures for one benchmark.
+pub struct Bencher {
+    samples: usize,
+    per_iter_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures `f`, recording per-iteration wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and batch-size calibration: aim for batches of ≥ ~1 ms so
+        // timer resolution stays below 0.1%.
+        let mut batch = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = t.elapsed().as_nanos() as f64;
+            if elapsed >= 1_000_000.0 || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 4;
+        }
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = t.elapsed().as_nanos() as f64;
+            self.per_iter_ns.push(elapsed / batch as f64);
+        }
+    }
+}
+
+/// Declares a benchmark group function (criterion API parity).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $($group(&mut c);)+
+            c.final_report();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut c = Criterion::default().sample_size(5);
+        let mut group = c.benchmark_group("g");
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        assert_eq!(c.results.len(), 2);
+        assert_eq!(c.results[0].id, "g/noop");
+        assert_eq!(c.results[1].id, "g/sum/10");
+        assert!(c.results.iter().all(|r| r.min_ns > 0.0 && r.min_ns <= r.mean_ns * 1.001));
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion { filter: Some("keep".into()), ..Criterion::default() };
+        let mut g = c.benchmark_group("g");
+        g.bench_function("keep_me", |b| b.iter(|| 1));
+        g.bench_function("drop_me", |b| b.iter(|| 1));
+        g.finish();
+        assert_eq!(c.results.len(), 1);
+        assert_eq!(c.results[0].id, "g/keep_me");
+    }
+}

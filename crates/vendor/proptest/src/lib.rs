@@ -1,0 +1,357 @@
+//! Offline shim of the `proptest` API surface the workspace uses.
+//!
+//! Property tests here are plain seeded sampling loops: each case draws its
+//! inputs from a deterministic RNG keyed on `(file, line, case index)` and
+//! runs the body. There is no shrinking — a failing case prints its index,
+//! and re-running reproduces it exactly because the stream is derived from
+//! the source location, not from time.
+//!
+//! Supported surface: `proptest! { #![proptest_config(...)] #[test] fn
+//! f(x in strat, ..) { .. } }`, `prop_compose!` (one or two dependent
+//! binding groups), `prop_assert!`/`prop_assert_eq!`, range strategies over
+//! ints and floats, strategy tuples, [`Just`], `.prop_map`,
+//! `prop::collection::vec`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of cases each property runs.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// How many random cases to execute.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps offline test walls short while
+        // still exercising plenty of structure.
+        Self { cases: 64 }
+    }
+}
+
+/// A generator of random values (no shrinking in the shim).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(f32, f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+/// A strategy defined by a sampling closure (used by `prop_compose!`).
+pub struct FnStrategy<F>(F);
+
+impl<T, F: Fn(&mut StdRng) -> T> Strategy for FnStrategy<F> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Wraps a sampling closure as a [`Strategy`].
+pub fn fn_strategy<T, F: Fn(&mut StdRng) -> T>(f: F) -> FnStrategy<F> {
+    FnStrategy(f)
+}
+
+/// Sizes accepted by [`prop::collection::vec`]: a fixed length or a range.
+pub trait SizeRange {
+    /// Draws a length.
+    fn pick(&self, rng: &mut StdRng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn pick(&self, _rng: &mut StdRng) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for std::ops::Range<usize> {
+    fn pick(&self, rng: &mut StdRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl SizeRange for std::ops::RangeInclusive<usize> {
+    fn pick(&self, rng: &mut StdRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+pub mod prop {
+    //! The `prop::` namespace mirror (`prop::collection::vec`).
+
+    pub mod collection {
+        //! Collection strategies.
+
+        use super::super::{SizeRange, Strategy};
+        use rand::rngs::StdRng;
+
+        /// Strategy for `Vec`s whose elements come from `element` and whose
+        /// length comes from `size`.
+        pub struct VecStrategy<S, R> {
+            element: S,
+            size: R,
+        }
+
+        impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let len = self.size.pick(rng);
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// A vector strategy (mirrors `proptest::collection::vec`).
+        pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+            VecStrategy { element, size }
+        }
+    }
+}
+
+/// Deterministic per-case RNG keyed on source location and case index.
+pub fn test_rng(file: &str, line: u32, case: u32) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in file.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h ^= (line as u64) << 32 | case as u64;
+    StdRng::seed_from_u64(h)
+}
+
+/// Asserts a property-test condition (no shrinking: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts property-test equality (no shrinking: plain `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Declares property tests: each `fn` becomes a `#[test]` that samples its
+/// arguments from their strategies for every case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            for __case in 0..cfg.cases {
+                let mut __rng = $crate::test_rng(file!(), line!(), __case);
+                $(let $pat = $crate::Strategy::generate(&($strat), &mut __rng);)*
+                // The body runs per case; a panic reports the failing case.
+                let run = || $body;
+                run();
+            }
+        }
+    )*};
+}
+
+/// Declares a function returning a composed strategy. Supports proptest's
+/// one- and two-group (dependent) forms.
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident($($arg:ident : $argty:ty),* $(,)?)
+        ($($pat1:pat in $strat1:expr),* $(,)?)
+        $(($($pat2:pat in $strat2:expr),* $(,)?))?
+        -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($arg: $argty),*) -> impl $crate::Strategy<Value = $ret> {
+            $crate::fn_strategy(move |__rng| {
+                $(let $pat1 = $crate::Strategy::generate(&($strat1), __rng);)*
+                $($(let $pat2 = $crate::Strategy::generate(&($strat2), __rng);)*)?
+                $body
+            })
+        }
+    };
+}
+
+pub mod prelude {
+    //! The glob-import surface (`use proptest::prelude::*`).
+
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_compose, proptest, Just, ProptestConfig,
+        Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = super::test_rng("lib.rs", 1, 0);
+        for _ in 0..100 {
+            let x = (0.0..10.0f64).generate(&mut rng);
+            assert!((0.0..10.0).contains(&x));
+            let (a, b) = (1..5usize, -2.0..=2.0f64).generate(&mut rng);
+            assert!((1..5).contains(&a));
+            assert!((-2.0..=2.0).contains(&b));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size() {
+        let mut rng = super::test_rng("lib.rs", 2, 0);
+        let s = prop::collection::vec(0.0..1.0f64, 3..7);
+        for _ in 0..50 {
+            let v = s.generate(&mut rng);
+            assert!((3..7).contains(&v.len()));
+        }
+        let fixed = prop::collection::vec(0..9usize, 4usize);
+        assert_eq!(fixed.generate(&mut rng).len(), 4);
+    }
+
+    #[test]
+    fn map_and_just() {
+        let mut rng = super::test_rng("lib.rs", 3, 0);
+        let doubled = (1..10u64).prop_map(|x| x * 2);
+        for _ in 0..20 {
+            assert_eq!(doubled.generate(&mut rng) % 2, 0);
+        }
+        assert_eq!(Just(7usize).generate(&mut rng), 7);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_location() {
+        let s = prop::collection::vec(0.0..100.0f64, 5..20);
+        let a = s.generate(&mut super::test_rng("f", 9, 3));
+        let b = s.generate(&mut super::test_rng("f", 9, 3));
+        assert_eq!(a, b);
+        let c = s.generate(&mut super::test_rng("f", 9, 4));
+        assert_ne!(a, c);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn the_macro_itself_works(x in 0.0..1.0f64, v in prop::collection::vec(0..5usize, 1..4)) {
+            prop_assert!(x < 1.0);
+            prop_assert!(!v.is_empty() && v.len() < 4);
+        }
+    }
+
+    prop_compose! {
+        fn pair()(a in 0..100u64, b in 0..100u64)(
+            sum in Just(a + b),
+            a in Just(a),
+            b in Just(b),
+        ) -> (u64, u64, u64) {
+            (a, b, sum)
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn composed_strategies_depend_correctly((a, b, sum) in pair()) {
+            prop_assert_eq!(a + b, sum);
+        }
+    }
+}

@@ -1,0 +1,444 @@
+//! Offline shim of serde's `#[derive(Serialize, Deserialize)]`.
+//!
+//! Implemented directly on the `proc_macro` token API (the registry — and
+//! therefore `syn`/`quote` — is unavailable offline). Supports exactly the
+//! shapes the workspace derives:
+//!
+//! * named-field structs (with per-field `#[serde(default)]`),
+//! * tuple structs,
+//! * unit structs,
+//! * enums with unit, named-field and tuple variants.
+//!
+//! Generics and non-`default` serde attributes are rejected with a
+//! `compile_error!`, which keeps failure modes loud and local.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Consumes leading `#[...]` attributes; returns true if any carried
+/// `serde(default)`.
+fn skip_attrs(tokens: &[TokenTree], pos: &mut usize) -> Result<bool, String> {
+    let mut has_default = false;
+    while matches!(&tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        let Some(TokenTree::Group(g)) = tokens.get(*pos + 1) else {
+            return Err("malformed attribute".into());
+        };
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if let Some(TokenTree::Ident(id)) = inner.first() {
+            if id.to_string() == "serde" {
+                let Some(TokenTree::Group(args)) = inner.get(1) else {
+                    return Err("malformed #[serde(...)] attribute".into());
+                };
+                for tok in args.stream() {
+                    match tok {
+                        TokenTree::Ident(ref arg) if arg.to_string() == "default" => {
+                            has_default = true;
+                        }
+                        TokenTree::Punct(ref p) if p.as_char() == ',' => {}
+                        other => {
+                            return Err(format!(
+                                "unsupported serde attribute `{other}` (shim supports only `default`)"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        *pos += 2;
+    }
+    Ok(has_default)
+}
+
+/// Consumes an optional `pub` / `pub(...)` visibility.
+fn skip_vis(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(&tokens.get(*pos), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *pos += 1;
+        if matches!(
+            &tokens.get(*pos),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *pos += 1;
+        }
+    }
+}
+
+/// Parses `name: Type, ...` named fields from a brace group's tokens.
+fn parse_named_fields(tokens: &[TokenTree]) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let default = skip_attrs(tokens, &mut pos)?;
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_vis(tokens, &mut pos);
+        let TokenTree::Ident(name) = &tokens[pos] else {
+            return Err(format!("expected field name, found `{}`", tokens[pos]));
+        };
+        pos += 1;
+        if !matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ':') {
+            return Err(format!("expected `:` after field `{name}`"));
+        }
+        pos += 1;
+        // Skip the type: everything until a comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        while pos < tokens.len() {
+            match &tokens[pos] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+            pos += 1;
+        }
+        pos += 1; // consume the comma (or run off the end)
+        fields.push(Field { name: name.to_string(), default });
+    }
+    Ok(fields)
+}
+
+/// Counts the fields of a tuple struct/variant (top-level commas + 1).
+fn count_tuple_fields(tokens: &[TokenTree]) -> usize {
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut angle_depth = 0i32;
+    let mut count = 1;
+    let mut trailing_comma = false;
+    for t in tokens {
+        trailing_comma = false;
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                trailing_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attrs(tokens, &mut pos)?;
+        if pos >= tokens.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &tokens[pos] else {
+            return Err(format!("expected variant name, found `{}`", tokens[pos]));
+        };
+        pos += 1;
+        let kind = match &tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                pos += 1;
+                VariantKind::Named(parse_named_fields(&inner)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                pos += 1;
+                VariantKind::Tuple(count_tuple_fields(&inner))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip a discriminant (`= expr`) if present, then the comma.
+        while pos < tokens.len()
+            && !matches!(&tokens[pos], TokenTree::Punct(p) if p.as_char() == ',')
+        {
+            pos += 1;
+        }
+        pos += 1;
+        variants.push(Variant { name: name.to_string(), kind });
+    }
+    Ok(variants)
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attrs(&tokens, &mut pos)?;
+    skip_vis(&tokens, &mut pos);
+    let TokenTree::Ident(kw) = &tokens[pos] else {
+        return Err("expected `struct` or `enum`".into());
+    };
+    let kw = kw.to_string();
+    pos += 1;
+    let TokenTree::Ident(name) = &tokens[pos] else {
+        return Err("expected type name".into());
+    };
+    let name = name.to_string();
+    pos += 1;
+    if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "vendored serde_derive does not support generic type `{name}`"
+        ));
+    }
+    let shape = match (kw.as_str(), tokens.get(pos)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            Shape::NamedStruct(parse_named_fields(&inner)?)
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            Shape::TupleStruct(count_tuple_fields(&inner))
+        }
+        ("struct", _) => Shape::UnitStruct,
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            Shape::Enum(parse_variants(&inner)?)
+        }
+        _ => return Err(format!("cannot derive for `{kw} {name}`")),
+    };
+    Ok(Input { name, shape })
+}
+
+// ---- Serialize ------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({n:?}), ::serde::Serialize::to_value(&self.{n}))",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Obj(::std::vec![{}])", pairs.join(", "))
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Arr(::std::vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(::std::string::String::from({vn:?}))"
+                        ),
+                        VariantKind::Named(fields) => {
+                            let binders: Vec<&str> =
+                                fields.iter().map(|f| f.name.as_str()).collect();
+                            let pairs: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({n:?}), ::serde::Serialize::to_value({n}))",
+                                        n = f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Obj(::std::vec![(::std::string::String::from({vn:?}), ::serde::Value::Obj(::std::vec![{pairs}]))])",
+                                binds = binders.join(", "),
+                                pairs = pairs.join(", ")
+                            )
+                        }
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => ::serde::Value::Obj(::std::vec![(::std::string::String::from({vn:?}), ::serde::Serialize::to_value(f0))])"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({binds}) => ::serde::Value::Obj(::std::vec![(::std::string::String::from({vn:?}), ::serde::Value::Arr(::std::vec![{items}]))])",
+                                binds = binders.join(", "),
+                                items = items.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+// ---- Deserialize ----------------------------------------------------------
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    let helper = if f.default { "de_field_or_default" } else { "de_field" };
+                    format!("{n}: ::serde::{helper}(v, {n:?})?", n = f.name)
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Obj(_) => ::std::result::Result::Ok({name} {{ {inits} }}),\n\
+                     _ => ::std::result::Result::Err(::serde::DeError::expected({expected:?}, v)),\n\
+                 }}",
+                inits = inits.join(", "),
+                expected = format!("struct {name}")
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Arr(items) if items.len() == {n} =>\n\
+                         ::std::result::Result::Ok({name}({items})),\n\
+                     _ => ::std::result::Result::Err(::serde::DeError::expected({expected:?}, v)),\n\
+                 }}",
+                items = items.join(", "),
+                expected = format!("tuple struct {name}")
+            )
+        }
+        Shape::UnitStruct => format!("{{ let _ = v; ::std::result::Result::Ok({name}) }}"),
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("{vn:?} => ::std::result::Result::Ok({name}::{vn}),", vn = v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    let helper =
+                                        if f.default { "de_field_or_default" } else { "de_field" };
+                                    format!("{n}: ::serde::{helper}(content, {n:?})?", n = f.name)
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => ::std::result::Result::Ok({name}::{vn} {{ {} }}),",
+                                inits.join(", ")
+                            ))
+                        }
+                        VariantKind::Tuple(1) => Some(format!(
+                            "{vn:?} => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(content)?)),"
+                        )),
+                        VariantKind::Tuple(n) => Some(format!(
+                            "{vn:?} => match content {{\n\
+                                 ::serde::Value::Arr(items) if items.len() == {n} =>\n\
+                                     ::std::result::Result::Ok({name}::{vn}({items})),\n\
+                                 _ => ::std::result::Result::Err(::serde::DeError::expected({expected:?}, content)),\n\
+                             }},",
+                            items = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                                .collect::<Vec<_>>()
+                                .join(", "),
+                            expected = format!("variant {name}::{vn}")
+                        )),
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {unit_arms}\n\
+                         other => ::std::result::Result::Err(::serde::DeError(\n\
+                             ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Obj(pairs) if pairs.len() == 1 => {{\n\
+                         let (tag, content) = &pairs[0];\n\
+                         match tag.as_str() {{\n\
+                             {data_arms}\n\
+                             other => ::std::result::Result::Err(::serde::DeError(\n\
+                                 ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     _ => ::std::result::Result::Err(::serde::DeError::expected({expected:?}, v)),\n\
+                 }}",
+                unit_arms = unit_arms.join("\n"),
+                data_arms = data_arms.join("\n"),
+                expected = format!("enum {name}")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+/// Derives the shim's `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => gen_serialize(&parsed).parse().unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives the shim's `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => gen_deserialize(&parsed).parse().unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}
