@@ -59,7 +59,8 @@ fn bench_polish(c: &mut Criterion) {
 fn bench_repair(c: &mut Criterion) {
     let s = Scenario { n: 80, horizon: 150.0, ..Scenario::paper_variable() };
     let topo = s.build_topology(23, 0);
-    let cfg = SimConfig { horizon: s.horizon, slot: s.slot, seed: topo.sim_seed, charger_speed: None };
+    let cfg =
+        SimConfig { horizon: s.horizon, slot: s.slot, seed: topo.sim_seed, charger_speed: None };
 
     let mut group = c.benchmark_group("ablation_repair");
     group.sample_size(10);

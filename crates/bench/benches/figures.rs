@@ -23,8 +23,7 @@ fn bench_figures(c: &mut Criterion) {
                 let fd = run_figure_scaled(black_box(id), TOPOLOGIES, 42, SCALE);
                 // The benchmark doubles as a liveness check: a figure run
                 // that kills sensors is a regression even if it is fast.
-                let deaths: usize =
-                    fd.series.iter().flat_map(|s| s.deaths.iter()).sum();
+                let deaths: usize = fd.series.iter().flat_map(|s| s.deaths.iter()).sum();
                 assert_eq!(deaths, 0, "{}: sensor deaths", fd.id);
                 black_box(fd)
             })

@@ -46,11 +46,9 @@ fn bench_qmsf_qtsp(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("q_rooted_tsp", n), &n, |b, _| {
             b.iter(|| black_box(q_rooted_tsp(network.dist(), &terminals, &roots, 0)))
         });
-        group.bench_with_input(
-            BenchmarkId::new("q_rooted_tsp_polished", n),
-            &n,
-            |b, _| b.iter(|| black_box(q_rooted_tsp(network.dist(), &terminals, &roots, 5))),
-        );
+        group.bench_with_input(BenchmarkId::new("q_rooted_tsp_polished", n), &n, |b, _| {
+            b.iter(|| black_box(q_rooted_tsp(network.dist(), &terminals, &roots, 5)))
+        });
     }
     // q scaling at fixed n.
     for &q in &[1usize, 5, 10] {
@@ -85,8 +83,7 @@ fn bench_replan(c: &mut Criterion) {
         let network = build_network(n, 5, 31 + n as u64);
         let cycles = random_cycles(n, 77 + n as u64);
         let mut rng = derived_rng(5, n as u64);
-        let residuals: Vec<f64> =
-            cycles.iter().map(|&c| rng.gen_range(0.1..=c)).collect();
+        let residuals: Vec<f64> = cycles.iter().map(|&c| rng.gen_range(0.1..=c)).collect();
         group.bench_with_input(BenchmarkId::new("replan_variable", n), &n, |b, _| {
             b.iter(|| {
                 let input = VarInput {
@@ -106,9 +103,9 @@ fn bench_replan(c: &mut Criterion) {
 
 fn bench_constructors(c: &mut Criterion) {
     use perpetuum_graph::tsp_christofides::christofides;
+    use perpetuum_graph::tsp_heur::nearest_neighbor;
     use perpetuum_graph::tsp_hilbert::hilbert_tour_all;
     use perpetuum_graph::tsp_savings::savings_tour;
-    use perpetuum_graph::tsp_heur::nearest_neighbor;
 
     let mut group = c.benchmark_group("tsp_constructors");
     for &n in &[100usize, 400] {

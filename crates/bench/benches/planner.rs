@@ -12,8 +12,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use perpetuum_core::network::Network;
 use perpetuum_core::qtsp::q_rooted_tsp_src;
-use perpetuum_geom::{deploy, derived_rng, Field};
 use perpetuum_geom::Point2;
+use perpetuum_geom::{deploy, derived_rng, Field};
 use std::hint::black_box;
 
 const Q: usize = 5;
@@ -63,10 +63,7 @@ fn bench_planner(c: &mut Criterion) {
     let n = 10_000usize;
     let (sensors, depots) = deployment(n, n as u64);
     let probe = Network::sparse(sensors.clone(), depots.clone());
-    assert!(
-        !probe.has_dense_matrix(),
-        "sparse pipeline must not materialize the dense matrix"
-    );
+    assert!(!probe.has_dense_matrix(), "sparse pipeline must not materialize the dense matrix");
     group.bench_with_input(BenchmarkId::new("sparse_end_to_end", n), &n, |b, _| {
         b.iter(|| {
             let net = Network::sparse(sensors.clone(), depots.clone());

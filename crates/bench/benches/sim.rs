@@ -1,0 +1,176 @@
+//! Simulation-engine scaling: event-driven core vs the dense-sweep
+//! reference.
+//!
+//! The numbers behind `BENCH_sim.json` and the README scaling table. Both
+//! engines run the *same* scenario — same sparse network, same policy,
+//! same RNG streams — so any gap is pure engine overhead: the reference
+//! pays O(n) per event (drain sweep + observation build), the event-driven
+//! core pays O(log n) between slot boundaries.
+//!
+//! Scenarios:
+//!
+//! * `polling` — the greedy baseline polling 4× per time unit on a
+//!   mostly-idle network (1% hot fraction), so checks vastly outnumber
+//!   charges. This is the case the event-driven core exists for.
+//! * `adaptive` — `MinTotalDistance-var` on a slot-resampled variable
+//!   world: work concentrates in slot-boundary replans (identical in both
+//!   engines), so the gap narrows — included to keep the comparison
+//!   honest, not to flatter it.
+//!
+//! Both run in instant and travel-time charging modes. Networks are
+//! sparse (`Network::sparse`): at n = 10_000 a dense matrix would be
+//! ~800 MB, and since this PR the in-sim replan path never needs one
+//! (the setup asserts it).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use perpetuum_core::network::Network;
+use perpetuum_energy::CycleDistribution;
+use perpetuum_geom::{deploy, derived_rng, Field};
+use perpetuum_sim::{run, run_reference, GreedyPolicy, SimConfig, SimResult, VarPolicy, World};
+use rand::Rng;
+use std::hint::black_box;
+
+const Q: usize = 5;
+const SIZES: [usize; 3] = [1000, 5000, 10_000];
+
+fn network(n: usize, seed: u64) -> Network {
+    let field = Field::paper_default();
+    let mut rng = derived_rng(seed, 0);
+    let sensors = deploy::uniform_deployment(field, n, &mut rng);
+    let depots = deploy::place_depots(
+        field,
+        field.center(),
+        Q,
+        deploy::DepotPlacement::OneAtBaseStation,
+        &mut rng,
+    );
+    let net = Network::sparse(sensors, depots);
+    assert!(!net.has_dense_matrix(), "sim benches must stay matrix-free");
+    net
+}
+
+/// A mostly-idle network with a 1% hot fraction — the regime a tight poll
+/// is for: almost every check finds almost nothing urgent, so per-check
+/// engine overhead (the thing this scenario measures) dominates, and the
+/// engine-independent planning work stays negligible. The hot sensors keep
+/// the charging machinery genuinely exercised (~3 recharges each).
+fn polling_world(network: &Network, seed: u64) -> World {
+    let mut rng = derived_rng(seed, 1);
+    let cycles: Vec<f64> =
+        (0..network.n())
+            .map(|i| {
+                if i % 100 == 0 {
+                    rng.gen_range(120.0..180.0)
+                } else {
+                    rng.gen_range(3000.0..5000.0)
+                }
+            })
+            .collect();
+    World::fixed(network.clone(), &cycles)
+}
+
+fn polling_policy(network: &Network) -> GreedyPolicy<'_> {
+    let mut p = GreedyPolicy::new(network, 100.0);
+    p.poll = Some(0.25);
+    p
+}
+
+fn polling_cfg(seed: u64, travel: bool) -> SimConfig {
+    SimConfig {
+        horizon: 500.0,
+        slot: 10.0,
+        seed,
+        charger_speed: if travel { Some(10_000.0) } else { None },
+    }
+}
+
+/// Slot-resampled variable world for the adaptive policy.
+fn adaptive_world(network: &Network) -> World {
+    let field = Field::paper_default();
+    let dist = CycleDistribution::Linear { sigma: 2.0 };
+    let means = dist.mean_all(network.sensor_positions(), field.center(), 20.0, 60.0);
+    World::variable(network.clone(), &means, dist, 20.0, 60.0)
+}
+
+fn adaptive_cfg(seed: u64, travel: bool) -> SimConfig {
+    SimConfig {
+        horizon: 200.0,
+        slot: 10.0,
+        seed,
+        charger_speed: if travel { Some(10_000.0) } else { None },
+    }
+}
+
+/// Both engines must do the same work for the timing comparison to mean
+/// anything; discrete outputs are compared exactly (the full slack-aware
+/// equivalence lives in `crates/sim/tests/equivalence.rs`).
+fn assert_same_scenario(a: &SimResult, b: &SimResult) {
+    assert_eq!(a.dispatches, b.dispatches);
+    assert_eq!(a.charges, b.charges);
+    assert_eq!(a.deaths.len(), b.deaths.len());
+    assert_eq!(a.charge_log, b.charge_log);
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim");
+    group.sample_size(10);
+
+    for &n in &SIZES {
+        let net = network(n, n as u64);
+
+        for travel in [false, true] {
+            let mode = if travel { "travel" } else { "instant" };
+
+            // Polling scenario.
+            let cfg = polling_cfg(n as u64, travel);
+            {
+                let fast = run(polling_world(&net, n as u64), &cfg, &mut polling_policy(&net));
+                let slow =
+                    run_reference(polling_world(&net, n as u64), &cfg, &mut polling_policy(&net));
+                assert!(fast.charges > 0, "scenario must exercise charging");
+                assert_same_scenario(&fast, &slow);
+            }
+            let id = format!("event_polling_{mode}");
+            group.bench_with_input(BenchmarkId::new(id, n), &n, |b, _| {
+                b.iter(|| {
+                    let mut p = polling_policy(&net);
+                    black_box(run(polling_world(&net, n as u64), &cfg, &mut p))
+                })
+            });
+            let id = format!("reference_polling_{mode}");
+            group.bench_with_input(BenchmarkId::new(id, n), &n, |b, _| {
+                b.iter(|| {
+                    let mut p = polling_policy(&net);
+                    black_box(run_reference(polling_world(&net, n as u64), &cfg, &mut p))
+                })
+            });
+
+            // Adaptive scenario.
+            let cfg = adaptive_cfg(n as u64, travel);
+            {
+                let fast = run(adaptive_world(&net), &cfg, &mut VarPolicy::new(&net));
+                let slow = run_reference(adaptive_world(&net), &cfg, &mut VarPolicy::new(&net));
+                assert_same_scenario(&fast, &slow);
+            }
+            let id = format!("event_adaptive_{mode}");
+            group.bench_with_input(BenchmarkId::new(id, n), &n, |b, _| {
+                b.iter(|| {
+                    let mut p = VarPolicy::new(&net);
+                    black_box(run(adaptive_world(&net), &cfg, &mut p))
+                })
+            });
+            let id = format!("reference_adaptive_{mode}");
+            group.bench_with_input(BenchmarkId::new(id, n), &n, |b, _| {
+                b.iter(|| {
+                    let mut p = VarPolicy::new(&net);
+                    black_box(run_reference(adaptive_world(&net), &cfg, &mut p))
+                })
+            });
+        }
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -63,12 +63,25 @@ const EPS: f64 = 1e-9;
 
 /// Checks a series against the instance's cycles and horizon. Returns all
 /// violations (empty `Ok` means every sensor survives the whole period).
+///
+/// Runs as a single inverted pass: one sweep over the dispatches builds
+/// every sensor's charge times at once
+/// ([`ScheduleSeries::charge_times_all`]), so the whole check costs
+/// `O(D log D + total charges)` instead of the `O(n · D)` per-sensor
+/// membership scans it used to perform.
 pub fn check_series(instance: &Instance, series: &ScheduleSeries) -> Result<(), Vec<Violation>> {
-    check_with(
-        instance.cycles(),
-        instance.horizon(),
-        |sensor| series.charge_times(sensor),
-    )
+    let cycles = instance.cycles();
+    let horizon = instance.horizon();
+    let all = series.charge_times_all(cycles.len());
+    let mut violations = Vec::new();
+    for (i, &tau) in cycles.iter().enumerate() {
+        check_sensor(i, tau, &all[i], horizon, &mut violations);
+    }
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
 }
 
 /// Core checker over explicit charge times; `charges(i)` must return the
@@ -81,22 +94,26 @@ pub fn check_with(
 ) -> Result<(), Vec<Violation>> {
     let mut violations = Vec::new();
     for (i, &tau) in cycles.iter().enumerate() {
-        let times = charges(i);
-        let mut prev = 0.0; // fully charged at t = 0
-        for &t in &times {
-            if t - prev > tau + EPS {
-                violations.push(Violation::GapExceeded { sensor: i, from: prev, to: t, tau });
-            }
-            prev = t;
-        }
-        if horizon - prev > tau + EPS {
-            violations.push(Violation::TailExceeded { sensor: i, last: prev, horizon, tau });
-        }
+        check_sensor(i, tau, &charges(i), horizon, &mut violations);
     }
     if violations.is_empty() {
         Ok(())
     } else {
         Err(violations)
+    }
+}
+
+/// Gap/tail check for one sensor given its ascending charge times.
+fn check_sensor(sensor: usize, tau: f64, times: &[f64], horizon: f64, out: &mut Vec<Violation>) {
+    let mut prev = 0.0; // fully charged at t = 0
+    for &t in times {
+        if t - prev > tau + EPS {
+            out.push(Violation::GapExceeded { sensor, from: prev, to: t, tau });
+        }
+        prev = t;
+    }
+    if horizon - prev > tau + EPS {
+        out.push(Violation::TailExceeded { sensor, last: prev, horizon, tau });
     }
 }
 
@@ -118,10 +135,7 @@ mod tests {
         let r = check_with(&[2.0], 10.0, |_| vec![2.0, 6.0, 8.0]);
         let v = r.unwrap_err();
         assert_eq!(v.len(), 1);
-        assert_eq!(
-            v[0],
-            Violation::GapExceeded { sensor: 0, from: 2.0, to: 6.0, tau: 2.0 }
-        );
+        assert_eq!(v[0], Violation::GapExceeded { sensor: 0, from: 2.0, to: 6.0, tau: 2.0 });
     }
 
     #[test]
@@ -135,10 +149,7 @@ mod tests {
     fn detects_tail_gap() {
         let r = check_with(&[3.0], 10.0, |_| vec![3.0, 6.0]);
         let v = r.unwrap_err();
-        assert_eq!(
-            v[0],
-            Violation::TailExceeded { sensor: 0, last: 6.0, horizon: 10.0, tau: 3.0 }
-        );
+        assert_eq!(v[0], Violation::TailExceeded { sensor: 0, last: 6.0, horizon: 10.0, tau: 3.0 });
     }
 
     #[test]

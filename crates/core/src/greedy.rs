@@ -119,9 +119,8 @@ mod tests {
 
     fn line_instance(cycles: Vec<f64>, horizon: f64) -> Instance {
         let n = cycles.len();
-        let sensors: Vec<Point2> = (0..n)
-            .map(|i| Point2::new((i + 1) as f64 * 10.0, 0.0))
-            .collect();
+        let sensors: Vec<Point2> =
+            (0..n).map(|i| Point2::new((i + 1) as f64 * 10.0, 0.0)).collect();
         let depots = vec![Point2::new(0.0, 0.0)];
         Instance::new(Network::new(sensors, depots), cycles, horizon)
     }

@@ -176,12 +176,8 @@ mod tests {
         for (l, t) in c.tours.iter().enumerate() {
             assert_eq!(t.start(), Some(net.depot_node(l)));
         }
-        let mut covered: Vec<usize> = c
-            .tours
-            .iter()
-            .flat_map(|t| t.nodes().iter().copied())
-            .filter(|&v| v < 20)
-            .collect();
+        let mut covered: Vec<usize> =
+            c.tours.iter().flat_map(|t| t.nodes().iter().copied()).filter(|&v| v < 20).collect();
         covered.sort_unstable();
         assert_eq!(covered, sensors);
         assert!(c.assignment.iter().all(|&a| a < 3));
@@ -194,18 +190,9 @@ mod tests {
             let sensors: Vec<usize> = (0..25).collect();
             // Seed solution: Algorithm 2's tours.
             let qt = q_rooted_tsp(net.dist(), &sensors, &net.depot_nodes(), 0);
-            let seed_span = qt
-                .tours
-                .iter()
-                .map(|t| t.length(net.dist()))
-                .fold(0.0f64, f64::max);
+            let seed_span = qt.tours.iter().map(|t| t.length(net.dist())).fold(0.0f64, f64::max);
             let c = min_max_cover(&net, &sensors, Routing::Doubling, 100);
-            assert!(
-                c.makespan <= seed_span + 1e-6,
-                "seed {seed}: {} vs {}",
-                c.makespan,
-                seed_span
-            );
+            assert!(c.makespan <= seed_span + 1e-6, "seed {seed}: {} vs {}", c.makespan, seed_span);
         }
     }
 

@@ -59,11 +59,7 @@ pub fn plan_charge_all(instance: &Instance) -> ScheduleSeries {
         q_rooted_tsp_src(&network.dist_source(), &all, &network.depot_nodes(), 0),
         |v| v >= n,
     ));
-    let tau_min = instance
-        .cycles()
-        .iter()
-        .cloned()
-        .fold(f64::INFINITY, f64::min);
+    let tau_min = instance.cycles().iter().cloned().fold(f64::INFINITY, f64::min);
     let mut t = tau_min;
     while t < instance.horizon() {
         series.push_dispatch(t, set);

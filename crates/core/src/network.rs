@@ -181,11 +181,7 @@ impl Instance {
     /// Panics when `cycles.len() != network.n()`, any cycle is not strictly
     /// positive and finite, or the horizon is not positive.
     pub fn new(network: Network, cycles: Vec<f64>, horizon: f64) -> Self {
-        assert_eq!(
-            cycles.len(),
-            network.n(),
-            "one maximum charging cycle per sensor"
-        );
+        assert_eq!(cycles.len(), network.n(), "one maximum charging cycle per sensor");
         assert!(
             cycles.iter().all(|&t| t > 0.0 && t.is_finite()),
             "cycles must be positive and finite"
@@ -292,9 +288,8 @@ mod tests {
     fn auto_picks_representation_by_size() {
         let small = Network::auto(vec![Point2::ORIGIN], vec![Point2::new(1.0, 0.0)]);
         assert!(small.has_dense_matrix());
-        let many: Vec<Point2> = (0..Network::DENSE_NODE_THRESHOLD)
-            .map(|i| Point2::new(i as f64, 0.0))
-            .collect();
+        let many: Vec<Point2> =
+            (0..Network::DENSE_NODE_THRESHOLD).map(|i| Point2::new(i as f64, 0.0)).collect();
         let big = Network::auto(many, vec![Point2::new(0.0, 1.0)]);
         assert!(!big.has_dense_matrix());
     }

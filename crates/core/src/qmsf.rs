@@ -17,7 +17,7 @@
 use perpetuum_geom::Point2;
 use perpetuum_graph::mst::prim;
 use perpetuum_graph::sparse::{knn_edges, prim_sparse, SparseGraph};
-use perpetuum_graph::{DistMatrix, DistSource};
+use perpetuum_graph::{DistMatrix, DistSource, Metric};
 
 /// Neighbour count for the sparse super-root MSF path. The Euclidean MST
 /// is contained in the k-NN graph for modest `k` on any realistic
@@ -74,20 +74,20 @@ impl RootedForest {
 
 /// Exact `q`-rooted MSF over explicit distances.
 ///
-/// * `term_dist` — `m × m` distances between the `m` terminals,
+/// * `term_dist` — any [`Metric`] over the `m` terminals (a dense induced
+///   matrix, a [`DistSource`], …),
 /// * `root_dist[r][t]` — distance from root `r` to terminal `t`
 ///   (`root_dist.len()` is the number of roots, `q ≥ 1`).
 ///
 /// Returns the optimal forest. Terminals with no peers still get attached
 /// to their cheapest root. An empty terminal set yields `q` empty trees.
-pub fn rooted_msf_general(term_dist: &DistMatrix, root_dist: &[Vec<f64>]) -> RootedForest {
+/// Internally contracts into an `(m+1)²` matrix — for large sparse
+/// instances use [`rooted_msf_points`] instead.
+pub fn rooted_msf_general<M: Metric>(term_dist: &M, root_dist: &[Vec<f64>]) -> RootedForest {
     let m = term_dist.len();
     let q = root_dist.len();
     assert!(q >= 1, "at least one root required");
-    assert!(
-        root_dist.iter().all(|r| r.len() == m),
-        "root distance rows must cover every terminal"
-    );
+    assert!(root_dist.iter().all(|r| r.len() == m), "root distance rows must cover every terminal");
     if m == 0 {
         return RootedForest { trees: vec![Vec::new(); q], assignment: Vec::new(), weight: 0.0 };
     }
@@ -178,10 +178,8 @@ fn uncontract(
 /// terminal/root *index* space; use `terminals[t]` / `roots[r]` to map back.
 pub fn q_rooted_msf(dist: &DistMatrix, terminals: &[usize], roots: &[usize]) -> RootedForest {
     let term_dist = dist.induced(terminals);
-    let root_dist: Vec<Vec<f64>> = roots
-        .iter()
-        .map(|&r| terminals.iter().map(|&t| dist.get(r, t)).collect())
-        .collect();
+    let root_dist: Vec<Vec<f64>> =
+        roots.iter().map(|&r| terminals.iter().map(|&t| dist.get(r, t)).collect()).collect();
     rooted_msf_general(&term_dist, &root_dist)
 }
 
@@ -208,22 +206,35 @@ pub fn q_rooted_msf_sparse(
     roots: &[usize],
     k: usize,
 ) -> RootedForest {
-    let m = terminals.len();
     let q = roots.len();
     assert!(q >= 1, "at least one root required");
+    let tpts: Vec<Point2> = terminals.iter().map(|&t| points[t]).collect();
+    // Physical-root distance rows: O(m·q) — q is small (the charger count).
+    let root_dist: Vec<Vec<f64>> =
+        roots.iter().map(|&rn| tpts.iter().map(|tp| points[rn].dist(*tp)).collect()).collect();
+    rooted_msf_points(&tpts, &root_dist, k)
+}
+
+/// Sparse [`rooted_msf_general`]: terminal–terminal candidate edges come
+/// from the `k`-NN graph over the terminal positions, super-root edges from
+/// arbitrary `root_dist` rows — never an `(m+1)²` matrix. Same exactness
+/// argument as [`q_rooted_msf_sparse`]. Section VI.B's repair step uses
+/// this with *scheduling* super-roots, so in-sim replans on sparse
+/// networks stay free of dense allocations.
+pub fn rooted_msf_points(term_points: &[Point2], root_dist: &[Vec<f64>], k: usize) -> RootedForest {
+    let m = term_points.len();
+    let q = root_dist.len();
+    assert!(q >= 1, "at least one root required");
+    assert!(root_dist.iter().all(|r| r.len() == m), "root distance rows must cover every terminal");
     if m == 0 {
         return RootedForest { trees: vec![Vec::new(); q], assignment: Vec::new(), weight: 0.0 };
     }
 
-    let tpts: Vec<Point2> = terminals.iter().map(|&t| points[t]).collect();
-
-    // Cheapest root per terminal: O(m·q) — q is small (the charger count).
+    // Cheapest root per terminal.
     let mut best_root = vec![0usize; m];
     let mut best_cost = vec![f64::INFINITY; m];
-    for (r, &rn) in roots.iter().enumerate() {
-        let rp = points[rn];
-        for (t, &tp) in tpts.iter().enumerate() {
-            let d = rp.dist(tp);
+    for (r, row) in root_dist.iter().enumerate() {
+        for (t, &d) in row.iter().enumerate() {
             if d < best_cost[t] {
                 best_cost[t] = d;
                 best_root[t] = r;
@@ -233,15 +244,14 @@ pub fn q_rooted_msf_sparse(
 
     // Contracted sparse graph: terminal k-NN edges + one super-root edge
     // (node m) per terminal.
-    let mut edges = knn_edges(&tpts, k.min(m.saturating_sub(1)));
+    let mut edges = knn_edges(term_points, k.min(m.saturating_sub(1)));
     edges.reserve(m);
     for (t, &c) in best_cost.iter().enumerate() {
         edges.push((t, m, c));
     }
     let graph = SparseGraph::from_edges(m + 1, &edges);
-    let (mst, _) = prim_sparse(&graph, m)
-        .expect("super-root edges connect every terminal");
-    uncontract(m, q, &mst, &best_root, &best_cost, |a, b| tpts[a].dist(tpts[b]))
+    let (mst, _) = prim_sparse(&graph, m).expect("super-root edges connect every terminal");
+    uncontract(m, q, &mst, &best_root, &best_cost, |a, b| term_points[a].dist(term_points[b]))
 }
 
 /// [`q_rooted_msf`] over a [`DistSource`]: dense sources use the exact
@@ -276,8 +286,7 @@ mod tests {
             let mut total = 0.0;
             #[allow(clippy::needless_range_loop)]
             for r in 0..q {
-                let group: Vec<usize> =
-                    (0..m).filter(|&t| assign[t] == r).collect();
+                let group: Vec<usize> = (0..m).filter(|&t| assign[t] == r).collect();
                 if group.is_empty() {
                     continue;
                 }
@@ -377,10 +386,8 @@ mod tests {
                 .map(|_| Point2::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)))
                 .collect();
             let term = DistMatrix::from_points(&pts);
-            let roots: Vec<Vec<f64>> = rpts
-                .iter()
-                .map(|r| pts.iter().map(|p| p.dist(*r)).collect())
-                .collect();
+            let roots: Vec<Vec<f64>> =
+                rpts.iter().map(|r| pts.iter().map(|p| p.dist(*r)).collect()).collect();
             let f = rooted_msf_general(&term, &roots);
             let bf = brute_force_msf(&term, &roots);
             assert!(
@@ -395,11 +402,7 @@ mod tests {
     #[test]
     fn host_graph_wrapper_consistency() {
         // 3 sensors, 2 depots on a line: sensors at 1, 2, 10; depots at 0, 9.
-        let sensors = [
-            Point2::new(1.0, 0.0),
-            Point2::new(2.0, 0.0),
-            Point2::new(10.0, 0.0),
-        ];
+        let sensors = [Point2::new(1.0, 0.0), Point2::new(2.0, 0.0), Point2::new(10.0, 0.0)];
         let depots = [Point2::new(0.0, 0.0), Point2::new(9.0, 0.0)];
         let all: Vec<Point2> = sensors.iter().chain(depots.iter()).copied().collect();
         let dist = DistMatrix::from_points(&all);
@@ -463,6 +466,44 @@ mod tests {
                 sparse.weight
             );
             assert_eq!(dense.assignment, sparse.assignment, "n={n}");
+        }
+    }
+
+    #[test]
+    fn points_variant_matches_general_with_scheduling_roots() {
+        // `rooted_msf_points` must reproduce the exact contracted MSF for
+        // *general* root rows (here: nearest-distance-to-a-random-subset
+        // rows, the shape Section VI.B's repair feeds it), not just
+        // physical point roots.
+        use rand::{Rng, SeedableRng};
+        for (seed, m) in [(1u64, 15usize), (2, 60), (3, 150)] {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed * 91 + 7);
+            let pts: Vec<Point2> = (0..m)
+                .map(|_| Point2::new(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0)))
+                .collect();
+            let term = DistMatrix::from_points(&pts);
+            let q = rng.gen_range(2..5);
+            let root_dist: Vec<Vec<f64>> = (0..q)
+                .map(|_| {
+                    let anchors: Vec<Point2> = (0..rng.gen_range(1..6))
+                        .map(|_| {
+                            Point2::new(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0))
+                        })
+                        .collect();
+                    pts.iter()
+                        .map(|p| anchors.iter().map(|a| p.dist(*a)).fold(f64::INFINITY, f64::min))
+                        .collect()
+                })
+                .collect();
+            let dense = rooted_msf_general(&term, &root_dist);
+            let sparse = rooted_msf_points(&pts, &root_dist, SPARSE_MSF_K);
+            assert!(
+                (dense.weight - sparse.weight).abs() < 1e-9,
+                "seed {seed} m={m}: dense {} vs sparse {}",
+                dense.weight,
+                sparse.weight
+            );
+            assert_eq!(dense.assignment, sparse.assignment, "seed {seed} m={m}");
         }
     }
 

@@ -19,8 +19,8 @@
 use crate::qmsf::{q_rooted_msf_src, ForestEdge};
 use perpetuum_graph::euler::{double_edges, euler_circuit};
 use perpetuum_graph::tsp_christofides::tour_from_tree_matched;
-use perpetuum_graph::tsp_savings::savings_tour;
 use perpetuum_graph::tsp_heur::polish;
+use perpetuum_graph::tsp_savings::savings_tour;
 use perpetuum_graph::{DistMatrix, DistSource, Metric, Tour};
 
 /// How each MSF tree is turned into a closed tour.
@@ -48,7 +48,9 @@ pub struct QTours {
     /// `tours[l]` starts at root `l` (as a node id of the host graph). A
     /// charger with nothing to do gets a singleton tour of its depot.
     pub tours: Vec<Tour>,
-    /// Total length of all tours.
+    /// `tour_lengths[l]` — length of `tours[l]`.
+    pub tour_lengths: Vec<f64>,
+    /// Total length of all tours (the sum of `tour_lengths`).
     pub cost: f64,
 }
 
@@ -189,15 +191,35 @@ pub fn q_rooted_tsp_routed_src_workers(
         }
         let mut tour = match routing {
             Routing::Doubling => {
-                let doubled = double_edges(&edges);
-                let circuit = euler_circuit(node_count, &doubled, root_node)
+                // Relabel this root's tree onto a compact node space before
+                // the Euler walk: the walk only touches the tree's own
+                // nodes, but `euler_circuit` allocates adjacency for every
+                // node id below its bound. In-sim replans route small
+                // batches through here every polling tick, and paying
+                // O(network) per root would dwarf the batch itself. The
+                // relabeling is an isomorphism that preserves edge order,
+                // so the circuit (and hence the tour) is unchanged.
+                let mut locals: Vec<usize> = vec![root_node];
+                let mut index = std::collections::HashMap::with_capacity(edges.len() + 1);
+                index.insert(root_node, 0usize);
+                let compact: Vec<(usize, usize)> = edges
+                    .iter()
+                    .map(|&(u, v)| {
+                        (
+                            compact_id(u, &mut index, &mut locals),
+                            compact_id(v, &mut index, &mut locals),
+                        )
+                    })
+                    .collect();
+                let doubled = double_edges(&compact);
+                let circuit = euler_circuit(locals.len(), &doubled, 0)
                     .expect("a doubled tree always has an Euler circuit from its root");
-                Tour::shortcut(&circuit)
+                let walk: Vec<usize> = circuit.iter().map(|&v| locals[v]).collect();
+                Tour::shortcut(&walk)
             }
             Routing::Matching => tour_from_tree_matched(src, node_count, &edges, root_node),
             Routing::Savings => {
-                let customers: Vec<usize> =
-                    groups[r].iter().map(|&t| terminals[t]).collect();
+                let customers: Vec<usize> = groups[r].iter().map(|&t| terminals[t]).collect();
                 savings_tour(src, root_node, &customers)
             }
         };
@@ -209,8 +231,22 @@ pub fn q_rooted_tsp_routed_src_workers(
     };
 
     let tours = perpetuum_par::par_map_indexed(roots.len(), workers, build_tour);
-    let cost = tours.iter().map(|t| t.length(src)).sum();
-    QTours { tours, cost }
+    let tour_lengths: Vec<f64> = tours.iter().map(|t| t.length(src)).collect();
+    let cost = tour_lengths.iter().sum();
+    QTours { tours, tour_lengths, cost }
+}
+
+/// Dense-index helper for the Euler relabeling above: the id of `x` in the
+/// compact space, allocating the next one on first sight.
+fn compact_id(
+    x: usize,
+    index: &mut std::collections::HashMap<usize, usize>,
+    locals: &mut Vec<usize>,
+) -> usize {
+    *index.entry(x).or_insert_with(|| {
+        locals.push(x);
+        locals.len() - 1
+    })
 }
 
 #[cfg(test)]
@@ -262,15 +298,10 @@ mod tests {
     #[test]
     fn cost_within_twice_msf_weight() {
         let sensors: Vec<Point2> = (0..15)
-            .map(|i| {
-                Point2::new(((i * 37) % 101) as f64 * 9.0, ((i * 53) % 97) as f64 * 10.0)
-            })
+            .map(|i| Point2::new(((i * 37) % 101) as f64 * 9.0, ((i * 53) % 97) as f64 * 10.0))
             .collect();
-        let depots = vec![
-            Point2::new(100.0, 100.0),
-            Point2::new(800.0, 100.0),
-            Point2::new(450.0, 800.0),
-        ];
+        let depots =
+            vec![Point2::new(100.0, 100.0), Point2::new(800.0, 100.0), Point2::new(450.0, 800.0)];
         let dist = host(&sensors, &depots);
         let terminals: Vec<usize> = (0..15).collect();
         let roots = vec![15, 16, 17];
@@ -296,11 +327,7 @@ mod tests {
             let qt = q_rooted_tsp(&dist, &terminals, &[9], 0);
             // Full-graph TSP (all 10 nodes) is the q=1 optimum.
             let (_, opt) = held_karp(&dist);
-            assert!(
-                qt.cost <= 2.0 * opt + 1e-9,
-                "seed {seed}: approx {} vs opt {opt}",
-                qt.cost
-            );
+            assert!(qt.cost <= 2.0 * opt + 1e-9, "seed {seed}: approx {} vs opt {opt}", qt.cost);
             assert!(qt.cost >= opt - 1e-9);
         }
     }
@@ -363,12 +390,7 @@ mod tests {
         // No guarantee, but it should at least beat the star bound.
         let star: f64 = terminals
             .iter()
-            .map(|&s| {
-                2.0 * roots
-                    .iter()
-                    .map(|&r| dist.get(s, r))
-                    .fold(f64::INFINITY, f64::min)
-            })
+            .map(|&s| 2.0 * roots.iter().map(|&r| dist.get(s, r)).fold(f64::INFINITY, f64::min))
             .sum();
         assert!(saved.cost <= star + 1e-9);
     }
@@ -417,12 +439,10 @@ mod tests {
         let terminals: Vec<usize> = (0..n).collect();
         let roots: Vec<usize> = (n..n + 4).collect();
         for routing in [Routing::Doubling, Routing::Matching, Routing::Savings] {
-            let seq =
-                q_rooted_tsp_routed_src_workers(&src, &terminals, &roots, routing, 3, 1);
+            let seq = q_rooted_tsp_routed_src_workers(&src, &terminals, &roots, routing, 3, 1);
             for workers in [2, 4, 7] {
-                let par = q_rooted_tsp_routed_src_workers(
-                    &src, &terminals, &roots, routing, 3, workers,
-                );
+                let par =
+                    q_rooted_tsp_routed_src_workers(&src, &terminals, &roots, routing, 3, workers);
                 assert_eq!(seq.cost.to_bits(), par.cost.to_bits(), "{routing:?}/{workers}");
                 for (a, b) in seq.tours.iter().zip(&par.tours) {
                     assert_eq!(a.nodes(), b.nodes(), "{routing:?}/{workers}");
@@ -475,10 +495,8 @@ mod tests {
     #[test]
     fn far_sensor_goes_to_near_depot() {
         // One sensor next to depot 1 must not be toured by depot 0.
-        let dist = host(
-            &[Point2::new(99.0, 0.0)],
-            &[Point2::new(0.0, 0.0), Point2::new(100.0, 0.0)],
-        );
+        let dist =
+            host(&[Point2::new(99.0, 0.0)], &[Point2::new(0.0, 0.0), Point2::new(100.0, 0.0)]);
         let qt = q_rooted_tsp(&dist, &[0], &[1, 2], 0);
         assert_eq!(qt.tours[0].len(), 1);
         assert_eq!(qt.tours[1].nodes(), &[2, 0]);

@@ -82,10 +82,7 @@ impl CyclePartition {
 /// Panics on an empty slice or non-positive cycles.
 pub fn partition_cycles(cycles: &[f64]) -> CyclePartition {
     assert!(!cycles.is_empty(), "cannot partition zero sensors");
-    assert!(
-        cycles.iter().all(|&t| t > 0.0 && t.is_finite()),
-        "cycles must be positive and finite"
-    );
+    assert!(cycles.iter().all(|&t| t > 0.0 && t.is_finite()), "cycles must be positive and finite");
     let tau1 = cycles.iter().cloned().fold(f64::INFINITY, f64::min);
     let class_of: Vec<usize> = cycles.iter().map(|&t| power_class(tau1, t)).collect();
     let k_max = class_of.iter().copied().max().unwrap();
@@ -93,10 +90,7 @@ pub fn partition_cycles(cycles: &[f64]) -> CyclePartition {
     for (i, &k) in class_of.iter().enumerate() {
         classes[k].push(i);
     }
-    let rounded: Vec<f64> = class_of
-        .iter()
-        .map(|&k| tau1 * 2f64.powi(k as i32))
-        .collect();
+    let rounded: Vec<f64> = class_of.iter().map(|&k| tau1 * 2f64.powi(k as i32)).collect();
     CyclePartition { tau1, class_of, rounded, classes }
 }
 

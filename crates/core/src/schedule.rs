@@ -12,11 +12,18 @@ use serde::{Deserialize, Serialize};
 
 use crate::qtsp::QTours;
 
-/// The `q` closed tours of one charging scheduling, plus cached cost and
-/// covered-sensor membership.
+/// The `q` closed tours of one charging scheduling, plus cached per-tour
+/// lengths, total cost and covered-sensor membership.
+///
+/// Lengths are cached at construction so that dispatch accounting (the
+/// simulation engine charges every dispatch's travel to its chargers) is
+/// `O(q)` per dispatch instead of re-walking every tour against the
+/// distance metric.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TourSet {
     tours: Vec<Tour>,
+    /// `tour_lengths[l]` — length of `tours[l]`; `cost` is their sum.
+    tour_lengths: Vec<f64>,
     cost: f64,
     /// Sorted node ids of covered sensors (depots excluded).
     sensors: Vec<usize>,
@@ -26,9 +33,10 @@ impl TourSet {
     /// Builds a tour set from raw tours.
     ///
     /// `is_depot` distinguishes depot nodes so the sensor membership cache
-    /// excludes them; `dist` is used to compute the cost.
+    /// excludes them; `dist` is used to compute the per-tour lengths.
     pub fn new<M: Metric>(tours: Vec<Tour>, dist: &M, is_depot: impl Fn(usize) -> bool) -> Self {
-        let cost = tours.iter().map(|t| t.length(dist)).sum();
+        let tour_lengths: Vec<f64> = tours.iter().map(|t| t.length(dist)).collect();
+        let cost = tour_lengths.iter().sum();
         let mut sensors: Vec<usize> = tours
             .iter()
             .flat_map(|t| t.nodes().iter().copied())
@@ -36,11 +44,11 @@ impl TourSet {
             .collect();
         sensors.sort_unstable();
         sensors.dedup();
-        Self { tours, cost, sensors }
+        Self { tours, tour_lengths, cost, sensors }
     }
 
-    /// Converts the output of Algorithm 2 into a tour set (the cost is
-    /// taken from the solver, which already summed it).
+    /// Converts the output of Algorithm 2 into a tour set (per-tour lengths
+    /// and the cost are taken from the solver, which already measured them).
     pub fn from_qtours(qt: QTours, is_depot: impl Fn(usize) -> bool) -> Self {
         let mut sensors: Vec<usize> = qt
             .tours
@@ -50,12 +58,17 @@ impl TourSet {
             .collect();
         sensors.sort_unstable();
         sensors.dedup();
-        Self { tours: qt.tours, cost: qt.cost, sensors }
+        Self { tours: qt.tours, tour_lengths: qt.tour_lengths, cost: qt.cost, sensors }
     }
 
     /// The `q` tours (singleton tours for idle chargers).
     pub fn tours(&self) -> &[Tour] {
         &self.tours
+    }
+
+    /// Cached length of each tour, in tour order (`cost` is the sum).
+    pub fn tour_lengths(&self) -> &[f64] {
+        &self.tour_lengths
     }
 
     /// Total travelled distance of this scheduling.
@@ -154,10 +167,7 @@ impl ScheduleSeries {
 
     /// Total number of individual sensor charges across the series.
     pub fn total_charges(&self) -> usize {
-        self.dispatches
-            .iter()
-            .map(|d| self.sets[d.set].sensors().len())
-            .sum()
+        self.dispatches.iter().map(|d| self.sets[d.set].sensors().len()).sum()
     }
 
     /// Charge times of `sensor` (node id), ascending.
@@ -172,15 +182,34 @@ impl ScheduleSeries {
         times
     }
 
-    /// Per-charger travelled distance across the series. `q` is the number
-    /// of chargers; every tour set must have exactly `q` tours.
-    pub fn per_charger_distance<M: Metric>(&self, dist: &M, q: usize) -> Vec<f64> {
+    /// Charge times of every sensor node in `0..n` at once, each ascending
+    /// — one inverted pass over the dispatches (`O(D log D + total
+    /// charges)`) instead of an `O(n · D)` membership scan per sensor.
+    /// Equals `(0..n).map(|s| self.charge_times(s))`.
+    pub fn charge_times_all(&self, n: usize) -> Vec<Vec<f64>> {
+        let mut order: Vec<&Dispatch> = self.dispatches.iter().collect();
+        order.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("dispatch times are finite"));
+        let mut out = vec![Vec::new(); n];
+        for d in order {
+            for &s in self.sets[d.set].sensors() {
+                if s < n {
+                    out[s].push(d.time);
+                }
+            }
+        }
+        out
+    }
+
+    /// Per-charger travelled distance across the series, from the cached
+    /// per-tour lengths. `q` is the number of chargers; every tour set must
+    /// have exactly `q` tours.
+    pub fn per_charger_distance(&self, q: usize) -> Vec<f64> {
         let mut out = vec![0.0; q];
         for d in &self.dispatches {
             let set = &self.sets[d.set];
             assert_eq!(set.tours().len(), q, "tour sets must have q tours");
-            for (l, t) in set.tours().iter().enumerate() {
-                out[l] += t.length(dist);
+            for (l, &len) in set.tour_lengths().iter().enumerate() {
+                out[l] += len;
             }
         }
         out
@@ -258,16 +287,18 @@ mod tests {
     fn per_charger_distance_splits() {
         let d = dist();
         let mut s = ScheduleSeries::new();
-        let set = s.add_set(TourSet::new(
-            vec![Tour::new(vec![2, 0]), Tour::singleton(2)],
-            &d,
-            is_depot,
-        ));
+        let set =
+            s.add_set(TourSet::new(vec![Tour::new(vec![2, 0]), Tour::singleton(2)], &d, is_depot));
         s.push_dispatch(1.0, set);
         s.push_dispatch(2.0, set);
-        let per = s.per_charger_distance(&d, 2);
+        let per = s.per_charger_distance(2);
         assert!((per[0] - 4.0).abs() < 1e-12);
         assert_eq!(per[1], 0.0);
+        // Cached lengths agree with on-demand recomputation.
+        let set = &s.sets()[0];
+        for (cached, t) in set.tour_lengths().iter().zip(set.tours()) {
+            assert!((cached - t.length(&d)).abs() < 1e-12);
+        }
     }
 
     #[test]
@@ -275,5 +306,24 @@ mod tests {
     fn dispatch_of_unknown_set_panics() {
         let mut s = ScheduleSeries::new();
         s.push_dispatch(1.0, 0);
+    }
+
+    #[test]
+    fn charge_times_all_matches_per_sensor_scan() {
+        let d = dist();
+        let mut s = ScheduleSeries::new();
+        let both = s.add_set(TourSet::new(vec![Tour::new(vec![2, 0, 1])], &d, is_depot));
+        let near = s.add_set(TourSet::new(vec![Tour::new(vec![2, 0])], &d, is_depot));
+        // Out-of-order dispatch times: the inverted pass must still emit
+        // each sensor's times ascending.
+        for &(t, set) in &[(3.0, both), (1.0, near), (2.0, both), (0.5, near)] {
+            s.push_dispatch(t, set);
+        }
+        let all = s.charge_times_all(2);
+        for (sensor, times) in all.iter().enumerate() {
+            assert_eq!(*times, s.charge_times(sensor), "sensor {sensor}");
+        }
+        assert_eq!(all[0], vec![0.5, 1.0, 2.0, 3.0]);
+        assert_eq!(all[1], vec![2.0, 3.0]);
     }
 }

@@ -103,8 +103,7 @@ pub fn split_tour(dist: &DistMatrix, tour: &Tour, max_len: f64) -> Result<Vec<To
             if j > i {
                 inner += dist.get(customers[j - 1], customers[j]);
             }
-            let trip =
-                dist.get(depot, customers[i]) + inner + dist.get(customers[j], depot);
+            let trip = dist.get(depot, customers[i]) + inner + dist.get(customers[j], depot);
             if trip > max_len + 1e-9 {
                 break; // longer trips from i only grow (triangle inequality)
             }
@@ -170,9 +169,7 @@ mod tests {
 
     fn line_dist(n: usize, spacing: f64) -> DistMatrix {
         // depot at 0, customers at spacing, 2·spacing, …
-        let pts: Vec<Point2> = (0..=n)
-            .map(|i| Point2::new(i as f64 * spacing, 0.0))
-            .collect();
+        let pts: Vec<Point2> = (0..=n).map(|i| Point2::new(i as f64 * spacing, 0.0)).collect();
         DistMatrix::from_points(&pts)
     }
 
@@ -210,10 +207,8 @@ mod tests {
             assert_eq!(t.start(), Some(0));
         }
         // Coverage preserved, order preserved.
-        let covered: Vec<usize> = trips
-            .iter()
-            .flat_map(|t| t.nodes()[1..].iter().copied())
-            .collect();
+        let covered: Vec<usize> =
+            trips.iter().flat_map(|t| t.nodes()[1..].iter().copied()).collect();
         assert_eq!(covered, vec![1, 2, 3, 4]);
     }
 
@@ -233,11 +228,12 @@ mod tests {
     fn dp_split_no_worse_than_greedy_cut() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         for _ in 0..10 {
-            let pts: Vec<Point2> = std::iter::once(Point2::new(500.0, 500.0))
-                .chain((0..12).map(|_| {
-                    Point2::new(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0))
-                }))
-                .collect();
+            let pts: Vec<Point2> =
+                std::iter::once(Point2::new(500.0, 500.0))
+                    .chain((0..12).map(|_| {
+                        Point2::new(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0))
+                    }))
+                    .collect();
             let d = DistMatrix::from_points(&pts);
             let tour = Tour::new((0..13).collect());
             let max_len = tour.length(&d) / 2.5;
@@ -257,16 +253,14 @@ mod tests {
                         break;
                     }
                     let grow = inner + d.get(nodes[j], nodes[next]);
-                    let trip =
-                        d.get(nodes[0], nodes[i]) + grow + d.get(nodes[next], nodes[0]);
+                    let trip = d.get(nodes[0], nodes[i]) + grow + d.get(nodes[next], nodes[0]);
                     if trip > max_len + 1e-9 {
                         break;
                     }
                     inner = grow;
                     j = next;
                 }
-                greedy_total +=
-                    d.get(nodes[0], nodes[i]) + inner + d.get(nodes[j], nodes[0]);
+                greedy_total += d.get(nodes[0], nodes[i]) + inner + d.get(nodes[j], nodes[0]);
                 i = j + 1;
             }
             let dp_total: f64 = trips.iter().map(|t| t.length(&d)).sum();
@@ -287,10 +281,7 @@ mod tests {
     #[test]
     fn empty_and_singleton_tours() {
         let d = line_dist(2, 1.0);
-        assert_eq!(
-            split_tour(&d, &Tour::new(vec![]), 10.0).unwrap_err(),
-            SplitError::EmptyTour
-        );
+        assert_eq!(split_tour(&d, &Tour::new(vec![]), 10.0).unwrap_err(), SplitError::EmptyTour);
         let trips = split_tour(&d, &Tour::singleton(0), 10.0).unwrap();
         assert_eq!(trips.len(), 1);
         assert_eq!(trips[0].len(), 1);
@@ -305,10 +296,8 @@ mod tests {
         for t in &trips {
             assert!(t.length(&d) <= 60.0 + 1e-9);
         }
-        let covered: Vec<usize> = trips
-            .iter()
-            .flat_map(|t| t.nodes()[1..].iter().copied())
-            .collect();
+        let covered: Vec<usize> =
+            trips.iter().flat_map(|t| t.nodes()[1..].iter().copied()).collect();
         assert_eq!(covered, vec![1, 2, 3]);
     }
 }

@@ -96,10 +96,7 @@ impl SeriesStats {
     /// True when every sensor's worst gap is within its cycle — the same
     /// check as [`crate::feasibility::check_series`], phrased on stats.
     pub fn feasible_for(&self, cycles: &[f64]) -> bool {
-        self.max_gap_per_sensor
-            .iter()
-            .zip(cycles.iter())
-            .all(|(&gap, &tau)| gap <= tau + 1e-9)
+        self.max_gap_per_sensor.iter().zip(cycles.iter()).all(|(&gap, &tau)| gap <= tau + 1e-9)
     }
 }
 
@@ -111,11 +108,7 @@ mod tests {
     use perpetuum_geom::Point2;
 
     fn instance() -> Instance {
-        let sensors = vec![
-            Point2::new(10.0, 0.0),
-            Point2::new(20.0, 0.0),
-            Point2::new(30.0, 0.0),
-        ];
+        let sensors = vec![Point2::new(10.0, 0.0), Point2::new(20.0, 0.0), Point2::new(30.0, 0.0)];
         let depots = vec![Point2::ORIGIN];
         Instance::new(Network::new(sensors, depots), vec![1.0, 2.0, 8.0], 16.0)
     }

@@ -23,11 +23,12 @@ use std::collections::HashMap;
 
 use crate::mtd::{nu2, push_dispatch_timeline};
 use crate::network::Network;
+use crate::qmsf::{rooted_msf_general, rooted_msf_points, SPARSE_MSF_K};
 use crate::qtsp::q_rooted_tsp_src;
 use crate::rounding::{partition_cycles, power_class};
 use crate::schedule::{ScheduleSeries, TourSet};
-use crate::qmsf::rooted_msf_general;
-use perpetuum_graph::DistMatrix;
+use perpetuum_geom::Point2;
+use perpetuum_graph::{DistSource, Metric};
 
 /// Inputs to one replanning round at time `now`.
 #[derive(Debug, Clone, Copy)]
@@ -92,10 +93,7 @@ pub fn replan_variable_with(input: &VarInput, repair: RepairStrategy) -> VarPlan
     let partition = partition_cycles(input.max_cycles);
     let tau1 = partition.tau1;
     let k_max = partition.k_max();
-    assert!(
-        k_max <= 30,
-        "cycle spread τ_max/τ_min ≈ 2^{k_max} is beyond any sane instance"
-    );
+    assert!(k_max <= 30, "cycle spread τ_max/τ_min ≈ 2^{k_max} is beyond any sane instance");
     let period_slots: u64 = 1 << k_max; // 2^K dispatches per super-period
 
     // Cumulative base sets D_0 ⊂ … ⊂ D_K (sensor ids).
@@ -107,9 +105,8 @@ pub fn replan_variable_with(input: &VarInput, repair: RepairStrategy) -> VarPlan
     let mut added: HashMap<u64, Vec<usize>> = HashMap::new();
 
     // V^a: sensors whose residual cannot reach their first scheduled charge.
-    let mut va: Vec<usize> = (0..n)
-        .filter(|&i| input.residuals[i] + 1e-12 < partition.rounded[i])
-        .collect();
+    let mut va: Vec<usize> =
+        (0..n).filter(|&i| input.residuals[i] + 1e-12 < partition.rounded[i]).collect();
 
     match repair {
         RepairStrategy::ChargeAllNow => {
@@ -119,11 +116,8 @@ pub fn replan_variable_with(input: &VarInput, repair: RepairStrategy) -> VarPlan
         }
         RepairStrategy::NearestScheduling => {
             // V^a_t: must be charged right now.
-            let urgent: Vec<usize> = va
-                .iter()
-                .copied()
-                .filter(|&i| input.residuals[i] < tau1)
-                .collect();
+            let urgent: Vec<usize> =
+                va.iter().copied().filter(|&i| input.residuals[i] < tau1).collect();
             if !urgent.is_empty() {
                 added.insert(0, urgent);
             }
@@ -137,20 +131,22 @@ pub fn replan_variable_with(input: &VarInput, repair: RepairStrategy) -> VarPlan
             }
 
             // Iteration k: attach V^a_k terminals to the nearest of the
-            // schedulings j = 0 … 2^k.
+            // schedulings j = 0 … 2^k. Distances go through the network's
+            // `DistSource`, so sparse instances never materialize a matrix:
+            // dense sources keep the exact contracted MSF, point sources
+            // run the k-NN super-root construction over terminal positions.
             let depot_nodes = network.depot_nodes();
-            let dist = network.dist();
+            let src = network.dist_source();
             for (k, terminals) in by_class.iter().enumerate() {
                 if terminals.is_empty() {
                     continue;
                 }
                 let term_nodes: Vec<usize> =
                     terminals.iter().map(|&i| network.sensor_node(i)).collect();
-                let term_dist = dist.induced(&term_nodes);
                 let mut root_dist: Vec<Vec<f64>> = Vec::with_capacity((1usize << k) + 1);
                 for j in 0..=(1u64 << k) {
                     root_dist.push(scheduling_distance_row(
-                        dist,
+                        &src,
                         network,
                         &term_nodes,
                         base_sensors_of(j, k_max, &cums),
@@ -158,7 +154,13 @@ pub fn replan_variable_with(input: &VarInput, repair: RepairStrategy) -> VarPlan
                         &depot_nodes,
                     ));
                 }
-                let forest = rooted_msf_general(&term_dist, &root_dist);
+                let forest = match src {
+                    DistSource::Dense(d) => rooted_msf_general(&d.induced(&term_nodes), &root_dist),
+                    DistSource::Points(p) => {
+                        let tpts: Vec<Point2> = term_nodes.iter().map(|&v| p[v]).collect();
+                        rooted_msf_points(&tpts, &root_dist, SPARSE_MSF_K)
+                    }
+                };
                 for (t_idx, &j) in forest.assignment.iter().enumerate() {
                     added.entry(j as u64).or_default().push(terminals[t_idx]);
                 }
@@ -170,7 +172,8 @@ pub fn replan_variable_with(input: &VarInput, repair: RepairStrategy) -> VarPlan
     let depot_nodes = network.depot_nodes();
     let route = |sensors: &[usize]| -> TourSet {
         let nodes: Vec<usize> = sensors.iter().map(|&i| network.sensor_node(i)).collect();
-        let qt = q_rooted_tsp_src(&network.dist_source(), &nodes, &depot_nodes, input.polish_rounds);
+        let qt =
+            q_rooted_tsp_src(&network.dist_source(), &nodes, &depot_nodes, input.polish_rounds);
         TourSet::from_qtours(qt, |v| v >= n)
     };
 
@@ -206,14 +209,7 @@ pub fn replan_variable_with(input: &VarInput, repair: RepairStrategy) -> VarPlan
     // Remaining periods: pure Algorithm 3 pattern, continuing the count.
     if j > period_slots {
         let start = input.now + period_slots as f64 * tau1;
-        push_dispatch_timeline(
-            &mut series,
-            &base_ids,
-            tau1,
-            k_max,
-            start,
-            input.horizon,
-        );
+        push_dispatch_timeline(&mut series, &base_ids, tau1, k_max, start, input.horizon);
     }
 
     VarPlan { series, assigned_cycles: partition.rounded }
@@ -231,8 +227,8 @@ fn base_sensors_of(j: u64, k_max: usize, cums: &[Vec<usize>]) -> &[usize] {
 
 /// Distance from each terminal node to the nearest node of a scheduling
 /// (its base sensors ∪ repair additions ∪ all depots).
-fn scheduling_distance_row(
-    dist: &DistMatrix,
+fn scheduling_distance_row<M: Metric>(
+    dist: &M,
     network: &Network,
     term_nodes: &[usize],
     base: &[usize],
@@ -283,10 +279,7 @@ pub fn check_var_plan(input: &VarInput, plan: &VarPlan) -> Result<(), Vec<String
         }
         for w in times.windows(2) {
             if w[1] - w[0] > tau + 1e-9 {
-                errors.push(format!(
-                    "sensor {i}: gap {} exceeds cycle {tau}",
-                    w[1] - w[0]
-                ));
+                errors.push(format!("sensor {i}: gap {} exceeds cycle {tau}", w[1] - w[0]));
             }
         }
         if input.horizon - times.last().unwrap() > tau + 1e-9 {
@@ -395,8 +388,7 @@ mod tests {
             let n = rng.gen_range(5..40);
             let network = grid_network(n, rng.gen_range(1..5), seed);
             let cycles: Vec<f64> = (0..n).map(|_| rng.gen_range(1.0..50.0)).collect();
-            let residuals: Vec<f64> =
-                cycles.iter().map(|&c| rng.gen_range(0.05..=c)).collect();
+            let residuals: Vec<f64> = cycles.iter().map(|&c| rng.gen_range(0.05..=c)).collect();
             let now = rng.gen_range(0.0..500.0);
             let input = VarInput {
                 network: &network,
@@ -407,12 +399,10 @@ mod tests {
                 polish_rounds: 0,
             };
             let plan = replan_variable(&input);
-            check_var_plan(&input, &plan)
-                .unwrap_or_else(|e| panic!("seed {seed}: {e:?}"));
+            check_var_plan(&input, &plan).unwrap_or_else(|e| panic!("seed {seed}: {e:?}"));
             // The naive repair must be feasible too.
             let naive = replan_variable_with(&input, RepairStrategy::ChargeAllNow);
-            check_var_plan(&input, &naive)
-                .unwrap_or_else(|e| panic!("seed {seed} (naive): {e:?}"));
+            check_var_plan(&input, &naive).unwrap_or_else(|e| panic!("seed {seed} (naive): {e:?}"));
         }
     }
 
@@ -428,8 +418,7 @@ mod tests {
             let network = grid_network(n, 3, seed + 50);
             let mut cycles: Vec<f64> = (0..n).map(|_| rng.gen_range(1.0..50.0)).collect();
             cycles[0] = 1.0;
-            let residuals: Vec<f64> =
-                cycles.iter().map(|&c| rng.gen_range(0.5..=c)).collect();
+            let residuals: Vec<f64> = cycles.iter().map(|&c| rng.gen_range(0.5..=c)).collect();
             let input = VarInput {
                 network: &network,
                 max_cycles: &cycles,
@@ -440,9 +429,7 @@ mod tests {
             };
             nearest_total += replan_variable(&input).series.service_cost();
             naive_total +=
-                replan_variable_with(&input, RepairStrategy::ChargeAllNow)
-                    .series
-                    .service_cost();
+                replan_variable_with(&input, RepairStrategy::ChargeAllNow).series.service_cost();
         }
         assert!(
             nearest_total <= naive_total * 1.05,
@@ -464,6 +451,44 @@ mod tests {
         };
         let plan = replan_variable(&input);
         assert_eq!(plan.assigned_cycles, vec![1.0, 1.0, 2.0, 2.0, 4.0, 32.0]);
+    }
+
+    #[test]
+    fn sparse_replan_never_builds_dense_matrix() {
+        // Regression: the V^a repair used to call `network.dist()`, which
+        // panics (and would otherwise allocate Θ(n²)) on sparse networks.
+        // A sparse-constructed network must replan through the `Points`
+        // source end to end and still produce a feasible plan.
+        for seed in 0..6u64 {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed + 700);
+            let n = rng.gen_range(10..60);
+            let sensors: Vec<Point2> = (0..n)
+                .map(|_| Point2::new(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0)))
+                .collect();
+            let depots = vec![Point2::new(500.0, 500.0), Point2::new(100.0, 900.0)];
+            let network = Network::sparse(sensors, depots);
+            assert!(!network.has_dense_matrix());
+            assert!(
+                matches!(network.dist_source(), perpetuum_graph::DistSource::Points(_)),
+                "sparse network must expose a Points source"
+            );
+            // Mixed cycles and drained residuals force every repair branch
+            // (urgent + several V^a classes) through the sparse path.
+            let mut cycles: Vec<f64> = (0..n).map(|_| rng.gen_range(1.0..50.0)).collect();
+            cycles[0] = 1.0;
+            let residuals: Vec<f64> = cycles.iter().map(|&c| rng.gen_range(0.05..=c)).collect();
+            let input = VarInput {
+                network: &network,
+                max_cycles: &cycles,
+                residuals: &residuals,
+                now: 3.0,
+                horizon: 120.0,
+                polish_rounds: 0,
+            };
+            let plan = replan_variable(&input);
+            check_var_plan(&input, &plan).unwrap_or_else(|e| panic!("seed {seed}: {e:?}"));
+            assert!(!network.has_dense_matrix(), "replan must not densify the network");
+        }
     }
 
     #[test]

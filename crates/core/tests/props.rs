@@ -6,6 +6,7 @@
 //! Equation 1 (rounding bound), Lemma 2 (feasibility of Algorithm 3), and
 //! feasibility of both the greedy baseline and variable-cycle replans.
 
+use perpetuum_core::feasibility::check_series;
 use perpetuum_core::greedy::{plan_greedy_fixed, GreedyConfig};
 use perpetuum_core::mtd::{plan_min_total_distance, MtdConfig};
 use perpetuum_core::network::{Instance, Network};
@@ -13,7 +14,6 @@ use perpetuum_core::qmsf::q_rooted_msf;
 use perpetuum_core::qtsp::q_rooted_tsp;
 use perpetuum_core::rounding::partition_cycles;
 use perpetuum_core::var::{check_var_plan, replan_variable, VarInput};
-use perpetuum_core::feasibility::check_series;
 use perpetuum_geom::Point2;
 use proptest::prelude::*;
 

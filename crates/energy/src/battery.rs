@@ -57,10 +57,7 @@ impl Battery {
     /// A battery at an arbitrary level `level ∈ [0, capacity]`.
     pub fn at_level(capacity: f64, level: f64) -> Self {
         let mut b = Self::full(capacity);
-        assert!(
-            (0.0..=capacity).contains(&level),
-            "level {level} outside [0, {capacity}]"
-        );
+        assert!((0.0..=capacity).contains(&level), "level {level} outside [0, {capacity}]");
         b.level = level;
         b
     }
@@ -97,6 +94,25 @@ impl Battery {
         let was_alive = !self.is_dead();
         self.level = (self.level - rate * duration).max(0.0);
         was_alive && self.is_dead()
+    }
+
+    /// Level after draining at constant `rate` for `duration`, without
+    /// mutating the battery. This is the read side of the simulator's
+    /// lazy energy accounting: a battery stored at its last touch point
+    /// can be peeked at any later instant in O(1).
+    #[inline]
+    pub fn level_after(&self, rate: f64, duration: f64) -> f64 {
+        debug_assert!(rate >= 0.0 && duration >= 0.0);
+        (self.level - rate * duration).max(0.0)
+    }
+
+    /// Empties the battery in place. The simulator settles a predicted
+    /// death by pinning the level to exactly zero (a saturating
+    /// [`Self::drain`] past the crossing lands there too; this skips the
+    /// arithmetic).
+    #[inline]
+    pub fn deplete(&mut self) {
+        self.level = 0.0;
     }
 
     /// Recharges to full capacity (the paper's point-to-point charging
@@ -169,6 +185,30 @@ mod tests {
         assert!(b.level() > 0.0);
         assert!(b.drain(1.0 / tau, tau * 0.002));
         assert!(b.is_dead());
+    }
+
+    #[test]
+    fn level_after_peeks_without_mutating() {
+        let mut b = Battery::full(1.0);
+        assert!((b.level_after(0.1, 5.0) - 0.5).abs() < 1e-12);
+        assert_eq!(b.level(), 1.0, "peek must not drain");
+        // The peek agrees exactly with a single equivalent drain.
+        let peek = b.level_after(0.25, 3.0);
+        b.drain(0.25, 3.0);
+        assert_eq!(b.level(), peek);
+        // Saturates at zero like `drain`.
+        assert_eq!(b.level_after(10.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn deplete_empties_in_place() {
+        let mut b = Battery::full(2.0);
+        b.deplete();
+        assert_eq!(b.level(), 0.0);
+        assert!(b.is_dead());
+        assert_eq!(b.capacity(), 2.0, "capacity untouched");
+        b.charge_full();
+        assert_eq!(b.level(), 2.0);
     }
 
     #[test]

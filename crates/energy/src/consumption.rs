@@ -75,14 +75,7 @@ impl SlottedResample {
         tau_max: f64,
     ) -> Self {
         assert!(tau_min > 0.0 && tau_max >= tau_min);
-        Self {
-            capacity,
-            mean_cycle,
-            dist,
-            tau_min,
-            tau_max,
-            last_cycle: f64::NAN,
-        }
+        Self { capacity, mean_cycle, dist, tau_min, tau_max, last_cycle: f64::NAN }
     }
 
     /// The cycle realised for the most recently sampled slot.
@@ -93,9 +86,7 @@ impl SlottedResample {
 
 impl ConsumptionProcess for SlottedResample {
     fn rate_for_slot<R: Rng + ?Sized>(&mut self, _slot: u64, rng: &mut R) -> f64 {
-        let tau = self
-            .dist
-            .sample(self.mean_cycle, self.tau_min, self.tau_max, rng);
+        let tau = self.dist.sample(self.mean_cycle, self.tau_min, self.tau_max, rng);
         self.last_cycle = tau;
         self.capacity / tau
     }
@@ -172,16 +163,8 @@ impl MarkovBurst {
 impl ConsumptionProcess for MarkovBurst {
     fn rate_for_slot<R: Rng + ?Sized>(&mut self, _slot: u64, rng: &mut R) -> f64 {
         let roll: f64 = rng.gen();
-        self.bursting = if self.bursting {
-            roll >= self.p_exit
-        } else {
-            roll < self.p_enter
-        };
-        let raw = if self.bursting {
-            self.mean_cycle / self.burst_factor
-        } else {
-            self.mean_cycle
-        };
+        self.bursting = if self.bursting { roll >= self.p_exit } else { roll < self.p_enter };
+        let raw = if self.bursting { self.mean_cycle / self.burst_factor } else { self.mean_cycle };
         let tau = raw.clamp(self.tau_min, self.tau_max);
         self.last_cycle = tau;
         self.capacity / tau
@@ -214,13 +197,8 @@ mod tests {
 
     #[test]
     fn slotted_rates_within_clamped_range() {
-        let mut p = SlottedResample::new(
-            1.0,
-            25.0,
-            CycleDistribution::Linear { sigma: 10.0 },
-            1.0,
-            50.0,
-        );
+        let mut p =
+            SlottedResample::new(1.0, 25.0, CycleDistribution::Linear { sigma: 10.0 }, 1.0, 50.0);
         let mut rng = derived_rng(1, 0);
         for slot in 0..500 {
             let r = p.rate_for_slot(slot, &mut rng);
@@ -233,13 +211,8 @@ mod tests {
 
     #[test]
     fn slotted_rates_actually_vary() {
-        let mut p = SlottedResample::new(
-            1.0,
-            25.0,
-            CycleDistribution::Linear { sigma: 5.0 },
-            1.0,
-            50.0,
-        );
+        let mut p =
+            SlottedResample::new(1.0, 25.0, CycleDistribution::Linear { sigma: 5.0 }, 1.0, 50.0);
         let mut rng = derived_rng(1, 1);
         let r0 = p.rate_for_slot(0, &mut rng);
         let distinct = (1..50)
@@ -292,13 +265,8 @@ mod tests {
 
     #[test]
     fn sigma_zero_is_constant_cycle() {
-        let mut p = SlottedResample::new(
-            1.0,
-            10.0,
-            CycleDistribution::Linear { sigma: 0.0 },
-            1.0,
-            50.0,
-        );
+        let mut p =
+            SlottedResample::new(1.0, 10.0, CycleDistribution::Linear { sigma: 0.0 }, 1.0, 50.0);
         let mut rng = derived_rng(1, 2);
         for slot in 0..10 {
             assert_eq!(p.rate_for_slot(slot, &mut rng), 0.1);

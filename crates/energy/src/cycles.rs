@@ -98,10 +98,7 @@ impl CycleDistribution {
         tau_max: f64,
         rng: &mut R,
     ) -> Vec<f64> {
-        let max_bs = positions
-            .iter()
-            .map(|p| p.dist(base_station))
-            .fold(0.0f64, f64::max);
+        let max_bs = positions.iter().map(|p| p.dist(base_station)).fold(0.0f64, f64::max);
         positions
             .iter()
             .map(|&p| {
@@ -121,10 +118,7 @@ impl CycleDistribution {
         tau_min: f64,
         tau_max: f64,
     ) -> Vec<f64> {
-        let max_bs = positions
-            .iter()
-            .map(|p| p.dist(base_station))
-            .fold(0.0f64, f64::max);
+        let max_bs = positions.iter().map(|p| p.dist(base_station)).fold(0.0f64, f64::max);
         positions
             .iter()
             .map(|&p| self.mean_cycle(p, base_station, max_bs, tau_min, tau_max))
@@ -173,9 +167,7 @@ mod tests {
             let s = d.sample(1.0, 1.0, 50.0, &mut rng);
             assert!((1.0..=50.0).contains(&s));
         }
-        let mass_at_min = (0..1000)
-            .filter(|_| d.sample(1.0, 1.0, 50.0, &mut rng) == 1.0)
-            .count();
+        let mass_at_min = (0..1000).filter(|_| d.sample(1.0, 1.0, 50.0, &mut rng) == 1.0).count();
         assert!(mass_at_min > 100, "clamping should concentrate mass at τ_min");
     }
 

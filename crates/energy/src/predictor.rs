@@ -30,10 +30,7 @@ impl EwmaPredictor {
     /// # Panics
     /// Panics unless `0 < gamma < 1` and `initial_rate > 0`.
     pub fn new(gamma: f64, initial_rate: f64) -> Self {
-        assert!(
-            gamma > 0.0 && gamma < 1.0,
-            "gamma must be in (0, 1), got {gamma}"
-        );
+        assert!(gamma > 0.0 && gamma < 1.0, "gamma must be in (0, 1), got {gamma}");
         assert!(
             initial_rate > 0.0 && initial_rate.is_finite(),
             "initial rate must be positive and finite, got {initial_rate}"
@@ -195,10 +192,7 @@ mod tests {
             ewma.observe(rate);
             holt.observe(rate);
         }
-        assert!(
-            holt_err < ewma_err / 3.0,
-            "holt {holt_err} should beat ewma {ewma_err} by 3x+"
-        );
+        assert!(holt_err < ewma_err / 3.0, "holt {holt_err} should beat ewma {ewma_err} by 3x+");
     }
 
     #[test]

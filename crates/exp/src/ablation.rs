@@ -40,12 +40,8 @@ pub enum AblationId {
 
 impl AblationId {
     /// All ablations.
-    pub const ALL: [AblationId; 4] = [
-        AblationId::Rounding,
-        AblationId::TourPolish,
-        AblationId::Repair,
-        AblationId::Routing,
-    ];
+    pub const ALL: [AblationId; 4] =
+        [AblationId::Rounding, AblationId::TourPolish, AblationId::Repair, AblationId::Routing];
 
     /// Parses `"rounding"`, `"tour-polish"` / `"polish"`, `"repair"`.
     pub fn parse(s: &str) -> Option<AblationId> {
@@ -131,13 +127,9 @@ pub fn run_ablation(id: AblationId, topologies: usize, seed: u64) -> FigureData 
                 let s = Scenario { n, horizon: 200.0, ..Scenario::paper_fixed() };
                 let rows = par_map(topologies, |i| {
                     let topo = s.build_topology(seed, i as u64);
-                    let inst = Instance::new(
-                        topo.network.clone(),
-                        topo.init_cycles.clone(),
-                        s.horizon,
-                    );
-                    let mtd =
-                        plan_min_total_distance(&inst, &MtdConfig::default()).service_cost();
+                    let inst =
+                        Instance::new(topo.network.clone(), topo.init_cycles.clone(), s.horizon);
+                    let mtd = plan_min_total_distance(&inst, &MtdConfig::default()).service_cost();
                     let per_sensor = plan_per_sensor_cadence(&inst).service_cost();
                     let charge_all = plan_charge_all(&inst).service_cost();
                     [mtd / 1000.0, per_sensor / 1000.0, charge_all / 1000.0]
@@ -161,16 +153,15 @@ pub fn run_ablation(id: AblationId, topologies: usize, seed: u64) -> FigureData 
                 let s = Scenario { n, horizon: 200.0, ..Scenario::paper_fixed() };
                 let rows = par_map(topologies, |i| {
                     let topo = s.build_topology(seed, i as u64);
-                    let inst = Instance::new(
-                        topo.network.clone(),
-                        topo.init_cycles.clone(),
-                        s.horizon,
-                    );
+                    let inst =
+                        Instance::new(topo.network.clone(), topo.init_cycles.clone(), s.horizon);
                     let plain =
                         plan_min_total_distance(&inst, &MtdConfig::default()).service_cost();
-                    let polished =
-                        plan_min_total_distance(&inst, &MtdConfig { polish_rounds: 10, ..MtdConfig::default() })
-                            .service_cost();
+                    let polished = plan_min_total_distance(
+                        &inst,
+                        &MtdConfig { polish_rounds: 10, ..MtdConfig::default() },
+                    )
+                    .service_cost();
                     [plain / 1000.0, polished / 1000.0]
                 });
                 cells.push(transpose(rows));
@@ -192,17 +183,11 @@ pub fn run_ablation(id: AblationId, topologies: usize, seed: u64) -> FigureData 
                 let s = Scenario { n, horizon: 200.0, ..Scenario::paper_fixed() };
                 let rows = par_map(topologies, |i| {
                     let topo = s.build_topology(seed, i as u64);
-                    let inst = Instance::new(
-                        topo.network.clone(),
-                        topo.init_cycles.clone(),
-                        s.horizon,
-                    );
+                    let inst =
+                        Instance::new(topo.network.clone(), topo.init_cycles.clone(), s.horizon);
                     let plan = |routing: Routing, polish_rounds: usize| {
-                        plan_min_total_distance(
-                            &inst,
-                            &MtdConfig { routing, polish_rounds },
-                        )
-                        .service_cost()
+                        plan_min_total_distance(&inst, &MtdConfig { routing, polish_rounds })
+                            .service_cost()
                             / 1000.0
                     };
                     [

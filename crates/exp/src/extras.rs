@@ -33,11 +33,11 @@ use crate::figures::{FigureData, Series};
 use crate::scenario::{Deployment, Scenario};
 use perpetuum_core::bounds::lemma3_lower_bound;
 use perpetuum_core::greedy::{plan_greedy_fixed, GreedyConfig};
-use perpetuum_core::mtd::{plan_min_total_distance, MtdConfig};
-use perpetuum_core::rounding::partition_cycles;
 use perpetuum_core::minmax::min_max_cover;
+use perpetuum_core::mtd::{plan_min_total_distance, MtdConfig};
 use perpetuum_core::network::Instance;
 use perpetuum_core::qtsp::{q_rooted_tsp, Routing};
+use perpetuum_core::rounding::partition_cycles;
 use perpetuum_core::split::split_tour_set;
 use perpetuum_par::{mean, par_map, std_dev};
 use perpetuum_sim::{run, GreedyPolicy, MtdPolicy, SimConfig, VarPolicy, World};
@@ -111,9 +111,7 @@ impl ExtensionId {
             ExtensionId::Burst => {
                 "Extension: bursty (Markov) loads — MinTotalDistance-var vs Greedy"
             }
-            ExtensionId::MinMax => {
-                "Extension: total-distance routing vs min-max balanced cover"
-            }
+            ExtensionId::MinMax => "Extension: total-distance routing vs min-max balanced cover",
             ExtensionId::Range => {
                 "Extension: service-cost inflation under a charger range constraint"
             }
@@ -151,12 +149,7 @@ pub fn run_extension(id: ExtensionId, topologies: usize, seed: u64) -> FigureDat
 }
 
 fn series(name: &str) -> Series {
-    Series {
-        name: name.to_string(),
-        values: Vec::new(),
-        std_devs: Vec::new(),
-        deaths: Vec::new(),
-    }
+    Series { name: name.to_string(), values: Vec::new(), std_devs: Vec::new(), deaths: Vec::new() }
 }
 
 fn run_burst(topologies: usize, seed: u64) -> FigureData {
@@ -172,24 +165,24 @@ fn run_burst(topologies: usize, seed: u64) -> FigureData {
                 World::bursty(
                     topo.network.clone(),
                     &topo.mean_cycles,
-                    8.0,    // bursts shorten cycles 8x
+                    8.0, // bursts shorten cycles 8x
                     p_enter,
-                    0.5,    // bursts last ~2 slots
+                    0.5, // bursts last ~2 slots
                     s.tau_min,
                     s.tau_max,
                 )
             };
-            let cfg = SimConfig { horizon: s.horizon, slot: s.slot, seed: topo.sim_seed, charger_speed: None };
+            let cfg = SimConfig {
+                horizon: s.horizon,
+                slot: s.slot,
+                seed: topo.sim_seed,
+                charger_speed: None,
+            };
             let mut vp = VarPolicy::new(&topo.network);
             let rv = run(build(), &cfg, &mut vp);
             let mut gp = GreedyPolicy::new(&topo.network, s.tau_min);
             let rg = run(build(), &cfg, &mut gp);
-            (
-                rv.service_cost / 1000.0,
-                rv.deaths.len(),
-                rg.service_cost / 1000.0,
-                rg.deaths.len(),
-            )
+            (rv.service_cost / 1000.0, rv.deaths.len(), rg.service_cost / 1000.0, rg.deaths.len())
         });
         let var_costs: Vec<f64> = rows.iter().map(|r| r.0).collect();
         let greedy_costs: Vec<f64> = rows.iter().map(|r| r.2).collect();
@@ -225,22 +218,13 @@ fn run_minmax(topologies: usize, seed: u64) -> FigureData {
             let topo = s.build_topology(seed, i as u64);
             let sensors: Vec<usize> = (0..n).collect();
             let qt = q_rooted_tsp(topo.network.dist(), &sensors, &topo.network.depot_nodes(), 0);
-            let alg2_span = qt
-                .tours
-                .iter()
-                .map(|t| t.length(topo.network.dist()))
-                .fold(0.0f64, f64::max);
+            let alg2_span =
+                qt.tours.iter().map(|t| t.length(topo.network.dist())).fold(0.0f64, f64::max);
             let mm = min_max_cover(&topo.network, &sensors, Routing::Doubling, 200);
-            [
-                qt.cost / 1000.0,
-                alg2_span / 1000.0,
-                mm.total / 1000.0,
-                mm.makespan / 1000.0,
-            ]
+            [qt.cost / 1000.0, alg2_span / 1000.0, mm.total / 1000.0, mm.makespan / 1000.0]
         });
-        for (idx, s) in [&mut total_alg2, &mut span_alg2, &mut total_mm, &mut span_mm]
-            .into_iter()
-            .enumerate()
+        for (idx, s) in
+            [&mut total_alg2, &mut span_alg2, &mut total_mm, &mut span_mm].into_iter().enumerate()
         {
             let col: Vec<f64> = rows.iter().map(|r| r[idx]).collect();
             s.values.push(mean(&col));
@@ -273,8 +257,7 @@ fn run_range(topologies: usize, seed: u64) -> FigureData {
     for &mult in &multiples {
         let rows = par_map(topologies, |i| {
             let topo = s.build_topology(seed, i as u64);
-            let inst =
-                Instance::new(topo.network.clone(), topo.init_cycles.clone(), s.horizon);
+            let inst = Instance::new(topo.network.clone(), topo.init_cycles.clone(), s.horizon);
             let plan = plan_min_total_distance(&inst, &MtdConfig::default());
             // Minimum feasible range over the whole plan.
             let dist = topo.network.dist();
@@ -435,19 +418,16 @@ fn run_ratio(topologies: usize, seed: u64) -> FigureData {
         let s = Scenario { n, ..s0 };
         let rows = par_map(topologies, |i| {
             let topo = s.build_topology(seed, i as u64);
-            let inst =
-                Instance::new(topo.network.clone(), topo.init_cycles.clone(), s.horizon);
+            let inst = Instance::new(topo.network.clone(), topo.init_cycles.clone(), s.horizon);
             let lb = lemma3_lower_bound(&inst).bound;
             let mtd = plan_min_total_distance(&inst, &MtdConfig::default()).service_cost();
             let greedy =
-                plan_greedy_fixed(&inst, &GreedyConfig::paper_default(s.tau_min))
-                    .service_cost();
+                plan_greedy_fixed(&inst, &GreedyConfig::paper_default(s.tau_min)).service_cost();
             let k = partition_cycles(inst.cycles()).k_max() as f64;
             [mtd / lb, greedy / lb, 2.0 * (k + 2.0)]
         });
-        for (idx, out) in [&mut mtd_ratio, &mut greedy_ratio, &mut guarantee]
-            .into_iter()
-            .enumerate()
+        for (idx, out) in
+            [&mut mtd_ratio, &mut greedy_ratio, &mut guarantee].into_iter().enumerate()
         {
             let col: Vec<f64> = rows.iter().map(|r| r[idx]).collect();
             out.values.push(mean(&col));
@@ -480,8 +460,7 @@ fn run_aging(topologies: usize, seed: u64) -> FigureData {
         // recharge ~ΔT/τ_min times in between, each shaving `fade` off its
         // capacity. The planning margin must cover that worst-case sag
         // (x1.25 safety), floored at 8%.
-        let margin = ((1.0 - (1.0f64 - fade).powf(s.slot / s.tau_min)) * 1.25)
-            .clamp(0.08, 0.45);
+        let margin = ((1.0 - (1.0f64 - fade).powf(s.slot / s.tau_min)) * 1.25).clamp(0.08, 0.45);
         let rows = par_map(topologies, |i| {
             let topo = s.build_topology(seed, i as u64);
             let cfg = SimConfig {
@@ -537,12 +516,7 @@ fn run_deploy(topologies: usize, seed: u64) -> FigureData {
         let rows = par_map(topologies, |i| {
             let a = s.run_once(Algo::Mtd, seed, i as u64);
             let b = s.run_once(Algo::Greedy, seed, i as u64);
-            (
-                a.service_cost / 1000.0,
-                a.deaths.len(),
-                b.service_cost / 1000.0,
-                b.deaths.len(),
-            )
+            (a.service_cost / 1000.0, a.deaths.len(), b.service_cost / 1000.0, b.deaths.len())
         });
         let _ = idx;
         let ca: Vec<f64> = rows.iter().map(|r| r.0).collect();

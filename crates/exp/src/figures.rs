@@ -149,10 +149,8 @@ fn sweep(
     for point in &points {
         xs.push(point.x);
         for (ai, &algo) in algos.iter().enumerate() {
-            let results =
-                par_map(topologies, |i| point.scenario.run_once(algo, seed, i as u64));
-            let costs_km: Vec<f64> =
-                results.iter().map(|r| r.service_cost / 1000.0).collect();
+            let results = par_map(topologies, |i| point.scenario.run_once(algo, seed, i as u64));
+            let costs_km: Vec<f64> = results.iter().map(|r| r.service_cost / 1000.0).collect();
             let deaths: usize = results.iter().map(|r| r.deaths.len()).sum();
             series[ai].values.push(mean(&costs_km));
             series[ai].std_devs.push(perpetuum_par::std_dev(&costs_km));
@@ -228,11 +226,7 @@ pub fn run_figure_scaled(
                 .iter()
                 .map(|&tau_max| SweepPoint {
                     x: tau_max,
-                    scenario: scale(Scenario {
-                        tau_max,
-                        dist,
-                        ..Scenario::paper_fixed()
-                    }),
+                    scenario: scale(Scenario { tau_max, dist, ..Scenario::paper_fixed() }),
                 })
                 .collect();
             sweep(id, "tau_max", points, &[Algo::Mtd, Algo::Greedy], topologies, seed)
@@ -245,14 +239,7 @@ pub fn run_figure_scaled(
                     scenario: scale(Scenario { n, ..Scenario::paper_variable() }),
                 })
                 .collect();
-            sweep(
-                id,
-                "network size n",
-                points,
-                &[Algo::MtdVar, Algo::Greedy],
-                topologies,
-                seed,
-            )
+            sweep(id, "network size n", points, &[Algo::MtdVar, Algo::Greedy], topologies, seed)
         }
         FigureId::Fig4 => {
             let points = TAU_MAX_VALUES

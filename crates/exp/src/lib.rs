@@ -21,8 +21,8 @@ pub mod figures;
 pub mod output;
 pub mod plot;
 pub mod report;
-pub mod viz;
 pub mod scenario;
+pub mod viz;
 
 pub use ablation::{run_ablation, AblationId};
 pub use extras::{run_extension, ExtensionId};

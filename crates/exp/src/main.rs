@@ -274,10 +274,8 @@ fn main() -> ExitCode {
             },
             None => outputs,
         };
-        let md = perpetuum_exp::report::render_markdown_report(
-            &figures,
-            "perpetuum experiment report",
-        );
+        let md =
+            perpetuum_exp::report::render_markdown_report(&figures, "perpetuum experiment report");
         if let Err(e) = std::fs::write(report_path, md) {
             eprintln!("error writing {}: {e}", report_path.display());
             return ExitCode::FAILURE;

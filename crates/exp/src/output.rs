@@ -30,10 +30,7 @@ pub fn render_table(fd: &FigureData) -> String {
     for (i, &x) in fd.xs.iter().enumerate() {
         out.push_str(&format!("{:>14}", format_x(x)));
         for s in &fd.series {
-            out.push_str(&format!(
-                "  {:>13.1} ±{:>6.1}",
-                s.values[i], s.std_devs[i]
-            ));
+            out.push_str(&format!("  {:>13.1} ±{:>6.1}", s.values[i], s.std_devs[i]));
         }
         if fd.series.len() == 2 {
             let r = fd.series[0].values[i] / fd.series[1].values[i].max(f64::MIN_POSITIVE);
@@ -42,11 +39,7 @@ pub fn render_table(fd: &FigureData) -> String {
         out.push('\n');
     }
 
-    let total_deaths: usize = fd
-        .series
-        .iter()
-        .flat_map(|s| s.deaths.iter())
-        .sum();
+    let total_deaths: usize = fd.series.iter().flat_map(|s| s.deaths.iter()).sum();
     out.push_str(&format!("total sensor deaths across all runs: {total_deaths}\n"));
     out
 }

@@ -81,12 +81,7 @@ pub fn render_ascii(fd: &FigureData, width: usize, height: usize) -> String {
         width = width
     ));
     for (si, s) in fd.series.iter().enumerate() {
-        out.push_str(&format!(
-            "{:>9}  {} {}\n",
-            "",
-            GLYPHS[si % GLYPHS.len()],
-            s.name
-        ));
+        out.push_str(&format!("{:>9}  {} {}\n", "", GLYPHS[si % GLYPHS.len()], s.name));
     }
     out
 }

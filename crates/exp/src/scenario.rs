@@ -8,8 +8,8 @@
 
 use perpetuum_core::network::Network;
 use perpetuum_energy::CycleDistribution;
-use perpetuum_geom::{deploy, derived_rng, Field};
 use perpetuum_geom::Point2;
+use perpetuum_geom::{deploy, derived_rng, Field};
 use perpetuum_sim::{run, GreedyPolicy, MtdPolicy, SimConfig, SimResult, VarPolicy, World};
 use serde::{Deserialize, Serialize};
 
@@ -133,8 +133,7 @@ impl Scenario {
 
         let bs = field.center();
         let mean_cycles =
-            self.dist
-                .mean_all(network.sensor_positions(), bs, self.tau_min, self.tau_max);
+            self.dist.mean_all(network.sensor_positions(), bs, self.tau_min, self.tau_max);
         let mut cyc_rng = derived_rng(base, 1);
         let init_cycles = self.dist.sample_all(
             network.sensor_positions(),
@@ -171,7 +170,12 @@ impl Scenario {
     pub fn run_once(&self, algo: Algo, master_seed: u64, index: u64) -> SimResult {
         let topo = self.build_topology(master_seed, index);
         let world = self.build_world(&topo);
-        let cfg = SimConfig { horizon: self.horizon, slot: self.slot, seed: topo.sim_seed, charger_speed: None };
+        let cfg = SimConfig {
+            horizon: self.horizon,
+            slot: self.slot,
+            seed: topo.sim_seed,
+            charger_speed: None,
+        };
         match algo {
             Algo::Mtd => {
                 let mut p = MtdPolicy::new(&topo.network);
@@ -237,20 +241,14 @@ impl CustomExperiment {
             let s = Scenario { n, ..self.scenario };
             for (ai, &algo) in self.algos.iter().enumerate() {
                 let results = par_map(topologies, |i| s.run_once(algo, seed, i as u64));
-                let costs: Vec<f64> =
-                    results.iter().map(|r| r.service_cost / 1000.0).collect();
+                let costs: Vec<f64> = results.iter().map(|r| r.service_cost / 1000.0).collect();
                 series[ai].values.push(mean(&costs));
                 series[ai].std_devs.push(std_dev(&costs));
-                series[ai]
-                    .deaths
-                    .push(results.iter().map(|r| r.deaths.len()).sum());
+                series[ai].deaths.push(results.iter().map(|r| r.deaths.len()).sum());
             }
         }
-        let id: String = self
-            .name
-            .chars()
-            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
-            .collect();
+        let id: String =
+            self.name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect();
         crate::figures::FigureData {
             id,
             title: self.name.clone(),
@@ -301,10 +299,7 @@ mod tests {
         let b = s.build_topology(42, 3);
         assert_eq!(a.init_cycles, b.init_cycles);
         assert_eq!(a.sim_seed, b.sim_seed);
-        assert_eq!(
-            a.network.sensor_positions(),
-            b.network.sensor_positions()
-        );
+        assert_eq!(a.network.sensor_positions(), b.network.sensor_positions());
         let c = s.build_topology(42, 4);
         assert_ne!(a.init_cycles, c.init_cycles);
     }
@@ -320,14 +315,8 @@ mod tests {
     fn cycles_within_range() {
         let s = Scenario { n: 100, ..Scenario::paper_fixed() };
         let t = s.build_topology(11, 0);
-        assert!(t
-            .init_cycles
-            .iter()
-            .all(|&c| (s.tau_min..=s.tau_max).contains(&c)));
-        assert!(t
-            .mean_cycles
-            .iter()
-            .all(|&c| (s.tau_min..=s.tau_max).contains(&c)));
+        assert!(t.init_cycles.iter().all(|&c| (s.tau_min..=s.tau_max).contains(&c)));
+        assert!(t.mean_cycles.iter().all(|&c| (s.tau_min..=s.tau_max).contains(&c)));
     }
 
     #[test]
@@ -341,15 +330,11 @@ mod tests {
             let t = s.build_topology(3, 1);
             assert_eq!(t.network.n(), 25);
             let bounds = s.field().bounds();
-            assert!(t
-                .network
-                .sensor_positions()
-                .iter()
-                .all(|&p| bounds.contains(p)));
+            assert!(t.network.sensor_positions().iter().all(|&p| bounds.contains(p)));
             // Halton is deterministic per index, independent of the seed.
             if deployment == Deployment::Halton {
-                let t2 = Scenario { n: 25, deployment, ..Scenario::paper_fixed() }
-                    .build_topology(99, 1);
+                let t2 =
+                    Scenario { n: 25, deployment, ..Scenario::paper_fixed() }.build_topology(99, 1);
                 assert_eq!(t.network.sensor_positions(), t2.network.sensor_positions());
             }
         }
@@ -383,11 +368,7 @@ mod tests {
 
     #[test]
     fn run_once_all_algorithms_survive_small_case() {
-        let s = Scenario {
-            n: 15,
-            horizon: 100.0,
-            ..Scenario::paper_fixed()
-        };
+        let s = Scenario { n: 15, horizon: 100.0, ..Scenario::paper_fixed() };
         for algo in [Algo::Mtd, Algo::Greedy] {
             let r = s.run_once(algo, 5, 0);
             assert!(r.is_perpetual(), "{}: {:?}", algo.name(), r.deaths);

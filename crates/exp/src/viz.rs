@@ -30,19 +30,17 @@ pub fn render_tour_set_svg(
         .map(|i| network.sensor_pos(i))
         .chain((0..network.q()).map(|l| network.depot_pos(l)))
         .collect();
-    let bb = perpetuum_geom::Aabb::containing(&all)
-        .unwrap_or(perpetuum_geom::Aabb::new(
-            perpetuum_geom::Point2::ORIGIN,
-            perpetuum_geom::Point2::new(1.0, 1.0),
-        ));
+    let bb = perpetuum_geom::Aabb::containing(&all).unwrap_or(perpetuum_geom::Aabb::new(
+        perpetuum_geom::Point2::ORIGIN,
+        perpetuum_geom::Point2::new(1.0, 1.0),
+    ));
     let margin = 0.05 * bb.width().max(bb.height()).max(1.0);
     let (x0, y0) = (bb.min.x - margin, bb.min.y - margin);
     let w = bb.width() + 2.0 * margin;
     let h = bb.height() + 2.0 * margin;
 
-    let (tau_min, tau_max) = cycles.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), &c| {
-        (lo.min(c), hi.max(c))
-    });
+    let (tau_min, tau_max) =
+        cycles.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), &c| (lo.min(c), hi.max(c)));
     let shade = |tau: f64| -> u8 {
         // Dark (40) for τ_min, light (210) for τ_max.
         if tau_max <= tau_min {
@@ -69,11 +67,7 @@ pub fn render_tour_set_svg(
         let color = TOUR_COLORS[l % TOUR_COLORS.len()];
         let mut path = String::new();
         for (i, &node) in tour.nodes().iter().enumerate() {
-            let p = if node < n {
-                network.sensor_pos(node)
-            } else {
-                network.depot_pos(node - n)
-            };
+            let p = if node < n { network.sensor_pos(node) } else { network.depot_pos(node - n) };
             path.push_str(&format!("{}{:.1},{:.1} ", if i == 0 { "M" } else { "L" }, p.x, p.y));
         }
         path.push('Z');
@@ -137,11 +131,8 @@ mod tests {
     use perpetuum_geom::Point2;
 
     fn setup() -> (Network, Vec<f64>, TourSet) {
-        let sensors = vec![
-            Point2::new(100.0, 100.0),
-            Point2::new(900.0, 100.0),
-            Point2::new(500.0, 900.0),
-        ];
+        let sensors =
+            vec![Point2::new(100.0, 100.0), Point2::new(900.0, 100.0), Point2::new(500.0, 900.0)];
         let depots = vec![Point2::new(500.0, 500.0), Point2::new(0.0, 0.0)];
         let network = Network::new(sensors, depots);
         let qt = q_rooted_tsp(network.dist(), &[0, 1, 2], &network.depot_nodes(), 0);

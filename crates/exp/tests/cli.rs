@@ -12,9 +12,24 @@ fn list_shows_every_experiment_id() {
     assert!(out.status.success());
     let text = String::from_utf8(out.stdout).unwrap();
     for id in [
-        "fig1a", "fig1b", "fig2a", "fig2b", "fig3", "fig4", "fig5", "fig6",
-        "ablation_rounding", "ablation_tour_polish", "ablation_repair", "ablation_routing",
-        "ext_burst", "ext_minmax", "ext_range", "ext_speed", "ext_noise", "ext_ratio",
+        "fig1a",
+        "fig1b",
+        "fig2a",
+        "fig2b",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "ablation_rounding",
+        "ablation_tour_polish",
+        "ablation_repair",
+        "ablation_routing",
+        "ext_burst",
+        "ext_minmax",
+        "ext_range",
+        "ext_speed",
+        "ext_noise",
+        "ext_ratio",
         "ext_aging",
     ] {
         assert!(text.contains(id), "missing {id} in --list output");
@@ -26,15 +41,7 @@ fn figure_run_prints_table_and_writes_files() {
     let dir = std::env::temp_dir().join("perpetuum_cli_test_out");
     std::fs::remove_dir_all(&dir).ok();
     let out = exe()
-        .args([
-            "--figure",
-            "fig1a",
-            "--topologies",
-            "1",
-            "--scale",
-            "0.02",
-            "--out",
-        ])
+        .args(["--figure", "fig1a", "--topologies", "1", "--scale", "0.02", "--out"])
         .arg(&dir)
         .output()
         .expect("binary runs");
@@ -64,11 +71,7 @@ fn plot_flag_renders_ascii_chart() {
 fn render_topology_writes_svg() {
     let path = std::env::temp_dir().join("perpetuum_cli_topo.svg");
     std::fs::remove_file(&path).ok();
-    let out = exe()
-        .arg("--render-topology")
-        .arg(&path)
-        .output()
-        .expect("binary runs");
+    let out = exe().arg("--render-topology").arg(&path).output().expect("binary runs");
     assert!(out.status.success());
     let svg = std::fs::read_to_string(&path).unwrap();
     assert!(svg.starts_with("<svg"));
@@ -125,11 +128,8 @@ fn custom_scenario_json_runs() {
         }"#,
     )
     .unwrap();
-    let out = exe()
-        .args(["--topologies", "1", "--scenario"])
-        .arg(&path)
-        .output()
-        .expect("binary runs");
+    let out =
+        exe().args(["--topologies", "1", "--scenario"]).arg(&path).output().expect("binary runs");
     assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("cli custom"));
@@ -146,9 +146,6 @@ fn custom_scenario_json_runs() {
 
 #[test]
 fn zero_topologies_rejected() {
-    let out = exe()
-        .args(["--figure", "fig1a", "--topologies", "0"])
-        .output()
-        .expect("binary runs");
+    let out = exe().args(["--figure", "fig1a", "--topologies", "0"]).output().expect("binary runs");
     assert!(!out.status.success());
 }

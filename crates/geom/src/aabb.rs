@@ -125,11 +125,7 @@ mod tests {
 
     #[test]
     fn aabb_containing_points() {
-        let pts = [
-            Point2::new(1.0, 2.0),
-            Point2::new(-3.0, 5.0),
-            Point2::new(0.0, 0.0),
-        ];
+        let pts = [Point2::new(1.0, 2.0), Point2::new(-3.0, 5.0), Point2::new(0.0, 0.0)];
         let bb = Aabb::containing(&pts).unwrap();
         assert_eq!(bb.min, Point2::new(-3.0, 0.0));
         assert_eq!(bb.max, Point2::new(1.0, 5.0));

@@ -15,12 +15,7 @@ use rand::Rng;
 /// Draws `n` points uniformly at random inside the field.
 pub fn uniform_deployment<R: Rng + ?Sized>(field: Field, n: usize, rng: &mut R) -> Vec<Point2> {
     (0..n)
-        .map(|_| {
-            Point2::new(
-                rng.gen_range(0.0..=field.width),
-                rng.gen_range(0.0..=field.height),
-            )
-        })
+        .map(|_| Point2::new(rng.gen_range(0.0..=field.width), rng.gen_range(0.0..=field.height)))
         .collect()
 }
 
@@ -33,10 +28,7 @@ pub fn grid_deployment(field: Field, nx: usize, ny: usize) -> Vec<Point2> {
     let mut pts = Vec::with_capacity(nx * ny);
     for j in 0..ny {
         for i in 0..nx {
-            pts.push(Point2::new(
-                (i as f64 + 0.5) * dx,
-                (j as f64 + 0.5) * dy,
-            ));
+            pts.push(Point2::new((i as f64 + 0.5) * dx, (j as f64 + 0.5) * dy));
         }
     }
     pts
@@ -86,10 +78,7 @@ pub fn halton_deployment(field: Field, n: usize, offset: usize) -> Vec<Point2> {
     (0..n)
         .map(|i| {
             let k = i + offset + 1; // index 0 of van der Corput is 0 — skip
-            Point2::new(
-                van_der_corput(k, 2) * field.width,
-                van_der_corput(k, 3) * field.height,
-            )
+            Point2::new(van_der_corput(k, 2) * field.width, van_der_corput(k, 3) * field.height)
         })
         .collect()
 }
@@ -255,13 +244,8 @@ mod tests {
     fn depots_zero_q() {
         let field = Field::paper_default();
         let mut rng = derived_rng(3, 1);
-        let depots = place_depots(
-            field,
-            field.center(),
-            0,
-            DepotPlacement::OneAtBaseStation,
-            &mut rng,
-        );
+        let depots =
+            place_depots(field, field.center(), 0, DepotPlacement::OneAtBaseStation, &mut rng);
         assert!(depots.is_empty());
     }
 

@@ -41,8 +41,7 @@ pub fn convex_hull(points: &[Point2]) -> Vec<Point2> {
     // Upper hull.
     let lower_len = hull.len() + 1;
     for &p in pts.iter().rev().skip(1) {
-        while hull.len() >= lower_len
-            && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0
+        while hull.len() >= lower_len && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0
         {
             hull.pop();
         }

@@ -173,8 +173,8 @@ impl UniformGrid {
     /// Builds the grid in O(n).
     pub fn new(points: &[Point2]) -> Self {
         let n = points.len();
-        let bounds = Aabb::containing(points)
-            .unwrap_or(Aabb::new(Point2::ORIGIN, Point2::new(1.0, 1.0)));
+        let bounds =
+            Aabb::containing(points).unwrap_or(Aabb::new(Point2::ORIGIN, Point2::new(1.0, 1.0)));
         // ~1 point per cell on average; degenerate (zero-extent) axes get a
         // single row/column.
         let side = (n as f64).sqrt().ceil().max(1.0) as usize;
@@ -280,10 +280,7 @@ impl SpatialIndex for UniformGrid {
             return Vec::new();
         }
         let (cx, cy) = self.cell_of(query);
-        let max_ring = cx
-            .max(self.cols - 1 - cx)
-            .max(cy)
-            .max(self.rows - 1 - cy);
+        let max_ring = cx.max(self.cols - 1 - cx).max(cy).max(self.rows - 1 - cy);
         for r in 0..=max_ring {
             if best.full() && self.ring_lower_bound(query, cx, cy, r) > best.threshold() {
                 break;
@@ -366,10 +363,7 @@ pub struct KdTree {
 impl KdTree {
     /// Builds the tree in O(n log n).
     pub fn new(points: &[Point2]) -> Self {
-        let mut tree = Self {
-            points: points.to_vec(),
-            order: (0..points.len() as u32).collect(),
-        };
+        let mut tree = Self { points: points.to_vec(), order: (0..points.len() as u32).collect() };
         let n = points.len();
         tree.build(0, n, 0);
         tree
@@ -412,11 +406,8 @@ impl KdTree {
         best.offer(self.points[pivot as usize].dist(q), pivot as usize);
         let split = self.coord(pivot, axis);
         let qc = if axis == 0 { q.x } else { q.y };
-        let (near, far) = if qc < split {
-            ((lo, mid), (mid + 1, hi))
-        } else {
-            ((mid + 1, hi), (lo, mid))
-        };
+        let (near, far) =
+            if qc < split { ((lo, mid), (mid + 1, hi)) } else { ((mid + 1, hi), (lo, mid)) };
         self.knn_rec(near.0, near.1, axis ^ 1, q, best);
         // The far half can only matter if the splitting plane is closer
         // than the current k-th best.
@@ -525,9 +516,7 @@ mod tests {
             state ^= state << 17;
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
-        (0..n)
-            .map(|_| Point2::new(next() * 1000.0, next() * 1000.0))
-            .collect()
+        (0..n).map(|_| Point2::new(next() * 1000.0, next() * 1000.0)).collect()
     }
 
     fn assert_index_matches_brute<I: SpatialIndex>(index: &I, points: &[Point2], k: usize) {
@@ -609,11 +598,8 @@ mod tests {
         let grid = UniformGrid::new(&points);
         let tree = KdTree::new(&points);
         let brute = BruteForceIndex::new(&points);
-        for q in [
-            Point2::new(-500.0, -500.0),
-            Point2::new(2000.0, 500.0),
-            Point2::new(500.0, -1e6),
-        ] {
+        for q in [Point2::new(-500.0, -500.0), Point2::new(2000.0, 500.0), Point2::new(500.0, -1e6)]
+        {
             assert_eq!(grid.knn(q, 3), brute.knn(q, 3));
             assert_eq!(tree.knn(q, 3), brute.knn(q, 3));
         }

@@ -25,11 +25,11 @@ pub mod point;
 pub mod rng;
 
 pub use aabb::{Aabb, Field};
-pub use index::{knn_lists, BruteForceIndex, KdTree, SpatialIndex, UniformGrid};
 pub use deploy::{
     clustered_deployment, grid_deployment, halton_deployment, place_depots, uniform_deployment,
     DepotPlacement,
 };
 pub use hull::{convex_hull, hull_contains, hull_perimeter};
+pub use index::{knn_lists, BruteForceIndex, KdTree, SpatialIndex, UniformGrid};
 pub use point::Point2;
 pub use rng::{derive_seed, derived_rng, master_rng};

@@ -48,10 +48,7 @@ impl Point2 {
     /// Linear interpolation: `t = 0` gives `self`, `t = 1` gives `other`.
     #[inline]
     pub fn lerp(&self, other: Point2, t: f64) -> Point2 {
-        Point2::new(
-            self.x + (other.x - self.x) * t,
-            self.y + (other.y - self.y) * t,
-        )
+        Point2::new(self.x + (other.x - self.x) * t, self.y + (other.y - self.y) * t)
     }
 
     /// Component-wise translation.
@@ -102,9 +99,7 @@ pub fn centroid(points: &[Point2]) -> Option<Point2> {
     if points.is_empty() {
         return None;
     }
-    let (sx, sy) = points
-        .iter()
-        .fold((0.0, 0.0), |(sx, sy), p| (sx + p.x, sy + p.y));
+    let (sx, sy) = points.iter().fold((0.0, 0.0), |(sx, sy), p| (sx + p.x, sy + p.y));
     let n = points.len() as f64;
     Some(Point2::new(sx / n, sy / n))
 }
@@ -204,11 +199,7 @@ mod tests {
 
     #[test]
     fn nearest_finds_closest_and_breaks_ties_low() {
-        let pts = [
-            Point2::new(0.0, 0.0),
-            Point2::new(10.0, 0.0),
-            Point2::new(0.0, 10.0),
-        ];
+        let pts = [Point2::new(0.0, 0.0), Point2::new(10.0, 0.0), Point2::new(0.0, 10.0)];
         let (i, d) = nearest(&pts, Point2::new(1.0, 1.0)).unwrap();
         assert_eq!(i, 0);
         assert!((d - 2f64.sqrt()).abs() < 1e-12);
@@ -225,11 +216,7 @@ mod tests {
 
     #[test]
     fn polyline_and_closed_lengths() {
-        let pts = [
-            Point2::new(0.0, 0.0),
-            Point2::new(3.0, 0.0),
-            Point2::new(3.0, 4.0),
-        ];
+        let pts = [Point2::new(0.0, 0.0), Point2::new(3.0, 0.0), Point2::new(3.0, 4.0)];
         assert_eq!(polyline_length(&pts), 7.0);
         assert_eq!(closed_tour_length(&pts), 12.0);
     }

@@ -78,9 +78,7 @@ mod tests {
         // leading draws.
         let mut r1 = derived_rng(7, 100);
         let mut r2 = derived_rng(7, 101);
-        let same = (0..64)
-            .filter(|_| r1.gen::<u64>() == r2.gen::<u64>())
-            .count();
+        let same = (0..64).filter(|_| r1.gen::<u64>() == r2.gen::<u64>()).count();
         assert_eq!(same, 0);
     }
 

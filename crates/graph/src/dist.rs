@@ -168,10 +168,7 @@ mod tests {
         let src = DistSource::points(&pts);
         let walk: Vec<usize> = vec![0, 5, 2, 9, 1];
         assert_eq!(src.walk_len(&walk), dense.walk_len(&walk));
-        assert_eq!(
-            Metric::nearest_of(&src, 3, &[7, 1, 11]),
-            dense.nearest_of(3, &[7, 1, 11])
-        );
+        assert_eq!(Metric::nearest_of(&src, 3, &[7, 1, 11]), dense.nearest_of(3, &[7, 1, 11]));
         assert_eq!(Metric::nearest_of(&src, 0, &[]), None);
     }
 

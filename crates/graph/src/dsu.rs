@@ -12,11 +12,7 @@ impl DisjointSets {
     /// `n` singleton sets.
     pub fn new(n: usize) -> Self {
         assert!(n <= u32::MAX as usize, "DisjointSets supports up to u32::MAX elements");
-        Self {
-            parent: (0..n as u32).collect(),
-            size: vec![1; n],
-            sets: n,
-        }
+        Self { parent: (0..n as u32).collect(), size: vec![1; n], sets: n }
     }
 
     /// Number of elements.

@@ -99,7 +99,8 @@ pub fn is_euler_circuit(edges: &[(usize, usize)], start: usize, circuit: &[usize
     }
     // Multiset of undirected edges.
     let canon = |u: usize, v: usize| if u <= v { (u, v) } else { (v, u) };
-    let mut want: std::collections::HashMap<(usize, usize), isize> = std::collections::HashMap::new();
+    let mut want: std::collections::HashMap<(usize, usize), isize> =
+        std::collections::HashMap::new();
     for &(u, v) in edges {
         *want.entry(canon(u, v)).or_insert(0) += 1;
     }

@@ -40,10 +40,10 @@ pub mod one_tree;
 pub mod sparse;
 pub mod tour;
 pub mod tsp_christofides;
-pub mod tsp_savings;
 pub mod tsp_exact;
 pub mod tsp_heur;
 pub mod tsp_hilbert;
+pub mod tsp_savings;
 
 pub use dist::{DistSource, Metric};
 pub use dsu::DisjointSets;

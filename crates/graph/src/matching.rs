@@ -104,11 +104,8 @@ pub fn exact_min_matching_weight<M: Metric>(dist: &M, nodes: &[usize]) -> f64 {
         let first = remaining[0];
         let mut best = f64::INFINITY;
         for &partner in &remaining[1..] {
-            let rest: Vec<usize> = remaining
-                .iter()
-                .copied()
-                .filter(|&x| x != first && x != partner)
-                .collect();
+            let rest: Vec<usize> =
+                remaining.iter().copied().filter(|&x| x != first && x != partner).collect();
             let w = dist.get(first, partner) + rec(dist, &rest);
             best = best.min(w);
         }
@@ -176,10 +173,7 @@ mod tests {
             let greedy = matching_weight(&d, &greedy_min_matching(&d, &nodes));
             let exact = exact_min_matching_weight(&d, &nodes);
             assert!(greedy >= exact - 1e-9, "seed {seed}");
-            assert!(
-                greedy <= exact * 1.25 + 1e-9,
-                "seed {seed}: greedy {greedy} vs exact {exact}"
-            );
+            assert!(greedy <= exact * 1.25 + 1e-9, "seed {seed}: greedy {greedy} vs exact {exact}");
         }
     }
 

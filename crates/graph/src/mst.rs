@@ -62,10 +62,7 @@ pub fn prim(dist: &DistMatrix) -> Vec<Edge> {
 pub fn kruskal(n: usize, edges: &[(usize, usize, f64)]) -> Vec<Edge> {
     let mut order: Vec<usize> = (0..edges.len()).collect();
     order.sort_by(|&a, &b| {
-        edges[a]
-            .2
-            .partial_cmp(&edges[b].2)
-            .expect("edge weights must not be NaN")
+        edges[a].2.partial_cmp(&edges[b].2).expect("edge weights must not be NaN")
     });
     let mut dsu = DisjointSets::new(n);
     let mut out = Vec::with_capacity(n.saturating_sub(1));

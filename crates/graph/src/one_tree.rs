@@ -49,9 +49,7 @@ pub fn one_tree_lower_bound(dist: &DistMatrix) -> f64 {
     if n == 2 {
         return 2.0 * dist.get(0, 1);
     }
-    (0..n)
-        .map(|root| one_tree_weight(dist, root))
-        .fold(0.0f64, f64::max)
+    (0..n).map(|root| one_tree_weight(dist, root)).fold(0.0f64, f64::max)
 }
 
 #[cfg(test)]

@@ -87,12 +87,7 @@ impl SparseGraph {
             weight[cv] = w;
             cursor[v] += 1;
         }
-        SparseGraph {
-            n,
-            start,
-            nbr,
-            weight,
-        }
+        SparseGraph { n, start, nbr, weight }
     }
 
     /// Number of nodes.
@@ -114,10 +109,7 @@ impl SparseGraph {
     pub fn neighbors(&self, u: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
         let lo = self.start[u] as usize;
         let hi = self.start[u + 1] as usize;
-        self.nbr[lo..hi]
-            .iter()
-            .zip(&self.weight[lo..hi])
-            .map(|(&v, &w)| (v as usize, w))
+        self.nbr[lo..hi].iter().zip(&self.weight[lo..hi]).map(|(&v, &w)| (v as usize, w))
     }
 }
 
@@ -135,10 +127,7 @@ pub fn knn_edges(points: &[Point2], k: usize) -> Vec<(usize, usize, f64)> {
     }
     pairs.sort_unstable();
     pairs.dedup();
-    pairs
-        .into_iter()
-        .map(|(u, v)| (u, v, points[u].dist(points[v])))
-        .collect()
+    pairs.into_iter().map(|(u, v)| (u, v, points[u].dist(points[v]))).collect()
 }
 
 /// Prim's algorithm with a binary heap on a sparse graph, rooted at
@@ -230,11 +219,7 @@ pub fn mst_knn(points: &[Point2], k0: usize) -> SparseMst {
     loop {
         let graph = SparseGraph::from_edges(n, &knn_edges(points, k));
         if let Some((edges, weight)) = prim_sparse(&graph, 0) {
-            return SparseMst {
-                edges,
-                weight,
-                strategy: MstStrategy::SparseKnn { k },
-            };
+            return SparseMst { edges, weight, strategy: MstStrategy::SparseKnn { k } };
         }
         if k >= n - 1 {
             break;
@@ -247,11 +232,7 @@ pub fn mst_knn(points: &[Point2], k0: usize) -> SparseMst {
     let dist = DistMatrix::from_points(points);
     let edges = mst::prim(&dist);
     let weight = mst::tree_weight(&dist, &edges);
-    SparseMst {
-        edges,
-        weight,
-        strategy: MstStrategy::DenseFallback,
-    }
+    SparseMst { edges, weight, strategy: MstStrategy::DenseFallback }
 }
 
 #[cfg(test)]

@@ -163,8 +163,7 @@ mod tests {
     fn shortcut_never_longer_than_walk() {
         let d = unit_square();
         let walk = [0, 1, 0, 2, 0, 3, 0];
-        let walk_len: f64 =
-            d.walk_len(&walk);
+        let walk_len: f64 = d.walk_len(&walk);
         let t = Tour::shortcut(&walk);
         assert!(t.length(&d) <= walk_len + 1e-12);
     }

@@ -23,12 +23,7 @@ use crate::tour::Tour;
 /// `n` is the host graph's node count (for adjacency sizing). The tree may
 /// be a single vertex (`tree` empty) — the result is then the singleton
 /// tour of `start`.
-pub fn tour_from_tree_matched<M: Metric>(
-    dist: &M,
-    n: usize,
-    tree: &[Edge],
-    start: usize,
-) -> Tour {
+pub fn tour_from_tree_matched<M: Metric>(dist: &M, n: usize, tree: &[Edge], start: usize) -> Tour {
     if tree.is_empty() {
         return Tour::singleton(start);
     }
@@ -45,8 +40,8 @@ pub fn tour_from_tree_matched<M: Metric>(
     let mut edges: Vec<Edge> = tree.to_vec();
     edges.extend(greedy_min_matching(dist, &odd));
 
-    let circuit = euler_circuit(n, &edges, start)
-        .expect("tree + odd matching is connected and even-degree");
+    let circuit =
+        euler_circuit(n, &edges, start).expect("tree + odd matching is connected and even-degree");
     Tour::shortcut(&circuit)
 }
 
@@ -138,10 +133,7 @@ mod tests {
             let d = DistMatrix::from_points(&random_points(10, seed + 40));
             let (_, opt) = held_karp(&d);
             let t = christofides(&d, 0).length(&d);
-            assert!(
-                t <= 1.6 * opt + 1e-9,
-                "seed {seed}: christofides {t} vs opt {opt}"
-            );
+            assert!(t <= 1.6 * opt + 1e-9, "seed {seed}: christofides {t} vs opt {opt}");
         }
     }
 

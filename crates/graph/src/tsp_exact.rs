@@ -18,10 +18,7 @@ pub const HELD_KARP_MAX_NODES: usize = 18;
 /// Panics when `dist.len() > HELD_KARP_MAX_NODES`.
 pub fn held_karp(dist: &DistMatrix) -> (Tour, f64) {
     let n = dist.len();
-    assert!(
-        n <= HELD_KARP_MAX_NODES,
-        "Held–Karp limited to {HELD_KARP_MAX_NODES} nodes, got {n}"
-    );
+    assert!(n <= HELD_KARP_MAX_NODES, "Held–Karp limited to {HELD_KARP_MAX_NODES} nodes, got {n}");
     match n {
         0 => return (Tour::new(vec![]), 0.0),
         1 => return (Tour::singleton(0), 0.0),

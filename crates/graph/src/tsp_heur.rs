@@ -257,12 +257,7 @@ pub fn knn_candidates(points: &[Point2], nodes: &[usize], k: usize) -> Vec<Vec<u
 /// directly.
 ///
 /// The first node stays fixed; returns the total improvement (≥ 0).
-pub fn two_opt_neighbors<M: Metric>(
-    tour: &mut Tour,
-    dist: &M,
-    k: usize,
-    max_rounds: usize,
-) -> f64 {
+pub fn two_opt_neighbors<M: Metric>(tour: &mut Tour, dist: &M, k: usize, max_rounds: usize) -> f64 {
     let n = tour.len();
     if n < 4 || k == 0 {
         return 0.0;
@@ -276,9 +271,7 @@ pub fn two_opt_neighbors<M: Metric>(
     for &a in &nodes_now {
         let mut others: Vec<usize> = nodes_now.iter().copied().filter(|&b| b != a).collect();
         others.sort_by(|&x, &y| {
-            dist.get(a, x)
-                .partial_cmp(&dist.get(a, y))
-                .expect("distances are not NaN")
+            dist.get(a, x).partial_cmp(&dist.get(a, y)).expect("distances are not NaN")
         });
         others.truncate(k);
         neighbors[a] = others;
@@ -369,10 +362,7 @@ mod tests {
             let mut t = nearest_neighbor(&d, 0);
             polish(&mut t, &d, 1000);
             let len = t.length(&d);
-            assert!(
-                len <= opt * 1.15 + 1e-9,
-                "seed {seed}: polish len {len} vs opt {opt}"
-            );
+            assert!(len <= opt * 1.15 + 1e-9, "seed {seed}: polish len {len} vs opt {opt}");
         }
     }
 
@@ -407,10 +397,7 @@ mod tests {
             nl_total += t_nl.length(&d);
         }
         // Within 10% of full 2-opt on aggregate.
-        assert!(
-            nl_total <= full_total * 1.10,
-            "neighbour-list {nl_total} vs full {full_total}"
-        );
+        assert!(nl_total <= full_total * 1.10, "neighbour-list {nl_total} vs full {full_total}");
     }
 
     #[test]

@@ -58,17 +58,12 @@ pub fn hilbert_tour(points: &[Point2], start: usize, customers: &[usize]) -> Tou
     if customers.is_empty() {
         return Tour::singleton(start);
     }
-    let all: Vec<Point2> = customers
-        .iter()
-        .map(|&c| points[c])
-        .chain(std::iter::once(points[start]))
-        .collect();
+    let all: Vec<Point2> =
+        customers.iter().map(|&c| points[c]).chain(std::iter::once(points[start])).collect();
     let bounds = Aabb::containing(&all).expect("non-empty");
 
-    let mut keyed: Vec<(u64, usize)> = customers
-        .iter()
-        .map(|&c| (hilbert_index(points[c], &bounds), c))
-        .collect();
+    let mut keyed: Vec<(u64, usize)> =
+        customers.iter().map(|&c| (hilbert_index(points[c], &bounds), c)).collect();
     keyed.sort_unstable();
 
     // Rotate so the tour leaves the depot toward the nearest curve
@@ -161,10 +156,7 @@ mod tests {
             let d = DistMatrix::from_points(&pts);
             let lb = one_tree_lower_bound(&d);
             assert!(len >= lb - 1e-9);
-            assert!(
-                len <= 2.2 * lb,
-                "seed {seed}: hilbert {len} vs 1-tree bound {lb}"
-            );
+            assert!(len <= 2.2 * lb, "seed {seed}: hilbert {len} vs 1-tree bound {lb}");
         }
     }
 

@@ -126,10 +126,7 @@ mod tests {
             let t = savings_tour(&d, 0, &customers);
             let (_, opt) = held_karp(&d);
             let len = t.length(&d);
-            assert!(
-                len <= 1.3 * opt + 1e-9,
-                "seed {seed}: savings {len} vs opt {opt}"
-            );
+            assert!(len <= 1.3 * opt + 1e-9, "seed {seed}: savings {len} vs opt {opt}");
         }
     }
 

@@ -3,8 +3,8 @@
 use perpetuum_geom::hull::hull_perimeter;
 use perpetuum_geom::Point2;
 use perpetuum_graph::euler::{double_edges, euler_circuit, is_euler_circuit};
-use perpetuum_graph::one_tree::one_tree_lower_bound;
 use perpetuum_graph::mst::{is_spanning_tree, kruskal, prim, tree_weight};
+use perpetuum_graph::one_tree::one_tree_lower_bound;
 use perpetuum_graph::tsp_exact::held_karp;
 use perpetuum_graph::tsp_heur::{nearest_neighbor, two_opt};
 use perpetuum_graph::{DistMatrix, Tour};

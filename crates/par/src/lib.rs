@@ -16,9 +16,7 @@ use std::sync::mpsc;
 /// Number of worker threads to use: the available parallelism, capped by
 /// the number of work items (never zero).
 pub fn default_workers(items: usize) -> usize {
-    let hw = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     hw.min(items).max(1)
 }
 
@@ -71,10 +69,7 @@ where
     for (i, v) in rx.try_iter() {
         slots[i] = Some(v);
     }
-    slots
-        .into_iter()
-        .map(|s| s.expect("every work item produces exactly one result"))
-        .collect()
+    slots.into_iter().map(|s| s.expect("every work item produces exactly one result")).collect()
 }
 
 /// [`par_map_indexed`] with [`default_workers`].

@@ -1,4 +1,4 @@
-//! The simulation engine.
+//! The event-driven simulation engine.
 //!
 //! Time advances through a merged stream of three event kinds:
 //!
@@ -13,9 +13,18 @@
 //!    every covered sensor is recharged to full, instantaneously (the
 //!    paper ignores charging and travel time, Section III.A).
 //!
-//! Between events, batteries drain linearly at the current rates; a sensor
-//! whose level would cross zero inside a segment dies at the analytically
-//! interpolated instant (and stays at zero until recharged).
+//! Between events, batteries drain linearly at the current rates — but
+//! the engine never sweeps them. Energy lives in a crate-private
+//! `EnergyCore` that
+//! keeps each battery at its last touch point and predicts zero crossings
+//! into a binary heap, so a sensor whose level crosses zero inside a
+//! segment still dies at the analytically interpolated instant (and stays
+//! at zero until recharged) while inter-event processing costs O(log n)
+//! instead of the O(n) sweep of the dense reference engine (preserved in
+//! [`crate::reference`], which also serves as the equivalence oracle).
+//! The O(n) work that remains — resampling rates, materialising a full
+//! [`crate::policy::Observation`] — happens only at slot boundaries,
+//! where it is unavoidable anyway.
 //!
 //! # Travel-time mode
 //!
@@ -28,12 +37,14 @@
 //! lets the `speed` extension experiment measure exactly where that
 //! argument breaks (deaths appear as speed drops).
 
+use crate::energy_core::EnergyCore;
 use crate::metrics::{DeathEvent, SimResult};
-use crate::policy::{ChargingPolicy, Observation, PlanUpdate};
+use crate::policy::{ChargingPolicy, CheckContext, PlanUpdate};
 use crate::trace::{SimTrace, TraceEvent};
 use crate::world::World;
 use perpetuum_core::schedule::{ScheduleSeries, TourSet};
 use perpetuum_energy::EwmaPredictor;
+use perpetuum_graph::Metric;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::cmp::Reverse;
@@ -42,10 +53,10 @@ use std::collections::BinaryHeap;
 /// A pending in-transit charge (travel-time mode): the charger reaches
 /// `sensor` at `time`.
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct ChargeArrival {
-    time: f64,
-    sensor: usize,
-    dispatched_at: f64,
+pub(crate) struct ChargeArrival {
+    pub(crate) time: f64,
+    pub(crate) sensor: usize,
+    pub(crate) dispatched_at: f64,
 }
 
 impl Eq for ChargeArrival {}
@@ -58,9 +69,7 @@ impl PartialOrd for ChargeArrival {
 
 impl Ord for ChargeArrival {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.time
-            .total_cmp(&other.time)
-            .then(self.sensor.cmp(&other.sensor))
+        self.time.total_cmp(&other.time).then(self.sensor.cmp(&other.sensor))
     }
 }
 
@@ -138,55 +147,27 @@ fn run_inner<P: ChargingPolicy>(
             }
         }
     };
-    let mut rates: Vec<f64> = world
-        .processes
-        .iter_mut()
-        .map(|p| p.rate_for_slot(0, &mut rng))
-        .collect();
-    let mut reported: Vec<f64> = rates.iter().map(|&r| measure(r)).collect();
-    let mut predictors: Vec<EwmaPredictor> = reported
-        .iter()
-        .map(|&r| EwmaPredictor::new(world.gamma, r))
-        .collect();
-    let mut capacities = world.capacities();
+    let rates: Vec<f64> =
+        world.processes.iter_mut().map(|p| p.rate_for_slot(0, &mut rng)).collect();
+    let reported: Vec<f64> = rates.iter().map(|&r| measure(r)).collect();
+    let mut predictors: Vec<EwmaPredictor> =
+        reported.iter().map(|&r| EwmaPredictor::new(world.gamma, r)).collect();
+    let rho_hat: Vec<f64> = predictors.iter().map(|p| p.predicted_rate()).collect();
+    let capacities = world.capacities();
+    // Batteries move into the lazy accounting core; the rest of the world
+    // (network, rate processes) stays put.
+    let batteries = std::mem::take(&mut world.batteries);
+    let mut core = EnergyCore::new(batteries, rates, reported, rho_hat, capacities);
+    core.begin_slot(cfg.slot);
 
     let mut plan = ScheduleSeries::new();
     let mut dptr = 0usize; // next pending dispatch in `plan`
-    // Death bookkeeping lives here, not in `Battery`: a battery at exactly
-    // zero at a charging instant is *alive* (the paper allows charge gaps
-    // equal to the cycle), so death means strictly crossing zero between
-    // charges.
-    let mut dead = vec![false; n];
-    // Travel-time mode state: in-transit charges and per-charger return
-    // times.
+                           // Travel-time mode state: in-transit charges and per-charger return
+                           // times.
     let mut arrivals: BinaryHeap<Reverse<ChargeArrival>> = BinaryHeap::new();
     let mut busy_until = vec![0.0f64; q];
     if let Some(speed) = cfg.charger_speed {
         assert!(speed > 0.0, "charger speed must be positive");
-    }
-
-    // Scratch buffers refreshed before each policy call.
-    let mut levels: Vec<f64> = world.batteries.iter().map(|b| b.level()).collect();
-    let mut rho_hat: Vec<f64> = predictors.iter().map(|p| p.predicted_rate()).collect();
-
-    macro_rules! observation {
-        ($t:expr) => {{
-            for (i, b) in world.batteries.iter().enumerate() {
-                levels[i] = b.level();
-                capacities[i] = b.capacity(); // batteries may age
-            }
-            for (i, p) in predictors.iter().enumerate() {
-                rho_hat[i] = p.predicted_rate();
-            }
-            Observation {
-                time: $t,
-                horizon: cfg.horizon,
-                levels: &levels,
-                rho_hat: &rho_hat,
-                rho_now: &reported,
-                capacities: &capacities,
-            }
-        }};
     }
 
     macro_rules! apply_update {
@@ -194,10 +175,7 @@ fn run_inner<P: ChargingPolicy>(
             match $upd {
                 PlanUpdate::Keep => {}
                 PlanUpdate::Replace(series) => {
-                    debug_assert!(series
-                        .dispatches()
-                        .iter()
-                        .all(|d| d.time >= $t - 1e-9));
+                    debug_assert!(series.dispatches().iter().all(|d| d.time >= $t - 1e-9));
                     if let Some(tr) = trace.as_deref_mut() {
                         tr.events.push(TraceEvent::PlanReplaced {
                             time: $t,
@@ -211,10 +189,35 @@ fn run_inner<P: ChargingPolicy>(
         };
     }
 
+    macro_rules! check {
+        ($t:expr) => {{
+            let mut ctx = CheckContext::lazy($t, cfg.horizon, &mut core);
+            policy.on_check(&mut ctx)
+        }};
+    }
+
+    macro_rules! execute {
+        ($set:expr, $t:expr) => {
+            execute(
+                &$set,
+                $t,
+                &world,
+                &mut core,
+                &mut result,
+                cfg.charger_speed,
+                &mut arrivals,
+                &mut busy_until,
+                trace.as_deref_mut(),
+            )
+        };
+    }
+
     // t = 0: initial plan.
     {
-        let obs = observation!(0.0);
-        let upd = policy.initialize(&obs);
+        let upd = {
+            let obs = core.observation(0.0, cfg.horizon);
+            policy.initialize(&obs)
+        };
         apply_update!(upd, 0.0);
     }
 
@@ -222,7 +225,6 @@ fn run_inner<P: ChargingPolicy>(
     let mut next_check = tick;
     let mut slot_idx: u64 = 1;
     let mut next_slot = cfg.slot;
-    let mut t = 0.0f64;
 
     // Immediate dispatches a polling policy can trigger at t = 0 are not a
     // thing in the paper's model (all sensors start full), so checks start
@@ -250,27 +252,16 @@ fn run_inner<P: ChargingPolicy>(
             }
         }
 
-        // Drain across [t, tn).
-        let dt = tn - t;
-        if dt > 0.0 {
-            for (i, b) in world.batteries.iter_mut().enumerate() {
-                if dead[i] {
-                    continue;
-                }
-                // Strict crossing (with float slack): draining exactly to
-                // zero at a boundary is survivable if a charge lands there.
-                if rates[i] * dt > b.level() + 1e-9 {
-                    dead[i] = true;
-                    let when = t + b.lifetime_at(rates[i]);
-                    if let Some(tr) = trace.as_deref_mut() {
-                        tr.events.push(TraceEvent::Death { time: when, sensor: i });
-                    }
-                    result.deaths.push(DeathEvent { sensor: i, time: when });
-                }
-                b.drain(rates[i], dt);
+        // Deaths strictly inside [t, tn): the heap's strict `key < tn`
+        // pop mirrors the dense sweep's per-segment crossing test, so a
+        // charge landing exactly at a depletion instant still rescues.
+        core.pop_deaths(tn, |sensor, when| {
+            if let Some(tr) = trace.as_deref_mut() {
+                tr.events.push(TraceEvent::Death { time: when, sensor });
             }
-        }
-        t = tn;
+            result.deaths.push(DeathEvent { sensor, time: when });
+        });
+        let t = tn;
         if t >= cfg.horizon {
             break;
         }
@@ -282,8 +273,7 @@ fn run_inner<P: ChargingPolicy>(
                 break;
             }
             let a = arrivals.pop().expect("peeked").0;
-            world.batteries[a.sensor].charge_full();
-            dead[a.sensor] = false;
+            core.charge(a.sensor, a.time);
             result.charges += 1;
             result.charge_log[a.sensor].push(a.time);
             if let Some(tr) = trace.as_deref_mut() {
@@ -295,57 +285,39 @@ fn run_inner<P: ChargingPolicy>(
         }
 
         if t == next_slot {
+            // The old rates apply up to the boundary; settle before
+            // resampling (this is the slot's one O(n) pass).
+            core.settle_all(t);
             for (i, p) in world.processes.iter_mut().enumerate() {
                 let r = p.rate_for_slot(slot_idx, &mut rng);
-                rates[i] = r;
-                reported[i] = measure(r);
-                predictors[i].observe(reported[i]);
+                let rep = measure(r);
+                predictors[i].observe(rep);
+                core.set_slot_rate(i, r, rep, predictors[i].predicted_rate());
             }
             if let Some(tr) = trace.as_deref_mut() {
                 tr.events.push(TraceEvent::SlotBoundary { time: t, slot: slot_idx });
             }
             slot_idx += 1;
             next_slot = slot_idx as f64 * cfg.slot;
-            let obs = observation!(t);
-            let upd = policy.on_slot_boundary(&obs);
+            core.begin_slot(next_slot);
+            let upd = {
+                let obs = core.observation(t, cfg.horizon);
+                policy.on_slot_boundary(&obs)
+            };
             apply_update!(upd, t);
             // Polling policies also get a check right after rates change,
             // so a slot boundary that falls between two ticks cannot hide
             // a rate spike for most of a tick.
             if tick.is_some() && Some(t) != next_check {
-                let obs = observation!(t);
-                if let Some(set) = policy.on_check(&obs) {
-                    execute(
-                        &set,
-                        t,
-                        &mut world,
-                        &mut result,
-                        &mut dead,
-                        n,
-                        cfg.charger_speed,
-                        &mut arrivals,
-                        &mut busy_until,
-                        trace.as_deref_mut(),
-                    );
+                if let Some(set) = check!(t) {
+                    execute!(set, t);
                 }
             }
         }
 
         if Some(t) == next_check {
-            let obs = observation!(t);
-            if let Some(set) = policy.on_check(&obs) {
-                execute(
-                    &set,
-                    t,
-                    &mut world,
-                    &mut result,
-                    &mut dead,
-                    n,
-                    cfg.charger_speed,
-                    &mut arrivals,
-                    &mut busy_until,
-                    trace.as_deref_mut(),
-                );
+            if let Some(set) = check!(t) {
+                execute!(set, t);
             }
             next_check = tick.map(|k| t + k);
         }
@@ -355,18 +327,7 @@ fn run_inner<P: ChargingPolicy>(
                 break;
             }
             let set = plan.set_of(d).clone();
-            execute(
-                &set,
-                t,
-                &mut world,
-                &mut result,
-                &mut dead,
-                n,
-                cfg.charger_speed,
-                &mut arrivals,
-                &mut busy_until,
-                trace.as_deref_mut(),
-            );
+            execute!(set, t);
             dptr += 1;
         }
     }
@@ -377,15 +338,17 @@ fn run_inner<P: ChargingPolicy>(
 /// Executes one charging scheduling at time `t`. With a charger speed,
 /// sensors are charged when the vehicle reaches them (and a charger still
 /// out on a previous tour departs only after returning); without one, all
-/// covered sensors are charged instantaneously (the paper's model).
+/// covered sensors are charged instantaneously (the paper's model). Tour
+/// lengths come from the [`TourSet`] cache; the network's distance source
+/// is only consulted for travel-time prefixes, so in-sim dispatching
+/// never needs (or builds) a dense matrix on sparse networks.
 #[allow(clippy::too_many_arguments)]
 fn execute(
     set: &TourSet,
     t: f64,
-    world: &mut World,
+    world: &World,
+    core: &mut EnergyCore,
     result: &mut SimResult,
-    dead: &mut [bool],
-    n: usize,
     charger_speed: Option<f64>,
     arrivals: &mut BinaryHeap<Reverse<ChargeArrival>>,
     busy_until: &mut [f64],
@@ -401,9 +364,10 @@ fn execute(
     result.service_cost += set.cost();
     result.dispatches += 1;
     result.max_dispatch_cost = result.max_dispatch_cost.max(set.cost());
-    let dist = world.network.dist();
+    let n = world.n();
+    let src = world.network.dist_source();
     for (l, tour) in set.tours().iter().enumerate() {
-        let len = tour.length(dist);
+        let len = set.tour_lengths()[l];
         result.per_charger_distance[l] += len;
         result.max_tour_length = result.max_tour_length.max(len);
         if let Some(speed) = charger_speed {
@@ -414,7 +378,7 @@ fn execute(
             let nodes = tour.nodes();
             let mut prefix = 0.0;
             for w in nodes.windows(2) {
-                prefix += dist.get(w[0], w[1]);
+                prefix += src.get(w[0], w[1]);
                 let sensor = w[1];
                 debug_assert!(sensor < n, "tours visit the depot only first");
                 arrivals.push(Reverse(ChargeArrival {
@@ -429,8 +393,7 @@ fn execute(
     if charger_speed.is_none() {
         for &node in set.sensors() {
             debug_assert!(node < n, "tour sets must only list sensor nodes");
-            world.batteries[node].charge_full();
-            dead[node] = false;
+            core.charge(node, t);
             result.charges += 1;
             result.charge_log[node].push(t);
             if let Some(tr) = trace.as_deref_mut() {
@@ -443,14 +406,13 @@ fn execute(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::{GreedyPolicy, MtdPolicy};
+    use crate::policy::{GreedyPolicy, MtdPolicy, Observation};
     use perpetuum_core::network::Network;
     use perpetuum_geom::Point2;
 
     fn line_network(n: usize) -> Network {
-        let sensors: Vec<Point2> = (0..n)
-            .map(|i| Point2::new((i + 1) as f64 * 10.0, 0.0))
-            .collect();
+        let sensors: Vec<Point2> =
+            (0..n).map(|i| Point2::new((i + 1) as f64 * 10.0, 0.0)).collect();
         Network::new(sensors, vec![Point2::ORIGIN])
     }
 
@@ -495,11 +457,8 @@ mod tests {
         let cfg = SimConfig { horizon, slot: 10.0, seed: 3, charger_speed: None };
         let r = run(world, &cfg, &mut policy);
 
-        let inst = perpetuum_core::network::Instance::new(
-            network.clone(),
-            cycles.to_vec(),
-            horizon,
-        );
+        let inst =
+            perpetuum_core::network::Instance::new(network.clone(), cycles.to_vec(), horizon);
         let offline = perpetuum_core::greedy::plan_greedy_fixed(
             &inst,
             &perpetuum_core::greedy::GreedyConfig::paper_default(1.0),
@@ -520,11 +479,8 @@ mod tests {
         let cfg = SimConfig { horizon, slot: 10.0, seed: 4, charger_speed: None };
         let r = run(world, &cfg, &mut policy);
 
-        let inst = perpetuum_core::network::Instance::new(
-            network.clone(),
-            cycles.to_vec(),
-            horizon,
-        );
+        let inst =
+            perpetuum_core::network::Instance::new(network.clone(), cycles.to_vec(), horizon);
         let offline = perpetuum_core::mtd::plan_min_total_distance(
             &inst,
             &perpetuum_core::mtd::MtdConfig::default(),

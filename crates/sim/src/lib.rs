@@ -14,22 +14,30 @@
 //!   EWMA predictors,
 //! * [`policy`] — the [`policy::ChargingPolicy`] trait and the paper's
 //!   three policies (`MinTotalDistance`, `MinTotalDistance-var`, Greedy),
-//! * [`engine`] — the event loop: drains energy exactly between events,
-//!   resamples rates at slot boundaries, executes dispatches, detects
-//!   sensor deaths,
+//! * [`engine`] — the event-driven loop: lazy per-sensor energy
+//!   accounting, a death-prediction heap, O(log n) inter-event
+//!   processing; it resamples rates at slot boundaries, executes
+//!   dispatches and detects sensor deaths at their analytic instants,
+//! * [`mod@reference`] — the dense-sweep engine the event-driven core
+//!   replaced, kept as the benchmark baseline and (with a capped step)
+//!   as a naive fixed-step integrator for equivalence tests,
 //! * [`metrics`] — per-run results: service cost, dispatch/charge counts,
 //!   deaths, per-charger distances, replans.
 
+mod energy_core;
 pub mod engine;
 pub mod metrics;
 pub mod policy;
+pub mod reference;
 pub mod trace;
 pub mod world;
 
 pub use engine::{run, run_traced, SimConfig};
 pub use metrics::{DeathEvent, SimResult};
-pub use trace::{SimTrace, TraceEvent};
 pub use policy::{
-    ChargingPolicy, GreedyPolicy, MtdPolicy, Observation, PeriodicPolicy, PlanUpdate, VarPolicy,
+    ChargingPolicy, CheckContext, GreedyPolicy, MtdPolicy, Observation, PeriodicPolicy, PlanUpdate,
+    VarPolicy,
 };
+pub use reference::{run_fixed_step, run_reference};
+pub use trace::{SimTrace, TraceEvent};
 pub use world::{RateProcess, World};

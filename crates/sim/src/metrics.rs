@@ -90,11 +90,7 @@ mod tests {
 
     #[test]
     fn mean_charges() {
-        let r = SimResult {
-            charges: 10,
-            charge_log: vec![vec![]; 4],
-            ..Default::default()
-        };
+        let r = SimResult { charges: 10, charge_log: vec![vec![]; 4], ..Default::default() };
         assert_eq!(r.mean_charges_per_sensor(), 2.5);
         assert_eq!(SimResult::default().mean_charges_per_sensor(), 0.0);
     }

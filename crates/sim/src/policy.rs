@@ -7,6 +7,7 @@
 //! after rates change ([`ChargingPolicy::on_slot_boundary`]), and, if the
 //! policy polls (the greedy baseline), every [`ChargingPolicy::check_interval`].
 
+use crate::energy_core::EnergyCore;
 use perpetuum_core::greedy::greedy_batch;
 use perpetuum_core::mtd::{plan_min_total_distance, MtdConfig};
 use perpetuum_core::network::{Instance, Network};
@@ -71,9 +72,71 @@ impl<'a> Observation<'a> {
     /// (level ≤ capacity already guarantees this; the clamp absorbs
     /// floating-point noise).
     pub fn residuals_hat(&self) -> Vec<f64> {
-        (0..self.levels.len())
-            .map(|i| self.residual_hat(i).min(self.max_cycle_hat(i)))
-            .collect()
+        (0..self.levels.len()).map(|i| self.residual_hat(i).min(self.max_cycle_hat(i))).collect()
+    }
+}
+
+/// What a policy sees at a polling check.
+///
+/// Polling checks fire every [`ChargingPolicy::check_interval`] — far more
+/// often than slot boundaries — so the event-driven engine hands policies
+/// this lazy view instead of a materialised [`Observation`]. A policy that
+/// only asks [`CheckContext::urgent_within`] costs O(log n + answer) per
+/// check (the engine answers from its urgency-prediction heap); calling
+/// [`CheckContext::observation`] falls back to the full O(n) snapshot.
+pub struct CheckContext<'a> {
+    time: f64,
+    horizon: f64,
+    source: Source<'a>,
+}
+
+enum Source<'a> {
+    /// A pre-built snapshot (reference engine and unit tests).
+    Full(Observation<'a>),
+    /// The event-driven engine's lazy energy state.
+    Lazy(&'a mut EnergyCore),
+}
+
+impl<'a> CheckContext<'a> {
+    /// Wraps a full observation; answers are computed by dense scans.
+    pub fn from_observation(obs: Observation<'a>) -> Self {
+        Self { time: obs.time, horizon: obs.horizon, source: Source::Full(obs) }
+    }
+
+    pub(crate) fn lazy(time: f64, horizon: f64, core: &'a mut EnergyCore) -> Self {
+        Self { time, horizon, source: Source::Lazy(core) }
+    }
+
+    /// Current time.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Monitoring period end `T`.
+    pub fn horizon(&self) -> f64 {
+        self.horizon
+    }
+
+    /// Ascending indices of the sensors whose estimated residual lifetime
+    /// `re_i / max(ρ̂_i, ρ_i(now))` is at most `dt` (plus the engine's
+    /// 1e-9 float slack) — the urgency test of the greedy baseline.
+    pub fn urgent_within(&mut self, dt: f64) -> Vec<usize> {
+        match &mut self.source {
+            Source::Full(obs) => {
+                (0..obs.levels.len()).filter(|&i| obs.residual_hat(i) <= dt + 1e-9).collect()
+            }
+            Source::Lazy(core) => core.urgent_within(self.time, dt),
+        }
+    }
+
+    /// The full observation at the check time. On the event-driven engine
+    /// this settles every battery (O(n)); prefer
+    /// [`Self::urgent_within`] when the urgent set is all you need.
+    pub fn observation(&mut self) -> Observation<'_> {
+        match &mut self.source {
+            Source::Full(obs) => *obs,
+            Source::Lazy(core) => core.observation(self.time, self.horizon),
+        }
     }
 }
 
@@ -108,8 +171,8 @@ pub trait ChargingPolicy {
     }
 
     /// Called every [`Self::check_interval`]; an immediate dispatch is
-    /// executed at the observation time.
-    fn on_check(&mut self, _obs: &Observation) -> Option<TourSet> {
+    /// executed at the check time.
+    fn on_check(&mut self, _ctx: &mut CheckContext) -> Option<TourSet> {
         None
     }
 }
@@ -203,10 +266,8 @@ impl ChargingPolicy for GreedyPolicy<'_> {
         PlanUpdate::Keep // purely reactive
     }
 
-    fn on_check(&mut self, obs: &Observation) -> Option<TourSet> {
-        let pending: Vec<usize> = (0..obs.levels.len())
-            .filter(|&i| obs.residual_hat(i) <= self.threshold + 1e-9)
-            .collect();
+    fn on_check(&mut self, ctx: &mut CheckContext) -> Option<TourSet> {
+        let pending = ctx.urgent_within(self.threshold);
         if pending.is_empty() {
             None
         } else {
@@ -267,10 +328,8 @@ impl<'a> VarPolicy<'a> {
 
     fn replan(&mut self, obs: &Observation) -> PlanUpdate {
         let shrink = 1.0 - self.cycle_margin;
-        let max_cycles: Vec<f64> =
-            obs.max_cycles_hat().iter().map(|c| c * shrink).collect();
-        let residuals: Vec<f64> =
-            obs.residuals_hat().iter().map(|r| r * shrink).collect();
+        let max_cycles: Vec<f64> = obs.max_cycles_hat().iter().map(|c| c * shrink).collect();
+        let residuals: Vec<f64> = obs.residuals_hat().iter().map(|r| r * shrink).collect();
         let input = VarInput {
             network: self.network,
             max_cycles: &max_cycles,
@@ -281,9 +340,8 @@ impl<'a> VarPolicy<'a> {
         };
         let plan = replan_variable_with(&input, self.repair);
         self.assigned = plan.assigned_cycles;
-        self.scheduled = (0..obs.levels.len())
-            .map(|i| plan.series.charge_times(self.network.sensor_node(i)))
-            .collect();
+        // Sensor node ids are 0..n, so the inverted pass indexes directly.
+        self.scheduled = plan.series.charge_times_all(self.network.n());
         PlanUpdate::Replace(plan.series)
     }
 
@@ -387,11 +445,7 @@ mod tests {
 
     fn net() -> Network {
         Network::new(
-            vec![
-                Point2::new(100.0, 0.0),
-                Point2::new(0.0, 100.0),
-                Point2::new(200.0, 200.0),
-            ],
+            vec![Point2::new(100.0, 0.0), Point2::new(0.0, 100.0), Point2::new(200.0, 200.0)],
             vec![Point2::ORIGIN],
         )
     }
@@ -468,13 +522,29 @@ mod tests {
         let rho = [0.5, 0.1, 1.0]; // residuals: 0.4, 10, 0.9
         let caps = [1.0; 3];
         let o = obs(5.0, 100.0, &levels, &rho, &caps);
-        let set = p.on_check(&o).expect("two sensors are urgent");
+        let mut ctx = CheckContext::from_observation(o);
+        assert_eq!(ctx.time(), 5.0);
+        assert_eq!(ctx.horizon(), 100.0);
+        let set = p.on_check(&mut ctx).expect("two sensors are urgent");
         assert_eq!(set.sensors(), &[0, 2]);
         // Nothing urgent → no dispatch.
         let levels2 = [1.0, 1.0, 1.0];
         let rho2 = [0.1, 0.1, 0.1];
         let o2 = obs(6.0, 100.0, &levels2, &rho2, &caps);
-        assert!(p.on_check(&o2).is_none());
+        assert!(p.on_check(&mut CheckContext::from_observation(o2)).is_none());
+    }
+
+    #[test]
+    fn check_context_exposes_the_wrapped_observation() {
+        let levels = [0.2, 1.0];
+        let rho = [0.5, 0.1];
+        let caps = [1.0; 2];
+        let o = obs(5.0, 100.0, &levels, &rho, &caps);
+        let mut ctx = CheckContext::from_observation(o);
+        assert_eq!(ctx.urgent_within(1.0), vec![0]);
+        let seen = ctx.observation();
+        assert_eq!(seen.levels, &levels);
+        assert_eq!(seen.time, 5.0);
     }
 
     #[test]

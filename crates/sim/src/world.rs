@@ -2,7 +2,9 @@
 
 use perpetuum_core::network::Network;
 use perpetuum_energy::consumption::ConsumptionProcess;
-use perpetuum_energy::{Battery, CycleDistribution, EwmaPredictor, FixedRate, MarkovBurst, SlottedResample};
+use perpetuum_energy::{
+    Battery, CycleDistribution, EwmaPredictor, FixedRate, MarkovBurst, SlottedResample,
+};
 use rand::rngs::StdRng;
 
 /// A per-sensor consumption-rate process (enum dispatch over the
@@ -92,10 +94,8 @@ impl World {
     /// Fixed-cycle world: sensor `i` drains its unit battery in exactly
     /// `cycles[i]` time units, forever.
     pub fn fixed(network: Network, cycles: &[f64]) -> Self {
-        let processes = cycles
-            .iter()
-            .map(|&tau| RateProcess::Fixed(FixedRate::from_cycle(1.0, tau)))
-            .collect();
+        let processes =
+            cycles.iter().map(|&tau| RateProcess::Fixed(FixedRate::from_cycle(1.0, tau))).collect();
         Self::new(network, processes, EwmaPredictor::DEFAULT_GAMMA)
     }
 
@@ -175,10 +175,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn net() -> Network {
-        Network::new(
-            vec![Point2::new(1.0, 0.0), Point2::new(2.0, 0.0)],
-            vec![Point2::ORIGIN],
-        )
+        Network::new(vec![Point2::new(1.0, 0.0), Point2::new(2.0, 0.0)], vec![Point2::ORIGIN])
     }
 
     #[test]

@@ -6,9 +6,7 @@ use perpetuum_geom::Point2;
 use perpetuum_sim::{run, MtdPolicy, SimConfig, VarPolicy, World};
 
 fn line_network(n: usize) -> Network {
-    let sensors: Vec<Point2> = (0..n)
-        .map(|i| Point2::new((i + 1) as f64 * 10.0, 0.0))
-        .collect();
+    let sensors: Vec<Point2> = (0..n).map(|i| Point2::new((i + 1) as f64 * 10.0, 0.0)).collect();
     Network::new(sensors, vec![Point2::ORIGIN])
 }
 
@@ -23,11 +21,7 @@ fn zero_fade_is_the_ideal_world() {
     };
     let faded = {
         let mut p = VarPolicy::new(&network);
-        run(
-            World::fixed(network.clone(), &cycles).with_battery_fade(0.0),
-            &cfg,
-            &mut p,
-        )
+        run(World::fixed(network.clone(), &cycles).with_battery_fade(0.0), &cfg, &mut p)
     };
     assert_eq!(base.service_cost, faded.service_cost);
     assert_eq!(base.charge_log, faded.charge_log);
@@ -44,16 +38,9 @@ fn var_policy_adapts_to_aging_batteries() {
     let cycles = [4.0, 6.0, 8.0, 12.0];
     let cfg = SimConfig { horizon: 400.0, slot: 10.0, seed: 2, charger_speed: None };
     let mut policy = VarPolicy::with_margin(&network, 0.08);
-    let r = run(
-        World::fixed(network.clone(), &cycles).with_battery_fade(0.02),
-        &cfg,
-        &mut policy,
-    );
+    let r = run(World::fixed(network.clone(), &cycles).with_battery_fade(0.02), &cfg, &mut policy);
     assert!(r.is_perpetual(), "deaths: {:?}", r.deaths);
-    assert!(
-        policy.replans() > 0,
-        "fading cycles must eventually leave the applicability band"
-    );
+    assert!(policy.replans() > 0, "fading cycles must eventually leave the applicability band");
     // Charge gaps must shrink over the run for the fastest-aging sensor.
     let log = &r.charge_log[0];
     assert!(log.len() >= 6);
@@ -74,13 +61,6 @@ fn oblivious_policy_loses_sensors_to_aging() {
     let cycles = [4.0, 6.0, 8.0, 12.0];
     let cfg = SimConfig { horizon: 400.0, slot: 10.0, seed: 3, charger_speed: None };
     let mut policy = MtdPolicy::new(&network);
-    let r = run(
-        World::fixed(network.clone(), &cycles).with_battery_fade(0.02),
-        &cfg,
-        &mut policy,
-    );
-    assert!(
-        !r.deaths.is_empty(),
-        "an aging-oblivious plan must eventually miss"
-    );
+    let r = run(World::fixed(network.clone(), &cycles).with_battery_fade(0.02), &cfg, &mut policy);
+    assert!(!r.deaths.is_empty(), "an aging-oblivious plan must eventually miss");
 }

@@ -9,9 +9,7 @@ use perpetuum_sim::policy::{ChargingPolicy, Observation, PlanUpdate};
 use perpetuum_sim::{run, GreedyPolicy, MtdPolicy, SimConfig, World};
 
 fn line_network(n: usize) -> Network {
-    let sensors: Vec<Point2> = (0..n)
-        .map(|i| Point2::new((i + 1) as f64 * 10.0, 0.0))
-        .collect();
+    let sensors: Vec<Point2> = (0..n).map(|i| Point2::new((i + 1) as f64 * 10.0, 0.0)).collect();
     Network::new(sensors, vec![Point2::ORIGIN])
 }
 
@@ -38,8 +36,7 @@ fn non_integer_slot_length() {
     let cfg = SimConfig { horizon: 33.3, slot: 3.7, seed: 2, charger_speed: None };
     let r = run(world, &cfg, &mut policy);
     assert!(r.is_perpetual(), "deaths: {:?}", r.deaths);
-    perpetuum_core::feasibility::check_with(&cycles, 33.3, |i| r.charge_log[i].clone())
-        .unwrap();
+    perpetuum_core::feasibility::check_with(&cycles, 33.3, |i| r.charge_log[i].clone()).unwrap();
 }
 
 /// A policy that replaces its plan at every slot boundary with a one-shot

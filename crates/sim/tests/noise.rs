@@ -2,9 +2,9 @@
 //! rates while energy drains at the truth.
 
 use perpetuum_core::network::Network;
+use perpetuum_energy::CycleDistribution;
 use perpetuum_geom::{deploy, derived_rng, Field};
 use perpetuum_sim::{run, GreedyPolicy, SimConfig, VarPolicy, World};
-use perpetuum_energy::CycleDistribution;
 
 fn setup(n: usize, seed: u64) -> (Network, Vec<f64>) {
     let field = Field::paper_default();
@@ -34,8 +34,8 @@ fn zero_noise_identical_to_baseline() {
         run(world, &cfg, &mut p)
     };
     let zero_noise = {
-        let world = World::variable(network.clone(), &means, dist, 2.0, 50.0)
-            .with_measurement_noise(0.0);
+        let world =
+            World::variable(network.clone(), &means, dist, 2.0, 50.0).with_measurement_noise(0.0);
         let mut p = VarPolicy::new(&network);
         run(world, &cfg, &mut p)
     };
@@ -50,10 +50,8 @@ fn greedy_threshold_margin_absorbs_noise() {
     // worst-case reporting error restores perpetual operation.
     let (network, means) = setup(25, 32);
     let dist = CycleDistribution::Linear { sigma: 2.0 };
-    let make = || {
-        World::variable(network.clone(), &means, dist, 2.0, 50.0)
-            .with_measurement_noise(0.10)
-    };
+    let make =
+        || World::variable(network.clone(), &means, dist, 2.0, 50.0).with_measurement_noise(0.10);
     let cfg = SimConfig { horizon: 200.0, slot: 10.0, seed: 32, charger_speed: None };
 
     let mut plain = GreedyPolicy::new(&network, 1.0);
@@ -80,8 +78,8 @@ fn noise_changes_but_does_not_break_var_policy() {
         run(world, &cfg, &mut p)
     };
     let noisy = {
-        let world = World::variable(network.clone(), &means, dist, 2.0, 50.0)
-            .with_measurement_noise(0.10);
+        let world =
+            World::variable(network.clone(), &means, dist, 2.0, 50.0).with_measurement_noise(0.10);
         // A 15% planning margin out-weighs the ≤ +11% cycle over-estimate
         // a −10% rate report can cause.
         let mut p = VarPolicy::with_margin(&network, 0.15);
@@ -99,9 +97,8 @@ fn noisy_runs_are_still_deterministic() {
     let (network, means) = setup(15, 34);
     let dist = CycleDistribution::Linear { sigma: 2.0 };
     let cfg = SimConfig { horizon: 100.0, slot: 10.0, seed: 34, charger_speed: None };
-    let make = || {
-        World::variable(network.clone(), &means, dist, 2.0, 50.0).with_measurement_noise(0.2)
-    };
+    let make =
+        || World::variable(network.clone(), &means, dist, 2.0, 50.0).with_measurement_noise(0.2);
     let mut p1 = VarPolicy::new(&network);
     let r1 = run(make(), &cfg, &mut p1);
     let mut p2 = VarPolicy::new(&network);

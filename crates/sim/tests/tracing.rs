@@ -2,14 +2,12 @@
 //! untraced run.
 
 use perpetuum_core::network::Network;
+use perpetuum_energy::CycleDistribution;
 use perpetuum_geom::Point2;
 use perpetuum_sim::{run, run_traced, MtdPolicy, SimConfig, TraceEvent, VarPolicy, World};
-use perpetuum_energy::CycleDistribution;
 
 fn line_network(n: usize) -> Network {
-    let sensors: Vec<Point2> = (0..n)
-        .map(|i| Point2::new((i + 1) as f64 * 10.0, 0.0))
-        .collect();
+    let sensors: Vec<Point2> = (0..n).map(|i| Point2::new((i + 1) as f64 * 10.0, 0.0)).collect();
     Network::new(sensors, vec![Point2::ORIGIN])
 }
 

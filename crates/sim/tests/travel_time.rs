@@ -6,9 +6,7 @@ use perpetuum_geom::Point2;
 use perpetuum_sim::{run, MtdPolicy, SimConfig, World};
 
 fn line_network(n: usize) -> Network {
-    let sensors: Vec<Point2> = (0..n)
-        .map(|i| Point2::new((i + 1) as f64 * 10.0, 0.0))
-        .collect();
+    let sensors: Vec<Point2> = (0..n).map(|i| Point2::new((i + 1) as f64 * 10.0, 0.0)).collect();
     Network::new(sensors, vec![Point2::ORIGIN])
 }
 
@@ -77,10 +75,7 @@ fn slow_chargers_kill_sensors() {
     // Tour 0→10→20→30→0 = 60 m at speed 15 → 4 time units per round.
     let cfg = SimConfig { horizon: 20.0, slot: 100.0, seed: 3, charger_speed: Some(15.0) };
     let r = run(World::fixed(network.clone(), &cycles), &cfg, &mut p);
-    assert!(
-        !r.deaths.is_empty(),
-        "a 4-unit tour against 1-unit cycles must kill sensors"
-    );
+    assert!(!r.deaths.is_empty(), "a 4-unit tour against 1-unit cycles must kill sensors");
     assert!(r.max_charge_delay >= 1.0);
 }
 

@@ -19,12 +19,7 @@ fn paper_like_world(n: usize, seed: u64, sigma: f64) -> (Network, World) {
     );
     let network = Network::new(sensors, depots);
     let dist = CycleDistribution::Linear { sigma };
-    let means = dist.mean_all(
-        network.sensor_positions(),
-        field.center(),
-        1.0,
-        50.0,
-    );
+    let means = dist.mean_all(network.sensor_positions(), field.center(), 1.0, 50.0);
     let world = World::variable(network.clone(), &means, dist, 1.0, 50.0);
     (network, world)
 }
@@ -42,10 +37,7 @@ fn var_policy_keeps_network_alive_and_replans() {
         policy.replans()
     );
     assert!(r.service_cost > 0.0);
-    assert!(
-        policy.replans() > 0,
-        "σ = 2 over 20 slots should trigger at least one replan"
-    );
+    assert!(policy.replans() > 0, "σ = 2 over 20 slots should trigger at least one replan");
 }
 
 #[test]
@@ -78,10 +70,7 @@ fn var_beats_greedy_on_linear_distribution() {
         assert!(rg.deaths.is_empty(), "greedy deaths: {:?}", rg.deaths);
         greedy_total += rg.service_cost;
     }
-    assert!(
-        var_total < greedy_total,
-        "var {var_total} should undercut greedy {greedy_total}"
-    );
+    assert!(var_total < greedy_total, "var {var_total} should undercut greedy {greedy_total}");
 }
 
 #[test]

@@ -276,8 +276,7 @@ pub mod prelude {
     //! The glob-import surface (`use proptest::prelude::*`).
 
     pub use crate::{
-        prop, prop_assert, prop_assert_eq, prop_compose, proptest, Just, ProptestConfig,
-        Strategy,
+        prop, prop_assert, prop_assert_eq, prop_compose, proptest, Just, ProptestConfig, Strategy,
     };
 }
 

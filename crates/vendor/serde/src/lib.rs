@@ -233,10 +233,9 @@ impl<V: Serialize> Serialize for BTreeMap<String, V> {
 impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         match v {
-            Value::Obj(pairs) => pairs
-                .iter()
-                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
-                .collect(),
+            Value::Obj(pairs) => {
+                pairs.iter().map(|(k, v)| Ok((k.clone(), V::from_value(v)?))).collect()
+            }
             _ => Err(DeError::expected("object", v)),
         }
     }
@@ -255,10 +254,9 @@ impl<V: Serialize> Serialize for HashMap<String, V> {
 impl<V: Deserialize> Deserialize for HashMap<String, V> {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         match v {
-            Value::Obj(pairs) => pairs
-                .iter()
-                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
-                .collect(),
+            Value::Obj(pairs) => {
+                pairs.iter().map(|(k, v)| Ok((k.clone(), V::from_value(v)?))).collect()
+            }
             _ => Err(DeError::expected("object", v)),
         }
     }
@@ -275,10 +273,7 @@ pub fn de_field<T: Deserialize>(v: &Value, key: &str) -> Result<T, DeError> {
 }
 
 /// Looks up an optional (`#[serde(default)]`) struct field.
-pub fn de_field_or_default<T: Deserialize + Default>(
-    v: &Value,
-    key: &str,
-) -> Result<T, DeError> {
+pub fn de_field_or_default<T: Deserialize + Default>(v: &Value, key: &str) -> Result<T, DeError> {
     match v.get(key) {
         Some(f) => T::from_value(f),
         None => Ok(T::default()),
@@ -294,10 +289,7 @@ mod tests {
         assert_eq!(f64::from_value(&3.5f64.to_value()).unwrap(), 3.5);
         assert_eq!(usize::from_value(&7usize.to_value()).unwrap(), 7);
         assert!(bool::from_value(&true.to_value()).unwrap());
-        assert_eq!(
-            String::from_value(&"hi".to_string().to_value()).unwrap(),
-            "hi"
-        );
+        assert_eq!(String::from_value(&"hi".to_string().to_value()).unwrap(), "hi");
     }
 
     #[test]

@@ -207,9 +207,7 @@ fn parse_input(input: TokenStream) -> Result<Input, String> {
     let name = name.to_string();
     pos += 1;
     if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
-        return Err(format!(
-            "vendored serde_derive does not support generic type `{name}`"
-        ));
+        return Err(format!("vendored serde_derive does not support generic type `{name}`"));
     }
     let shape = match (kw.as_str(), tokens.get(pos)) {
         ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
@@ -249,9 +247,8 @@ fn gen_serialize(input: &Input) -> String {
         }
         Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
         Shape::TupleStruct(n) => {
-            let items: Vec<String> = (0..*n)
-                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
-                .collect();
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
             format!("::serde::Value::Arr(::std::vec![{}])", items.join(", "))
         }
         Shape::UnitStruct => "::serde::Value::Null".to_string(),

@@ -44,26 +44,15 @@ fn main() {
                 &mut rng,
             );
             let network = Network::new(sensors, depots);
-            let cycles = dist.sample_all(
-                network.sensor_positions(),
-                field.center(),
-                1.0,
-                50.0,
-                &mut rng,
-            );
+            let cycles =
+                dist.sample_all(network.sensor_positions(), field.center(), 1.0, 50.0, &mut rng);
             let world = World::fixed(network.clone(), &cycles);
             let cfg = SimConfig { horizon, slot: 10.0, seed: 9000 + seed, charger_speed: None };
             let mut policy = MtdPolicy::new(&network);
             let r = run(world, &cfg, &mut policy);
             assert!(r.is_perpetual());
             costs.push(r.service_cost / 1000.0);
-            max_loads.push(
-                r.per_charger_distance
-                    .iter()
-                    .cloned()
-                    .fold(0.0f64, f64::max)
-                    / 1000.0,
-            );
+            max_loads.push(r.per_charger_distance.iter().cloned().fold(0.0f64, f64::max) / 1000.0);
         }
         let cost = perpetuum::par::mean(&costs);
         let max_load = perpetuum::par::mean(&max_loads);

@@ -20,10 +20,7 @@ fn main() {
 
     println!("Flood-detection WSN — linear cycle distribution, q = 5, T = 1000");
     println!("averaging {topologies} random deployments per point\n");
-    println!(
-        "{:>6} {:>22} {:>22} {:>8}",
-        "n", "MinTotalDistance (km)", "Greedy (km)", "ratio"
-    );
+    println!("{:>6} {:>22} {:>22} {:>8}", "n", "MinTotalDistance (km)", "Greedy (km)", "ratio");
 
     for n in [100usize, 200, 300] {
         let scenario = Scenario { n, ..Scenario::paper_fixed() };

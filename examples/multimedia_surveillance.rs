@@ -63,10 +63,7 @@ fn main() {
         total_greedy += rg.service_cost;
     }
 
-    println!(
-        "\noverall: var/greedy cost ratio = {:.3}",
-        total_var / total_greedy
-    );
+    println!("\noverall: var/greedy cost ratio = {:.3}", total_var / total_greedy);
     println!("Under the random distribution the gap narrows (paper: 87%–93%):");
     println!("short-cycle sensors sit anywhere in the field, so every dispatch");
     println!("must cover most of the area regardless of scheduling cleverness.");

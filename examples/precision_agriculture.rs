@@ -39,13 +39,7 @@ fn main() {
     // Irrigation-zone dependent duty cycles.
     let mut rng = derived_rng(808, 0);
     let dist = CycleDistribution::Random;
-    let cycles = dist.sample_all(
-        network.sensor_positions(),
-        field.center(),
-        2.0,
-        30.0,
-        &mut rng,
-    );
+    let cycles = dist.sample_all(network.sensor_positions(), field.center(), 2.0, 30.0, &mut rng);
 
     let horizon = 240.0;
     let instance = Instance::new(network.clone(), cycles, horizon);
@@ -85,11 +79,7 @@ fn main() {
     // sensors need a simultaneous post-storm recharge?
     let all: Vec<usize> = (0..n).collect();
     let qt = perpetuum::core::qtsp::q_rooted_tsp(network.dist(), &all, &network.depot_nodes(), 0);
-    let alg2_span = qt
-        .tours
-        .iter()
-        .map(|t| t.length(network.dist()))
-        .fold(0.0f64, f64::max);
+    let alg2_span = qt.tours.iter().map(|t| t.length(network.dist())).fold(0.0f64, f64::max);
     let balanced = min_max_cover(&network, &all, Routing::Doubling, 200);
     println!(
         "\nfull-recharge makespan: Algorithm 2 routing {:.0} m, balanced cover {:.0} m \

@@ -19,10 +19,7 @@ fn main() {
         let radius = 150.0 + 250.0 * ring as f64;
         for i in 0..6 {
             let a = i as f64 * std::f64::consts::TAU / 6.0;
-            sensors.push(Point2::new(
-                500.0 + radius * a.cos(),
-                500.0 + radius * a.sin(),
-            ));
+            sensors.push(Point2::new(500.0 + radius * a.cos(), 500.0 + radius * a.sin()));
         }
     }
     let depots = vec![Point2::new(500.0, 500.0), Point2::new(50.0, 50.0)];
@@ -53,11 +50,7 @@ fn main() {
     // The distinct tour sets Algorithm 3 rotates between.
     println!("  distinct tour sets:");
     for (k, set) in plan.sets().iter().enumerate() {
-        println!(
-            "    D_{k}: {:2} sensors, {:7.1} m per dispatch",
-            set.sensors().len(),
-            set.cost()
-        );
+        println!("    D_{k}: {:2} sensors, {:7.1} m per dispatch", set.sensors().len(), set.cost());
     }
 
     // First few dispatches.

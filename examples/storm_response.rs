@@ -49,15 +49,8 @@ fn main() {
             let network = Network::new(sensors, depots);
             let dist = CycleDistribution::linear_default();
             let means = dist.mean_all(network.sensor_positions(), field.center(), 1.0, 50.0);
-            let make = || {
-                World::bursty(network.clone(), &means, 8.0, p_storm, 0.5, 1.0, 50.0)
-            };
-            let cfg = SimConfig {
-                horizon,
-                slot: 10.0,
-                seed: 7000 + seed,
-                charger_speed: None,
-            };
+            let make = || World::bursty(network.clone(), &means, 8.0, p_storm, 0.5, 1.0, 50.0);
+            let cfg = SimConfig { horizon, slot: 10.0, seed: 7000 + seed, charger_speed: None };
 
             let mut vp = VarPolicy::new(&network);
             let rv = run(make(), &cfg, &mut vp);

@@ -73,15 +73,15 @@ pub mod prelude {
     pub use perpetuum_core::bounds::lemma3_lower_bound;
     pub use perpetuum_core::feasibility::check_series;
     pub use perpetuum_core::greedy::{plan_greedy_fixed, GreedyConfig};
+    pub use perpetuum_core::minmax::min_max_cover;
     pub use perpetuum_core::mtd::{plan_min_total_distance, MtdConfig};
     pub use perpetuum_core::network::{Instance, Network};
-    pub use perpetuum_core::minmax::min_max_cover;
     pub use perpetuum_core::qmsf::q_rooted_msf;
     pub use perpetuum_core::qtsp::{q_rooted_tsp, q_rooted_tsp_routed, Routing};
-    pub use perpetuum_core::split::{split_tour, split_tour_set};
-    pub use perpetuum_core::stats::analyze;
     pub use perpetuum_core::rounding::partition_cycles;
     pub use perpetuum_core::schedule::ScheduleSeries;
+    pub use perpetuum_core::split::{split_tour, split_tour_set};
+    pub use perpetuum_core::stats::analyze;
     pub use perpetuum_core::var::{replan_variable, VarInput};
     pub use perpetuum_energy::CycleDistribution;
     pub use perpetuum_geom::{Field, Point2};

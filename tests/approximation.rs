@@ -13,9 +13,7 @@ use rand::{Rng, SeedableRng};
 
 fn random_points(n: usize, seed: u64) -> Vec<Point2> {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    (0..n)
-        .map(|_| Point2::new(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0)))
-        .collect()
+    (0..n).map(|_| Point2::new(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0))).collect()
 }
 
 /// Exact optimum of the q-rooted TSP by brute-force assignment + Held–Karp
@@ -28,10 +26,8 @@ fn exact_q_rooted_tsp(dist: &DistMatrix, terminals: &[usize], roots: &[usize]) -
     loop {
         let mut total = 0.0;
         for (r, &root) in roots.iter().enumerate() {
-            let group: Vec<usize> = (0..m)
-                .filter(|&t| assign[t] == r)
-                .map(|t| terminals[t])
-                .collect();
+            let group: Vec<usize> =
+                (0..m).filter(|&t| assign[t] == r).map(|t| terminals[t]).collect();
             if group.is_empty() {
                 continue;
             }
@@ -70,10 +66,7 @@ fn qtsp_within_factor_two_of_exact_optimum() {
 
         let approx = q_rooted_tsp(&dist, &terminals, &roots, 0).cost;
         let opt = exact_q_rooted_tsp(&dist, &terminals, &roots);
-        assert!(
-            approx <= 2.0 * opt + 1e-6,
-            "seed {seed}: approx {approx} > 2x opt {opt}"
-        );
+        assert!(approx <= 2.0 * opt + 1e-6, "seed {seed}: approx {approx} > 2x opt {opt}");
         assert!(approx >= opt - 1e-6, "seed {seed}: approx beat the optimum?!");
     }
 }

@@ -38,11 +38,7 @@ fn fig2a_costs_converge_at_small_tau_max() {
     let ratios = fd.ratio(0, 1);
     // τ_max = 1: every sensor has cycle 1; both algorithms must charge
     // everyone every time unit → near-identical cost.
-    assert!(
-        (ratios[0] - 1.0).abs() < 0.1,
-        "τ_max = 1 ratio should be ~1, got {}",
-        ratios[0]
-    );
+    assert!((ratios[0] - 1.0).abs() < 0.1, "τ_max = 1 ratio should be ~1, got {}", ratios[0]);
     // τ_max = 50: the gap is wide open.
     let last = *ratios.last().unwrap();
     assert!(last < 0.8, "τ_max = 50 ratio should be well below 1, got {last}");

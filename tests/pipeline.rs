@@ -60,18 +60,9 @@ fn mtd_never_costs_more_than_charge_everyone_every_tau_min() {
 
         // Naive plan: the all-sensor tour set dispatched at every multiple
         // of τ_min.
-        let tau_min = topo
-            .init_cycles
-            .iter()
-            .cloned()
-            .fold(f64::INFINITY, f64::min);
+        let tau_min = topo.init_cycles.iter().cloned().fold(f64::INFINITY, f64::min);
         let all: Vec<usize> = (0..20).collect();
-        let qt = q_rooted_tsp(
-            topo.network.dist(),
-            &all,
-            &topo.network.depot_nodes(),
-            0,
-        );
+        let qt = q_rooted_tsp(topo.network.dist(), &all, &topo.network.depot_nodes(), 0);
         let mut naive = ScheduleSeries::new();
         let set = naive.add_set(TourSet::from_qtours(qt, |v| v >= 20));
         let mut t = tau_min;
@@ -98,10 +89,7 @@ fn greedy_offline_and_online_agree_across_topologies() {
         let r = s.run_once(Algo::Greedy, 12, idx);
         let inst = Instance::new(topo.network.clone(), topo.init_cycles.clone(), s.horizon);
         let offline = plan_greedy_fixed(&inst, &GreedyConfig::paper_default(s.tau_min));
-        assert!(
-            (r.service_cost - offline.service_cost()).abs() < 1e-6,
-            "topo {idx}"
-        );
+        assert!((r.service_cost - offline.service_cost()).abs() < 1e-6, "topo {idx}");
     }
 }
 
@@ -141,10 +129,7 @@ fn service_cost_scales_with_horizon() {
     let a = short.run_once(Algo::Mtd, 8, 0).service_cost;
     let b = long.run_once(Algo::Mtd, 8, 0).service_cost;
     let ratio = b / a;
-    assert!(
-        (1.7..=2.3).contains(&ratio),
-        "cost ratio {ratio} should be near 2"
-    );
+    assert!((1.7..=2.3).contains(&ratio), "cost ratio {ratio} should be near 2");
 }
 
 #[test]

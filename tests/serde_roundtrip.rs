@@ -1,17 +1,14 @@
 //! Serde round-trips of the public data types (plans survive persistence).
 
-use perpetuum::core::schedule::{ScheduleSeries, TourSet};
 use perpetuum::core::mtd::{plan_min_total_distance, MtdConfig};
 use perpetuum::core::network::{Instance, Network};
 use perpetuum::core::rounding::partition_cycles;
+use perpetuum::core::schedule::{ScheduleSeries, TourSet};
 use perpetuum::geom::Point2;
 
 fn instance() -> Instance {
-    let sensors = vec![
-        Point2::new(100.0, 50.0),
-        Point2::new(300.0, 400.0),
-        Point2::new(700.0, 200.0),
-    ];
+    let sensors =
+        vec![Point2::new(100.0, 50.0), Point2::new(300.0, 400.0), Point2::new(700.0, 200.0)];
     let depots = vec![Point2::new(500.0, 500.0)];
     Instance::new(Network::new(sensors, depots), vec![1.0, 3.0, 8.0], 32.0)
 }
