@@ -40,18 +40,51 @@ pub enum Violation {
     },
 }
 
+impl Violation {
+    /// The offending sensor.
+    pub fn sensor(&self) -> usize {
+        match *self {
+            Violation::GapExceeded { sensor, .. } | Violation::TailExceeded { sensor, .. } => {
+                sensor
+            }
+        }
+    }
+
+    /// Length of the offending charge gap (tail violations measure to the
+    /// horizon).
+    pub fn gap(&self) -> f64 {
+        match *self {
+            Violation::GapExceeded { from, to, .. } => to - from,
+            Violation::TailExceeded { last, horizon, .. } => horizon - last,
+        }
+    }
+
+    /// By how much the gap overshoots the sensor's cycle `τ_i` — the
+    /// "how far from feasible" magnitude (always positive for a reported
+    /// violation).
+    pub fn excess(&self) -> f64 {
+        match *self {
+            Violation::GapExceeded { tau, .. } | Violation::TailExceeded { tau, .. } => {
+                self.gap() - tau
+            }
+        }
+    }
+}
+
 impl std::fmt::Display for Violation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Violation::GapExceeded { sensor, from, to, tau } => write!(
                 f,
-                "sensor {sensor}: charge gap {from}..{to} ({} units) exceeds cycle {tau}",
-                to - from
+                "sensor {sensor}: charge gap {from}..{to} ({} units) exceeds cycle {tau} by {}",
+                to - from,
+                self.excess()
             ),
             Violation::TailExceeded { sensor, last, horizon, tau } => write!(
                 f,
-                "sensor {sensor}: last charged at {last}, horizon {horizon} ({} units) exceeds cycle {tau}",
-                horizon - last
+                "sensor {sensor}: last charged at {last}, horizon {horizon} ({} units) exceeds cycle {tau} by {}",
+                horizon - last,
+                self.excess()
             ),
         }
     }
@@ -175,6 +208,21 @@ mod tests {
     fn display_is_informative() {
         let g = Violation::GapExceeded { sensor: 3, from: 1.0, to: 5.0, tau: 2.0 };
         let s = format!("{g}");
-        assert!(s.contains("sensor 3") && s.contains("exceeds cycle 2"));
+        assert!(s.contains("sensor 3") && s.contains("exceeds cycle 2") && s.contains("by 2"));
+    }
+
+    #[test]
+    fn accessors_quantify_the_violation() {
+        let g = Violation::GapExceeded { sensor: 3, from: 1.0, to: 5.0, tau: 2.0 };
+        assert_eq!(g.sensor(), 3);
+        assert_eq!(g.gap(), 4.0);
+        assert_eq!(g.excess(), 2.0);
+
+        let t = Violation::TailExceeded { sensor: 7, last: 6.0, horizon: 10.0, tau: 2.5 };
+        assert_eq!(t.sensor(), 7);
+        assert_eq!(t.gap(), 4.0);
+        assert_eq!(t.excess(), 1.5);
+        let s = format!("{t}");
+        assert!(s.contains("sensor 7") && s.contains("by 1.5"));
     }
 }

@@ -15,6 +15,7 @@
 //! | `MinTotalDistance-var` replanning (Section VI.B) | [`var`] |
 //! | greedy baseline (Section VII.A) | [`greedy`] |
 //! | independent feasibility checking | [`feasibility`] |
+//! | degraded-mode recovery on surviving depots | [`recovery`] |
 //!
 //! # Quick start
 //!
@@ -49,6 +50,7 @@ pub mod naive;
 pub mod network;
 pub mod qmsf;
 pub mod qtsp;
+pub mod recovery;
 pub mod rounding;
 pub mod schedule;
 pub mod split;
@@ -68,6 +70,7 @@ pub use qmsf::{
 pub use qtsp::{
     q_rooted_tsp, q_rooted_tsp_routed, q_rooted_tsp_routed_src, q_rooted_tsp_src, QTours, Routing,
 };
+pub use recovery::{degraded_tour_set, surviving_depots};
 pub use rounding::{partition_cycles, power_class, CyclePartition};
 pub use schedule::{Dispatch, ScheduleSeries, TourSet};
 pub use split::{split_tour, split_tour_set, SplitError, SplitTourSet};

@@ -14,14 +14,18 @@
 //! * [`consumption`] — fixed and per-slot-resampled consumption processes,
 //! * [`predictor`] — the paper's EWMA rate predictor
 //!   (`ρ̂(t+1) = γ·ρ(t) + (1−γ)·ρ̂(t)`) and the derived residual-lifetime /
-//!   maximum-cycle estimators.
+//!   maximum-cycle estimators,
+//! * [`shock`] — adverse rate dynamics (shocks and drift) layered on any
+//!   rate process by the fault-injection subsystem.
 
 pub mod battery;
 pub mod consumption;
 pub mod cycles;
 pub mod predictor;
+pub mod shock;
 
 pub use battery::Battery;
 pub use consumption::{ConsumptionProcess, FixedRate, MarkovBurst, SlottedResample};
 pub use cycles::CycleDistribution;
 pub use predictor::{EwmaPredictor, HoltPredictor};
+pub use shock::{RateShock, ShockState};

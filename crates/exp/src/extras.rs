@@ -27,7 +27,11 @@
 //!   schedule, an oblivious one loses sensors;
 //! * **deploy** — how deployment regularity (uniform random vs engineered
 //!   Halton vs clustered hot spots) shifts the service cost and the
-//!   MinTotalDistance/Greedy gap.
+//!   MinTotalDistance/Greedy gap;
+//! * **robustness** — seeded fault injection: charger breakdowns at
+//!   increasing intensity, with the degraded-mode recovery planner
+//!   re-routing orphaned sensors onto the surviving depots — what do
+//!   faults cost in service distance, deaths and downtime?
 
 use crate::figures::{FigureData, Series};
 use crate::scenario::{Deployment, Scenario};
@@ -40,7 +44,7 @@ use perpetuum_core::qtsp::{q_rooted_tsp, Routing};
 use perpetuum_core::rounding::partition_cycles;
 use perpetuum_core::split::split_tour_set;
 use perpetuum_par::{mean, par_map, std_dev};
-use perpetuum_sim::{run, GreedyPolicy, MtdPolicy, SimConfig, VarPolicy, World};
+use perpetuum_sim::{run, FaultModel, GreedyPolicy, MtdPolicy, SimConfig, VarPolicy, World};
 
 /// Identifier of an extension experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,11 +65,14 @@ pub enum ExtensionId {
     Aging,
     /// Deployment-pattern comparison.
     Deploy,
+    /// Fault-injection sweep: breakdown intensity vs service cost, deaths
+    /// and recovery effort.
+    Robustness,
 }
 
 impl ExtensionId {
     /// All extensions.
-    pub const ALL: [ExtensionId; 8] = [
+    pub const ALL: [ExtensionId; 9] = [
         ExtensionId::Burst,
         ExtensionId::MinMax,
         ExtensionId::Range,
@@ -74,6 +81,7 @@ impl ExtensionId {
         ExtensionId::Ratio,
         ExtensionId::Aging,
         ExtensionId::Deploy,
+        ExtensionId::Robustness,
     ];
 
     /// Parses `"burst"`, `"minmax"`, `"range"`.
@@ -87,6 +95,7 @@ impl ExtensionId {
             "ratio" => Some(ExtensionId::Ratio),
             "aging" => Some(ExtensionId::Aging),
             "deploy" | "deployment" => Some(ExtensionId::Deploy),
+            "robustness" | "faults" => Some(ExtensionId::Robustness),
             _ => None,
         }
     }
@@ -102,6 +111,7 @@ impl ExtensionId {
             ExtensionId::Ratio => "ext_ratio",
             ExtensionId::Aging => "ext_aging",
             ExtensionId::Deploy => "ext_deploy",
+            ExtensionId::Robustness => "ext_robustness",
         }
     }
 
@@ -130,6 +140,9 @@ impl ExtensionId {
             ExtensionId::Deploy => {
                 "Extension: deployment pattern (uniform / Halton / clustered) vs service cost"
             }
+            ExtensionId::Robustness => {
+                "Extension: charger breakdown intensity vs service cost, deaths and recovery"
+            }
         }
     }
 }
@@ -145,6 +158,7 @@ pub fn run_extension(id: ExtensionId, topologies: usize, seed: u64) -> FigureDat
         ExtensionId::Ratio => run_ratio(topologies, seed),
         ExtensionId::Aging => run_aging(topologies, seed),
         ExtensionId::Deploy => run_deploy(topologies, seed),
+        ExtensionId::Robustness => run_robustness(topologies, seed),
     }
 }
 
@@ -541,6 +555,62 @@ fn run_deploy(topologies: usize, seed: u64) -> FigureData {
     }
 }
 
+fn run_robustness(topologies: usize, seed: u64) -> FigureData {
+    use crate::scenario::Algo;
+    // Expected breakdowns per charger over the horizon; 0 is the fault-free
+    // baseline (the engine takes the exact pre-fault code path there).
+    let intensities = [0.0, 0.5, 1.0, 2.0, 4.0];
+    let s = Scenario { n: 100, horizon: 300.0, ..Scenario::paper_fixed() };
+    let mut cost = series("service cost (MinTotalDistance)");
+    let mut rescues = series("emergency dispatches per run");
+    let mut downtime = series("charger downtime fraction");
+
+    for &lambda in &intensities {
+        let rows = par_map(topologies, |i| {
+            let faults = if lambda == 0.0 {
+                FaultModel::none()
+            } else {
+                // MTBF so each charger expects `lambda` failures per
+                // horizon; repairs take a quarter of an up phase.
+                FaultModel::none()
+                    .with_breakdowns(s.horizon / lambda, s.horizon / (4.0 * lambda))
+                    .with_seed(seed ^ 0xFA)
+            };
+            let r = s.run_once_faulted(Algo::Mtd, seed, i as u64, &faults);
+            let down_frac = r.faults.total_downtime() / (s.horizon * s.q as f64);
+            (
+                r.service_cost / 1000.0,
+                r.deaths.len(),
+                r.faults.emergency_dispatches as f64,
+                down_frac,
+            )
+        });
+        let costs: Vec<f64> = rows.iter().map(|r| r.0).collect();
+        let resc: Vec<f64> = rows.iter().map(|r| r.2).collect();
+        let down: Vec<f64> = rows.iter().map(|r| r.3).collect();
+        let deaths: usize = rows.iter().map(|r| r.1).sum();
+        cost.values.push(mean(&costs));
+        cost.std_devs.push(std_dev(&costs));
+        cost.deaths.push(deaths);
+        rescues.values.push(mean(&resc));
+        rescues.std_devs.push(std_dev(&resc));
+        rescues.deaths.push(deaths);
+        downtime.values.push(mean(&down));
+        downtime.std_devs.push(std_dev(&down));
+        downtime.deaths.push(deaths);
+    }
+
+    FigureData {
+        id: ExtensionId::Robustness.id().to_string(),
+        title: ExtensionId::Robustness.title().to_string(),
+        x_label: "expected breakdowns per charger over the horizon".to_string(),
+        xs: intensities.to_vec(),
+        series: vec![cost, rescues, downtime],
+        topologies,
+        seed,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -550,7 +620,30 @@ mod tests {
         assert_eq!(ExtensionId::parse("burst"), Some(ExtensionId::Burst));
         assert_eq!(ExtensionId::parse("min-max"), Some(ExtensionId::MinMax));
         assert_eq!(ExtensionId::parse("range"), Some(ExtensionId::Range));
+        assert_eq!(ExtensionId::parse("robustness"), Some(ExtensionId::Robustness));
+        assert_eq!(ExtensionId::parse("faults"), Some(ExtensionId::Robustness));
         assert_eq!(ExtensionId::parse("x"), None);
+    }
+
+    #[test]
+    fn robustness_sweep_faults_cost_something() {
+        let fd = run_extension(ExtensionId::Robustness, 2, 7);
+        assert_eq!(fd.xs.len(), 5);
+        assert_eq!(fd.series.len(), 3);
+        // Fault-free baseline: no rescues, no downtime.
+        assert_eq!(fd.series[1].values[0], 0.0);
+        assert_eq!(fd.series[2].values[0], 0.0);
+        // At the highest intensity the fault machinery demonstrably runs.
+        assert!(
+            *fd.series[2].values.last().unwrap() > 0.0,
+            "downtime expected: {:?}",
+            fd.series[2].values
+        );
+        // Downtime fraction grows with breakdown intensity.
+        let down = &fd.series[2].values;
+        assert!(down.last().unwrap() > &down[1], "{down:?}");
+        // Costs stay finite and positive throughout.
+        assert!(fd.series[0].values.iter().all(|&c| c.is_finite() && c > 0.0));
     }
 
     #[test]

@@ -1,3 +1,4 @@
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 //! Experiment harness reproducing every figure of Section VII.
 //!
 //! | Id | Paper figure | Sweep | Algorithms |
@@ -27,4 +28,4 @@ pub mod viz;
 pub use ablation::{run_ablation, AblationId};
 pub use extras::{run_extension, ExtensionId};
 pub use figures::{run_figure, FigureData, FigureId, Series};
-pub use scenario::{Algo, CustomExperiment, Deployment, Scenario, Topology};
+pub use scenario::{Algo, CustomExperiment, Deployment, Scenario, ScenarioError, Topology};

@@ -1,3 +1,4 @@
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 //! `perpetuum-exp` — reproduce the figures of the ICPP 2014 paper.
 //!
 //! ```text
@@ -37,7 +38,7 @@ USAGE:
   perpetuum-exp --figure <id>     run one figure (fig1a fig1b fig2a fig2b fig3 fig4 fig5 fig6)
   perpetuum-exp --ablation <id>   run one ablation (rounding | polish | repair | routing)
   perpetuum-exp --extension <id>  run one extension experiment (burst | minmax | range | speed
-                                  | noise | ratio | aging | deploy)
+                                  | noise | ratio | aging | deploy | robustness)
   perpetuum-exp --all             run every figure, ablation and extension
   perpetuum-exp --list            list figure ids and captions
 

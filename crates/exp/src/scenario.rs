@@ -10,8 +10,78 @@ use perpetuum_core::network::Network;
 use perpetuum_energy::CycleDistribution;
 use perpetuum_geom::Point2;
 use perpetuum_geom::{deploy, derived_rng, Field};
-use perpetuum_sim::{run, GreedyPolicy, MtdPolicy, SimConfig, SimResult, VarPolicy, World};
+use perpetuum_sim::{
+    run_with_faults, FaultModel, GreedyPolicy, MtdPolicy, SimConfig, SimResult, VarPolicy, World,
+    WorldError,
+};
 use serde::{Deserialize, Serialize};
+
+/// Why a scenario description is rejected. Every malformed input a user
+/// can reach through `--scenario` JSON surfaces as one of these instead
+/// of a panic deep inside the pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// The JSON itself failed to parse.
+    Json(String),
+    /// A numeric field is NaN or infinite.
+    NonFinite {
+        /// The offending field.
+        field: &'static str,
+        /// Its value.
+        value: f64,
+    },
+    /// A field that must be strictly positive is not.
+    NonPositive {
+        /// The offending field.
+        field: &'static str,
+        /// Its value.
+        value: f64,
+    },
+    /// `q = 0`: an empty depot set can never charge anything.
+    EmptyDepots,
+    /// `n = 0` (or a zero entry in `network_sizes`).
+    NoSensors,
+    /// `τ_max < τ_min`.
+    BadCycleRange {
+        /// Lower bound.
+        tau_min: f64,
+        /// Upper bound.
+        tau_max: f64,
+    },
+    /// The experiment lists no algorithms to compare.
+    NoAlgos,
+    /// World construction rejected the realised topology.
+    World(WorldError),
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::Json(e) => write!(f, "invalid JSON: {e}"),
+            ScenarioError::NonFinite { field, value } => {
+                write!(f, "{field} must be finite, got {value}")
+            }
+            ScenarioError::NonPositive { field, value } => {
+                write!(f, "{field} must be positive, got {value}")
+            }
+            ScenarioError::EmptyDepots => write!(f, "q must be at least 1 (empty depot set)"),
+            ScenarioError::NoSensors => write!(f, "n must be at least 1 (no sensors)"),
+            ScenarioError::BadCycleRange { tau_min, tau_max } => {
+                write!(f, "tau_max {tau_max} is below tau_min {tau_min}")
+            }
+            ScenarioError::NoAlgos => write!(f, "algos must list at least one algorithm"),
+            ScenarioError::World(e) => write!(f, "invalid world: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<WorldError> for ScenarioError {
+    fn from(e: WorldError) -> Self {
+        ScenarioError::World(e)
+    }
+}
 
 /// Which algorithm a run uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -103,6 +173,50 @@ impl Scenario {
         Field::new(self.field_size, self.field_size)
     }
 
+    /// Rejects scenarios that cannot be realised: NaN/non-positive sizes
+    /// and periods, empty sensor or depot sets, inverted cycle ranges,
+    /// degenerate deployments.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        let positive = |field: &'static str, value: f64| -> Result<(), ScenarioError> {
+            if !value.is_finite() {
+                return Err(ScenarioError::NonFinite { field, value });
+            }
+            if value <= 0.0 {
+                return Err(ScenarioError::NonPositive { field, value });
+            }
+            Ok(())
+        };
+        positive("field_size", self.field_size)?;
+        if self.n == 0 {
+            return Err(ScenarioError::NoSensors);
+        }
+        if self.q == 0 {
+            return Err(ScenarioError::EmptyDepots);
+        }
+        positive("tau_min", self.tau_min)?;
+        positive("tau_max", self.tau_max)?;
+        if self.tau_max < self.tau_min {
+            return Err(ScenarioError::BadCycleRange {
+                tau_min: self.tau_min,
+                tau_max: self.tau_max,
+            });
+        }
+        positive("horizon", self.horizon)?;
+        positive("slot", self.slot)?;
+        if let Deployment::Clustered { clusters, spread } = self.deployment {
+            if clusters == 0 {
+                return Err(ScenarioError::NonPositive { field: "clusters", value: 0.0 });
+            }
+            if !spread.is_finite() {
+                return Err(ScenarioError::NonFinite { field: "spread", value: spread });
+            }
+            if spread < 0.0 {
+                return Err(ScenarioError::NonPositive { field: "spread", value: spread });
+            }
+        }
+        Ok(())
+    }
+
     /// Builds topology number `index` for this scenario under `master_seed`.
     ///
     /// Stream layout: sub-stream 0 drives positions, 1 drives cycles, 2
@@ -168,6 +282,19 @@ impl Scenario {
 
     /// Runs one `(algorithm, topology)` pair end to end.
     pub fn run_once(&self, algo: Algo, master_seed: u64, index: u64) -> SimResult {
+        self.run_once_faulted(algo, master_seed, index, &FaultModel::none())
+    }
+
+    /// Like [`Scenario::run_once`] but subjects the run to a fault model
+    /// (the robustness extension's entry point). With [`FaultModel::none`]
+    /// this is bit-identical to [`Scenario::run_once`].
+    pub fn run_once_faulted(
+        &self,
+        algo: Algo,
+        master_seed: u64,
+        index: u64,
+        faults: &FaultModel,
+    ) -> SimResult {
         let topo = self.build_topology(master_seed, index);
         let world = self.build_world(&topo);
         let cfg = SimConfig {
@@ -179,17 +306,17 @@ impl Scenario {
         match algo {
             Algo::Mtd => {
                 let mut p = MtdPolicy::new(&topo.network);
-                run(world, &cfg, &mut p)
+                run_with_faults(world, &cfg, &mut p, faults)
             }
             Algo::MtdVar => {
                 let mut p = VarPolicy::new(&topo.network);
-                let mut r = run(world, &cfg, &mut p);
+                let mut r = run_with_faults(world, &cfg, &mut p, faults);
                 r.replans = p.replans();
                 r
             }
             Algo::Greedy => {
                 let mut p = GreedyPolicy::new(&topo.network, self.tau_min);
-                run(world, &cfg, &mut p)
+                run_with_faults(world, &cfg, &mut p, faults)
             }
         }
     }
@@ -212,9 +339,29 @@ pub struct CustomExperiment {
 }
 
 impl CustomExperiment {
-    /// Parses a JSON description.
-    pub fn from_json(text: &str) -> Result<Self, String> {
-        serde_json::from_str(text).map_err(|e| e.to_string())
+    /// Parses and validates a JSON description. Malformed JSON and
+    /// unrealisable scenarios (NaN/negative sizes, `q = 0`, inverted
+    /// cycle ranges, no algorithms…) come back as a typed
+    /// [`ScenarioError`] instead of a panic later in the pipeline.
+    pub fn from_json(text: &str) -> Result<Self, ScenarioError> {
+        let exp: Self =
+            serde_json::from_str(text).map_err(|e| ScenarioError::Json(e.to_string()))?;
+        exp.validate()?;
+        Ok(exp)
+    }
+
+    /// Structural validation: the scenario must be realisable, at least
+    /// one algorithm must be listed, and every swept network size must be
+    /// non-zero.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        self.scenario.validate()?;
+        if self.algos.is_empty() {
+            return Err(ScenarioError::NoAlgos);
+        }
+        if self.network_sizes.contains(&0) {
+            return Err(ScenarioError::NoSensors);
+        }
+        Ok(())
     }
 
     /// Runs the experiment, averaging each point over `topologies`
@@ -354,7 +501,10 @@ mod tests {
             "algos": ["Mtd", "Greedy"],
             "network_sizes": [10, 20]
         }"#;
-        let exp = CustomExperiment::from_json(json).unwrap();
+        let exp = match CustomExperiment::from_json(json) {
+            Ok(e) => e,
+            Err(e) => panic!("valid scenario rejected: {e}"),
+        };
         assert_eq!(exp.algos.len(), 2);
         let fd = exp.run(2, 5);
         assert_eq!(fd.xs, vec![10.0, 20.0]);
@@ -363,7 +513,70 @@ mod tests {
         // MTD wins under the linear distribution here too.
         assert!(fd.series[0].values[1] < fd.series[1].values[1]);
         // Bad JSON reports an error instead of panicking.
-        assert!(CustomExperiment::from_json("{").is_err());
+        assert!(matches!(CustomExperiment::from_json("{"), Err(ScenarioError::Json(_))));
+    }
+
+    #[test]
+    fn malformed_scenarios_are_rejected_with_typed_errors() {
+        let base = Scenario { n: 10, ..Scenario::paper_fixed() };
+        assert_eq!(base.validate(), Ok(()));
+        assert_eq!(Scenario { q: 0, ..base }.validate(), Err(ScenarioError::EmptyDepots));
+        assert_eq!(Scenario { n: 0, ..base }.validate(), Err(ScenarioError::NoSensors));
+        assert_eq!(
+            Scenario { field_size: -10.0, ..base }.validate(),
+            Err(ScenarioError::NonPositive { field: "field_size", value: -10.0 })
+        );
+        assert!(matches!(
+            Scenario { horizon: f64::NAN, ..base }.validate(),
+            Err(ScenarioError::NonFinite { field: "horizon", .. })
+        ));
+        assert_eq!(
+            Scenario { tau_min: 5.0, tau_max: 2.0, ..base }.validate(),
+            Err(ScenarioError::BadCycleRange { tau_min: 5.0, tau_max: 2.0 })
+        );
+        assert_eq!(
+            Scenario { slot: 0.0, ..base }.validate(),
+            Err(ScenarioError::NonPositive { field: "slot", value: 0.0 })
+        );
+        assert!(matches!(
+            Scenario { deployment: Deployment::Clustered { clusters: 0, spread: 1.0 }, ..base }
+                .validate(),
+            Err(ScenarioError::NonPositive { field: "clusters", .. })
+        ));
+        // Errors print actionable diagnostics.
+        let msg = ScenarioError::BadCycleRange { tau_min: 5.0, tau_max: 2.0 }.to_string();
+        assert!(msg.contains("tau_max 2"), "{msg}");
+    }
+
+    #[test]
+    fn from_json_rejects_unrealisable_scenarios() {
+        // Parses fine, but q = 0 can never charge anything.
+        let json = r#"{
+            "name": "bad", "scenario": {
+                "field_size": 1000.0, "n": 10, "q": 0,
+                "tau_min": 1.0, "tau_max": 20.0,
+                "dist": { "Linear": { "sigma": 2.0 } },
+                "horizon": 50.0, "slot": 10.0,
+                "variable": false, "deployment": "Uniform"
+            },
+            "algos": ["Mtd"]
+        }"#;
+        assert_eq!(CustomExperiment::from_json(json).unwrap_err(), ScenarioError::EmptyDepots);
+        // An empty algorithm list is an error too.
+        let no_algos = json.replace(r#""q": 0"#, r#""q": 3"#).replace(r#"["Mtd"]"#, "[]");
+        assert_eq!(CustomExperiment::from_json(&no_algos).unwrap_err(), ScenarioError::NoAlgos);
+    }
+
+    #[test]
+    fn run_once_faulted_none_matches_run_once() {
+        let s = Scenario { n: 12, horizon: 80.0, ..Scenario::paper_fixed() };
+        let plain = s.run_once(Algo::Mtd, 9, 0);
+        let faulted = s.run_once_faulted(Algo::Mtd, 9, 0, &FaultModel::none());
+        assert_eq!(plain, faulted);
+        // A breakdown-heavy model changes the outcome and records faults.
+        let fm = FaultModel::none().with_breakdowns(20.0, 30.0).with_seed(1);
+        let broken = s.run_once_faulted(Algo::Mtd, 9, 0, &fm);
+        assert!(broken.faults.breakdowns > 0);
     }
 
     #[test]

@@ -252,7 +252,12 @@ impl EnergyCore {
 
     /// Recharges sensor `i` to full at time `t`: bumps its stamp (stale
     /// predictions die) and pushes fresh death/urgency predictions.
-    pub(crate) fn charge(&mut self, i: usize, t: f64) {
+    ///
+    /// Returns how long the sensor had been dead when this charge revived
+    /// it (`None` for a live sensor) — the engine's deadline-miss and
+    /// dead-sensor-time accounting.
+    pub(crate) fn charge(&mut self, i: usize, t: f64) -> Option<f64> {
+        let dead_for = if self.dead[i] { Some(t - self.touch[i]) } else { None };
         self.batteries[i].charge_full();
         self.capacities[i] = self.batteries[i].capacity();
         self.touch[i] = t;
@@ -262,20 +267,35 @@ impl EnergyCore {
         if let Some(dt) = self.urgency_for {
             self.push_urgency(i, dt);
         }
+        dead_for
+    }
+
+    /// Charge stamp of sensor `i` — bumped by every charge; the recovery
+    /// pool uses it to detect orphans healed by an ordinary dispatch.
+    pub(crate) fn stamp_of(&self, i: usize) -> u64 {
+        self.stamp[i]
+    }
+
+    /// Summed remaining dead time at the horizon: for every sensor still
+    /// dead, the span from its depletion instant (its touch point — set by
+    /// [`Self::pop_deaths`]) to the horizon.
+    pub(crate) fn dead_tail(&self, horizon: f64) -> f64 {
+        (0..self.n()).filter(|&i| self.dead[i]).map(|i| (horizon - self.touch[i]).max(0.0)).sum()
     }
 
     /// The polling predicate of the dense engine, verbatim: estimated
     /// residual lifetime `level(t)/max(ρ̂, ρ_rep) ≤ dt + 1e-9`. (A zero
     /// safe rate yields `∞` or `NaN` — both compare false, exactly as the
     /// full-observation path behaves.)
-    fn is_urgent(&self, i: usize, t: f64, dt: f64) -> bool {
+    pub(crate) fn is_urgent(&self, i: usize, t: f64, dt: f64) -> bool {
         let rate_safe = self.rho_hat[i].max(self.reported[i]);
         self.peek(i, t) / rate_safe <= dt + 1e-9
     }
 
     /// Time at which sensor `i` first satisfies [`Self::is_urgent`],
-    /// assuming the current slot's rates persist.
-    fn urgency_key(&self, i: usize, dt: f64) -> f64 {
+    /// assuming the current slot's rates persist. Also the recovery
+    /// pool's prediction of when a pooled orphan turns urgent.
+    pub(crate) fn urgency_key(&self, i: usize, dt: f64) -> f64 {
         let rate_safe = self.rho_hat[i].max(self.reported[i]);
         let slack = (dt + 1e-9) * rate_safe;
         let r = self.rates[i];
@@ -423,6 +443,20 @@ mod tests {
         c.pop_deaths(10.0, |s, t| seen.push((s, t)));
         assert_eq!(seen.len(), 1);
         assert!((seen[0].1 - 3.0).abs() < 1e-9, "death re-predicted from the charge");
+    }
+
+    #[test]
+    fn charge_reports_dead_duration_and_dead_tail_sums() {
+        let mut c = core(&[0.5, 0.1]);
+        c.begin_slot(100.0);
+        c.pop_deaths(7.0, |_, _| {}); // sensor 0 dies at t = 2
+        assert_eq!(c.stamp_of(0), 0);
+        assert!((c.dead_tail(10.0) - 8.0).abs() < 1e-9);
+        let revived = c.charge(0, 5.0).expect("was dead");
+        assert!((revived - 3.0).abs() < 1e-9);
+        assert_eq!(c.stamp_of(0), 1);
+        assert_eq!(c.dead_tail(10.0), 0.0);
+        assert_eq!(c.charge(1, 5.0), None, "live sensor charges report no dead time");
     }
 
     #[test]

@@ -36,8 +36,22 @@
 //! "several orders of magnitude" shorter than sensor lifetimes; this mode
 //! lets the `speed` extension experiment measure exactly where that
 //! argument breaks (deaths appear as speed drops).
+//!
+//! # Fault injection
+//!
+//! [`run_with_faults`] merges a fourth event source into the stream: the
+//! seeded fault process of a [`FaultModel`] (charger phase transitions and
+//! recovery evaluations — see [`crate::faults`]). A down charger's tours
+//! are skipped at dispatch time and its in-transit stops are cancelled;
+//! the orphaned sensors are pooled and, once urgent, re-planned onto the
+//! surviving depots ([`perpetuum_core::recovery::degraded_tour_set`]) as
+//! an emergency dispatch, with bounded exponential backoff while no
+//! charger is up. With [`FaultModel::none`] the fault path is never
+//! entered — no fault RNG is even constructed — so [`run`] and fault-free
+//! [`run_with_faults`] runs are bit-identical.
 
 use crate::energy_core::EnergyCore;
+use crate::faults::{FaultModel, FaultState};
 use crate::metrics::{DeathEvent, SimResult};
 use crate::policy::{ChargingPolicy, CheckContext, PlanUpdate};
 use crate::trace::{SimTrace, TraceEvent};
@@ -57,6 +71,9 @@ pub(crate) struct ChargeArrival {
     pub(crate) time: f64,
     pub(crate) sensor: usize,
     pub(crate) dispatched_at: f64,
+    /// The charger (depot index) carrying this stop — a breakdown cancels
+    /// its still-travelling arrivals.
+    pub(crate) charger: usize,
 }
 
 impl Eq for ChargeArrival {}
@@ -99,7 +116,7 @@ impl SimConfig {
 ///
 /// The world is consumed (batteries and rate processes are stateful).
 pub fn run<P: ChargingPolicy>(world: World, cfg: &SimConfig, policy: &mut P) -> SimResult {
-    run_inner(world, cfg, policy, None)
+    run_inner(world, cfg, policy, None, &FaultModel::none())
 }
 
 /// Like [`run`], additionally recording every simulation event.
@@ -109,7 +126,35 @@ pub fn run_traced<P: ChargingPolicy>(
     policy: &mut P,
 ) -> (SimResult, SimTrace) {
     let mut trace = SimTrace::default();
-    let result = run_inner(world, cfg, policy, Some(&mut trace));
+    let result = run_inner(world, cfg, policy, Some(&mut trace), &FaultModel::none());
+    (result, trace)
+}
+
+/// Like [`run`], with the fault process of `faults` merged into the event
+/// stream. With [`FaultModel::none`] this is bit-identical to [`run`].
+///
+/// # Panics
+///
+/// Panics when `faults` has invalid parameters ([`FaultModel::validate`]).
+pub fn run_with_faults<P: ChargingPolicy>(
+    world: World,
+    cfg: &SimConfig,
+    policy: &mut P,
+    faults: &FaultModel,
+) -> SimResult {
+    run_inner(world, cfg, policy, None, faults)
+}
+
+/// Like [`run_with_faults`], additionally recording every simulation
+/// event (fault events included).
+pub fn run_with_faults_traced<P: ChargingPolicy>(
+    world: World,
+    cfg: &SimConfig,
+    policy: &mut P,
+    faults: &FaultModel,
+) -> (SimResult, SimTrace) {
+    let mut trace = SimTrace::default();
+    let result = run_inner(world, cfg, policy, Some(&mut trace), faults);
     (result, trace)
 }
 
@@ -118,6 +163,7 @@ fn run_inner<P: ChargingPolicy>(
     cfg: &SimConfig,
     policy: &mut P,
     mut trace: Option<&mut SimTrace>,
+    faults: &FaultModel,
 ) -> SimResult {
     assert!(cfg.horizon > 0.0, "horizon must be positive");
     assert!(cfg.slot > 0.0, "slot must be positive");
@@ -147,8 +193,22 @@ fn run_inner<P: ChargingPolicy>(
             }
         }
     };
-    let rates: Vec<f64> =
-        world.processes.iter_mut().map(|p| p.rate_for_slot(0, &mut rng)).collect();
+    // Fault process state — `None` (and therefore zero extra RNG draws,
+    // preserving bit-identity with the fault-free engine) unless the model
+    // enables at least one fault kind.
+    let mut fstate: Option<FaultState> = FaultState::new(faults, q, n, cfg.seed);
+    let rates: Vec<f64> = world
+        .processes
+        .iter_mut()
+        .enumerate()
+        .map(|(i, p)| {
+            let r = p.rate_for_slot(0, &mut rng);
+            match fstate.as_mut() {
+                Some(fs) => fs.transform_rate(i, r),
+                None => r,
+            }
+        })
+        .collect();
     let reported: Vec<f64> = rates.iter().map(|&r| measure(r)).collect();
     let mut predictors: Vec<EwmaPredictor> =
         reported.iter().map(|&r| EwmaPredictor::new(world.gamma, r)).collect();
@@ -208,6 +268,7 @@ fn run_inner<P: ChargingPolicy>(
                 &mut arrivals,
                 &mut busy_until,
                 trace.as_deref_mut(),
+                fstate.as_mut(),
             )
         };
     }
@@ -251,6 +312,12 @@ fn run_inner<P: ChargingPolicy>(
                 tn = a.time;
             }
         }
+        if let Some(fs) = fstate.as_ref() {
+            let f = fs.next_event();
+            if f < tn {
+                tn = f;
+            }
+        }
 
         // Deaths strictly inside [t, tn): the heap's strict `key < tn`
         // pop mirrors the dense sweep's per-segment crossing test, so a
@@ -273,7 +340,10 @@ fn run_inner<P: ChargingPolicy>(
                 break;
             }
             let a = arrivals.pop().expect("peeked").0;
-            core.charge(a.sensor, a.time);
+            if let Some(dead_for) = core.charge(a.sensor, a.time) {
+                result.faults.deadline_misses += 1;
+                result.faults.dead_sensor_time += dead_for;
+            }
             result.charges += 1;
             result.charge_log[a.sensor].push(a.time);
             if let Some(tr) = trace.as_deref_mut() {
@@ -284,15 +354,77 @@ fn run_inner<P: ChargingPolicy>(
             result.max_charge_delay = result.max_charge_delay.max(delay);
         }
 
+        // Charger breakdowns / repairs due at t. A breakdown aborts the
+        // charger's in-transit stops (travel-time mode); the cancelled
+        // sensors join the orphan pool. A repair wakes the recovery
+        // planner so a waiting pool can be served immediately.
+        if let Some(fs) = fstate.as_mut() {
+            while let Some(l) = fs.pop_due_transition(t) {
+                if fs.up[l] {
+                    fs.breakdown(l, t);
+                    result.faults.breakdowns += 1;
+                    if let Some(tr) = trace.as_deref_mut() {
+                        tr.events.push(TraceEvent::ChargerDown { time: t, charger: l });
+                    }
+                    if cfg.charger_speed.is_some() {
+                        let mut kept = Vec::with_capacity(arrivals.len());
+                        let mut cancelled: Vec<usize> = Vec::new();
+                        for Reverse(a) in arrivals.drain() {
+                            if a.charger == l && a.time > t {
+                                cancelled.push(a.sensor);
+                            } else {
+                                kept.push(Reverse(a));
+                            }
+                        }
+                        arrivals.extend(kept);
+                        busy_until[l] = t;
+                        if !cancelled.is_empty() {
+                            cancelled.sort_unstable();
+                            result.faults.orphaned_charges += cancelled.len();
+                            if let Some(tr) = trace.as_deref_mut() {
+                                tr.events.push(TraceEvent::TourAborted {
+                                    time: t,
+                                    charger: l,
+                                    orphans: cancelled.len(),
+                                });
+                            }
+                            for s in cancelled {
+                                let stamp = core.stamp_of(s);
+                                fs.add_orphan(s, t, stamp);
+                            }
+                        }
+                    }
+                } else {
+                    let down_for = fs.repair(l, t);
+                    result.faults.repairs += 1;
+                    if let Some(tr) = trace.as_deref_mut() {
+                        tr.events.push(TraceEvent::ChargerRepaired {
+                            time: t,
+                            charger: l,
+                            downtime: down_for,
+                        });
+                    }
+                    fs.request_recovery(t);
+                }
+            }
+        }
+
         if t == next_slot {
             // The old rates apply up to the boundary; settle before
             // resampling (this is the slot's one O(n) pass).
             core.settle_all(t);
             for (i, p) in world.processes.iter_mut().enumerate() {
-                let r = p.rate_for_slot(slot_idx, &mut rng);
+                let mut r = p.rate_for_slot(slot_idx, &mut rng);
+                if let Some(fs) = fstate.as_mut() {
+                    r = fs.transform_rate(i, r);
+                }
                 let rep = measure(r);
                 predictors[i].observe(rep);
                 core.set_slot_rate(i, r, rep, predictors[i].predicted_rate());
+            }
+            // New rates can move orphan urgency crossings; re-evaluate.
+            if let Some(fs) = fstate.as_mut() {
+                fs.request_recovery(t);
             }
             if let Some(tr) = trace.as_deref_mut() {
                 tr.events.push(TraceEvent::SlotBoundary { time: t, slot: slot_idx });
@@ -330,9 +462,136 @@ fn run_inner<P: ChargingPolicy>(
             execute!(set, t);
             dptr += 1;
         }
+
+        // Recovery evaluation runs last so orphans created earlier in this
+        // very instant (breakdown aborts, skipped tours) are considered.
+        if let Some(fs) = fstate.as_mut() {
+            if fs.next_recovery() <= t {
+                recover(
+                    fs,
+                    t,
+                    &world,
+                    &mut core,
+                    &mut result,
+                    cfg,
+                    &mut arrivals,
+                    &mut busy_until,
+                    trace.as_deref_mut(),
+                );
+            }
+        }
+    }
+
+    if let Some(fs) = &fstate {
+        result.faults.per_charger_downtime = fs.downtime_at(cfg.horizon);
+        // Sensors that never recovered keep bleeding dead time until the
+        // horizon.
+        result.faults.dead_sensor_time += core.dead_tail(cfg.horizon);
     }
 
     result
+}
+
+/// How far past `t` the recovery planner schedules its next look at a
+/// non-urgent orphan pool, at minimum — keeps the event loop strictly
+/// advancing even when an urgency crossing rounds to "now".
+const RECOVERY_REEVAL_EPS: f64 = 1e-9;
+
+/// One recovery evaluation at time `t`: drop orphans that an ordinary
+/// charge already healed, serve the urgent remainder via an emergency
+/// scheduling over the surviving depots, or — with every charger down —
+/// back off exponentially until the retry budget runs out.
+#[allow(clippy::too_many_arguments)]
+fn recover(
+    fs: &mut FaultState,
+    t: f64,
+    world: &World,
+    core: &mut EnergyCore,
+    result: &mut SimResult,
+    cfg: &SimConfig,
+    arrivals: &mut BinaryHeap<Reverse<ChargeArrival>>,
+    busy_until: &mut [f64],
+    mut trace: Option<&mut SimTrace>,
+) {
+    // An orphan whose energy stamp moved was recharged through a normal
+    // dispatch since it was pooled — nothing left to rescue.
+    fs.retain_orphans(|o| core.stamp_of(o.sensor) == o.stamp);
+    if !fs.has_orphans() {
+        fs.set_next_recovery(f64::INFINITY);
+        fs.attempt = 0;
+        return;
+    }
+    let window = fs.model.recovery.urgency_window;
+    // `urgency_key <= t` catches crossings that float rounding keeps just
+    // outside `is_urgent`'s slack — without it the planner could reschedule
+    // itself in EPS-sized steps.
+    let urgent_idx: Vec<usize> = (0..fs.orphans().len())
+        .filter(|&k| {
+            let s = fs.orphans()[k].sensor;
+            core.is_urgent(s, t, window) || core.urgency_key(s, window) <= t
+        })
+        .collect();
+    let reschedule = |fs: &mut FaultState, core: &EnergyCore| {
+        if fs.has_orphans() {
+            let next = fs
+                .orphans()
+                .iter()
+                .map(|o| core.urgency_key(o.sensor, window))
+                .fold(f64::INFINITY, f64::min);
+            fs.set_next_recovery(next.max(t + RECOVERY_REEVAL_EPS));
+        } else {
+            fs.set_next_recovery(f64::INFINITY);
+        }
+    };
+    if urgent_idx.is_empty() {
+        fs.attempt = 0;
+        reschedule(fs, core);
+        return;
+    }
+    if !fs.any_up() {
+        if fs.attempt >= fs.model.recovery.max_retries {
+            // Retry budget exhausted: abandon the urgent orphans (they die
+            // or survive on their own); the rest of the pool keeps its
+            // schedule.
+            result.faults.recovery_giveups += urgent_idx.len();
+            fs.remove_orphans(&urgent_idx);
+            fs.attempt = 0;
+            reschedule(fs, core);
+        } else {
+            fs.attempt += 1;
+            let wait = fs.model.recovery.backoff * f64::powi(2.0, (fs.attempt - 1) as i32);
+            result.faults.recovery_retries += 1;
+            if let Some(tr) = trace.as_deref_mut() {
+                tr.events.push(TraceEvent::RecoveryRetry { time: t, attempt: fs.attempt, wait });
+            }
+            fs.set_next_recovery(t + wait);
+        }
+        return;
+    }
+    // Emergency dispatch: re-plan the urgent orphans onto the surviving
+    // depot subset and execute the degraded scheduling right now.
+    let mut sensors: Vec<usize> = urgent_idx.iter().map(|&k| fs.orphans()[k].sensor).collect();
+    sensors.sort_unstable();
+    let set = perpetuum_core::recovery::degraded_tour_set(&world.network, &sensors, &fs.up, 0)
+        .expect("a surviving charger exists");
+    if let Some(tr) = trace.as_deref_mut() {
+        tr.events.push(TraceEvent::EmergencyDispatch {
+            time: t,
+            sensors: sensors.len(),
+            cost: set.cost(),
+        });
+    }
+    result.faults.emergency_dispatches += 1;
+    result.faults.recovered_orphans += urgent_idx.len();
+    for &k in &urgent_idx {
+        let latency = t - fs.orphans()[k].since;
+        result.faults.total_recovery_latency += latency;
+        result.faults.max_recovery_latency = result.faults.max_recovery_latency.max(latency);
+    }
+    fs.remove_orphans(&urgent_idx);
+    fs.attempt = 0;
+    execute(&set, t, world, core, result, cfg.charger_speed, arrivals, busy_until, trace, Some(fs));
+    reschedule(fs, core);
 }
 
 /// Executes one charging scheduling at time `t`. With a charger speed,
@@ -342,6 +601,10 @@ fn run_inner<P: ChargingPolicy>(
 /// lengths come from the [`TourSet`] cache; the network's distance source
 /// is only consulted for travel-time prefixes, so in-sim dispatching
 /// never needs (or builds) a dense matrix on sparse networks.
+/// With fault state present, tours of down chargers are skipped (their
+/// sensors join the orphan pool) and only the executed tours' costs are
+/// charged; with every charger up the per-tour accumulation reproduces
+/// `set.cost()` bit for bit, so the fault-free path is unchanged.
 #[allow(clippy::too_many_arguments)]
 fn execute(
     set: &TourSet,
@@ -353,6 +616,7 @@ fn execute(
     arrivals: &mut BinaryHeap<Reverse<ChargeArrival>>,
     busy_until: &mut [f64],
     mut trace: Option<&mut SimTrace>,
+    mut faults: Option<&mut FaultState>,
 ) {
     if let Some(tr) = trace.as_deref_mut() {
         tr.events.push(TraceEvent::Dispatch {
@@ -361,16 +625,43 @@ fn execute(
             cost: set.cost(),
         });
     }
-    result.service_cost += set.cost();
     result.dispatches += 1;
-    result.max_dispatch_cost = result.max_dispatch_cost.max(set.cost());
     let n = world.n();
     let src = world.network.dist_source();
+    // One travel-speed draw per executed dispatch (travel-time mode with
+    // speed faults only).
+    let speed = match (charger_speed, faults.as_deref_mut()) {
+        (Some(s), Some(fs)) => Some(s * fs.speed_factor()),
+        (s, _) => s,
+    };
+    let mut exec_cost = 0.0;
+    let mut skipped: Vec<usize> = Vec::new();
     for (l, tour) in set.tours().iter().enumerate() {
         let len = set.tour_lengths()[l];
+        if let Some(fs) = faults.as_deref_mut() {
+            if !fs.up[l] && tour.len() >= 2 {
+                result.faults.aborted_tours += 1;
+                result.faults.orphaned_charges += tour.len() - 1;
+                if let Some(tr) = trace.as_deref_mut() {
+                    tr.events.push(TraceEvent::TourAborted {
+                        time: t,
+                        charger: l,
+                        orphans: tour.len() - 1,
+                    });
+                }
+                for &s in &tour.nodes()[1..] {
+                    debug_assert!(s < n, "tours visit the depot only first");
+                    let stamp = core.stamp_of(s);
+                    fs.add_orphan(s, t, stamp);
+                    skipped.push(s);
+                }
+                continue;
+            }
+        }
+        exec_cost += len;
         result.per_charger_distance[l] += len;
         result.max_tour_length = result.max_tour_length.max(len);
-        if let Some(speed) = charger_speed {
+        if let Some(speed) = speed {
             if tour.len() < 2 {
                 continue;
             }
@@ -385,15 +676,25 @@ fn execute(
                     time: depart + prefix / speed,
                     sensor,
                     dispatched_at: t,
+                    charger: l,
                 }));
             }
             busy_until[l] = depart + len / speed;
         }
     }
+    result.service_cost += exec_cost;
+    result.max_dispatch_cost = result.max_dispatch_cost.max(exec_cost);
     if charger_speed.is_none() {
+        skipped.sort_unstable();
         for &node in set.sensors() {
             debug_assert!(node < n, "tour sets must only list sensor nodes");
-            core.charge(node, t);
+            if skipped.binary_search(&node).is_ok() {
+                continue;
+            }
+            if let Some(dead_for) = core.charge(node, t) {
+                result.faults.deadline_misses += 1;
+                result.faults.dead_sensor_time += dead_for;
+            }
             result.charges += 1;
             result.charge_log[node].push(t);
             if let Some(tr) = trace.as_deref_mut() {

@@ -1,0 +1,474 @@
+//! Deterministic, seeded fault injection.
+//!
+//! A [`FaultModel`] describes the adverse conditions a run is subjected
+//! to, all driven from one dedicated RNG stream (separate from the rate
+//! and noise streams, so enabling faults never perturbs the nominal
+//! draws — and [`FaultModel::none`] makes *zero* extra draws, keeping
+//! fault-free runs bit-identical to [`crate::engine::run`]):
+//!
+//! * **charger breakdowns** — each charger alternates up/down phases with
+//!   exponentially distributed durations (seeded MTBF/MTTR draws). A
+//!   breakdown aborts the charger's in-transit stops (travel-time mode)
+//!   and every later dispatch skips its tour, orphaning the covered
+//!   sensors;
+//! * **rate shocks/drift** — [`perpetuum_energy::shock::RateShock`]
+//!   transforms every freshly resampled consumption rate at slot
+//!   boundaries;
+//! * **travel-speed perturbation** — in travel-time mode each dispatch
+//!   draws a speed factor from `U[1 − jitter, 1 + jitter]`.
+//!
+//! Orphaned sensors enter a recovery pool. When one becomes *urgent*
+//! (estimated residual lifetime within [`RecoveryConfig::urgency_window`])
+//! the engine plans an emergency scheduling over the surviving depots via
+//! [`perpetuum_core::recovery::degraded_tour_set`]; while no charger is
+//! up, recovery retries under bounded exponential backoff
+//! ([`RecoveryConfig::max_retries`], [`RecoveryConfig::backoff`]) before
+//! giving the orphans up. See DESIGN.md "Fault model and recovery".
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub use perpetuum_energy::shock::RateShock;
+use perpetuum_energy::shock::ShockState;
+
+/// Stream separator for the fault RNG: guarantees the fault stream never
+/// collides with the rate stream (`seed`) or the measurement-noise stream
+/// (`seed ^ 0x9E37…`) for any seed pair.
+const FAULT_STREAM_SALT: u64 = 0xD6E8_FEB8_6659_FD93;
+
+/// Charger breakdown/repair process: alternating up and down phases with
+/// exponentially distributed durations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChargerFaults {
+    /// Mean time between failures (mean up-phase duration).
+    pub mtbf: f64,
+    /// Mean time to repair (mean down-phase duration).
+    pub mttr: f64,
+}
+
+/// Travel-speed perturbation (travel-time mode only): each dispatch's
+/// effective speed is `nominal · u`, `u ~ U[1 − jitter, 1 + jitter]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeedFaults {
+    /// Relative jitter, in `[0, 1)`.
+    pub jitter: f64,
+}
+
+/// Degraded-mode recovery parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryConfig {
+    /// An orphan whose estimated residual lifetime drops to this window
+    /// triggers an emergency dispatch (same residual estimate as the
+    /// greedy policy's urgency test).
+    pub urgency_window: f64,
+    /// Bounded retry while no charger is up: after this many consecutive
+    /// failed attempts the currently urgent orphans are given up.
+    pub max_retries: u32,
+    /// Base backoff delay; attempt `k` (1-based) waits `backoff · 2^(k−1)`.
+    pub backoff: f64,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        Self { urgency_window: 1.0, max_retries: 5, backoff: 0.5 }
+    }
+}
+
+/// The full fault-injection configuration of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultModel {
+    /// Charger breakdown/repair process (`None` disables).
+    pub chargers: Option<ChargerFaults>,
+    /// Consumption-rate shocks and drift (`None` disables).
+    pub rates: Option<RateShock>,
+    /// Travel-speed perturbation (`None` disables; ignored without a
+    /// charger speed).
+    pub speed: Option<SpeedFaults>,
+    /// Degraded-mode recovery parameters.
+    pub recovery: RecoveryConfig,
+    /// Fault-stream seed, combined with the engine seed — two runs with
+    /// the same engine seed can still draw different fault histories.
+    pub seed: u64,
+}
+
+impl FaultModel {
+    /// No faults at all: the engine takes the exact pre-fault code path
+    /// and produces bit-identical results to [`crate::engine::run`].
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// True when every fault source is disabled.
+    pub fn is_none(&self) -> bool {
+        self.chargers.is_none() && self.rates.is_none() && self.speed.is_none()
+    }
+
+    /// Enables charger breakdowns. Builder-style.
+    pub fn with_breakdowns(mut self, mtbf: f64, mttr: f64) -> Self {
+        self.chargers = Some(ChargerFaults { mtbf, mttr });
+        self
+    }
+
+    /// Enables rate shocks/drift. Builder-style.
+    pub fn with_rate_shocks(mut self, shock: RateShock) -> Self {
+        self.rates = Some(shock);
+        self
+    }
+
+    /// Enables travel-speed jitter. Builder-style.
+    pub fn with_speed_jitter(mut self, jitter: f64) -> Self {
+        self.speed = Some(SpeedFaults { jitter });
+        self
+    }
+
+    /// Sets the recovery parameters. Builder-style.
+    pub fn with_recovery(mut self, recovery: RecoveryConfig) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Sets the fault-stream seed. Builder-style.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Checks every enabled fault source's parameters; returns a
+    /// description of the first offending field otherwise.
+    pub fn validate(&self) -> Result<(), String> {
+        if let Some(c) = &self.chargers {
+            if !(c.mtbf.is_finite() && c.mtbf > 0.0) {
+                return Err(format!("mtbf {} must be positive and finite", c.mtbf));
+            }
+            if !(c.mttr.is_finite() && c.mttr > 0.0) {
+                return Err(format!("mttr {} must be positive and finite", c.mttr));
+            }
+        }
+        if let Some(r) = &self.rates {
+            r.validate()?;
+        }
+        if let Some(s) = &self.speed {
+            if !(0.0..1.0).contains(&s.jitter) {
+                return Err(format!("speed jitter {} outside [0, 1)", s.jitter));
+            }
+        }
+        let rc = &self.recovery;
+        if !(rc.urgency_window.is_finite() && rc.urgency_window > 0.0) {
+            return Err(format!(
+                "urgency_window {} must be positive and finite",
+                rc.urgency_window
+            ));
+        }
+        if !(rc.backoff.is_finite() && rc.backoff > 0.0) {
+            return Err(format!("backoff {} must be positive and finite", rc.backoff));
+        }
+        Ok(())
+    }
+}
+
+/// An orphaned sensor awaiting recovery: its aborted stop was detected at
+/// `since`; `stamp` is the sensor's charge stamp at that instant — a later
+/// charge (by any path) bumps the stamp, healing the orphan.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Orphan {
+    pub(crate) sensor: usize,
+    pub(crate) since: f64,
+    pub(crate) stamp: u64,
+}
+
+/// Engine-internal mutable fault state: the fault RNG, per-charger phase
+/// machine, per-sensor shock machines and the orphan recovery pool.
+#[derive(Debug)]
+pub(crate) struct FaultState {
+    pub(crate) model: FaultModel,
+    rng: StdRng,
+    /// `up[l]` — charger `l` is operational.
+    pub(crate) up: Vec<bool>,
+    /// Absolute time of charger `l`'s next phase transition (`∞` when
+    /// breakdowns are disabled).
+    next_transition: Vec<f64>,
+    /// Start of the current down phase (valid while `!up[l]`).
+    down_since: Vec<f64>,
+    /// Accumulated completed downtime per charger.
+    pub(crate) downtime: Vec<f64>,
+    /// Per-sensor shock machines (empty when rate faults are disabled).
+    shocks: Vec<ShockState>,
+    orphans: Vec<Orphan>,
+    /// Next recovery-evaluation time (`∞` when the pool is empty and no
+    /// retry is pending).
+    next_recovery: f64,
+    /// Consecutive failed recovery attempts while no charger is up.
+    pub(crate) attempt: u32,
+}
+
+impl FaultState {
+    /// Builds the state, or `None` when the model disables everything —
+    /// the disabled path must construct no RNG and draw nothing.
+    ///
+    /// # Panics
+    /// Panics when the model's parameters fail [`FaultModel::validate`].
+    pub(crate) fn new(model: &FaultModel, q: usize, n: usize, engine_seed: u64) -> Option<Self> {
+        if model.is_none() {
+            return None;
+        }
+        if let Err(e) = model.validate() {
+            panic!("invalid fault model: {e}");
+        }
+        let mut rng = StdRng::seed_from_u64(engine_seed ^ model.seed ^ FAULT_STREAM_SALT);
+        let next_transition = if let Some(c) = &model.chargers {
+            (0..q).map(|_| exp_draw(&mut rng, c.mtbf)).collect()
+        } else {
+            vec![f64::INFINITY; q]
+        };
+        let shocks = if model.rates.is_some() { vec![ShockState::new(); n] } else { Vec::new() };
+        Some(Self {
+            model: *model,
+            rng,
+            up: vec![true; q],
+            next_transition,
+            down_since: vec![0.0; q],
+            downtime: vec![0.0; q],
+            shocks,
+            orphans: Vec::new(),
+            next_recovery: f64::INFINITY,
+            attempt: 0,
+        })
+    }
+
+    /// Earliest pending fault event (phase transition or recovery
+    /// evaluation).
+    pub(crate) fn next_event(&self) -> f64 {
+        let t = self.next_transition.iter().copied().fold(f64::INFINITY, f64::min);
+        t.min(self.next_recovery)
+    }
+
+    /// The charger with the earliest transition due at or before `t`
+    /// (ties broken by index), if any.
+    pub(crate) fn pop_due_transition(&mut self, t: f64) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (l, &tt) in self.next_transition.iter().enumerate() {
+            if tt <= t && best.is_none_or(|b| tt < self.next_transition[b]) {
+                best = Some(l);
+            }
+        }
+        best
+    }
+
+    /// Transitions charger `l` down at `t` and draws its repair time.
+    pub(crate) fn breakdown(&mut self, l: usize, t: f64) {
+        debug_assert!(self.up[l]);
+        let mttr = self.model.chargers.expect("transition without charger faults").mttr;
+        self.up[l] = false;
+        self.down_since[l] = t;
+        self.next_transition[l] = t + exp_draw(&mut self.rng, mttr);
+    }
+
+    /// Transitions charger `l` up at `t` and draws its next failure time.
+    pub(crate) fn repair(&mut self, l: usize, t: f64) -> f64 {
+        debug_assert!(!self.up[l]);
+        let mtbf = self.model.chargers.expect("transition without charger faults").mtbf;
+        self.up[l] = true;
+        let down_for = t - self.down_since[l];
+        self.downtime[l] += down_for;
+        self.next_transition[l] = t + exp_draw(&mut self.rng, mtbf);
+        down_for
+    }
+
+    /// True when at least one charger is operational.
+    pub(crate) fn any_up(&self) -> bool {
+        self.up.iter().any(|&u| u)
+    }
+
+    /// Finishes the downtime accounting at the horizon and returns the
+    /// per-charger totals.
+    pub(crate) fn downtime_at(&self, horizon: f64) -> Vec<f64> {
+        self.up
+            .iter()
+            .zip(&self.downtime)
+            .zip(&self.down_since)
+            .map(|((&up, &d), &since)| if up { d } else { d + (horizon - since).max(0.0) })
+            .collect()
+    }
+
+    /// Applies the rate-shock layer to a freshly resampled rate.
+    pub(crate) fn transform_rate(&mut self, i: usize, rate: f64) -> f64 {
+        match &self.model.rates {
+            Some(cfg) => self.shocks[i].apply(cfg, rate, &mut self.rng),
+            None => rate,
+        }
+    }
+
+    /// Per-dispatch speed multiplier (1 when speed faults are disabled).
+    pub(crate) fn speed_factor(&mut self) -> f64 {
+        match &self.model.speed {
+            Some(s) => self.rng.gen_range(1.0 - s.jitter..=1.0 + s.jitter),
+            None => 1.0,
+        }
+    }
+
+    /// Adds `sensor` to the recovery pool (no-op when already pooled) and
+    /// requests an evaluation at `t`.
+    pub(crate) fn add_orphan(&mut self, sensor: usize, t: f64, stamp: u64) {
+        if self.orphans.iter().all(|o| o.sensor != sensor) {
+            self.orphans.push(Orphan { sensor, since: t, stamp });
+        }
+        self.next_recovery = self.next_recovery.min(t);
+    }
+
+    pub(crate) fn orphans(&self) -> &[Orphan] {
+        &self.orphans
+    }
+
+    pub(crate) fn has_orphans(&self) -> bool {
+        !self.orphans.is_empty()
+    }
+
+    pub(crate) fn retain_orphans(&mut self, keep: impl FnMut(&Orphan) -> bool) {
+        let mut keep = keep;
+        self.orphans.retain(|o| keep(o));
+    }
+
+    /// Removes the orphans at the given pool indices (ascending).
+    pub(crate) fn remove_orphans(&mut self, indices: &[usize]) {
+        debug_assert!(indices.windows(2).all(|w| w[0] < w[1]));
+        for &i in indices.iter().rev() {
+            self.orphans.swap_remove(i);
+        }
+    }
+
+    pub(crate) fn next_recovery(&self) -> f64 {
+        self.next_recovery
+    }
+
+    pub(crate) fn set_next_recovery(&mut self, t: f64) {
+        self.next_recovery = t;
+    }
+
+    /// Requests a recovery evaluation at `t` if any orphans are pooled
+    /// (used at slot boundaries and repairs, where predictions go stale).
+    pub(crate) fn request_recovery(&mut self, t: f64) {
+        if self.has_orphans() {
+            self.next_recovery = self.next_recovery.min(t);
+        }
+    }
+}
+
+/// An `Exp(mean)` draw: inverse-CDF over a uniform in `[0, 1)`.
+fn exp_draw(rng: &mut StdRng, mean: f64) -> f64 {
+    let u: f64 = rng.gen();
+    -mean * (1.0 - u).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_none_and_valid() {
+        let m = FaultModel::none();
+        assert!(m.is_none());
+        assert!(m.validate().is_ok());
+        assert!(FaultState::new(&m, 2, 4, 1).is_none());
+    }
+
+    #[test]
+    fn builders_enable_sources() {
+        let m = FaultModel::none()
+            .with_breakdowns(100.0, 10.0)
+            .with_rate_shocks(RateShock::shocks(0.1, 2.0, 3))
+            .with_speed_jitter(0.2)
+            .with_seed(7);
+        assert!(!m.is_none());
+        assert!(m.validate().is_ok());
+        let fs = FaultState::new(&m, 3, 5, 1).unwrap();
+        assert_eq!(fs.up, vec![true; 3]);
+        assert!(fs.next_event().is_finite());
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(FaultModel::none().with_breakdowns(0.0, 1.0).validate().is_err());
+        assert!(FaultModel::none().with_breakdowns(1.0, f64::NAN).validate().is_err());
+        assert!(FaultModel::none().with_speed_jitter(1.0).validate().is_err());
+        assert!(FaultModel::none()
+            .with_rate_shocks(RateShock::shocks(2.0, 2.0, 1))
+            .validate()
+            .is_err());
+        let mut m = FaultModel::none().with_breakdowns(1.0, 1.0);
+        m.recovery.backoff = 0.0;
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault model")]
+    fn state_construction_panics_on_invalid() {
+        let m = FaultModel::none().with_breakdowns(-1.0, 1.0);
+        FaultState::new(&m, 1, 1, 0);
+    }
+
+    #[test]
+    fn phase_machine_alternates_and_accounts_downtime() {
+        let m = FaultModel::none().with_breakdowns(50.0, 5.0);
+        let mut fs = FaultState::new(&m, 2, 0, 42).unwrap();
+        let t0 = fs.next_event();
+        let l = fs.pop_due_transition(t0).unwrap();
+        assert!(fs.up[l]);
+        fs.breakdown(l, t0);
+        assert!(!fs.up[l]);
+        assert!(!fs.any_up() || fs.up[1 - l]);
+        let t1 = fs.next_transition[l];
+        assert!(t1 > t0);
+        let down_for = fs.repair(l, t1);
+        assert!((down_for - (t1 - t0)).abs() < 1e-12);
+        assert!(fs.up[l]);
+        assert!((fs.downtime_at(1e9)[l] - down_for).abs() < 1e-12);
+    }
+
+    #[test]
+    fn downtime_at_horizon_includes_open_phase() {
+        let m = FaultModel::none().with_breakdowns(50.0, 5.0);
+        let mut fs = FaultState::new(&m, 1, 0, 3).unwrap();
+        fs.breakdown(0, 10.0);
+        let d = fs.downtime_at(25.0);
+        assert!((d[0] - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_seed_same_fault_history() {
+        let m = FaultModel::none().with_breakdowns(30.0, 3.0).with_seed(9);
+        let a = FaultState::new(&m, 4, 0, 5).unwrap();
+        let b = FaultState::new(&m, 4, 0, 5).unwrap();
+        assert_eq!(a.next_transition, b.next_transition);
+        let c = FaultState::new(&m.with_seed(10), 4, 0, 5).unwrap();
+        assert_ne!(a.next_transition, c.next_transition);
+    }
+
+    #[test]
+    fn orphan_pool_dedupes_and_requests_evaluation() {
+        let m = FaultModel::none().with_breakdowns(30.0, 3.0);
+        let mut fs = FaultState::new(&m, 1, 4, 0).unwrap();
+        assert_eq!(fs.next_recovery(), f64::INFINITY);
+        fs.add_orphan(2, 7.0, 1);
+        fs.add_orphan(2, 8.0, 1);
+        fs.add_orphan(3, 8.0, 0);
+        assert_eq!(fs.orphans().len(), 2);
+        assert_eq!(fs.next_recovery(), 7.0);
+        fs.set_next_recovery(f64::INFINITY);
+        fs.request_recovery(9.0);
+        assert_eq!(fs.next_recovery(), 9.0);
+        fs.retain_orphans(|_| false);
+        fs.set_next_recovery(f64::INFINITY);
+        fs.request_recovery(10.0);
+        assert_eq!(fs.next_recovery(), f64::INFINITY);
+    }
+
+    #[test]
+    fn exp_draws_are_positive_with_mean_scale() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mean = 20.0;
+        let draws: Vec<f64> = (0..2000).map(|_| exp_draw(&mut rng, mean)).collect();
+        assert!(draws.iter().all(|&d| d >= 0.0 && d.is_finite()));
+        let avg = draws.iter().sum::<f64>() / draws.len() as f64;
+        assert!((avg - mean).abs() < mean * 0.2, "avg {avg}");
+    }
+}

@@ -22,22 +22,29 @@
 //!   replaced, kept as the benchmark baseline and (with a capped step)
 //!   as a naive fixed-step integrator for equivalence tests,
 //! * [`metrics`] — per-run results: service cost, dispatch/charge counts,
-//!   deaths, per-charger distances, replans.
+//!   deaths, per-charger distances, replans, degraded-mode fault stats,
+//! * [`faults`] — deterministic seeded fault injection: charger
+//!   breakdown/repair processes, consumption-rate shocks, travel-speed
+//!   jitter, and the degraded-mode recovery planner's policy knobs.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 mod energy_core;
 pub mod engine;
+pub mod faults;
 pub mod metrics;
 pub mod policy;
 pub mod reference;
 pub mod trace;
 pub mod world;
 
-pub use engine::{run, run_traced, SimConfig};
-pub use metrics::{DeathEvent, SimResult};
+pub use engine::{run, run_traced, run_with_faults, run_with_faults_traced, SimConfig};
+pub use faults::{ChargerFaults, FaultModel, RateShock, RecoveryConfig, SpeedFaults};
+pub use metrics::{DeathEvent, FaultStats, SimResult};
 pub use policy::{
     ChargingPolicy, CheckContext, GreedyPolicy, MtdPolicy, Observation, PeriodicPolicy, PlanUpdate,
     VarPolicy,
 };
 pub use reference::{run_fixed_step, run_reference};
 pub use trace::{SimTrace, TraceEvent};
-pub use world::{RateProcess, World};
+pub use world::{RateProcess, World, WorldError};

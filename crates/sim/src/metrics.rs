@@ -12,8 +12,77 @@ pub struct DeathEvent {
     pub time: f64,
 }
 
+/// Degraded-mode accounting: what faults cost a run and how recovery
+/// performed. All-zero (the `Default`) on fault-free runs.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Charger breakdowns observed inside the horizon.
+    #[serde(default)]
+    pub breakdowns: usize,
+    /// Charger repairs observed inside the horizon.
+    #[serde(default)]
+    pub repairs: usize,
+    /// Planned tours skipped because their charger was down at dispatch
+    /// time (each orphans its covered sensors).
+    #[serde(default)]
+    pub aborted_tours: usize,
+    /// Individual sensor stops lost to faults: sensors of skipped tours
+    /// plus in-transit arrivals cancelled by a mid-tour breakdown.
+    #[serde(default)]
+    pub orphaned_charges: usize,
+    /// Emergency schedulings executed by the recovery planner.
+    #[serde(default)]
+    pub emergency_dispatches: usize,
+    /// Orphans served by emergency dispatches.
+    #[serde(default)]
+    pub recovered_orphans: usize,
+    /// Summed orphaned-to-rescue latency over recovered orphans.
+    #[serde(default)]
+    pub total_recovery_latency: f64,
+    /// Worst single orphaned-to-rescue latency.
+    #[serde(default)]
+    pub max_recovery_latency: f64,
+    /// Recovery attempts deferred (with backoff) because no charger was
+    /// up.
+    #[serde(default)]
+    pub recovery_retries: usize,
+    /// Urgent orphans abandoned after the retry budget ran out.
+    #[serde(default)]
+    pub recovery_giveups: usize,
+    /// Charges that arrived after their sensor had already depleted —
+    /// missed deadlines per `τ_i` (the revival still counts as a charge).
+    #[serde(default)]
+    pub deadline_misses: usize,
+    /// Total sensor-time spent dead (depletion to revival, plus the tail
+    /// to the horizon for sensors that never recover).
+    #[serde(default)]
+    pub dead_sensor_time: f64,
+    /// Accumulated down-phase time per charger (indexed by depot),
+    /// clipped to the horizon.
+    #[serde(default)]
+    pub per_charger_downtime: Vec<f64>,
+}
+
+impl FaultStats {
+    /// Mean orphaned-to-rescue latency (0 when nothing was recovered).
+    pub fn mean_recovery_latency(&self) -> f64 {
+        if self.recovered_orphans == 0 {
+            0.0
+        } else {
+            self.total_recovery_latency / self.recovered_orphans as f64
+        }
+    }
+
+    /// Summed downtime across all chargers.
+    pub fn total_downtime(&self) -> f64 {
+        // fold, not sum(): the float Sum identity is -0.0, which would leak
+        // a "-0.0" into fault-free report tables.
+        self.per_charger_downtime.iter().fold(0.0, |a, &b| a + b)
+    }
+}
+
 /// Everything a simulation run measures.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SimResult {
     /// Total travelled distance of all chargers — the paper's objective
     /// (same length unit as the input coordinates; the experiment harness
@@ -45,6 +114,9 @@ pub struct SimResult {
     /// Ascending charge times per sensor — ground truth for feasibility
     /// checking in tests.
     pub charge_log: Vec<Vec<f64>>,
+    /// Degraded-mode accounting (all zero on fault-free runs).
+    #[serde(default)]
+    pub faults: FaultStats,
 }
 
 impl SimResult {
@@ -86,6 +158,26 @@ mod tests {
     fn max_task_duration_scales_with_speed() {
         let r = SimResult { max_tour_length: 3000.0, ..Default::default() };
         assert_eq!(r.max_task_duration(1000.0), 3.0);
+    }
+
+    #[test]
+    fn fault_stats_default_is_all_zero() {
+        let s = FaultStats::default();
+        assert_eq!(s, FaultStats::default());
+        assert_eq!(s.mean_recovery_latency(), 0.0);
+        assert_eq!(s.total_downtime(), 0.0);
+    }
+
+    #[test]
+    fn fault_stats_latency_and_downtime() {
+        let s = FaultStats {
+            recovered_orphans: 4,
+            total_recovery_latency: 6.0,
+            per_charger_downtime: vec![1.5, 0.0, 2.5],
+            ..Default::default()
+        };
+        assert!((s.mean_recovery_latency() - 1.5).abs() < 1e-12);
+        assert!((s.total_downtime() - 4.0).abs() < 1e-12);
     }
 
     #[test]

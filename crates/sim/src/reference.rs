@@ -352,6 +352,7 @@ fn execute(
                     time: depart + prefix / speed,
                     sensor,
                     dispatched_at: t,
+                    charger: l,
                 }));
             }
             busy_until[l] = depart + len / speed;

@@ -48,6 +48,53 @@ pub enum TraceEvent {
         /// The dead sensor.
         sensor: usize,
     },
+    /// A charger broke down (fault injection).
+    ChargerDown {
+        /// Breakdown instant.
+        time: f64,
+        /// The failed charger (depot index).
+        charger: usize,
+    },
+    /// A broken charger came back up.
+    ChargerRepaired {
+        /// Repair instant.
+        time: f64,
+        /// The repaired charger (depot index).
+        charger: usize,
+        /// Length of the ended down phase.
+        downtime: f64,
+    },
+    /// A planned tour was skipped because its charger was down (mid-tour
+    /// aborts of in-transit stops report the cancelled arrivals the same
+    /// way).
+    TourAborted {
+        /// Abort instant.
+        time: f64,
+        /// The down charger (depot index).
+        charger: usize,
+        /// Sensors orphaned by the abort.
+        orphans: usize,
+    },
+    /// The recovery planner executed an emergency scheduling over the
+    /// surviving depots.
+    EmergencyDispatch {
+        /// Dispatch instant.
+        time: f64,
+        /// Urgent orphans served.
+        sensors: usize,
+        /// Travel cost of the degraded scheduling.
+        cost: f64,
+    },
+    /// Recovery was deferred (no charger up); the next attempt waits an
+    /// exponentially backed-off delay.
+    RecoveryRetry {
+        /// Evaluation instant.
+        time: f64,
+        /// Consecutive failed attempts so far (1-based).
+        attempt: u32,
+        /// Backoff delay until the next attempt.
+        wait: f64,
+    },
 }
 
 impl TraceEvent {
@@ -58,13 +105,18 @@ impl TraceEvent {
             | TraceEvent::PlanReplaced { time, .. }
             | TraceEvent::Dispatch { time, .. }
             | TraceEvent::Charge { time, .. }
-            | TraceEvent::Death { time, .. } => time,
+            | TraceEvent::Death { time, .. }
+            | TraceEvent::ChargerDown { time, .. }
+            | TraceEvent::ChargerRepaired { time, .. }
+            | TraceEvent::TourAborted { time, .. }
+            | TraceEvent::EmergencyDispatch { time, .. }
+            | TraceEvent::RecoveryRetry { time, .. } => time,
         }
     }
 }
 
 /// A full recorded run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SimTrace {
     /// Events in emission order (non-decreasing time, except deaths which
     /// are stamped with their interpolated depletion instant inside the
@@ -74,7 +126,8 @@ pub struct SimTrace {
 
 impl SimTrace {
     /// Number of events of each kind: `(slots, replans, dispatches,
-    /// charges, deaths)`.
+    /// charges, deaths)`. Fault events are counted separately by
+    /// [`SimTrace::fault_counts`].
     pub fn counts(&self) -> (usize, usize, usize, usize, usize) {
         let mut c = (0, 0, 0, 0, 0);
         for e in &self.events {
@@ -84,6 +137,28 @@ impl SimTrace {
                 TraceEvent::Dispatch { .. } => c.2 += 1,
                 TraceEvent::Charge { .. } => c.3 += 1,
                 TraceEvent::Death { .. } => c.4 += 1,
+                TraceEvent::ChargerDown { .. }
+                | TraceEvent::ChargerRepaired { .. }
+                | TraceEvent::TourAborted { .. }
+                | TraceEvent::EmergencyDispatch { .. }
+                | TraceEvent::RecoveryRetry { .. } => {}
+            }
+        }
+        c
+    }
+
+    /// Number of fault events of each kind: `(breakdowns, repairs,
+    /// aborted tours, emergency dispatches, recovery retries)`.
+    pub fn fault_counts(&self) -> (usize, usize, usize, usize, usize) {
+        let mut c = (0, 0, 0, 0, 0);
+        for e in &self.events {
+            match e {
+                TraceEvent::ChargerDown { .. } => c.0 += 1,
+                TraceEvent::ChargerRepaired { .. } => c.1 += 1,
+                TraceEvent::TourAborted { .. } => c.2 += 1,
+                TraceEvent::EmergencyDispatch { .. } => c.3 += 1,
+                TraceEvent::RecoveryRetry { .. } => c.4 += 1,
+                _ => {}
             }
         }
         c
@@ -122,6 +197,21 @@ impl SimTrace {
                 }
                 TraceEvent::Death { time, sensor } => {
                     format!("{time:>10.3}  DEATH    sensor {sensor}")
+                }
+                TraceEvent::ChargerDown { time, charger } => {
+                    format!("{time:>10.3}  FAULT    charger {charger} down")
+                }
+                TraceEvent::ChargerRepaired { time, charger, downtime } => {
+                    format!("{time:>10.3}  repair   charger {charger} up after {downtime:.3}")
+                }
+                TraceEvent::TourAborted { time, charger, orphans } => {
+                    format!("{time:>10.3}  abort    charger {charger}, {orphans} orphans")
+                }
+                TraceEvent::EmergencyDispatch { time, sensors, cost } => {
+                    format!("{time:>10.3}  rescue   {sensors} sensors, {cost:.1} m")
+                }
+                TraceEvent::RecoveryRetry { time, attempt, wait } => {
+                    format!("{time:>10.3}  retry    attempt {attempt}, backoff {wait:.3}")
                 }
             };
             out.push_str(&line);
@@ -164,6 +254,26 @@ mod tests {
         assert_eq!(text.lines().count(), 2);
         assert!(text.contains("replan   7 pending"));
         assert!(text.contains("DEATH    sensor 9"));
+    }
+
+    #[test]
+    fn fault_events_counted_and_rendered() {
+        let trace = SimTrace {
+            events: vec![
+                TraceEvent::ChargerDown { time: 5.0, charger: 1 },
+                TraceEvent::TourAborted { time: 6.0, charger: 1, orphans: 3 },
+                TraceEvent::EmergencyDispatch { time: 6.0, sensors: 3, cost: 42.0 },
+                TraceEvent::RecoveryRetry { time: 7.0, attempt: 1, wait: 0.5 },
+                TraceEvent::ChargerRepaired { time: 9.0, charger: 1, downtime: 4.0 },
+            ],
+        };
+        assert_eq!(trace.counts(), (0, 0, 0, 0, 0), "fault events are a separate tally");
+        assert_eq!(trace.fault_counts(), (1, 1, 1, 1, 1));
+        let text = trace.render();
+        assert_eq!(text.lines().count(), 5);
+        assert!(text.contains("FAULT    charger 1 down"));
+        assert!(text.contains("rescue   3 sensors"));
+        assert_eq!(trace.events[0].time(), 5.0);
     }
 
     #[test]

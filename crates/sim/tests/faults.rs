@@ -1,0 +1,186 @@
+//! End-to-end fault injection: seeded charger breakdowns, degraded-mode
+//! recovery onto the surviving depots, retry/backoff exhaustion, rate
+//! shocks and travel-speed jitter — the robustness tentpole exercised
+//! through the public API.
+
+use perpetuum_core::network::Network;
+use perpetuum_energy::CycleDistribution;
+use perpetuum_geom::Point2;
+use perpetuum_sim::engine::{run, run_with_faults, run_with_faults_traced};
+use perpetuum_sim::{FaultModel, MtdPolicy, RateShock, RecoveryConfig, SimConfig, World};
+
+/// Two depots with a sensor cluster each — a breakdown of either charger
+/// leaves a survivor that can reach every sensor.
+fn two_depot_network() -> Network {
+    let sensors = vec![
+        Point2::new(10.0, 0.0),
+        Point2::new(20.0, 10.0),
+        Point2::new(15.0, -10.0),
+        Point2::new(110.0, 0.0),
+        Point2::new(120.0, 10.0),
+        Point2::new(115.0, -10.0),
+    ];
+    let depots = vec![Point2::ORIGIN, Point2::new(100.0, 0.0)];
+    Network::new(sensors, depots)
+}
+
+#[test]
+fn breakdown_scenario_recovers_on_surviving_depot() {
+    let network = two_depot_network();
+    let cycles = [2.0, 2.5, 3.0, 2.0, 2.5, 3.0];
+    let cfg = SimConfig { horizon: 100.0, slot: 10.0, seed: 42, charger_speed: None };
+    let faults = FaultModel::none().with_breakdowns(15.0, 40.0).with_seed(7);
+
+    let world = World::fixed(network.clone(), &cycles);
+    let mut policy = MtdPolicy::new(&network);
+    let (r, trace) = run_with_faults_traced(world, &cfg, &mut policy, &faults);
+
+    // The seeded fault history must actually break something inside the
+    // horizon and the recovery planner must put the orphans back on the
+    // surviving charger.
+    assert!(r.faults.breakdowns >= 1, "no breakdowns: {:?}", r.faults);
+    assert!(r.faults.aborted_tours >= 1, "no aborted tours: {:?}", r.faults);
+    assert!(r.faults.orphaned_charges >= 1);
+    assert!(r.faults.emergency_dispatches >= 1, "no rescues: {:?}", r.faults);
+    assert!(r.faults.recovered_orphans >= 1);
+    assert!(r.faults.max_recovery_latency >= 0.0);
+    assert!(r.faults.total_recovery_latency >= r.faults.max_recovery_latency, "sum below max");
+
+    // Downtime accounting is per depot and clipped to the horizon.
+    assert_eq!(r.faults.per_charger_downtime.len(), 2);
+    assert!(r.faults.total_downtime() > 0.0);
+    assert!(r.faults.per_charger_downtime.iter().all(|&d| (0.0..=100.0).contains(&d)));
+
+    // The trace agrees with the result tallies.
+    let (breakdowns, repairs, aborted, rescues, _retries) = trace.fault_counts();
+    assert_eq!(breakdowns, r.faults.breakdowns);
+    assert_eq!(repairs, r.faults.repairs);
+    assert!(aborted >= r.faults.aborted_tours, "abort events include mid-tour cancels");
+    assert_eq!(rescues, r.faults.emergency_dispatches);
+
+    // Emergency dispatches are real dispatches with real travel cost.
+    assert!(r.dispatches > 0);
+    assert!(r.service_cost > 0.0);
+}
+
+#[test]
+fn same_seed_same_fault_model_is_deterministic() {
+    let network = two_depot_network();
+    let mean_cycles = [2.0, 3.0, 2.5, 2.0, 3.0, 2.5];
+    let cfg = SimConfig { horizon: 80.0, slot: 10.0, seed: 9, charger_speed: None };
+    let faults = FaultModel::none()
+        .with_breakdowns(20.0, 25.0)
+        .with_rate_shocks(RateShock::shocks(0.1, 1.5, 2))
+        .with_seed(3);
+
+    let make_world =
+        || World::variable(network.clone(), &mean_cycles, CycleDistribution::Random, 1.0, 6.0);
+    let mut p1 = MtdPolicy::new(&network);
+    let (r1, t1) = run_with_faults_traced(make_world(), &cfg, &mut p1, &faults);
+    let mut p2 = MtdPolicy::new(&network);
+    let (r2, t2) = run_with_faults_traced(make_world(), &cfg, &mut p2, &faults);
+
+    assert_eq!(r1, r2, "same seed + same fault model must reproduce the run");
+    assert_eq!(t1, t2, "trace must reproduce too");
+
+    // A different fault seed draws a different fault history.
+    let mut p3 = MtdPolicy::new(&network);
+    let r3 = run_with_faults(make_world(), &cfg, &mut p3, &faults.with_seed(4));
+    assert_ne!(
+        (r1.faults.breakdowns, r1.service_cost.to_bits()),
+        (r3.faults.breakdowns, r3.service_cost.to_bits()),
+        "fault seed must matter"
+    );
+}
+
+#[test]
+fn sole_charger_down_exhausts_retries_and_gives_up() {
+    let sensors = vec![Point2::new(10.0, 0.0), Point2::new(20.0, 0.0)];
+    let network = Network::new(sensors, vec![Point2::ORIGIN]);
+    let cycles = [2.0, 3.0];
+    let cfg = SimConfig { horizon: 60.0, slot: 10.0, seed: 5, charger_speed: None };
+    // The only charger fails early and the repair draw is astronomically
+    // long, so recovery can only back off until the budget runs out.
+    let faults = FaultModel::none()
+        .with_breakdowns(5.0, 1e7)
+        .with_recovery(RecoveryConfig { urgency_window: 1.0, max_retries: 3, backoff: 0.25 })
+        .with_seed(1);
+
+    let world = World::fixed(network.clone(), &cycles);
+    let mut policy = MtdPolicy::new(&network);
+    let (r, trace) = run_with_faults_traced(world, &cfg, &mut policy, &faults);
+
+    assert!(r.faults.breakdowns >= 1);
+    assert_eq!(r.faults.emergency_dispatches, 0, "no survivor to dispatch");
+    assert!(r.faults.recovery_retries >= 1, "retries expected: {:?}", r.faults);
+    assert!(r.faults.recovery_giveups >= 1, "giveups expected: {:?}", r.faults);
+    // Abandoned sensors eventually die, and their dead time accrues to the
+    // horizon.
+    assert!(!r.deaths.is_empty());
+    assert!(r.faults.dead_sensor_time > 0.0);
+    let (_, _, _, rescues, retries) = trace.fault_counts();
+    assert_eq!(rescues, 0);
+    assert_eq!(retries, r.faults.recovery_retries);
+}
+
+#[test]
+fn rate_shocks_inflate_consumption() {
+    let network = two_depot_network();
+    let cycles = [2.0, 2.5, 3.0, 2.0, 2.5, 3.0];
+    let cfg = SimConfig { horizon: 80.0, slot: 10.0, seed: 13, charger_speed: None };
+
+    let mut p1 = MtdPolicy::new(&network);
+    let baseline = run(World::fixed(network.clone(), &cycles), &cfg, &mut p1);
+
+    // Permanent 2x shock from slot 0 onwards.
+    let faults = FaultModel::none().with_rate_shocks(RateShock::shocks(1.0, 2.0, u32::MAX));
+    let mut p2 = MtdPolicy::new(&network);
+    let shocked = run_with_faults(World::fixed(network.clone(), &cycles), &cfg, &mut p2, &faults);
+
+    // Doubled drain halves the cycles the policy observes, so it must
+    // charge (and travel) strictly more.
+    assert!(
+        shocked.charges > baseline.charges,
+        "shocked {} <= baseline {}",
+        shocked.charges,
+        baseline.charges
+    );
+    assert!(shocked.service_cost > baseline.service_cost);
+    assert_eq!(shocked.faults.breakdowns, 0);
+}
+
+#[test]
+fn travel_mode_breakdowns_and_speed_jitter() {
+    let network = two_depot_network();
+    let cycles = [4.0, 5.0, 6.0, 4.0, 5.0, 6.0];
+    let cfg = SimConfig { horizon: 120.0, slot: 10.0, seed: 21, charger_speed: Some(200.0) };
+
+    let mut p0 = MtdPolicy::new(&network);
+    let plain = run(World::fixed(network.clone(), &cycles), &cfg, &mut p0);
+    assert!(plain.total_charge_delay > 0.0, "travel mode must produce delays");
+
+    let faults = FaultModel::none().with_breakdowns(25.0, 30.0).with_speed_jitter(0.3).with_seed(2);
+    let mut p1 = MtdPolicy::new(&network);
+    let (r, trace) =
+        run_with_faults_traced(World::fixed(network.clone(), &cycles), &cfg, &mut p1, &faults);
+
+    assert!(r.faults.breakdowns >= 1, "no breakdowns: {:?}", r.faults);
+    assert!(r.total_charge_delay > 0.0);
+    // Speed jitter perturbs arrival times, so the delay totals cannot
+    // coincide bit for bit with the nominal run.
+    assert_ne!(r.total_charge_delay.to_bits(), plain.total_charge_delay.to_bits());
+    // The merged event stream stays time-ordered for fault events too.
+    let times: Vec<f64> = trace
+        .events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e,
+                perpetuum_sim::TraceEvent::ChargerDown { .. }
+                    | perpetuum_sim::TraceEvent::ChargerRepaired { .. }
+            )
+        })
+        .map(|e| e.time())
+        .collect();
+    assert!(times.windows(2).all(|w| w[0] <= w[1]));
+}

@@ -1,0 +1,123 @@
+//! Fault-free equivalence: with [`FaultModel::none`] the fault-aware
+//! engine must be **bit-identical** to the pre-fault engine — same
+//! `SimResult` (including every f64, compared exactly via `PartialEq`)
+//! and same trace — on random worlds, in both charging modes.
+
+use perpetuum_core::network::Network;
+use perpetuum_energy::CycleDistribution;
+use perpetuum_geom::Point2;
+use perpetuum_sim::engine::{run, run_traced, run_with_faults, run_with_faults_traced};
+use perpetuum_sim::{FaultModel, GreedyPolicy, MtdPolicy, SimConfig, World};
+use proptest::prelude::*;
+
+fn points(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Point2>> {
+    prop::collection::vec((0.0..1000.0f64, 0.0..1000.0f64), n)
+        .prop_map(|v| v.into_iter().map(|(x, y)| Point2::new(x, y)).collect())
+}
+
+prop_compose! {
+    fn world_setup()(
+        sensors in points(1..12),
+        depots in points(1..4),
+        seed in 0u64..1000,
+        horizon in 20.0..90.0f64,
+        travel in 0u8..2,
+        variable in 0u8..2,
+    )(
+        cycles in prop::collection::vec(1.5..30.0f64, sensors.len()),
+        sensors in Just(sensors),
+        depots in Just(depots),
+        seed in Just(seed),
+        horizon in Just(horizon),
+        travel in Just(travel),
+        variable in Just(variable),
+    ) -> (Network, Vec<f64>, u64, f64, bool, bool) {
+        (Network::new(sensors, depots), cycles, seed, horizon, travel == 1, variable == 1)
+    }
+}
+
+fn make_world(network: &Network, cycles: &[f64], variable: bool) -> World {
+    if variable {
+        World::variable(
+            network.clone(),
+            cycles,
+            CycleDistribution::Linear { sigma: 2.0 },
+            1.0,
+            30.0,
+        )
+    } else {
+        World::fixed(network.clone(), cycles)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn none_model_is_bit_identical_to_plain_run(
+        (network, cycles, seed, horizon, travel, variable) in world_setup()
+    ) {
+        let cfg = SimConfig {
+            horizon,
+            slot: 10.0,
+            seed,
+            charger_speed: if travel { Some(150.0) } else { None },
+        };
+        let none = FaultModel::none();
+
+        // MTD policy, plain vs fault-free-faulted.
+        let mut p1 = MtdPolicy::new(&network);
+        let plain = run(make_world(&network, &cycles, variable), &cfg, &mut p1);
+        let mut p2 = MtdPolicy::new(&network);
+        let faulted =
+            run_with_faults(make_world(&network, &cycles, variable), &cfg, &mut p2, &none);
+        prop_assert_eq!(&plain, &faulted, "MTD results diverged");
+        prop_assert_eq!(plain.service_cost.to_bits(), faulted.service_cost.to_bits());
+        // No fault machinery ran: no breakdowns, aborts or rescues (revival
+        // accounting like deadline misses may still be nonzero — a variable
+        // world can kill a sensor that a later planned charge revives).
+        prop_assert_eq!(plain.faults.breakdowns, 0);
+        prop_assert_eq!(plain.faults.aborted_tours, 0);
+        prop_assert_eq!(plain.faults.emergency_dispatches, 0);
+        prop_assert!(plain.faults.per_charger_downtime.is_empty());
+
+        // Greedy (polling) policy, traced: the event streams must match
+        // exactly too.
+        let tau_min = cycles.iter().cloned().fold(f64::INFINITY, f64::min);
+        let mut g1 = GreedyPolicy::new(&network, tau_min);
+        let (rp, tp) = run_traced(make_world(&network, &cycles, variable), &cfg, &mut g1);
+        let mut g2 = GreedyPolicy::new(&network, tau_min);
+        let (rf, tf) = run_with_faults_traced(
+            make_world(&network, &cycles, variable), &cfg, &mut g2, &none,
+        );
+        prop_assert_eq!(&rp, &rf, "greedy results diverged");
+        prop_assert_eq!(&tp, &tf, "greedy traces diverged");
+    }
+
+    #[test]
+    fn faulted_runs_reproduce_under_same_seed(
+        (network, cycles, seed, horizon, travel, variable) in world_setup(),
+        fault_seed in 0u64..100,
+    ) {
+        let cfg = SimConfig {
+            horizon,
+            slot: 10.0,
+            seed,
+            charger_speed: if travel { Some(150.0) } else { None },
+        };
+        let faults = FaultModel::none()
+            .with_breakdowns(horizon / 3.0, horizon / 4.0)
+            .with_speed_jitter(0.2)
+            .with_seed(fault_seed);
+        let mut p1 = MtdPolicy::new(&network);
+        let (r1, t1) = run_with_faults_traced(
+            make_world(&network, &cycles, variable), &cfg, &mut p1, &faults,
+        );
+        let mut p2 = MtdPolicy::new(&network);
+        let (r2, t2) = run_with_faults_traced(
+            make_world(&network, &cycles, variable), &cfg, &mut p2, &faults,
+        );
+        prop_assert_eq!(r1, r2, "fault determinism broke");
+        prop_assert_eq!(t1, t2, "fault trace determinism broke");
+    }
+}
