@@ -1,0 +1,120 @@
+//! Daemon-level benchmarks: `/plan` over real sockets.
+//!
+//! The numbers behind `BENCH_serve.json` and the README serving table:
+//!
+//! * `plan_cold/2000` — every request is a *distinct* n = 2000 sparse
+//!   scenario (the `index` field is bumped per iteration), so each one
+//!   pays the full planning pipeline;
+//! * `plan_hit/2000` — the identical request repeated, so after the
+//!   primer every iteration is a canonical-hash cache hit;
+//! * `throughput/{1,8}_clients` — 64 cache-hit requests issued from one
+//!   client thread vs. eight concurrent ones, isolating the accept →
+//!   queue → worker-pool overhead from planning cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use perpetuum_serve::{start, ServerConfig, ServerHandle};
+use std::cell::Cell;
+use std::io::{Read as _, Write as _};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+
+const N: usize = 2000;
+
+fn daemon() -> ServerHandle {
+    start(ServerConfig {
+        workers: 8,
+        queue_capacity: 256,
+        cache_capacity: 64,
+        ..ServerConfig::default()
+    })
+    .expect("daemon starts on an ephemeral port")
+}
+
+fn plan_body(index: u64) -> String {
+    format!(
+        r#"{{"scenario": {{
+            "field_size": 1000.0, "n": {N}, "q": 5,
+            "tau_min": 2.0, "tau_max": 40.0,
+            "dist": {{ "Linear": {{ "sigma": 2.0 }} }},
+            "horizon": 60.0, "slot": 10.0,
+            "variable": false, "deployment": "Uniform"
+        }}, "seed": 42, "index": {index}, "sparse": true}}"#
+    )
+}
+
+fn post_plan(addr: SocketAddr, body: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let head =
+        format!("POST /plan HTTP/1.1\r\nhost: bench\r\ncontent-length: {}\r\n\r\n", body.len());
+    stream.write_all(head.as_bytes()).expect("head");
+    stream.write_all(body.as_bytes()).expect("body");
+    stream.shutdown(Shutdown::Write).expect("half-close");
+    let mut out = String::new();
+    stream.read_to_string(&mut out).expect("response");
+    assert!(out.starts_with("HTTP/1.1 200"), "unexpected response: {out}");
+    out
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let handle = daemon();
+    let addr = handle.addr;
+
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(10);
+
+    // Cold: a fresh scenario each iteration (index bump changes the
+    // canonical hash), so the full pipeline runs every time.
+    let cold_index = Cell::new(0u64);
+    group.bench_with_input(BenchmarkId::new("plan_cold", N), &N, |b, _| {
+        b.iter(|| {
+            let body = plan_body(1000 + cold_index.replace(cold_index.get() + 1));
+            let resp = post_plan(addr, &body);
+            assert!(resp.contains("\"cache_hit\":false"), "cold request must miss");
+            resp.len()
+        })
+    });
+
+    // Hit: identical request, primed once outside the measured loop.
+    let hit_body = plan_body(0);
+    let primer = post_plan(addr, &hit_body);
+    assert!(primer.contains("\"cache_hit\":false"));
+    group.bench_with_input(BenchmarkId::new("plan_hit", N), &N, |b, _| {
+        b.iter(|| {
+            let resp = post_plan(addr, &hit_body);
+            assert!(resp.contains("\"cache_hit\":true"), "repeat request must hit");
+            resp.len()
+        })
+    });
+
+    // Throughput: 64 cache-hit requests from 1 vs. 8 client threads.
+    const REQUESTS: usize = 64;
+    for &clients in &[1usize, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("throughput", format!("{clients}_clients")),
+            &clients,
+            |b, &clients| {
+                b.iter(|| {
+                    let per_client = REQUESTS / clients;
+                    let threads: Vec<_> = (0..clients)
+                        .map(|_| {
+                            let body = hit_body.clone();
+                            std::thread::spawn(move || {
+                                let mut total = 0usize;
+                                for _ in 0..per_client {
+                                    total += post_plan(addr, &body).len();
+                                }
+                                total
+                            })
+                        })
+                        .collect();
+                    threads.into_iter().map(|t| t.join().expect("client thread")).sum::<usize>()
+                })
+            },
+        );
+    }
+    group.finish();
+
+    handle.shutdown();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

@@ -28,4 +28,7 @@ pub mod viz;
 pub use ablation::{run_ablation, AblationId};
 pub use extras::{run_extension, ExtensionId};
 pub use figures::{run_figure, FigureData, FigureId, Series};
-pub use scenario::{Algo, CustomExperiment, Deployment, Scenario, ScenarioError, Topology};
+pub use scenario::{
+    parse_world, realise_world, scenario_from_value, world_from_value, Algo, CustomExperiment,
+    Deployment, ParsedWorld, Scenario, ScenarioError, Topology,
+};

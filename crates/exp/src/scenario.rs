@@ -50,6 +50,8 @@ pub enum ScenarioError {
     },
     /// The experiment lists no algorithms to compare.
     NoAlgos,
+    /// The fault model's parameters are out of range.
+    Faults(String),
     /// World construction rejected the realised topology.
     World(WorldError),
 }
@@ -70,6 +72,7 @@ impl std::fmt::Display for ScenarioError {
                 write!(f, "tau_max {tau_max} is below tau_min {tau_min}")
             }
             ScenarioError::NoAlgos => write!(f, "algos must list at least one algorithm"),
+            ScenarioError::Faults(e) => write!(f, "invalid fault model: {e}"),
             ScenarioError::World(e) => write!(f, "invalid world: {e}"),
         }
     }
@@ -243,7 +246,10 @@ impl Scenario {
             deploy::DepotPlacement::OneAtBaseStation,
             &mut pos_rng,
         );
-        let network = Network::new(sensors, depots);
+        // `auto` keeps the dense matrix at paper scale and switches to the
+        // sparse pipeline above the node threshold — every consumer routes
+        // distances through `dist_source()` either way.
+        let network = Network::auto(sensors, depots);
 
         let bs = field.center();
         let mean_cycles =
@@ -295,31 +301,101 @@ impl Scenario {
         index: u64,
         faults: &FaultModel,
     ) -> SimResult {
-        let topo = self.build_topology(master_seed, index);
-        let world = self.build_world(&topo);
+        realise_world(*self, master_seed, index).simulate(algo, faults)
+    }
+}
+
+/// One realised scenario: the validated description plus the seeded
+/// topology it produced and the simulated world over it — everything the
+/// CLI and the serving layer need to plan or simulate a request.
+#[derive(Debug, Clone)]
+pub struct ParsedWorld {
+    /// The scenario description.
+    pub scenario: Scenario,
+    /// The realised topology (network geometry, cycles, sim seed).
+    pub topology: Topology,
+    /// The simulated world over the topology.
+    pub world: World,
+}
+
+impl ParsedWorld {
+    /// The fixed-cycle planning instance over the realised topology — the
+    /// input Algorithm 3 ([`perpetuum_core::mtd::plan_min_total_distance`])
+    /// takes. Distances dispatch through the network's `dist_source()`
+    /// (dense at paper scale, sparse above the node threshold).
+    pub fn instance(&self) -> perpetuum_core::network::Instance {
+        perpetuum_core::network::Instance::new(
+            self.topology.network.clone(),
+            self.topology.init_cycles.clone(),
+            self.scenario.horizon,
+        )
+    }
+
+    /// Runs one algorithm over this world under a fault model, consuming
+    /// the realised world (simulation mutates battery state).
+    pub fn simulate(self, algo: Algo, faults: &FaultModel) -> SimResult {
         let cfg = SimConfig {
-            horizon: self.horizon,
-            slot: self.slot,
-            seed: topo.sim_seed,
+            horizon: self.scenario.horizon,
+            slot: self.scenario.slot,
+            seed: self.topology.sim_seed,
             charger_speed: None,
         };
         match algo {
             Algo::Mtd => {
-                let mut p = MtdPolicy::new(&topo.network);
-                run_with_faults(world, &cfg, &mut p, faults)
+                let mut p = MtdPolicy::new(&self.topology.network);
+                run_with_faults(self.world, &cfg, &mut p, faults)
             }
             Algo::MtdVar => {
-                let mut p = VarPolicy::new(&topo.network);
-                let mut r = run_with_faults(world, &cfg, &mut p, faults);
+                let mut p = VarPolicy::new(&self.topology.network);
+                let mut r = run_with_faults(self.world, &cfg, &mut p, faults);
                 r.replans = p.replans();
                 r
             }
             Algo::Greedy => {
-                let mut p = GreedyPolicy::new(&topo.network, self.tau_min);
-                run_with_faults(world, &cfg, &mut p, faults)
+                let mut p = GreedyPolicy::new(&self.topology.network, self.scenario.tau_min);
+                run_with_faults(self.world, &cfg, &mut p, faults)
             }
         }
     }
+}
+
+/// Parses a bare [`Scenario`] JSON object, validates it, and realises
+/// topology number `index` under `master_seed` — the single scenario→world
+/// parser shared by the CLI and the serving daemon, with every malformed
+/// input surfacing as a typed [`ScenarioError`].
+pub fn parse_world(text: &str, master_seed: u64, index: u64) -> Result<ParsedWorld, ScenarioError> {
+    let scenario: Scenario =
+        serde_json::from_str(text).map_err(|e| ScenarioError::Json(e.to_string()))?;
+    scenario.validate()?;
+    Ok(realise_world(scenario, master_seed, index))
+}
+
+/// [`parse_world`] over an already-parsed JSON tree — for callers that
+/// need the raw [`serde_json::Value`] too (the serving daemon hashes the
+/// tree for its plan cache before building anything).
+pub fn world_from_value(
+    v: &serde_json::Value,
+    master_seed: u64,
+    index: u64,
+) -> Result<ParsedWorld, ScenarioError> {
+    let scenario = scenario_from_value(v)?;
+    Ok(realise_world(scenario, master_seed, index))
+}
+
+/// Parses and validates a [`Scenario`] from a JSON tree.
+pub fn scenario_from_value(v: &serde_json::Value) -> Result<Scenario, ScenarioError> {
+    use serde::Deserialize as _;
+    let scenario = Scenario::from_value(v).map_err(|e| ScenarioError::Json(e.0))?;
+    scenario.validate()?;
+    Ok(scenario)
+}
+
+/// Realises an already-validated scenario: builds the seeded topology and
+/// the simulated world over it.
+pub fn realise_world(scenario: Scenario, master_seed: u64, index: u64) -> ParsedWorld {
+    let topology = scenario.build_topology(master_seed, index);
+    let world = scenario.build_world(&topology);
+    ParsedWorld { scenario, topology, world }
 }
 
 /// A custom experiment: a scenario plus the algorithms to compare and a
@@ -336,6 +412,10 @@ pub struct CustomExperiment {
     /// Network sizes to sweep (empty = just the scenario's own `n`).
     #[serde(default)]
     pub network_sizes: Vec<usize>,
+    /// Fault model every run is subjected to (absent = fault-free, which
+    /// is bit-identical to the plain engine).
+    #[serde(default)]
+    pub faults: FaultModel,
 }
 
 impl CustomExperiment {
@@ -361,6 +441,7 @@ impl CustomExperiment {
         if self.network_sizes.contains(&0) {
             return Err(ScenarioError::NoSensors);
         }
+        self.faults.validate().map_err(ScenarioError::Faults)?;
         Ok(())
     }
 
@@ -387,7 +468,8 @@ impl CustomExperiment {
         for &n in &ns {
             let s = Scenario { n, ..self.scenario };
             for (ai, &algo) in self.algos.iter().enumerate() {
-                let results = par_map(topologies, |i| s.run_once(algo, seed, i as u64));
+                let results =
+                    par_map(topologies, |i| s.run_once_faulted(algo, seed, i as u64, &self.faults));
                 let costs: Vec<f64> = results.iter().map(|r| r.service_cost / 1000.0).collect();
                 series[ai].values.push(mean(&costs));
                 series[ai].std_devs.push(std_dev(&costs));
@@ -565,6 +647,66 @@ mod tests {
         // An empty algorithm list is an error too.
         let no_algos = json.replace(r#""q": 0"#, r#""q": 3"#).replace(r#"["Mtd"]"#, "[]");
         assert_eq!(CustomExperiment::from_json(&no_algos).unwrap_err(), ScenarioError::NoAlgos);
+    }
+
+    #[test]
+    fn parse_world_realises_and_rejects_like_run_once() {
+        let json = r#"{
+            "field_size": 1000.0, "n": 12, "q": 3,
+            "tau_min": 1.0, "tau_max": 20.0,
+            "dist": { "Linear": { "sigma": 2.0 } },
+            "horizon": 60.0, "slot": 10.0,
+            "variable": false, "deployment": "Uniform"
+        }"#;
+        let pw = match parse_world(json, 9, 0) {
+            Ok(pw) => pw,
+            Err(e) => panic!("valid scenario rejected: {e}"),
+        };
+        assert_eq!(pw.topology.network.n(), 12);
+        assert_eq!(pw.topology.network.q(), 3);
+        // The planning instance is buildable and plans feasibly.
+        let inst = pw.instance();
+        let plan = perpetuum_core::mtd::plan_min_total_distance(
+            &inst,
+            &perpetuum_core::mtd::MtdConfig::default(),
+        );
+        assert!(plan.service_cost() > 0.0);
+        // simulate() goes through the exact run_once_faulted path.
+        let via_parse = pw.simulate(Algo::Mtd, &FaultModel::none());
+        let direct: Scenario = match serde_json::from_str(json) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        };
+        assert_eq!(via_parse, direct.run_once(Algo::Mtd, 9, 0));
+        // The typed error surface is shared with the CLI path.
+        assert!(matches!(parse_world("{", 0, 0), Err(ScenarioError::Json(_))));
+        let bad = json.replace(r#""q": 3"#, r#""q": 0"#);
+        assert_eq!(parse_world(&bad, 0, 0).unwrap_err(), ScenarioError::EmptyDepots);
+    }
+
+    #[test]
+    fn experiment_fault_block_parses_validates_and_runs() {
+        let json = r#"{
+            "name": "faulty", "scenario": {
+                "field_size": 1000.0, "n": 10, "q": 3,
+                "tau_min": 1.0, "tau_max": 20.0,
+                "dist": { "Linear": { "sigma": 2.0 } },
+                "horizon": 50.0, "slot": 10.0,
+                "variable": false, "deployment": "Uniform"
+            },
+            "algos": ["Mtd"],
+            "faults": { "chargers": { "mtbf": 20.0, "mttr": 10.0 }, "seed": 3 }
+        }"#;
+        let exp = match CustomExperiment::from_json(json) {
+            Ok(e) => e,
+            Err(e) => panic!("valid faulty experiment rejected: {e}"),
+        };
+        assert!(exp.faults.chargers.is_some());
+        let fd = exp.run(2, 5);
+        assert_eq!(fd.series.len(), 1);
+        // An out-of-range fault model is a typed error, not a panic.
+        let bad = json.replace(r#""mtbf": 20.0"#, r#""mtbf": -1.0"#);
+        assert!(matches!(CustomExperiment::from_json(&bad), Err(ScenarioError::Faults(_))));
     }
 
     #[test]

@@ -1,0 +1,235 @@
+//! Sharded LRU plan cache keyed by a canonical content hash.
+//!
+//! `/plan` is the daemon's hot path: repeated requests for the same
+//! scenario should cost a hash lookup, not an `O(n log n)` planning run.
+//! The key is a **canonical** FNV-1a hash of the request's JSON tree —
+//! object keys are visited in sorted order and numbers by their bit
+//! pattern — so two requests that differ only in key order or whitespace
+//! hit the same entry.
+//!
+//! Shards are independent `Mutex`-guarded LRU maps picked by the key's
+//! low bits: concurrent workers planning different scenarios never
+//! contend on one lock, and a lock is only ever held for a map operation
+//! (never across planning).
+
+use serde_json::Value;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Number of independent shards (power of two; the key's low bits pick
+/// the shard).
+const SHARDS: usize = 8;
+
+/// One shard: an LRU map with a monotonic use counter.
+#[derive(Default)]
+struct Shard {
+    map: HashMap<u64, Entry>,
+    tick: u64,
+}
+
+struct Entry {
+    value: Arc<str>,
+    last_used: u64,
+}
+
+/// A sharded LRU cache from canonical scenario hashes to rendered plan
+/// JSON. Values are `Arc<str>` so a hit hands back the exact cached bytes
+/// without copying — which is also what makes repeated responses
+/// byte-identical.
+pub struct PlanCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_capacity: usize,
+}
+
+impl PlanCache {
+    /// A cache holding at most `capacity` plans (split evenly over the
+    /// shards, at least one each). `capacity = 0` disables caching.
+    pub fn new(capacity: usize) -> Self {
+        let per_shard_capacity = if capacity == 0 { 0 } else { capacity.div_ceil(SHARDS) };
+        Self {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            per_shard_capacity,
+        }
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<Shard> {
+        &self.shards[(key as usize) & (SHARDS - 1)]
+    }
+
+    /// Looks up a plan, refreshing its recency on a hit.
+    pub fn get(&self, key: u64) -> Option<Arc<str>> {
+        let mut shard = match self.shard(key).lock() {
+            Ok(s) => s,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        shard.tick += 1;
+        let tick = shard.tick;
+        let entry = shard.map.get_mut(&key)?;
+        entry.last_used = tick;
+        Some(Arc::clone(&entry.value))
+    }
+
+    /// Inserts a plan, evicting the shard's least-recently-used entry when
+    /// full. No-op on a zero-capacity cache.
+    pub fn insert(&self, key: u64, value: Arc<str>) {
+        if self.per_shard_capacity == 0 {
+            return;
+        }
+        let mut shard = match self.shard(key).lock() {
+            Ok(s) => s,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        shard.tick += 1;
+        let tick = shard.tick;
+        if shard.map.len() >= self.per_shard_capacity && !shard.map.contains_key(&key) {
+            // O(capacity) scan: shards are small and eviction is the cold
+            // path (it only runs once a shard is full).
+            if let Some(&lru) = shard.map.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k) {
+                shard.map.remove(&lru);
+            }
+        }
+        shard.map.insert(key, Entry { value, last_used: tick });
+    }
+
+    /// Number of cached plans across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| match s.lock() {
+                Ok(s) => s.map.len(),
+                Err(poisoned) => poisoned.into_inner().map.len(),
+            })
+            .sum()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// FNV-1a over a canonical rendering of the JSON tree: object keys in
+/// sorted order, strings length-prefixed, numbers by normalized bit
+/// pattern. Key order and formatting differences therefore hash
+/// identically; any semantic difference changes the hash.
+pub fn canonical_hash(v: &Value) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    hash_value(v, &mut h);
+    h
+}
+
+fn fnv(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= u64::from(b);
+        *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
+fn hash_value(v: &Value, h: &mut u64) {
+    match v {
+        Value::Null => fnv(h, b"n"),
+        Value::Bool(b) => fnv(h, if *b { b"t" } else { b"f" }),
+        Value::Num(n) => {
+            // Normalize -0.0 so it hashes like 0.0 (they compare equal).
+            let n = if *n == 0.0 { 0.0 } else { *n };
+            fnv(h, b"#");
+            fnv(h, &n.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            fnv(h, b"s");
+            fnv(h, &(s.len() as u64).to_le_bytes());
+            fnv(h, s.as_bytes());
+        }
+        Value::Arr(items) => {
+            fnv(h, b"[");
+            for item in items {
+                hash_value(item, h);
+            }
+            fnv(h, b"]");
+        }
+        Value::Obj(pairs) => {
+            let mut order: Vec<usize> = (0..pairs.len()).collect();
+            order.sort_by(|&a, &b| pairs[a].0.cmp(&pairs[b].0));
+            fnv(h, b"{");
+            for i in order {
+                let (k, val) = &pairs[i];
+                fnv(h, &(k.len() as u64).to_le_bytes());
+                fnv(h, k.as_bytes());
+                hash_value(val, h);
+            }
+            fnv(h, b"}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Value {
+        serde_json::parse_value(s).unwrap()
+    }
+
+    #[test]
+    fn key_order_and_whitespace_do_not_change_the_hash() {
+        let a = parse(r#"{"n": 50, "q": 3, "nested": {"x": 1, "y": [1, 2]}}"#);
+        let b = parse(r#"{ "nested":{"y":[1,2],"x":1},"q":3,"n":50 }"#);
+        assert_eq!(canonical_hash(&a), canonical_hash(&b));
+    }
+
+    #[test]
+    fn semantic_differences_change_the_hash() {
+        let base = parse(r#"{"n": 50, "q": 3}"#);
+        for other in [
+            r#"{"n": 51, "q": 3}"#,
+            r#"{"n": 50, "q": 4}"#,
+            r#"{"n": 50}"#,
+            r#"{"n": "50", "q": 3}"#,
+            r#"{"n": [50], "q": 3}"#,
+        ] {
+            assert_ne!(canonical_hash(&base), canonical_hash(&parse(other)), "{other}");
+        }
+        // Array order is semantic, unlike object key order.
+        assert_ne!(canonical_hash(&parse("[1,2]")), canonical_hash(&parse("[2,1]")));
+        // String/number confusion across adjacent fields is still distinct
+        // thanks to length prefixes and type tags.
+        assert_ne!(
+            canonical_hash(&parse(r#"{"ab":"c"}"#)),
+            canonical_hash(&parse(r#"{"a":"bc"}"#))
+        );
+    }
+
+    #[test]
+    fn cache_hits_return_the_same_bytes() {
+        let cache = PlanCache::new(16);
+        assert!(cache.is_empty());
+        assert!(cache.get(1).is_none());
+        cache.insert(1, Arc::from("plan-1"));
+        let a = cache.get(1).unwrap();
+        let b = cache.get(1).unwrap();
+        assert_eq!(&*a, "plan-1");
+        assert!(Arc::ptr_eq(&a, &b), "hits share the cached allocation");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used_entry() {
+        // Single-shard capacity: keys in the same shard (multiples of 8).
+        let cache = PlanCache::new(16); // 2 per shard
+        cache.insert(0, Arc::from("a"));
+        cache.insert(8, Arc::from("b"));
+        assert!(cache.get(0).is_some()); // refresh 0 — 8 is now LRU
+        cache.insert(16, Arc::from("c"));
+        assert!(cache.get(0).is_some());
+        assert!(cache.get(8).is_none(), "LRU entry evicted");
+        assert!(cache.get(16).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = PlanCache::new(0);
+        cache.insert(1, Arc::from("x"));
+        assert!(cache.get(1).is_none());
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,364 @@
+//! Endpoint handlers: the JSON-level logic behind the router.
+//!
+//! Both planning endpoints parse the request into a JSON tree first; for
+//! `/plan` that tree's canonical hash ([`crate::cache::canonical_hash`])
+//! is the cache key, so the cache is consulted *before* any scenario
+//! validation or topology construction — a hit costs one hash and one
+//! shard lookup. All scenario parsing goes through
+//! [`perpetuum_exp::scenario`]'s typed [`ScenarioError`] surface: the CLI
+//! and the daemon reject exactly the same inputs with the same messages.
+
+use crate::cache::{canonical_hash, PlanCache};
+use crate::http::Response;
+use crate::metrics::Metrics;
+use perpetuum_core::mtd::{plan_min_total_distance, MtdConfig};
+use perpetuum_core::network::{Instance, Network};
+use perpetuum_exp::scenario::{world_from_value, Algo, ScenarioError};
+use perpetuum_sim::FaultModel;
+use serde::{Deserialize as _, Serialize as _};
+use serde_json::Value;
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Everything the handlers share: the plan cache and the metric set.
+pub struct AppState {
+    /// The sharded LRU plan cache.
+    pub cache: PlanCache,
+    /// Counters, gauges and histograms served by `/metrics`.
+    pub metrics: Metrics,
+}
+
+impl AppState {
+    /// Fresh state with the given plan-cache capacity.
+    pub fn new(cache_capacity: usize) -> Self {
+        Self { cache: PlanCache::new(cache_capacity), metrics: Metrics::default() }
+    }
+}
+
+/// Default master seed when a request omits `seed` (the workspace-wide
+/// experiment default).
+const DEFAULT_SEED: u64 = 42;
+
+fn bad_json(err: impl std::fmt::Display) -> Response {
+    Response::error(400, "bad_json", &err.to_string())
+}
+
+fn bad_scenario(err: &ScenarioError) -> Response {
+    Response::error(400, "invalid_scenario", &err.to_string())
+}
+
+/// Pulls an optional unsigned integer field (e.g. `seed`) out of the
+/// request tree.
+fn u64_field(v: &Value, key: &str, default: u64) -> Result<u64, Response> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(default),
+        Some(Value::Num(n)) if *n >= 0.0 && n.fract() == 0.0 => Ok(*n as u64),
+        Some(other) => {
+            Err(bad_json(format!("field `{key}` must be a non-negative integer, got {other:?}")))
+        }
+    }
+}
+
+fn bool_field(v: &Value, key: &str) -> Result<bool, Response> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(false),
+        Some(Value::Bool(b)) => Ok(*b),
+        Some(other) => Err(bad_json(format!("field `{key}` must be a boolean, got {other:?}"))),
+    }
+}
+
+/// `GET /healthz`.
+pub fn healthz() -> Response {
+    Response::json(200, "{\"status\":\"ok\"}".to_string())
+}
+
+/// `GET /metrics`.
+pub fn metrics(state: &AppState) -> Response {
+    Response::text(200, state.metrics.render(state.cache.len()))
+}
+
+/// `POST /plan` — scenario JSON in, charging schedule + service cost out.
+///
+/// Request: `{"scenario": {...}, "seed"?: u64, "index"?: u64, "sparse"?: bool}`.
+/// Response: `{"cache_hit": bool, "plan_us": u64, "result": {...}}` where
+/// the `result` bytes come verbatim from the cache on a hit — repeated
+/// requests return byte-identical schedules.
+pub fn plan(state: &AppState, body: &[u8]) -> Response {
+    let started = Instant::now();
+    let text = match std::str::from_utf8(body) {
+        Ok(t) => t,
+        Err(e) => return bad_json(format!("body is not UTF-8: {e}")),
+    };
+    let tree = match serde_json::parse_value(text) {
+        Ok(v) => v,
+        Err(e) => return bad_json(e),
+    };
+    let key = canonical_hash(&tree);
+
+    if let Some(cached) = state.cache.get(key) {
+        state.metrics.cache_hits.fetch_add(1, Relaxed);
+        return respond_plan(true, started, &cached);
+    }
+    state.metrics.cache_misses.fetch_add(1, Relaxed);
+
+    let Some(scenario_value) = tree.get("scenario") else {
+        return bad_json("missing field `scenario`");
+    };
+    let seed = match u64_field(&tree, "seed", DEFAULT_SEED) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    let index = match u64_field(&tree, "index", 0) {
+        Ok(i) => i,
+        Err(r) => return r,
+    };
+    let sparse = match bool_field(&tree, "sparse") {
+        Ok(b) => b,
+        Err(r) => return r,
+    };
+
+    let parsed = match world_from_value(scenario_value, seed, index) {
+        Ok(p) => p,
+        Err(e) => return bad_scenario(&e),
+    };
+    let instance = if sparse {
+        // Force the sparse pipeline: planning runs off on-demand point
+        // distances, never materializing the Θ((n+q)²) matrix.
+        let points = parsed.topology.network.points();
+        let n = parsed.topology.network.n();
+        let network = Network::sparse(points[..n].to_vec(), points[n..].to_vec());
+        Instance::new(network, parsed.topology.init_cycles.clone(), parsed.scenario.horizon)
+    } else {
+        parsed.instance()
+    };
+    let schedule = plan_min_total_distance(&instance, &MtdConfig::default());
+
+    let result = Value::Obj(vec![
+        ("n".to_string(), Value::Num(instance.n() as f64)),
+        ("q".to_string(), Value::Num(instance.q() as f64)),
+        ("seed".to_string(), Value::Num(seed as f64)),
+        ("index".to_string(), Value::Num(index as f64)),
+        ("sparse".to_string(), Value::Bool(sparse)),
+        ("service_cost".to_string(), Value::Num(schedule.service_cost())),
+        ("dispatches".to_string(), Value::Num(schedule.dispatch_count() as f64)),
+        ("total_charges".to_string(), Value::Num(schedule.total_charges() as f64)),
+        ("schedule".to_string(), schedule.to_value()),
+    ]);
+    let rendered: Arc<str> = match serde_json::to_string(&result) {
+        Ok(s) => Arc::from(s),
+        Err(e) => return Response::error(500, "internal_error", &e.to_string()),
+    };
+    state.cache.insert(key, Arc::clone(&rendered));
+    respond_plan(false, started, &rendered)
+}
+
+fn respond_plan(cache_hit: bool, started: Instant, result: &str) -> Response {
+    let us = started.elapsed().as_micros();
+    Response::json(
+        200,
+        format!("{{\"cache_hit\":{cache_hit},\"plan_us\":{us},\"result\":{result}}}"),
+    )
+}
+
+/// `POST /simulate` — run the event-driven engine over a scenario,
+/// optionally under a fault model.
+///
+/// Request: `{"scenario": {...}, "algo"?: "Mtd"|"MtdVar"|"Greedy",
+/// "seed"?: u64, "index"?: u64, "faults"?: {...}}`.
+/// Response: `{"algo": ..., "sim_us": u64, "result": <SimResult>}`.
+pub fn simulate(body: &[u8]) -> Response {
+    let started = Instant::now();
+    let text = match std::str::from_utf8(body) {
+        Ok(t) => t,
+        Err(e) => return bad_json(format!("body is not UTF-8: {e}")),
+    };
+    let tree = match serde_json::parse_value(text) {
+        Ok(v) => v,
+        Err(e) => return bad_json(e),
+    };
+    let Some(scenario_value) = tree.get("scenario") else {
+        return bad_json("missing field `scenario`");
+    };
+    let algo = match tree.get("algo") {
+        None | Some(Value::Null) => Algo::Mtd,
+        Some(v) => match Algo::from_value(v) {
+            Ok(a) => a,
+            Err(_) => {
+                return bad_json(format!(
+                    "field `algo` must be one of \"Mtd\", \"MtdVar\", \"Greedy\", got {v:?}"
+                ))
+            }
+        },
+    };
+    let seed = match u64_field(&tree, "seed", DEFAULT_SEED) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    let index = match u64_field(&tree, "index", 0) {
+        Ok(i) => i,
+        Err(r) => return r,
+    };
+    let faults = match tree.get("faults") {
+        None | Some(Value::Null) => FaultModel::none(),
+        Some(v) => match FaultModel::from_value(v) {
+            Ok(f) => f,
+            Err(e) => return Response::error(400, "invalid_faults", &e.to_string()),
+        },
+    };
+    if let Err(e) = faults.validate() {
+        return Response::error(400, "invalid_faults", &e);
+    }
+
+    let parsed = match world_from_value(scenario_value, seed, index) {
+        Ok(p) => p,
+        Err(e) => return bad_scenario(&e),
+    };
+    let result = parsed.simulate(algo, &faults);
+
+    let algo_json = match serde_json::to_string(&algo) {
+        Ok(s) => s,
+        Err(e) => return Response::error(500, "internal_error", &e.to_string()),
+    };
+    let result_json = match serde_json::to_string(&result) {
+        Ok(s) => s,
+        Err(e) => return Response::error(500, "internal_error", &e.to_string()),
+    };
+    let us = started.elapsed().as_micros();
+    Response::json(
+        200,
+        format!("{{\"algo\":{algo_json},\"sim_us\":{us},\"result\":{result_json}}}"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_plan_body(seed: u64) -> String {
+        format!(
+            r#"{{"scenario": {{
+                "field_size": 500.0, "n": 12, "q": 2,
+                "tau_min": 1.0, "tau_max": 20.0,
+                "dist": {{ "Linear": {{ "sigma": 2.0 }} }},
+                "horizon": 60.0, "slot": 10.0,
+                "variable": false, "deployment": "Uniform"
+            }}, "seed": {seed}}}"#
+        )
+    }
+
+    #[test]
+    fn plan_misses_then_hits_with_identical_result_bytes() {
+        let state = AppState::new(32);
+        let body = small_plan_body(7);
+        let first = plan(&state, body.as_bytes());
+        assert_eq!(first.status, 200);
+        let first_body = String::from_utf8(first.body).unwrap();
+        assert!(first_body.starts_with("{\"cache_hit\":false,"), "{first_body}");
+
+        let second = plan(&state, body.as_bytes());
+        let second_body = String::from_utf8(second.body).unwrap();
+        assert!(second_body.starts_with("{\"cache_hit\":true,"), "{second_body}");
+
+        let result_of = |b: &str| b.split_once("\"result\":").map(|(_, r)| r.to_string());
+        assert_eq!(result_of(&first_body), result_of(&second_body), "byte-identical schedules");
+        assert_eq!(state.metrics.cache_hits.load(Relaxed), 1);
+        assert_eq!(state.metrics.cache_misses.load(Relaxed), 1);
+    }
+
+    #[test]
+    fn key_order_and_whitespace_still_hit_the_cache() {
+        let state = AppState::new(32);
+        let a = r#"{"seed": 3, "scenario": {
+            "field_size": 500.0, "n": 10, "q": 2,
+            "tau_min": 1.0, "tau_max": 20.0,
+            "dist": { "Linear": { "sigma": 2.0 } },
+            "horizon": 60.0, "slot": 10.0,
+            "variable": false, "deployment": "Uniform"
+        }}"#;
+        let b = r#"{"scenario":{"q":2,"n":10,"field_size":500.0,"tau_min":1.0,"tau_max":20.0,"dist":{"Linear":{"sigma":2.0}},"horizon":60.0,"slot":10.0,"variable":false,"deployment":"Uniform"},"seed":3}"#;
+        assert_eq!(plan(&state, a.as_bytes()).status, 200);
+        assert_eq!(plan(&state, b.as_bytes()).status, 200);
+        assert_eq!(state.metrics.cache_hits.load(Relaxed), 1, "near-duplicate request hit");
+    }
+
+    #[test]
+    fn sparse_plan_matches_dense_cost() {
+        let state = AppState::new(32);
+        let dense = plan(&state, small_plan_body(5).as_bytes());
+        let sparse_body =
+            small_plan_body(5).replace("\"seed\": 5", "\"seed\": 5, \"sparse\": true");
+        let sparse = plan(&state, sparse_body.as_bytes());
+        assert_eq!(dense.status, 200);
+        assert_eq!(sparse.status, 200);
+        let cost = |r: &Response| {
+            let body = std::str::from_utf8(&r.body).unwrap().to_string();
+            let v = serde_json::parse_value(&body).unwrap();
+            match v.get("result").and_then(|r| r.get("service_cost")) {
+                Some(Value::Num(n)) => *n,
+                other => panic!("no service_cost: {other:?}"),
+            }
+        };
+        let (dc, sc) = (cost(&dense), cost(&sparse));
+        assert!(dc > 0.0);
+        // Sparse routing is near-identical at this scale (sparse MSF may
+        // differ slightly from the dense one in edge ties).
+        assert!((dc - sc).abs() <= 0.05 * dc, "dense {dc} vs sparse {sc}");
+    }
+
+    #[test]
+    fn malformed_plan_inputs_are_typed_400s() {
+        let state = AppState::new(32);
+        for (body, kind) in [
+            (r#"{"#.to_string(), "bad_json"),
+            (r#"{"no_scenario": 1}"#.to_string(), "bad_json"),
+            (small_plan_body(1).replace("\"q\": 2", "\"q\": 0"), "invalid_scenario"),
+            (small_plan_body(1).replace("60.0,", "-60.0,"), "invalid_scenario"),
+            (small_plan_body(1).replace("\"seed\": 1", "\"seed\": -3"), "bad_json"),
+            (small_plan_body(1).replace("\"seed\": 1", "\"seed\": 1, \"sparse\": 7"), "bad_json"),
+        ] {
+            let r = plan(&state, body.as_bytes());
+            assert_eq!(r.status, 400, "{body}");
+            let text = String::from_utf8(r.body).unwrap();
+            assert!(text.contains(&format!("\"kind\":\"{kind}\"")), "{text}");
+        }
+    }
+
+    #[test]
+    fn simulate_runs_with_and_without_faults() {
+        let body = small_plan_body(2).replace("\"seed\": 2", "\"seed\": 2, \"algo\": \"Greedy\"");
+        let r = simulate(body.as_bytes());
+        assert_eq!(r.status, 200);
+        let text = String::from_utf8(r.body).unwrap();
+        assert!(text.contains("\"algo\":\"Greedy\""), "{text}");
+        assert!(text.contains("\"service_cost\":"), "{text}");
+
+        let faulty = small_plan_body(2).replace(
+            "\"seed\": 2",
+            r#""seed": 2, "faults": {"chargers": {"mtbf": 10.0, "mttr": 20.0}, "seed": 1}"#,
+        );
+        let r = simulate(faulty.as_bytes());
+        assert_eq!(r.status, 200);
+        let v = serde_json::parse_value(std::str::from_utf8(&r.body).unwrap()).unwrap();
+        let breakdowns = v
+            .get("result")
+            .and_then(|r| r.get("faults"))
+            .and_then(|f| f.get("breakdowns"))
+            .cloned();
+        assert!(matches!(breakdowns, Some(Value::Num(n)) if n > 0.0), "{breakdowns:?}");
+    }
+
+    #[test]
+    fn simulate_rejects_bad_algo_and_bad_faults() {
+        let bad_algo = small_plan_body(2).replace("\"seed\": 2", "\"seed\": 2, \"algo\": \"Nope\"");
+        let r = simulate(bad_algo.as_bytes());
+        assert_eq!(r.status, 400);
+        let bad_faults = small_plan_body(2).replace(
+            "\"seed\": 2",
+            r#""seed": 2, "faults": {"chargers": {"mtbf": -1.0, "mttr": 20.0}}"#,
+        );
+        let r = simulate(bad_faults.as_bytes());
+        assert_eq!(r.status, 400);
+        assert!(String::from_utf8(r.body).unwrap().contains("invalid_faults"));
+    }
+}

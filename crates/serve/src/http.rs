@@ -1,0 +1,324 @@
+//! Minimal HTTP/1.1 over `std::net`: capped request parsing and response
+//! writing.
+//!
+//! Deliberately tiny — the daemon speaks exactly the subset its JSON API
+//! needs (`Content-Length`-framed bodies, `Connection: close` on every
+//! response), with hard caps on header and body size so a malformed or
+//! hostile request costs bounded memory and yields a clean `400`/`413`
+//! instead of a panic or an OOM.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request line plus all headers.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Malformed request line, header, or body framing — maps to `400`.
+    Bad(String),
+    /// Declared body exceeds the configured cap — maps to `413`.
+    TooLarge {
+        /// The configured body cap (bytes).
+        limit: usize,
+    },
+    /// Socket-level failure before a full request arrived; no response
+    /// can usefully be written.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Bad(m) => write!(f, "bad request: {m}"),
+            HttpError::TooLarge { limit } => write!(f, "payload exceeds {limit} bytes"),
+            HttpError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+/// A parsed request: method, path, and the (possibly empty) body.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method token (`GET`, `POST`, …).
+    pub method: String,
+    /// Request path, query string included verbatim.
+    pub path: String,
+    /// The `Content-Length`-framed body.
+    pub body: Vec<u8>,
+}
+
+/// Reads one line (up to CRLF) with a byte budget shared across the whole
+/// head. Returns the line without its terminator.
+fn read_line_capped(
+    reader: &mut BufReader<&TcpStream>,
+    budget: &mut usize,
+) -> Result<String, HttpError> {
+    let mut line = Vec::new();
+    let mut limited = reader.by_ref().take(*budget as u64 + 1);
+    limited
+        .read_until(b'\n', &mut line)
+        .map_err(|e| match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+                HttpError::Bad("timed out reading request head".into())
+            }
+            _ => HttpError::Io(e),
+        })
+        .and_then(|_| {
+            if line.len() > *budget {
+                return Err(HttpError::Bad(format!("request head exceeds {MAX_HEAD_BYTES} bytes")));
+            }
+            *budget -= line.len();
+            if !line.ends_with(b"\n") {
+                return Err(HttpError::Bad("request head truncated".into()));
+            }
+            while line.last() == Some(&b'\n') || line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            String::from_utf8(line).map_err(|_| HttpError::Bad("non-UTF-8 request head".into()))
+        })
+}
+
+/// Reads and parses one request from the stream, enforcing `max_body` on
+/// the declared `Content-Length`. Every framing violation — a malformed
+/// request line, a non-numeric or negative length, a body shorter than
+/// declared — comes back as [`HttpError::Bad`].
+pub fn read_request(stream: &TcpStream, max_body: usize) -> Result<Request, HttpError> {
+    let mut reader = BufReader::new(stream);
+    let mut budget = MAX_HEAD_BYTES;
+
+    let request_line = read_line_capped(&mut reader, &mut budget)?;
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && p.starts_with('/') => (m, p, v),
+        _ => return Err(HttpError::Bad(format!("malformed request line {request_line:?}"))),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Bad(format!("unsupported protocol {version:?}")));
+    }
+
+    let mut content_length: usize = 0;
+    loop {
+        let line = read_line_capped(&mut reader, &mut budget)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Bad(format!("malformed header {line:?}")));
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            let value = value.trim();
+            content_length = value
+                .parse::<usize>()
+                .map_err(|_| HttpError::Bad(format!("bad Content-Length {value:?}")))?;
+        }
+    }
+
+    if content_length > max_body {
+        return Err(HttpError::TooLarge { limit: max_body });
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(|e| match e.kind() {
+        std::io::ErrorKind::UnexpectedEof => HttpError::Bad(format!(
+            "body truncated: Content-Length {content_length} but the connection closed early"
+        )),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+            HttpError::Bad(format!("timed out reading {content_length}-byte body"))
+        }
+        _ => HttpError::Io(e),
+    })?;
+    Ok(Request { method: method.to_string(), path: path.to_string(), body })
+}
+
+/// An outgoing response. Every response closes the connection.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Extra headers (e.g. `Retry-After`).
+    pub extra_headers: Vec<(&'static str, String)>,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Self {
+        Self {
+            status,
+            content_type: "application/json",
+            extra_headers: Vec::new(),
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: String) -> Self {
+        Self {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            extra_headers: Vec::new(),
+            body: body.into_bytes(),
+        }
+    }
+
+    /// The typed JSON error body every failure path returns:
+    /// `{"error":{"kind":…,"message":…}}`.
+    pub fn error(status: u16, kind: &str, message: &str) -> Self {
+        let kind_json = serde_json::to_string(&kind.to_string()).unwrap_or_default();
+        let msg_json = serde_json::to_string(&message.to_string()).unwrap_or_default();
+        Self::json(status, format!("{{\"error\":{{\"kind\":{kind_json},\"message\":{msg_json}}}}}"))
+    }
+
+    /// Adds a header. Builder-style.
+    pub fn with_header(mut self, name: &'static str, value: String) -> Self {
+        self.extra_headers.push((name, value));
+        self
+    }
+
+    /// Serializes the response to the stream (status line, headers, body)
+    /// and flushes it.
+    pub fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len()
+        );
+        for (name, value) in &self.extra_headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+/// Converts a read failure into the response to send (when one can be
+/// sent at all).
+pub fn error_response(err: &HttpError) -> Option<Response> {
+    match err {
+        HttpError::Bad(m) => Some(Response::error(400, "bad_request", m)),
+        HttpError::TooLarge { limit } => Some(
+            Response::error(
+                413,
+                "payload_too_large",
+                &format!("request body exceeds {limit} bytes"),
+            )
+            .with_header("retry-after", "1".to_string()),
+        ),
+        HttpError::Io(_) => None,
+    }
+}
+
+/// Canonical reason phrase for the status codes the daemon emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    /// Writes `raw` into a socket pair and parses it server-side.
+    fn parse(raw: &[u8], max_body: usize) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(raw).unwrap();
+        client.shutdown(std::net::Shutdown::Write).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        read_request(&server, max_body)
+    }
+
+    #[test]
+    fn parses_a_simple_post() {
+        let req = parse(b"POST /plan HTTP/1.1\r\ncontent-length: 4\r\n\r\nabcd", 1024).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/plan");
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn get_without_length_has_empty_body() {
+        let req = parse(b"GET /healthz HTTP/1.1\r\nhost: x\r\n\r\n", 1024).unwrap();
+        assert_eq!(req.method, "GET");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn bad_content_length_is_rejected() {
+        for cl in ["abc", "-5", "1e3", ""] {
+            let raw = format!("POST /plan HTTP/1.1\r\ncontent-length: {cl}\r\n\r\n");
+            match parse(raw.as_bytes(), 1024) {
+                Err(HttpError::Bad(m)) => assert!(m.contains("Content-Length"), "{m}"),
+                other => panic!("expected Bad for {cl:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_body_is_rejected() {
+        match parse(b"POST /plan HTTP/1.1\r\ncontent-length: 100\r\n\r\nshort", 1024) {
+            Err(HttpError::Bad(m)) => assert!(m.contains("truncated"), "{m}"),
+            other => panic!("expected Bad, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_body_is_too_large() {
+        match parse(b"POST /plan HTTP/1.1\r\ncontent-length: 999999\r\n\r\n", 1024) {
+            Err(HttpError::TooLarge { limit: 1024 }) => {}
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_request_line_is_rejected() {
+        for raw in [
+            &b"NONSENSE\r\n\r\n"[..],
+            b"GET\r\n\r\n",
+            b"GET /x HTTP/1.1 extra\r\n\r\n",
+            b"GET x HTTP/1.1\r\n\r\n",
+        ] {
+            assert!(matches!(parse(raw, 1024), Err(HttpError::Bad(_))), "{raw:?}");
+        }
+    }
+
+    #[test]
+    fn oversized_head_is_rejected() {
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        raw.extend(vec![b'a'; MAX_HEAD_BYTES + 10]);
+        assert!(matches!(parse(&raw, 1024), Err(HttpError::Bad(_))));
+    }
+
+    #[test]
+    fn error_bodies_are_typed_json() {
+        let r = error_response(&HttpError::Bad("no \"quotes\"".into())).unwrap();
+        assert_eq!(r.status, 400);
+        let body = String::from_utf8(r.body).unwrap();
+        let v = serde_json::parse_value(&body).unwrap();
+        assert!(v.get("error").and_then(|e| e.get("kind")).is_some());
+        let r = error_response(&HttpError::TooLarge { limit: 7 }).unwrap();
+        assert_eq!(r.status, 413);
+        assert!(error_response(&HttpError::Io(std::io::Error::other("x"))).is_none());
+    }
+}

@@ -1,0 +1,33 @@
+//! `perpetuum-serve`: a concurrent planning & simulation daemon.
+//!
+//! Exposes the workspace's planning pipeline and event-driven simulator
+//! over a small HTTP/1.1 JSON API — `POST /plan`, `POST /simulate`,
+//! `GET /healthz`, `GET /metrics` — built entirely on `std::net` (no
+//! async runtime, consistent with the workspace's vendored-dependency
+//! constraint). The load-bearing pieces:
+//!
+//! * [`cache`] — a sharded LRU plan cache keyed by a canonical content
+//!   hash, so near-duplicate `/plan` requests skip the `O(n log n)`
+//!   pipeline entirely and return byte-identical schedules;
+//! * [`server`] — bounded request queue with `503` + `Retry-After`
+//!   backpressure, a worker pool, and a loopback-only admin listener;
+//! * [`shutdown`] — signal/endpoint-triggered graceful drain: stop
+//!   accepting, finish everything in flight, exit cleanly;
+//! * [`metrics`] — Prometheus text exposition of request counts, latency
+//!   histograms, cache hit rates, and queue gauges.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+pub mod cache;
+pub mod handlers;
+pub mod http;
+pub mod metrics;
+pub mod router;
+pub mod server;
+pub mod shutdown;
+
+pub use cache::{canonical_hash, PlanCache};
+pub use handlers::AppState;
+pub use metrics::Metrics;
+pub use server::{start, ServerConfig, ServerHandle};
+pub use shutdown::{install_signal_forwarder, ShutdownSignal};

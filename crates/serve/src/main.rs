@@ -1,0 +1,113 @@
+//! The `perpetuum-serve` binary: parse flags, start the daemon, wait for
+//! shutdown, print a drain summary.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+use perpetuum_serve::{install_signal_forwarder, server, ServerConfig};
+use std::process::ExitCode;
+use std::sync::atomic::Ordering::Relaxed;
+use std::time::Duration;
+
+const USAGE: &str = "\
+perpetuum-serve: planning & simulation daemon
+
+USAGE:
+    perpetuum-serve [OPTIONS]
+
+OPTIONS:
+    --addr <host:port>        main listener        [default: 127.0.0.1:7878]
+    --admin-addr <host:port>  loopback admin listener (POST /shutdown)
+                                                   [default: 127.0.0.1:7879]
+    --workers <n>             worker threads       [default: #cores, 2..=16]
+    --queue <n>               bounded queue capacity (503 beyond)
+                                                   [default: 64]
+    --max-body <bytes>        request body cap     [default: 1048576]
+    --cache <n>               plan-cache capacity (0 disables)
+                                                   [default: 128]
+    --read-timeout-secs <s>   per-connection socket timeout [default: 10]
+    -h, --help                print this help
+";
+
+fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
+    let mut cfg = ServerConfig {
+        addr: "127.0.0.1:7878".to_string(),
+        admin_addr: "127.0.0.1:7879".to_string(),
+        ..ServerConfig::default()
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if flag == "-h" || flag == "--help" {
+            return Err(String::new()); // caller prints usage, exits 0
+        }
+        let value = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag.as_str() {
+            "--addr" => cfg.addr = value.clone(),
+            "--admin-addr" => cfg.admin_addr = value.clone(),
+            "--workers" => {
+                cfg.workers = value.parse().map_err(|_| format!("bad --workers {value:?}"))?
+            }
+            "--queue" => {
+                cfg.queue_capacity = value.parse().map_err(|_| format!("bad --queue {value:?}"))?
+            }
+            "--max-body" => {
+                cfg.max_body = value.parse().map_err(|_| format!("bad --max-body {value:?}"))?
+            }
+            "--cache" => {
+                cfg.cache_capacity = value.parse().map_err(|_| format!("bad --cache {value:?}"))?
+            }
+            "--read-timeout-secs" => {
+                let secs: u64 =
+                    value.parse().map_err(|_| format!("bad --read-timeout-secs {value:?}"))?;
+                cfg.read_timeout = Duration::from_secs(secs.max(1));
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(cfg)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = match parse_args(&args) {
+        Ok(cfg) => cfg,
+        Err(msg) if msg.is_empty() => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let workers = cfg.workers;
+    let handle = match server::start(cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: failed to start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    install_signal_forwarder(handle.shutdown_signal());
+
+    println!("perpetuum-serve listening on http://{}", handle.addr);
+    println!("  admin (loopback only):    http://{}", handle.admin_addr);
+    println!("  workers: {workers}  (POST /plan, POST /simulate, GET /healthz, GET /metrics)");
+
+    // Wait for SIGINT/SIGTERM or POST /shutdown, then drain. Keep an
+    // owning clone of the state so the summary survives `wait()`
+    // consuming the handle.
+    let final_state = handle.state_arc();
+    handle.wait();
+
+    let m = &final_state.metrics;
+    println!(
+        "drained: {} plan ({} cache hits / {} misses), {} simulate, {} shed with 503",
+        m.plan.requests.load(Relaxed),
+        m.cache_hits.load(Relaxed),
+        m.cache_misses.load(Relaxed),
+        m.simulate.requests.load(Relaxed),
+        m.queue_rejected.load(Relaxed),
+    );
+    ExitCode::SUCCESS
+}

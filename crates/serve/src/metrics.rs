@@ -1,0 +1,208 @@
+//! Process metrics in Prometheus text exposition format.
+//!
+//! Everything is lock-free atomics: counters for requests, responses by
+//! class, cache hits/misses and queue rejections; gauges for in-flight
+//! requests and queue depth; and fixed-bucket latency histograms for the
+//! two planning endpoints. `GET /metrics` renders the whole set in one
+//! pass — no locks are ever held while a request is being served.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Histogram bucket upper bounds, in seconds (`+Inf` is implicit).
+const BUCKETS: [f64; 9] = [0.0005, 0.001, 0.005, 0.025, 0.1, 0.25, 1.0, 5.0, 15.0];
+
+/// A fixed-bucket latency histogram (Prometheus `histogram` type).
+#[derive(Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS.len() + 1],
+    /// Sum of observations in microseconds (integer atomics; Prometheus
+    /// gets seconds back at render time).
+    sum_us: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, seconds: f64) {
+        let idx = BUCKETS.iter().position(|&ub| seconds <= ub).unwrap_or(BUCKETS.len());
+        self.buckets[idx].fetch_add(1, Relaxed);
+        self.sum_us.fetch_add((seconds * 1e6) as u64, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Relaxed)
+    }
+
+    fn render(&self, out: &mut String, name: &str, endpoint: &str) {
+        let mut cumulative = 0u64;
+        for (i, ub) in BUCKETS.iter().enumerate() {
+            cumulative += self.buckets[i].load(Relaxed);
+            let _ =
+                writeln!(out, "{name}_bucket{{endpoint=\"{endpoint}\",le=\"{ub}\"}} {cumulative}");
+        }
+        cumulative += self.buckets[BUCKETS.len()].load(Relaxed);
+        let _ = writeln!(out, "{name}_bucket{{endpoint=\"{endpoint}\",le=\"+Inf\"}} {cumulative}");
+        let sum = self.sum_us.load(Relaxed) as f64 / 1e6;
+        let _ = writeln!(out, "{name}_sum{{endpoint=\"{endpoint}\"}} {sum}");
+        let _ =
+            writeln!(out, "{name}_count{{endpoint=\"{endpoint}\"}} {}", self.count.load(Relaxed));
+    }
+}
+
+/// Counters and histograms for one endpoint.
+#[derive(Default)]
+pub struct EndpointStats {
+    /// Requests routed to the endpoint.
+    pub requests: AtomicU64,
+    /// End-to-end handling latency.
+    pub latency: Histogram,
+}
+
+/// The daemon's full metric set. One instance is shared (`Arc`) by every
+/// worker, the accept loop, and the `/metrics` handler.
+#[derive(Default)]
+pub struct Metrics {
+    /// Requests accepted and parsed, by endpoint.
+    pub plan: EndpointStats,
+    /// Same for `/simulate`.
+    pub simulate: EndpointStats,
+    /// `GET /healthz` + `GET /metrics` + unroutable requests.
+    pub other_requests: AtomicU64,
+    /// Plan-cache hits.
+    pub cache_hits: AtomicU64,
+    /// Plan-cache misses (each one paid for a full planning run).
+    pub cache_misses: AtomicU64,
+    /// Connections rejected with `503` because the request queue was full.
+    pub queue_rejected: AtomicU64,
+    /// Responses by status class: `[2xx, 4xx, 5xx]`.
+    pub responses: [AtomicU64; 3],
+    /// Requests currently being handled by workers (gauge).
+    pub in_flight: AtomicU64,
+    /// Connections waiting in the bounded queue (gauge).
+    pub queue_depth: AtomicU64,
+}
+
+impl Metrics {
+    /// Records a finished response's status class.
+    pub fn record_status(&self, status: u16) {
+        let idx = match status {
+            200..=299 => 0,
+            400..=499 => 1,
+            _ => 2,
+        };
+        self.responses[idx].fetch_add(1, Relaxed);
+    }
+
+    /// Renders the Prometheus text exposition (`cache_len` is sampled by
+    /// the caller, which owns the cache).
+    pub fn render(&self, cache_len: usize) -> String {
+        let mut out = String::with_capacity(2048);
+        let requests_total = self.plan.requests.load(Relaxed)
+            + self.simulate.requests.load(Relaxed)
+            + self.other_requests.load(Relaxed);
+
+        out.push_str("# HELP perpetuum_requests_total Requests parsed, by endpoint.\n");
+        out.push_str("# TYPE perpetuum_requests_total counter\n");
+        let _ = writeln!(
+            out,
+            "perpetuum_requests_total{{endpoint=\"plan\"}} {}",
+            self.plan.requests.load(Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "perpetuum_requests_total{{endpoint=\"simulate\"}} {}",
+            self.simulate.requests.load(Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "perpetuum_requests_total{{endpoint=\"other\"}} {}",
+            self.other_requests.load(Relaxed)
+        );
+        let _ = writeln!(out, "# Total across endpoints: {requests_total}");
+
+        out.push_str("# HELP perpetuum_request_seconds End-to-end handling latency.\n");
+        out.push_str("# TYPE perpetuum_request_seconds histogram\n");
+        self.plan.latency.render(&mut out, "perpetuum_request_seconds", "plan");
+        self.simulate.latency.render(&mut out, "perpetuum_request_seconds", "simulate");
+
+        out.push_str("# HELP perpetuum_cache_hits_total Plan-cache hits.\n");
+        out.push_str("# TYPE perpetuum_cache_hits_total counter\n");
+        let _ = writeln!(out, "perpetuum_cache_hits_total {}", self.cache_hits.load(Relaxed));
+        out.push_str("# HELP perpetuum_cache_misses_total Plan-cache misses.\n");
+        out.push_str("# TYPE perpetuum_cache_misses_total counter\n");
+        let _ = writeln!(out, "perpetuum_cache_misses_total {}", self.cache_misses.load(Relaxed));
+        out.push_str("# HELP perpetuum_cache_plans Plans currently cached.\n");
+        out.push_str("# TYPE perpetuum_cache_plans gauge\n");
+        let _ = writeln!(out, "perpetuum_cache_plans {cache_len}");
+
+        out.push_str("# HELP perpetuum_queue_rejected_total Connections shed with 503.\n");
+        out.push_str("# TYPE perpetuum_queue_rejected_total counter\n");
+        let _ =
+            writeln!(out, "perpetuum_queue_rejected_total {}", self.queue_rejected.load(Relaxed));
+
+        out.push_str("# HELP perpetuum_responses_total Responses by status class.\n");
+        out.push_str("# TYPE perpetuum_responses_total counter\n");
+        for (idx, class) in ["2xx", "4xx", "5xx"].iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "perpetuum_responses_total{{class=\"{class}\"}} {}",
+                self.responses[idx].load(Relaxed)
+            );
+        }
+
+        out.push_str("# HELP perpetuum_in_flight Requests currently being handled.\n");
+        out.push_str("# TYPE perpetuum_in_flight gauge\n");
+        let _ = writeln!(out, "perpetuum_in_flight {}", self.in_flight.load(Relaxed));
+        out.push_str("# HELP perpetuum_queue_depth Connections waiting in the bounded queue.\n");
+        out.push_str("# TYPE perpetuum_queue_depth gauge\n");
+        let _ = writeln!(out, "perpetuum_queue_depth {}", self.queue_depth.load(Relaxed));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let h = Histogram::default();
+        h.observe(0.0001); // first bucket
+        h.observe(0.01); // ≤ 0.025
+        h.observe(100.0); // +Inf only
+        assert_eq!(h.count(), 3);
+        let mut out = String::new();
+        h.render(&mut out, "x_seconds", "plan");
+        assert!(out.contains("x_seconds_bucket{endpoint=\"plan\",le=\"0.0005\"} 1"), "{out}");
+        assert!(out.contains("x_seconds_bucket{endpoint=\"plan\",le=\"0.025\"} 2"), "{out}");
+        assert!(out.contains("x_seconds_bucket{endpoint=\"plan\",le=\"+Inf\"} 3"), "{out}");
+        assert!(out.contains("x_seconds_count{endpoint=\"plan\"} 3"), "{out}");
+    }
+
+    #[test]
+    fn render_contains_every_family() {
+        let m = Metrics::default();
+        m.plan.requests.fetch_add(2, Relaxed);
+        m.cache_hits.fetch_add(1, Relaxed);
+        m.record_status(200);
+        m.record_status(404);
+        m.record_status(503);
+        let text = m.render(5);
+        for needle in [
+            "perpetuum_requests_total{endpoint=\"plan\"} 2",
+            "perpetuum_cache_hits_total 1",
+            "perpetuum_cache_misses_total 0",
+            "perpetuum_cache_plans 5",
+            "perpetuum_responses_total{class=\"2xx\"} 1",
+            "perpetuum_responses_total{class=\"4xx\"} 1",
+            "perpetuum_responses_total{class=\"5xx\"} 1",
+            "perpetuum_in_flight 0",
+            "perpetuum_queue_depth 0",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Method + path dispatch with panic isolation.
+//!
+//! The router owns the per-endpoint metrics (request counters and latency
+//! histograms) and wraps every handler in `catch_unwind` so a bug in one
+//! request can never take the worker thread — or the daemon — down with
+//! it.
+
+use crate::handlers::{self, AppState};
+use crate::http::{Request, Response};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering::Relaxed;
+use std::time::Instant;
+
+/// Routes one parsed request to its handler and records endpoint metrics.
+/// Unknown paths get `404`, known paths with the wrong method get `405`.
+pub fn route(state: &AppState, req: &Request) -> Response {
+    // The query string never selects the endpoint.
+    let path = req.path.split('?').next().unwrap_or(&req.path);
+    match (req.method.as_str(), path) {
+        ("GET", "/healthz") => {
+            state.metrics.other_requests.fetch_add(1, Relaxed);
+            handlers::healthz()
+        }
+        ("GET", "/metrics") => {
+            state.metrics.other_requests.fetch_add(1, Relaxed);
+            handlers::metrics(state)
+        }
+        ("POST", "/plan") => {
+            state.metrics.plan.requests.fetch_add(1, Relaxed);
+            let started = Instant::now();
+            let resp = handlers::plan(state, &req.body);
+            state.metrics.plan.latency.observe(started.elapsed().as_secs_f64());
+            resp
+        }
+        ("POST", "/simulate") => {
+            state.metrics.simulate.requests.fetch_add(1, Relaxed);
+            let started = Instant::now();
+            let resp = handlers::simulate(&req.body);
+            state.metrics.simulate.latency.observe(started.elapsed().as_secs_f64());
+            resp
+        }
+        (_, "/healthz" | "/metrics" | "/plan" | "/simulate") => {
+            state.metrics.other_requests.fetch_add(1, Relaxed);
+            Response::error(
+                405,
+                "method_not_allowed",
+                &format!("{} is not supported on {path}", req.method),
+            )
+        }
+        _ => {
+            state.metrics.other_requests.fetch_add(1, Relaxed);
+            Response::error(404, "not_found", &format!("no route for {path}"))
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message (`&str` or
+/// `String`; anything else gets a generic text).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "handler panicked".to_string())
+}
+
+/// [`route`] behind a panic barrier: a panicking handler becomes a `500`
+/// with the panic message instead of an aborted connection.
+pub fn handle(state: &AppState, req: &Request) -> Response {
+    match catch_unwind(AssertUnwindSafe(|| route(state, req))) {
+        Ok(resp) => resp,
+        Err(payload) => Response::error(500, "internal_error", &panic_message(&*payload)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(method: &str, path: &str, body: &str) -> Request {
+        Request { method: method.into(), path: path.into(), body: body.as_bytes().to_vec() }
+    }
+
+    #[test]
+    fn routes_and_rejects() {
+        let state = AppState::new(4);
+        assert_eq!(route(&state, &req("GET", "/healthz", "")).status, 200);
+        assert_eq!(route(&state, &req("GET", "/healthz?verbose=1", "")).status, 200);
+        assert_eq!(route(&state, &req("GET", "/metrics", "")).status, 200);
+        assert_eq!(route(&state, &req("GET", "/plan", "")).status, 405);
+        assert_eq!(route(&state, &req("POST", "/healthz", "")).status, 405);
+        assert_eq!(route(&state, &req("GET", "/nope", "")).status, 404);
+        assert_eq!(state.metrics.other_requests.load(Relaxed), 6);
+    }
+
+    #[test]
+    fn plan_requests_are_counted_and_timed() {
+        let state = AppState::new(4);
+        let resp = handle(&state, &req("POST", "/plan", "not json"));
+        assert_eq!(resp.status, 400);
+        assert_eq!(state.metrics.plan.requests.load(Relaxed), 1);
+        assert_eq!(state.metrics.plan.latency.count(), 1);
+    }
+
+    #[test]
+    fn panics_become_500s() {
+        // The barrier itself: a panicking closure produces a 500 body
+        // with the message, not an unwind (both payload shapes).
+        for boom in [
+            catch_unwind(|| panic!("kaboom")),
+            catch_unwind(|| {
+                let code = std::hint::black_box(7);
+                panic!("kaboom {code}") // formatted at runtime → String payload
+            }),
+        ] {
+            let payload = boom.expect_err("closure panicked");
+            let resp = Response::error(500, "internal_error", &panic_message(&*payload));
+            assert_eq!(resp.status, 500);
+            assert!(String::from_utf8(resp.body).unwrap().contains("kaboom"));
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! The daemon proper: accept loop, bounded request queue, worker pool,
+//! loopback admin listener, and the graceful-shutdown drain.
+//!
+//! Concurrency model (all `std`, no async runtime):
+//!
+//! * the **accept thread** pulls connections off the main listener and
+//!   `try_send`s them into a bounded [`sync_channel`]; when the
+//!   queue is full it sheds load right there — `503` with `Retry-After`
+//!   written inline, never blocking the accept loop on a planner run;
+//! * **workers** share the receiver behind a mutex, each popping one
+//!   connection at a time: read → route → write, with per-request read
+//!   timeouts so a stalled client cannot wedge a worker forever;
+//! * the **admin thread** listens on a loopback-only socket for
+//!   `POST /shutdown` (and `GET /healthz` for probes);
+//! * **shutdown** latches the [`ShutdownSignal`], pokes both listeners so
+//!   their `accept` calls return, drops the queue sender, and joins: the
+//!   workers drain every already-queued connection before exiting, so no
+//!   accepted request is ever reset.
+
+use crate::handlers::AppState;
+use crate::http::{error_response, read_request, Response};
+use crate::router;
+use crate::shutdown::ShutdownSignal;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Everything tunable about the daemon.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Main listener address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Admin listener address — must resolve to a loopback IP.
+    pub admin_addr: String,
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Bounded queue capacity between accept and the workers; beyond it,
+    /// connections are shed with `503`.
+    pub queue_capacity: usize,
+    /// Request body cap in bytes (`413` beyond it).
+    pub max_body: usize,
+    /// Plan-cache capacity in entries (`0` disables caching).
+    pub cache_capacity: usize,
+    /// Per-connection socket read timeout.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            admin_addr: "127.0.0.1:0".to_string(),
+            workers: thread::available_parallelism().map_or(4, |n| n.get()).clamp(2, 16),
+            queue_capacity: 64,
+            max_body: 1 << 20,
+            cache_capacity: 128,
+            read_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// A running daemon: bound addresses plus the join handles needed to
+/// drain it.
+pub struct ServerHandle {
+    /// The main listener's bound address.
+    pub addr: SocketAddr,
+    /// The admin listener's bound address (loopback).
+    pub admin_addr: SocketAddr,
+    shutdown: Arc<ShutdownSignal>,
+    state: Arc<AppState>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The shared handler state (metrics + cache) — handy for tests and
+    /// for the final stats printout.
+    pub fn state(&self) -> &AppState {
+        &self.state
+    }
+
+    /// An owning clone of the handler state, so metrics stay readable
+    /// after [`ServerHandle::wait`] consumes the handle.
+    pub fn state_arc(&self) -> Arc<AppState> {
+        Arc::clone(&self.state)
+    }
+
+    /// The shutdown signal, for wiring to signal handlers.
+    pub fn shutdown_signal(&self) -> Arc<ShutdownSignal> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Requests shutdown without waiting for the drain.
+    pub fn trigger_shutdown(&self) {
+        self.shutdown.trigger();
+    }
+
+    /// Blocks until shutdown is requested (by signal, admin endpoint, or
+    /// [`ServerHandle::trigger_shutdown`]), then drains and joins every
+    /// thread. In-flight and queued requests complete first.
+    pub fn wait(self) {
+        self.shutdown.wait();
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+
+    /// [`ServerHandle::trigger_shutdown`] + [`ServerHandle::wait`].
+    pub fn shutdown(self) {
+        self.shutdown.trigger();
+        self.wait();
+    }
+}
+
+fn bind_loopback_admin(addr: &str) -> io::Result<TcpListener> {
+    let resolved: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+    if resolved.is_empty() || !resolved.iter().all(|a| a.ip().is_loopback()) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("admin listener must bind a loopback address, got {addr}"),
+        ));
+    }
+    TcpListener::bind(&resolved[..])
+}
+
+/// Binds both listeners, spawns the accept loop, workers, and admin
+/// thread, and returns immediately.
+pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let admin_listener = bind_loopback_admin(&cfg.admin_addr)?;
+    let admin_addr = admin_listener.local_addr()?;
+
+    let shutdown = Arc::new(ShutdownSignal::new());
+    shutdown.register_waker(addr);
+    shutdown.register_waker(admin_addr);
+
+    let state = Arc::new(AppState::new(cfg.cache_capacity));
+    let (tx, rx) = sync_channel::<TcpStream>(cfg.queue_capacity.max(1));
+    let rx = Arc::new(Mutex::new(rx));
+
+    let mut threads = Vec::with_capacity(cfg.workers + 2);
+    for worker_id in 0..cfg.workers.max(1) {
+        let rx = Arc::clone(&rx);
+        let state = Arc::clone(&state);
+        let read_timeout = cfg.read_timeout;
+        let max_body = cfg.max_body;
+        threads.push(
+            thread::Builder::new()
+                .name(format!("serve-worker-{worker_id}"))
+                .spawn(move || worker_loop(&rx, &state, read_timeout, max_body))?,
+        );
+    }
+
+    {
+        let shutdown = Arc::clone(&shutdown);
+        let state = Arc::clone(&state);
+        threads.push(thread::Builder::new().name("serve-accept".to_string()).spawn(move || {
+            accept_loop(&listener, &tx, &state, &shutdown);
+            // `tx` drops here: workers drain the queue, then exit.
+        })?);
+    }
+
+    {
+        let shutdown = Arc::clone(&shutdown);
+        let read_timeout = cfg.read_timeout;
+        threads.push(
+            thread::Builder::new()
+                .name("serve-admin".to_string())
+                .spawn(move || admin_loop(&admin_listener, &shutdown, read_timeout))?,
+        );
+    }
+
+    Ok(ServerHandle { addr, admin_addr, shutdown, state, threads })
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    tx: &std::sync::mpsc::SyncSender<TcpStream>,
+    state: &AppState,
+    shutdown: &ShutdownSignal,
+) {
+    for conn in listener.incoming() {
+        if shutdown.is_triggered() {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        // Count the connection into the queue gauge *before* the send so
+        // a worker's decrement can never race it below zero.
+        state.metrics.queue_depth.fetch_add(1, Relaxed);
+        match tx.try_send(stream) {
+            Ok(()) => {}
+            Err(TrySendError::Full(mut stream)) => {
+                state.metrics.queue_depth.fetch_sub(1, Relaxed);
+                state.metrics.queue_rejected.fetch_add(1, Relaxed);
+                state.metrics.record_status(503);
+                let resp =
+                    Response::error(503, "overloaded", "request queue is full; retry shortly")
+                        .with_header("retry-after", "1".to_string());
+                let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+                let _ = resp.write_to(&mut stream);
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                state.metrics.queue_depth.fetch_sub(1, Relaxed);
+                break;
+            }
+        }
+    }
+}
+
+fn worker_loop(
+    rx: &Arc<Mutex<Receiver<TcpStream>>>,
+    state: &Arc<AppState>,
+    read_timeout: Duration,
+    max_body: usize,
+) {
+    loop {
+        // Hold the receiver lock only for the pop, never while serving.
+        let stream = {
+            let guard = match rx.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            guard.recv()
+        };
+        let Ok(stream) = stream else { break };
+        state.metrics.queue_depth.fetch_sub(1, Relaxed);
+        state.metrics.in_flight.fetch_add(1, Relaxed);
+        serve_connection(state, stream, read_timeout, max_body);
+        state.metrics.in_flight.fetch_sub(1, Relaxed);
+    }
+}
+
+fn serve_connection(
+    state: &AppState,
+    mut stream: TcpStream,
+    read_timeout: Duration,
+    max_body: usize,
+) {
+    let _ = stream.set_read_timeout(Some(read_timeout));
+    let _ = stream.set_write_timeout(Some(read_timeout));
+    let resp = match read_request(&stream, max_body) {
+        Ok(req) => router::handle(state, &req),
+        Err(err) => match error_response(&err) {
+            Some(resp) => resp,
+            None => return, // socket died before a request arrived
+        },
+    };
+    state.metrics.record_status(resp.status);
+    let _ = resp.write_to(&mut stream);
+}
+
+fn admin_loop(listener: &TcpListener, shutdown: &Arc<ShutdownSignal>, read_timeout: Duration) {
+    for conn in listener.incoming() {
+        if shutdown.is_triggered() {
+            break;
+        }
+        let Ok(mut stream) = conn else { continue };
+        let _ = stream.set_read_timeout(Some(read_timeout));
+        let _ = stream.set_write_timeout(Some(read_timeout));
+        let resp = match read_request(&stream, 4096) {
+            Ok(req) => match (req.method.as_str(), req.path.as_str()) {
+                ("POST", "/shutdown") => {
+                    // Answer first, then latch: the trigger's waker poke
+                    // brings this loop (and the main accept loop) down.
+                    let resp = Response::json(200, "{\"status\":\"shutting down\"}".to_string());
+                    let _ = resp.write_to(&mut stream);
+                    shutdown.trigger();
+                    continue;
+                }
+                ("GET", "/healthz") => Response::json(200, "{\"status\":\"ok\"}".to_string()),
+                (m, p) => Response::error(404, "not_found", &format!("no admin route for {m} {p}")),
+            },
+            Err(err) => match error_response(&err) {
+                Some(resp) => resp,
+                None => continue,
+            },
+        };
+        let _ = resp.write_to(&mut stream);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+
+    fn request(addr: SocketAddr, raw: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(raw.as_bytes()).expect("write");
+        let mut out = String::new();
+        stream.read_to_string(&mut out).expect("read");
+        out
+    }
+
+    #[test]
+    fn healthz_round_trip_and_graceful_shutdown() {
+        let handle =
+            start(ServerConfig { workers: 2, queue_capacity: 8, ..ServerConfig::default() })
+                .expect("start");
+        let addr = handle.addr;
+        let resp = request(addr, "GET /healthz HTTP/1.1\r\nhost: x\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 200 OK"), "{resp}");
+        assert!(resp.contains("\"status\":\"ok\""), "{resp}");
+        handle.shutdown();
+        // After the drain, new connections must be refused, not queued.
+        assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(300)).is_err());
+    }
+
+    #[test]
+    fn admin_shutdown_endpoint_drains_the_daemon() {
+        let handle = start(ServerConfig::default()).expect("start");
+        let admin = handle.admin_addr;
+        assert!(admin.ip().is_loopback());
+        let resp = request(admin, "POST /shutdown HTTP/1.1\r\nhost: x\r\n\r\n");
+        assert!(resp.contains("shutting down"), "{resp}");
+        handle.wait(); // returns because the admin endpoint latched the signal
+    }
+
+    #[test]
+    fn non_loopback_admin_addr_is_refused() {
+        match start(ServerConfig { admin_addr: "0.0.0.0:0".to_string(), ..ServerConfig::default() })
+        {
+            Err(err) => assert_eq!(err.kind(), io::ErrorKind::InvalidInput),
+            Ok(_) => panic!("0.0.0.0 must be rejected"),
+        }
+    }
+}

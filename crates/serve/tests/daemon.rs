@@ -1,0 +1,272 @@
+//! End-to-end tests against a real daemon: every request here crosses a
+//! TCP socket and the full accept → queue → worker → router path.
+
+use perpetuum_serve::{start, ServerConfig};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::atomic::Ordering::Relaxed;
+use std::time::{Duration, Instant};
+
+/// A parsed wire response: status code, headers (lowercased names), body.
+struct Wire {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: String,
+}
+
+impl Wire {
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Sends raw bytes, reads to EOF (every response closes the connection),
+/// and splits the head from the body.
+fn raw_request(addr: SocketAddr, raw: &[u8]) -> Wire {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(raw).expect("write");
+    stream.shutdown(Shutdown::Write).expect("half-close");
+    read_response(&mut stream)
+}
+
+fn read_response(stream: &mut TcpStream) -> Wire {
+    let mut text = String::new();
+    stream.read_to_string(&mut text).expect("read response");
+    let (head, body) = text.split_once("\r\n\r\n").expect("head/body split");
+    let mut lines = head.lines();
+    let status_line = lines.next().expect("status line");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparsable status line {status_line:?}"));
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    Wire { status, headers, body: body.to_string() }
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> Wire {
+    let raw = format!(
+        "POST {path} HTTP/1.1\r\nhost: t\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    raw_request(addr, raw.as_bytes())
+}
+
+fn get(addr: SocketAddr, path: &str) -> Wire {
+    raw_request(addr, format!("GET {path} HTTP/1.1\r\nhost: t\r\n\r\n").as_bytes())
+}
+
+fn scenario_body(seed: u64) -> String {
+    format!(
+        r#"{{"scenario": {{
+            "field_size": 500.0, "n": 15, "q": 2,
+            "tau_min": 1.0, "tau_max": 20.0,
+            "dist": {{ "Linear": {{ "sigma": 2.0 }} }},
+            "horizon": 60.0, "slot": 10.0,
+            "variable": false, "deployment": "Uniform"
+        }}, "seed": {seed}}}"#
+    )
+}
+
+/// Spin until `probe` is true or the deadline passes.
+fn wait_for(what: &str, probe: impl Fn() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !probe() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn plan_cache_round_trip_is_byte_identical_over_the_wire() {
+    let handle = start(ServerConfig::default()).expect("start");
+    let addr = handle.addr;
+    let body = scenario_body(11);
+
+    let first = post(addr, "/plan", &body);
+    assert_eq!(first.status, 200, "{}", first.body);
+    assert!(first.body.starts_with("{\"cache_hit\":false,"), "{}", first.body);
+
+    // Same scenario, different key order and whitespace: still a hit.
+    let reordered = r#"{ "seed": 11, "scenario": {"deployment":"Uniform","variable":false,"slot":10.0,"horizon":60.0,"dist":{"Linear":{"sigma":2.0}},"tau_max":20.0,"tau_min":1.0,"q":2,"n":15,"field_size":500.0} }"#;
+    let second = post(addr, "/plan", reordered);
+    assert_eq!(second.status, 200, "{}", second.body);
+    assert!(second.body.starts_with("{\"cache_hit\":true,"), "{}", second.body);
+
+    let result_of = |w: &Wire| w.body.split_once("\"result\":").map(|(_, r)| r.to_string());
+    assert_eq!(result_of(&first), result_of(&second), "byte-identical schedule");
+
+    let metrics = handle.state();
+    assert_eq!(metrics.metrics.cache_hits.load(Relaxed), 1);
+    assert_eq!(metrics.metrics.cache_misses.load(Relaxed), 1);
+    handle.shutdown();
+}
+
+#[test]
+fn simulate_with_faults_over_the_wire() {
+    let handle = start(ServerConfig::default()).expect("start");
+    let body = scenario_body(3).replace(
+        "\"seed\": 3",
+        r#""seed": 3, "algo": "Mtd", "faults": {"chargers": {"mtbf": 10.0, "mttr": 20.0}, "seed": 5}"#,
+    );
+    let resp = post(handle.addr, "/simulate", &body);
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert!(resp.body.contains("\"algo\":\"Mtd\""), "{}", resp.body);
+    assert!(resp.body.contains("\"breakdowns\":"), "{}", resp.body);
+    handle.shutdown();
+}
+
+#[test]
+fn healthz_metrics_and_routing_errors() {
+    let handle = start(ServerConfig::default()).expect("start");
+    let addr = handle.addr;
+
+    assert_eq!(get(addr, "/healthz").status, 200);
+    let _ = post(addr, "/plan", &scenario_body(1));
+    let metrics = get(addr, "/metrics");
+    assert_eq!(metrics.status, 200);
+    for family in [
+        "perpetuum_requests_total{endpoint=\"plan\"} 1",
+        "perpetuum_cache_misses_total 1",
+        "perpetuum_request_seconds_bucket",
+        "perpetuum_responses_total{class=\"2xx\"}",
+        "perpetuum_queue_depth 0",
+    ] {
+        assert!(metrics.body.contains(family), "missing {family:?}:\n{}", metrics.body);
+    }
+
+    assert_eq!(get(addr, "/nope").status, 404);
+    assert_eq!(get(addr, "/plan").status, 405);
+    assert_eq!(post(addr, "/healthz", "").status, 405);
+    handle.shutdown();
+}
+
+#[test]
+fn malformed_wire_inputs_get_typed_errors_never_panics() {
+    let handle = start(ServerConfig { max_body: 1024, ..ServerConfig::default() }).expect("start");
+    let addr = handle.addr;
+
+    // Invalid JSON body.
+    let resp = post(addr, "/plan", "{not json");
+    assert_eq!(resp.status, 400);
+    assert!(resp.body.contains("\"kind\":\"bad_json\""), "{}", resp.body);
+
+    // Valid JSON, invalid scenario.
+    let resp = post(addr, "/plan", &scenario_body(1).replace("\"q\": 2", "\"q\": 0"));
+    assert_eq!(resp.status, 400);
+    assert!(resp.body.contains("\"kind\":\"invalid_scenario\""), "{}", resp.body);
+
+    // Truncated body: Content-Length promises more than is sent.
+    let resp = raw_request(
+        addr,
+        b"POST /plan HTTP/1.1\r\nhost: t\r\ncontent-length: 500\r\n\r\n{\"scenario\"",
+    );
+    assert_eq!(resp.status, 400);
+    assert!(resp.body.contains("truncated"), "{}", resp.body);
+
+    // Unparsable Content-Length.
+    let resp =
+        raw_request(addr, b"POST /plan HTTP/1.1\r\nhost: t\r\ncontent-length: banana\r\n\r\n");
+    assert_eq!(resp.status, 400);
+    assert!(resp.body.contains("Content-Length"), "{}", resp.body);
+
+    // Declared body over the cap: 413 with Retry-After, body never read.
+    let resp =
+        raw_request(addr, b"POST /plan HTTP/1.1\r\nhost: t\r\ncontent-length: 999999\r\n\r\n");
+    assert_eq!(resp.status, 413);
+    assert!(resp.body.contains("\"kind\":\"payload_too_large\""), "{}", resp.body);
+    assert_eq!(resp.header("retry-after"), Some("1"));
+
+    // The daemon is still healthy after all of that.
+    assert_eq!(get(addr, "/healthz").status, 200);
+    handle.shutdown();
+}
+
+#[test]
+fn full_queue_sheds_load_with_503_and_retry_after() {
+    // One worker, one queue slot: occupy both, then overflow.
+    let handle = start(ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        read_timeout: Duration::from_secs(2),
+        ..ServerConfig::default()
+    })
+    .expect("start");
+    let addr = handle.addr;
+    let m = handle.state_arc();
+
+    // c1 occupies the worker: it connects but sends nothing, so the
+    // worker blocks in read_request until the 2s socket timeout.
+    let c1 = TcpStream::connect(addr).expect("c1");
+    wait_for("worker to pick up c1", || m.metrics.in_flight.load(Relaxed) == 1);
+
+    // c2 fills the single queue slot.
+    let c2 = TcpStream::connect(addr).expect("c2");
+    wait_for("c2 to be queued", || m.metrics.queue_depth.load(Relaxed) == 1);
+
+    // c3 overflows: the accept thread itself must shed it.
+    let mut c3 = TcpStream::connect(addr).expect("c3");
+    let resp = read_response(&mut c3);
+    assert_eq!(resp.status, 503);
+    assert_eq!(resp.header("retry-after"), Some("1"));
+    assert!(resp.body.contains("\"kind\":\"overloaded\""), "{}", resp.body);
+    assert!(m.metrics.queue_rejected.load(Relaxed) >= 1);
+
+    drop(c1);
+    drop(c2);
+    handle.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_requests() {
+    let handle = start(ServerConfig {
+        workers: 1,
+        read_timeout: Duration::from_secs(5),
+        ..ServerConfig::default()
+    })
+    .expect("start");
+    let addr = handle.addr;
+    let admin = handle.admin_addr;
+    let m = handle.state_arc();
+
+    // Open a request and send only half of it, so it is mid-flight when
+    // shutdown arrives.
+    let body = scenario_body(21);
+    let raw =
+        format!("POST /plan HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n{body}", body.len());
+    let (half, rest) = raw.split_at(raw.len() / 2);
+    let mut c1 = TcpStream::connect(addr).expect("c1");
+    c1.write_all(half.as_bytes()).expect("first half");
+    wait_for("worker to pick up c1", || m.metrics.in_flight.load(Relaxed) == 1);
+
+    // Trigger shutdown through the loopback admin endpoint.
+    let resp = raw_request(admin, b"POST /shutdown HTTP/1.1\r\nhost: t\r\n\r\n");
+    assert_eq!(resp.status, 200);
+    assert!(resp.body.contains("shutting down"), "{}", resp.body);
+
+    // The in-flight request must still complete — full response, no reset.
+    c1.write_all(rest.as_bytes()).expect("second half");
+    c1.shutdown(Shutdown::Write).expect("half-close");
+    let resp = read_response(&mut c1);
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert!(resp.body.contains("\"service_cost\":"), "{}", resp.body);
+
+    // wait() returns because the admin endpoint latched the signal; new
+    // connections are refused after the drain.
+    handle.wait();
+    assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(300)).is_err());
+}
+
+#[test]
+fn admin_listener_is_loopback_only_and_404s_unknown_routes() {
+    let handle = start(ServerConfig::default()).expect("start");
+    assert!(handle.admin_addr.ip().is_loopback());
+    let resp = raw_request(handle.admin_addr, b"GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n");
+    assert_eq!(resp.status, 200);
+    let resp = raw_request(handle.admin_addr, b"GET /metrics HTTP/1.1\r\nhost: t\r\n\r\n");
+    assert_eq!(resp.status, 404);
+    handle.shutdown();
+}

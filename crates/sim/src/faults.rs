@@ -27,6 +27,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 
 pub use perpetuum_energy::shock::RateShock;
 use perpetuum_energy::shock::ShockState;
@@ -38,7 +39,7 @@ const FAULT_STREAM_SALT: u64 = 0xD6E8_FEB8_6659_FD93;
 
 /// Charger breakdown/repair process: alternating up and down phases with
 /// exponentially distributed durations.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ChargerFaults {
     /// Mean time between failures (mean up-phase duration).
     pub mtbf: f64,
@@ -48,14 +49,14 @@ pub struct ChargerFaults {
 
 /// Travel-speed perturbation (travel-time mode only): each dispatch's
 /// effective speed is `nominal · u`, `u ~ U[1 − jitter, 1 + jitter]`.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SpeedFaults {
     /// Relative jitter, in `[0, 1)`.
     pub jitter: f64,
 }
 
 /// Degraded-mode recovery parameters.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RecoveryConfig {
     /// An orphan whose estimated residual lifetime drops to this window
     /// triggers an emergency dispatch (same residual estimate as the
@@ -75,19 +76,24 @@ impl Default for RecoveryConfig {
 }
 
 /// The full fault-injection configuration of a run.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct FaultModel {
     /// Charger breakdown/repair process (`None` disables).
+    #[serde(default)]
     pub chargers: Option<ChargerFaults>,
     /// Consumption-rate shocks and drift (`None` disables).
+    #[serde(default)]
     pub rates: Option<RateShock>,
     /// Travel-speed perturbation (`None` disables; ignored without a
     /// charger speed).
+    #[serde(default)]
     pub speed: Option<SpeedFaults>,
     /// Degraded-mode recovery parameters.
+    #[serde(default)]
     pub recovery: RecoveryConfig,
     /// Fault-stream seed, combined with the engine seed — two runs with
     /// the same engine seed can still draw different fault histories.
+    #[serde(default)]
     pub seed: u64,
 }
 
@@ -470,5 +476,26 @@ mod tests {
         assert!(draws.iter().all(|&d| d >= 0.0 && d.is_finite()));
         let avg = draws.iter().sum::<f64>() / draws.len() as f64;
         assert!((avg - mean).abs() < mean * 0.2, "avg {avg}");
+    }
+
+    #[test]
+    fn fault_model_round_trips_through_json() {
+        let m = FaultModel::none()
+            .with_breakdowns(40.0, 8.0)
+            .with_speed_jitter(0.2)
+            .with_recovery(RecoveryConfig { urgency_window: 2.0, max_retries: 3, backoff: 0.25 })
+            .with_seed(9);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: FaultModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+        // A partial description fills the rest with the fault-free defaults.
+        let partial: FaultModel =
+            serde_json::from_str(r#"{"chargers": {"mtbf": 50.0, "mttr": 5.0}}"#).unwrap();
+        assert_eq!(partial.chargers, Some(ChargerFaults { mtbf: 50.0, mttr: 5.0 }));
+        assert_eq!(partial.rates, None);
+        assert_eq!(partial.recovery, RecoveryConfig::default());
+        // An empty object is exactly the fault-free model.
+        let none: FaultModel = serde_json::from_str("{}").unwrap();
+        assert!(none.is_none());
     }
 }

@@ -85,6 +85,22 @@ pub trait Deserialize: Sized {
     fn from_value(v: &Value) -> Result<Self, DeError>;
 }
 
+// A `Value` serializes as itself — lets callers embed already-parsed JSON
+// trees inside larger serialized structures (and extract them back).
+impl Serialize for Value {
+    #[inline]
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    #[inline]
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 // ---- primitive impls ------------------------------------------------------
 
 macro_rules! impl_num {

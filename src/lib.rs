@@ -51,6 +51,7 @@ pub use perpetuum_exp as exp;
 pub use perpetuum_geom as geom;
 pub use perpetuum_graph as graph;
 pub use perpetuum_par as par;
+pub use perpetuum_serve as serve;
 pub use perpetuum_sim as sim;
 
 /// The most common imports, re-exported flat.

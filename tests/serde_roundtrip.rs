@@ -60,6 +60,33 @@ fn point_and_field_round_trip() {
 }
 
 #[test]
+fn every_scenario_file_round_trips() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios");
+    let mut seen = 0usize;
+    for entry in std::fs::read_dir(dir).expect("scenarios/ exists") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        seen += 1;
+        let text = std::fs::read_to_string(&path).expect("readable scenario file");
+        let exp = perpetuum::exp::CustomExperiment::from_json(&text)
+            .unwrap_or_else(|e| panic!("{path:?} failed to parse: {e}"));
+
+        // Serialize → reparse → everything semantic survives.
+        let json = serde_json::to_string(&exp).expect("re-serialize");
+        let back = perpetuum::exp::CustomExperiment::from_json(&json)
+            .unwrap_or_else(|e| panic!("{path:?} re-parse failed: {e}"));
+        assert_eq!(back.name, exp.name, "{path:?}");
+        assert_eq!(back.scenario, exp.scenario, "{path:?}");
+        assert_eq!(back.algos, exp.algos, "{path:?}");
+        assert_eq!(back.network_sizes, exp.network_sizes, "{path:?}");
+        assert_eq!(back.faults, exp.faults, "{path:?}");
+    }
+    assert!(seen >= 3, "expected the committed scenario files, found {seen}");
+}
+
+#[test]
 fn sim_result_round_trips() {
     use perpetuum::prelude::*;
     let sensors = vec![Point2::new(50.0, 0.0), Point2::new(0.0, 80.0)];
