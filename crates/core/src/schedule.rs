@@ -154,6 +154,26 @@ impl ScheduleSeries {
         &self.sets[d.set]
     }
 
+    /// Redirects every dispatch of set `from` strictly after `after` to set
+    /// `to`, returning how many were retargeted. Past dispatches keep their
+    /// historical set — this is the incremental-replanning primitive: an
+    /// online controller re-routes one rounding class and swaps the future
+    /// occurrences of its tour set without touching the dispatch timeline.
+    ///
+    /// # Panics
+    /// Panics when `to` is not a registered set.
+    pub fn retarget_dispatches(&mut self, from: usize, to: usize, after: f64) -> usize {
+        assert!(to < self.sets.len(), "unknown tour set {to}");
+        let mut moved = 0;
+        for d in &mut self.dispatches {
+            if d.set == from && d.time > after {
+                d.set = to;
+                moved += 1;
+            }
+        }
+        moved
+    }
+
     /// Total service cost: the sum of tour-set costs over all dispatches —
     /// the paper's objective `Σ_j w(C_j)`.
     pub fn service_cost(&self) -> f64 {
@@ -306,6 +326,35 @@ mod tests {
     fn dispatch_of_unknown_set_panics() {
         let mut s = ScheduleSeries::new();
         s.push_dispatch(1.0, 0);
+    }
+
+    #[test]
+    fn retarget_dispatches_moves_only_the_future() {
+        let d = dist();
+        let mut s = ScheduleSeries::new();
+        let old = s.add_set(TourSet::new(vec![Tour::new(vec![2, 0])], &d, is_depot));
+        let other = s.add_set(TourSet::new(vec![Tour::new(vec![2, 1])], &d, is_depot));
+        let new = s.add_set(TourSet::new(vec![Tour::new(vec![2, 0, 1])], &d, is_depot));
+        for &(t, set) in &[(1.0, old), (2.0, other), (3.0, old), (4.0, old)] {
+            s.push_dispatch(t, set);
+        }
+        let moved = s.retarget_dispatches(old, new, 2.5);
+        assert_eq!(moved, 2);
+        let assigned: Vec<usize> = s.dispatches().iter().map(|d| d.set).collect();
+        assert_eq!(assigned, vec![old, other, new, new]);
+        // Times are untouched; only set references move.
+        let times: Vec<f64> = s.dispatches().iter().map(|d| d.time).collect();
+        assert_eq!(times, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown tour set")]
+    fn retarget_to_unknown_set_panics() {
+        let d = dist();
+        let mut s = ScheduleSeries::new();
+        let set = s.add_set(TourSet::new(vec![Tour::new(vec![2, 0])], &d, is_depot));
+        s.push_dispatch(1.0, set);
+        s.retarget_dispatches(set, 9, 0.0);
     }
 
     #[test]

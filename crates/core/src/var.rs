@@ -19,7 +19,9 @@
 //!    Algorithm 2; all later schedulings reuse the unmodified Algorithm 3
 //!    tour sets.
 
-use std::collections::HashMap;
+// BTreeMaps, not HashMaps: modified-set construction iterates these, and
+// set insertion order must be deterministic for byte-identical replans.
+use std::collections::BTreeMap;
 
 use crate::mtd::{nu2, push_dispatch_timeline};
 use crate::network::Network;
@@ -56,6 +58,11 @@ pub struct VarPlan {
     /// The cycle `τ̂'_i` each sensor is charged at in this plan — the base
     /// station stores these for the next applicability test.
     pub assigned_cycles: Vec<f64>,
+    /// Indices (into `series.sets()`) of the unmodified Algorithm-3 base
+    /// tour sets `B_0 … B_K`, in class order — an incremental replanner can
+    /// re-route one class and retarget exactly these sets' future
+    /// dispatches. Empty for an empty network.
+    pub base_set_ids: Vec<usize>,
 }
 
 /// How `V^a` sensors are attached to early schedulings — the
@@ -87,7 +94,7 @@ pub fn replan_variable_with(input: &VarInput, repair: RepairStrategy) -> VarPlan
 
     let mut series = ScheduleSeries::new();
     if n == 0 {
-        return VarPlan { series, assigned_cycles: Vec::new() };
+        return VarPlan { series, assigned_cycles: Vec::new(), base_set_ids: Vec::new() };
     }
 
     let partition = partition_cycles(input.max_cycles);
@@ -102,7 +109,7 @@ pub fn replan_variable_with(input: &VarInput, repair: RepairStrategy) -> VarPlan
     // --- Repair bookkeeping -------------------------------------------------
     // `added[j]` — extra sensors attached to the j-th early scheduling
     // (j = 0 is the immediate extra scheduling at `now`).
-    let mut added: HashMap<u64, Vec<usize>> = HashMap::new();
+    let mut added: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
 
     // V^a: sensors whose residual cannot reach their first scheduled charge.
     let mut va: Vec<usize> =
@@ -181,7 +188,7 @@ pub fn replan_variable_with(input: &VarInput, repair: RepairStrategy) -> VarPlan
     let base_ids: Vec<usize> = cums.iter().map(|d| series.add_set(route(d))).collect();
 
     // Modified early schedulings.
-    let mut modified_ids: HashMap<u64, usize> = HashMap::new();
+    let mut modified_ids: BTreeMap<u64, usize> = BTreeMap::new();
     for (&j, extra) in &added {
         let mut sensors: Vec<usize> = base_sensors_of(j, k_max, &cums).to_vec();
         sensors.extend_from_slice(extra);
@@ -212,7 +219,7 @@ pub fn replan_variable_with(input: &VarInput, repair: RepairStrategy) -> VarPlan
         push_dispatch_timeline(&mut series, &base_ids, tau1, k_max, start, input.horizon);
     }
 
-    VarPlan { series, assigned_cycles: partition.rounded }
+    VarPlan { series, assigned_cycles: partition.rounded, base_set_ids: base_ids }
 }
 
 /// Base sensors of early scheduling `j` (`j = 0` is the extra immediate
@@ -488,6 +495,27 @@ mod tests {
             let plan = replan_variable(&input);
             check_var_plan(&input, &plan).unwrap_or_else(|e| panic!("seed {seed}: {e:?}"));
             assert!(!network.has_dense_matrix(), "replan must not densify the network");
+        }
+    }
+
+    #[test]
+    fn base_set_ids_reference_the_cumulative_classes() {
+        let network = grid_network(8, 2, 13);
+        let cycles = vec![1.0, 1.0, 2.5, 3.0, 5.0, 9.0, 17.0, 40.0];
+        let input = VarInput {
+            network: &network,
+            max_cycles: &cycles,
+            residuals: &cycles.clone(),
+            now: 0.0,
+            horizon: 64.0,
+            polish_rounds: 0,
+        };
+        let plan = replan_variable(&input);
+        let partition = partition_cycles(&cycles);
+        assert_eq!(plan.base_set_ids.len(), partition.k_max() + 1);
+        for (k, &id) in plan.base_set_ids.iter().enumerate() {
+            let covered = plan.series.sets()[id].sensors();
+            assert_eq!(covered, partition.cumulative(k).as_slice(), "class {k}");
         }
     }
 

@@ -1,0 +1,87 @@
+//! Property tests: power-of-two cycle classes are *stable* under small
+//! rate perturbations — a cycle that moves by less than its distance to
+//! the nearest class boundary never flips class. This is the invariant the
+//! online controller's "class changed" replanning trigger relies on: noisy
+//! telemetry inside the applicability band must cause zero planner calls.
+
+use perpetuum_core::rounding::{partition_cycles, power_class};
+use proptest::prelude::*;
+
+/// The exact class band `[τ₁·2^k, τ₁·2^(k+1))` containing `tau`, computed
+/// by the same repeated doubling as `power_class` so the boundaries agree
+/// bit-for-bit with the implementation.
+fn class_band(tau1: f64, tau: f64) -> (f64, f64) {
+    let mut lo = tau1;
+    while lo * 2.0 <= tau {
+        lo *= 2.0;
+    }
+    (lo, lo * 2.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// A perturbation strictly smaller than the margin to the nearest
+    /// boundary never changes `power_class`.
+    #[test]
+    fn class_stable_under_sub_margin_perturbation(
+        tau1 in 0.5..20.0f64,
+        ratio in 1.0..500.0f64,
+        delta in -1.0..1.0f64,
+    ) {
+        let tau = tau1 * ratio;
+        let k = power_class(tau1, tau);
+        let (lo, hi) = class_band(tau1, tau);
+        prop_assert!(lo <= tau && tau < hi, "band invariant: {lo} <= {tau} < {hi}");
+        // Margin to the nearest boundary; shrink to stay strictly inside.
+        let margin = (tau - lo).min(hi - tau);
+        let perturbed = tau + delta * margin * 0.99;
+        prop_assert_eq!(
+            power_class(tau1, perturbed), k,
+            "tau {} -> {} flipped class (band [{}, {}))", tau, perturbed, lo, hi
+        );
+    }
+
+    /// Crossing the boundary *does* flip the class — the margin above is
+    /// tight, not an artifact of a sloppy trigger.
+    #[test]
+    fn class_flips_exactly_at_the_boundary(
+        tau1 in 0.5..20.0f64,
+        k in 0u32..8,
+    ) {
+        // Doubling is exact in floating point, so the boundary itself is
+        // representable and belongs to the upper class.
+        let lo = tau1 * f64::powi(2.0, k as i32);
+        prop_assert_eq!(power_class(tau1, lo), k as usize);
+        let below = lo - lo * 1e-12;
+        if k > 0 && below >= tau1 {
+            prop_assert_eq!(power_class(tau1, below), (k - 1) as usize);
+        }
+    }
+
+    /// Whole-partition stability: with τ₁ pinned by an unperturbed anchor
+    /// sensor, perturbing every other cycle inside its own class band
+    /// leaves `class_of` and the rounded cycles untouched.
+    #[test]
+    fn partition_classes_stable_inside_bands(
+        tau1 in 0.5..10.0f64,
+        ratios in prop::collection::vec(1.0..200.0f64, 1..24),
+        deltas in prop::collection::vec(-1.0..1.0f64, 24),
+    ) {
+        let mut cycles = vec![tau1]; // anchor pins τ₁
+        cycles.extend(ratios.iter().map(|r| tau1 * r));
+        let before = partition_cycles(&cycles);
+
+        let mut perturbed = vec![tau1];
+        for (i, &tau) in cycles.iter().enumerate().skip(1) {
+            let (lo, hi) = class_band(tau1, tau);
+            let margin = (tau - lo).min(hi - tau);
+            perturbed.push(tau + deltas[i - 1] * margin * 0.99);
+        }
+        let after = partition_cycles(&perturbed);
+
+        prop_assert_eq!(&before.class_of, &after.class_of);
+        prop_assert_eq!(&before.rounded, &after.rounded);
+        prop_assert_eq!(before.k_max(), after.k_max());
+    }
+}

@@ -44,9 +44,12 @@ impl EwmaPredictor {
     }
 
     /// Feeds the rate `rho` observed for the slot that just ended and
-    /// returns the updated prediction for the next slot.
+    /// returns the updated prediction for the next slot. Non-positive
+    /// observations are admissible (an idle or energy-harvesting slot can
+    /// report zero or even negative net drain); the derived lifetimes
+    /// saturate at `∞` once the prediction itself drops to `≤ 0`.
     pub fn observe(&mut self, rho: f64) -> f64 {
-        debug_assert!(rho > 0.0);
+        debug_assert!(rho.is_finite());
         self.rho_hat = self.gamma * rho + (1.0 - self.gamma) * self.rho_hat;
         self.rho_hat
     }
@@ -57,15 +60,23 @@ impl EwmaPredictor {
         self.rho_hat
     }
 
-    /// Predicted maximum charging cycle `τ̂ = B / ρ̂`.
+    /// Predicted maximum charging cycle `τ̂ = B / ρ̂`, or `∞` when the
+    /// predicted rate is non-positive (the battery never drains).
     #[inline]
     pub fn max_cycle(&self, capacity: f64) -> f64 {
+        if self.rho_hat <= 0.0 {
+            return f64::INFINITY;
+        }
         capacity / self.rho_hat
     }
 
-    /// Predicted residual lifetime `l̂ = re / ρ̂`.
+    /// Predicted residual lifetime `l̂ = re / ρ̂`, or `∞` when the predicted
+    /// rate is non-positive (never `NaN`, even at `re = 0`).
     #[inline]
     pub fn residual_lifetime(&self, residual_energy: f64) -> f64 {
+        if self.rho_hat <= 0.0 {
+            return f64::INFINITY;
+        }
         residual_energy / self.rho_hat
     }
 }
@@ -108,8 +119,10 @@ impl HoltPredictor {
     }
 
     /// Feeds an observed rate; returns the one-step-ahead prediction.
+    /// Non-positive observations are admissible, like
+    /// [`EwmaPredictor::observe`].
     pub fn observe(&mut self, rho: f64) -> f64 {
-        debug_assert!(rho > 0.0);
+        debug_assert!(rho.is_finite());
         let prev_level = self.level;
         self.level = self.alpha * rho + (1.0 - self.alpha) * (self.level + self.trend);
         self.trend = self.beta * (self.level - prev_level) + (1.0 - self.beta) * self.trend;
@@ -117,14 +130,29 @@ impl HoltPredictor {
     }
 
     /// One-step-ahead rate prediction `level + trend`, floored at a tiny
-    /// positive value so derived lifetimes stay finite.
+    /// positive value so it can be fed back into rate formulas directly.
     pub fn predicted_rate(&self) -> f64 {
         (self.level + self.trend).max(f64::MIN_POSITIVE)
     }
 
-    /// Predicted maximum charging cycle `B / ρ̂`.
+    /// Predicted maximum charging cycle `B / ρ̂`, or `∞` when the raw
+    /// (unfloored) prediction `level + trend` has gone non-positive after a
+    /// negative-trend observation — a battery that never drains, not a
+    /// huge-but-finite `B / MIN_POSITIVE` artifact.
     pub fn max_cycle(&self, capacity: f64) -> f64 {
+        if self.level + self.trend <= 0.0 {
+            return f64::INFINITY;
+        }
         capacity / self.predicted_rate()
+    }
+
+    /// Predicted residual lifetime `re / ρ̂`, with the same `∞` saturation
+    /// as [`HoltPredictor::max_cycle`] (never `NaN`, even at `re = 0`).
+    pub fn residual_lifetime(&self, residual_energy: f64) -> f64 {
+        if self.level + self.trend <= 0.0 {
+            return f64::INFINITY;
+        }
+        residual_energy / self.predicted_rate()
     }
 }
 
@@ -225,6 +253,59 @@ mod tests {
             holt.observe((10.0 - step as f64 * 0.2).max(0.01));
         }
         assert!(holt.predicted_rate() > 0.0);
+    }
+
+    #[test]
+    fn ewma_non_positive_prediction_saturates_lifetimes_at_infinity() {
+        // One negative observation cancels the history exactly: ρ̂ = 0.
+        let mut p = EwmaPredictor::new(0.5, 1.0);
+        p.observe(-1.0);
+        assert_eq!(p.predicted_rate(), 0.0);
+        assert_eq!(p.max_cycle(1.0), f64::INFINITY);
+        assert_eq!(p.residual_lifetime(0.5), f64::INFINITY);
+        // The 0/0 corner must be ∞, not NaN.
+        assert_eq!(p.residual_lifetime(0.0), f64::INFINITY);
+        // Push strictly below zero: still ∞, never negative lifetimes.
+        p.observe(-1.0);
+        assert!(p.predicted_rate() < 0.0);
+        assert_eq!(p.max_cycle(1.0), f64::INFINITY);
+        assert_eq!(p.residual_lifetime(0.5), f64::INFINITY);
+        // Fresh positive observations recover a finite cycle.
+        for _ in 0..20 {
+            p.observe(2.0);
+        }
+        assert!((p.max_cycle(1.0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ewma_boundary_exactly_zero_rate_observation() {
+        // Zero observations decay ρ̂ geometrically but never through zero,
+        // so lifetimes stay finite until the prediction actually crosses.
+        let mut p = EwmaPredictor::new(0.5, 1.0);
+        for _ in 0..50 {
+            p.observe(0.0);
+        }
+        assert!(p.predicted_rate() > 0.0);
+        assert!(p.max_cycle(1.0).is_finite());
+    }
+
+    #[test]
+    fn holt_negative_trend_saturates_lifetimes_at_infinity() {
+        // A crashing rate with aggressive trend tracking extrapolates the
+        // raw level + trend below zero; the derived lifetimes must report
+        // ∞ instead of the huge-but-finite B / MIN_POSITIVE artifact.
+        let mut holt = HoltPredictor::new(0.9, 0.9, 10.0);
+        holt.observe(0.1);
+        holt.observe(0.001);
+        assert!(holt.predicted_rate() > 0.0, "floored rate stays positive");
+        assert_eq!(holt.max_cycle(1.0), f64::INFINITY);
+        assert_eq!(holt.residual_lifetime(0.5), f64::INFINITY);
+        assert_eq!(holt.residual_lifetime(0.0), f64::INFINITY);
+        // Recovery: once observations rise again the cycle comes back down.
+        for _ in 0..50 {
+            holt.observe(2.0);
+        }
+        assert!((holt.max_cycle(1.0) - 0.5).abs() < 1e-3);
     }
 
     #[test]

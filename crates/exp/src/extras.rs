@@ -32,6 +32,10 @@
 //!   increasing intensity, with the degraded-mode recovery planner
 //!   re-routing orphaned sensors onto the surviving depots — what do
 //!   faults cost in service distance, deaths and downtime?
+//! * **drift** — the closed control loop under compounding consumption
+//!   drift: the static open-loop plan vs the telemetry-driven
+//!   [`perpetuum_sim::OnlinePolicy`] vs the every-slot-replanning oracle
+//!   — deaths and planner invocations per arm.
 
 use crate::figures::{FigureData, Series};
 use crate::scenario::{Deployment, Scenario};
@@ -44,7 +48,9 @@ use perpetuum_core::qtsp::{q_rooted_tsp, Routing};
 use perpetuum_core::rounding::partition_cycles;
 use perpetuum_core::split::split_tour_set;
 use perpetuum_par::{mean, par_map, std_dev};
-use perpetuum_sim::{run, FaultModel, GreedyPolicy, MtdPolicy, SimConfig, VarPolicy, World};
+use perpetuum_sim::{
+    compare_under_drift, run, FaultModel, GreedyPolicy, MtdPolicy, SimConfig, VarPolicy, World,
+};
 
 /// Identifier of an extension experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,11 +74,13 @@ pub enum ExtensionId {
     /// Fault-injection sweep: breakdown intensity vs service cost, deaths
     /// and recovery effort.
     Robustness,
+    /// Closed-loop telemetry control under compounding rate drift.
+    Drift,
 }
 
 impl ExtensionId {
     /// All extensions.
-    pub const ALL: [ExtensionId; 9] = [
+    pub const ALL: [ExtensionId; 10] = [
         ExtensionId::Burst,
         ExtensionId::MinMax,
         ExtensionId::Range,
@@ -82,6 +90,7 @@ impl ExtensionId {
         ExtensionId::Aging,
         ExtensionId::Deploy,
         ExtensionId::Robustness,
+        ExtensionId::Drift,
     ];
 
     /// Parses `"burst"`, `"minmax"`, `"range"`.
@@ -96,6 +105,7 @@ impl ExtensionId {
             "aging" => Some(ExtensionId::Aging),
             "deploy" | "deployment" => Some(ExtensionId::Deploy),
             "robustness" | "faults" => Some(ExtensionId::Robustness),
+            "drift" | "online" => Some(ExtensionId::Drift),
             _ => None,
         }
     }
@@ -112,6 +122,7 @@ impl ExtensionId {
             ExtensionId::Aging => "ext_aging",
             ExtensionId::Deploy => "ext_deploy",
             ExtensionId::Robustness => "ext_robustness",
+            ExtensionId::Drift => "ext_drift",
         }
     }
 
@@ -143,6 +154,9 @@ impl ExtensionId {
             ExtensionId::Robustness => {
                 "Extension: charger breakdown intensity vs service cost, deaths and recovery"
             }
+            ExtensionId::Drift => {
+                "Extension: rate drift — static open loop vs telemetry closed loop vs oracle"
+            }
         }
     }
 }
@@ -159,6 +173,7 @@ pub fn run_extension(id: ExtensionId, topologies: usize, seed: u64) -> FigureDat
         ExtensionId::Aging => run_aging(topologies, seed),
         ExtensionId::Deploy => run_deploy(topologies, seed),
         ExtensionId::Robustness => run_robustness(topologies, seed),
+        ExtensionId::Drift => run_drift(topologies, seed),
     }
 }
 
@@ -611,6 +626,63 @@ fn run_robustness(topologies: usize, seed: u64) -> FigureData {
     }
 }
 
+fn run_drift(topologies: usize, seed: u64) -> FigureData {
+    // Per-slot compounding drift on every true rate; 1.5%/slot over 30
+    // slots ends ~1.6x the planning-time rates.
+    let drifts = [0.0, 0.005, 0.01, 0.015];
+    let s = Scenario { n: 60, horizon: 300.0, ..Scenario::paper_fixed() };
+    let mut static_deaths = series("deaths, static (open loop)");
+    let mut online_deaths = series("deaths, online (closed loop)");
+    let mut oracle_deaths = series("deaths, oracle (every-slot replan)");
+    let mut online_calls = series("online planner calls per run");
+    let mut oracle_calls = series("oracle planner calls per run");
+
+    for &drift in &drifts {
+        let rows = par_map(topologies, |i| {
+            let topo = s.build_topology(seed, i as u64);
+            let cfg = SimConfig {
+                horizon: s.horizon,
+                slot: s.slot,
+                seed: topo.sim_seed,
+                charger_speed: None,
+            };
+            let outcome = compare_under_drift(&s.build_world(&topo), &cfg, drift);
+            [
+                outcome.static_arm.deaths as f64,
+                outcome.online_arm.deaths as f64,
+                outcome.oracle_arm.deaths as f64,
+                outcome.online_arm.planner_calls as f64,
+                outcome.oracle_arm.planner_calls as f64,
+            ]
+        });
+        for (idx, out) in [
+            &mut static_deaths,
+            &mut online_deaths,
+            &mut oracle_deaths,
+            &mut online_calls,
+            &mut oracle_calls,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let col: Vec<f64> = rows.iter().map(|r| r[idx]).collect();
+            out.values.push(mean(&col));
+            out.std_devs.push(std_dev(&col));
+            out.deaths.push(if idx < 3 { col.iter().sum::<f64>() as usize } else { 0 });
+        }
+    }
+
+    FigureData {
+        id: ExtensionId::Drift.id().to_string(),
+        title: ExtensionId::Drift.title().to_string(),
+        x_label: "per-slot compounding rate drift".to_string(),
+        xs: drifts.to_vec(),
+        series: vec![static_deaths, online_deaths, oracle_deaths, online_calls, oracle_calls],
+        topologies,
+        seed,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -622,7 +694,36 @@ mod tests {
         assert_eq!(ExtensionId::parse("range"), Some(ExtensionId::Range));
         assert_eq!(ExtensionId::parse("robustness"), Some(ExtensionId::Robustness));
         assert_eq!(ExtensionId::parse("faults"), Some(ExtensionId::Robustness));
+        assert_eq!(ExtensionId::parse("drift"), Some(ExtensionId::Drift));
         assert_eq!(ExtensionId::parse("x"), None);
+    }
+
+    #[test]
+    fn drift_sweep_closed_loop_beats_open_loop() {
+        let fd = run_extension(ExtensionId::Drift, 2, 7);
+        assert_eq!(fd.xs.len(), 4);
+        assert_eq!(fd.series.len(), 5);
+        let static_deaths = &fd.series[0].values;
+        let online_deaths = &fd.series[1].values;
+        let oracle_deaths = &fd.series[2].values;
+        let online_calls = &fd.series[3].values;
+        let oracle_calls = &fd.series[4].values;
+        // Drift-free: nobody dies, the online arm plans exactly once.
+        assert_eq!(static_deaths[0], 0.0);
+        assert_eq!(online_deaths[0], 0.0);
+        assert_eq!(online_calls[0], 1.0, "{online_calls:?}");
+        // At the strongest drift the open loop starves sensors and the
+        // closed loop saves them at a fraction of the oracle's planning.
+        assert!(static_deaths.last().unwrap() > &0.0, "{static_deaths:?}");
+        assert!(
+            online_deaths.last().unwrap() < static_deaths.last().unwrap(),
+            "online {online_deaths:?} vs static {static_deaths:?}"
+        );
+        assert!(oracle_deaths.last().unwrap() <= online_deaths.last().unwrap());
+        assert!(
+            online_calls.last().unwrap() < oracle_calls.last().unwrap(),
+            "online {online_calls:?} vs oracle {oracle_calls:?}"
+        );
     }
 
     #[test]

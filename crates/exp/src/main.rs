@@ -27,6 +27,7 @@ struct Args {
     render_topology: Option<PathBuf>,
     report: Option<PathBuf>,
     scenarios: Vec<PathBuf>,
+    validate: Vec<PathBuf>,
 }
 
 const USAGE: &str = "\
@@ -38,9 +39,12 @@ USAGE:
   perpetuum-exp --figure <id>     run one figure (fig1a fig1b fig2a fig2b fig3 fig4 fig5 fig6)
   perpetuum-exp --ablation <id>   run one ablation (rounding | polish | repair | routing)
   perpetuum-exp --extension <id>  run one extension experiment (burst | minmax | range | speed
-                                  | noise | ratio | aging | deploy | robustness)
+                                  | noise | ratio | aging | deploy | robustness | drift)
   perpetuum-exp --all             run every figure, ablation and extension
   perpetuum-exp --list            list figure ids and captions
+  perpetuum-exp validate <FILE.json>...
+                                  parse + validate scenario JSON files; prints one line
+                                  per file and exits non-zero if any is invalid
 
 OPTIONS:
   --topologies <N>   topologies averaged per data point (default 100, as the paper)
@@ -72,6 +76,7 @@ fn parse_args() -> Result<Args, String> {
         render_topology: None,
         report: None,
         scenarios: Vec::new(),
+        validate: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
     let mut listed = false;
@@ -145,6 +150,13 @@ fn parse_args() -> Result<Args, String> {
                 print!("{USAGE}");
                 listed = true;
             }
+            "validate" => {
+                let paths: Vec<PathBuf> = it.by_ref().map(PathBuf::from).collect();
+                if paths.is_empty() {
+                    return Err("validate needs at least one scenario file".into());
+                }
+                args.validate = paths;
+            }
             other => return Err(format!("unknown argument '{other}'")),
         }
     }
@@ -154,6 +166,7 @@ fn parse_args() -> Result<Args, String> {
         && args.render_topology.is_none()
         && args.report.is_none()
         && args.scenarios.is_empty()
+        && args.validate.is_empty()
         && !listed
     {
         return Err(
@@ -196,6 +209,49 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("wrote {}", path.display());
+    }
+
+    if !args.validate.is_empty() {
+        let mut failed = false;
+        for path in &args.validate {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("{}: unreadable: {e}", path.display());
+                    failed = true;
+                    continue;
+                }
+            };
+            // Accept both a bare `Scenario` object and the wrapper shapes
+            // used by custom-experiment files and daemon request bodies
+            // (`{"scenario": {...}, ...}`) — catching a bad file *before*
+            // a deploy is the point of this subcommand.
+            let result = match serde_json::parse_value(&text) {
+                Ok(tree) => match tree.get("scenario") {
+                    Some(sub) => {
+                        perpetuum_exp::scenario::world_from_value(sub, args.seed, 0)
+                    }
+                    None => perpetuum_exp::scenario::parse_world(&text, args.seed, 0),
+                },
+                Err(_) => perpetuum_exp::scenario::parse_world(&text, args.seed, 0),
+            };
+            match result {
+                Ok(parsed) => println!(
+                    "{}: ok (n={}, q={}, horizon={})",
+                    path.display(),
+                    parsed.topology.network.n(),
+                    parsed.topology.network.q(),
+                    parsed.scenario.horizon,
+                ),
+                Err(e) => {
+                    eprintln!("{}: invalid: {e}", path.display());
+                    failed = true;
+                }
+            }
+        }
+        if failed {
+            return ExitCode::FAILURE;
+        }
     }
 
     let mut outputs: Vec<perpetuum_exp::FigureData> = Vec::new();

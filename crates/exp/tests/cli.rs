@@ -31,6 +31,9 @@ fn list_shows_every_experiment_id() {
         "ext_noise",
         "ext_ratio",
         "ext_aging",
+        "ext_deploy",
+        "ext_robustness",
+        "ext_drift",
     ] {
         assert!(text.contains(id), "missing {id} in --list output");
     }
@@ -141,6 +144,83 @@ fn custom_scenario_json_runs() {
     std::fs::write(&bad, "{ nope").unwrap();
     let out = exe().arg("--scenario").arg(&bad).output().expect("binary runs");
     assert!(!out.status.success());
+    std::fs::remove_file(&bad).ok();
+}
+
+#[test]
+fn validate_accepts_good_scenarios_and_rejects_bad_ones() {
+    let good = std::env::temp_dir().join("perpetuum_cli_validate_good.json");
+    std::fs::write(
+        &good,
+        r#"{
+            "field_size": 1000.0, "n": 8, "q": 2,
+            "tau_min": 1.0, "tau_max": 10.0,
+            "dist": { "Linear": { "sigma": 2.0 } },
+            "horizon": 30.0, "slot": 10.0,
+            "variable": false, "deployment": "Halton"
+        }"#,
+    )
+    .unwrap();
+    let out = exe().arg("validate").arg(&good).output().expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("ok (n=8, q=2, horizon=30)"), "unexpected stdout:\n{text}");
+
+    // q = 0 parses as JSON but fails semantic validation with a typed error.
+    let bad = std::env::temp_dir().join("perpetuum_cli_validate_bad.json");
+    std::fs::write(
+        &bad,
+        r#"{
+            "field_size": 1000.0, "n": 8, "q": 0,
+            "tau_min": 1.0, "tau_max": 10.0,
+            "dist": { "Linear": { "sigma": 2.0 } },
+            "horizon": 30.0, "slot": 10.0,
+            "variable": false, "deployment": "Halton"
+        }"#,
+    )
+    .unwrap();
+    let out = exe().arg("validate").arg(&good).arg(&bad).output().expect("binary runs");
+    assert!(!out.status.success(), "q=0 scenario must fail validation");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("invalid"), "stderr lacks the typed error:\n{err}");
+    assert!(err.contains("q must be at least 1"), "stderr lacks the typed error:\n{err}");
+    // The good file still validated on the same invocation.
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("ok (n=8"), "good file not reported:\n{text}");
+
+    // Wrapper shapes (custom-experiment files, daemon request bodies) are
+    // validated through their "scenario" subtree.
+    let wrapped = std::env::temp_dir().join("perpetuum_cli_validate_wrapped.json");
+    std::fs::write(
+        &wrapped,
+        r#"{"name": "wrapped", "scenario": {
+            "field_size": 1000.0, "n": 8, "q": 2,
+            "tau_min": 1.0, "tau_max": 10.0,
+            "dist": { "Linear": { "sigma": 2.0 } },
+            "horizon": 30.0, "slot": 10.0,
+            "variable": false, "deployment": "Halton"
+        }, "algos": ["Mtd"]}"#,
+    )
+    .unwrap();
+    let out = exe().arg("validate").arg(&wrapped).output().expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("ok (n=8, q=2, horizon=30)"), "unexpected stdout:\n{text}");
+    std::fs::remove_file(&wrapped).ok();
+
+    // A missing file is reported and fails the run.
+    let gone = std::env::temp_dir().join("perpetuum_cli_validate_missing.json");
+    std::fs::remove_file(&gone).ok();
+    let out = exe().arg("validate").arg(&gone).output().expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unreadable"), "stderr:\n{err}");
+
+    // No files at all is a usage error.
+    let out = exe().arg("validate").output().expect("binary runs");
+    assert!(!out.status.success());
+
+    std::fs::remove_file(&good).ok();
     std::fs::remove_file(&bad).ok();
 }
 

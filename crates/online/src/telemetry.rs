@@ -1,0 +1,92 @@
+//! Telemetry wire types.
+//!
+//! A [`TelemetryBatch`] is one timestamped observation window: any subset of
+//! sensors may report a sampled discharge rate (`rate`, energy per unit
+//! time), a direct residual-energy reading (`level`), or both. Batches are
+//! the only input channel into the controller — the serve layer parses them
+//! straight off the HTTP body and the closed-loop sim harness synthesizes
+//! them from the simulated network state.
+
+use serde::{Deserialize, Serialize};
+
+/// One sensor's report inside a batch. Both measurements are optional so a
+/// deployment can mix cheap rate samples with occasional full energy reads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TelemetryRecord {
+    /// Sensor index in `0..n`.
+    pub sensor: usize,
+    /// Sampled discharge rate `ρ_i` (energy per unit time), if measured.
+    #[serde(default)]
+    pub rate: Option<f64>,
+    /// Residual energy reading, if measured. Clamped to the battery
+    /// capacity on ingest.
+    #[serde(default)]
+    pub level: Option<f64>,
+}
+
+impl TelemetryRecord {
+    /// A rate-only sample.
+    pub fn rate(sensor: usize, rate: f64) -> Self {
+        Self { sensor, rate: Some(rate), level: None }
+    }
+
+    /// A residual-energy-only reading.
+    pub fn level(sensor: usize, level: f64) -> Self {
+        Self { sensor, rate: None, level: Some(level) }
+    }
+
+    /// A combined rate + level report.
+    pub fn full(sensor: usize, rate: f64, level: f64) -> Self {
+        Self { sensor, rate: Some(rate), level: Some(level) }
+    }
+}
+
+/// A timestamped batch of sensor reports. Batch times must be non-decreasing
+/// within a session; the controller rejects time travel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TelemetryBatch {
+    /// Observation time (same clock as the schedule horizon).
+    pub time: f64,
+    /// Per-sensor reports; sensors absent from the batch keep their current
+    /// estimates.
+    #[serde(default)]
+    pub records: Vec<TelemetryRecord>,
+}
+
+impl TelemetryBatch {
+    /// An empty batch (pure clock advance — still executes due dispatches
+    /// and re-checks emergency deadlines).
+    pub fn tick(time: f64) -> Self {
+        Self { time, records: Vec::new() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_round_trips_through_json() {
+        let batch = TelemetryBatch {
+            time: 12.5,
+            records: vec![
+                TelemetryRecord::rate(0, 0.25),
+                TelemetryRecord::level(3, 0.5),
+                TelemetryRecord::full(7, 0.1, 0.9),
+            ],
+        };
+        let text = serde_json::to_string(&batch).expect("serialize");
+        let back: TelemetryBatch = serde_json::from_str(&text).expect("parse");
+        assert_eq!(back, batch);
+    }
+
+    #[test]
+    fn missing_optional_fields_parse_as_none() {
+        let text = r#"{"time": 3.0, "records": [{"sensor": 2}]}"#;
+        let batch: TelemetryBatch = serde_json::from_str(text).expect("parse");
+        assert_eq!(batch.records.len(), 1);
+        assert_eq!(batch.records[0].sensor, 2);
+        assert_eq!(batch.records[0].rate, None);
+        assert_eq!(batch.records[0].level, None);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property: the controller is a pure function of its construction
+//! arguments and the telemetry stream — two controllers fed the same
+//! batches emit byte-identical plan JSON and identical ingest reports
+//! after every single batch. This is the reproducibility contract the
+//! serve layer's session API and the closed-loop sim harness rely on.
+
+use perpetuum_core::network::Network;
+use perpetuum_geom::Point2;
+use perpetuum_online::{OnlineConfig, OnlineController, TelemetryBatch, TelemetryRecord};
+use proptest::prelude::*;
+
+const N: usize = 8;
+const HORIZON: f64 = 200.0;
+
+fn build() -> OnlineController {
+    let sensors =
+        (0..N).map(|i| Point2::new(10.0 * i as f64, if i % 2 == 0 { 0.0 } else { 25.0 })).collect();
+    let depots = vec![Point2::new(35.0, 60.0), Point2::new(0.0, -30.0)];
+    let network = Network::new(sensors, depots);
+    // Cycles 4..18 → a two-class partition with headroom for drift.
+    let rates: Vec<f64> = (0..N).map(|i| 1.0 / (4.0 + 2.0 * i as f64)).collect();
+    OnlineController::new(network, vec![1.0; N], rates, OnlineConfig::new(HORIZON))
+        .expect("valid controller")
+}
+
+/// A random but valid telemetry stream: strictly forward-moving batch
+/// times, each batch touching a random subset of sensors with random rate
+/// samples and/or level readings.
+fn stream_strategy() -> impl Strategy<Value = Vec<TelemetryBatch>> {
+    let record = (0..N, 0.02f64..0.6, 0.0f64..1.0, 0u8..3).prop_map(
+        |(sensor, rate, level, kind)| match kind {
+            0 => TelemetryRecord::rate(sensor, rate),
+            1 => TelemetryRecord::level(sensor, level),
+            _ => TelemetryRecord::full(sensor, rate, level),
+        },
+    );
+    let batch = (0.1f64..5.0, prop::collection::vec(record, 0..6));
+    prop::collection::vec(batch, 1..12).prop_map(|raw| {
+        let mut t = 0.0;
+        raw.into_iter()
+            .map(|(dt, records)| {
+                t += dt;
+                TelemetryBatch { time: t, records }
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn same_stream_yields_byte_identical_plan_sequence(stream in stream_strategy()) {
+        let mut a = build();
+        let mut b = build();
+        prop_assert_eq!(a.plan_json(), b.plan_json(), "initial plans diverge");
+        for (step, batch) in stream.iter().enumerate() {
+            let ra = a.ingest(batch).expect("ingest a");
+            let rb = b.ingest(batch).expect("ingest b");
+            prop_assert_eq!(ra, rb, "reports diverge at step {}", step);
+            prop_assert_eq!(
+                a.plan_json(), b.plan_json(),
+                "plan JSON diverges at step {}", step
+            );
+        }
+    }
+
+    /// The stream also fully determines the *executed* trajectory: replays
+    /// of the pending series agree dispatch-for-dispatch.
+    #[test]
+    fn pending_series_is_reproducible(stream in stream_strategy()) {
+        let mut a = build();
+        let mut b = build();
+        for batch in &stream {
+            a.ingest(batch).expect("ingest a");
+            b.ingest(batch).expect("ingest b");
+            let pa = a.pending_series(batch.time);
+            let pb = b.pending_series(batch.time);
+            prop_assert_eq!(pa.dispatch_count(), pb.dispatch_count());
+            for (da, db) in pa.dispatches().iter().zip(pb.dispatches()) {
+                prop_assert_eq!(da.time, db.time);
+                prop_assert_eq!(da.set, db.set);
+            }
+        }
+    }
+}

@@ -70,10 +70,11 @@ impl PlanCache {
     }
 
     /// Inserts a plan, evicting the shard's least-recently-used entry when
-    /// full. No-op on a zero-capacity cache.
-    pub fn insert(&self, key: u64, value: Arc<str>) {
+    /// full; returns `true` when an entry was evicted (so the caller can
+    /// count it into `/metrics`). No-op on a zero-capacity cache.
+    pub fn insert(&self, key: u64, value: Arc<str>) -> bool {
         if self.per_shard_capacity == 0 {
-            return;
+            return false;
         }
         let mut shard = match self.shard(key).lock() {
             Ok(s) => s,
@@ -81,14 +82,17 @@ impl PlanCache {
         };
         shard.tick += 1;
         let tick = shard.tick;
+        let mut evicted = false;
         if shard.map.len() >= self.per_shard_capacity && !shard.map.contains_key(&key) {
             // O(capacity) scan: shards are small and eviction is the cold
             // path (it only runs once a shard is full).
             if let Some(&lru) = shard.map.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k) {
                 shard.map.remove(&lru);
+                evicted = true;
             }
         }
         shard.map.insert(key, Entry { value, last_used: tick });
+        evicted
     }
 
     /// Number of cached plans across all shards.
@@ -216,10 +220,10 @@ mod tests {
     fn lru_evicts_the_least_recently_used_entry() {
         // Single-shard capacity: keys in the same shard (multiples of 8).
         let cache = PlanCache::new(16); // 2 per shard
-        cache.insert(0, Arc::from("a"));
-        cache.insert(8, Arc::from("b"));
+        assert!(!cache.insert(0, Arc::from("a")));
+        assert!(!cache.insert(8, Arc::from("b")));
         assert!(cache.get(0).is_some()); // refresh 0 — 8 is now LRU
-        cache.insert(16, Arc::from("c"));
+        assert!(cache.insert(16, Arc::from("c")), "overflow insert reports the eviction");
         assert!(cache.get(0).is_some());
         assert!(cache.get(8).is_none(), "LRU entry evicted");
         assert!(cache.get(16).is_some());

@@ -11,9 +11,11 @@
 use crate::cache::{canonical_hash, PlanCache};
 use crate::http::Response;
 use crate::metrics::Metrics;
+use crate::session::SessionStore;
 use perpetuum_core::mtd::{plan_min_total_distance, MtdConfig};
 use perpetuum_core::network::{Instance, Network};
 use perpetuum_exp::scenario::{world_from_value, Algo, ScenarioError};
+use perpetuum_online::{OnlineConfig, OnlineController, TelemetryBatch};
 use perpetuum_sim::FaultModel;
 use serde::{Deserialize as _, Serialize as _};
 use serde_json::Value;
@@ -21,18 +23,36 @@ use std::sync::atomic::Ordering::Relaxed;
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Everything the handlers share: the plan cache and the metric set.
+/// Default number of live telemetry sessions the daemon holds before
+/// evicting the least-recently-used one.
+pub const DEFAULT_SESSION_CAPACITY: usize = 64;
+
+/// Everything the handlers share: the plan cache, the session store, and
+/// the metric set.
 pub struct AppState {
     /// The sharded LRU plan cache.
     pub cache: PlanCache,
+    /// Live telemetry sessions (`/session` endpoints).
+    pub sessions: SessionStore,
     /// Counters, gauges and histograms served by `/metrics`.
     pub metrics: Metrics,
 }
 
 impl AppState {
-    /// Fresh state with the given plan-cache capacity.
+    /// Fresh state with the given plan-cache capacity and the default
+    /// session capacity.
     pub fn new(cache_capacity: usize) -> Self {
-        Self { cache: PlanCache::new(cache_capacity), metrics: Metrics::default() }
+        Self {
+            cache: PlanCache::new(cache_capacity),
+            sessions: SessionStore::new(DEFAULT_SESSION_CAPACITY),
+            metrics: Metrics::default(),
+        }
+    }
+
+    /// Overrides the session-store capacity. Builder-style.
+    pub fn with_session_capacity(mut self, capacity: usize) -> Self {
+        self.sessions = SessionStore::new(capacity);
+        self
     }
 }
 
@@ -68,6 +88,19 @@ fn bool_field(v: &Value, key: &str) -> Result<bool, Response> {
     }
 }
 
+/// Pulls an optional finite float field (e.g. `margin`) out of the
+/// request tree; `None` means the field was absent and the config default
+/// applies.
+fn f64_field(v: &Value, key: &str) -> Result<Option<f64>, Response> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::Num(n)) if n.is_finite() => Ok(Some(*n)),
+        Some(other) => {
+            Err(bad_json(format!("field `{key}` must be a finite number, got {other:?}")))
+        }
+    }
+}
+
 /// `GET /healthz`.
 pub fn healthz() -> Response {
     Response::json(200, "{\"status\":\"ok\"}".to_string())
@@ -75,7 +108,7 @@ pub fn healthz() -> Response {
 
 /// `GET /metrics`.
 pub fn metrics(state: &AppState) -> Response {
-    Response::text(200, state.metrics.render(state.cache.len()))
+    Response::text(200, state.metrics.render(state.cache.len(), state.sessions.len()))
 }
 
 /// `POST /plan` — scenario JSON in, charging schedule + service cost out.
@@ -149,7 +182,9 @@ pub fn plan(state: &AppState, body: &[u8]) -> Response {
         Ok(s) => Arc::from(s),
         Err(e) => return Response::error(500, "internal_error", &e.to_string()),
     };
-    state.cache.insert(key, Arc::clone(&rendered));
+    if state.cache.insert(key, Arc::clone(&rendered)) {
+        state.metrics.cache_evictions.fetch_add(1, Relaxed);
+    }
     respond_plan(false, started, &rendered)
 }
 
@@ -229,6 +264,142 @@ pub fn simulate(body: &[u8]) -> Response {
         200,
         format!("{{\"algo\":{algo_json},\"sim_us\":{us},\"result\":{result_json}}}"),
     )
+}
+
+fn no_session(id: u64) -> Response {
+    Response::error(404, "unknown_session", &format!("no session {id} (expired or deleted?)"))
+}
+
+/// `POST /session` — realise a scenario and open a closed-loop telemetry
+/// session over it.
+///
+/// Request: `{"scenario": {...}, "seed"?: u64, "index"?: u64,
+/// "gamma"?: f64, "margin"?: f64, "emergency_slack"?: f64}`.
+/// Response: `{"session": id, "n": ..., "q": ..., "horizon": ...,
+/// "revision": ..., "tau1": ...}`. The controller's initial rate estimate
+/// for sensor `i` is `capacity_i / τ_i` — exactly what the realised
+/// topology's recharge cycles imply.
+pub fn session_create(state: &AppState, body: &[u8]) -> Response {
+    let text = match std::str::from_utf8(body) {
+        Ok(t) => t,
+        Err(e) => return bad_json(format!("body is not UTF-8: {e}")),
+    };
+    let tree = match serde_json::parse_value(text) {
+        Ok(v) => v,
+        Err(e) => return bad_json(e),
+    };
+    let Some(scenario_value) = tree.get("scenario") else {
+        return bad_json("missing field `scenario`");
+    };
+    let seed = match u64_field(&tree, "seed", DEFAULT_SEED) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    let index = match u64_field(&tree, "index", 0) {
+        Ok(i) => i,
+        Err(r) => return r,
+    };
+    let parsed = match world_from_value(scenario_value, seed, index) {
+        Ok(p) => p,
+        Err(e) => return bad_scenario(&e),
+    };
+
+    let mut cfg = OnlineConfig::new(parsed.scenario.horizon);
+    match f64_field(&tree, "gamma") {
+        Ok(Some(g)) => cfg = cfg.with_gamma(g),
+        Ok(None) => {}
+        Err(r) => return r,
+    }
+    match f64_field(&tree, "margin") {
+        Ok(Some(m)) => cfg = cfg.with_margin(m),
+        Ok(None) => {}
+        Err(r) => return r,
+    }
+    match f64_field(&tree, "emergency_slack") {
+        Ok(Some(s)) => cfg = cfg.with_emergency_slack(s),
+        Ok(None) => {}
+        Err(r) => return r,
+    }
+
+    let network = parsed.topology.network.clone();
+    let capacities = parsed.world.capacities();
+    let rates: Vec<f64> =
+        capacities.iter().zip(&parsed.topology.init_cycles).map(|(&cap, &tau)| cap / tau).collect();
+    let controller = match OnlineController::new(network, capacities, rates, cfg) {
+        Ok(c) => c,
+        Err(e) => return Response::error(400, "invalid_session", &e.to_string()),
+    };
+
+    let summary = Value::Obj(vec![
+        ("n".to_string(), Value::Num(controller.network().n() as f64)),
+        ("q".to_string(), Value::Num(controller.network().q() as f64)),
+        ("horizon".to_string(), Value::Num(parsed.scenario.horizon)),
+        ("revision".to_string(), Value::Num(controller.revision() as f64)),
+        ("tau1".to_string(), Value::Num(controller.tau1())),
+    ]);
+    let (id, evicted) = state.sessions.insert(controller);
+    if evicted {
+        state.metrics.session_evictions.fetch_add(1, Relaxed);
+    }
+    let mut fields = vec![("session".to_string(), Value::Num(id as f64))];
+    if let Value::Obj(rest) = summary {
+        fields.extend(rest);
+    }
+    match serde_json::to_string(&Value::Obj(fields)) {
+        Ok(s) => Response::json(200, s),
+        Err(e) => Response::error(500, "internal_error", &e.to_string()),
+    }
+}
+
+/// `POST /session/{id}/telemetry` — ingest one telemetry batch.
+///
+/// Request: a [`TelemetryBatch`]: `{"time": t, "records": [{"sensor": i,
+/// "rate"?: f64, "level"?: f64}, ...]}`. Response: the controller's
+/// [`IngestReport`](perpetuum_online::IngestReport) — revision, replan
+/// kind, changed classes, emergency dispatches, and the number of planner
+/// invocations this batch cost (0 when every touched sensor stayed inside
+/// its rounding band).
+pub fn session_telemetry(state: &AppState, id: u64, body: &[u8]) -> Response {
+    let Some(slot) = state.sessions.get(id) else {
+        return no_session(id);
+    };
+    let text = match std::str::from_utf8(body) {
+        Ok(t) => t,
+        Err(e) => return bad_json(format!("body is not UTF-8: {e}")),
+    };
+    let batch: TelemetryBatch = match serde_json::from_str(text) {
+        Ok(b) => b,
+        Err(e) => return bad_json(e),
+    };
+    // Per-session lock: concurrent batches for this session serialize
+    // here; batches for other sessions proceed in parallel.
+    let mut controller = slot.lock();
+    match controller.ingest(&batch) {
+        Ok(report) => match serde_json::to_string(&report.to_value()) {
+            Ok(s) => Response::json(200, s),
+            Err(e) => Response::error(500, "internal_error", &e.to_string()),
+        },
+        Err(e) => Response::error(400, "invalid_telemetry", &e.to_string()),
+    }
+}
+
+/// `GET /session/{id}/plan` — the session's current plan: revision,
+/// counters, assigned cycles, and the full dispatch schedule.
+pub fn session_plan(state: &AppState, id: u64) -> Response {
+    let Some(slot) = state.sessions.get(id) else {
+        return no_session(id);
+    };
+    let json = slot.lock().plan_json();
+    Response::json(200, json)
+}
+
+/// `DELETE /session/{id}` — drop a session.
+pub fn session_delete(state: &AppState, id: u64) -> Response {
+    if state.sessions.remove(id) {
+        Response::json(200, format!("{{\"session\":{id},\"deleted\":true}}"))
+    } else {
+        no_session(id)
+    }
 }
 
 #[cfg(test)]
@@ -346,6 +517,96 @@ mod tests {
             .and_then(|f| f.get("breakdowns"))
             .cloned();
         assert!(matches!(breakdowns, Some(Value::Num(n)) if n > 0.0), "{breakdowns:?}");
+    }
+
+    fn num_field(body: &str, key: &str) -> f64 {
+        let v = serde_json::parse_value(body).unwrap();
+        match v.get(key) {
+            Some(Value::Num(n)) => *n,
+            other => panic!("no numeric `{key}` in {body}: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn session_lifecycle_create_ingest_plan_delete() {
+        let state = AppState::new(8);
+        let created = session_create(&state, small_plan_body(9).as_bytes());
+        assert_eq!(created.status, 200, "{:?}", created.body);
+        let created_body = String::from_utf8(created.body).unwrap();
+        let id = num_field(&created_body, "session") as u64;
+        assert_eq!(state.sessions.len(), 1);
+
+        // A batch that touches nothing stays planner-free.
+        let r = session_telemetry(&state, id, br#"{"time": 0.5}"#);
+        assert_eq!(r.status, 200);
+        let body = String::from_utf8(r.body).unwrap();
+        assert!(body.contains("\"replan\":\"none\""), "{body}");
+        assert_eq!(num_field(&body, "planner_calls"), 0.0, "{body}");
+
+        let plan = session_plan(&state, id);
+        assert_eq!(plan.status, 200);
+        let plan_body = String::from_utf8(plan.body).unwrap();
+        assert!(plan_body.contains("\"assigned_cycles\""), "{plan_body}");
+
+        assert_eq!(session_delete(&state, id).status, 200);
+        assert_eq!(state.sessions.len(), 0);
+        assert_eq!(session_plan(&state, id).status, 404);
+        assert_eq!(session_delete(&state, id).status, 404);
+    }
+
+    #[test]
+    fn session_errors_are_typed() {
+        let state = AppState::new(8);
+        // Create-time errors.
+        for (body, kind) in [
+            (r#"{"#.to_string(), "bad_json"),
+            (r#"{"no_scenario": 1}"#.to_string(), "bad_json"),
+            (small_plan_body(1).replace("\"q\": 2", "\"q\": 0"), "invalid_scenario"),
+            (
+                small_plan_body(1).replace("\"seed\": 1", "\"seed\": 1, \"margin\": 2.0"),
+                "invalid_session",
+            ),
+            (
+                small_plan_body(1).replace("\"seed\": 1", "\"seed\": 1, \"gamma\": \"x\""),
+                "bad_json",
+            ),
+        ] {
+            let r = session_create(&state, body.as_bytes());
+            assert_eq!(r.status, 400, "{body}");
+            let text = String::from_utf8(r.body).unwrap();
+            assert!(text.contains(&format!("\"kind\":\"{kind}\"")), "{text}");
+        }
+
+        // Ingest-time errors against a real session.
+        let created = session_create(&state, small_plan_body(2).as_bytes());
+        let id = num_field(&String::from_utf8(created.body).unwrap(), "session") as u64;
+        let r = session_telemetry(&state, id, br#"{"time": 1.0}"#);
+        assert_eq!(r.status, 200);
+        // Time travel and unknown sensors are typed 400s, not panics.
+        let r = session_telemetry(&state, id, br#"{"time": 0.2}"#);
+        assert_eq!(r.status, 400);
+        assert!(String::from_utf8(r.body).unwrap().contains("invalid_telemetry"));
+        let r = session_telemetry(
+            &state,
+            id,
+            br#"{"time": 1.5, "records": [{"sensor": 999, "rate": 0.1}]}"#,
+        );
+        assert_eq!(r.status, 400);
+        // Unknown session id.
+        assert_eq!(session_telemetry(&state, 777, br#"{"time": 1.0}"#).status, 404);
+    }
+
+    #[test]
+    fn session_eviction_is_counted() {
+        let state = AppState::new(8).with_session_capacity(1);
+        let first = session_create(&state, small_plan_body(1).as_bytes());
+        assert_eq!(first.status, 200);
+        let first_id = num_field(&String::from_utf8(first.body).unwrap(), "session") as u64;
+        let second = session_create(&state, small_plan_body(2).as_bytes());
+        assert_eq!(second.status, 200);
+        assert_eq!(state.sessions.len(), 1);
+        assert_eq!(state.metrics.session_evictions.load(Relaxed), 1);
+        assert_eq!(session_plan(&state, first_id).status, 404, "evicted session is gone");
     }
 
     #[test]

@@ -13,8 +13,14 @@
 //!   backpressure, a worker pool, and a loopback-only admin listener;
 //! * [`shutdown`] — signal/endpoint-triggered graceful drain: stop
 //!   accepting, finish everything in flight, exit cleanly;
+//! * [`session`] — stateful closed-loop telemetry sessions: each wraps
+//!   one [`perpetuum_online::OnlineController`] behind its own lock
+//!   (`POST /session`, `POST /session/{id}/telemetry`,
+//!   `GET /session/{id}/plan`, `DELETE /session/{id}`), with bounded LRU
+//!   eviction;
 //! * [`metrics`] — Prometheus text exposition of request counts, latency
-//!   histograms, cache hit rates, and queue gauges.
+//!   histograms, cache hit rates, session/eviction gauges, and queue
+//!   gauges.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
@@ -24,10 +30,12 @@ pub mod http;
 pub mod metrics;
 pub mod router;
 pub mod server;
+pub mod session;
 pub mod shutdown;
 
 pub use cache::{canonical_hash, PlanCache};
-pub use handlers::AppState;
+pub use handlers::{AppState, DEFAULT_SESSION_CAPACITY};
 pub use metrics::Metrics;
 pub use server::{start, ServerConfig, ServerHandle};
+pub use session::{SessionSlot, SessionStore};
 pub use shutdown::{install_signal_forwarder, ShutdownSignal};

@@ -24,6 +24,8 @@ OPTIONS:
     --max-body <bytes>        request body cap     [default: 1048576]
     --cache <n>               plan-cache capacity (0 disables)
                                                    [default: 128]
+    --sessions <n>            live telemetry-session capacity (LRU beyond)
+                                                   [default: 64]
     --read-timeout-secs <s>   per-connection socket timeout [default: 10]
     -h, --help                print this help
 ";
@@ -54,6 +56,10 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
             }
             "--cache" => {
                 cfg.cache_capacity = value.parse().map_err(|_| format!("bad --cache {value:?}"))?
+            }
+            "--sessions" => {
+                cfg.session_capacity =
+                    value.parse().map_err(|_| format!("bad --sessions {value:?}"))?
             }
             "--read-timeout-secs" => {
                 let secs: u64 =
@@ -92,7 +98,9 @@ fn main() -> ExitCode {
 
     println!("perpetuum-serve listening on http://{}", handle.addr);
     println!("  admin (loopback only):    http://{}", handle.admin_addr);
-    println!("  workers: {workers}  (POST /plan, POST /simulate, GET /healthz, GET /metrics)");
+    println!(
+        "  workers: {workers}  (POST /plan, POST /simulate, POST /session, GET /healthz, GET /metrics)"
+    );
 
     // Wait for SIGINT/SIGTERM or POST /shutdown, then drain. Keep an
     // owning clone of the state so the summary survives `wait()`
@@ -102,11 +110,12 @@ fn main() -> ExitCode {
 
     let m = &final_state.metrics;
     println!(
-        "drained: {} plan ({} cache hits / {} misses), {} simulate, {} shed with 503",
+        "drained: {} plan ({} cache hits / {} misses), {} simulate, {} session, {} shed with 503",
         m.plan.requests.load(Relaxed),
         m.cache_hits.load(Relaxed),
         m.cache_misses.load(Relaxed),
         m.simulate.requests.load(Relaxed),
+        m.session.requests.load(Relaxed),
         m.queue_rejected.load(Relaxed),
     );
     ExitCode::SUCCESS

@@ -69,12 +69,19 @@ pub struct Metrics {
     pub plan: EndpointStats,
     /// Same for `/simulate`.
     pub simulate: EndpointStats,
+    /// Same for the `/session` endpoint family (create, telemetry, plan,
+    /// delete).
+    pub session: EndpointStats,
     /// `GET /healthz` + `GET /metrics` + unroutable requests.
     pub other_requests: AtomicU64,
     /// Plan-cache hits.
     pub cache_hits: AtomicU64,
     /// Plan-cache misses (each one paid for a full planning run).
     pub cache_misses: AtomicU64,
+    /// Plans evicted from the cache to make room for new ones.
+    pub cache_evictions: AtomicU64,
+    /// Live sessions evicted (LRU) to make room for new ones.
+    pub session_evictions: AtomicU64,
     /// Connections rejected with `503` because the request queue was full.
     pub queue_rejected: AtomicU64,
     /// Responses by status class: `[2xx, 4xx, 5xx]`.
@@ -96,12 +103,14 @@ impl Metrics {
         self.responses[idx].fetch_add(1, Relaxed);
     }
 
-    /// Renders the Prometheus text exposition (`cache_len` is sampled by
-    /// the caller, which owns the cache).
-    pub fn render(&self, cache_len: usize) -> String {
+    /// Renders the Prometheus text exposition (`cache_len` and
+    /// `session_count` are sampled by the caller, which owns the cache and
+    /// the session store).
+    pub fn render(&self, cache_len: usize, session_count: usize) -> String {
         let mut out = String::with_capacity(2048);
         let requests_total = self.plan.requests.load(Relaxed)
             + self.simulate.requests.load(Relaxed)
+            + self.session.requests.load(Relaxed)
             + self.other_requests.load(Relaxed);
 
         out.push_str("# HELP perpetuum_requests_total Requests parsed, by endpoint.\n");
@@ -118,6 +127,11 @@ impl Metrics {
         );
         let _ = writeln!(
             out,
+            "perpetuum_requests_total{{endpoint=\"session\"}} {}",
+            self.session.requests.load(Relaxed)
+        );
+        let _ = writeln!(
+            out,
             "perpetuum_requests_total{{endpoint=\"other\"}} {}",
             self.other_requests.load(Relaxed)
         );
@@ -127,6 +141,7 @@ impl Metrics {
         out.push_str("# TYPE perpetuum_request_seconds histogram\n");
         self.plan.latency.render(&mut out, "perpetuum_request_seconds", "plan");
         self.simulate.latency.render(&mut out, "perpetuum_request_seconds", "simulate");
+        self.session.latency.render(&mut out, "perpetuum_request_seconds", "session");
 
         out.push_str("# HELP perpetuum_cache_hits_total Plan-cache hits.\n");
         out.push_str("# TYPE perpetuum_cache_hits_total counter\n");
@@ -134,9 +149,24 @@ impl Metrics {
         out.push_str("# HELP perpetuum_cache_misses_total Plan-cache misses.\n");
         out.push_str("# TYPE perpetuum_cache_misses_total counter\n");
         let _ = writeln!(out, "perpetuum_cache_misses_total {}", self.cache_misses.load(Relaxed));
+        out.push_str("# HELP perpetuum_cache_evictions_total Plans evicted from the cache.\n");
+        out.push_str("# TYPE perpetuum_cache_evictions_total counter\n");
+        let _ =
+            writeln!(out, "perpetuum_cache_evictions_total {}", self.cache_evictions.load(Relaxed));
         out.push_str("# HELP perpetuum_cache_plans Plans currently cached.\n");
         out.push_str("# TYPE perpetuum_cache_plans gauge\n");
         let _ = writeln!(out, "perpetuum_cache_plans {cache_len}");
+
+        out.push_str("# HELP perpetuum_sessions Live telemetry sessions.\n");
+        out.push_str("# TYPE perpetuum_sessions gauge\n");
+        let _ = writeln!(out, "perpetuum_sessions {session_count}");
+        out.push_str("# HELP perpetuum_session_evictions_total Sessions evicted (LRU).\n");
+        out.push_str("# TYPE perpetuum_session_evictions_total counter\n");
+        let _ = writeln!(
+            out,
+            "perpetuum_session_evictions_total {}",
+            self.session_evictions.load(Relaxed)
+        );
 
         out.push_str("# HELP perpetuum_queue_rejected_total Connections shed with 503.\n");
         out.push_str("# TYPE perpetuum_queue_rejected_total counter\n");
@@ -186,16 +216,23 @@ mod tests {
     fn render_contains_every_family() {
         let m = Metrics::default();
         m.plan.requests.fetch_add(2, Relaxed);
+        m.session.requests.fetch_add(3, Relaxed);
         m.cache_hits.fetch_add(1, Relaxed);
+        m.cache_evictions.fetch_add(4, Relaxed);
+        m.session_evictions.fetch_add(1, Relaxed);
         m.record_status(200);
         m.record_status(404);
         m.record_status(503);
-        let text = m.render(5);
+        let text = m.render(5, 2);
         for needle in [
             "perpetuum_requests_total{endpoint=\"plan\"} 2",
+            "perpetuum_requests_total{endpoint=\"session\"} 3",
             "perpetuum_cache_hits_total 1",
             "perpetuum_cache_misses_total 0",
+            "perpetuum_cache_evictions_total 4",
             "perpetuum_cache_plans 5",
+            "perpetuum_sessions 2",
+            "perpetuum_session_evictions_total 1",
             "perpetuum_responses_total{class=\"2xx\"} 1",
             "perpetuum_responses_total{class=\"4xx\"} 1",
             "perpetuum_responses_total{class=\"5xx\"} 1",

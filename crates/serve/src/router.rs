@@ -16,6 +16,9 @@ use std::time::Instant;
 pub fn route(state: &AppState, req: &Request) -> Response {
     // The query string never selects the endpoint.
     let path = req.path.split('?').next().unwrap_or(&req.path);
+    if path == "/session" || path.starts_with("/session/") {
+        return route_session(state, req, path);
+    }
     match (req.method.as_str(), path) {
         ("GET", "/healthz") => {
             state.metrics.other_requests.fetch_add(1, Relaxed);
@@ -50,6 +53,74 @@ pub fn route(state: &AppState, req: &Request) -> Response {
         _ => {
             state.metrics.other_requests.fetch_add(1, Relaxed);
             Response::error(404, "not_found", &format!("no route for {path}"))
+        }
+    }
+}
+
+/// Dispatches the `/session` endpoint family. Unlike the fixed routes,
+/// these paths carry a session id segment: `POST /session`,
+/// `POST /session/{id}/telemetry`, `GET /session/{id}/plan`,
+/// `DELETE /session/{id}`.
+fn route_session(state: &AppState, req: &Request, path: &str) -> Response {
+    let method = req.method.as_str();
+    let tail = path.strip_prefix("/session").unwrap_or("");
+    // Resolve the handler first; a recognised shape with the wrong method
+    // is a 405, an unrecognised shape (bad id, unknown action) a 404.
+    enum Target {
+        Create,
+        Telemetry(u64),
+        Plan(u64),
+        Delete(u64),
+        WrongMethod,
+        Unknown,
+    }
+    let target = if tail.is_empty() {
+        match method {
+            "POST" => Target::Create,
+            _ => Target::WrongMethod,
+        }
+    } else {
+        let rest = &tail[1..]; // skip the '/'
+        let (id_text, action) = match rest.split_once('/') {
+            Some((id, action)) => (id, Some(action)),
+            None => (rest, None),
+        };
+        match id_text.parse::<u64>() {
+            Err(_) => Target::Unknown,
+            Ok(id) => match (method, action) {
+                ("POST", Some("telemetry")) => Target::Telemetry(id),
+                ("GET", Some("plan")) => Target::Plan(id),
+                ("DELETE", None) => Target::Delete(id),
+                (_, Some("telemetry") | Some("plan") | None) => Target::WrongMethod,
+                _ => Target::Unknown,
+            },
+        }
+    };
+    match target {
+        Target::WrongMethod => {
+            state.metrics.other_requests.fetch_add(1, Relaxed);
+            Response::error(
+                405,
+                "method_not_allowed",
+                &format!("{method} is not supported on {path}"),
+            )
+        }
+        Target::Unknown => {
+            state.metrics.other_requests.fetch_add(1, Relaxed);
+            Response::error(404, "not_found", &format!("no route for {path}"))
+        }
+        known => {
+            state.metrics.session.requests.fetch_add(1, Relaxed);
+            let started = Instant::now();
+            let resp = match known {
+                Target::Create => handlers::session_create(state, &req.body),
+                Target::Telemetry(id) => handlers::session_telemetry(state, id, &req.body),
+                Target::Plan(id) => handlers::session_plan(state, id),
+                Target::Delete(id) => handlers::session_delete(state, id),
+                Target::WrongMethod | Target::Unknown => unreachable!("handled above"),
+            };
+            state.metrics.session.latency.observe(started.elapsed().as_secs_f64());
+            resp
         }
     }
 }
@@ -91,6 +162,29 @@ mod tests {
         assert_eq!(route(&state, &req("POST", "/healthz", "")).status, 405);
         assert_eq!(route(&state, &req("GET", "/nope", "")).status, 404);
         assert_eq!(state.metrics.other_requests.load(Relaxed), 6);
+    }
+
+    #[test]
+    fn session_routes_dispatch_and_reject() {
+        let state = AppState::new(4);
+        // Recognised shapes with bodies/ids that don't resolve: the
+        // handler answers (400/404), and the request counts as `session`.
+        assert_eq!(route(&state, &req("POST", "/session", "{not json")).status, 400);
+        assert_eq!(route(&state, &req("GET", "/session/1/plan", "")).status, 404);
+        assert_eq!(route(&state, &req("POST", "/session/1/telemetry", "{}")).status, 404);
+        assert_eq!(route(&state, &req("DELETE", "/session/1", "")).status, 404);
+        assert_eq!(state.metrics.session.requests.load(Relaxed), 4);
+        assert_eq!(state.metrics.session.latency.count(), 4);
+
+        // Wrong method on a known shape: 405, counted as `other`.
+        assert_eq!(route(&state, &req("GET", "/session", "")).status, 405);
+        assert_eq!(route(&state, &req("POST", "/session/1/plan", "")).status, 405);
+        assert_eq!(route(&state, &req("GET", "/session/1", "")).status, 405);
+        // Unparsable id or unknown action: 404.
+        assert_eq!(route(&state, &req("GET", "/session/abc/plan", "")).status, 404);
+        assert_eq!(route(&state, &req("POST", "/session/1/nope", "")).status, 404);
+        assert_eq!(state.metrics.other_requests.load(Relaxed), 5);
+        assert_eq!(state.metrics.session.requests.load(Relaxed), 4, "rejections not mixed in");
     }
 
     #[test]

@@ -45,6 +45,8 @@ pub struct ServerConfig {
     pub max_body: usize,
     /// Plan-cache capacity in entries (`0` disables caching).
     pub cache_capacity: usize,
+    /// Live telemetry-session capacity (LRU eviction beyond it).
+    pub session_capacity: usize,
     /// Per-connection socket read timeout.
     pub read_timeout: Duration,
 }
@@ -58,6 +60,7 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             max_body: 1 << 20,
             cache_capacity: 128,
+            session_capacity: crate::handlers::DEFAULT_SESSION_CAPACITY,
             read_timeout: Duration::from_secs(10),
         }
     }
@@ -138,7 +141,8 @@ pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
     shutdown.register_waker(addr);
     shutdown.register_waker(admin_addr);
 
-    let state = Arc::new(AppState::new(cfg.cache_capacity));
+    let state =
+        Arc::new(AppState::new(cfg.cache_capacity).with_session_capacity(cfg.session_capacity));
     let (tx, rx) = sync_channel::<TcpStream>(cfg.queue_capacity.max(1));
     let rx = Arc::new(Mutex::new(rx));
 

@@ -1,0 +1,175 @@
+//! Stateful online-controller sessions with per-session locking and LRU
+//! eviction.
+//!
+//! A session wraps one [`OnlineController`] behind its own mutex: the
+//! store's map lock is only ever held for a lookup/insert/remove, never
+//! while a telemetry batch is being ingested, so concurrent clients
+//! feeding *different* sessions never contend, and concurrent clients
+//! feeding the *same* session serialize on that session alone —
+//! every acknowledged batch is applied (no lost updates).
+//!
+//! The store is bounded: creating a session beyond `capacity` evicts the
+//! least-recently-used one (the eviction is reported to the caller so the
+//! daemon can count it into `/metrics`).
+
+use perpetuum_online::OnlineController;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// One live session: the controller behind its own lock.
+pub struct SessionSlot {
+    controller: Mutex<OnlineController>,
+    last_used: AtomicU64,
+}
+
+impl SessionSlot {
+    /// Locks the controller for one ingest/plan operation. Recovers from
+    /// poisoning: the controller's state transitions are atomic per call,
+    /// so a panicking request cannot leave it half-updated.
+    pub fn lock(&self) -> MutexGuard<'_, OnlineController> {
+        match self.controller.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// A bounded LRU map from session ids to [`SessionSlot`]s.
+pub struct SessionStore {
+    inner: Mutex<HashMap<u64, Arc<SessionSlot>>>,
+    capacity: usize,
+    next_id: AtomicU64,
+    tick: AtomicU64,
+}
+
+impl SessionStore {
+    /// A store holding at most `capacity` live sessions (at least one).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(HashMap::new()),
+            capacity: capacity.max(1),
+            next_id: AtomicU64::new(0),
+            tick: AtomicU64::new(0),
+        }
+    }
+
+    fn map(&self) -> MutexGuard<'_, HashMap<u64, Arc<SessionSlot>>> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Registers a controller and returns its fresh id plus whether an
+    /// older session was evicted to make room. Ids are monotonically
+    /// increasing and never reused.
+    pub fn insert(&self, controller: OnlineController) -> (u64, bool) {
+        let id = self.next_id.fetch_add(1, Relaxed) + 1;
+        let slot = Arc::new(SessionSlot {
+            controller: Mutex::new(controller),
+            last_used: AtomicU64::new(self.tick.fetch_add(1, Relaxed)),
+        });
+        let mut map = self.map();
+        let mut evicted = false;
+        if map.len() >= self.capacity {
+            // O(len) scan, same trade as the plan cache: eviction is the
+            // cold path and the map is small.
+            if let Some(&lru) =
+                map.iter().min_by_key(|(_, s)| s.last_used.load(Relaxed)).map(|(k, _)| k)
+            {
+                map.remove(&lru);
+                evicted = true;
+            }
+        }
+        map.insert(id, slot);
+        (id, evicted)
+    }
+
+    /// Looks a session up, refreshing its recency. The returned `Arc`
+    /// outlives the map lock — callers lock the slot *after* this returns.
+    pub fn get(&self, id: u64) -> Option<Arc<SessionSlot>> {
+        let slot = Arc::clone(self.map().get(&id)?);
+        slot.last_used.store(self.tick.fetch_add(1, Relaxed), Relaxed);
+        Some(slot)
+    }
+
+    /// Removes a session; `true` if it existed.
+    pub fn remove(&self, id: u64) -> bool {
+        self.map().remove(&id).is_some()
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.map().len()
+    }
+
+    /// True when no session is live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perpetuum_core::network::Network;
+    use perpetuum_geom::Point2;
+    use perpetuum_online::OnlineConfig;
+
+    fn controller() -> OnlineController {
+        let sensors = vec![Point2::new(10.0, 20.0), Point2::new(40.0, 20.0)];
+        let depots = vec![Point2::new(25.0, 60.0)];
+        let network = Network::new(sensors, depots);
+        OnlineController::new(network, vec![1.0, 1.0], vec![0.25, 0.125], OnlineConfig::new(100.0))
+            .expect("valid controller")
+    }
+
+    #[test]
+    fn ids_are_monotone_and_never_reused() {
+        let store = SessionStore::new(8);
+        let (a, _) = store.insert(controller());
+        let (b, _) = store.insert(controller());
+        assert!(b > a);
+        assert!(store.remove(a));
+        let (c, _) = store.insert(controller());
+        assert!(c > b, "removed ids are not recycled");
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn lru_session_is_evicted_at_capacity() {
+        let store = SessionStore::new(2);
+        let (a, e1) = store.insert(controller());
+        let (b, e2) = store.insert(controller());
+        assert!(!e1 && !e2);
+        assert!(store.get(a).is_some(), "refresh a — b becomes LRU");
+        let (c, evicted) = store.insert(controller());
+        assert!(evicted, "third insert overflows capacity 2");
+        assert!(store.get(a).is_some());
+        assert!(store.get(b).is_none(), "LRU session gone");
+        assert!(store.get(c).is_some());
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn slots_lock_independently_of_the_map() {
+        let store = SessionStore::new(4);
+        let (id, _) = store.insert(controller());
+        let slot = store.get(id).expect("present");
+        let guard = slot.lock();
+        // Map operations proceed while a session is locked.
+        assert_eq!(store.len(), 1);
+        let (other, _) = store.insert(controller());
+        assert!(store.get(other).is_some());
+        drop(guard);
+    }
+
+    #[test]
+    fn missing_sessions_are_none() {
+        let store = SessionStore::new(2);
+        assert!(store.is_empty());
+        assert!(store.get(99).is_none());
+        assert!(!store.remove(99));
+    }
+}

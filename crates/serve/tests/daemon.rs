@@ -59,6 +59,35 @@ fn get(addr: SocketAddr, path: &str) -> Wire {
     raw_request(addr, format!("GET {path} HTTP/1.1\r\nhost: t\r\n\r\n").as_bytes())
 }
 
+fn delete(addr: SocketAddr, path: &str) -> Wire {
+    raw_request(addr, format!("DELETE {path} HTTP/1.1\r\nhost: t\r\n\r\n").as_bytes())
+}
+
+/// Pulls a top-level numeric field out of a JSON response body.
+fn num_field(body: &str, key: &str) -> f64 {
+    let v = serde_json::parse_value(body).expect("valid JSON body");
+    match v.get(key) {
+        Some(serde_json::Value::Num(n)) => *n,
+        other => panic!("no numeric `{key}` in {body}: {other:?}"),
+    }
+}
+
+/// Pulls the `assigned_cycles` array out of a `GET /session/{id}/plan`
+/// body.
+fn assigned_cycles(body: &str) -> Vec<f64> {
+    let v = serde_json::parse_value(body).expect("valid JSON body");
+    match v.get("assigned_cycles") {
+        Some(serde_json::Value::Arr(items)) => items
+            .iter()
+            .map(|x| match x {
+                serde_json::Value::Num(n) => *n,
+                other => panic!("non-numeric cycle {other:?}"),
+            })
+            .collect(),
+        other => panic!("no assigned_cycles in {body}: {other:?}"),
+    }
+}
+
 fn scenario_body(seed: u64) -> String {
     format!(
         r#"{{"scenario": {{
@@ -258,6 +287,116 @@ fn graceful_shutdown_drains_in_flight_requests() {
     // connections are refused after the drain.
     handle.wait();
     assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(300)).is_err());
+}
+
+#[test]
+fn session_lifecycle_over_the_wire() {
+    let handle = start(ServerConfig::default()).expect("start");
+    let addr = handle.addr;
+
+    // Create: scenario in, session id + initial plan summary out.
+    let created = post(addr, "/session", &scenario_body(13));
+    assert_eq!(created.status, 200, "{}", created.body);
+    let id = num_field(&created.body, "session") as u64;
+    assert!(num_field(&created.body, "tau1") > 0.0, "{}", created.body);
+
+    // A telemetry batch that changes nothing is planner-free.
+    let r = post(addr, &format!("/session/{id}/telemetry"), r#"{"time": 0.5}"#);
+    assert_eq!(r.status, 200, "{}", r.body);
+    assert!(r.body.contains("\"replan\":\"none\""), "{}", r.body);
+    assert_eq!(num_field(&r.body, "planner_calls"), 0.0, "{}", r.body);
+
+    // The plan endpoint serves the live schedule.
+    let plan = get(addr, &format!("/session/{id}/plan"));
+    assert_eq!(plan.status, 200, "{}", plan.body);
+    assert!(!assigned_cycles(&plan.body).is_empty());
+
+    // The scrape sees the live session and the session endpoint family.
+    let metrics = get(addr, "/metrics");
+    for family in [
+        "perpetuum_sessions 1",
+        "perpetuum_session_evictions_total 0",
+        "perpetuum_cache_evictions_total 0",
+        "perpetuum_requests_total{endpoint=\"session\"}",
+    ] {
+        assert!(metrics.body.contains(family), "missing {family:?}:\n{}", metrics.body);
+    }
+
+    // Delete, then every session route 404s and the gauge drops to zero.
+    assert_eq!(delete(addr, &format!("/session/{id}")).status, 200);
+    assert_eq!(get(addr, &format!("/session/{id}/plan")).status, 404);
+    assert_eq!(delete(addr, &format!("/session/{id}")).status, 404);
+    assert!(get(addr, "/metrics").body.contains("perpetuum_sessions 0"));
+    handle.shutdown();
+}
+
+#[test]
+fn session_eviction_shows_up_in_the_scrape() {
+    let handle =
+        start(ServerConfig { session_capacity: 1, ..ServerConfig::default() }).expect("start");
+    let addr = handle.addr;
+
+    let first = post(addr, "/session", &scenario_body(1));
+    assert_eq!(first.status, 200, "{}", first.body);
+    let first_id = num_field(&first.body, "session") as u64;
+    let second = post(addr, "/session", &scenario_body(2));
+    assert_eq!(second.status, 200, "{}", second.body);
+
+    // The store held one slot: creating the second evicted the first.
+    assert_eq!(get(addr, &format!("/session/{first_id}/plan")).status, 404);
+    let metrics = get(addr, "/metrics");
+    assert!(metrics.body.contains("perpetuum_sessions 1"), "{}", metrics.body);
+    assert!(metrics.body.contains("perpetuum_session_evictions_total 1"), "{}", metrics.body);
+    handle.shutdown();
+}
+
+#[test]
+fn concurrent_telemetry_from_four_clients_loses_no_updates() {
+    let handle = start(ServerConfig::default()).expect("start");
+    let addr = handle.addr;
+
+    let created = post(addr, "/session", &scenario_body(17));
+    assert_eq!(created.status, 200, "{}", created.body);
+    let id = num_field(&created.body, "session") as u64;
+    let before = assigned_cycles(&get(addr, &format!("/session/{id}/plan")).body);
+
+    // Four clients, one sensor each, hammer the same session with rate
+    // reports 8× the planned consumption — every sensor's rounding class
+    // must drop. All batches carry the same timestamp (monotonicity
+    // accepts equal times), so interleaving order is irrelevant.
+    let threads: Vec<_> = (0..4)
+        .map(|sensor| {
+            let new_rate = 8.0 / before[sensor];
+            std::thread::spawn(move || {
+                for _ in 0..5 {
+                    let body = format!(
+                        r#"{{"time": 1.0, "records": [{{"sensor": {sensor}, "rate": {new_rate}}}]}}"#
+                    );
+                    let r = post(addr, &format!("/session/{id}/telemetry"), &body);
+                    assert_eq!(r.status, 200, "{}", r.body);
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("client thread must not panic");
+    }
+
+    // Every client's update took effect: all four sensors were re-assigned
+    // strictly tighter cycles, and nothing was served a 5xx.
+    let after = assigned_cycles(&get(addr, &format!("/session/{id}/plan")).body);
+    for sensor in 0..4 {
+        assert!(
+            after[sensor] < before[sensor],
+            "sensor {sensor}: {} -> {} (update lost?)",
+            before[sensor],
+            after[sensor]
+        );
+    }
+    let m = handle.state();
+    assert_eq!(m.metrics.responses[2].load(Relaxed), 0, "no 5xx under concurrent ingest");
+    assert!(m.metrics.session.requests.load(Relaxed) >= 21);
+    handle.shutdown();
 }
 
 #[test]

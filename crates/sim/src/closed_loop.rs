@@ -1,0 +1,342 @@
+//! Closed-loop harness: the telemetry-driven [`OnlineController`] run
+//! against the event-driven simulator, bracketed by the two references
+//! that bound it from below and above:
+//!
+//! * **static** — plain Algorithm 3 from the initial estimates, never
+//!   updated ([`MtdPolicy`]). Under rate drift this is the open-loop
+//!   baseline the controller must beat.
+//! * **oracle** — a full `V^a` replan from the *currently measured* rates
+//!   at every slot boundary ([`OraclePolicy`]). Replanning cannot be done
+//!   better with the information available, so its death count lower-bounds
+//!   what any telemetry-driven scheme can reach (at an absurd planning
+//!   cost: one full replan per slot).
+//!
+//! [`compare_under_drift`] runs all three arms over the same world, seed
+//! and compounding rate drift and returns the per-arm outcomes — the data
+//! behind `BENCH_online.json` and the `ext_drift` experiment.
+
+use crate::engine::{run_with_faults, SimConfig};
+use crate::faults::{FaultModel, RateShock};
+use crate::policy::{ChargingPolicy, MtdPolicy, Observation, PlanUpdate};
+use crate::world::World;
+use perpetuum_core::network::Network;
+use perpetuum_core::var::{replan_variable_with, RepairStrategy, VarInput};
+use perpetuum_online::{OnlineConfig, OnlineController, TelemetryBatch, TelemetryRecord};
+
+/// The online controller as a [`ChargingPolicy`]: every slot boundary is
+/// turned into one telemetry batch (measured rate + reported level per
+/// sensor) and fed to [`OnlineController::ingest`]; the engine's plan is
+/// replaced only when the controller actually mutated its plan (revision
+/// bump), so class-stable slots cost zero planner invocations.
+#[derive(Debug)]
+pub struct OnlinePolicy {
+    network: Network,
+    /// Planning safety margin, forwarded to [`OnlineConfig`].
+    pub margin: f64,
+    /// Emergency head-start slack, forwarded to [`OnlineConfig`].
+    pub emergency_slack: f64,
+    controller: Option<OnlineController>,
+    last_revision: u64,
+}
+
+impl OnlinePolicy {
+    /// Default planning margin. Doubles as replan hysteresis (see
+    /// [`OnlineConfig::margin`]): at 10%, a steady 1.5%/slot drift costs
+    /// one full replan every ~7 slots instead of every slot.
+    pub const DEFAULT_MARGIN: f64 = 0.1;
+
+    /// Closed-loop policy with the default margin.
+    pub fn new(network: &Network) -> Self {
+        Self {
+            network: network.clone(),
+            margin: Self::DEFAULT_MARGIN,
+            emergency_slack: 0.0,
+            controller: None,
+            last_revision: 0,
+        }
+    }
+
+    /// Closed-loop policy planning against `(1 − margin)`-shrunken cycles.
+    pub fn with_margin(network: &Network, margin: f64) -> Self {
+        assert!((0.0..1.0).contains(&margin), "margin must be in [0, 1)");
+        Self { margin, ..Self::new(network) }
+    }
+
+    /// The wrapped controller (after initialization).
+    pub fn controller(&self) -> Option<&OnlineController> {
+        self.controller.as_ref()
+    }
+
+    /// Cumulative planner invocations (0 until initialized).
+    pub fn planner_calls(&self) -> usize {
+        self.controller.as_ref().map_or(0, |c| c.planner_calls())
+    }
+
+    /// Plan mutations after initialization: incremental + full replans +
+    /// emergency dispatches.
+    pub fn replans(&self) -> usize {
+        self.controller.as_ref().map_or(0, |c| {
+            c.incremental_replans() + c.emergency_dispatches() + c.full_replans().saturating_sub(1)
+        })
+    }
+
+    fn batch_from(obs: &Observation) -> TelemetryBatch {
+        let records = (0..obs.levels.len())
+            .map(|i| TelemetryRecord::full(i, obs.rho_now[i], obs.levels[i]))
+            .collect();
+        TelemetryBatch { time: obs.time, records }
+    }
+}
+
+impl ChargingPolicy for OnlinePolicy {
+    fn name(&self) -> &'static str {
+        "MinTotalDistance-online"
+    }
+
+    fn initialize(&mut self, obs: &Observation) -> PlanUpdate {
+        if obs.levels.is_empty() {
+            return PlanUpdate::Keep;
+        }
+        let rates: Vec<f64> = (0..obs.levels.len()).map(|i| obs.rate_safe(i)).collect();
+        let cfg = OnlineConfig::new(obs.horizon)
+            .with_margin(self.margin)
+            .with_emergency_slack(self.emergency_slack);
+        match OnlineController::new(self.network.clone(), obs.capacities.to_vec(), rates, cfg) {
+            Ok(ctl) => {
+                let series = ctl.pending_series(obs.time);
+                self.last_revision = ctl.revision();
+                self.controller = Some(ctl);
+                PlanUpdate::Replace(series)
+            }
+            Err(_) => PlanUpdate::Keep,
+        }
+    }
+
+    fn on_slot_boundary(&mut self, obs: &Observation) -> PlanUpdate {
+        let Some(ctl) = self.controller.as_mut() else {
+            return PlanUpdate::Keep;
+        };
+        let batch = Self::batch_from(obs);
+        if ctl.ingest(&batch).is_err() {
+            return PlanUpdate::Keep;
+        }
+        if ctl.revision() == self.last_revision {
+            return PlanUpdate::Keep;
+        }
+        self.last_revision = ctl.revision();
+        PlanUpdate::Replace(ctl.pending_series(obs.time))
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Clairvoyant-replanning reference: a full Algorithm 3 + `V^a` repair from
+/// the currently measured rates at **every** slot boundary. Its planning
+/// cost (one full replan per slot) is the price of its death-count floor.
+#[derive(Debug)]
+pub struct OraclePolicy<'a> {
+    network: &'a Network,
+    replans: usize,
+}
+
+impl<'a> OraclePolicy<'a> {
+    /// Oracle over `network`.
+    pub fn new(network: &'a Network) -> Self {
+        Self { network, replans: 0 }
+    }
+
+    /// Full replans performed after initialization.
+    pub fn replans(&self) -> usize {
+        self.replans
+    }
+
+    fn replan(&self, obs: &Observation) -> PlanUpdate {
+        // Plan from the *measured* current rate alone — the oracle trusts
+        // its instruments completely and re-checks every slot anyway.
+        let n = obs.levels.len();
+        let max_cycles: Vec<f64> = (0..n).map(|i| obs.capacities[i] / obs.rho_now[i]).collect();
+        let residuals: Vec<f64> =
+            (0..n).map(|i| (obs.levels[i] / obs.rho_now[i]).min(max_cycles[i])).collect();
+        let input = VarInput {
+            network: self.network,
+            max_cycles: &max_cycles,
+            residuals: &residuals,
+            now: obs.time,
+            horizon: obs.horizon,
+            polish_rounds: 0,
+        };
+        PlanUpdate::Replace(replan_variable_with(&input, RepairStrategy::NearestScheduling).series)
+    }
+}
+
+impl ChargingPolicy for OraclePolicy<'_> {
+    fn name(&self) -> &'static str {
+        "Oracle-var"
+    }
+
+    fn initialize(&mut self, obs: &Observation) -> PlanUpdate {
+        if obs.levels.is_empty() {
+            return PlanUpdate::Keep;
+        }
+        self.replan(obs)
+    }
+
+    fn on_slot_boundary(&mut self, obs: &Observation) -> PlanUpdate {
+        if obs.levels.is_empty() || obs.time >= obs.horizon {
+            return PlanUpdate::Keep;
+        }
+        self.replans += 1;
+        self.replan(obs)
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// One arm of the closed-loop comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArmOutcome {
+    /// Policy name.
+    pub name: &'static str,
+    /// Sensor deaths over the run.
+    pub deaths: usize,
+    /// Total charger travel (the paper's objective).
+    pub service_cost: f64,
+    /// Plan mutations after initialization.
+    pub replans: usize,
+    /// Planner invocations (tour constructions / full replans); the static
+    /// arm pays 1 (its initial plan), the oracle pays one per slot.
+    pub planner_calls: usize,
+}
+
+/// Outcome of [`compare_under_drift`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClosedLoopComparison {
+    /// Per-slot compounding drift factor applied to every true rate.
+    pub drift: f64,
+    /// Open-loop Algorithm 3 (never replans).
+    pub static_arm: ArmOutcome,
+    /// Telemetry-driven [`OnlinePolicy`].
+    pub online_arm: ArmOutcome,
+    /// Every-slot full-replanning [`OraclePolicy`].
+    pub oracle_arm: ArmOutcome,
+}
+
+/// Run the static, online and oracle arms over identical worlds, seeds and
+/// drift realizations and report the three outcomes. With `drift = 0` the
+/// fault path is skipped entirely ([`FaultModel::none`] bit-identity).
+pub fn compare_under_drift(world: &World, cfg: &SimConfig, drift: f64) -> ClosedLoopComparison {
+    let faults = if drift == 0.0 {
+        FaultModel::none()
+    } else {
+        FaultModel::none().with_rate_shocks(RateShock::drift(drift)).with_seed(cfg.seed)
+    };
+    let network = world.network.clone();
+
+    let mut static_policy = MtdPolicy::new(&network);
+    let static_result = run_with_faults(world.clone(), cfg, &mut static_policy, &faults);
+
+    let mut online_policy = OnlinePolicy::new(&network);
+    let online_result = run_with_faults(world.clone(), cfg, &mut online_policy, &faults);
+
+    let mut oracle_policy = OraclePolicy::new(&network);
+    let oracle_result = run_with_faults(world.clone(), cfg, &mut oracle_policy, &faults);
+
+    ClosedLoopComparison {
+        drift,
+        static_arm: ArmOutcome {
+            name: "static",
+            deaths: static_result.deaths.len(),
+            service_cost: static_result.service_cost,
+            replans: 0,
+            planner_calls: 1,
+        },
+        online_arm: ArmOutcome {
+            name: "online",
+            deaths: online_result.deaths.len(),
+            service_cost: online_result.service_cost,
+            replans: online_policy.replans(),
+            planner_calls: online_policy.planner_calls(),
+        },
+        oracle_arm: ArmOutcome {
+            name: "oracle",
+            deaths: oracle_result.deaths.len(),
+            service_cost: oracle_result.service_cost,
+            replans: oracle_policy.replans(),
+            planner_calls: 1 + oracle_policy.replans(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perpetuum_geom::Point2;
+
+    fn world() -> World {
+        let sensors: Vec<Point2> = (0..12)
+            .map(|i| {
+                let row = (i / 4) as f64;
+                let col = (i % 4) as f64;
+                Point2::new(80.0 * col, 60.0 * row)
+            })
+            .collect();
+        let depots = vec![Point2::new(120.0, 150.0), Point2::new(240.0, -30.0)];
+        let network = Network::new(sensors, depots);
+        let cycles: Vec<f64> = (0..12).map(|i| 20.0 + 7.0 * (i % 5) as f64).collect();
+        World::fixed(network, &cycles)
+    }
+
+    fn cfg() -> SimConfig {
+        SimConfig { horizon: 400.0, slot: 10.0, seed: 7, charger_speed: None }
+    }
+
+    #[test]
+    fn online_policy_tracks_a_drift_free_world_without_replanning() {
+        let outcome = compare_under_drift(&world(), &cfg(), 0.0);
+        assert_eq!(outcome.online_arm.deaths, 0, "no drift, no deaths");
+        assert_eq!(
+            outcome.online_arm.replans, 0,
+            "constant rates stay in-band: zero plan mutations"
+        );
+        assert_eq!(outcome.online_arm.planner_calls, 1, "only the initial plan is ever computed");
+        assert_eq!(outcome.static_arm.deaths, 0);
+    }
+
+    #[test]
+    fn closed_loop_beats_static_under_compounding_drift() {
+        // 1.5%/slot compounding drift over 40 slots → rates end ~1.8×
+        // their planning-time values; the open-loop plan starves sensors.
+        let outcome = compare_under_drift(&world(), &cfg(), 0.015);
+        assert!(
+            outcome.static_arm.deaths > 0,
+            "drift must actually break the open-loop plan (got 0 deaths)"
+        );
+        assert!(
+            outcome.online_arm.deaths < outcome.static_arm.deaths,
+            "online ({}) must beat static ({})",
+            outcome.online_arm.deaths,
+            outcome.static_arm.deaths
+        );
+        assert!(outcome.online_arm.replans > 0, "drift must trigger replanning");
+        assert!(
+            outcome.online_arm.planner_calls < outcome.oracle_arm.planner_calls,
+            "online must plan less than the every-slot oracle"
+        );
+    }
+
+    #[test]
+    fn oracle_bounds_online_death_count() {
+        let outcome = compare_under_drift(&world(), &cfg(), 0.015);
+        assert!(outcome.oracle_arm.deaths <= outcome.online_arm.deaths);
+    }
+
+    #[test]
+    fn online_service_cost_sits_between_static_and_oracle() {
+        // More planning buys fewer deaths at more travel: the closed loop
+        // should pay more than the (dying) static plan but stay well under
+        // the every-slot oracle's bill.
+        let outcome = compare_under_drift(&world(), &cfg(), 0.015);
+        assert!(outcome.online_arm.service_cost > outcome.static_arm.service_cost);
+        assert!(outcome.online_arm.service_cost < outcome.oracle_arm.service_cost);
+    }
+}

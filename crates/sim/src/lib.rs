@@ -29,6 +29,7 @@
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+pub mod closed_loop;
 mod energy_core;
 pub mod engine;
 pub mod faults;
@@ -38,6 +39,9 @@ pub mod reference;
 pub mod trace;
 pub mod world;
 
+pub use closed_loop::{
+    compare_under_drift, ArmOutcome, ClosedLoopComparison, OnlinePolicy, OraclePolicy,
+};
 pub use engine::{run, run_traced, run_with_faults, run_with_faults_traced, SimConfig};
 pub use faults::{ChargerFaults, FaultModel, RateShock, RecoveryConfig, SpeedFaults};
 pub use metrics::{DeathEvent, FaultStats, SimResult};
