@@ -16,6 +16,14 @@
 //!   world: work concentrates in slot-boundary replans (identical in both
 //!   engines), so the gap narrows — included to keep the comparison
 //!   honest, not to flatter it.
+//! * `incremental_adaptive` / `full_adaptive` — the same adaptive scenario
+//!   with the planner pinned to each replanning tier: the default
+//!   incremental path (persistent-forest splicing + warm-started tours)
+//!   against the from-scratch ablation. Each id's parameter carries the
+//!   cumulative planner time of its setup run, so the committed JSON
+//!   records the planner-time breakdown alongside the wall clock; the
+//!   setup asserts incremental planner time ≤ from-scratch at n ≥ 5000, so
+//!   a regression fails the generation.
 //!
 //! Both run in instant and travel-time charging modes. Networks are
 //! sparse (`Network::sparse`): at n = 10_000 a dense matrix would be
@@ -152,6 +160,46 @@ fn bench_sim(c: &mut Criterion) {
                 let slow = run_reference(adaptive_world(&net), &cfg, &mut VarPolicy::new(&net));
                 assert_same_scenario(&fast, &slow);
             }
+
+            // Planner-tier breakdown: one run per tier, planner time split
+            // out of the wall clock via the policy's internal stopwatch.
+            let mut inc_policy = VarPolicy::new(&net);
+            let inc_result = run(adaptive_world(&net), &cfg, &mut inc_policy);
+            let mut full_policy = VarPolicy::full_replanning(&net);
+            let full_result = run(adaptive_world(&net), &cfg, &mut full_policy);
+            assert!(inc_result.dispatches > 0 && full_result.dispatches > 0);
+            let inc_planner =
+                inc_policy.planner_seconds_incremental() + inc_policy.planner_seconds_full();
+            let full_planner = full_policy.planner_seconds_full();
+            if n >= 5000 {
+                assert!(
+                    inc_policy.incremental_replans() > 0,
+                    "adaptive drift at n = {n} must exercise the incremental path"
+                );
+                assert!(
+                    inc_planner <= full_planner,
+                    "incremental planner time ({inc_planner:.3}s) must not exceed \
+                     from-scratch ({full_planner:.3}s) at n = {n}"
+                );
+            }
+
+            let id = format!("incremental_adaptive_{mode}");
+            let param = format!("{n}_planner_{:.0}ms", inc_planner * 1e3);
+            group.bench_with_input(BenchmarkId::new(id, param), &n, |b, _| {
+                b.iter(|| {
+                    let mut p = VarPolicy::new(&net);
+                    black_box(run(adaptive_world(&net), &cfg, &mut p))
+                })
+            });
+            let id = format!("full_adaptive_{mode}");
+            let param = format!("{n}_planner_{:.0}ms", full_planner * 1e3);
+            group.bench_with_input(BenchmarkId::new(id, param), &n, |b, _| {
+                b.iter(|| {
+                    let mut p = VarPolicy::full_replanning(&net);
+                    black_box(run(adaptive_world(&net), &cfg, &mut p))
+                })
+            });
+
             let id = format!("event_adaptive_{mode}");
             group.bench_with_input(BenchmarkId::new(id, n), &n, |b, _| {
                 b.iter(|| {

@@ -13,6 +13,7 @@
 //! | charging schedulings & service cost (Section III.B) | [`schedule`] |
 //! | Algorithm 3 — `MinTotalDistance` (Section V.B) | [`mtd`] |
 //! | `MinTotalDistance-var` replanning (Section VI.B) | [`var`] |
+//! | incremental replanning (forest splicing, warm tours) | [`incremental`] |
 //! | greedy baseline (Section VII.A) | [`greedy`] |
 //! | independent feasibility checking | [`feasibility`] |
 //! | degraded-mode recovery on surviving depots | [`recovery`] |
@@ -44,6 +45,7 @@
 pub mod bounds;
 pub mod feasibility;
 pub mod greedy;
+pub mod incremental;
 pub mod minmax;
 pub mod mtd;
 pub mod naive;
@@ -60,6 +62,7 @@ pub mod var;
 pub use bounds::{lemma3_lower_bound, ServiceCostBound};
 pub use feasibility::check_series;
 pub use greedy::{plan_greedy_fixed, GreedyConfig};
+pub use incremental::{FullReason, IncrementalConfig, IncrementalPlanner, ReplanOutcome};
 pub use minmax::{min_max_cover, MinMaxCover};
 pub use mtd::{plan_min_total_distance, MtdConfig};
 pub use naive::{plan_charge_all, plan_per_sensor_cadence};
@@ -68,11 +71,15 @@ pub use qmsf::{
     q_rooted_msf, q_rooted_msf_sparse, q_rooted_msf_src, rooted_msf_general, RootedForest,
 };
 pub use qtsp::{
-    q_rooted_tsp, q_rooted_tsp_routed, q_rooted_tsp_routed_src, q_rooted_tsp_src, QTours, Routing,
+    q_rooted_tsp, q_rooted_tsp_routed, q_rooted_tsp_routed_src, q_rooted_tsp_src,
+    q_rooted_tsp_with_forest_src, tour_from_tree_doubling, tours_for_forest_src, QTours, Routing,
 };
 pub use recovery::{degraded_tour_set, surviving_depots};
 pub use rounding::{partition_cycles, power_class, CyclePartition};
 pub use schedule::{Dispatch, ScheduleSeries, TourSet};
 pub use split::{split_tour, split_tour_set, SplitError, SplitTourSet};
 pub use stats::{analyze, SeriesStats};
-pub use var::{replan_variable, replan_variable_with, RepairStrategy, VarInput};
+pub use var::{
+    replan_variable, replan_variable_detailed, replan_variable_with, RepairStrategy, VarDetailed,
+    VarInput,
+};

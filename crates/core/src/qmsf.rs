@@ -121,8 +121,11 @@ pub fn rooted_msf_general<M: Metric>(term_dist: &M, root_dist: &[Vec<f64>]) -> R
 /// edge list over `m + 1` nodes where node `m` is the super-root; each MST
 /// edge incident to it attaches one sub-tree to a specific physical root
 /// (via `best_root`), and a DSU over the terminal-terminal edges recovers
-/// those sub-trees. Shared by the dense and sparse MSF paths.
-fn uncontract(
+/// those sub-trees. Shared by the dense and sparse MSF paths, and by the
+/// incremental splice ([`crate::incremental`]), whose heap-Prim over the
+/// surviving-plus-candidate edge pool emits the same contracted edge-list
+/// shape.
+pub(crate) fn uncontract(
     m: usize,
     q: usize,
     mst: &[(usize, usize)],

@@ -146,16 +146,49 @@ pub fn q_rooted_tsp_routed_src(
     routing: Routing,
     polish_rounds: usize,
 ) -> QTours {
-    // Thread spawn costs ~tens of µs; below this terminal count the whole
-    // per-root build is cheaper than that, so stay sequential (the result
-    // is identical either way — see above).
+    let workers = default_tour_workers(terminals.len(), roots.len());
+    q_rooted_tsp_routed_src_workers(src, terminals, roots, routing, polish_rounds, workers)
+}
+
+/// The worker count the parallel per-root tour build defaults to.
+///
+/// Thread spawn costs ~tens of µs; below [`PAR_TERMINALS_THRESHOLD`]
+/// terminals the whole per-root build is cheaper than that, so stay
+/// sequential (the result is identical either way — see
+/// [`q_rooted_tsp_routed_src`]).
+pub(crate) fn default_tour_workers(terminal_count: usize, root_count: usize) -> usize {
     const PAR_TERMINALS_THRESHOLD: usize = 256;
-    let workers = if terminals.len() >= PAR_TERMINALS_THRESHOLD {
-        perpetuum_par::default_workers(roots.len())
+    if terminal_count >= PAR_TERMINALS_THRESHOLD {
+        perpetuum_par::default_workers(root_count)
     } else {
         1
-    };
-    q_rooted_tsp_routed_src_workers(src, terminals, roots, routing, polish_rounds, workers)
+    }
+}
+
+/// [`q_rooted_tsp_src`] that also returns the underlying Algorithm-1
+/// forest — the seeding hook for incremental replanning
+/// ([`crate::incremental`]), which must cache the forest a plan's tours
+/// were built from so later migrations can splice it instead of re-running
+/// Prim. Bit-identical to [`q_rooted_tsp_src`] (same forest, same per-root
+/// build).
+pub fn q_rooted_tsp_with_forest_src(
+    src: &DistSource<'_>,
+    terminals: &[usize],
+    roots: &[usize],
+    polish_rounds: usize,
+) -> (QTours, crate::qmsf::RootedForest) {
+    let forest = q_rooted_msf_src(src, terminals, roots);
+    let workers = default_tour_workers(terminals.len(), roots.len());
+    let qt = tours_for_forest_src(
+        src,
+        &forest,
+        terminals,
+        roots,
+        Routing::Doubling,
+        polish_rounds,
+        workers,
+    );
+    (qt, forest)
 }
 
 /// [`q_rooted_tsp_routed_src`] with an explicit worker count — the parity
@@ -174,6 +207,22 @@ pub fn q_rooted_tsp_routed_src_workers(
         "terminals and roots must be disjoint"
     );
     let forest = q_rooted_msf_src(src, terminals, roots);
+    tours_for_forest_src(src, &forest, terminals, roots, routing, polish_rounds, workers)
+}
+
+/// The tour-construction half of Algorithm 2: turns an already-computed
+/// `q`-rooted forest into per-root closed tours. Split out of
+/// [`q_rooted_tsp_routed_src_workers`] so the incremental replanner can
+/// re-route a spliced forest without recomputing it.
+pub fn tours_for_forest_src(
+    src: &DistSource<'_>,
+    forest: &crate::qmsf::RootedForest,
+    terminals: &[usize],
+    roots: &[usize],
+    routing: Routing,
+    polish_rounds: usize,
+    workers: usize,
+) -> QTours {
     let groups = forest.terminals_by_root();
     let node_count = src.len();
 
@@ -190,33 +239,7 @@ pub fn q_rooted_tsp_routed_src_workers(
             return Tour::singleton(root_node);
         }
         let mut tour = match routing {
-            Routing::Doubling => {
-                // Relabel this root's tree onto a compact node space before
-                // the Euler walk: the walk only touches the tree's own
-                // nodes, but `euler_circuit` allocates adjacency for every
-                // node id below its bound. In-sim replans route small
-                // batches through here every polling tick, and paying
-                // O(network) per root would dwarf the batch itself. The
-                // relabeling is an isomorphism that preserves edge order,
-                // so the circuit (and hence the tour) is unchanged.
-                let mut locals: Vec<usize> = vec![root_node];
-                let mut index = std::collections::HashMap::with_capacity(edges.len() + 1);
-                index.insert(root_node, 0usize);
-                let compact: Vec<(usize, usize)> = edges
-                    .iter()
-                    .map(|&(u, v)| {
-                        (
-                            compact_id(u, &mut index, &mut locals),
-                            compact_id(v, &mut index, &mut locals),
-                        )
-                    })
-                    .collect();
-                let doubled = double_edges(&compact);
-                let circuit = euler_circuit(locals.len(), &doubled, 0)
-                    .expect("a doubled tree always has an Euler circuit from its root");
-                let walk: Vec<usize> = circuit.iter().map(|&v| locals[v]).collect();
-                Tour::shortcut(&walk)
-            }
+            Routing::Doubling => tour_from_tree_doubling(&edges, root_node),
             Routing::Matching => tour_from_tree_matched(src, node_count, &edges, root_node),
             Routing::Savings => {
                 let customers: Vec<usize> = groups[r].iter().map(|&t| terminals[t]).collect();
@@ -234,6 +257,42 @@ pub fn q_rooted_tsp_routed_src_workers(
     let tour_lengths: Vec<f64> = tours.iter().map(|t| t.length(src)).collect();
     let cost = tour_lengths.iter().sum();
     QTours { tours, tour_lengths, cost }
+}
+
+/// The paper's tree-to-tour step for a single root: double the tree's
+/// edges, walk an Euler circuit from the root, shortcut repeated nodes.
+///
+/// `edges` are the tree's edges in *host node-id* space and must form one
+/// tree containing `root_node`; an empty edge list yields a singleton tour.
+/// This is the exact Doubling arm of [`q_rooted_tsp_routed_src`], exposed
+/// so the incremental replanner can rebuild a single root's tour from a
+/// spliced forest tree (its fallback when warm-start repair loses to a
+/// fresh construction).
+pub fn tour_from_tree_doubling(edges: &[(usize, usize)], root_node: usize) -> Tour {
+    if edges.is_empty() {
+        return Tour::singleton(root_node);
+    }
+    // Relabel this root's tree onto a compact node space before the Euler
+    // walk: the walk only touches the tree's own nodes, but `euler_circuit`
+    // allocates adjacency for every node id below its bound. In-sim replans
+    // route small batches through here every polling tick, and paying
+    // O(network) per root would dwarf the batch itself. The relabeling is
+    // an isomorphism that preserves edge order, so the circuit (and hence
+    // the tour) is unchanged.
+    let mut locals: Vec<usize> = vec![root_node];
+    let mut index = std::collections::HashMap::with_capacity(edges.len() + 1);
+    index.insert(root_node, 0usize);
+    let compact: Vec<(usize, usize)> = edges
+        .iter()
+        .map(|&(u, v)| {
+            (compact_id(u, &mut index, &mut locals), compact_id(v, &mut index, &mut locals))
+        })
+        .collect();
+    let doubled = double_edges(&compact);
+    let circuit = euler_circuit(locals.len(), &doubled, 0)
+        .expect("a doubled tree always has an Euler circuit from its root");
+    let walk: Vec<usize> = circuit.iter().map(|&v| locals[v]).collect();
+    Tour::shortcut(&walk)
 }
 
 /// Dense-index helper for the Euler relabeling above: the id of `x` in the

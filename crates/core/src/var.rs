@@ -25,9 +25,9 @@ use std::collections::BTreeMap;
 
 use crate::mtd::{nu2, push_dispatch_timeline};
 use crate::network::Network;
-use crate::qmsf::{rooted_msf_general, rooted_msf_points, SPARSE_MSF_K};
-use crate::qtsp::q_rooted_tsp_src;
-use crate::rounding::{partition_cycles, power_class};
+use crate::qmsf::{rooted_msf_general, rooted_msf_points, RootedForest, SPARSE_MSF_K};
+use crate::qtsp::{q_rooted_tsp_src, q_rooted_tsp_with_forest_src, QTours};
+use crate::rounding::{partition_cycles, power_class, CyclePartition};
 use crate::schedule::{ScheduleSeries, TourSet};
 use perpetuum_geom::Point2;
 use perpetuum_graph::{DistSource, Metric};
@@ -86,16 +86,43 @@ pub fn replan_variable(input: &VarInput) -> VarPlan {
 /// Replanning with an explicit [`RepairStrategy`] (for the repair
 /// ablation bench).
 pub fn replan_variable_with(input: &VarInput, repair: RepairStrategy) -> VarPlan {
+    if input.network.n() == 0 {
+        assert!(input.now < input.horizon, "replanning after the horizon");
+        return VarPlan {
+            series: ScheduleSeries::new(),
+            assigned_cycles: Vec::new(),
+            base_set_ids: Vec::new(),
+        };
+    }
+    replan_variable_detailed(input, repair).plan
+}
+
+/// Everything a replanning round computed, beyond the plan itself: the
+/// cycle partition and, per class `k`, the `q`-rooted forest and tours of
+/// the unmodified base set `D_k`. [`crate::incremental::IncrementalPlanner`]
+/// seeds its persistent per-class state from these instead of rebuilding
+/// them from scratch.
+#[derive(Debug)]
+pub struct VarDetailed {
+    /// The plan, bit-identical to [`replan_variable_with`].
+    pub plan: VarPlan,
+    /// The power-of-two cycle partition behind the plan.
+    pub partition: CyclePartition,
+    /// `(forest, tours)` of the base set `D_k`, indexed by class `k`.
+    pub base_builds: Vec<(RootedForest, QTours)>,
+}
+
+/// Like [`replan_variable_with`], but keeps the intermediate per-class
+/// builds (see [`VarDetailed`]). Requires a non-empty network.
+pub fn replan_variable_detailed(input: &VarInput, repair: RepairStrategy) -> VarDetailed {
     let network = input.network;
     let n = network.n();
+    assert!(n > 0, "detailed replanning needs at least one sensor");
     assert_eq!(input.max_cycles.len(), n, "one max cycle per sensor");
     assert_eq!(input.residuals.len(), n, "one residual per sensor");
     assert!(input.now < input.horizon, "replanning after the horizon");
 
     let mut series = ScheduleSeries::new();
-    if n == 0 {
-        return VarPlan { series, assigned_cycles: Vec::new(), base_set_ids: Vec::new() };
-    }
 
     let partition = partition_cycles(input.max_cycles);
     let tau1 = partition.tau1;
@@ -184,8 +211,25 @@ pub fn replan_variable_with(input: &VarInput, repair: RepairStrategy) -> VarPlan
         TourSet::from_qtours(qt, |v| v >= n)
     };
 
-    // Base tour sets B_0 … B_K (unmodified Algorithm 3 schedulings).
-    let base_ids: Vec<usize> = cums.iter().map(|d| series.add_set(route(d))).collect();
+    // Base tour sets B_0 … B_K (unmodified Algorithm 3 schedulings). The
+    // forest behind each set is kept so the incremental planner can seed
+    // its persistent per-class state from this exact build.
+    let mut base_builds: Vec<(RootedForest, QTours)> = Vec::with_capacity(k_max + 1);
+    let base_ids: Vec<usize> = cums
+        .iter()
+        .map(|d| {
+            let nodes: Vec<usize> = d.iter().map(|&i| network.sensor_node(i)).collect();
+            let (qt, forest) = q_rooted_tsp_with_forest_src(
+                &network.dist_source(),
+                &nodes,
+                &depot_nodes,
+                input.polish_rounds,
+            );
+            let id = series.add_set(TourSet::from_qtours(qt.clone(), |v| v >= n));
+            base_builds.push((forest, qt));
+            id
+        })
+        .collect();
 
     // Modified early schedulings.
     let mut modified_ids: BTreeMap<u64, usize> = BTreeMap::new();
@@ -219,7 +263,9 @@ pub fn replan_variable_with(input: &VarInput, repair: RepairStrategy) -> VarPlan
         push_dispatch_timeline(&mut series, &base_ids, tau1, k_max, start, input.horizon);
     }
 
-    VarPlan { series, assigned_cycles: partition.rounded, base_set_ids: base_ids }
+    let plan =
+        VarPlan { series, assigned_cycles: partition.rounded.clone(), base_set_ids: base_ids };
+    VarDetailed { plan, partition, base_builds }
 }
 
 /// Base sensors of early scheduling `j` (`j = 0` is the extra immediate

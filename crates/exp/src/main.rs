@@ -228,9 +228,7 @@ fn main() -> ExitCode {
             // a deploy is the point of this subcommand.
             let result = match serde_json::parse_value(&text) {
                 Ok(tree) => match tree.get("scenario") {
-                    Some(sub) => {
-                        perpetuum_exp::scenario::world_from_value(sub, args.seed, 0)
-                    }
+                    Some(sub) => perpetuum_exp::scenario::world_from_value(sub, args.seed, 0),
                     None => perpetuum_exp::scenario::parse_world(&text, args.seed, 0),
                 },
                 Err(_) => perpetuum_exp::scenario::parse_world(&text, args.seed, 0),

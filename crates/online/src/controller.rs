@@ -12,11 +12,12 @@
 //!    applicability band `[τ'_i, 2·τ'_i)` of its scheduled cycle. In-band
 //!    wobble is absorbed with **zero planner invocations**.
 //! 3. **Incremental replanning** — when only rounding classes shift (and
-//!    `τ₁`/`K` survive), just the affected cumulative sets `D_k` are
-//!    re-routed via [`degraded_tour_set`] and future dispatches are
+//!    `τ₁`/`K` survive), the affected cumulative sets `D_k` are *spliced*
+//!    by the persistent [`IncrementalPlanner`] (bounded candidate-edge
+//!    forest surgery + warm-started tour repair) and future dispatches are
 //!    retargeted in place; the dispatch timeline is untouched. A `τ₁`
 //!    undercut or a class-structure change falls back to a full
-//!    [`replan_variable_with`] round with `V^a` repair.
+//!    Algorithm-3 round with `V^a` repair, which re-seeds the planner.
 //! 4. **Emergency dispatch** — a min-heap of predicted death times (same
 //!    shape as the simulator's death-prediction queue) is checked after
 //!    every batch; a sensor whose predicted death precedes its next
@@ -35,11 +36,12 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fmt;
 
+use perpetuum_core::incremental::{IncrementalConfig, IncrementalPlanner};
 use perpetuum_core::network::Network;
 use perpetuum_core::recovery::degraded_tour_set;
 use perpetuum_core::rounding::power_class;
 use perpetuum_core::schedule::ScheduleSeries;
-use perpetuum_core::var::{replan_variable_with, RepairStrategy, VarInput};
+use perpetuum_core::var::{replan_variable_detailed, RepairStrategy, VarInput};
 use perpetuum_energy::predictor::{schedule_still_applicable, EwmaPredictor};
 use serde::{Serialize, Value};
 
@@ -295,6 +297,9 @@ pub struct OnlineController {
     base_ids: Vec<usize>,
     /// Dispatches `< next_dispatch` have been executed (charges applied).
     next_dispatch: usize,
+    /// Persistent forest/tour state backing the incremental tier; re-seeded
+    /// by every full replan.
+    planner: Option<IncrementalPlanner>,
 
     // --- emergency queue ----------------------------------------------
     heap: BinaryHeap<Reverse<Deadline>>,
@@ -368,6 +373,7 @@ impl OnlineController {
             series: ScheduleSeries::new(),
             base_ids: Vec::new(),
             next_dispatch: 0,
+            planner: None,
             heap: BinaryHeap::new(),
             stamp: vec![0; n],
             revision: 0,
@@ -644,11 +650,13 @@ impl OnlineController {
             .map(|d| d.time)
     }
 
-    /// Incremental tier: re-route only the cumulative sets whose membership
-    /// changed, retarget their future dispatches and keep the timeline.
-    /// Returns `false` (without mutating) when the change is structural —
-    /// a new class above `K`, a vanished top class, or an emptied set —
-    /// and a full replan is required instead.
+    /// Incremental tier: splice only the cumulative sets whose membership
+    /// changed (persistent-forest surgery + warm-started tour repair via
+    /// [`IncrementalPlanner::apply_migrations`]), retarget their future
+    /// dispatches and keep the timeline. Returns `false` (without
+    /// mutating) when the change is structural — a new class above `K`, a
+    /// vanished top class, or an emptied set — and a full replan is
+    /// required instead.
     fn try_incremental(&mut self, changes: &[(usize, usize)]) -> bool {
         let n = self.network.n();
         let k_max = self.base_ids.len() - 1;
@@ -665,30 +673,26 @@ impl OnlineController {
 
         // Classes whose cumulative set D_k gained or lost a sensor: moving
         // i from class a to class b (a < b) removes it from D_a..D_{b-1}.
+        // An emptied set stays structural (the grid would dispatch hollow
+        // tours), so it falls through to the full tier like before.
         let mut affected = vec![false; k_max + 1];
         for &(i, k) in changes {
             let old = self.class_of[i];
             affected[old.min(k)..old.max(k)].fill(true);
         }
-        let mut rebuilt: Vec<(usize, perpetuum_core::schedule::TourSet)> = Vec::new();
         for (k, _) in affected.iter().enumerate().filter(|(_, &a)| a) {
-            let members: Vec<usize> = (0..n).filter(|&i| new_class[i] <= k).collect();
-            if members.is_empty() {
+            if !(0..n).any(|i| new_class[i] <= k) {
                 return false;
             }
-            let alive = vec![true; self.network.q()];
-            let Some(set) =
-                degraded_tour_set(&self.network, &members, &alive, self.cfg.polish_rounds)
-            else {
-                return false;
-            };
-            rebuilt.push((k, set));
         }
+        let Some(planner) = self.planner.as_mut() else {
+            return false;
+        };
 
-        // Commit.
-        for (k, set) in rebuilt {
+        // Commit: splice the affected forests and swap the rebuilt sets in.
+        for k in planner.apply_migrations(&self.network, changes) {
             self.planner_calls += 1;
-            let id = self.series.add_set(set);
+            let id = self.series.add_set(planner.tour_set(k).clone());
             self.series.retarget_dispatches(self.base_ids[k], id, self.now);
             self.base_ids[k] = id;
         }
@@ -724,7 +728,10 @@ impl OnlineController {
             horizon: self.cfg.horizon,
             polish_rounds: self.cfg.polish_rounds,
         };
-        let plan = replan_variable_with(&input, RepairStrategy::NearestScheduling);
+        let detailed = replan_variable_detailed(&input, RepairStrategy::NearestScheduling);
+        let (plan, planner) =
+            IncrementalPlanner::from_detailed(&input, detailed, IncrementalConfig::default());
+        self.planner = Some(planner);
         self.planner_calls += 1;
         self.full_replans += 1;
         self.series = plan.series;

@@ -374,11 +374,19 @@ pub fn session_telemetry(state: &AppState, id: u64, body: &[u8]) -> Response {
     // Per-session lock: concurrent batches for this session serialize
     // here; batches for other sessions proceed in parallel.
     let mut controller = slot.lock();
+    let started = Instant::now();
     match controller.ingest(&batch) {
-        Ok(report) => match serde_json::to_string(&report.to_value()) {
-            Ok(s) => Response::json(200, s),
-            Err(e) => Response::error(500, "internal_error", &e.to_string()),
-        },
+        Ok(report) => {
+            state.metrics.record_ingest(
+                report.replan,
+                report.emergency_sensors as u64,
+                started.elapsed().as_secs_f64(),
+            );
+            match serde_json::to_string(&report.to_value()) {
+                Ok(s) => Response::json(200, s),
+                Err(e) => Response::error(500, "internal_error", &e.to_string()),
+            }
+        }
         Err(e) => Response::error(400, "invalid_telemetry", &e.to_string()),
     }
 }

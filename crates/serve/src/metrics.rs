@@ -36,19 +36,18 @@ impl Histogram {
         self.count.load(Relaxed)
     }
 
-    fn render(&self, out: &mut String, name: &str, endpoint: &str) {
+    /// Renders the histogram with one fixed `key="value"` label pair.
+    fn render(&self, out: &mut String, name: &str, label: &str, value: &str) {
         let mut cumulative = 0u64;
         for (i, ub) in BUCKETS.iter().enumerate() {
             cumulative += self.buckets[i].load(Relaxed);
-            let _ =
-                writeln!(out, "{name}_bucket{{endpoint=\"{endpoint}\",le=\"{ub}\"}} {cumulative}");
+            let _ = writeln!(out, "{name}_bucket{{{label}=\"{value}\",le=\"{ub}\"}} {cumulative}");
         }
         cumulative += self.buckets[BUCKETS.len()].load(Relaxed);
-        let _ = writeln!(out, "{name}_bucket{{endpoint=\"{endpoint}\",le=\"+Inf\"}} {cumulative}");
+        let _ = writeln!(out, "{name}_bucket{{{label}=\"{value}\",le=\"+Inf\"}} {cumulative}");
         let sum = self.sum_us.load(Relaxed) as f64 / 1e6;
-        let _ = writeln!(out, "{name}_sum{{endpoint=\"{endpoint}\"}} {sum}");
-        let _ =
-            writeln!(out, "{name}_count{{endpoint=\"{endpoint}\"}} {}", self.count.load(Relaxed));
+        let _ = writeln!(out, "{name}_sum{{{label}=\"{value}\"}} {sum}");
+        let _ = writeln!(out, "{name}_count{{{label}=\"{value}\"}} {}", self.count.load(Relaxed));
     }
 }
 
@@ -82,6 +81,16 @@ pub struct Metrics {
     pub cache_evictions: AtomicU64,
     /// Live sessions evicted (LRU) to make room for new ones.
     pub session_evictions: AtomicU64,
+    /// Session telemetry outcomes by replan kind: `[none, incremental,
+    /// full]` (indexing matches [`perpetuum_online::ReplanKind`]).
+    pub session_replans: [AtomicU64; 3],
+    /// Emergency rescue dispatches issued by session ingests.
+    pub session_emergencies: AtomicU64,
+    /// Planner latency of telemetry batches resolved on the incremental
+    /// (forest-splice) path.
+    pub planner_incremental: Histogram,
+    /// Planner latency of telemetry batches that forced a full replan.
+    pub planner_full: Histogram,
     /// Connections rejected with `503` because the request queue was full.
     pub queue_rejected: AtomicU64,
     /// Responses by status class: `[2xx, 4xx, 5xx]`.
@@ -93,6 +102,30 @@ pub struct Metrics {
 }
 
 impl Metrics {
+    /// Records one session telemetry ingest: the replan kind it resolved
+    /// to, the rescued-sensor count, and (for the two planning paths) the
+    /// end-to-end ingest latency.
+    pub fn record_ingest(
+        &self,
+        kind: perpetuum_online::ReplanKind,
+        emergencies: u64,
+        seconds: f64,
+    ) {
+        use perpetuum_online::ReplanKind;
+        let idx = match kind {
+            ReplanKind::None => 0,
+            ReplanKind::Incremental => 1,
+            ReplanKind::Full => 2,
+        };
+        self.session_replans[idx].fetch_add(1, Relaxed);
+        self.session_emergencies.fetch_add(emergencies, Relaxed);
+        match kind {
+            ReplanKind::Incremental => self.planner_incremental.observe(seconds),
+            ReplanKind::Full => self.planner_full.observe(seconds),
+            ReplanKind::None => {}
+        }
+    }
+
     /// Records a finished response's status class.
     pub fn record_status(&self, status: u16) {
         let idx = match status {
@@ -139,9 +172,36 @@ impl Metrics {
 
         out.push_str("# HELP perpetuum_request_seconds End-to-end handling latency.\n");
         out.push_str("# TYPE perpetuum_request_seconds histogram\n");
-        self.plan.latency.render(&mut out, "perpetuum_request_seconds", "plan");
-        self.simulate.latency.render(&mut out, "perpetuum_request_seconds", "simulate");
-        self.session.latency.render(&mut out, "perpetuum_request_seconds", "session");
+        self.plan.latency.render(&mut out, "perpetuum_request_seconds", "endpoint", "plan");
+        self.simulate.latency.render(&mut out, "perpetuum_request_seconds", "endpoint", "simulate");
+        self.session.latency.render(&mut out, "perpetuum_request_seconds", "endpoint", "session");
+
+        out.push_str("# HELP perpetuum_session_replans_total Telemetry batches by replan kind.\n");
+        out.push_str("# TYPE perpetuum_session_replans_total counter\n");
+        for (idx, kind) in ["none", "incremental", "full"].iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "perpetuum_session_replans_total{{kind=\"{kind}\"}} {}",
+                self.session_replans[idx].load(Relaxed)
+            );
+        }
+        out.push_str("# HELP perpetuum_session_emergencies_total Emergency rescue dispatches.\n");
+        out.push_str("# TYPE perpetuum_session_emergencies_total counter\n");
+        let _ = writeln!(
+            out,
+            "perpetuum_session_emergencies_total {}",
+            self.session_emergencies.load(Relaxed)
+        );
+
+        out.push_str("# HELP perpetuum_planner_seconds Telemetry ingest latency by replan path.\n");
+        out.push_str("# TYPE perpetuum_planner_seconds histogram\n");
+        self.planner_incremental.render(
+            &mut out,
+            "perpetuum_planner_seconds",
+            "path",
+            "incremental",
+        );
+        self.planner_full.render(&mut out, "perpetuum_planner_seconds", "path", "full");
 
         out.push_str("# HELP perpetuum_cache_hits_total Plan-cache hits.\n");
         out.push_str("# TYPE perpetuum_cache_hits_total counter\n");
@@ -205,7 +265,7 @@ mod tests {
         h.observe(100.0); // +Inf only
         assert_eq!(h.count(), 3);
         let mut out = String::new();
-        h.render(&mut out, "x_seconds", "plan");
+        h.render(&mut out, "x_seconds", "endpoint", "plan");
         assert!(out.contains("x_seconds_bucket{endpoint=\"plan\",le=\"0.0005\"} 1"), "{out}");
         assert!(out.contains("x_seconds_bucket{endpoint=\"plan\",le=\"0.025\"} 2"), "{out}");
         assert!(out.contains("x_seconds_bucket{endpoint=\"plan\",le=\"+Inf\"} 3"), "{out}");
@@ -238,8 +298,36 @@ mod tests {
             "perpetuum_responses_total{class=\"5xx\"} 1",
             "perpetuum_in_flight 0",
             "perpetuum_queue_depth 0",
+            "perpetuum_session_replans_total{kind=\"none\"} 0",
+            "perpetuum_session_emergencies_total 0",
+            "perpetuum_planner_seconds_count{path=\"incremental\"} 0",
+            "perpetuum_planner_seconds_count{path=\"full\"} 0",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn ingest_records_split_by_replan_path() {
+        use perpetuum_online::ReplanKind;
+        let m = Metrics::default();
+        m.record_ingest(ReplanKind::None, 0, 0.0001);
+        m.record_ingest(ReplanKind::Incremental, 0, 0.002);
+        m.record_ingest(ReplanKind::Incremental, 1, 0.003);
+        m.record_ingest(ReplanKind::Full, 2, 0.2);
+        let text = m.render(0, 1);
+        for needle in [
+            "perpetuum_session_replans_total{kind=\"none\"} 1",
+            "perpetuum_session_replans_total{kind=\"incremental\"} 2",
+            "perpetuum_session_replans_total{kind=\"full\"} 1",
+            "perpetuum_session_emergencies_total 3",
+            "perpetuum_planner_seconds_count{path=\"incremental\"} 2",
+            "perpetuum_planner_seconds_count{path=\"full\"} 1",
+            "perpetuum_planner_seconds_bucket{path=\"full\",le=\"0.25\"} 1",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        // The planner-free path never lands in either histogram.
+        assert_eq!(m.planner_incremental.count() + m.planner_full.count(), 3);
     }
 }

@@ -309,15 +309,43 @@ fn session_lifecycle_over_the_wire() {
     // The plan endpoint serves the live schedule.
     let plan = get(addr, &format!("/session/{id}/plan"));
     assert_eq!(plan.status, 200, "{}", plan.body);
-    assert!(!assigned_cycles(&plan.body).is_empty());
+    let assigned = assigned_cycles(&plan.body);
+    assert!(!assigned.is_empty());
 
-    // The scrape sees the live session and the session endpoint family.
+    // Pick a slow sensor whose class drop keeps the top class inhabited,
+    // then report a rate that lands it in class 0 without undercutting τ₁
+    // (capacities are 1.0 in realised scenarios): the replan must resolve
+    // on the incremental forest-splice path.
+    let tau1 = num_field(&created.body, "tau1");
+    let class_of = |tau: f64| (tau / tau1).log2().round() as u32;
+    let top = assigned.iter().map(|&a| class_of(a)).max().expect("classes");
+    let top_count = assigned.iter().filter(|&&a| class_of(a) == top).count();
+    let migrant = assigned
+        .iter()
+        .position(|&a| class_of(a) >= 1 && (class_of(a) < top || top_count > 1))
+        .expect("a sensor that can drop a class");
+    let body = format!(
+        r#"{{"time": 1.0, "records": [{{"sensor": {migrant}, "rate": {}}}]}}"#,
+        1.0 / (1.5 * tau1)
+    );
+    let r = post(addr, &format!("/session/{id}/telemetry"), &body);
+    assert_eq!(r.status, 200, "{}", r.body);
+    assert!(r.body.contains("\"replan\":\"incremental\""), "{}", r.body);
+
+    // The scrape sees the live session, the session endpoint family, and
+    // the per-path replan counters/latency histograms.
     let metrics = get(addr, "/metrics");
     for family in [
         "perpetuum_sessions 1",
         "perpetuum_session_evictions_total 0",
         "perpetuum_cache_evictions_total 0",
         "perpetuum_requests_total{endpoint=\"session\"}",
+        "perpetuum_session_replans_total{kind=\"none\"} 1",
+        "perpetuum_session_replans_total{kind=\"incremental\"} 1",
+        "perpetuum_session_replans_total{kind=\"full\"} 0",
+        "perpetuum_planner_seconds_count{path=\"incremental\"} 1",
+        "perpetuum_planner_seconds_count{path=\"full\"} 0",
+        "perpetuum_planner_seconds_bucket{path=\"incremental\",le=\"+Inf\"} 1",
     ] {
         assert!(metrics.body.contains(family), "missing {family:?}:\n{}", metrics.body);
     }

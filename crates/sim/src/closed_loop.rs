@@ -72,12 +72,25 @@ impl OnlinePolicy {
         self.controller.as_ref().map_or(0, |c| c.planner_calls())
     }
 
+    /// Incremental (forest-splice) replans after initialization.
+    pub fn incremental_replans(&self) -> usize {
+        self.controller.as_ref().map_or(0, |c| c.incremental_replans())
+    }
+
+    /// Full replans after initialization (the seed plan is excluded).
+    pub fn full_replans(&self) -> usize {
+        self.controller.as_ref().map_or(0, |c| c.full_replans().saturating_sub(1))
+    }
+
+    /// Emergency rescue dispatches issued after initialization.
+    pub fn emergency_dispatches(&self) -> usize {
+        self.controller.as_ref().map_or(0, |c| c.emergency_dispatches())
+    }
+
     /// Plan mutations after initialization: incremental + full replans +
     /// emergency dispatches.
     pub fn replans(&self) -> usize {
-        self.controller.as_ref().map_or(0, |c| {
-            c.incremental_replans() + c.emergency_dispatches() + c.full_replans().saturating_sub(1)
-        })
+        self.incremental_replans() + self.emergency_dispatches() + self.full_replans()
     }
 
     fn batch_from(obs: &Observation) -> TelemetryBatch {
@@ -201,8 +214,17 @@ pub struct ArmOutcome {
     pub deaths: usize,
     /// Total charger travel (the paper's objective).
     pub service_cost: f64,
-    /// Plan mutations after initialization.
+    /// Plan mutations after initialization; always equals
+    /// `incremental_replans + full_replans + emergency_dispatches`.
     pub replans: usize,
+    /// Incremental (forest-splice) replans after initialization. Always 0
+    /// for the static and oracle arms.
+    pub incremental_replans: usize,
+    /// Full replans after initialization (seed plan excluded). The oracle
+    /// pays one per slot by construction.
+    pub full_replans: usize,
+    /// Emergency rescue dispatches after initialization.
+    pub emergency_dispatches: usize,
     /// Planner invocations (tour constructions / full replans); the static
     /// arm pays 1 (its initial plan), the oracle pays one per slot.
     pub planner_calls: usize,
@@ -248,6 +270,9 @@ pub fn compare_under_drift(world: &World, cfg: &SimConfig, drift: f64) -> Closed
             deaths: static_result.deaths.len(),
             service_cost: static_result.service_cost,
             replans: 0,
+            incremental_replans: 0,
+            full_replans: 0,
+            emergency_dispatches: 0,
             planner_calls: 1,
         },
         online_arm: ArmOutcome {
@@ -255,6 +280,9 @@ pub fn compare_under_drift(world: &World, cfg: &SimConfig, drift: f64) -> Closed
             deaths: online_result.deaths.len(),
             service_cost: online_result.service_cost,
             replans: online_policy.replans(),
+            incremental_replans: online_policy.incremental_replans(),
+            full_replans: online_policy.full_replans(),
+            emergency_dispatches: online_policy.emergency_dispatches(),
             planner_calls: online_policy.planner_calls(),
         },
         oracle_arm: ArmOutcome {
@@ -262,6 +290,9 @@ pub fn compare_under_drift(world: &World, cfg: &SimConfig, drift: f64) -> Closed
             deaths: oracle_result.deaths.len(),
             service_cost: oracle_result.service_cost,
             replans: oracle_policy.replans(),
+            incremental_replans: 0,
+            full_replans: oracle_policy.replans(),
+            emergency_dispatches: 0,
             planner_calls: 1 + oracle_policy.replans(),
         },
     }
@@ -321,6 +352,24 @@ mod tests {
         assert!(
             outcome.online_arm.planner_calls < outcome.oracle_arm.planner_calls,
             "online must plan less than the every-slot oracle"
+        );
+    }
+
+    #[test]
+    fn replan_kind_split_sums_to_the_lump() {
+        let outcome = compare_under_drift(&world(), &cfg(), 0.015);
+        for arm in [&outcome.static_arm, &outcome.online_arm, &outcome.oracle_arm] {
+            assert_eq!(
+                arm.replans,
+                arm.incremental_replans + arm.full_replans + arm.emergency_dispatches,
+                "{}: split counters must sum to the lumped count",
+                arm.name
+            );
+        }
+        assert_eq!(outcome.static_arm.replans, 0);
+        assert_eq!(
+            outcome.oracle_arm.full_replans, outcome.oracle_arm.replans,
+            "every oracle replan is full by construction"
         );
     }
 

@@ -9,11 +9,13 @@
 
 use crate::energy_core::EnergyCore;
 use perpetuum_core::greedy::greedy_batch;
+use perpetuum_core::incremental::{IncrementalPlanner, ReplanOutcome};
 use perpetuum_core::mtd::{plan_min_total_distance, MtdConfig};
 use perpetuum_core::network::{Instance, Network};
 use perpetuum_core::schedule::{ScheduleSeries, TourSet};
 use perpetuum_core::var::{replan_variable_with, RepairStrategy, VarInput};
 use perpetuum_energy::predictor::schedule_still_applicable;
+use std::time::{Duration, Instant};
 
 /// What the base station observes at a decision point.
 #[derive(Debug, Clone, Copy)]
@@ -282,13 +284,22 @@ impl ChargingPolicy for GreedyPolicy<'_> {
 /// each slot boundary test whether every sensor's newly estimated maximum
 /// cycle still lies in the applicability band `[τ̂'_i, 2·τ̂'_i)` of its
 /// assigned cycle; replan (with the `V^a` repair) whenever one does not.
+///
+/// Replans go through the incremental planner
+/// ([`perpetuum_core::incremental`]) by default: the first plan seeds
+/// per-class forest/tour state, later replans splice it and re-emit the
+/// anchor grid, falling back to a full re-seed when the cached partition no
+/// longer applies. [`VarPolicy::full_replanning`] restores the from-scratch
+/// behaviour (the ablation baseline the `sim` bench compares against).
 #[derive(Debug)]
 pub struct VarPolicy<'a> {
     network: &'a Network,
     assigned: Vec<f64>,
     /// Ascending scheduled charge times per sensor, from the current plan.
     scheduled: Vec<Vec<f64>>,
-    /// Repair strategy (paper default: nearest scheduling).
+    /// Repair strategy (paper default: nearest scheduling). Applies to the
+    /// seeding full replans; incremental replans use the anchor-grid
+    /// urgency repair regardless.
     pub repair: RepairStrategy,
     /// Local-search rounds per tour (ablation only).
     pub polish_rounds: usize,
@@ -298,10 +309,17 @@ pub struct VarPolicy<'a> {
     /// in `[0, 1)`.
     pub cycle_margin: f64,
     replans: usize,
+    /// `None` until seeded; also the incremental/full mode switch.
+    planner: Option<IncrementalPlanner>,
+    incremental_enabled: bool,
+    incremental_replans: usize,
+    full_replans: usize,
+    planner_time_incremental: Duration,
+    planner_time_full: Duration,
 }
 
 impl<'a> VarPolicy<'a> {
-    /// The paper's `MinTotalDistance-var`.
+    /// The paper's `MinTotalDistance-var`, with incremental replanning.
     pub fn new(network: &'a Network) -> Self {
         Self {
             network,
@@ -311,7 +329,19 @@ impl<'a> VarPolicy<'a> {
             polish_rounds: 0,
             cycle_margin: 0.0,
             replans: 0,
+            planner: None,
+            incremental_enabled: true,
+            incremental_replans: 0,
+            full_replans: 0,
+            planner_time_incremental: Duration::ZERO,
+            planner_time_full: Duration::ZERO,
         }
+    }
+
+    /// `MinTotalDistance-var` that rebuilds every plan from scratch — the
+    /// pre-incremental behaviour, kept as the bench/ablation baseline.
+    pub fn full_replanning(network: &'a Network) -> Self {
+        Self { incremental_enabled: false, ..Self::new(network) }
     }
 
     /// `MinTotalDistance-var` planning against `(1 − margin)`-shrunken
@@ -326,6 +356,26 @@ impl<'a> VarPolicy<'a> {
         self.replans
     }
 
+    /// Replans served by the incremental splice path.
+    pub fn incremental_replans(&self) -> usize {
+        self.incremental_replans
+    }
+
+    /// Full (from-scratch) replans, including the initial seed.
+    pub fn full_replans(&self) -> usize {
+        self.full_replans
+    }
+
+    /// Wall-clock seconds spent in incremental replans.
+    pub fn planner_seconds_incremental(&self) -> f64 {
+        self.planner_time_incremental.as_secs_f64()
+    }
+
+    /// Wall-clock seconds spent in full replans (including the seed).
+    pub fn planner_seconds_full(&self) -> f64 {
+        self.planner_time_full.as_secs_f64()
+    }
+
     fn replan(&mut self, obs: &Observation) -> PlanUpdate {
         let shrink = 1.0 - self.cycle_margin;
         let max_cycles: Vec<f64> = obs.max_cycles_hat().iter().map(|c| c * shrink).collect();
@@ -338,7 +388,34 @@ impl<'a> VarPolicy<'a> {
             horizon: obs.horizon,
             polish_rounds: self.polish_rounds,
         };
-        let plan = replan_variable_with(&input, self.repair);
+        // Timing is observational only — it never influences planning, so
+        // runs stay deterministic.
+        let t0 = Instant::now();
+        let plan = if self.incremental_enabled {
+            let spliced = self.planner.as_mut().and_then(|p| match p.replan(&input) {
+                ReplanOutcome::Incremental(plan) => Some(plan),
+                ReplanOutcome::NeedsFull(_) => None,
+            });
+            match spliced {
+                Some(plan) => {
+                    self.incremental_replans += 1;
+                    self.planner_time_incremental += t0.elapsed();
+                    plan
+                }
+                None => {
+                    let (plan, planner) = IncrementalPlanner::seed(&input, self.repair);
+                    self.planner = Some(planner);
+                    self.full_replans += 1;
+                    self.planner_time_full += t0.elapsed();
+                    plan
+                }
+            }
+        } else {
+            let plan = replan_variable_with(&input, self.repair);
+            self.full_replans += 1;
+            self.planner_time_full += t0.elapsed();
+            plan
+        };
         self.assigned = plan.assigned_cycles;
         // Sensor node ids are 0..n, so the inverted pass indexes directly.
         self.scheduled = plan.series.charge_times_all(self.network.n());
@@ -588,6 +665,75 @@ mod tests {
             }
             PlanUpdate::Keep => panic!("expected a plan"),
         }
+    }
+
+    #[test]
+    fn var_policy_band_break_falls_back_to_full_replan() {
+        // Same scenario as `var_policy_replans_only_outside_band`: the
+        // cycle collapse undercuts the cached τ̂₁, so the incremental
+        // planner refuses and the policy re-seeds from scratch.
+        let network = net();
+        let mut p = VarPolicy::new(&network);
+        let caps = [1.0; 3];
+        let levels = [1.0, 1.0, 1.0];
+        let rho = [1.0, 0.5, 0.25];
+        let o = obs(0.0, 64.0, &levels, &rho, &caps);
+        assert!(matches!(p.initialize(&o), PlanUpdate::Replace(_)));
+        assert_eq!(p.full_replans(), 1); // the seed
+        assert_eq!(p.incremental_replans(), 0);
+
+        let rho_out = [2.0, 0.5, 0.25];
+        let levels_mid = [0.3, 0.8, 0.9];
+        let o_out = obs(20.0, 64.0, &levels_mid, &rho_out, &caps);
+        assert!(matches!(p.on_slot_boundary(&o_out), PlanUpdate::Replace(_)));
+        assert_eq!(p.replans(), 1);
+        assert_eq!(p.full_replans(), 2);
+        assert_eq!(p.incremental_replans(), 0);
+        assert!(p.planner_seconds_full() > 0.0);
+    }
+
+    #[test]
+    fn var_policy_in_band_starvation_replans_incrementally() {
+        // Classes unchanged, but sensor 2's residual no longer reaches its
+        // next scheduled charge → the replan goes through the splice path
+        // and charges it immediately.
+        let network = net();
+        let mut p = VarPolicy::new(&network);
+        let caps = [1.0; 3];
+        let levels = [1.0, 1.0, 1.0];
+        let rho = [1.0, 0.5, 0.25]; // cycles 1, 2, 4
+        let o = obs(0.0, 64.0, &levels, &rho, &caps);
+        assert!(matches!(p.initialize(&o), PlanUpdate::Replace(_)));
+
+        let levels_low = [1.0, 1.0, 0.05]; // sensor 2 residual 0.2 < next charge
+        let o_low = obs(10.0, 64.0, &levels_low, &rho, &caps);
+        match p.on_slot_boundary(&o_low) {
+            PlanUpdate::Replace(series) => {
+                let t2 = series.charge_times(2);
+                assert_eq!(t2[0], 10.0, "starving sensor must be charged at once");
+            }
+            PlanUpdate::Keep => panic!("expected a replan"),
+        }
+        assert_eq!(p.replans(), 1);
+        assert_eq!(p.incremental_replans(), 1);
+        assert_eq!(p.full_replans(), 1); // only the seed
+        assert!(p.planner_seconds_incremental() > 0.0);
+    }
+
+    #[test]
+    fn full_replanning_mode_never_splices() {
+        let network = net();
+        let mut p = VarPolicy::full_replanning(&network);
+        let caps = [1.0; 3];
+        let levels = [1.0, 1.0, 1.0];
+        let rho = [1.0, 0.5, 0.25];
+        let o = obs(0.0, 64.0, &levels, &rho, &caps);
+        assert!(matches!(p.initialize(&o), PlanUpdate::Replace(_)));
+        let levels_low = [1.0, 1.0, 0.05];
+        let o_low = obs(10.0, 64.0, &levels_low, &rho, &caps);
+        assert!(matches!(p.on_slot_boundary(&o_low), PlanUpdate::Replace(_)));
+        assert_eq!(p.incremental_replans(), 0);
+        assert_eq!(p.full_replans(), 2);
     }
 
     #[test]

@@ -1,0 +1,94 @@
+//! Adaptive-replan smoke: a small drifting scenario whose rate drift
+//! forces rounding-class migrations, pinned so the cheap incremental
+//! (forest-splice) path actually carries them.
+//!
+//! The cycle clamp range `[20, 60]` keeps the slowest sensor glued to the
+//! clamp floor, so `τ̂₁` never undercuts the cached grid and drift can only
+//! move sensors *between* classes — exactly the regime the incremental
+//! planner exists for. The run must stay feasible (zero deaths) end to
+//! end, and the split replan counters must show the incremental path was
+//! taken.
+
+use perpetuum_core::network::Network;
+use perpetuum_energy::CycleDistribution;
+use perpetuum_geom::{deploy, rng::derived_rng, Field};
+use perpetuum_sim::{run, SimConfig, VarPolicy, World};
+
+const TAU_MIN: f64 = 20.0;
+const TAU_MAX: f64 = 60.0;
+
+fn drifting_world(n: usize, seed: u64) -> (Network, World) {
+    let field = Field::paper_default();
+    let mut rng = derived_rng(seed, 0);
+    let sensors = deploy::uniform_deployment(field, n, &mut rng);
+    let depots = deploy::place_depots(
+        field,
+        field.center(),
+        3,
+        deploy::DepotPlacement::OneAtBaseStation,
+        &mut rng,
+    );
+    let network = Network::new(sensors, depots);
+    let dist = CycleDistribution::Linear { sigma: 2.0 };
+    let means = dist.mean_all(network.sensor_positions(), field.center(), TAU_MIN, TAU_MAX);
+    let world = World::variable(network.clone(), &means, dist, TAU_MIN, TAU_MAX);
+    (network, world)
+}
+
+fn cfg(seed: u64) -> SimConfig {
+    SimConfig { horizon: 300.0, slot: 10.0, seed, charger_speed: None }
+}
+
+#[test]
+fn forced_class_migrations_ride_the_incremental_path() {
+    let (network, world) = drifting_world(40, 5);
+    let mut policy = VarPolicy::new(&network);
+    let r = run(world, &cfg(5), &mut policy);
+
+    // Plan feasibility, end to end: every replanned schedule kept every
+    // sensor alive for the whole horizon.
+    assert!(r.deaths.is_empty(), "incremental plans must stay feasible: {:?}", r.deaths);
+    assert!(r.service_cost > 0.0);
+
+    // Drift must have migrated classes, and the clamp-pinned τ̂₁ means the
+    // incremental tier — not the full fallback — absorbed them.
+    assert!(policy.replans() > 0, "σ = 2 drift must leave the applicability band");
+    assert!(
+        policy.incremental_replans() > 0,
+        "clamp-pinned τ̂₁ drift must be absorbed by forest splicing \
+         (incremental {}, full {})",
+        policy.incremental_replans(),
+        policy.full_replans()
+    );
+    assert!(policy.planner_seconds_incremental() > 0.0, "the incremental stopwatch must have run");
+    // The split counters cover every replan: seed + in-band migrations.
+    assert_eq!(
+        policy.incremental_replans() + policy.full_replans(),
+        policy.replans() + 1,
+        "split counters must sum to replans + the seed plan"
+    );
+}
+
+#[test]
+fn incremental_and_full_tiers_agree_on_survival() {
+    let (network, world) = drifting_world(40, 6);
+
+    let mut inc = VarPolicy::new(&network);
+    let ri = run(world.clone(), &cfg(6), &mut inc);
+    assert!(ri.deaths.is_empty(), "incremental deaths: {:?}", ri.deaths);
+    assert!(inc.incremental_replans() > 0, "drift must exercise the splice path");
+
+    let mut full = VarPolicy::full_replanning(&network);
+    let rf = run(world, &cfg(6), &mut full);
+    assert!(rf.deaths.is_empty(), "full-replanning deaths: {:?}", rf.deaths);
+    assert_eq!(full.incremental_replans(), 0, "ablation must never splice");
+
+    // Warm-started tours are cost-bounded by fresh construction, so the
+    // incremental run's bill stays in the same regime as the ablation's.
+    assert!(
+        ri.service_cost <= 2.0 * rf.service_cost,
+        "incremental cost {} vs full {}",
+        ri.service_cost,
+        rf.service_cost
+    );
+}
