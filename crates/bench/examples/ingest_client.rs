@@ -1,0 +1,125 @@
+//! Minimal ingest client for smoke-testing a running `perpetuum-serve`
+//! daemon: creates a handful of sessions over the JSON API, streams a
+//! binary `/telemetry/batch` request covering all of them, decodes the
+//! binary per-frame reports, and fetches one plan in each encoding.
+//!
+//! ```text
+//! perpetuum-serve --addr 127.0.0.1:9470 --shards 8 &
+//! cargo run -p perpetuum-bench --example ingest_client -- 127.0.0.1:9470 100
+//! ```
+//!
+//! Exits non-zero (via panic) on any protocol violation, so CI can use
+//! it as a end-to-end gate on the batch + binary ingest path.
+
+use perpetuum_online::TelemetryBatch;
+use perpetuum_serve::wire::{self, Frame};
+use std::io::{Read as _, Write as _};
+use std::net::{Shutdown, TcpStream};
+
+fn request(addr: &str, head: String, body: &[u8]) -> (u16, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(head.as_bytes()).expect("head");
+    stream.write_all(body).expect("body");
+    stream.shutdown(Shutdown::Write).expect("half-close");
+    let mut out = Vec::new();
+    stream.read_to_end(&mut out).expect("response");
+    let line_end = out.windows(2).position(|w| w == b"\r\n").expect("status line");
+    let status: u16 = std::str::from_utf8(&out[..line_end])
+        .ok()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("parsable status");
+    let split = out.windows(4).position(|w| w == b"\r\n\r\n").expect("header terminator");
+    (status, out.split_off(split + 4))
+}
+
+fn post(addr: &str, path: &str, content_type: &str, accept: &str, body: &[u8]) -> (u16, Vec<u8>) {
+    let head = format!(
+        "POST {path} HTTP/1.1\r\nhost: ingest-client\r\ncontent-type: {content_type}\r\n\
+         accept: {accept}\r\ncontent-length: {}\r\n\r\n",
+        body.len()
+    );
+    request(addr, head, body)
+}
+
+fn get(addr: &str, path: &str, accept: &str) -> (u16, Vec<u8>) {
+    let head = format!("GET {path} HTTP/1.1\r\nhost: ingest-client\r\naccept: {accept}\r\n\r\n");
+    request(addr, head, &[])
+}
+
+fn create_session(addr: &str, seed: u64) -> u64 {
+    let body = format!(
+        r#"{{"scenario": {{
+            "field_size": 500.0, "n": 8, "q": 2,
+            "tau_min": 1.0, "tau_max": 20.0,
+            "dist": {{ "Linear": {{ "sigma": 2.0 }} }},
+            "horizon": 60.0, "slot": 10.0,
+            "variable": false, "deployment": "Uniform"
+        }}, "seed": {seed}}}"#
+    );
+    let (status, resp) = post(addr, "/session", "application/json", "*/*", body.as_bytes());
+    assert_eq!(status, 200, "session create failed: {}", String::from_utf8_lossy(&resp));
+    let text = String::from_utf8(resp).expect("utf8 response");
+    let v = serde_json::parse_value(&text).expect("json response");
+    match v.get("session") {
+        Some(serde_json::Value::Num(n)) => *n as u64,
+        other => panic!("no session id in response: {other:?}"),
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let addr = args.next().unwrap_or_else(|| "127.0.0.1:9470".to_string());
+    let sessions: usize = args.next().map(|s| s.parse().expect("session count")).unwrap_or(100);
+
+    let ids: Vec<u64> = (0..sessions as u64).map(|i| create_session(&addr, 1000 + i)).collect();
+    println!("created {} sessions", ids.len());
+
+    // One binary batch covering every session, plus one frame addressed
+    // to a session that does not exist — its rejection must arrive in
+    // place without disturbing the others.
+    let mut frames: Vec<Frame> =
+        ids.iter().map(|&session| Frame { session, batch: TelemetryBatch::tick(1.0) }).collect();
+    frames.push(Frame { session: u64::MAX, batch: TelemetryBatch::tick(1.0) });
+
+    let body = wire::encode_frames(&frames);
+    let (status, resp) =
+        post(&addr, "/telemetry/batch", wire::CONTENT_TYPE, wire::CONTENT_TYPE, &body);
+    assert_eq!(status, 200, "batch ingest failed");
+    let outcomes = wire::decode_reports(&resp).expect("binary reports decode");
+    assert_eq!(outcomes.len(), frames.len(), "one outcome per frame");
+    let errors = outcomes.iter().filter(|o| o.result.is_err()).count();
+    assert_eq!(errors, 1, "exactly the unknown-session frame fails");
+    assert!(outcomes.last().expect("outcomes").result.is_err(), "rejection stays in place");
+    for (frame, outcome) in frames.iter().zip(&outcomes) {
+        assert_eq!(frame.session, outcome.session, "outcomes preserve request order");
+    }
+    println!(
+        "batch of {} frames applied ({} wire bytes, {} rejected)",
+        frames.len(),
+        body.len(),
+        errors
+    );
+
+    // The same plan must be available in both encodings.
+    let probe = ids[0];
+    let (status, json_plan) = get(&addr, &format!("/session/{probe}/plan"), "application/json");
+    assert_eq!(status, 200, "JSON plan fetch failed");
+    let (status, wire_plan) = get(&addr, &format!("/session/{probe}/plan"), wire::CONTENT_TYPE);
+    assert_eq!(status, 200, "binary plan fetch failed");
+    let plan = wire::PlanWire::decode(&wire_plan).expect("binary plan decodes");
+    assert!(
+        wire_plan.len() < json_plan.len(),
+        "binary plan ({} B) should undercut JSON ({} B)",
+        wire_plan.len(),
+        json_plan.len()
+    );
+    println!(
+        "plan for session {probe}: revision {}, {} assigned cycles, binary {} B vs JSON {} B",
+        plan.revision,
+        plan.assigned.len(),
+        wire_plan.len(),
+        json_plan.len()
+    );
+    println!("ingest-client OK");
+}

@@ -466,6 +466,17 @@ impl OnlineController {
         self.tau1
     }
 
+    /// Monitoring-period horizon the controller was configured with.
+    pub fn horizon(&self) -> f64 {
+        self.cfg.horizon
+    }
+
+    /// How many dispatches of [`Self::series`] have already executed
+    /// (charges applied); the rest are pending.
+    pub fn executed_dispatches(&self) -> usize {
+        self.next_dispatch
+    }
+
     /// Currently assigned (rounded) cycles `τ'_i`.
     pub fn assigned_cycles(&self) -> &[f64] {
         &self.assigned
@@ -603,6 +614,24 @@ impl OnlineController {
             emergency_sensors,
             planner_calls: self.planner_calls - planner_before,
         })
+    }
+
+    /// Batch-apply entry point: ingest a run of telemetry batches in
+    /// order under one `&mut` borrow — the serve layer's
+    /// `/telemetry/batch` handler acquires the session lock once and
+    /// applies every frame addressed to this session here, instead of
+    /// paying a lock/dispatch round per frame.
+    ///
+    /// Semantics are *identical* to calling [`Self::ingest`] once per
+    /// batch (pinned by the batch-equivalence property test): each batch
+    /// gets its own report, a rejected batch leaves the controller
+    /// untouched and does **not** abort the run — exactly as if the
+    /// frames had been posted as separate requests.
+    pub fn ingest_all<'a, I>(&mut self, batches: I) -> Vec<Result<IngestReport, OnlineError>>
+    where
+        I: IntoIterator<Item = &'a TelemetryBatch>,
+    {
+        batches.into_iter().map(|b| self.ingest(b)).collect()
     }
 
     /// Execute every pending dispatch with time `<= limit`: covered

@@ -14,6 +14,7 @@
 
 use serde_json::Value;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
 use std::sync::{Arc, Mutex};
 
 /// Number of independent shards (power of two; the key's low bits pick
@@ -39,6 +40,9 @@ struct Entry {
 pub struct PlanCache {
     shards: Vec<Mutex<Shard>>,
     per_shard_capacity: usize,
+    /// Lock-free entry count, kept exact by `insert` — `/metrics` scrapes
+    /// never touch a shard lock.
+    len: AtomicUsize,
 }
 
 impl PlanCache {
@@ -49,6 +53,7 @@ impl PlanCache {
         Self {
             shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
             per_shard_capacity,
+            len: AtomicUsize::new(0),
         }
     }
 
@@ -91,19 +96,22 @@ impl PlanCache {
                 evicted = true;
             }
         }
-        shard.map.insert(key, Entry { value, last_used: tick });
+        let fresh = shard.map.insert(key, Entry { value, last_used: tick }).is_none();
+        drop(shard);
+        // Net growth: a fresh key grows the cache unless it displaced an
+        // LRU entry; re-inserting an existing key is length-neutral.
+        if fresh && !evicted {
+            self.len.fetch_add(1, Relaxed);
+        } else if !fresh && evicted {
+            self.len.fetch_sub(1, Relaxed);
+        }
         evicted
     }
 
-    /// Number of cached plans across all shards.
+    /// Number of cached plans across all shards — one atomic load, no
+    /// locks (the `/metrics` scrape path).
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| match s.lock() {
-                Ok(s) => s.map.len(),
-                Err(poisoned) => poisoned.into_inner().map.len(),
-            })
-            .sum()
+        self.len.load(Relaxed)
     }
 
     /// True when nothing is cached.

@@ -9,16 +9,18 @@
 //! and the daemon reject exactly the same inputs with the same messages.
 
 use crate::cache::{canonical_hash, PlanCache};
-use crate::http::Response;
+use crate::http::{Request, Response};
 use crate::metrics::Metrics;
 use crate::session::SessionStore;
+use crate::wire;
 use perpetuum_core::mtd::{plan_min_total_distance, MtdConfig};
 use perpetuum_core::network::{Instance, Network};
 use perpetuum_exp::scenario::{world_from_value, Algo, ScenarioError};
-use perpetuum_online::{OnlineConfig, OnlineController, TelemetryBatch};
+use perpetuum_online::{OnlineConfig, OnlineController, TelemetryBatch, TelemetryRecord};
 use perpetuum_sim::FaultModel;
-use serde::{Deserialize as _, Serialize as _};
+use serde::{Deserialize, Serialize as _};
 use serde_json::Value;
+use std::collections::HashMap;
 use std::sync::atomic::Ordering::Relaxed;
 use std::sync::Arc;
 use std::time::Instant;
@@ -36,22 +38,39 @@ pub struct AppState {
     pub sessions: SessionStore,
     /// Counters, gauges and histograms served by `/metrics`.
     pub metrics: Metrics,
+    /// Max threads applying a `/telemetry/batch` request's shard groups
+    /// in parallel (`--session-threads`).
+    pub batch_threads: usize,
 }
 
 impl AppState {
     /// Fresh state with the given plan-cache capacity and the default
-    /// session capacity.
+    /// session capacity/shards.
     pub fn new(cache_capacity: usize) -> Self {
         Self {
             cache: PlanCache::new(cache_capacity),
-            sessions: SessionStore::new(DEFAULT_SESSION_CAPACITY),
+            sessions: SessionStore::new(DEFAULT_SESSION_CAPACITY, 0),
             metrics: Metrics::default(),
+            batch_threads: 1,
         }
     }
 
-    /// Overrides the session-store capacity. Builder-style.
-    pub fn with_session_capacity(mut self, capacity: usize) -> Self {
-        self.sessions = SessionStore::new(capacity);
+    /// Overrides the session-store capacity, keeping the default shard
+    /// count. Builder-style.
+    pub fn with_session_capacity(self, capacity: usize) -> Self {
+        self.with_sessions(capacity, 0)
+    }
+
+    /// Overrides both session-store capacity and shard count (`0` shards
+    /// means the default). Builder-style.
+    pub fn with_sessions(mut self, capacity: usize, shards: usize) -> Self {
+        self.sessions = SessionStore::new(capacity, shards);
+        self
+    }
+
+    /// Overrides the batch-apply parallelism. Builder-style.
+    pub fn with_batch_threads(mut self, threads: usize) -> Self {
+        self.batch_threads = threads.max(1);
         self
     }
 }
@@ -108,7 +127,10 @@ pub fn healthz() -> Response {
 
 /// `GET /metrics`.
 pub fn metrics(state: &AppState) -> Response {
-    Response::text(200, state.metrics.render(state.cache.len(), state.sessions.len()))
+    Response::text(
+        200,
+        state.metrics.render(state.cache.len(), state.sessions.len(), &state.sessions.shard_lens()),
+    )
 }
 
 /// `POST /plan` — scenario JSON in, charging schedule + service cost out.
@@ -391,13 +413,236 @@ pub fn session_telemetry(state: &AppState, id: u64, body: &[u8]) -> Response {
     }
 }
 
+/// `POST /telemetry/batch` — ingest telemetry frames for many sessions
+/// in one request.
+///
+/// Request: JSON `{"frames": [{"session": id, "time": t, "records":
+/// [...]}, ...]}`, or the compact binary frame batch of
+/// [`crate::wire`] when `Content-Type:` is [`wire::CONTENT_TYPE`].
+/// Frames are grouped by session (each session's slot is acquired and
+/// locked exactly once, its frames applied in arrival order as one
+/// controller step) and session groups are bucketed by store shard;
+/// distinct shards apply in parallel, bounded by `--session-threads`.
+///
+/// The response carries one outcome per frame **in request order** —
+/// a frame that fails (unknown session, non-monotone time) is reported
+/// in place and does not abort the rest of the batch, exactly as if the
+/// frames had been posted one request at a time. Binary when `Accept:`
+/// asks for [`wire::CONTENT_TYPE`], JSON otherwise.
+pub fn telemetry_batch(state: &AppState, req: &Request) -> Response {
+    let frames = if req.body_is(wire::CONTENT_TYPE) {
+        match wire::decode_frames(&req.body) {
+            Ok(f) => f,
+            Err(e) => return Response::error(400, "bad_wire", &e.to_string()),
+        }
+    } else {
+        match json_frames(&req.body) {
+            Ok(f) => f,
+            Err(r) => return r,
+        }
+    };
+
+    let outcomes = apply_frames(state, &frames);
+    let errors = outcomes.iter().filter(|o| o.result.is_err()).count();
+    state.metrics.batch_frames.fetch_add(outcomes.len() as u64, Relaxed);
+    state.metrics.batch_frame_errors.fetch_add(errors as u64, Relaxed);
+
+    if req.accepts(wire::CONTENT_TYPE) {
+        return Response::binary(200, wire::CONTENT_TYPE, wire::encode_reports(&outcomes));
+    }
+    let results: Vec<Value> = outcomes
+        .iter()
+        .map(|o| {
+            let mut fields = vec![("session".to_string(), Value::Num(o.session as f64))];
+            match &o.result {
+                Ok(report) => fields.push(("report".to_string(), report.to_value())),
+                Err(text) => fields.push(("error".to_string(), Value::Str(text.clone()))),
+            }
+            Value::Obj(fields)
+        })
+        .collect();
+    let body = Value::Obj(vec![
+        ("frames".to_string(), Value::Num(outcomes.len() as f64)),
+        ("errors".to_string(), Value::Num(errors as f64)),
+        ("results".to_string(), Value::Arr(results)),
+    ]);
+    match serde_json::to_string(&body) {
+        Ok(s) => Response::json(200, s),
+        Err(e) => Response::error(500, "internal_error", &e.to_string()),
+    }
+}
+
+/// JSON shape of one batched frame (`{"session", "time", "records"}`).
+#[derive(Deserialize)]
+struct JsonFrame {
+    session: u64,
+    time: f64,
+    #[serde(default)]
+    records: Vec<TelemetryRecord>,
+}
+
+/// JSON shape of the whole batch request.
+#[derive(Deserialize)]
+struct JsonBatchRequest {
+    frames: Vec<JsonFrame>,
+}
+
+fn json_frames(body: &[u8]) -> Result<Vec<wire::Frame>, Response> {
+    let text =
+        std::str::from_utf8(body).map_err(|e| bad_json(format!("body is not UTF-8: {e}")))?;
+    let parsed: JsonBatchRequest = serde_json::from_str(text).map_err(bad_json)?;
+    Ok(parsed
+        .frames
+        .into_iter()
+        .map(|f| wire::Frame {
+            session: f.session,
+            batch: TelemetryBatch { time: f.time, records: f.records },
+        })
+        .collect())
+}
+
+/// Applies a decoded frame batch: group by session, bucket sessions by
+/// shard, apply shard buckets in parallel (each session locked once,
+/// all its frames ingested as one [`OnlineController::ingest_all`]
+/// step). Returns one outcome per input frame, in input order.
+fn apply_frames(state: &AppState, frames: &[wire::Frame]) -> Vec<wire::FrameOutcome> {
+    // Group frame indices by session, preserving first-appearance order
+    // of sessions and arrival order of each session's frames.
+    let mut session_order: Vec<u64> = Vec::new();
+    let mut groups: HashMap<u64, Vec<usize>> = HashMap::new();
+    for (i, f) in frames.iter().enumerate() {
+        groups
+            .entry(f.session)
+            .or_insert_with(|| {
+                session_order.push(f.session);
+                Vec::new()
+            })
+            .push(i);
+    }
+
+    // Bucket sessions by store shard: two sessions in different buckets
+    // can never contend on a shard lock or a slot lock, so buckets are
+    // safe units of parallelism.
+    let mut buckets: Vec<Vec<u64>> = vec![Vec::new(); state.sessions.shard_count()];
+    for &session in &session_order {
+        buckets[state.sessions.shard_of(session)].push(session);
+    }
+    buckets.retain(|b| !b.is_empty());
+
+    let apply_bucket = |sessions: &[u64]| -> Vec<(usize, wire::FrameOutcome)> {
+        let mut out = Vec::new();
+        for &session in sessions {
+            let Some(indices) = groups.get(&session) else { continue };
+            let Some(slot) = state.sessions.get(session) else {
+                for &i in indices {
+                    out.push((
+                        i,
+                        wire::FrameOutcome {
+                            session,
+                            result: Err(format!("no session {session} (expired or deleted?)")),
+                        },
+                    ));
+                }
+                continue;
+            };
+            // One slot lookup, one lock, one controller step for the
+            // session's whole frame group — the batch path's saving over
+            // per-frame requests.
+            let mut controller = slot.lock();
+            let started = Instant::now();
+            let reports = controller.ingest_all(indices.iter().map(|&i| &frames[i].batch));
+            drop(controller);
+            // The group shared one clock; meter each frame its share.
+            let per_frame = started.elapsed().as_secs_f64() / indices.len().max(1) as f64;
+            for (&i, report) in indices.iter().zip(reports) {
+                let result = match report {
+                    Ok(report) => {
+                        state.metrics.record_ingest(
+                            report.replan,
+                            report.emergency_sensors as u64,
+                            per_frame,
+                        );
+                        Ok(report)
+                    }
+                    Err(e) => Err(e.to_string()),
+                };
+                out.push((i, wire::FrameOutcome { session, result }));
+            }
+        }
+        out
+    };
+
+    let threads = state.batch_threads.min(buckets.len()).max(1);
+    let mut results: Vec<Option<wire::FrameOutcome>> = frames.iter().map(|_| None).collect();
+    if threads <= 1 {
+        for bucket in &buckets {
+            for (i, outcome) in apply_bucket(bucket) {
+                results[i] = Some(outcome);
+            }
+        }
+    } else {
+        let lane_size = buckets.len().div_ceil(threads);
+        let apply = &apply_bucket;
+        let merged = std::thread::scope(|scope| {
+            let handles: Vec<_> = buckets
+                .chunks(lane_size)
+                .map(|lane| {
+                    scope.spawn(move || {
+                        lane.iter().flat_map(|bucket| apply(bucket)).collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().filter_map(|h| h.join().ok()).collect::<Vec<_>>()
+        });
+        for lane in merged {
+            for (i, outcome) in lane {
+                results[i] = Some(outcome);
+            }
+        }
+    }
+
+    // A panicked lane (caught by join) leaves holes; surface them as
+    // per-frame errors rather than dropping frames from the response.
+    results
+        .into_iter()
+        .enumerate()
+        .map(|(i, outcome)| {
+            outcome.unwrap_or_else(|| wire::FrameOutcome {
+                session: frames[i].session,
+                result: Err("internal error: frame processing failed".to_string()),
+            })
+        })
+        .collect()
+}
+
 /// `GET /session/{id}/plan` — the session's current plan: revision,
-/// counters, assigned cycles, and the full dispatch schedule.
-pub fn session_plan(state: &AppState, id: u64) -> Response {
+/// counters, assigned cycles, and the full dispatch schedule. Compact
+/// binary ([`wire::PlanWire`]) when `Accept:` asks for
+/// [`wire::CONTENT_TYPE`], JSON otherwise.
+pub fn session_plan(state: &AppState, id: u64, req: &Request) -> Response {
     let Some(slot) = state.sessions.get(id) else {
         return no_session(id);
     };
-    let json = slot.lock().plan_json();
+    let controller = slot.lock();
+    if req.accepts(wire::CONTENT_TYPE) {
+        let plan = wire::PlanWire {
+            revision: controller.revision(),
+            now: controller.now(),
+            horizon: controller.horizon(),
+            tau1: controller.tau1(),
+            service_cost: controller.series().service_cost(),
+            executed: controller.executed_dispatches() as u64,
+            assigned: controller.assigned_cycles().to_vec(),
+            dispatches: controller
+                .series()
+                .dispatches()
+                .iter()
+                .map(|d| (d.time, d.set as u32))
+                .collect(),
+        };
+        return Response::binary(200, wire::CONTENT_TYPE, plan.encode());
+    }
+    let json = controller.plan_json();
     Response::json(200, json)
 }
 
@@ -413,6 +658,11 @@ pub fn session_delete(state: &AppState, id: u64) -> Response {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// A plain `GET /session/{id}/plan` request (JSON negotiation).
+    fn get_plan(state: &AppState, id: u64) -> Response {
+        session_plan(state, id, &Request::new("GET", format!("/session/{id}/plan"), Vec::new()))
+    }
 
     fn small_plan_body(seed: u64) -> String {
         format!(
@@ -551,14 +801,14 @@ mod tests {
         assert!(body.contains("\"replan\":\"none\""), "{body}");
         assert_eq!(num_field(&body, "planner_calls"), 0.0, "{body}");
 
-        let plan = session_plan(&state, id);
+        let plan = get_plan(&state, id);
         assert_eq!(plan.status, 200);
         let plan_body = String::from_utf8(plan.body).unwrap();
         assert!(plan_body.contains("\"assigned_cycles\""), "{plan_body}");
 
         assert_eq!(session_delete(&state, id).status, 200);
         assert_eq!(state.sessions.len(), 0);
-        assert_eq!(session_plan(&state, id).status, 404);
+        assert_eq!(get_plan(&state, id).status, 404);
         assert_eq!(session_delete(&state, id).status, 404);
     }
 
@@ -606,7 +856,8 @@ mod tests {
 
     #[test]
     fn session_eviction_is_counted() {
-        let state = AppState::new(8).with_session_capacity(1);
+        // One shard so the capacity-1 LRU semantics are exact.
+        let state = AppState::new(8).with_sessions(1, 1);
         let first = session_create(&state, small_plan_body(1).as_bytes());
         assert_eq!(first.status, 200);
         let first_id = num_field(&String::from_utf8(first.body).unwrap(), "session") as u64;
@@ -614,7 +865,166 @@ mod tests {
         assert_eq!(second.status, 200);
         assert_eq!(state.sessions.len(), 1);
         assert_eq!(state.metrics.session_evictions.load(Relaxed), 1);
-        assert_eq!(session_plan(&state, first_id).status, 404, "evicted session is gone");
+        assert_eq!(get_plan(&state, first_id).status, 404, "evicted session is gone");
+    }
+
+    /// Creates `count` sessions and returns their ids.
+    fn make_sessions(state: &AppState, count: usize) -> Vec<u64> {
+        (0..count)
+            .map(|i| {
+                let r = session_create(state, small_plan_body(100 + i as u64).as_bytes());
+                assert_eq!(r.status, 200);
+                num_field(&String::from_utf8(r.body).unwrap(), "session") as u64
+            })
+            .collect()
+    }
+
+    fn batch_req(body: Vec<u8>, binary_body: bool, binary_accept: bool) -> Request {
+        let mut req = Request::new("POST", "/telemetry/batch", body);
+        if binary_body {
+            req.content_type = Some(wire::CONTENT_TYPE.to_string());
+        }
+        if binary_accept {
+            req.accept = Some(wire::CONTENT_TYPE.to_string());
+        }
+        req
+    }
+
+    #[test]
+    fn batch_json_applies_frames_in_order_and_reports_errors_in_place() {
+        let state = AppState::new(8).with_sessions(16, 4).with_batch_threads(4);
+        let ids = make_sessions(&state, 3);
+        let body = format!(
+            concat!(
+                r#"{{"frames":["#,
+                r#"{{"session":{a},"time":1.0}},"#,
+                r#"{{"session":{b},"time":1.0,"records":[{{"sensor":0,"rate":0.5}}]}},"#,
+                r#"{{"session":777,"time":1.0}},"#,
+                r#"{{"session":{a},"time":0.5}},"#,
+                r#"{{"session":{c},"time":2.0}}]}}"#
+            ),
+            a = ids[0],
+            b = ids[1],
+            c = ids[2],
+        );
+        let resp = telemetry_batch(&state, &batch_req(body.into_bytes(), false, false));
+        assert_eq!(resp.status, 200);
+        let text = String::from_utf8(resp.body).unwrap();
+        let v = serde_json::parse_value(&text).unwrap();
+        assert_eq!(num_field(&text, "frames"), 5.0);
+        assert_eq!(num_field(&text, "errors"), 2.0, "{text}");
+        let Some(Value::Arr(results)) = v.get("results") else {
+            panic!("no results array: {text}");
+        };
+        assert_eq!(results.len(), 5);
+        // Outcomes come back in request order: sessions in results match
+        // the frames, and the two failures sit at positions 2 (unknown
+        // session) and 3 (time travel within the group).
+        let session_of = |r: &Value| match r.get("session") {
+            Some(Value::Num(n)) => *n as u64,
+            other => panic!("no session: {other:?}"),
+        };
+        assert_eq!(session_of(&results[0]), ids[0]);
+        assert_eq!(session_of(&results[2]), 777);
+        assert!(results[0].get("report").is_some(), "{text}");
+        assert!(results[2].get("error").is_some(), "{text}");
+        assert!(results[3].get("error").is_some(), "time travel rejected: {text}");
+        assert!(results[4].get("report").is_some(), "later frame unaffected: {text}");
+        assert_eq!(state.metrics.batch_frames.load(Relaxed), 5);
+        assert_eq!(state.metrics.batch_frame_errors.load(Relaxed), 2);
+    }
+
+    #[test]
+    fn batch_binary_round_trips_and_matches_sequential_ingest() {
+        // Two identical states: one takes a binary batch, the other the
+        // same frames one `session_telemetry` call at a time. Their final
+        // plans must be byte-identical.
+        let batched = AppState::new(8).with_sessions(16, 4).with_batch_threads(2);
+        let sequential = AppState::new(8).with_sessions(16, 4);
+        let b_ids = make_sessions(&batched, 2);
+        let s_ids = make_sessions(&sequential, 2);
+        assert_eq!(b_ids, s_ids, "deterministic session ids");
+
+        let frames: Vec<wire::Frame> = vec![
+            wire::Frame {
+                session: b_ids[0],
+                batch: TelemetryBatch { time: 1.0, records: vec![TelemetryRecord::rate(0, 0.9)] },
+            },
+            wire::Frame { session: b_ids[1], batch: TelemetryBatch::tick(1.5) },
+            wire::Frame {
+                session: b_ids[0],
+                batch: TelemetryBatch { time: 2.0, records: vec![TelemetryRecord::level(1, 0.25)] },
+            },
+        ];
+
+        let resp = telemetry_batch(&batched, &batch_req(wire::encode_frames(&frames), true, true));
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.content_type, wire::CONTENT_TYPE);
+        let outcomes = wire::decode_reports(&resp.body).expect("binary reports");
+        assert_eq!(outcomes.len(), frames.len());
+
+        for f in &frames {
+            let body = serde_json::to_string(&f.batch).unwrap();
+            let r = session_telemetry(&sequential, f.session, body.as_bytes());
+            assert_eq!(r.status, 200);
+        }
+        for &id in &b_ids {
+            let b = get_plan(&batched, id).body;
+            let s = get_plan(&sequential, id).body;
+            assert_eq!(b, s, "batched and sequential plans diverge for session {id}");
+        }
+        // Binary reports carry the same ingest results the sequential
+        // JSON path reported.
+        for o in &outcomes {
+            assert!(o.result.is_ok(), "{:?}", o.result);
+        }
+    }
+
+    #[test]
+    fn batch_binary_plan_summary_matches_json_plan() {
+        let state = AppState::new(8);
+        let ids = make_sessions(&state, 1);
+        let r = session_telemetry(
+            &state,
+            ids[0],
+            br#"{"time": 5.0, "records": [{"sensor": 0, "rate": 2.0}]}"#,
+        );
+        assert_eq!(r.status, 200);
+
+        let mut req = Request::new("GET", format!("/session/{}/plan", ids[0]), Vec::new());
+        req.accept = Some(wire::CONTENT_TYPE.to_string());
+        let resp = session_plan(&state, ids[0], &req);
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.content_type, wire::CONTENT_TYPE);
+        let plan = wire::PlanWire::decode(&resp.body).expect("binary plan");
+
+        let json = String::from_utf8(get_plan(&state, ids[0]).body).unwrap();
+        assert_eq!(plan.revision, num_field(&json, "revision") as u64);
+        assert_eq!(plan.now, num_field(&json, "now"));
+        assert_eq!(plan.tau1, num_field(&json, "tau1"));
+        assert_eq!(plan.service_cost, num_field(&json, "service_cost"));
+        assert_eq!(plan.executed, num_field(&json, "executed") as u64);
+        assert_eq!(plan.dispatches.len() as f64, num_field(&json, "dispatches"));
+        assert!(!plan.assigned.is_empty());
+    }
+
+    #[test]
+    fn batch_rejects_malformed_bodies() {
+        let state = AppState::new(8);
+        for (body, binary, kind) in [
+            (b"{".to_vec(), false, "bad_json"),
+            (br#"{"no_frames": 1}"#.to_vec(), false, "bad_json"),
+            (b"XXXX".to_vec(), true, "bad_wire"),
+            (wire::encode_frames(&[])[..4].to_vec(), true, "bad_wire"),
+        ] {
+            let r = telemetry_batch(&state, &batch_req(body, binary, false));
+            assert_eq!(r.status, 400);
+            let text = String::from_utf8(r.body).unwrap();
+            assert!(text.contains(&format!("\"kind\":\"{kind}\"")), "{text}");
+        }
+        // An empty frame list is valid and a no-op.
+        let r = telemetry_batch(&state, &batch_req(br#"{"frames": []}"#.to_vec(), false, false));
+        assert_eq!(r.status, 200);
     }
 
     #[test]

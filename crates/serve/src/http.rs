@@ -38,15 +38,43 @@ impl std::fmt::Display for HttpError {
     }
 }
 
-/// A parsed request: method, path, and the (possibly empty) body.
+/// A parsed request: method, path, negotiation headers, and the
+/// (possibly empty) body.
 #[derive(Debug)]
 pub struct Request {
     /// Uppercase method token (`GET`, `POST`, …).
     pub method: String,
     /// Request path, query string included verbatim.
     pub path: String,
+    /// Lowercased `Content-Type` value, when the client sent one.
+    pub content_type: Option<String>,
+    /// Lowercased `Accept` value, when the client sent one.
+    pub accept: Option<String>,
     /// The `Content-Length`-framed body.
     pub body: Vec<u8>,
+}
+
+impl Request {
+    /// A request with no negotiation headers (test helper shape).
+    pub fn new(method: impl Into<String>, path: impl Into<String>, body: Vec<u8>) -> Self {
+        Self { method: method.into(), path: path.into(), content_type: None, accept: None, body }
+    }
+
+    /// True when the request body declares the given media type (matched
+    /// against the `Content-Type` value up to any `;` parameter).
+    pub fn body_is(&self, media_type: &str) -> bool {
+        self.content_type
+            .as_deref()
+            .map(|v| v.split(';').next().unwrap_or(v).trim() == media_type)
+            .unwrap_or(false)
+    }
+
+    /// True when the client's `Accept` header asks for the given media
+    /// type (simple containment — the daemon only negotiates between
+    /// JSON and one binary type, so q-values are not needed).
+    pub fn accepts(&self, media_type: &str) -> bool {
+        self.accept.as_deref().map(|v| v.contains(media_type)).unwrap_or(false)
+    }
 }
 
 /// Reads one line (up to CRLF) with a byte budget shared across the whole
@@ -99,6 +127,8 @@ pub fn read_request(stream: &TcpStream, max_body: usize) -> Result<Request, Http
     }
 
     let mut content_length: usize = 0;
+    let mut content_type: Option<String> = None;
+    let mut accept: Option<String> = None;
     loop {
         let line = read_line_capped(&mut reader, &mut budget)?;
         if line.is_empty() {
@@ -107,11 +137,16 @@ pub fn read_request(stream: &TcpStream, max_body: usize) -> Result<Request, Http
         let Some((name, value)) = line.split_once(':') else {
             return Err(HttpError::Bad(format!("malformed header {line:?}")));
         };
-        if name.trim().eq_ignore_ascii_case("content-length") {
+        let name = name.trim();
+        if name.eq_ignore_ascii_case("content-length") {
             let value = value.trim();
             content_length = value
                 .parse::<usize>()
                 .map_err(|_| HttpError::Bad(format!("bad Content-Length {value:?}")))?;
+        } else if name.eq_ignore_ascii_case("content-type") {
+            content_type = Some(value.trim().to_ascii_lowercase());
+        } else if name.eq_ignore_ascii_case("accept") {
+            accept = Some(value.trim().to_ascii_lowercase());
         }
     }
 
@@ -128,7 +163,7 @@ pub fn read_request(stream: &TcpStream, max_body: usize) -> Result<Request, Http
         }
         _ => HttpError::Io(e),
     })?;
-    Ok(Request { method: method.to_string(), path: path.to_string(), body })
+    Ok(Request { method: method.to_string(), path: path.to_string(), content_type, accept, body })
 }
 
 /// An outgoing response. Every response closes the connection.
@@ -153,6 +188,11 @@ impl Response {
             extra_headers: Vec::new(),
             body: body.into_bytes(),
         }
+    }
+
+    /// A binary response with the given media type.
+    pub fn binary(status: u16, content_type: &'static str, body: Vec<u8>) -> Self {
+        Self { status, content_type, extra_headers: Vec::new(), body }
     }
 
     /// A plain-text response.
@@ -255,6 +295,25 @@ mod tests {
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/plan");
         assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn negotiation_headers_are_captured_lowercased() {
+        let req = parse(
+            b"POST /telemetry/batch HTTP/1.1\r\nContent-Type: Application/X-Perpetuum; v=1\r\nAccept: application/JSON, application/x-perpetuum\r\ncontent-length: 0\r\n\r\n",
+            1024,
+        )
+        .unwrap();
+        assert_eq!(req.content_type.as_deref(), Some("application/x-perpetuum; v=1"));
+        assert!(req.body_is("application/x-perpetuum"), "parameters are ignored");
+        assert!(!req.body_is("application/json"));
+        assert!(req.accepts("application/x-perpetuum"));
+        assert!(req.accepts("application/json"));
+        assert!(!req.accepts("text/html"));
+        // Absent headers: JSON default (no body type, accepts nothing).
+        let plain = parse(b"GET /healthz HTTP/1.1\r\nhost: x\r\n\r\n", 1024).unwrap();
+        assert_eq!(plain.content_type, None);
+        assert!(!plain.accepts("application/x-perpetuum"));
     }
 
     #[test]

@@ -13,14 +13,20 @@
 //!   backpressure, a worker pool, and a loopback-only admin listener;
 //! * [`shutdown`] — signal/endpoint-triggered graceful drain: stop
 //!   accepting, finish everything in flight, exit cleanly;
-//! * [`session`] — stateful closed-loop telemetry sessions: each wraps
-//!   one [`perpetuum_online::OnlineController`] behind its own lock
-//!   (`POST /session`, `POST /session/{id}/telemetry`,
-//!   `GET /session/{id}/plan`, `DELETE /session/{id}`), with bounded LRU
-//!   eviction;
+//! * [`session`] — a **sharded** store of stateful closed-loop telemetry
+//!   sessions: each wraps one [`perpetuum_online::OnlineController`]
+//!   behind its own lock (`POST /session`,
+//!   `POST /session/{id}/telemetry`, `GET /session/{id}/plan`,
+//!   `DELETE /session/{id}`), slots live in hash-picked shards with
+//!   per-shard LRU eviction so 100k+ concurrent sessions never funnel
+//!   through one lock;
+//! * [`wire`] — a compact length-prefixed binary codec for telemetry
+//!   frames, ingest reports, and plan summaries, negotiated via
+//!   `Content-Type`/`Accept` on the batch-ingest path
+//!   (`POST /telemetry/batch`);
 //! * [`metrics`] — Prometheus text exposition of request counts, latency
-//!   histograms, cache hit rates, session/eviction gauges, and queue
-//!   gauges.
+//!   histograms, cache hit rates, session/shard/eviction gauges, and
+//!   queue gauges.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
@@ -32,10 +38,11 @@ pub mod router;
 pub mod server;
 pub mod session;
 pub mod shutdown;
+pub mod wire;
 
 pub use cache::{canonical_hash, PlanCache};
 pub use handlers::{AppState, DEFAULT_SESSION_CAPACITY};
 pub use metrics::Metrics;
 pub use server::{start, ServerConfig, ServerHandle};
-pub use session::{SessionSlot, SessionStore};
+pub use session::{MutexMapStore, SessionSlot, SessionStore, DEFAULT_SHARDS, MAX_SHARDS};
 pub use shutdown::{install_signal_forwarder, ShutdownSignal};

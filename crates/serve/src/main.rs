@@ -3,10 +3,15 @@
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
-use perpetuum_serve::{install_signal_forwarder, server, ServerConfig};
+use perpetuum_serve::{install_signal_forwarder, server, ServerConfig, MAX_SHARDS};
+use std::fmt;
 use std::process::ExitCode;
 use std::sync::atomic::Ordering::Relaxed;
 use std::time::Duration;
+
+/// Upper bound on `--session-threads`: far beyond any sane machine, low
+/// enough to catch a mistyped value before it spawns a thread storm.
+const MAX_SESSION_THREADS: usize = 256;
 
 const USAGE: &str = "\
 perpetuum-serve: planning & simulation daemon
@@ -26,11 +31,65 @@ OPTIONS:
                                                    [default: 128]
     --sessions <n>            live telemetry-session capacity (LRU beyond)
                                                    [default: 64]
+    --shards <n>              session-store shards, 1..=1024 (rounded up to
+                              a power of two)      [default: workers]
+    --session-threads <n>     max parallel shard groups per
+                              /telemetry/batch request, 1..=256
+                                                   [default: workers]
     --read-timeout-secs <s>   per-connection socket timeout [default: 10]
     -h, --help                print this help
 ";
 
-fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
+/// Why the command line was rejected — each variant renders its own
+/// message, and `Help` is the clean-exit path for `-h`/`--help`.
+#[derive(Debug, PartialEq, Eq)]
+enum ArgError {
+    /// `-h`/`--help`: print usage, exit 0.
+    Help,
+    /// A flag at the end of the line with no value after it.
+    MissingValue { flag: String },
+    /// A value that doesn't parse as the flag's type.
+    BadValue { flag: &'static str, value: String },
+    /// A numeric value outside the flag's accepted range (zero included).
+    OutOfRange { flag: &'static str, value: usize, min: usize, max: usize },
+    /// A flag the daemon doesn't know.
+    UnknownFlag { flag: String },
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Help => write!(f, "help requested"),
+            Self::MissingValue { flag } => write!(f, "{flag} needs a value"),
+            Self::BadValue { flag, value } => write!(f, "bad {flag} {value:?}"),
+            Self::OutOfRange { flag, value, min, max } => {
+                write!(f, "{flag} must be in {min}..={max}, got {value}")
+            }
+            Self::UnknownFlag { flag } => write!(f, "unknown flag {flag:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Parses a numeric flag value and rejects anything outside
+/// `min..=max` — `--shards 0` or a fat-fingered `--workers 100000` die
+/// here with a typed error instead of misconfiguring the daemon.
+fn parse_in_range(
+    flag: &'static str,
+    value: &str,
+    min: usize,
+    max: usize,
+) -> Result<usize, ArgError> {
+    let parsed: usize =
+        value.parse().map_err(|_| ArgError::BadValue { flag, value: value.to_string() })?;
+    if !(min..=max).contains(&parsed) {
+        return Err(ArgError::OutOfRange { flag, value: parsed, min, max });
+    }
+    Ok(parsed)
+}
+
+fn parse_args(args: &[String]) -> Result<ServerConfig, ArgError> {
     let mut cfg = ServerConfig {
         addr: "127.0.0.1:7878".to_string(),
         admin_addr: "127.0.0.1:7879".to_string(),
@@ -39,34 +98,27 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         if flag == "-h" || flag == "--help" {
-            return Err(String::new()); // caller prints usage, exits 0
+            return Err(ArgError::Help);
         }
-        let value = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+        let value = it.next().ok_or_else(|| ArgError::MissingValue { flag: flag.clone() })?;
         match flag.as_str() {
             "--addr" => cfg.addr = value.clone(),
             "--admin-addr" => cfg.admin_addr = value.clone(),
-            "--workers" => {
-                cfg.workers = value.parse().map_err(|_| format!("bad --workers {value:?}"))?
-            }
-            "--queue" => {
-                cfg.queue_capacity = value.parse().map_err(|_| format!("bad --queue {value:?}"))?
-            }
-            "--max-body" => {
-                cfg.max_body = value.parse().map_err(|_| format!("bad --max-body {value:?}"))?
-            }
-            "--cache" => {
-                cfg.cache_capacity = value.parse().map_err(|_| format!("bad --cache {value:?}"))?
-            }
-            "--sessions" => {
-                cfg.session_capacity =
-                    value.parse().map_err(|_| format!("bad --sessions {value:?}"))?
+            "--workers" => cfg.workers = parse_in_range("--workers", value, 1, 1024)?,
+            "--queue" => cfg.queue_capacity = parse_in_range("--queue", value, 1, 1 << 20)?,
+            "--max-body" => cfg.max_body = parse_in_range("--max-body", value, 1, 1 << 30)?,
+            "--cache" => cfg.cache_capacity = parse_in_range("--cache", value, 0, 1 << 24)?,
+            "--sessions" => cfg.session_capacity = parse_in_range("--sessions", value, 1, 1 << 24)?,
+            "--shards" => cfg.session_shards = parse_in_range("--shards", value, 1, MAX_SHARDS)?,
+            "--session-threads" => {
+                cfg.session_threads =
+                    parse_in_range("--session-threads", value, 1, MAX_SESSION_THREADS)?
             }
             "--read-timeout-secs" => {
-                let secs: u64 =
-                    value.parse().map_err(|_| format!("bad --read-timeout-secs {value:?}"))?;
-                cfg.read_timeout = Duration::from_secs(secs.max(1));
+                let secs = parse_in_range("--read-timeout-secs", value, 1, 86_400)?;
+                cfg.read_timeout = Duration::from_secs(secs as u64);
             }
-            other => return Err(format!("unknown flag {other:?}")),
+            _ => return Err(ArgError::UnknownFlag { flag: flag.clone() }),
         }
     }
     Ok(cfg)
@@ -76,12 +128,12 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cfg = match parse_args(&args) {
         Ok(cfg) => cfg,
-        Err(msg) if msg.is_empty() => {
+        Err(ArgError::Help) => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;
         }
-        Err(msg) => {
-            eprintln!("error: {msg}\n\n{USAGE}");
+        Err(err) => {
+            eprintln!("error: {err}\n\n{USAGE}");
             return ExitCode::FAILURE;
         }
     };
@@ -99,7 +151,9 @@ fn main() -> ExitCode {
     println!("perpetuum-serve listening on http://{}", handle.addr);
     println!("  admin (loopback only):    http://{}", handle.admin_addr);
     println!(
-        "  workers: {workers}  (POST /plan, POST /simulate, POST /session, GET /healthz, GET /metrics)"
+        "  workers: {workers}, session shards: {}  (POST /plan, POST /simulate, \
+         POST /session, POST /telemetry/batch, GET /healthz, GET /metrics)",
+        handle.state().sessions.shard_count()
     );
 
     // Wait for SIGINT/SIGTERM or POST /shutdown, then drain. Keep an
@@ -110,13 +164,93 @@ fn main() -> ExitCode {
 
     let m = &final_state.metrics;
     println!(
-        "drained: {} plan ({} cache hits / {} misses), {} simulate, {} session, {} shed with 503",
+        "drained: {} plan ({} cache hits / {} misses), {} simulate, {} session, \
+         {} batch ({} frames), {} shed with 503",
         m.plan.requests.load(Relaxed),
         m.cache_hits.load(Relaxed),
         m.cache_misses.load(Relaxed),
         m.simulate.requests.load(Relaxed),
         m.session.requests.load(Relaxed),
+        m.batch.requests.load(Relaxed),
+        m.batch_frames.load(Relaxed),
         m.queue_rejected.load(Relaxed),
     );
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_and_flags_parse() {
+        let cfg = parse_args(&[]).expect("empty args");
+        assert_eq!(cfg.addr, "127.0.0.1:7878");
+        assert_eq!(cfg.session_shards, 0, "auto shards by default");
+        assert_eq!(cfg.session_threads, 0, "auto threads by default");
+
+        let cfg = parse_args(&args(&[
+            "--shards",
+            "32",
+            "--session-threads",
+            "4",
+            "--sessions",
+            "100000",
+        ]))
+        .expect("valid flags");
+        assert_eq!(cfg.session_shards, 32);
+        assert_eq!(cfg.session_threads, 4);
+        assert_eq!(cfg.session_capacity, 100_000);
+    }
+
+    #[test]
+    fn zero_and_absurd_values_are_typed_rejections() {
+        assert_eq!(
+            parse_args(&args(&["--shards", "0"])),
+            Err(ArgError::OutOfRange { flag: "--shards", value: 0, min: 1, max: MAX_SHARDS })
+        );
+        assert_eq!(
+            parse_args(&args(&["--shards", "4096"])),
+            Err(ArgError::OutOfRange { flag: "--shards", value: 4096, min: 1, max: MAX_SHARDS })
+        );
+        assert_eq!(
+            parse_args(&args(&["--session-threads", "0"])),
+            Err(ArgError::OutOfRange {
+                flag: "--session-threads",
+                value: 0,
+                min: 1,
+                max: MAX_SESSION_THREADS
+            })
+        );
+        assert_eq!(
+            parse_args(&args(&["--workers", "0"])),
+            Err(ArgError::OutOfRange { flag: "--workers", value: 0, min: 1, max: 1024 })
+        );
+        assert_eq!(
+            parse_args(&args(&["--shards", "eight"])),
+            Err(ArgError::BadValue { flag: "--shards", value: "eight".to_string() })
+        );
+    }
+
+    #[test]
+    fn help_missing_value_and_unknown_flags() {
+        assert_eq!(parse_args(&args(&["--help"])), Err(ArgError::Help));
+        assert_eq!(parse_args(&args(&["-h"])), Err(ArgError::Help));
+        assert_eq!(
+            parse_args(&args(&["--shards"])),
+            Err(ArgError::MissingValue { flag: "--shards".to_string() })
+        );
+        assert_eq!(
+            parse_args(&args(&["--nope", "1"])),
+            Err(ArgError::UnknownFlag { flag: "--nope".to_string() })
+        );
+        // The error messages name the offending flag and bounds.
+        let msg =
+            ArgError::OutOfRange { flag: "--shards", value: 0, min: 1, max: 1024 }.to_string();
+        assert!(msg.contains("--shards") && msg.contains("1..=1024"), "{msg}");
+    }
 }

@@ -71,6 +71,14 @@ pub struct Metrics {
     /// Same for the `/session` endpoint family (create, telemetry, plan,
     /// delete).
     pub session: EndpointStats,
+    /// Same for `POST /telemetry/batch`.
+    pub batch: EndpointStats,
+    /// Telemetry frames carried by `/telemetry/batch` requests (a single
+    /// request can carry thousands).
+    pub batch_frames: AtomicU64,
+    /// Frames inside batches that were rejected (unknown session or
+    /// invalid telemetry) — applied frames are `batch_frames - this`.
+    pub batch_frame_errors: AtomicU64,
     /// `GET /healthz` + `GET /metrics` + unroutable requests.
     pub other_requests: AtomicU64,
     /// Plan-cache hits.
@@ -136,14 +144,16 @@ impl Metrics {
         self.responses[idx].fetch_add(1, Relaxed);
     }
 
-    /// Renders the Prometheus text exposition (`cache_len` and
-    /// `session_count` are sampled by the caller, which owns the cache and
-    /// the session store).
-    pub fn render(&self, cache_len: usize, session_count: usize) -> String {
+    /// Renders the Prometheus text exposition. `cache_len` and
+    /// `session_count` are sampled by the caller from lock-free gauges;
+    /// `shard_sessions` holds the per-shard live counts (one gauge line
+    /// each, labelled by shard index).
+    pub fn render(&self, cache_len: usize, session_count: usize, shard_sessions: &[u64]) -> String {
         let mut out = String::with_capacity(2048);
         let requests_total = self.plan.requests.load(Relaxed)
             + self.simulate.requests.load(Relaxed)
             + self.session.requests.load(Relaxed)
+            + self.batch.requests.load(Relaxed)
             + self.other_requests.load(Relaxed);
 
         out.push_str("# HELP perpetuum_requests_total Requests parsed, by endpoint.\n");
@@ -165,6 +175,11 @@ impl Metrics {
         );
         let _ = writeln!(
             out,
+            "perpetuum_requests_total{{endpoint=\"telemetry_batch\"}} {}",
+            self.batch.requests.load(Relaxed)
+        );
+        let _ = writeln!(
+            out,
             "perpetuum_requests_total{{endpoint=\"other\"}} {}",
             self.other_requests.load(Relaxed)
         );
@@ -175,6 +190,23 @@ impl Metrics {
         self.plan.latency.render(&mut out, "perpetuum_request_seconds", "endpoint", "plan");
         self.simulate.latency.render(&mut out, "perpetuum_request_seconds", "endpoint", "simulate");
         self.session.latency.render(&mut out, "perpetuum_request_seconds", "endpoint", "session");
+        self.batch.latency.render(
+            &mut out,
+            "perpetuum_request_seconds",
+            "endpoint",
+            "telemetry_batch",
+        );
+
+        out.push_str("# HELP perpetuum_batch_frames_total Telemetry frames carried by batches.\n");
+        out.push_str("# TYPE perpetuum_batch_frames_total counter\n");
+        let _ = writeln!(out, "perpetuum_batch_frames_total {}", self.batch_frames.load(Relaxed));
+        out.push_str("# HELP perpetuum_batch_frame_errors_total Rejected frames inside batches.\n");
+        out.push_str("# TYPE perpetuum_batch_frame_errors_total counter\n");
+        let _ = writeln!(
+            out,
+            "perpetuum_batch_frame_errors_total {}",
+            self.batch_frame_errors.load(Relaxed)
+        );
 
         out.push_str("# HELP perpetuum_session_replans_total Telemetry batches by replan kind.\n");
         out.push_str("# TYPE perpetuum_session_replans_total counter\n");
@@ -220,6 +252,11 @@ impl Metrics {
         out.push_str("# HELP perpetuum_sessions Live telemetry sessions.\n");
         out.push_str("# TYPE perpetuum_sessions gauge\n");
         let _ = writeln!(out, "perpetuum_sessions {session_count}");
+        out.push_str("# HELP perpetuum_session_shard_sessions Live sessions per store shard.\n");
+        out.push_str("# TYPE perpetuum_session_shard_sessions gauge\n");
+        for (shard, &count) in shard_sessions.iter().enumerate() {
+            let _ = writeln!(out, "perpetuum_session_shard_sessions{{shard=\"{shard}\"}} {count}");
+        }
         out.push_str("# HELP perpetuum_session_evictions_total Sessions evicted (LRU).\n");
         out.push_str("# TYPE perpetuum_session_evictions_total counter\n");
         let _ = writeln!(
@@ -283,8 +320,16 @@ mod tests {
         m.record_status(200);
         m.record_status(404);
         m.record_status(503);
-        let text = m.render(5, 2);
+        m.batch.requests.fetch_add(7, Relaxed);
+        m.batch_frames.fetch_add(120, Relaxed);
+        m.batch_frame_errors.fetch_add(2, Relaxed);
+        let text = m.render(5, 2, &[2, 0]);
         for needle in [
+            "perpetuum_requests_total{endpoint=\"telemetry_batch\"} 7",
+            "perpetuum_batch_frames_total 120",
+            "perpetuum_batch_frame_errors_total 2",
+            "perpetuum_session_shard_sessions{shard=\"0\"} 2",
+            "perpetuum_session_shard_sessions{shard=\"1\"} 0",
             "perpetuum_requests_total{endpoint=\"plan\"} 2",
             "perpetuum_requests_total{endpoint=\"session\"} 3",
             "perpetuum_cache_hits_total 1",
@@ -315,7 +360,7 @@ mod tests {
         m.record_ingest(ReplanKind::Incremental, 0, 0.002);
         m.record_ingest(ReplanKind::Incremental, 1, 0.003);
         m.record_ingest(ReplanKind::Full, 2, 0.2);
-        let text = m.render(0, 1);
+        let text = m.render(0, 1, &[1]);
         for needle in [
             "perpetuum_session_replans_total{kind=\"none\"} 1",
             "perpetuum_session_replans_total{kind=\"incremental\"} 2",

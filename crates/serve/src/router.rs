@@ -35,6 +35,13 @@ pub fn route(state: &AppState, req: &Request) -> Response {
             state.metrics.plan.latency.observe(started.elapsed().as_secs_f64());
             resp
         }
+        ("POST", "/telemetry/batch") => {
+            state.metrics.batch.requests.fetch_add(1, Relaxed);
+            let started = Instant::now();
+            let resp = handlers::telemetry_batch(state, req);
+            state.metrics.batch.latency.observe(started.elapsed().as_secs_f64());
+            resp
+        }
         ("POST", "/simulate") => {
             state.metrics.simulate.requests.fetch_add(1, Relaxed);
             let started = Instant::now();
@@ -42,7 +49,7 @@ pub fn route(state: &AppState, req: &Request) -> Response {
             state.metrics.simulate.latency.observe(started.elapsed().as_secs_f64());
             resp
         }
-        (_, "/healthz" | "/metrics" | "/plan" | "/simulate") => {
+        (_, "/healthz" | "/metrics" | "/plan" | "/simulate" | "/telemetry/batch") => {
             state.metrics.other_requests.fetch_add(1, Relaxed);
             Response::error(
                 405,
@@ -115,7 +122,7 @@ fn route_session(state: &AppState, req: &Request, path: &str) -> Response {
             let resp = match known {
                 Target::Create => handlers::session_create(state, &req.body),
                 Target::Telemetry(id) => handlers::session_telemetry(state, id, &req.body),
-                Target::Plan(id) => handlers::session_plan(state, id),
+                Target::Plan(id) => handlers::session_plan(state, id, req),
                 Target::Delete(id) => handlers::session_delete(state, id),
                 Target::WrongMethod | Target::Unknown => unreachable!("handled above"),
             };
@@ -149,7 +156,7 @@ mod tests {
     use super::*;
 
     fn req(method: &str, path: &str, body: &str) -> Request {
-        Request { method: method.into(), path: path.into(), body: body.as_bytes().to_vec() }
+        Request::new(method, path, body.as_bytes().to_vec())
     }
 
     #[test]
@@ -160,8 +167,18 @@ mod tests {
         assert_eq!(route(&state, &req("GET", "/metrics", "")).status, 200);
         assert_eq!(route(&state, &req("GET", "/plan", "")).status, 405);
         assert_eq!(route(&state, &req("POST", "/healthz", "")).status, 405);
+        assert_eq!(route(&state, &req("GET", "/telemetry/batch", "")).status, 405);
         assert_eq!(route(&state, &req("GET", "/nope", "")).status, 404);
-        assert_eq!(state.metrics.other_requests.load(Relaxed), 6);
+        assert_eq!(state.metrics.other_requests.load(Relaxed), 7);
+    }
+
+    #[test]
+    fn batch_requests_are_counted_and_timed() {
+        let state = AppState::new(4);
+        let resp = handle(&state, &req("POST", "/telemetry/batch", r#"{"frames": []}"#));
+        assert_eq!(resp.status, 200);
+        assert_eq!(state.metrics.batch.requests.load(Relaxed), 1);
+        assert_eq!(state.metrics.batch.latency.count(), 1);
     }
 
     #[test]

@@ -30,7 +30,7 @@ use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
 /// Everything tunable about the daemon.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServerConfig {
     /// Main listener address (`127.0.0.1:0` picks an ephemeral port).
     pub addr: String,
@@ -47,6 +47,12 @@ pub struct ServerConfig {
     pub cache_capacity: usize,
     /// Live telemetry-session capacity (LRU eviction beyond it).
     pub session_capacity: usize,
+    /// Session-store shard count (`0` = auto: one per worker, rounded up
+    /// to a power of two).
+    pub session_shards: usize,
+    /// Max threads applying a `/telemetry/batch` request's shard groups
+    /// in parallel (`0` = auto: the worker count).
+    pub session_threads: usize,
     /// Per-connection socket read timeout.
     pub read_timeout: Duration,
 }
@@ -61,6 +67,8 @@ impl Default for ServerConfig {
             max_body: 1 << 20,
             cache_capacity: 128,
             session_capacity: crate::handlers::DEFAULT_SESSION_CAPACITY,
+            session_shards: 0,
+            session_threads: 0,
             read_timeout: Duration::from_secs(10),
         }
     }
@@ -141,8 +149,17 @@ pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
     shutdown.register_waker(addr);
     shutdown.register_waker(admin_addr);
 
-    let state =
-        Arc::new(AppState::new(cfg.cache_capacity).with_session_capacity(cfg.session_capacity));
+    let workers = cfg.workers.max(1);
+    // Auto-tuning: by default the store gets one shard per worker (so
+    // independent workers rarely collide on a shard) and a batch request
+    // may fan its shard groups over as many threads as there are workers.
+    let shards = if cfg.session_shards == 0 { workers } else { cfg.session_shards };
+    let batch_threads = if cfg.session_threads == 0 { workers } else { cfg.session_threads };
+    let state = Arc::new(
+        AppState::new(cfg.cache_capacity)
+            .with_sessions(cfg.session_capacity, shards)
+            .with_batch_threads(batch_threads),
+    );
     let (tx, rx) = sync_channel::<TcpStream>(cfg.queue_capacity.max(1));
     let rx = Arc::new(Mutex::new(rx));
 

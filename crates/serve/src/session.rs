@@ -1,21 +1,45 @@
-//! Stateful online-controller sessions with per-session locking and LRU
-//! eviction.
+//! Stateful online-controller sessions behind a **sharded** store.
 //!
-//! A session wraps one [`OnlineController`] behind its own mutex: the
-//! store's map lock is only ever held for a lookup/insert/remove, never
-//! while a telemetry batch is being ingested, so concurrent clients
-//! feeding *different* sessions never contend, and concurrent clients
-//! feeding the *same* session serialize on that session alone —
-//! every acknowledged batch is applied (no lost updates).
+//! A session wraps one [`OnlineController`] behind its own mutex: store
+//! locks are only ever held for a lookup/insert/remove, never while a
+//! telemetry batch is being ingested, so concurrent clients feeding
+//! *different* sessions never contend, and concurrent clients feeding the
+//! *same* session serialize on that session alone — every acknowledged
+//! batch is applied (no lost updates).
+//!
+//! At million-session scale the store itself becomes the contention
+//! point, so it is split into independent shards selected by a
+//! multiplicative hash of the session id. Each shard owns its slice of
+//! the id space behind an `RwLock`: the hot path (`get`) takes a shard
+//! *read* lock — many workers resolving different (or the same) sessions
+//! proceed in parallel — while insert/remove take the write lock of one
+//! shard only. Recency is tracked with per-slot atomics so a `get` never
+//! needs a write lock.
 //!
 //! The store is bounded: creating a session beyond `capacity` evicts the
-//! least-recently-used one (the eviction is reported to the caller so the
-//! daemon can count it into `/metrics`).
+//! least-recently-used one *in the new session's shard* (capacity is
+//! split evenly across shards; the eviction is reported to the caller so
+//! the daemon can count it into `/metrics`). Live counts are maintained
+//! per shard and in one aggregate atomic, so `/metrics` scrapes read
+//! gauges without touching any lock.
+//!
+//! [`MutexMapStore`] preserves the previous single-`Mutex<HashMap>`
+//! design. It is not used by the daemon — it exists so the ingest
+//! benchmark can race the sharded store against the exact baseline it
+//! replaced.
 
 use perpetuum_online::OnlineController;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Default shard count when the caller passes `0` (auto) and no worker
+/// count is known.
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// Hard ceiling on the shard count (`--shards` validation re-checks this
+/// at the CLI boundary; the constructor clamps as a safety net).
+pub const MAX_SHARDS: usize = 1024;
 
 /// One live session: the controller behind its own lock.
 pub struct SessionSlot {
@@ -35,15 +59,167 @@ impl SessionSlot {
     }
 }
 
-/// A bounded LRU map from session ids to [`SessionSlot`]s.
+/// One shard: an id → slot map behind a read/write lock, plus the shard's
+/// recency clock and live-count gauge (both lock-free).
+struct Shard {
+    slots: RwLock<HashMap<u64, Arc<SessionSlot>>>,
+    tick: AtomicU64,
+    live: AtomicU64,
+}
+
+impl Shard {
+    fn read(&self) -> RwLockReadGuard<'_, HashMap<u64, Arc<SessionSlot>>> {
+        match self.slots.read() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn write(&self) -> RwLockWriteGuard<'_, HashMap<u64, Arc<SessionSlot>>> {
+        match self.slots.write() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// A bounded, sharded LRU map from session ids to [`SessionSlot`]s.
 pub struct SessionStore {
+    shards: Vec<Shard>,
+    /// `shards.len()` is a power of two; the hash's high bits select via
+    /// this shift.
+    shard_shift: u32,
+    per_shard_capacity: usize,
+    next_id: AtomicU64,
+    live: AtomicU64,
+}
+
+/// Fibonacci-style multiplicative mix: sequential session ids land on
+/// well-spread shards instead of marching through them in order.
+#[inline]
+fn mix(id: u64) -> u64 {
+    id.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+impl SessionStore {
+    /// A store holding at most `capacity` live sessions split over
+    /// `shards` shards (rounded up to a power of two, clamped to
+    /// `1..=`[`MAX_SHARDS`]; `0` means [`DEFAULT_SHARDS`]).
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = if shards == 0 { DEFAULT_SHARDS } else { shards }
+            .clamp(1, MAX_SHARDS)
+            .next_power_of_two();
+        let capacity = capacity.max(1);
+        Self {
+            shards: (0..shards)
+                .map(|_| Shard {
+                    slots: RwLock::new(HashMap::new()),
+                    tick: AtomicU64::new(0),
+                    live: AtomicU64::new(0),
+                })
+                .collect(),
+            shard_shift: 64 - shards.trailing_zeros(),
+            per_shard_capacity: capacity.div_ceil(shards),
+            next_id: AtomicU64::new(0),
+            live: AtomicU64::new(0),
+        }
+    }
+
+    /// Index of the shard owning `id`.
+    pub fn shard_of(&self, id: u64) -> usize {
+        if self.shards.len() == 1 {
+            return 0; // a 64-bit shift would overflow
+        }
+        (mix(id) >> self.shard_shift) as usize
+    }
+
+    /// Number of shards (always a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Registers a controller and returns its fresh id plus whether an
+    /// older session was evicted to make room. Ids are monotonically
+    /// increasing and never reused.
+    pub fn insert(&self, controller: OnlineController) -> (u64, bool) {
+        let id = self.next_id.fetch_add(1, Relaxed) + 1;
+        let shard = &self.shards[self.shard_of(id)];
+        let slot = Arc::new(SessionSlot {
+            controller: Mutex::new(controller),
+            last_used: AtomicU64::new(shard.tick.fetch_add(1, Relaxed)),
+        });
+        let mut map = shard.write();
+        let mut evicted = false;
+        if map.len() >= self.per_shard_capacity {
+            // O(len) scan, same trade as the plan cache: eviction is the
+            // cold path and each shard's map is small.
+            if let Some(&lru) =
+                map.iter().min_by_key(|(_, s)| s.last_used.load(Relaxed)).map(|(k, _)| k)
+            {
+                map.remove(&lru);
+                evicted = true;
+            }
+        }
+        map.insert(id, slot);
+        drop(map);
+        if !evicted {
+            shard.live.fetch_add(1, Relaxed);
+            self.live.fetch_add(1, Relaxed);
+        }
+        (id, evicted)
+    }
+
+    /// Looks a session up, refreshing its recency. Read-mostly hot path:
+    /// only the shard's *read* lock is taken, so concurrent lookups —
+    /// even of the same session — never serialize on the store. The
+    /// returned `Arc` outlives the lock; callers lock the slot *after*
+    /// this returns.
+    pub fn get(&self, id: u64) -> Option<Arc<SessionSlot>> {
+        let shard = &self.shards[self.shard_of(id)];
+        let slot = Arc::clone(shard.read().get(&id)?);
+        slot.last_used.store(shard.tick.fetch_add(1, Relaxed), Relaxed);
+        Some(slot)
+    }
+
+    /// Removes a session; `true` if it existed.
+    pub fn remove(&self, id: u64) -> bool {
+        let shard = &self.shards[self.shard_of(id)];
+        let removed = shard.write().remove(&id).is_some();
+        if removed {
+            shard.live.fetch_sub(1, Relaxed);
+            self.live.fetch_sub(1, Relaxed);
+        }
+        removed
+    }
+
+    /// Number of live sessions — one atomic load, no locks (kept exact
+    /// by insert/evict/remove).
+    pub fn len(&self) -> usize {
+        self.live.load(Relaxed) as usize
+    }
+
+    /// True when no session is live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Per-shard live-session gauges — atomic loads, no locks.
+    pub fn shard_lens(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.live.load(Relaxed)).collect()
+    }
+}
+
+/// The pre-sharding store: one global `Mutex<HashMap>` with whole-store
+/// LRU. Kept verbatim as the ingest benchmark's contention baseline; the
+/// daemon never instantiates it.
+pub struct MutexMapStore {
     inner: Mutex<HashMap<u64, Arc<SessionSlot>>>,
     capacity: usize,
     next_id: AtomicU64,
     tick: AtomicU64,
 }
 
-impl SessionStore {
+impl MutexMapStore {
     /// A store holding at most `capacity` live sessions (at least one).
     pub fn new(capacity: usize) -> Self {
         Self {
@@ -61,9 +237,8 @@ impl SessionStore {
         }
     }
 
-    /// Registers a controller and returns its fresh id plus whether an
-    /// older session was evicted to make room. Ids are monotonically
-    /// increasing and never reused.
+    /// Registers a controller; returns its id and whether the LRU session
+    /// was evicted.
     pub fn insert(&self, controller: OnlineController) -> (u64, bool) {
         let id = self.next_id.fetch_add(1, Relaxed) + 1;
         let slot = Arc::new(SessionSlot {
@@ -73,8 +248,6 @@ impl SessionStore {
         let mut map = self.map();
         let mut evicted = false;
         if map.len() >= self.capacity {
-            // O(len) scan, same trade as the plan cache: eviction is the
-            // cold path and the map is small.
             if let Some(&lru) =
                 map.iter().min_by_key(|(_, s)| s.last_used.load(Relaxed)).map(|(k, _)| k)
             {
@@ -86,25 +259,19 @@ impl SessionStore {
         (id, evicted)
     }
 
-    /// Looks a session up, refreshing its recency. The returned `Arc`
-    /// outlives the map lock — callers lock the slot *after* this returns.
+    /// Looks a session up through the global lock, refreshing recency.
     pub fn get(&self, id: u64) -> Option<Arc<SessionSlot>> {
         let slot = Arc::clone(self.map().get(&id)?);
         slot.last_used.store(self.tick.fetch_add(1, Relaxed), Relaxed);
         Some(slot)
     }
 
-    /// Removes a session; `true` if it existed.
-    pub fn remove(&self, id: u64) -> bool {
-        self.map().remove(&id).is_some()
-    }
-
-    /// Number of live sessions.
+    /// Number of live sessions (takes the store lock).
     pub fn len(&self) -> usize {
         self.map().len()
     }
 
-    /// True when no session is live.
+    /// True when no sessions are live (takes the store lock).
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -127,7 +294,7 @@ mod tests {
 
     #[test]
     fn ids_are_monotone_and_never_reused() {
-        let store = SessionStore::new(8);
+        let store = SessionStore::new(8, 4);
         let (a, _) = store.insert(controller());
         let (b, _) = store.insert(controller());
         assert!(b > a);
@@ -139,7 +306,8 @@ mod tests {
 
     #[test]
     fn lru_session_is_evicted_at_capacity() {
-        let store = SessionStore::new(2);
+        // One shard so all sessions share a single LRU domain.
+        let store = SessionStore::new(2, 1);
         let (a, e1) = store.insert(controller());
         let (b, e2) = store.insert(controller());
         assert!(!e1 && !e2);
@@ -149,16 +317,16 @@ mod tests {
         assert!(store.get(a).is_some());
         assert!(store.get(b).is_none(), "LRU session gone");
         assert!(store.get(c).is_some());
-        assert_eq!(store.len(), 2);
+        assert_eq!(store.len(), 2, "eviction kept the aggregate gauge exact");
     }
 
     #[test]
-    fn slots_lock_independently_of_the_map() {
-        let store = SessionStore::new(4);
+    fn slots_lock_independently_of_the_store() {
+        let store = SessionStore::new(4, 2);
         let (id, _) = store.insert(controller());
         let slot = store.get(id).expect("present");
         let guard = slot.lock();
-        // Map operations proceed while a session is locked.
+        // Store operations proceed while a session is locked.
         assert_eq!(store.len(), 1);
         let (other, _) = store.insert(controller());
         assert!(store.get(other).is_some());
@@ -167,9 +335,60 @@ mod tests {
 
     #[test]
     fn missing_sessions_are_none() {
-        let store = SessionStore::new(2);
+        let store = SessionStore::new(2, 2);
         assert!(store.is_empty());
         assert!(store.get(99).is_none());
         assert!(!store.remove(99));
+    }
+
+    #[test]
+    fn shard_count_normalizes_to_a_power_of_two() {
+        assert_eq!(SessionStore::new(8, 0).shard_count(), DEFAULT_SHARDS);
+        assert_eq!(SessionStore::new(8, 1).shard_count(), 1);
+        assert_eq!(SessionStore::new(8, 3).shard_count(), 4);
+        assert_eq!(SessionStore::new(8, 16).shard_count(), 16);
+        assert_eq!(SessionStore::new(8, MAX_SHARDS + 5).shard_count(), MAX_SHARDS);
+    }
+
+    #[test]
+    fn sequential_ids_spread_across_shards() {
+        let store = SessionStore::new(1024, 8);
+        for _ in 0..64 {
+            store.insert(controller());
+        }
+        let lens = store.shard_lens();
+        assert_eq!(lens.len(), 8);
+        assert_eq!(lens.iter().sum::<u64>(), 64);
+        assert_eq!(store.len(), 64);
+        let populated = lens.iter().filter(|&&l| l > 0).count();
+        assert!(populated >= 6, "64 sequential ids must spread widely: {lens:?}");
+    }
+
+    #[test]
+    fn gauges_track_insert_evict_remove() {
+        let store = SessionStore::new(4, 1);
+        let mut ids = Vec::new();
+        for _ in 0..4 {
+            ids.push(store.insert(controller()).0);
+        }
+        assert_eq!(store.len(), 4);
+        let (_, evicted) = store.insert(controller());
+        assert!(evicted);
+        assert_eq!(store.len(), 4, "evicting insert is len-neutral");
+        assert!(store.remove(ids[3]));
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.shard_lens()[0], 3);
+    }
+
+    #[test]
+    fn mutex_baseline_still_works() {
+        let store = MutexMapStore::new(2);
+        let (a, _) = store.insert(controller());
+        let (b, _) = store.insert(controller());
+        assert!(store.get(a).is_some());
+        let (_, evicted) = store.insert(controller());
+        assert!(evicted);
+        assert!(store.get(b).is_none(), "LRU evicted");
+        assert_eq!(store.len(), 2);
     }
 }

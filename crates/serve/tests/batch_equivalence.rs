@@ -1,0 +1,201 @@
+//! Property: batch ingest is *semantically invisible*. For any frame
+//! stream, posting it as one `/telemetry/batch` request (JSON or
+//! binary, single- or multi-threaded apply) leaves every session's plan
+//! byte-identical to posting the same frames one
+//! `/session/{id}/telemetry` request at a time — including streams with
+//! rejected frames (unknown sessions, non-monotone times), which fail
+//! in place without perturbing anything else.
+
+use perpetuum_online::{TelemetryBatch, TelemetryRecord};
+use perpetuum_serve::http::Request;
+use perpetuum_serve::wire::{self, Frame};
+use perpetuum_serve::AppState;
+use proptest::prelude::*;
+
+/// Sensor count of the test scenario below.
+const N: usize = 12;
+/// Live sessions per state; frame streams may also address the unknown
+/// session id 999 to exercise in-place rejection.
+const SESSIONS: usize = 3;
+
+fn scenario_body(seed: u64) -> String {
+    format!(
+        r#"{{"scenario": {{
+            "field_size": 500.0, "n": {N}, "q": 2,
+            "tau_min": 1.0, "tau_max": 20.0,
+            "dist": {{ "Linear": {{ "sigma": 2.0 }} }},
+            "horizon": 60.0, "slot": 10.0,
+            "variable": false, "deployment": "Uniform"
+        }}, "seed": {seed}}}"#
+    )
+}
+
+/// A fresh state holding [`SESSIONS`] deterministic sessions; returns
+/// the session ids (identical across identically-built states).
+fn fresh_state(shards: usize, threads: usize) -> (AppState, Vec<u64>) {
+    let state = AppState::new(4).with_sessions(16, shards).with_batch_threads(threads);
+    let ids = (0..SESSIONS as u64)
+        .map(|i| {
+            let resp =
+                perpetuum_serve::handlers::session_create(&state, scenario_body(50 + i).as_bytes());
+            assert_eq!(resp.status, 200);
+            let body = String::from_utf8(resp.body).expect("utf8");
+            let v = serde_json::parse_value(&body).expect("json");
+            match v.get("session") {
+                Some(serde_json::Value::Num(n)) => *n as u64,
+                other => panic!("no session id: {other:?}"),
+            }
+        })
+        .collect();
+    (state, ids)
+}
+
+/// Arbitrary frame streams: mostly-forward-moving times (occasional
+/// equal or backwards steps exercise the monotonicity rejection),
+/// random sensors, and an unknown-session frame mixed in now and then.
+fn stream_strategy() -> impl Strategy<Value = Vec<(usize, TelemetryBatch)>> {
+    let record = (0..N, 0.02f64..0.6, 0.0f64..1.0, 0u8..3).prop_map(
+        |(sensor, rate, level, kind)| match kind {
+            0 => TelemetryRecord::rate(sensor, rate),
+            1 => TelemetryRecord::level(sensor, level),
+            _ => TelemetryRecord::full(sensor, rate, level),
+        },
+    );
+    let frame = (0..SESSIONS + 1, -0.5f64..4.0, prop::collection::vec(record, 0..4));
+    prop::collection::vec(frame, 1..16).prop_map(|raw| {
+        let mut t = 0.0;
+        raw.into_iter()
+            .map(|(target, dt, records)| {
+                t = (t + dt).max(0.0);
+                (target, TelemetryBatch { time: t, records })
+            })
+            .collect()
+    })
+}
+
+/// Resolves stream targets against the state's session ids (the
+/// out-of-range target becomes the unknown session 999).
+fn to_frames(stream: &[(usize, TelemetryBatch)], ids: &[u64]) -> Vec<Frame> {
+    stream
+        .iter()
+        .map(|(target, batch)| Frame {
+            session: ids.get(*target).copied().unwrap_or(999),
+            batch: batch.clone(),
+        })
+        .collect()
+}
+
+/// The JSON request body equivalent of a binary frame batch.
+fn json_body(frames: &[Frame]) -> String {
+    let parts: Vec<String> = frames
+        .iter()
+        .map(|f| {
+            let batch = serde_json::to_string(&f.batch).expect("batch json");
+            format!("{{\"session\":{},{}", f.session, &batch[1..])
+        })
+        .collect();
+    format!("{{\"frames\":[{}]}}", parts.join(","))
+}
+
+fn batch_request(body: Vec<u8>, binary: bool) -> Request {
+    let mut req = Request::new("POST", "/telemetry/batch", body);
+    if binary {
+        req.content_type = Some(wire::CONTENT_TYPE.to_string());
+    }
+    req
+}
+
+/// Every session's plan, rendered to the JSON the wire would carry.
+fn plans(state: &AppState, ids: &[u64]) -> Vec<Vec<u8>> {
+    ids.iter()
+        .map(|&id| {
+            let req = Request::new("GET", format!("/session/{id}/plan"), Vec::new());
+            perpetuum_serve::handlers::session_plan(state, id, &req).body
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn batched_ingest_matches_sequential_posting(stream in stream_strategy()) {
+        let (batched, b_ids) = fresh_state(4, 4);
+        let (sequential, s_ids) = fresh_state(4, 4);
+        prop_assert_eq!(&b_ids, &s_ids, "session ids must be deterministic");
+
+        let frames = to_frames(&stream, &b_ids);
+
+        // One batch request vs one request per frame.
+        let resp = perpetuum_serve::handlers::telemetry_batch(
+            &batched,
+            &batch_request(wire::encode_frames(&frames), true),
+        );
+        prop_assert_eq!(resp.status, 200);
+        for f in &frames {
+            let body = serde_json::to_string(&f.batch).expect("batch json");
+            let r = perpetuum_serve::handlers::session_telemetry(
+                &sequential, f.session, body.as_bytes(),
+            );
+            // Rejections (404 unknown session / 400 time travel) are part
+            // of the stream; both paths must reject the same frames.
+            prop_assert!(r.status == 200 || r.status == 400 || r.status == 404);
+        }
+
+        prop_assert_eq!(
+            plans(&batched, &b_ids),
+            plans(&sequential, &s_ids),
+            "batched vs sequential plans diverge"
+        );
+    }
+
+    #[test]
+    fn binary_and_json_batches_are_interchangeable(stream in stream_strategy()) {
+        let (via_binary, bin_ids) = fresh_state(2, 1);
+        let (via_json, json_ids) = fresh_state(2, 1);
+        prop_assert_eq!(&bin_ids, &json_ids);
+
+        let frames = to_frames(&stream, &bin_ids);
+        let r1 = perpetuum_serve::handlers::telemetry_batch(
+            &via_binary,
+            &batch_request(wire::encode_frames(&frames), true),
+        );
+        let r2 = perpetuum_serve::handlers::telemetry_batch(
+            &via_json,
+            &batch_request(json_body(&frames).into_bytes(), false),
+        );
+        prop_assert_eq!(r1.status, 200);
+        prop_assert_eq!(r2.status, 200);
+
+        prop_assert_eq!(
+            plans(&via_binary, &bin_ids),
+            plans(&via_json, &json_ids),
+            "binary vs JSON ingest diverges"
+        );
+    }
+
+    /// The parallel shard-group apply cannot change outcomes relative to
+    /// a single-threaded apply of the same batch.
+    #[test]
+    fn parallel_apply_matches_single_threaded(stream in stream_strategy()) {
+        let (parallel, p_ids) = fresh_state(8, 8);
+        let (single, s_ids) = fresh_state(8, 1);
+        prop_assert_eq!(&p_ids, &s_ids);
+
+        let frames = to_frames(&stream, &p_ids);
+        let body = wire::encode_frames(&frames);
+        let rp = perpetuum_serve::handlers::telemetry_batch(
+            &parallel, &batch_request(body.clone(), true));
+        let rs = perpetuum_serve::handlers::telemetry_batch(
+            &single, &batch_request(body, true));
+        prop_assert_eq!(rp.status, 200);
+        prop_assert_eq!(rs.status, 200);
+        // Same per-frame outcome bytes (request order is preserved by
+        // both), same resulting plans.
+        prop_assert_eq!(
+            String::from_utf8(rp.body).expect("json"),
+            String::from_utf8(rs.body).expect("json")
+        );
+        prop_assert_eq!(plans(&parallel, &p_ids), plans(&single, &s_ids));
+    }
+}

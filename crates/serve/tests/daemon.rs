@@ -1,7 +1,8 @@
 //! End-to-end tests against a real daemon: every request here crosses a
 //! TCP socket and the full accept → queue → worker → router path.
 
-use perpetuum_serve::{start, ServerConfig};
+use perpetuum_online::{TelemetryBatch, TelemetryRecord};
+use perpetuum_serve::{start, wire, ServerConfig};
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::sync::atomic::Ordering::Relaxed;
@@ -57,6 +58,32 @@ fn post(addr: SocketAddr, path: &str, body: &str) -> Wire {
 
 fn get(addr: SocketAddr, path: &str) -> Wire {
     raw_request(addr, format!("GET {path} HTTP/1.1\r\nhost: t\r\n\r\n").as_bytes())
+}
+
+/// POSTs a binary body (`Content-Type`/`Accept:` the perpetuum wire
+/// type) and returns `(status, raw body bytes)` — binary responses are
+/// not UTF-8, so the text helpers don't apply.
+fn post_binary(addr: SocketAddr, path: &str, body: &[u8]) -> (u16, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let head = format!(
+        "POST {path} HTTP/1.1\r\nhost: t\r\ncontent-type: {ct}\r\naccept: {ct}\r\ncontent-length: {}\r\n\r\n",
+        body.len(),
+        ct = wire::CONTENT_TYPE,
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(body).expect("write body");
+    stream.shutdown(Shutdown::Write).expect("half-close");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let split = raw.windows(4).position(|w| w == b"\r\n\r\n").expect("head/body split");
+    let head = String::from_utf8_lossy(&raw[..split]);
+    let status: u16 = head
+        .lines()
+        .next()
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    (status, raw[split + 4..].to_vec())
 }
 
 fn delete(addr: SocketAddr, path: &str) -> Wire {
@@ -360,8 +387,11 @@ fn session_lifecycle_over_the_wire() {
 
 #[test]
 fn session_eviction_shows_up_in_the_scrape() {
+    // One shard: with capacity split across shards, a single-slot store
+    // needs a single shard for exact LRU semantics.
     let handle =
-        start(ServerConfig { session_capacity: 1, ..ServerConfig::default() }).expect("start");
+        start(ServerConfig { session_capacity: 1, session_shards: 1, ..ServerConfig::default() })
+            .expect("start");
     let addr = handle.addr;
 
     let first = post(addr, "/session", &scenario_body(1));
@@ -424,6 +454,64 @@ fn concurrent_telemetry_from_four_clients_loses_no_updates() {
     let m = handle.state();
     assert_eq!(m.metrics.responses[2].load(Relaxed), 0, "no 5xx under concurrent ingest");
     assert!(m.metrics.session.requests.load(Relaxed) >= 21);
+    handle.shutdown();
+}
+
+#[test]
+fn binary_batch_ingest_over_the_wire() {
+    let handle =
+        start(ServerConfig { session_shards: 4, session_threads: 2, ..ServerConfig::default() })
+            .expect("start");
+    let addr = handle.addr;
+
+    // Three live sessions created over the JSON path.
+    let ids: Vec<u64> = (0..3)
+        .map(|i| {
+            let created = post(addr, "/session", &scenario_body(30 + i));
+            assert_eq!(created.status, 200, "{}", created.body);
+            num_field(&created.body, "session") as u64
+        })
+        .collect();
+
+    // One binary batch carrying frames for all three sessions plus one
+    // unknown session — posted with binary content-type AND accept.
+    let frames = vec![
+        wire::Frame {
+            session: ids[0],
+            batch: TelemetryBatch { time: 1.0, records: vec![TelemetryRecord::rate(0, 0.05)] },
+        },
+        wire::Frame { session: ids[1], batch: TelemetryBatch::tick(1.0) },
+        wire::Frame { session: 999_999, batch: TelemetryBatch::tick(1.0) },
+        wire::Frame { session: ids[2], batch: TelemetryBatch::tick(2.0) },
+    ];
+    let (status, body) = post_binary(addr, "/telemetry/batch", &wire::encode_frames(&frames));
+    assert_eq!(status, 200);
+    let outcomes = wire::decode_reports(&body).expect("binary report batch");
+    assert_eq!(outcomes.len(), 4);
+    assert_eq!(outcomes[0].session, ids[0]);
+    assert!(outcomes[0].result.is_ok(), "{:?}", outcomes[0].result);
+    assert!(outcomes[1].result.is_ok());
+    assert!(outcomes[2].result.is_err(), "unknown session reported in place");
+    assert!(outcomes[3].result.is_ok());
+
+    // The scrape carries the batch endpoint family, frame counters, and
+    // per-shard session gauges summing to the live session count.
+    let metrics = get(addr, "/metrics");
+    for family in [
+        "perpetuum_requests_total{endpoint=\"telemetry_batch\"} 1",
+        "perpetuum_batch_frames_total 4",
+        "perpetuum_batch_frame_errors_total 1",
+        "perpetuum_session_shard_sessions{shard=\"0\"}",
+        "perpetuum_session_shard_sessions{shard=\"3\"}",
+        "perpetuum_sessions 3",
+    ] {
+        assert!(metrics.body.contains(family), "missing {family:?}:\n{}", metrics.body);
+    }
+
+    // A malformed binary body is a typed 400, not a hang or a panic.
+    let (status, body) = post_binary(addr, "/telemetry/batch", b"PBT1\x01");
+    assert_eq!(status, 400);
+    assert!(String::from_utf8_lossy(&body).contains("bad_wire"));
     handle.shutdown();
 }
 

@@ -1,0 +1,138 @@
+//! Property tests for the binary wire codec: encode→decode is the
+//! identity on arbitrary messages, and every mutilation of a valid
+//! buffer — truncation at any byte, trailing garbage — is rejected with
+//! a typed error, never a panic or a silent misparse.
+
+use perpetuum_online::{IngestReport, ReplanKind, TelemetryBatch, TelemetryRecord};
+use perpetuum_serve::wire::{
+    decode_frames, decode_reports, encode_frames, encode_reports, Frame, FrameOutcome, PlanWire,
+    WireError,
+};
+use proptest::prelude::*;
+
+fn record_strategy() -> impl Strategy<Value = TelemetryRecord> {
+    // `kind` bits select which optional measurements are present, so all
+    // four flag combinations (none/rate/level/both) are exercised.
+    (0usize..4096, 0u8..4, 0.0f64..10.0, 0.0f64..1.0).prop_map(|(sensor, kind, rate, level)| {
+        TelemetryRecord {
+            sensor,
+            rate: (kind & 1 != 0).then_some(rate),
+            level: (kind & 2 != 0).then_some(level),
+        }
+    })
+}
+
+fn frame_strategy() -> impl Strategy<Value = Frame> {
+    (0u64..=u64::MAX, 0.0f64..1e6, prop::collection::vec(record_strategy(), 0..8)).prop_map(
+        |(session, time, records)| Frame { session, batch: TelemetryBatch { time, records } },
+    )
+}
+
+fn frames_strategy() -> impl Strategy<Value = Vec<Frame>> {
+    prop::collection::vec(frame_strategy(), 0..12)
+}
+
+fn report_strategy() -> impl Strategy<Value = FrameOutcome> {
+    let text = prop::collection::vec(32u8..127, 0..60)
+        .prop_map(|bytes| String::from_utf8(bytes).expect("printable ASCII"));
+    (
+        (0u64..=u64::MAX, 0u8..2, text),
+        (0u64..1 << 40, 0.0f64..1e6, 0u8..3),
+        (0usize..100, 0usize..100, 0usize..100),
+    )
+        .prop_map(
+            |(
+                (session, ok, text),
+                (revision, time, replan),
+                (class_changes, emergency_sensors, planner_calls),
+            )| {
+                let result = if ok == 1 {
+                    Ok(IngestReport {
+                        revision,
+                        time,
+                        replan: match replan {
+                            0 => ReplanKind::None,
+                            1 => ReplanKind::Incremental,
+                            _ => ReplanKind::Full,
+                        },
+                        class_changes,
+                        emergency_sensors,
+                        planner_calls,
+                    })
+                } else {
+                    Err(text)
+                };
+                FrameOutcome { session, result }
+            },
+        )
+}
+
+fn plan_strategy() -> impl Strategy<Value = PlanWire> {
+    (
+        (0u64..=u64::MAX, 0.0f64..1e6, 0.0f64..1e6, 0.01f64..1e3),
+        (0.0f64..1e9, 0u64..1000),
+        prop::collection::vec(0.01f64..1e3, 0..32),
+        prop::collection::vec((0.0f64..1e6, 0u32..64), 0..64),
+    )
+        .prop_map(
+            |((revision, now, horizon, tau1), (service_cost, executed), assigned, dispatches)| {
+                PlanWire {
+                    revision,
+                    now,
+                    horizon,
+                    tau1,
+                    service_cost,
+                    executed,
+                    assigned,
+                    dispatches,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn frame_batches_round_trip(frames in frames_strategy()) {
+        let bytes = encode_frames(&frames);
+        prop_assert_eq!(decode_frames(&bytes).expect("decode"), frames);
+    }
+
+    #[test]
+    fn truncated_frame_batches_are_always_rejected(frames in frames_strategy()) {
+        let bytes = encode_frames(&frames);
+        for cut in 0..bytes.len() {
+            let err = decode_frames(&bytes[..cut]).expect_err("truncated buffer must fail");
+            prop_assert!(
+                matches!(err, WireError::Truncated { .. } | WireError::BadCount { .. }),
+                "cut {}: unexpected error {:?}", cut, err
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_always_rejected(frames in frames_strategy(), extra in 1usize..16) {
+        let mut bytes = encode_frames(&frames);
+        bytes.extend(std::iter::repeat_n(0x5A, extra));
+        prop_assert_eq!(decode_frames(&bytes), Err(WireError::Trailing { extra }));
+    }
+
+    #[test]
+    fn report_batches_round_trip(outcomes in prop::collection::vec(report_strategy(), 0..12)) {
+        let bytes = encode_reports(&outcomes);
+        prop_assert_eq!(decode_reports(&bytes).expect("decode"), outcomes.clone());
+        for cut in 0..bytes.len() {
+            prop_assert!(decode_reports(&bytes[..cut]).is_err(), "cut {} must fail", cut);
+        }
+    }
+
+    #[test]
+    fn plan_summaries_round_trip(plan in plan_strategy()) {
+        let bytes = plan.encode();
+        prop_assert_eq!(PlanWire::decode(&bytes).expect("decode"), plan.clone());
+        for cut in 0..bytes.len() {
+            prop_assert!(PlanWire::decode(&bytes[..cut]).is_err(), "cut {} must fail", cut);
+        }
+    }
+}
