@@ -32,10 +32,12 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use perpetuum_core::network::Network;
 use perpetuum_geom::Point2;
+use perpetuum_online::ControllerSeed;
 use perpetuum_online::{OnlineConfig, OnlineController, TelemetryBatch, TelemetryRecord};
 use perpetuum_serve::wire::{self, Frame};
 use perpetuum_serve::{
-    start, MutexMapStore, ServerConfig, ServerHandle, SessionSlot, SessionStore,
+    start, FsyncPolicy, JournalSet, Metrics, MutexMapStore, ServerConfig, ServerHandle,
+    SessionSlot, SessionStore,
 };
 use std::cell::Cell;
 use std::io::{Read as _, Write as _};
@@ -168,6 +170,18 @@ fn tiny_controller() -> OnlineController {
         .expect("tiny controller")
 }
 
+/// [`tiny_controller`]'s construction arguments as a journal-able seed —
+/// what `POST /session` would journal for it.
+fn tiny_seed() -> ControllerSeed {
+    ControllerSeed {
+        sensors: vec![(10.0, 10.0), (30.0, 40.0)],
+        depots: vec![(0.0, 0.0)],
+        capacities: vec![1.0; 2],
+        initial_rates: vec![1.0 / 1000.0; 2],
+        config: OnlineConfig::new(5000.0),
+    }
+}
+
 /// One ingest pass: every session receives one empty telemetry tick at
 /// `time`, split over [`INGEST_THREADS`] threads (each session is owned
 /// by exactly one thread, so per-session times stay monotone). Returns
@@ -187,7 +201,10 @@ where
                     for &id in part {
                         let t0 = latencies.then(Instant::now);
                         let slot = get(id).expect("live session");
-                        slot.lock().ingest(&TelemetryBatch::tick(time)).expect("monotone tick");
+                        slot.lock()
+                            .expect("not poisoned")
+                            .ingest(&TelemetryBatch::tick(time))
+                            .expect("monotone tick");
                         if let Some(t0) = t0 {
                             lat.push(t0.elapsed().as_nanos() as u64);
                         }
@@ -383,7 +400,10 @@ fn bench_ingest(c: &mut Criterion) {
     let churn_mutexed_ids: Vec<u64> =
         (0..INGEST_SESSIONS).map(|_| churn_mutexed.insert(tiny_controller()).0).collect();
     let churn_sharded_get = |id| churn_sharded.get(id);
-    let churn_sharded_insert = || churn_sharded.insert(tiny_controller());
+    let churn_sharded_insert = || {
+        let (id, evicted) = churn_sharded.insert(tiny_controller());
+        (id, evicted.is_some())
+    };
     let churn_mutexed_get = |id| churn_mutexed.get(id);
     let churn_mutexed_insert = || churn_mutexed.insert(tiny_controller());
 
@@ -534,8 +554,135 @@ fn bench_ingest(c: &mut Criterion) {
         b.iter(|| e2e_pass(addr, &e2e_ids, e2e_clock.replace(e2e_clock.get() + 1.0), false).0)
     });
 
+    // -- e2e with the write-ahead journal: the durability overhead --
+    // Identical daemon + workload, but every accepted frame is appended
+    // to the per-shard WAL (batched fsync) before its ack.
+    let journal_dir =
+        std::env::temp_dir().join(format!("perpetuum-bench-journal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&journal_dir);
+    let journaled = start(ServerConfig {
+        workers: INGEST_THREADS,
+        queue_capacity: 256,
+        cache_capacity: 16,
+        session_capacity: 2 * INGEST_SESSIONS,
+        session_shards: 16,
+        session_threads: INGEST_THREADS,
+        data_dir: Some(journal_dir.clone()),
+        compact_every: 0, // measure raw append cost, not compaction blips
+        ..ServerConfig::default()
+    })
+    .expect("journaled daemon starts");
+    let j_addr = journaled.addr;
+    let j_ids: Vec<u64> = (0..INGEST_SESSIONS)
+        .map(|_| journaled.state().sessions.insert(tiny_controller()).0)
+        .collect();
+    let j_clock = Cell::new(1.0);
+    e2e_pass(j_addr, &j_ids, j_clock.replace(2.0), false);
+    // Paired measurement: alternate plain and journaled passes
+    // back-to-back, then compare the two minima — drift between the
+    // daemons' distant setup phases cannot masquerade as journaling
+    // overhead.
+    let mut paired_plain = Duration::MAX;
+    let mut j_best = Duration::MAX;
+    let mut j_lat: Vec<u64> = Vec::new();
+    for _ in 0..3 {
+        let (plain, _) = e2e_pass(addr, &e2e_ids, e2e_clock.replace(e2e_clock.get() + 1.0), false);
+        paired_plain = paired_plain.min(plain);
+        let (j, lat) = e2e_pass(j_addr, &j_ids, j_clock.replace(j_clock.get() + 1.0), true);
+        if j < j_best {
+            j_best = j;
+            j_lat = lat;
+        }
+    }
+    let overhead_pct = (j_best.as_secs_f64() / paired_plain.as_secs_f64() - 1.0) * 100.0;
+    let j_id = format!(
+        "{INGEST_SESSIONS}_sessions_{INGEST_THREADS}_clients_{}sps_overhead_{}pct_p50_{}us_p99_{}us",
+        per_sec(INGEST_SESSIONS, j_best),
+        overhead_pct.round() as i64,
+        percentile_ns(&mut j_lat, 0.50) / 1_000,
+        percentile_ns(&mut j_lat, 0.99) / 1_000,
+    );
+    group.bench_with_input(BenchmarkId::new("batch_e2e_journaled", j_id), &(), |b, _| {
+        b.iter(|| e2e_pass(j_addr, &j_ids, j_clock.replace(j_clock.get() + 1.0), false).0)
+    });
+
+    // -- recovery: replay a journaled fleet from a cold WAL --
+    const RECOVERY_SESSIONS: usize = 2_000;
+    const RECOVERY_FRAMES: usize = 4;
+    let recovery_dir =
+        std::env::temp_dir().join(format!("perpetuum-bench-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&recovery_dir);
+    {
+        let journal = JournalSet::open(
+            &recovery_dir,
+            16,
+            FsyncPolicy::Never,
+            0,
+            Arc::new(Metrics::default()),
+        )
+        .expect("open recovery journal");
+        let store = SessionStore::new(2 * RECOVERY_SESSIONS, 16);
+        let seed = tiny_seed();
+        for _ in 0..RECOVERY_SESSIONS {
+            let id = store.allocate_id();
+            journal.append_create(id, &seed);
+            for t in 1..=RECOVERY_FRAMES {
+                journal.append_frames(
+                    id,
+                    vec![Frame { session: id, batch: TelemetryBatch::tick(t as f64) }],
+                );
+            }
+        }
+        journal.flush().expect("journal flush");
+    }
+    // `recover` rebases the files it reads, so snapshot the raw WAL bytes
+    // and restore them before every replay — each iteration recovers the
+    // same cold, snapshot-less journal.
+    let wal_files: Vec<(std::path::PathBuf, Vec<u8>)> = std::fs::read_dir(&recovery_dir)
+        .expect("recovery dir")
+        .map(|e| {
+            let path = e.expect("entry").path();
+            let bytes = std::fs::read(&path).expect("wal bytes");
+            (path, bytes)
+        })
+        .collect();
+    let restore_and_recover = || {
+        for entry in std::fs::read_dir(&recovery_dir).expect("recovery dir") {
+            let _ = std::fs::remove_file(entry.expect("entry").path());
+        }
+        for (path, bytes) in &wal_files {
+            std::fs::write(path, bytes).expect("restore wal");
+        }
+        let journal = JournalSet::open(
+            &recovery_dir,
+            16,
+            FsyncPolicy::Never,
+            0,
+            Arc::new(Metrics::default()),
+        )
+        .expect("reopen journal");
+        let store = SessionStore::new(2 * RECOVERY_SESSIONS, 16);
+        let started = Instant::now();
+        let stats = journal.recover(&store).expect("recover");
+        let elapsed = started.elapsed();
+        assert_eq!(stats.sessions, RECOVERY_SESSIONS);
+        elapsed
+    };
+    let recover_best = (0..3).map(|_| restore_and_recover()).min().expect("three passes");
+    let recovery_id = format!(
+        "{RECOVERY_SESSIONS}_sessions_{}_wal_records_{}ms",
+        RECOVERY_SESSIONS * (1 + RECOVERY_FRAMES),
+        recover_best.as_millis(),
+    );
+    group.bench_with_input(BenchmarkId::new("recovery_replay", recovery_id), &(), |b, _| {
+        b.iter(restore_and_recover)
+    });
+
     group.finish();
     handle.shutdown();
+    journaled.shutdown();
+    let _ = std::fs::remove_dir_all(&journal_dir);
+    let _ = std::fs::remove_dir_all(&recovery_dir);
 }
 
 criterion_group!(benches, bench_serve, bench_ingest);

@@ -20,7 +20,9 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod controller;
+pub mod snapshot;
 pub mod telemetry;
 
 pub use controller::{IngestReport, OnlineConfig, OnlineController, OnlineError, ReplanKind};
+pub use snapshot::ControllerSeed;
 pub use telemetry::{TelemetryBatch, TelemetryRecord};

@@ -10,17 +10,19 @@
 
 use crate::cache::{canonical_hash, PlanCache};
 use crate::http::{Request, Response};
+use crate::journal::{EndReason, JournalSet};
 use crate::metrics::Metrics;
 use crate::session::SessionStore;
 use crate::wire;
 use perpetuum_core::mtd::{plan_min_total_distance, MtdConfig};
 use perpetuum_core::network::{Instance, Network};
 use perpetuum_exp::scenario::{world_from_value, Algo, ScenarioError};
-use perpetuum_online::{OnlineConfig, OnlineController, TelemetryBatch, TelemetryRecord};
+use perpetuum_online::{ControllerSeed, OnlineConfig, TelemetryBatch, TelemetryRecord};
 use perpetuum_sim::FaultModel;
 use serde::{Deserialize, Serialize as _};
 use serde_json::Value;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering::Relaxed;
 use std::sync::Arc;
 use std::time::Instant;
@@ -29,18 +31,21 @@ use std::time::Instant;
 /// evicting the least-recently-used one.
 pub const DEFAULT_SESSION_CAPACITY: usize = 64;
 
-/// Everything the handlers share: the plan cache, the session store, and
-/// the metric set.
+/// Everything the handlers share: the plan cache, the session store, the
+/// metric set, and (when `--data-dir` is set) the write-ahead journal.
 pub struct AppState {
     /// The sharded LRU plan cache.
     pub cache: PlanCache,
     /// Live telemetry sessions (`/session` endpoints).
     pub sessions: SessionStore,
-    /// Counters, gauges and histograms served by `/metrics`.
-    pub metrics: Metrics,
+    /// Counters, gauges and histograms served by `/metrics` — shared
+    /// (`Arc`) with the journal, which counts its own bytes and fsyncs.
+    pub metrics: Arc<Metrics>,
     /// Max threads applying a `/telemetry/batch` request's shard groups
     /// in parallel (`--session-threads`).
     pub batch_threads: usize,
+    /// The write-ahead journal; `None` runs the daemon in-memory only.
+    pub journal: Option<JournalSet>,
 }
 
 impl AppState {
@@ -50,8 +55,9 @@ impl AppState {
         Self {
             cache: PlanCache::new(cache_capacity),
             sessions: SessionStore::new(DEFAULT_SESSION_CAPACITY, 0),
-            metrics: Metrics::default(),
+            metrics: Arc::new(Metrics::default()),
             batch_threads: 1,
+            journal: None,
         }
     }
 
@@ -71,6 +77,14 @@ impl AppState {
     /// Overrides the batch-apply parallelism. Builder-style.
     pub fn with_batch_threads(mut self, threads: usize) -> Self {
         self.batch_threads = threads.max(1);
+        self
+    }
+
+    /// Attaches a write-ahead journal. The journal must have been opened
+    /// with this state's metrics (`Arc::clone(&state.metrics)`) and the
+    /// session store's shard count. Builder-style.
+    pub fn with_journal(mut self, journal: JournalSet) -> Self {
+        self.journal = Some(journal);
         self
     }
 }
@@ -292,6 +306,25 @@ fn no_session(id: u64) -> Response {
     Response::error(404, "unknown_session", &format!("no session {id} (expired or deleted?)"))
 }
 
+/// Quarantines a session whose controller panicked (or whose lock was
+/// found poisoned by a panic elsewhere): the session is removed, counted,
+/// and journaled as ended so a restart cannot resurrect state of unknown
+/// integrity. Subsequent requests for the id get a plain 404.
+fn quarantine(state: &AppState, id: u64) -> Response {
+    if state.sessions.remove(id) {
+        state.metrics.sessions_quarantined.fetch_add(1, Relaxed);
+        if let Some(journal) = &state.journal {
+            journal.append_end(id, EndReason::Quarantined);
+            let _ = journal.flush();
+        }
+    }
+    Response::error(
+        500,
+        "session_quarantined",
+        &format!("session {id} panicked during ingest and was quarantined"),
+    )
+}
+
 /// `POST /session` — realise a scenario and open a closed-loop telemetry
 /// session over it.
 ///
@@ -343,11 +376,14 @@ pub fn session_create(state: &AppState, body: &[u8]) -> Response {
         Err(r) => return r,
     }
 
-    let network = parsed.topology.network.clone();
     let capacities = parsed.world.capacities();
     let rates: Vec<f64> =
         capacities.iter().zip(&parsed.topology.init_cycles).map(|(&cap, &tau)| cap / tau).collect();
-    let controller = match OnlineController::new(network, capacities, rates, cfg) {
+    // The controller is built *through the seed* so the journaled genesis
+    // record and the live construction are one and the same code path —
+    // recovery rebuilds exactly what was served.
+    let seed = ControllerSeed::new(&parsed.topology.network, capacities, rates, cfg);
+    let controller = match seed.build() {
         Ok(c) => c,
         Err(e) => return Response::error(400, "invalid_session", &e.to_string()),
     };
@@ -359,9 +395,25 @@ pub fn session_create(state: &AppState, body: &[u8]) -> Response {
         ("revision".to_string(), Value::Num(controller.revision() as f64)),
         ("tau1".to_string(), Value::Num(controller.tau1())),
     ]);
-    let (id, evicted) = state.sessions.insert(controller);
-    if evicted {
+    // Journal the genesis *before* the session becomes visible: no
+    // concurrent ingest can journal frames ahead of their Create record.
+    let id = state.sessions.allocate_id();
+    if let Some(journal) = &state.journal {
+        journal.append_create(id, &seed);
+    }
+    let evicted = state.sessions.insert_with_id(id, controller);
+    if let Some(evicted) = evicted {
         state.metrics.session_evictions.fetch_add(1, Relaxed);
+        if let Some(journal) = &state.journal {
+            journal.append_end(evicted, EndReason::Evicted);
+        }
+    }
+    // Group commit: the staged Create (and any Evicted tombstone) must be
+    // kernel-durable before the id is acknowledged.
+    if let Some(journal) = &state.journal {
+        if let Err(e) = journal.flush() {
+            return Response::error(500, "journal_error", &e.to_string());
+        }
     }
     let mut fields = vec![("session".to_string(), Value::Num(id as f64))];
     if let Value::Obj(rest) = summary {
@@ -394,22 +446,44 @@ pub fn session_telemetry(state: &AppState, id: u64, body: &[u8]) -> Response {
         Err(e) => return bad_json(e),
     };
     // Per-session lock: concurrent batches for this session serialize
-    // here; batches for other sessions proceed in parallel.
-    let mut controller = slot.lock();
+    // here; batches for other sessions proceed in parallel. A poisoned
+    // lock means a previous request panicked mid-mutation — quarantine.
+    let mut controller = match slot.lock() {
+        Ok(g) => g,
+        Err(_) => return quarantine(state, id),
+    };
     let started = Instant::now();
-    match controller.ingest(&batch) {
-        Ok(report) => {
-            state.metrics.record_ingest(
-                report.replan,
-                report.emergency_sensors as u64,
-                started.elapsed().as_secs_f64(),
-            );
-            match serde_json::to_string(&report.to_value()) {
-                Ok(s) => Response::json(200, s),
-                Err(e) => Response::error(500, "internal_error", &e.to_string()),
-            }
+    // Panic isolation: a controller bug takes down this session, not the
+    // worker (the guard survives the catch, so the mutex stays clean and
+    // the explicit quarantine below is the only consequence).
+    let outcome = catch_unwind(AssertUnwindSafe(|| controller.ingest(&batch)));
+    let report = match outcome {
+        Ok(Ok(report)) => report,
+        Ok(Err(e)) => return Response::error(400, "invalid_telemetry", &e.to_string()),
+        Err(_) => {
+            drop(controller);
+            return quarantine(state, id);
         }
-        Err(e) => Response::error(400, "invalid_telemetry", &e.to_string()),
+    };
+    // The batch was accepted: stage it while the slot lock still orders
+    // this session's appends, then flush before acking.
+    if let Some(journal) = &state.journal {
+        journal.append_frames(id, vec![wire::Frame { session: id, batch }]);
+    }
+    drop(controller);
+    if let Some(journal) = &state.journal {
+        if let Err(e) = journal.flush() {
+            return Response::error(500, "journal_error", &e.to_string());
+        }
+    }
+    state.metrics.record_ingest(
+        report.replan,
+        report.emergency_sensors as u64,
+        started.elapsed().as_secs_f64(),
+    );
+    match serde_json::to_string(&report.to_value()) {
+        Ok(s) => Response::json(200, s),
+        Err(e) => Response::error(500, "internal_error", &e.to_string()),
     }
 }
 
@@ -443,6 +517,13 @@ pub fn telemetry_batch(state: &AppState, req: &Request) -> Response {
     };
 
     let outcomes = apply_frames(state, &frames);
+    // One group commit for the whole batch: every accepted frame staged
+    // above reaches the kernel before any outcome is acknowledged.
+    if let Some(journal) = &state.journal {
+        if let Err(e) = journal.flush() {
+            return Response::error(500, "journal_error", &e.to_string());
+        }
+    }
     let errors = outcomes.iter().filter(|o| o.result.is_err()).count();
     state.metrics.batch_frames.fetch_add(outcomes.len() as u64, Relaxed);
     state.metrics.batch_frame_errors.fetch_add(errors as u64, Relaxed);
@@ -547,10 +628,56 @@ fn apply_frames(state: &AppState, frames: &[wire::Frame]) -> Vec<wire::FrameOutc
             };
             // One slot lookup, one lock, one controller step for the
             // session's whole frame group — the batch path's saving over
-            // per-frame requests.
-            let mut controller = slot.lock();
+            // per-frame requests. Poisoned lock or a panic inside the
+            // controller quarantines the session and fails its frames in
+            // place; the rest of the batch is unaffected.
+            let quarantine_frames = |out: &mut Vec<(usize, wire::FrameOutcome)>| {
+                quarantine(state, session);
+                for &i in indices {
+                    out.push((
+                        i,
+                        wire::FrameOutcome {
+                            session,
+                            result: Err(format!(
+                                "session {session} panicked during ingest and was quarantined"
+                            )),
+                        },
+                    ));
+                }
+            };
+            let mut controller = match slot.lock() {
+                Ok(g) => g,
+                Err(_) => {
+                    quarantine_frames(&mut out);
+                    continue;
+                }
+            };
             let started = Instant::now();
-            let reports = controller.ingest_all(indices.iter().map(|&i| &frames[i].batch));
+            let reports = match catch_unwind(AssertUnwindSafe(|| {
+                controller.ingest_all(indices.iter().map(|&i| &frames[i].batch))
+            })) {
+                Ok(reports) => reports,
+                Err(_) => {
+                    drop(controller);
+                    quarantine_frames(&mut out);
+                    continue;
+                }
+            };
+            // Stage exactly the accepted frames, in ingest order, while
+            // the slot lock still orders this session's appends; the
+            // request-level flush in `telemetry_batch` group-commits them
+            // before any outcome is acknowledged.
+            if let Some(journal) = &state.journal {
+                let accepted: Vec<wire::Frame> = indices
+                    .iter()
+                    .zip(&reports)
+                    .filter(|(_, r)| r.is_ok())
+                    .map(|(&i, _)| frames[i].clone())
+                    .collect();
+                if !accepted.is_empty() {
+                    journal.append_frames(session, accepted);
+                }
+            }
             drop(controller);
             // The group shared one clock; meter each frame its share.
             let per_frame = started.elapsed().as_secs_f64() / indices.len().max(1) as f64;
@@ -623,7 +750,10 @@ pub fn session_plan(state: &AppState, id: u64, req: &Request) -> Response {
     let Some(slot) = state.sessions.get(id) else {
         return no_session(id);
     };
-    let controller = slot.lock();
+    let controller = match slot.lock() {
+        Ok(g) => g,
+        Err(_) => return quarantine(state, id),
+    };
     if req.accepts(wire::CONTENT_TYPE) {
         let plan = wire::PlanWire {
             revision: controller.revision(),
@@ -646,9 +776,16 @@ pub fn session_plan(state: &AppState, id: u64, req: &Request) -> Response {
     Response::json(200, json)
 }
 
-/// `DELETE /session/{id}` — drop a session.
+/// `DELETE /session/{id}` — drop a session (journaled, so a restart does
+/// not resurrect it).
 pub fn session_delete(state: &AppState, id: u64) -> Response {
     if state.sessions.remove(id) {
+        if let Some(journal) = &state.journal {
+            journal.append_end(id, EndReason::Deleted);
+            if let Err(e) = journal.flush() {
+                return Response::error(500, "journal_error", &e.to_string());
+            }
+        }
         Response::json(200, format!("{{\"session\":{id},\"deleted\":true}}"))
     } else {
         no_session(id)
@@ -1025,6 +1162,154 @@ mod tests {
         // An empty frame list is valid and a no-op.
         let r = telemetry_batch(&state, &batch_req(br#"{"frames": []}"#.to_vec(), false, false));
         assert_eq!(r.status, 200);
+    }
+
+    use crate::journal::FsyncPolicy;
+
+    fn journal_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("perpetuum-handlers-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn with_journal(state: AppState, dir: &std::path::Path) -> AppState {
+        let journal = JournalSet::open(
+            dir,
+            state.sessions.shard_count(),
+            FsyncPolicy::Never,
+            0,
+            Arc::clone(&state.metrics),
+        )
+        .expect("open journal");
+        state.with_journal(journal)
+    }
+
+    #[test]
+    fn poisoned_session_is_quarantined_then_404() {
+        let state = AppState::new(8);
+        let ids = make_sessions(&state, 1);
+        let slot = state.sessions.get(ids[0]).expect("present");
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = slot.lock().expect("clean lock");
+            panic!("controller bug");
+        }));
+        let r = session_telemetry(&state, ids[0], br#"{"time": 1.0}"#);
+        assert_eq!(r.status, 500);
+        let text = String::from_utf8(r.body).unwrap();
+        assert!(text.contains("session_quarantined"), "{text}");
+        assert_eq!(state.metrics.sessions_quarantined.load(Relaxed), 1);
+        // The quarantined session is gone, not wedged: plain 404s now.
+        assert_eq!(session_telemetry(&state, ids[0], br#"{"time": 2.0}"#).status, 404);
+        assert_eq!(get_plan(&state, ids[0]).status, 404);
+        assert!(state.sessions.is_empty());
+    }
+
+    #[test]
+    fn poisoned_session_fails_its_batch_frames_in_place() {
+        let state = AppState::new(8).with_sessions(16, 4);
+        let ids = make_sessions(&state, 2);
+        let slot = state.sessions.get(ids[0]).expect("present");
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = slot.lock().expect("clean lock");
+            panic!("controller bug");
+        }));
+        let frames = vec![
+            wire::Frame { session: ids[0], batch: TelemetryBatch::tick(1.0) },
+            wire::Frame { session: ids[1], batch: TelemetryBatch::tick(1.0) },
+        ];
+        let resp = telemetry_batch(&state, &batch_req(wire::encode_frames(&frames), true, true));
+        assert_eq!(resp.status, 200);
+        let outcomes = wire::decode_reports(&resp.body).expect("binary reports");
+        assert!(outcomes[0].result.is_err(), "poisoned session fails in place");
+        assert!(outcomes[1].result.is_ok(), "healthy session unaffected");
+        assert_eq!(state.metrics.sessions_quarantined.load(Relaxed), 1);
+    }
+
+    #[test]
+    fn journaled_lifecycle_survives_recovery_byte_identically() {
+        let dir = journal_dir("lifecycle");
+        let state = with_journal(AppState::new(8).with_sessions(16, 4), &dir);
+        let ids = make_sessions(&state, 2);
+        let r = session_telemetry(
+            &state,
+            ids[0],
+            br#"{"time": 1.0, "records": [{"sensor": 0, "rate": 0.9}]}"#,
+        );
+        assert_eq!(r.status, 200);
+        assert_eq!(session_delete(&state, ids[1]).status, 200);
+        let expected = get_plan(&state, ids[0]).body;
+        drop(state); // crash: nothing flushed beyond the appends themselves
+
+        let recovered = AppState::new(8).with_sessions(16, 4);
+        let journal = JournalSet::open(
+            &dir,
+            recovered.sessions.shard_count(),
+            FsyncPolicy::Never,
+            0,
+            Arc::clone(&recovered.metrics),
+        )
+        .expect("reopen journal");
+        let stats = journal.recover(&recovered.sessions).expect("recover");
+        assert_eq!(stats.sessions, 1);
+        let recovered = recovered.with_journal(journal);
+        assert_eq!(get_plan(&recovered, ids[0]).body, expected, "byte-identical plan");
+        assert_eq!(get_plan(&recovered, ids[1]).status, 404, "deleted session stays dead");
+        assert_eq!(recovered.metrics.sessions_recovered.load(Relaxed), 1);
+        // Fresh sessions allocate past every journaled id.
+        let more = make_sessions(&recovered, 1);
+        assert!(more[0] > ids[1], "id counter resumed past {}, got {}", ids[1], more[0]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn evicted_session_stays_dead_after_recovery_and_404s_both_negotiations() {
+        let dir = journal_dir("evict");
+        // Capacity 1, one shard: the second create evicts the first.
+        let state = with_journal(AppState::new(8).with_sessions(1, 1), &dir);
+        let ids = make_sessions(&state, 1);
+        assert_eq!(
+            session_telemetry(&state, ids[0], br#"{"time": 1.0}"#).status,
+            200,
+            "journal holds state for the soon-evicted session"
+        );
+        let survivor = make_sessions(&state, 1)[0];
+        assert_eq!(state.metrics.session_evictions.load(Relaxed), 1);
+
+        // JSON negotiation: deterministic 404 with a typed error body.
+        let r = session_telemetry(&state, ids[0], br#"{"time": 2.0}"#);
+        assert_eq!(r.status, 404);
+        let text = String::from_utf8(r.body).unwrap();
+        assert!(text.contains("unknown_session"), "{text}");
+        // Binary negotiation: the frame fails in place with an error body.
+        let frames = vec![wire::Frame { session: ids[0], batch: TelemetryBatch::tick(2.0) }];
+        let resp = telemetry_batch(&state, &batch_req(wire::encode_frames(&frames), true, true));
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.content_type, wire::CONTENT_TYPE);
+        let outcomes = wire::decode_reports(&resp.body).expect("binary reports");
+        assert!(
+            matches!(&outcomes[0].result, Err(e) if e.contains("no session")),
+            "{:?}",
+            outcomes[0].result
+        );
+        drop(state);
+
+        // Recovery must not resurrect the evicted session's stale state.
+        let recovered = AppState::new(8).with_sessions(1, 1);
+        let journal = JournalSet::open(
+            &dir,
+            recovered.sessions.shard_count(),
+            FsyncPolicy::Never,
+            0,
+            Arc::clone(&recovered.metrics),
+        )
+        .expect("reopen journal");
+        let stats = journal.recover(&recovered.sessions).expect("recover");
+        assert_eq!(stats.sessions, 1, "only the survivor comes back");
+        let recovered = recovered.with_journal(journal);
+        assert_eq!(get_plan(&recovered, ids[0]).status, 404, "evicted session not resurrected");
+        assert_eq!(get_plan(&recovered, survivor).status, 200);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -13,6 +13,12 @@ use std::net::TcpStream;
 /// Upper bound on the request line plus all headers.
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
 
+/// Most bytes of an oversized body the server drains before answering
+/// `413`. Draining lets the client's in-flight writes complete so it
+/// reads the response instead of a connection reset; the cap keeps a
+/// hostile multi-gigabyte declaration from tying a worker up.
+pub const MAX_DRAIN_BYTES: usize = 1024 * 1024;
+
 /// Why a request could not be read.
 #[derive(Debug)]
 pub enum HttpError {
@@ -22,6 +28,14 @@ pub enum HttpError {
     TooLarge {
         /// The configured body cap (bytes).
         limit: usize,
+        /// The `Content-Length` the client declared.
+        declared: usize,
+    },
+    /// The client fed bytes slower than the socket timeout / request
+    /// deadline allows — maps to `408`.
+    Deadline {
+        /// Which phase timed out (`"head"`, `"body"`, `"handling"`).
+        phase: &'static str,
     },
     /// Socket-level failure before a full request arrived; no response
     /// can usefully be written.
@@ -32,7 +46,10 @@ impl std::fmt::Display for HttpError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             HttpError::Bad(m) => write!(f, "bad request: {m}"),
-            HttpError::TooLarge { limit } => write!(f, "payload exceeds {limit} bytes"),
+            HttpError::TooLarge { limit, declared } => {
+                write!(f, "payload of {declared} bytes exceeds {limit}-byte limit")
+            }
+            HttpError::Deadline { phase } => write!(f, "deadline exceeded while reading {phase}"),
             HttpError::Io(e) => write!(f, "io error: {e}"),
         }
     }
@@ -89,7 +106,7 @@ fn read_line_capped(
         .read_until(b'\n', &mut line)
         .map_err(|e| match e.kind() {
             std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
-                HttpError::Bad("timed out reading request head".into())
+                HttpError::Deadline { phase: "head" }
             }
             _ => HttpError::Io(e),
         })
@@ -151,7 +168,13 @@ pub fn read_request(stream: &TcpStream, max_body: usize) -> Result<Request, Http
     }
 
     if content_length > max_body {
-        return Err(HttpError::TooLarge { limit: max_body });
+        // Drain (bounded) what the client is still sending: with unread
+        // bytes in the receive buffer, closing the socket sends RST and
+        // most clients never see the 413. Draining up to the cap lets a
+        // well-behaved client finish writing and read the response.
+        let drain = content_length.min(MAX_DRAIN_BYTES) as u64;
+        let _ = std::io::copy(&mut reader.by_ref().take(drain), &mut std::io::sink());
+        return Err(HttpError::TooLarge { limit: max_body, declared: content_length });
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body).map_err(|e| match e.kind() {
@@ -159,7 +182,7 @@ pub fn read_request(stream: &TcpStream, max_body: usize) -> Result<Request, Http
             "body truncated: Content-Length {content_length} but the connection closed early"
         )),
         std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
-            HttpError::Bad(format!("timed out reading {content_length}-byte body"))
+            HttpError::Deadline { phase: "body" }
         }
         _ => HttpError::Io(e),
     })?;
@@ -247,14 +270,19 @@ impl Response {
 pub fn error_response(err: &HttpError) -> Option<Response> {
     match err {
         HttpError::Bad(m) => Some(Response::error(400, "bad_request", m)),
-        HttpError::TooLarge { limit } => Some(
+        HttpError::TooLarge { limit, declared } => Some(
             Response::error(
                 413,
                 "payload_too_large",
-                &format!("request body exceeds {limit} bytes"),
+                &format!("request body of {declared} bytes exceeds the {limit}-byte limit"),
             )
             .with_header("retry-after", "1".to_string()),
         ),
+        HttpError::Deadline { phase } => Some(Response::error(
+            408,
+            "request_timeout",
+            &format!("deadline exceeded while reading request {phase}"),
+        )),
         HttpError::Io(_) => None,
     }
 }
@@ -266,6 +294,7 @@ pub fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
@@ -345,9 +374,66 @@ mod tests {
     #[test]
     fn oversized_body_is_too_large() {
         match parse(b"POST /plan HTTP/1.1\r\ncontent-length: 999999\r\n\r\n", 1024) {
-            Err(HttpError::TooLarge { limit: 1024 }) => {}
+            Err(HttpError::TooLarge { limit: 1024, declared: 999_999 }) => {}
             other => panic!("expected TooLarge, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn oversized_body_is_drained_so_the_client_can_finish_writing() {
+        // The full declared body is on the wire; the parser must consume
+        // it (bounded) rather than leave it unread — unread bytes at close
+        // turn the 413 into a connection reset client-side.
+        // Small enough to fit loopback socket buffers (the test client
+        // writes before the server reads), big enough to prove draining.
+        let declared = 32 * 1024;
+        let mut raw =
+            format!("POST /plan HTTP/1.1\r\ncontent-length: {declared}\r\n\r\n").into_bytes();
+        raw.extend(vec![b'x'; declared]);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(&raw).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        match read_request(&server, 1024) {
+            Err(HttpError::TooLarge { limit: 1024, declared: d }) => assert_eq!(d, declared),
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+        // Every body byte was pulled off the socket: nothing pending.
+        server.set_nonblocking(true).unwrap();
+        let mut probe = [0u8; 1];
+        use std::io::Read as _;
+        match (&server).read(&mut probe) {
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+            other => panic!("expected a fully drained socket, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn slow_clients_hit_the_deadline_not_a_parse_error() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        // Half a request, then silence.
+        client.write_all(b"POST /plan HTTP/1.1\r\ncontent-le").unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_read_timeout(Some(std::time::Duration::from_millis(30))).unwrap();
+        match read_request(&server, 1024) {
+            Err(HttpError::Deadline { phase: "head" }) => {}
+            other => panic!("expected Deadline, got {other:?}"),
+        }
+        // Same for a stalled body.
+        let mut client2 = TcpStream::connect(addr).unwrap();
+        client2.write_all(b"POST /plan HTTP/1.1\r\ncontent-length: 10\r\n\r\nabc").unwrap();
+        let (server2, _) = listener.accept().unwrap();
+        server2.set_read_timeout(Some(std::time::Duration::from_millis(30))).unwrap();
+        match read_request(&server2, 1024) {
+            Err(HttpError::Deadline { phase: "body" }) => {}
+            other => panic!("expected body Deadline, got {other:?}"),
+        }
+        let resp = error_response(&HttpError::Deadline { phase: "body" }).unwrap();
+        assert_eq!(resp.status, 408);
+        drop((client, client2));
     }
 
     #[test]
@@ -376,8 +462,9 @@ mod tests {
         let body = String::from_utf8(r.body).unwrap();
         let v = serde_json::parse_value(&body).unwrap();
         assert!(v.get("error").and_then(|e| e.get("kind")).is_some());
-        let r = error_response(&HttpError::TooLarge { limit: 7 }).unwrap();
+        let r = error_response(&HttpError::TooLarge { limit: 7, declared: 99 }).unwrap();
         assert_eq!(r.status, 413);
+        assert!(r.extra_headers.iter().any(|(n, _)| *n == "retry-after"));
         assert!(error_response(&HttpError::Io(std::io::Error::other("x"))).is_none());
     }
 }

@@ -24,15 +24,24 @@
 //!   frames, ingest reports, and plan summaries, negotiated via
 //!   `Content-Type`/`Accept` on the batch-ingest path
 //!   (`POST /telemetry/batch`);
+//! * [`journal`] — a per-shard write-ahead journal (`--data-dir`):
+//!   session genesis records and every accepted telemetry frame are
+//!   appended before the ack, so a `kill -9` loses nothing a client was
+//!   told succeeded; restart replays snapshot + WAL into a byte-identical
+//!   session store;
+//! * [`chaos`] — a seeded socket-level fault proxy (drops, truncation,
+//!   stalls, corruption) for crash/recovery testing;
 //! * [`metrics`] — Prometheus text exposition of request counts, latency
-//!   histograms, cache hit rates, session/shard/eviction gauges, and
-//!   queue gauges.
+//!   histograms, cache hit rates, session/shard/eviction gauges, journal
+//!   and recovery counters, and queue gauges.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod cache;
+pub mod chaos;
 pub mod handlers;
 pub mod http;
+pub mod journal;
 pub mod metrics;
 pub mod router;
 pub mod server;
@@ -41,7 +50,9 @@ pub mod shutdown;
 pub mod wire;
 
 pub use cache::{canonical_hash, PlanCache};
+pub use chaos::{FaultKind, FaultProxy};
 pub use handlers::{AppState, DEFAULT_SESSION_CAPACITY};
+pub use journal::{EndReason, FsyncPolicy, JournalSet, RecoveryStats};
 pub use metrics::Metrics;
 pub use server::{start, ServerConfig, ServerHandle};
 pub use session::{MutexMapStore, SessionSlot, SessionStore, DEFAULT_SHARDS, MAX_SHARDS};

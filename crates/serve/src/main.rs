@@ -3,8 +3,9 @@
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
-use perpetuum_serve::{install_signal_forwarder, server, ServerConfig, MAX_SHARDS};
+use perpetuum_serve::{install_signal_forwarder, server, FsyncPolicy, ServerConfig, MAX_SHARDS};
 use std::fmt;
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::atomic::Ordering::Relaxed;
 use std::time::Duration;
@@ -36,7 +37,17 @@ OPTIONS:
     --session-threads <n>     max parallel shard groups per
                               /telemetry/batch request, 1..=256
                                                    [default: workers]
-    --read-timeout-secs <s>   per-connection socket timeout [default: 10]
+    --read-timeout-secs <s>   per-connection socket read timeout [default: 10]
+    --write-timeout-secs <s>  per-connection socket write timeout [default: 10]
+    --deadline-secs <s>       whole-request deadline; trickling clients get
+                              408 past it (0 disables)  [default: 30]
+    --data-dir <path>         write-ahead journal directory; sessions and
+                              accepted telemetry survive a crash and are
+                              replayed on restart   [default: in-memory only]
+    --fsync-policy <p>        when journal appends reach stable storage:
+                              always | batch | never [default: batch]
+    --compact-every <n>       WAL records per shard before auto-compaction
+                              (0 = only on drain)    [default: 4096]
     -h, --help                print this help
 ";
 
@@ -118,6 +129,24 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, ArgError> {
                 let secs = parse_in_range("--read-timeout-secs", value, 1, 86_400)?;
                 cfg.read_timeout = Duration::from_secs(secs as u64);
             }
+            "--write-timeout-secs" => {
+                let secs = parse_in_range("--write-timeout-secs", value, 1, 86_400)?;
+                cfg.write_timeout = Duration::from_secs(secs as u64);
+            }
+            "--deadline-secs" => {
+                let secs = parse_in_range("--deadline-secs", value, 0, 86_400)?;
+                cfg.request_deadline = Duration::from_secs(secs as u64);
+            }
+            "--data-dir" => cfg.data_dir = Some(PathBuf::from(value)),
+            "--fsync-policy" => {
+                cfg.fsync_policy = FsyncPolicy::parse(value).ok_or_else(|| ArgError::BadValue {
+                    flag: "--fsync-policy",
+                    value: value.clone(),
+                })?
+            }
+            "--compact-every" => {
+                cfg.compact_every = parse_in_range("--compact-every", value, 0, 1 << 30)? as u64
+            }
             _ => return Err(ArgError::UnknownFlag { flag: flag.clone() }),
         }
     }
@@ -139,6 +168,10 @@ fn main() -> ExitCode {
     };
 
     let workers = cfg.workers;
+    let journal_line = cfg
+        .data_dir
+        .as_ref()
+        .map(|dir| format!("  journal: {} (fsync: {})", dir.display(), cfg.fsync_policy.as_str()));
     let handle = match server::start(cfg) {
         Ok(h) => h,
         Err(e) => {
@@ -150,6 +183,9 @@ fn main() -> ExitCode {
 
     println!("perpetuum-serve listening on http://{}", handle.addr);
     println!("  admin (loopback only):    http://{}", handle.admin_addr);
+    if let Some(line) = journal_line {
+        println!("{line}");
+    }
     println!(
         "  workers: {workers}, session shards: {}  (POST /plan, POST /simulate, \
          POST /session, POST /telemetry/batch, GET /healthz, GET /metrics)",
@@ -205,6 +241,38 @@ mod tests {
         assert_eq!(cfg.session_shards, 32);
         assert_eq!(cfg.session_threads, 4);
         assert_eq!(cfg.session_capacity, 100_000);
+    }
+
+    #[test]
+    fn durability_flags_parse() {
+        let cfg = parse_args(&[]).expect("empty args");
+        assert_eq!(cfg.data_dir, None, "in-memory by default");
+        assert_eq!(cfg.fsync_policy, FsyncPolicy::Batch);
+        assert_eq!(cfg.request_deadline, Duration::from_secs(30));
+
+        let cfg = parse_args(&args(&[
+            "--data-dir",
+            "/tmp/perpetuum",
+            "--fsync-policy",
+            "always",
+            "--compact-every",
+            "128",
+            "--write-timeout-secs",
+            "5",
+            "--deadline-secs",
+            "0",
+        ]))
+        .expect("valid flags");
+        assert_eq!(cfg.data_dir, Some(PathBuf::from("/tmp/perpetuum")));
+        assert_eq!(cfg.fsync_policy, FsyncPolicy::Always);
+        assert_eq!(cfg.compact_every, 128);
+        assert_eq!(cfg.write_timeout, Duration::from_secs(5));
+        assert_eq!(cfg.request_deadline, Duration::ZERO, "0 disables the deadline");
+
+        assert_eq!(
+            parse_args(&args(&["--fsync-policy", "sometimes"])),
+            Err(ArgError::BadValue { flag: "--fsync-policy", value: "sometimes".to_string() })
+        );
     }
 
     #[test]

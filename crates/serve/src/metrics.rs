@@ -89,6 +89,20 @@ pub struct Metrics {
     pub cache_evictions: AtomicU64,
     /// Live sessions evicted (LRU) to make room for new ones.
     pub session_evictions: AtomicU64,
+    /// Sessions quarantined after a panic during ingest (removed from the
+    /// store and journaled as ended; never served again).
+    pub sessions_quarantined: AtomicU64,
+    /// Sessions reconstructed from the journal at startup.
+    pub sessions_recovered: AtomicU64,
+    /// Bytes appended to the write-ahead journal (WAL + snapshots).
+    pub journal_bytes_written: AtomicU64,
+    /// Explicit `fsync` calls issued by the journal.
+    pub journal_fsyncs: AtomicU64,
+    /// WAL records replayed at startup — 0 after a clean drain, because
+    /// drain compacts every live session into its snapshot.
+    pub journal_replayed_wal_records: AtomicU64,
+    /// Wall-clock duration of startup recovery passes.
+    pub recovery_seconds: Histogram,
     /// Session telemetry outcomes by replan kind: `[none, incremental,
     /// full]` (indexing matches [`perpetuum_online::ReplanKind`]).
     pub session_replans: [AtomicU64; 3],
@@ -265,6 +279,50 @@ impl Metrics {
             self.session_evictions.load(Relaxed)
         );
 
+        out.push_str(
+            "# HELP perpetuum_sessions_quarantined_total Sessions quarantined after a panic.\n",
+        );
+        out.push_str("# TYPE perpetuum_sessions_quarantined_total counter\n");
+        let _ = writeln!(
+            out,
+            "perpetuum_sessions_quarantined_total {}",
+            self.sessions_quarantined.load(Relaxed)
+        );
+        out.push_str("# HELP perpetuum_sessions_recovered_total Sessions rebuilt from the journal at startup.\n");
+        out.push_str("# TYPE perpetuum_sessions_recovered_total counter\n");
+        let _ = writeln!(
+            out,
+            "perpetuum_sessions_recovered_total {}",
+            self.sessions_recovered.load(Relaxed)
+        );
+        out.push_str(
+            "# HELP perpetuum_journal_bytes_written_total Bytes appended to the journal.\n",
+        );
+        out.push_str("# TYPE perpetuum_journal_bytes_written_total counter\n");
+        let _ = writeln!(
+            out,
+            "perpetuum_journal_bytes_written_total {}",
+            self.journal_bytes_written.load(Relaxed)
+        );
+        out.push_str(
+            "# HELP perpetuum_journal_fsyncs_total Explicit fsyncs issued by the journal.\n",
+        );
+        out.push_str("# TYPE perpetuum_journal_fsyncs_total counter\n");
+        let _ =
+            writeln!(out, "perpetuum_journal_fsyncs_total {}", self.journal_fsyncs.load(Relaxed));
+        out.push_str(
+            "# HELP perpetuum_journal_replayed_wal_records_total WAL records replayed at startup.\n",
+        );
+        out.push_str("# TYPE perpetuum_journal_replayed_wal_records_total counter\n");
+        let _ = writeln!(
+            out,
+            "perpetuum_journal_replayed_wal_records_total {}",
+            self.journal_replayed_wal_records.load(Relaxed)
+        );
+        out.push_str("# HELP perpetuum_recovery_seconds Startup journal-recovery duration.\n");
+        out.push_str("# TYPE perpetuum_recovery_seconds histogram\n");
+        self.recovery_seconds.render(&mut out, "perpetuum_recovery_seconds", "phase", "startup");
+
         out.push_str("# HELP perpetuum_queue_rejected_total Connections shed with 503.\n");
         out.push_str("# TYPE perpetuum_queue_rejected_total counter\n");
         let _ =
@@ -323,8 +381,21 @@ mod tests {
         m.batch.requests.fetch_add(7, Relaxed);
         m.batch_frames.fetch_add(120, Relaxed);
         m.batch_frame_errors.fetch_add(2, Relaxed);
+        m.sessions_quarantined.fetch_add(1, Relaxed);
+        m.sessions_recovered.fetch_add(3, Relaxed);
+        m.journal_bytes_written.fetch_add(4096, Relaxed);
+        m.journal_fsyncs.fetch_add(9, Relaxed);
+        m.journal_replayed_wal_records.fetch_add(17, Relaxed);
+        m.recovery_seconds.observe(0.012);
         let text = m.render(5, 2, &[2, 0]);
         for needle in [
+            "perpetuum_sessions_quarantined_total 1",
+            "perpetuum_sessions_recovered_total 3",
+            "perpetuum_journal_bytes_written_total 4096",
+            "perpetuum_journal_fsyncs_total 9",
+            "perpetuum_journal_replayed_wal_records_total 17",
+            "perpetuum_recovery_seconds_count{phase=\"startup\"} 1",
+            "perpetuum_recovery_seconds_bucket{phase=\"startup\",le=\"0.025\"} 1",
             "perpetuum_requests_total{endpoint=\"telemetry_batch\"} 7",
             "perpetuum_batch_frames_total 120",
             "perpetuum_batch_frame_errors_total 2",

@@ -19,15 +19,17 @@
 
 use crate::handlers::AppState;
 use crate::http::{error_response, read_request, Response};
+use crate::journal::{FsyncPolicy, JournalSet, DEFAULT_COMPACT_EVERY};
 use crate::router;
 use crate::shutdown::ShutdownSignal;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::Ordering::Relaxed;
 use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Everything tunable about the daemon.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -53,8 +55,23 @@ pub struct ServerConfig {
     /// Max threads applying a `/telemetry/batch` request's shard groups
     /// in parallel (`0` = auto: the worker count).
     pub session_threads: usize,
-    /// Per-connection socket read timeout.
+    /// Per-connection socket read timeout (each read syscall re-arms it;
+    /// the deadline below bounds the total).
     pub read_timeout: Duration,
+    /// Per-connection socket write timeout — a slow-reading client cannot
+    /// wedge a worker on the response.
+    pub write_timeout: Duration,
+    /// Whole-request deadline: a client that trickles bytes (staying
+    /// under the per-read timeout) gets `408` once this much wall clock
+    /// has passed since its connection was picked up. Zero disables.
+    pub request_deadline: Duration,
+    /// Write-ahead journal directory; `None` runs in-memory only.
+    pub data_dir: Option<PathBuf>,
+    /// When journaled appends reach stable storage.
+    pub fsync_policy: FsyncPolicy,
+    /// WAL records per shard before auto-compaction (`0` = only on
+    /// drain).
+    pub compact_every: u64,
 }
 
 impl Default for ServerConfig {
@@ -70,6 +87,11 @@ impl Default for ServerConfig {
             session_shards: 0,
             session_threads: 0,
             read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            request_deadline: Duration::from_secs(30),
+            data_dir: None,
+            fsync_policy: FsyncPolicy::Batch,
+            compact_every: DEFAULT_COMPACT_EVERY,
         }
     }
 }
@@ -117,6 +139,14 @@ impl ServerHandle {
         for t in self.threads {
             let _ = t.join();
         }
+        // Graceful drain: every in-flight request has been journaled by
+        // now, so flush, fsync, and compact — a clean restart replays
+        // zero WAL records.
+        if let Some(journal) = &self.state.journal {
+            if let Err(err) = journal.drain() {
+                eprintln!("journal drain failed: {err}");
+            }
+        }
     }
 
     /// [`ServerHandle::trigger_shutdown`] + [`ServerHandle::wait`].
@@ -155,24 +185,49 @@ pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
     // may fan its shard groups over as many threads as there are workers.
     let shards = if cfg.session_shards == 0 { workers } else { cfg.session_shards };
     let batch_threads = if cfg.session_threads == 0 { workers } else { cfg.session_threads };
-    let state = Arc::new(
-        AppState::new(cfg.cache_capacity)
-            .with_sessions(cfg.session_capacity, shards)
-            .with_batch_threads(batch_threads),
-    );
+    let mut state = AppState::new(cfg.cache_capacity)
+        .with_sessions(cfg.session_capacity, shards)
+        .with_batch_threads(batch_threads);
+    if let Some(dir) = &cfg.data_dir {
+        let journal = JournalSet::open(
+            dir.clone(),
+            state.sessions.shard_count(),
+            cfg.fsync_policy,
+            cfg.compact_every,
+            Arc::clone(&state.metrics),
+        )?;
+        let stats = journal.recover(&state.sessions)?;
+        if stats.sessions > 0 || stats.wal_records > 0 || stats.truncated_tail {
+            eprintln!(
+                "recovered {} session(s) from {} ({} snapshot + {} WAL records, {} skipped{})",
+                stats.sessions,
+                dir.display(),
+                stats.snap_records,
+                stats.wal_records,
+                stats.skipped,
+                if stats.truncated_tail { ", torn tail discarded" } else { "" },
+            );
+        }
+        state = state.with_journal(journal);
+    }
+    let state = Arc::new(state);
     let (tx, rx) = sync_channel::<TcpStream>(cfg.queue_capacity.max(1));
     let rx = Arc::new(Mutex::new(rx));
 
+    let limits = ConnLimits {
+        read_timeout: cfg.read_timeout,
+        write_timeout: cfg.write_timeout,
+        deadline: cfg.request_deadline,
+        max_body: cfg.max_body,
+    };
     let mut threads = Vec::with_capacity(cfg.workers + 2);
     for worker_id in 0..cfg.workers.max(1) {
         let rx = Arc::clone(&rx);
         let state = Arc::clone(&state);
-        let read_timeout = cfg.read_timeout;
-        let max_body = cfg.max_body;
         threads.push(
             thread::Builder::new()
                 .name(format!("serve-worker-{worker_id}"))
-                .spawn(move || worker_loop(&rx, &state, read_timeout, max_body))?,
+                .spawn(move || worker_loop(&rx, &state, limits))?,
         );
     }
 
@@ -232,12 +287,16 @@ fn accept_loop(
     }
 }
 
-fn worker_loop(
-    rx: &Arc<Mutex<Receiver<TcpStream>>>,
-    state: &Arc<AppState>,
+/// Per-connection socket limits, copied into every worker.
+#[derive(Debug, Clone, Copy)]
+struct ConnLimits {
     read_timeout: Duration,
+    write_timeout: Duration,
+    deadline: Duration,
     max_body: usize,
-) {
+}
+
+fn worker_loop(rx: &Arc<Mutex<Receiver<TcpStream>>>, state: &Arc<AppState>, limits: ConnLimits) {
     loop {
         // Hold the receiver lock only for the pop, never while serving.
         let stream = {
@@ -250,21 +309,28 @@ fn worker_loop(
         let Ok(stream) = stream else { break };
         state.metrics.queue_depth.fetch_sub(1, Relaxed);
         state.metrics.in_flight.fetch_add(1, Relaxed);
-        serve_connection(state, stream, read_timeout, max_body);
+        serve_connection(state, stream, limits);
         state.metrics.in_flight.fetch_sub(1, Relaxed);
     }
 }
 
-fn serve_connection(
-    state: &AppState,
-    mut stream: TcpStream,
-    read_timeout: Duration,
-    max_body: usize,
-) {
-    let _ = stream.set_read_timeout(Some(read_timeout));
-    let _ = stream.set_write_timeout(Some(read_timeout));
-    let resp = match read_request(&stream, max_body) {
-        Ok(req) => router::handle(state, &req),
+fn serve_connection(state: &AppState, mut stream: TcpStream, limits: ConnLimits) {
+    let started = Instant::now();
+    let _ = stream.set_read_timeout(Some(limits.read_timeout));
+    let _ = stream.set_write_timeout(Some(limits.write_timeout));
+    let resp = match read_request(&stream, limits.max_body) {
+        Ok(req) => {
+            // Each read syscall re-arms the socket timeout, so a client
+            // trickling one byte per second can stretch the read phase
+            // indefinitely. The deadline bounds the total.
+            if !limits.deadline.is_zero() && started.elapsed() > limits.deadline {
+                state.metrics.record_status(408);
+                let _ = error_response(&crate::http::HttpError::Deadline { phase: "handling" })
+                    .map(|resp| resp.write_to(&mut stream));
+                return;
+            }
+            router::handle(state, &req)
+        }
         Err(err) => match error_response(&err) {
             Some(resp) => resp,
             None => return, // socket died before a request arrived

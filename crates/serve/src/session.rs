@@ -41,6 +41,13 @@ pub const DEFAULT_SHARDS: usize = 8;
 /// at the CLI boundary; the constructor clamps as a safety net).
 pub const MAX_SHARDS: usize = 1024;
 
+/// A session's controller mutex was poisoned: a request panicked while
+/// mutating it, so its state can no longer be trusted. The daemon reacts
+/// by quarantining the session (remove + journal `End` + count), never by
+/// silently reusing the state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionPoisoned;
+
 /// One live session: the controller behind its own lock.
 pub struct SessionSlot {
     controller: Mutex<OnlineController>,
@@ -48,14 +55,15 @@ pub struct SessionSlot {
 }
 
 impl SessionSlot {
-    /// Locks the controller for one ingest/plan operation. Recovers from
-    /// poisoning: the controller's state transitions are atomic per call,
-    /// so a panicking request cannot leave it half-updated.
-    pub fn lock(&self) -> MutexGuard<'_, OnlineController> {
-        match self.controller.lock() {
-            Ok(g) => g,
-            Err(poisoned) => poisoned.into_inner(),
-        }
+    /// Locks the controller for one ingest/plan operation.
+    ///
+    /// Poisoning is surfaced, not swallowed: a poisoned mutex means some
+    /// request panicked *while holding the controller* — the thread that
+    /// was concurrently blocked on the same session must not proceed on
+    /// state of unknown integrity. Callers treat `Err` exactly like a
+    /// panic of their own: quarantine the session.
+    pub fn lock(&self) -> Result<MutexGuard<'_, OnlineController>, SessionPoisoned> {
+        self.controller.lock().map_err(|_| SessionPoisoned)
     }
 }
 
@@ -101,6 +109,19 @@ fn mix(id: u64) -> u64 {
     id.wrapping_mul(0x9e37_79b9_7f4a_7c15)
 }
 
+/// Index of the shard owning `id` in a store of `shard_count` shards
+/// (`shard_count` must be a power of two). Exported so the write-ahead
+/// journal files one `shard-<i>.wal` per store shard with the *same*
+/// ownership mapping — a session's journal records and its live slot
+/// always agree on the shard index.
+#[inline]
+pub fn shard_index(id: u64, shard_count: usize) -> usize {
+    if shard_count <= 1 {
+        return 0; // a 64-bit shift would overflow
+    }
+    (mix(id) >> (64 - shard_count.trailing_zeros())) as usize
+}
+
 impl SessionStore {
     /// A store holding at most `capacity` live sessions split over
     /// `shards` shards (rounded up to a power of two, clamped to
@@ -133,23 +154,36 @@ impl SessionStore {
         (mix(id) >> self.shard_shift) as usize
     }
 
-    /// Number of shards (always a power of two).
-    pub fn shard_count(&self) -> usize {
-        self.shards.len()
+    /// Reserves the next session id without making anything visible. The
+    /// daemon journals the session's `Create` record between allocation
+    /// and [`insert_with_id`](Self::insert_with_id), so no concurrent
+    /// ingest can ever journal frames for an id whose genesis is not on
+    /// disk yet.
+    pub fn allocate_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Relaxed) + 1
     }
 
-    /// Registers a controller and returns its fresh id plus whether an
-    /// older session was evicted to make room. Ids are monotonically
-    /// increasing and never reused.
-    pub fn insert(&self, controller: OnlineController) -> (u64, bool) {
-        let id = self.next_id.fetch_add(1, Relaxed) + 1;
+    /// Ensures future [`allocate_id`](Self::allocate_id) calls return ids
+    /// strictly greater than `floor` — recovery calls this with the
+    /// highest id seen in the journal so restored and new sessions never
+    /// collide (ids stay never-reused across restarts).
+    pub fn bump_next_id(&self, floor: u64) {
+        self.next_id.fetch_max(floor, Relaxed);
+    }
+
+    /// Registers a controller under a previously allocated (or recovered)
+    /// id; returns the id of the session LRU-evicted to make room, if
+    /// any. The id must come from [`allocate_id`](Self::allocate_id) or a
+    /// journal — inserting an id twice would double-count the gauges.
+    pub fn insert_with_id(&self, id: u64, controller: OnlineController) -> Option<u64> {
+        self.bump_next_id(id);
         let shard = &self.shards[self.shard_of(id)];
         let slot = Arc::new(SessionSlot {
             controller: Mutex::new(controller),
             last_used: AtomicU64::new(shard.tick.fetch_add(1, Relaxed)),
         });
         let mut map = shard.write();
-        let mut evicted = false;
+        let mut evicted = None;
         if map.len() >= self.per_shard_capacity {
             // O(len) scan, same trade as the plan cache: eviction is the
             // cold path and each shard's map is small.
@@ -157,15 +191,29 @@ impl SessionStore {
                 map.iter().min_by_key(|(_, s)| s.last_used.load(Relaxed)).map(|(k, _)| k)
             {
                 map.remove(&lru);
-                evicted = true;
+                evicted = Some(lru);
             }
         }
         map.insert(id, slot);
         drop(map);
-        if !evicted {
+        if evicted.is_none() {
             shard.live.fetch_add(1, Relaxed);
             self.live.fetch_add(1, Relaxed);
         }
+        evicted
+    }
+
+    /// Number of shards (always a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Registers a controller and returns its fresh id plus the id of the
+    /// session evicted to make room, if any. Ids are monotonically
+    /// increasing and never reused.
+    pub fn insert(&self, controller: OnlineController) -> (u64, Option<u64>) {
+        let id = self.allocate_id();
+        let evicted = self.insert_with_id(id, controller);
         (id, evicted)
     }
 
@@ -310,10 +358,10 @@ mod tests {
         let store = SessionStore::new(2, 1);
         let (a, e1) = store.insert(controller());
         let (b, e2) = store.insert(controller());
-        assert!(!e1 && !e2);
+        assert!(e1.is_none() && e2.is_none());
         assert!(store.get(a).is_some(), "refresh a — b becomes LRU");
         let (c, evicted) = store.insert(controller());
-        assert!(evicted, "third insert overflows capacity 2");
+        assert_eq!(evicted, Some(b), "third insert evicts the LRU session by id");
         assert!(store.get(a).is_some());
         assert!(store.get(b).is_none(), "LRU session gone");
         assert!(store.get(c).is_some());
@@ -325,12 +373,38 @@ mod tests {
         let store = SessionStore::new(4, 2);
         let (id, _) = store.insert(controller());
         let slot = store.get(id).expect("present");
-        let guard = slot.lock();
+        let guard = slot.lock().expect("not poisoned");
         // Store operations proceed while a session is locked.
         assert_eq!(store.len(), 1);
         let (other, _) = store.insert(controller());
         assert!(store.get(other).is_some());
         drop(guard);
+    }
+
+    #[test]
+    fn explicit_ids_restore_and_keep_the_counter_monotone() {
+        let store = SessionStore::new(8, 4);
+        // Recovery-style insert at an arbitrary id.
+        assert!(store.insert_with_id(41, controller()).is_none());
+        assert!(store.get(41).is_some());
+        // Fresh allocations jump past it — recovered ids are never reused.
+        let (fresh, _) = store.insert(controller());
+        assert!(fresh > 41, "allocator resumed past the recovered id, got {fresh}");
+        store.bump_next_id(100);
+        assert!(store.allocate_id() > 100);
+    }
+
+    #[test]
+    fn poisoned_slots_report_instead_of_recovering() {
+        let store = SessionStore::new(4, 1);
+        let (id, _) = store.insert(controller());
+        let slot = store.get(id).expect("present");
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = slot.lock().expect("first lock clean");
+            panic!("ingest blew up while holding the controller");
+        }));
+        assert!(panicked.is_err());
+        assert_eq!(slot.lock().err(), Some(SessionPoisoned), "poison must surface");
     }
 
     #[test]
@@ -373,7 +447,7 @@ mod tests {
         }
         assert_eq!(store.len(), 4);
         let (_, evicted) = store.insert(controller());
-        assert!(evicted);
+        assert_eq!(evicted, Some(ids[0]), "oldest session evicted");
         assert_eq!(store.len(), 4, "evicting insert is len-neutral");
         assert!(store.remove(ids[3]));
         assert_eq!(store.len(), 3);

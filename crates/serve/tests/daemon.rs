@@ -2,7 +2,7 @@
 //! TCP socket and the full accept → queue → worker → router path.
 
 use perpetuum_online::{TelemetryBatch, TelemetryRecord};
-use perpetuum_serve::{start, wire, ServerConfig};
+use perpetuum_serve::{start, wire, FsyncPolicy, ServerConfig};
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::sync::atomic::Ordering::Relaxed;
@@ -513,6 +513,80 @@ fn binary_batch_ingest_over_the_wire() {
     assert_eq!(status, 400);
     assert!(String::from_utf8_lossy(&body).contains("bad_wire"));
     handle.shutdown();
+}
+
+#[test]
+fn oversized_real_body_reads_a_clean_413_not_a_reset() {
+    // The client sends a 256 KiB body against a 1 KiB cap. The daemon
+    // must drain it before responding — otherwise the client's writes
+    // die on a reset connection and it never sees the 413.
+    let handle = start(ServerConfig { max_body: 1024, ..ServerConfig::default() }).expect("start");
+    let big = "x".repeat(256 * 1024);
+    let resp = post(handle.addr, "/plan", &big);
+    assert_eq!(resp.status, 413, "{}", resp.body);
+    assert!(resp.body.contains("\"kind\":\"payload_too_large\""), "{}", resp.body);
+    assert!(resp.body.contains("262144"), "declared size named: {}", resp.body);
+    assert_eq!(resp.header("retry-after"), Some("1"));
+    assert_eq!(get(handle.addr, "/healthz").status, 200, "daemon healthy after the drain");
+    handle.shutdown();
+}
+
+#[test]
+fn trickling_clients_hit_the_request_deadline_with_408() {
+    // Per-read socket timeouts re-arm on every byte; only the deadline
+    // bounds a client that drips its request slowly enough to stay alive.
+    let handle = start(ServerConfig {
+        request_deadline: Duration::from_millis(100),
+        ..ServerConfig::default()
+    })
+    .expect("start");
+    let mut c = TcpStream::connect(handle.addr).expect("connect");
+    c.write_all(b"GET /healthz HTTP/1.1\r\n").expect("first drip");
+    std::thread::sleep(Duration::from_millis(250));
+    c.write_all(b"host: t\r\n\r\n").expect("second drip");
+    c.shutdown(Shutdown::Write).expect("half-close");
+    let resp = read_response(&mut c);
+    assert_eq!(resp.status, 408, "{}", resp.body);
+    assert!(resp.body.contains("\"kind\":\"request_timeout\""), "{}", resp.body);
+    handle.shutdown();
+}
+
+#[test]
+fn journaled_daemon_exports_journal_metrics_over_the_wire() {
+    let dir = std::env::temp_dir().join(format!("perpetuum-daemon-journal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let handle = start(ServerConfig {
+        data_dir: Some(dir.clone()),
+        fsync_policy: FsyncPolicy::Always,
+        ..ServerConfig::default()
+    })
+    .expect("start");
+    let addr = handle.addr;
+
+    let created = post(addr, "/session", &scenario_body(5));
+    assert_eq!(created.status, 200, "{}", created.body);
+    let id = num_field(&created.body, "session") as u64;
+    let r = post(addr, &format!("/session/{id}/telemetry"), r#"{"time": 0.5}"#);
+    assert_eq!(r.status, 200, "{}", r.body);
+
+    // The scrape exposes the full journal/recovery family; a fresh
+    // journaled daemon has written and fsynced but recovered nothing.
+    let metrics = get(addr, "/metrics");
+    for family in [
+        "perpetuum_journal_bytes_written_total",
+        "perpetuum_journal_fsyncs_total",
+        "perpetuum_sessions_quarantined_total 0",
+        "perpetuum_sessions_recovered_total 0",
+        "perpetuum_journal_replayed_wal_records_total 0",
+        "perpetuum_recovery_seconds_bucket{phase=\"startup\"",
+    ] {
+        assert!(metrics.body.contains(family), "missing {family:?}:\n{}", metrics.body);
+    }
+    let m = handle.state();
+    assert!(m.metrics.journal_bytes_written.load(Relaxed) > 0, "create + frames journaled");
+    assert!(m.metrics.journal_fsyncs.load(Relaxed) >= 2, "fsync-always fsyncs each append");
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -1,0 +1,256 @@
+//! Crash-recovery property tests: for arbitrary session lifecycles and
+//! telemetry streams, snapshot + WAL replay reconstructs the session
+//! store **byte-identically** — same ids, same plan bytes, same future
+//! ingest reports — and a journal truncated at *every byte offset* (what
+//! a `kill -9` mid-append leaves behind) recovers exactly the state of
+//! the longest complete-record prefix, never panicking and never
+//! resurrecting an ended session.
+
+use perpetuum_online::{ControllerSeed, OnlineConfig, OnlineController, TelemetryBatch};
+use perpetuum_serve::journal::{decode_log, encode_record, Record};
+use perpetuum_serve::wire::Frame;
+use perpetuum_serve::{FsyncPolicy, JournalSet, Metrics, SessionStore};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+
+/// One generated session lifecycle script.
+#[derive(Debug, Clone)]
+struct Script {
+    /// Per-session initial consumption rates (length = sensor count).
+    sessions: Vec<Vec<f64>>,
+    /// Telemetry stream: (session index, sensor, new rate or tick).
+    batches: Vec<(usize, Option<(usize, f64)>)>,
+    /// Delete this session (by index) after the stream, if present.
+    delete: Option<usize>,
+}
+
+const SENSORS: usize = 4;
+
+fn seed_for(rates: &[f64]) -> ControllerSeed {
+    let sensors: Vec<(f64, f64)> =
+        (0..SENSORS).map(|i| (30.0 + 40.0 * i as f64, 20.0 + 50.0 * ((i % 2) as f64))).collect();
+    ControllerSeed {
+        sensors,
+        depots: vec![(80.0, 45.0)],
+        capacities: vec![1.0; SENSORS],
+        initial_rates: rates.to_vec(),
+        config: OnlineConfig::new(200.0),
+    }
+}
+
+fn script_strategy(max_sessions: usize, max_batches: usize) -> impl Strategy<Value = Script> {
+    let rates = prop::collection::vec(0.05f64..0.5, SENSORS);
+    (
+        prop::collection::vec(rates, 1..=max_sessions),
+        prop::collection::vec(
+            (0usize..max_sessions, prop::option::of((0usize..SENSORS, 0.02f64..0.8))),
+            0..max_batches,
+        ),
+        prop::option::of(0usize..max_sessions),
+    )
+        .prop_map(|(sessions, mut batches, delete)| {
+            let n = sessions.len();
+            for (s, _) in &mut batches {
+                *s %= n;
+            }
+            Script { sessions, batches, delete: delete.map(|d| d % n) }
+        })
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "perpetuum-recovery-prop-{tag}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn open(dir: &std::path::Path, shards: usize) -> JournalSet {
+    JournalSet::open(dir, shards, FsyncPolicy::Never, 0, Arc::new(Metrics::default()))
+        .expect("open journal")
+}
+
+/// Runs the script the way the daemon's handlers do: id allocated, Create
+/// journaled before the session is visible, each accepted batch journaled
+/// under the slot lock, End journaled on delete. Returns the live ids in
+/// creation order.
+fn run_live(script: &Script, store: &SessionStore, journal: &JournalSet) -> Vec<u64> {
+    let mut ids = Vec::new();
+    for rates in &script.sessions {
+        let seed = seed_for(rates);
+        let controller = seed.build().expect("valid generated seed");
+        let id = store.allocate_id();
+        journal.append_create(id, &seed);
+        journal.flush().expect("journal flush");
+        assert!(store.insert_with_id(id, controller).is_none(), "no eviction in these tests");
+        ids.push(id);
+    }
+    for (i, &(session, update)) in script.batches.iter().enumerate() {
+        let id = ids[session];
+        let batch = batch_at(i, update);
+        let slot = store.get(id).expect("live session");
+        let mut guard = slot.lock().expect("not poisoned");
+        guard.ingest(&batch).expect("monotone generated stream");
+        journal.append_frames(id, vec![Frame { session: id, batch }]);
+        journal.flush().expect("journal flush");
+    }
+    if let Some(d) = script.delete {
+        let id = ids[d];
+        assert!(store.remove(id), "deleting a live session");
+        journal.append_end(id, perpetuum_serve::EndReason::Deleted);
+        journal.flush().expect("journal flush");
+        ids.retain(|&x| x != id);
+    }
+    ids
+}
+
+/// Batch `i` of the global stream: strictly increasing times keep every
+/// per-session stream monotone regardless of interleaving.
+fn batch_at(i: usize, update: Option<(usize, f64)>) -> TelemetryBatch {
+    let time = 0.5 + i as f64 * 0.5;
+    match update {
+        Some((sensor, rate)) => TelemetryBatch {
+            time,
+            records: vec![perpetuum_online::TelemetryRecord::rate(sensor, rate)],
+        },
+        None => TelemetryBatch::tick(time),
+    }
+}
+
+/// The per-session plan bytes of every live session, keyed by id.
+fn plans(store: &SessionStore, ids: &[u64]) -> BTreeMap<u64, String> {
+    ids.iter()
+        .map(|&id| {
+            let slot = store.get(id).expect("live session");
+            let plan = slot.lock().expect("not poisoned").plan_json();
+            (id, plan)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Tentpole invariant: recovery is indistinguishable from never
+    /// having crashed — plan bytes match, ids match, and the *future*
+    /// evolves identically (same ingest reports, same next plan).
+    #[test]
+    fn recovery_reconstructs_the_uninterrupted_run_byte_identically(
+        script in script_strategy(3, 8),
+    ) {
+        let dir = tmp_dir("equiv");
+        let store = SessionStore::new(16, 4);
+        let journal = open(&dir, 4);
+        let ids = run_live(&script, &store, &journal);
+        let expected = plans(&store, &ids);
+        drop(journal);
+
+        let recovered = SessionStore::new(16, 4);
+        let journal = open(&dir, 4);
+        let stats = journal.recover(&recovered).expect("recover");
+        prop_assert_eq!(stats.sessions, ids.len());
+        prop_assert_eq!(stats.skipped, 0);
+        prop_assert!(!stats.truncated_tail);
+        prop_assert_eq!(&plans(&recovered, &ids), &expected, "plan bytes diverge");
+        // Exactly the live sessions came back — a deleted one stays dead.
+        prop_assert_eq!(recovered.len(), ids.len());
+
+        // Same future: one more batch produces the same report and the
+        // same plan bytes on both sides.
+        let next = batch_at(script.batches.len(), Some((0, 0.33)));
+        for &id in &ids {
+            let a = store.get(id).expect("live");
+            let b = recovered.get(id).expect("recovered");
+            let ra = a.lock().expect("lock").ingest(&next).expect("ingest");
+            let rb = b.lock().expect("lock").ingest(&next).expect("ingest");
+            prop_assert_eq!(ra, rb, "ingest reports diverge for session {}", id);
+            prop_assert_eq!(
+                a.lock().expect("lock").plan_json(),
+                b.lock().expect("lock").plan_json(),
+                "post-recovery plans diverge for session {}", id
+            );
+        }
+        // Ids are never reused, even across the crash.
+        let floor = ids.iter().copied().max().unwrap_or(0);
+        prop_assert!(recovered.allocate_id() > floor);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Kill-at-any-byte: truncate the WAL at every offset and recover.
+    /// The result must be exactly the replay of the longest complete
+    /// record prefix — never a panic, never a half-applied record.
+    #[test]
+    fn recovery_from_every_truncation_offset_keeps_the_complete_prefix(
+        script in script_strategy(2, 4),
+    ) {
+        // Single shard so the whole journal is one file of known order.
+        let dir = tmp_dir("cuts");
+        let store = SessionStore::new(16, 1);
+        let journal = open(&dir, 1);
+        run_live(&script, &store, &journal);
+        drop(journal);
+        let wal = std::fs::read(dir.join("shard-0.wal")).expect("wal bytes");
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Expected state after each record prefix: replay records 0..k
+        // into plain controllers.
+        let full = decode_log(&wal);
+        prop_assert!(!full.truncated);
+        let mut live: BTreeMap<u64, OnlineController> = BTreeMap::new();
+        let mut expected: Vec<BTreeMap<u64, String>> = vec![BTreeMap::new()];
+        let mut boundaries = vec![0usize];
+        for record in &full.records {
+            match record {
+                Record::Create { id, seed } => {
+                    live.insert(*id, seed.build().expect("valid seed"));
+                }
+                Record::Frames(frames) => {
+                    for frame in frames {
+                        live.get_mut(&frame.session)
+                            .expect("create precedes frames")
+                            .ingest(&frame.batch)
+                            .expect("accepted stream replays");
+                    }
+                }
+                Record::End { id, .. } => {
+                    live.remove(id);
+                }
+            }
+            expected.push(live.iter().map(|(&id, c)| (id, c.plan_json())).collect());
+            boundaries.push(boundaries.last().expect("nonempty") + encode_record(record).len());
+        }
+
+        for cut in 0..=wal.len() {
+            let complete = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+            let cut_dir = tmp_dir("cut-at");
+            std::fs::create_dir_all(&cut_dir).expect("mkdir");
+            std::fs::write(cut_dir.join("shard-0.wal"), &wal[..cut]).expect("write cut");
+            let journal = open(&cut_dir, 1);
+            let recovered = SessionStore::new(16, 1);
+            let stats = journal.recover(&recovered).expect("recover never errors on a cut");
+            prop_assert_eq!(
+                stats.truncated_tail,
+                cut != boundaries[complete],
+                "cut {} torn-tail flag", cut
+            );
+            let want = &expected[complete];
+            let got: BTreeMap<u64, String> = want
+                .keys()
+                .map(|&id| {
+                    let slot = recovered.get(id).expect("prefix session survives");
+                    let plan = slot.lock().expect("lock").plan_json();
+                    (id, plan)
+                })
+                .collect();
+            prop_assert_eq!(&got, want, "cut {} state diverges", cut);
+            prop_assert_eq!(recovered.len(), want.len(), "cut {} session count", cut);
+            let _ = std::fs::remove_dir_all(&cut_dir);
+        }
+    }
+}

@@ -10,7 +10,7 @@
 //! f(x in strat, ..) { .. } }`, `prop_compose!` (one or two dependent
 //! binding groups), `prop_assert!`/`prop_assert_eq!`, range strategies over
 //! ints and floats, strategy tuples, [`Just`], `.prop_map`,
-//! `prop::collection::vec`.
+//! `prop::collection::vec`, `prop::option::of`.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -192,6 +192,37 @@ pub mod prop {
             VecStrategy { element, size }
         }
     }
+
+    pub mod option {
+        //! Option strategies.
+
+        use super::super::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// Strategy for `Option`s from [`of`].
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                // Upstream defaults to `Some` half the time.
+                if rng.gen_range(0..2) == 0 {
+                    None
+                } else {
+                    Some(self.inner.generate(rng))
+                }
+            }
+        }
+
+        /// An `Option` strategy (mirrors `proptest::option::of`).
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+    }
 }
 
 /// Deterministic per-case RNG keyed on source location and case index.
@@ -306,6 +337,23 @@ mod tests {
         }
         let fixed = prop::collection::vec(0..9usize, 4usize);
         assert_eq!(fixed.generate(&mut rng).len(), 4);
+    }
+
+    #[test]
+    fn option_strategy_hits_both_variants() {
+        let mut rng = super::test_rng("lib.rs", 4, 0);
+        let s = prop::option::of(0..10u64);
+        let (mut none, mut some) = (0, 0);
+        for _ in 0..100 {
+            match s.generate(&mut rng) {
+                None => none += 1,
+                Some(x) => {
+                    assert!(x < 10);
+                    some += 1;
+                }
+            }
+        }
+        assert!(none > 10 && some > 10, "none={none} some={some}");
     }
 
     #[test]
