@@ -306,18 +306,31 @@ fn no_session(id: u64) -> Response {
     Response::error(404, "unknown_session", &format!("no session {id} (expired or deleted?)"))
 }
 
-/// Quarantines a session whose controller panicked (or whose lock was
-/// found poisoned by a panic elsewhere): the session is removed, counted,
-/// and journaled as ended so a restart cannot resurrect state of unknown
-/// integrity. Subsequent requests for the id get a plain 404.
-fn quarantine(state: &AppState, id: u64) -> Response {
-    if state.sessions.remove(id) {
-        state.metrics.sessions_quarantined.fetch_add(1, Relaxed);
-        if let Some(journal) = &state.journal {
-            journal.append_end(id, EndReason::Quarantined);
-            let _ = journal.flush();
-        }
+/// Removes a session whose in-memory state can no longer be trusted to
+/// match its journal — a panic mid-ingest, a lock poisoned by a panic
+/// elsewhere, or a journal flush failure *after* the controller already
+/// applied a batch. The session is removed, counted, and journaled as
+/// ended, so neither a retrying client nor a restart can act on state of
+/// unknown integrity; subsequent requests for the id get a plain 404.
+/// Returns whether the session was present.
+fn quarantine_session(state: &AppState, id: u64) -> bool {
+    if !state.sessions.remove(id) {
+        return false;
     }
+    state.metrics.sessions_quarantined.fetch_add(1, Relaxed);
+    if let Some(journal) = &state.journal {
+        journal.append_end(id, EndReason::Quarantined);
+        // Best-effort: if this flush fails too, the staged End rides
+        // along with the next successful flush (or the drain), so the
+        // journaled stream still closes.
+        let _ = journal.flush();
+    }
+    true
+}
+
+/// [`quarantine_session`] + the 500 the panic paths answer with.
+fn quarantine(state: &AppState, id: u64) -> Response {
+    quarantine_session(state, id);
     Response::error(
         500,
         "session_quarantined",
@@ -412,6 +425,13 @@ pub fn session_create(state: &AppState, body: &[u8]) -> Response {
     // kernel-durable before the id is acknowledged.
     if let Some(journal) = &state.journal {
         if let Err(e) = journal.flush() {
+            // The failed flush re-staged the Create, so a later flush
+            // would persist a session the client was told failed. Remove
+            // it and stage its End so the journaled stream closes either
+            // way — no ghost session on recovery.
+            if state.sessions.remove(id) {
+                journal.append_end(id, EndReason::Deleted);
+            }
             return Response::error(500, "journal_error", &e.to_string());
         }
     }
@@ -473,7 +493,18 @@ pub fn session_telemetry(state: &AppState, id: u64, body: &[u8]) -> Response {
     drop(controller);
     if let Some(journal) = &state.journal {
         if let Err(e) = journal.flush() {
-            return Response::error(500, "journal_error", &e.to_string());
+            // The controller already applied the batch, and the failed
+            // flush re-staged its Frames record — so a client retry after
+            // this 500 would double-ingest (the same `time` passes the
+            // monotonicity check) and journal the batch twice. Fail-stop
+            // instead: quarantine the session so acknowledged, live, and
+            // durable state can never drift apart.
+            quarantine_session(state, id);
+            return Response::error(
+                500,
+                "journal_error",
+                &format!("journal flush failed after ingest; session {id} quarantined: {e}"),
+            );
         }
     }
     state.metrics.record_ingest(
@@ -521,7 +552,25 @@ pub fn telemetry_batch(state: &AppState, req: &Request) -> Response {
     // above reaches the kernel before any outcome is acknowledged.
     if let Some(journal) = &state.journal {
         if let Err(e) = journal.flush() {
-            return Response::error(500, "journal_error", &e.to_string());
+            // Accepted frames were applied in memory but not made
+            // durable, and the failed flush re-staged them — a retry of
+            // this batch would double-ingest. Fail-stop: quarantine every
+            // session that accepted at least one frame.
+            let mut failed: Vec<u64> =
+                outcomes.iter().filter(|o| o.result.is_ok()).map(|o| o.session).collect();
+            failed.sort_unstable();
+            failed.dedup();
+            for &id in &failed {
+                quarantine_session(state, id);
+            }
+            return Response::error(
+                500,
+                "journal_error",
+                &format!(
+                    "journal flush failed after ingest; {} session(s) quarantined: {e}",
+                    failed.len()
+                ),
+            );
         }
     }
     let errors = outcomes.iter().filter(|o| o.result.is_err()).count();
@@ -1224,6 +1273,97 @@ mod tests {
         assert!(outcomes[0].result.is_err(), "poisoned session fails in place");
         assert!(outcomes[1].result.is_ok(), "healthy session unaffected");
         assert_eq!(state.metrics.sessions_quarantined.load(Relaxed), 1);
+    }
+
+    /// Reviewer scenario: a journal flush failure after the controller
+    /// already ingested must not leave a session whose live state is
+    /// ahead of its durable state — a retrying client would double-ingest
+    /// (the same `time` passes monotonicity). Fail-stop: quarantine.
+    #[test]
+    fn flush_failure_after_ingest_quarantines_the_session() {
+        let dir = journal_dir("failflush");
+        let state = with_journal(AppState::new(8).with_sessions(16, 4), &dir);
+        let ids = make_sessions(&state, 1);
+        assert_eq!(session_telemetry(&state, ids[0], br#"{"time": 1.0}"#).status, 200);
+
+        state.journal.as_ref().unwrap().fail_flush.store(true, Relaxed);
+        let r = session_telemetry(&state, ids[0], br#"{"time": 2.0}"#);
+        assert_eq!(r.status, 500);
+        let text = String::from_utf8(r.body).unwrap();
+        assert!(text.contains("journal_error"), "{text}");
+        assert!(text.contains("quarantined"), "{text}");
+        // Fail-stop: the session is gone, so a retry 404s instead of
+        // double-ingesting the batch it never saw acknowledged.
+        assert_eq!(session_telemetry(&state, ids[0], br#"{"time": 2.0}"#).status, 404);
+        assert_eq!(state.metrics.sessions_quarantined.load(Relaxed), 1);
+
+        // Once flushing works again (the drop-flush), the re-staged
+        // Frames ride along with the quarantine End: recovery sees a
+        // closed stream, not a resurrected session.
+        state.journal.as_ref().unwrap().fail_flush.store(false, Relaxed);
+        drop(state);
+        let recovered = AppState::new(8).with_sessions(16, 4);
+        let journal = JournalSet::open(
+            &dir,
+            recovered.sessions.shard_count(),
+            FsyncPolicy::Never,
+            0,
+            Arc::clone(&recovered.metrics),
+        )
+        .expect("reopen journal");
+        let stats = journal.recover(&recovered.sessions).expect("recover");
+        assert_eq!(stats.sessions, 0, "quarantined session stays dead");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flush_failure_on_create_does_not_leave_a_ghost_session() {
+        let dir = journal_dir("failcreate");
+        let state = with_journal(AppState::new(8).with_sessions(16, 4), &dir);
+        state.journal.as_ref().unwrap().fail_flush.store(true, Relaxed);
+        let r = session_create(&state, small_plan_body(1).as_bytes());
+        assert_eq!(r.status, 500);
+        assert!(String::from_utf8(r.body).unwrap().contains("journal_error"));
+        assert!(state.sessions.is_empty(), "failed create leaves no live session");
+
+        // The re-staged Create persists alongside its End tombstone on
+        // the next successful flush: recovery sees a closed stream, not
+        // a session the client was told failed.
+        state.journal.as_ref().unwrap().fail_flush.store(false, Relaxed);
+        drop(state);
+        let recovered = AppState::new(8).with_sessions(16, 4);
+        let journal = JournalSet::open(
+            &dir,
+            recovered.sessions.shard_count(),
+            FsyncPolicy::Never,
+            0,
+            Arc::clone(&recovered.metrics),
+        )
+        .expect("reopen journal");
+        let stats = journal.recover(&recovered.sessions).expect("recover");
+        assert_eq!(stats.sessions, 0, "no ghost session after a failed create");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flush_failure_after_batch_quarantines_every_accepting_session() {
+        let dir = journal_dir("failbatch");
+        let state = with_journal(AppState::new(8).with_sessions(16, 4), &dir);
+        let ids = make_sessions(&state, 2);
+        state.journal.as_ref().unwrap().fail_flush.store(true, Relaxed);
+        let frames = vec![
+            wire::Frame { session: ids[0], batch: TelemetryBatch::tick(1.0) },
+            wire::Frame { session: ids[1], batch: TelemetryBatch::tick(1.0) },
+            wire::Frame { session: 777, batch: TelemetryBatch::tick(1.0) },
+        ];
+        let resp = telemetry_batch(&state, &batch_req(wire::encode_frames(&frames), true, false));
+        assert_eq!(resp.status, 500);
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("journal_error"), "{text}");
+        assert!(text.contains("2 session(s) quarantined"), "{text}");
+        assert!(state.sessions.is_empty(), "both accepting sessions quarantined");
+        assert_eq!(state.metrics.sessions_quarantined.load(Relaxed), 2);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
 /// Upper bound on the request line plus all headers.
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
@@ -94,10 +95,46 @@ impl Request {
     }
 }
 
+/// A [`TcpStream`] wrapper that re-arms the socket read timeout before
+/// *every* read syscall to `min(per-read timeout, time left until the
+/// whole-request deadline)`. This is what makes the request deadline
+/// interrupt a trickling client mid-read: with only a per-read socket
+/// timeout, a client feeding one byte per interval resets the clock on
+/// every read and can hold a worker for hours.
+struct DeadlineStream<'a> {
+    stream: &'a TcpStream,
+    /// The per-read socket timeout configured on the connection.
+    per_read: Option<Duration>,
+    /// Absolute whole-request deadline, when one is enforced.
+    deadline: Option<Instant>,
+}
+
+impl Read for DeadlineStream<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if let Some(deadline) = self.deadline {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "request deadline exhausted",
+                ));
+            }
+            let timeout = match self.per_read {
+                Some(per_read) => per_read.min(remaining),
+                None => remaining,
+            };
+            // `set_read_timeout` rejects a zero duration; clamping up to
+            // 1ms turns "almost out of budget" into one last short read.
+            self.stream.set_read_timeout(Some(timeout.max(Duration::from_millis(1))))?;
+        }
+        (&mut self.stream).read(buf)
+    }
+}
+
 /// Reads one line (up to CRLF) with a byte budget shared across the whole
 /// head. Returns the line without its terminator.
-fn read_line_capped(
-    reader: &mut BufReader<&TcpStream>,
+fn read_line_capped<R: Read>(
+    reader: &mut BufReader<R>,
     budget: &mut usize,
 ) -> Result<String, HttpError> {
     let mut line = Vec::new();
@@ -128,9 +165,17 @@ fn read_line_capped(
 /// Reads and parses one request from the stream, enforcing `max_body` on
 /// the declared `Content-Length`. Every framing violation — a malformed
 /// request line, a non-numeric or negative length, a body shorter than
-/// declared — comes back as [`HttpError::Bad`].
-pub fn read_request(stream: &TcpStream, max_body: usize) -> Result<Request, HttpError> {
-    let mut reader = BufReader::new(stream);
+/// declared — comes back as [`HttpError::Bad`]. When `deadline` is set,
+/// every read syscall is clamped to the time remaining, so even a client
+/// trickling one byte per socket-timeout interval gets its `408` at the
+/// deadline instead of holding the worker indefinitely.
+pub fn read_request(
+    stream: &TcpStream,
+    max_body: usize,
+    deadline: Option<Instant>,
+) -> Result<Request, HttpError> {
+    let per_read = stream.read_timeout().ok().flatten();
+    let mut reader = BufReader::new(DeadlineStream { stream, per_read, deadline });
     let mut budget = MAX_HEAD_BYTES;
 
     let request_line = read_line_capped(&mut reader, &mut budget)?;
@@ -315,7 +360,7 @@ mod tests {
         client.write_all(raw).unwrap();
         client.shutdown(std::net::Shutdown::Write).unwrap();
         let (server, _) = listener.accept().unwrap();
-        read_request(&server, max_body)
+        read_request(&server, max_body, None)
     }
 
     #[test]
@@ -395,7 +440,7 @@ mod tests {
         let mut client = TcpStream::connect(addr).unwrap();
         client.write_all(&raw).unwrap();
         let (server, _) = listener.accept().unwrap();
-        match read_request(&server, 1024) {
+        match read_request(&server, 1024, None) {
             Err(HttpError::TooLarge { limit: 1024, declared: d }) => assert_eq!(d, declared),
             other => panic!("expected TooLarge, got {other:?}"),
         }
@@ -418,7 +463,7 @@ mod tests {
         client.write_all(b"POST /plan HTTP/1.1\r\ncontent-le").unwrap();
         let (server, _) = listener.accept().unwrap();
         server.set_read_timeout(Some(std::time::Duration::from_millis(30))).unwrap();
-        match read_request(&server, 1024) {
+        match read_request(&server, 1024, None) {
             Err(HttpError::Deadline { phase: "head" }) => {}
             other => panic!("expected Deadline, got {other:?}"),
         }
@@ -427,13 +472,50 @@ mod tests {
         client2.write_all(b"POST /plan HTTP/1.1\r\ncontent-length: 10\r\n\r\nabc").unwrap();
         let (server2, _) = listener.accept().unwrap();
         server2.set_read_timeout(Some(std::time::Duration::from_millis(30))).unwrap();
-        match read_request(&server2, 1024) {
+        match read_request(&server2, 1024, None) {
             Err(HttpError::Deadline { phase: "body" }) => {}
             other => panic!("expected body Deadline, got {other:?}"),
         }
         let resp = error_response(&HttpError::Deadline { phase: "body" }).unwrap();
         assert_eq!(resp.status, 408);
         drop((client, client2));
+    }
+
+    /// The slow-loris case the per-read socket timeout cannot catch: a
+    /// client trickling one byte per interval resets the socket timeout
+    /// on every read. Only the whole-request deadline, enforced inside
+    /// every read, can cut it off.
+    #[test]
+    fn trickling_client_cannot_outlive_the_deadline() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        // Per-read timeout generously above the trickle interval: every
+        // individual read succeeds, so without the deadline this request
+        // would be read to completion (or hang for `head bytes × 200ms`).
+        server.set_read_timeout(Some(std::time::Duration::from_millis(200))).unwrap();
+        let deadline = Instant::now() + Duration::from_millis(150);
+        let writer = std::thread::spawn(move || {
+            for &b in b"GET /healthz HTTP/1.1\r\nx-padding: aaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n\r\n" {
+                if client.write_all(&[b]).is_err() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        });
+        let started = Instant::now();
+        match read_request(&server, 1024, Some(deadline)) {
+            Err(HttpError::Deadline { phase: "head" }) => {}
+            other => panic!("expected head Deadline, got {other:?}"),
+        }
+        let elapsed = started.elapsed();
+        assert!(
+            elapsed < Duration::from_secs(2),
+            "deadline must interrupt the trickle promptly, took {elapsed:?}"
+        );
+        drop(server);
+        writer.join().unwrap();
     }
 
     #[test]

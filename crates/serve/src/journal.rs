@@ -30,12 +30,20 @@
 //! **Snapshots** are log compaction, not state dumps: when a shard's WAL
 //! grows past `compact_every` records (and on graceful drain), the shard
 //! rewrites `snap` + `wal` into a fresh `shard-<i>.snap` keeping only the
-//! records of sessions that are still live, then truncates the WAL —
-//! atomically, via tmp-file + rename. A byte-identical recovery *must*
-//! replay the accepted stream (a field dump of controller internals could
-//! not be proven faithful); compaction merely drops the streams of dead
-//! sessions. After a clean drain the WAL is empty and restart replays
-//! zero WAL records.
+//! records of sessions that are still live, then truncates the WAL. The
+//! snapshot replacement is atomic (tmp-file + rename), but the *pair* of
+//! steps is not — a `kill -9` between the rename and the truncation
+//! leaves a snapshot that already folds the WAL's records next to the
+//! un-truncated WAL, and replaying both would double-ingest the tail.
+//! `Epoch` records close that window: every WAL opens with the
+//! generation it belongs to, every snapshot opens with the highest
+//! generation it has folded in, and recovery (and a retried compaction)
+//! skips any WAL whose generation is not strictly newer than its
+//! snapshot's. A byte-identical recovery *must* replay the accepted
+//! stream (a field dump of controller internals could not be proven
+//! faithful); compaction merely drops the streams of dead sessions.
+//! After a clean drain every WAL holds only its epoch marker and restart
+//! replays zero WAL records.
 //!
 //! `--fsync-policy` trades durability for throughput: `always` fsyncs
 //! every append inline (power-loss safe), `batch` hands fsync to a
@@ -82,6 +90,14 @@ const HEADER_BYTES: usize = 4 + 4 + 1;
 const TAG_CREATE: u8 = 1;
 const TAG_FRAMES: u8 = 2;
 const TAG_END: u8 = 3;
+const TAG_EPOCH: u8 = 4;
+
+/// Encoded size of an `Epoch` record (header + `u64` body) — enough
+/// bytes to sniff a file's leading generation marker without reading the
+/// whole file.
+/// On-disk size of an [`Record::Epoch`] marker — what a drained WAL
+/// holds instead of being empty.
+pub const EPOCH_RECORD_BYTES: usize = HEADER_BYTES + 8;
 
 // --- fsync policy --------------------------------------------------------
 
@@ -206,6 +222,17 @@ pub enum Record {
         /// Why it ended.
         reason: EndReason,
     },
+    /// Generation marker, always the first record of a file. In a WAL it
+    /// names the generation its records belong to; in a snapshot it names
+    /// the highest WAL generation the snapshot has folded in. Recovery
+    /// replays a WAL only when its generation is strictly newer than its
+    /// snapshot's — the equal/older case is exactly what a crash between
+    /// a compaction's snapshot rename and its WAL truncation leaves
+    /// behind, and replaying it would duplicate the folded records.
+    Epoch {
+        /// The monotonically increasing compaction generation.
+        generation: u64,
+    },
 }
 
 fn encode_seed(w: &mut Writer, seed: &ControllerSeed) {
@@ -278,6 +305,10 @@ pub fn encode_record(record: &Record) -> Vec<u8> {
             body.put_u8(reason.tag());
             TAG_END
         }
+        Record::Epoch { generation } => {
+            body.put_u64(*generation);
+            TAG_EPOCH
+        }
     };
     let body = body.into_bytes();
     let mut framed = Writer::with_capacity(HEADER_BYTES + body.len());
@@ -306,6 +337,12 @@ fn decode_body(tag: u8, body: &[u8]) -> Result<Record, WireError> {
             let reason = EndReason::from_tag(r.get_u8()?)?;
             r.finish()?;
             Ok(Record::End { id, reason })
+        }
+        TAG_EPOCH => {
+            let mut r = Reader::new(body);
+            let generation = r.get_u64()?;
+            r.finish()?;
+            Ok(Record::Epoch { generation })
         }
         other => Err(WireError::BadTag { field: "record tag", value: other }),
     }
@@ -385,6 +422,31 @@ struct ShardFile {
     flush_pending: bool,
     /// WAL records since the last compaction (drives auto-compaction).
     wal_records: u64,
+    /// The generation the WAL currently belongs to — always strictly
+    /// greater than the on-disk snapshot's, which is what lets recovery
+    /// and compaction retries tell a live WAL from one whose records a
+    /// crashed compaction already folded into the snapshot.
+    epoch: u64,
+}
+
+/// Truncates a shard's WAL and writes `generation`'s epoch marker as its
+/// first record, fsyncing so a power loss cannot persist later records
+/// without the marker that scopes them. Called with the shard lock held
+/// (or before the shard is shared).
+fn stamp_wal(shard: &mut ShardFile, generation: u64, metrics: &Metrics) -> std::io::Result<()> {
+    let header = encode_record(&Record::Epoch { generation });
+    shard.wal.set_len(0)?;
+    shard.wal.seek(std::io::SeekFrom::Start(0))?;
+    shard.wal.write_all(&header)?;
+    shard.wal.sync_data()?;
+    metrics.journal_bytes_written.fetch_add(header.len() as u64, Relaxed);
+    metrics.journal_fsyncs.fetch_add(1, Relaxed);
+    shard.wal_len = header.len() as u64;
+    shard.epoch = generation;
+    shard.wal_records = 0;
+    shard.unsynced = 0;
+    shard.flush_pending = false;
+    Ok(())
 }
 
 /// Wakes the batch flusher and tells it when to stop.
@@ -489,6 +551,10 @@ pub struct JournalSet {
     dirty: Vec<std::sync::atomic::AtomicBool>,
     metrics: Arc<Metrics>,
     flusher: Option<Flusher>,
+    /// Test hook: when set, [`flush`](Self::flush) fails without touching
+    /// the files — exercises the handlers' fail-stop paths.
+    #[cfg(test)]
+    pub(crate) fail_flush: std::sync::atomic::AtomicBool,
 }
 
 /// What a recovery pass reconstructed.
@@ -528,6 +594,45 @@ fn sync_dir(dir: &Path) -> std::io::Result<()> {
     File::open(dir)?.sync_all()
 }
 
+/// Splits a decoded file into its leading generation marker (if any) and
+/// its data records. `Epoch` records are markers, not session events, so
+/// they are removed wholesale — a marker anywhere past position 0 would
+/// be a bug, but tolerating it beats corrupting replay.
+fn strip_epoch(records: Vec<Record>) -> (Option<u64>, Vec<Record>) {
+    let epoch = match records.first() {
+        Some(Record::Epoch { generation }) => Some(*generation),
+        _ => None,
+    };
+    let data = records.into_iter().filter(|r| !matches!(r, Record::Epoch { .. })).collect();
+    (epoch, data)
+}
+
+/// Reads just enough of `path` to learn its length and leading `Epoch`
+/// marker: `(len, Some(generation))` for a stamped file, `(len, None)`
+/// for a pre-epoch legacy file, `(0, None)` when the file is missing.
+fn leading_epoch(path: &Path) -> std::io::Result<(u64, Option<u64>)> {
+    use std::io::Read as _;
+    let mut file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((0, None)),
+        Err(e) => return Err(e),
+    };
+    let len = file.metadata()?.len();
+    let mut head = [0u8; EPOCH_RECORD_BYTES];
+    let mut read = 0;
+    while read < head.len() {
+        match file.read(&mut head[read..])? {
+            0 => break,
+            n => read += n,
+        }
+    }
+    let log = decode_log(&head[..read]);
+    match log.records.first() {
+        Some(Record::Epoch { generation }) => Ok((len, Some(*generation))),
+        _ => Ok((len, None)),
+    }
+}
+
 impl JournalSet {
     /// Opens (creating if needed) the journal directory with one WAL per
     /// shard. `shard_count` must equal the session store's
@@ -547,23 +652,65 @@ impl JournalSet {
         for i in 0..shard_count {
             let wal = OpenOptions::new().create(true).append(true).open(wal_path(&dir, i))?;
             let existing = wal.metadata()?.len();
-            shards.push(Mutex::new(ShardFile {
+            let snap_epoch = leading_epoch(&snap_path(&dir, i))?.1.unwrap_or(0);
+            let (_, wal_epoch) = leading_epoch(&wal_path(&dir, i))?;
+            let mut shard = ShardFile {
                 wal,
                 staged: Vec::new(),
                 staged_records: 0,
                 wal_len: existing,
                 unsynced: 0,
                 flush_pending: false,
-                // Unknown record count in a pre-existing WAL: treat bytes
-                // as records so a fat WAL still compacts promptly.
-                wal_records: if existing > 0 { existing / 64 } else { 0 },
-            }));
+                wal_records: 0,
+                epoch: 0,
+            };
+            match wal_epoch {
+                Some(w) if w > snap_epoch => {
+                    // Live WAL, strictly newer than the snapshot. Unknown
+                    // record count: treat bytes as records so a fat WAL
+                    // still compacts promptly.
+                    shard.epoch = w;
+                    shard.wal_records = existing.saturating_sub(EPOCH_RECORD_BYTES as u64) / 64;
+                }
+                Some(_) => {
+                    // The WAL's generation is already folded into the
+                    // snapshot — a compaction renamed its snapshot and
+                    // crashed before truncating. Heal: truncate into a
+                    // fresh generation.
+                    stamp_wal(&mut shard, snap_epoch + 1, &metrics)?;
+                }
+                None if existing == 0 => {
+                    // Fresh WAL: stamp it so even the very first
+                    // compaction's crash window is detectable.
+                    stamp_wal(&mut shard, snap_epoch + 1, &metrics)?;
+                }
+                None => {
+                    // Pre-epoch legacy WAL, no marker to compare: treat
+                    // its records as newer than the snapshot (legacy
+                    // compaction truncated inline, so in the absence of a
+                    // crash mid-upgrade the WAL tail really is newer).
+                    shard.epoch = snap_epoch + 1;
+                    shard.wal_records = existing / 64;
+                }
+            }
+            shards.push(Mutex::new(shard));
         }
         let shards = Arc::new(shards);
         let dirty = (0..shard_count).map(|_| std::sync::atomic::AtomicBool::new(false)).collect();
         let flusher = (policy == FsyncPolicy::Batch)
             .then(|| Flusher::spawn(Arc::clone(&shards), Arc::clone(&metrics)));
-        Ok(Self { dir, shard_count, policy, compact_every, shards, dirty, metrics, flusher })
+        Ok(Self {
+            dir,
+            shard_count,
+            policy,
+            compact_every,
+            shards,
+            dirty,
+            metrics,
+            flusher,
+            #[cfg(test)]
+            fail_flush: std::sync::atomic::AtomicBool::new(false),
+        })
     }
 
     /// The journal directory.
@@ -606,6 +753,10 @@ impl JournalSet {
     /// the flush also fsyncs; under `batch` it kicks the background
     /// flusher once a shard crosses [`BATCH_FSYNC_RECORDS`].
     pub fn flush(&self) -> std::io::Result<()> {
+        #[cfg(test)]
+        if self.fail_flush.load(Relaxed) {
+            return Err(std::io::Error::other("injected flush failure"));
+        }
         let mut kick = false;
         for idx in 0..self.shard_count {
             // Claim-then-flush: if a racing append stages right after the
@@ -699,27 +850,36 @@ impl JournalSet {
     }
 
     /// Rewrites one shard's snapshot to only the records of live sessions
-    /// and truncates its WAL. Called with the shard lock held.
+    /// and moves its WAL to the next generation. Called with the shard
+    /// lock held. Crash-safe: the snapshot carries the generation it
+    /// folded in, so if the rename lands but the WAL stamp does not, the
+    /// next open/recovery (and a retry of this very call) sees
+    /// `wal epoch <= snap epoch` and skips the already-folded records
+    /// instead of replaying them twice.
     fn compact_locked(&self, idx: usize, shard: &mut ShardFile) -> std::io::Result<()> {
-        let snap = decode_log(&read_file_if_exists(&snap_path(&self.dir, idx))?);
-        let wal = decode_log(&read_file_if_exists(&wal_path(&self.dir, idx))?);
-        let records: Vec<Record> = snap.records.into_iter().chain(wal.records).collect();
-        self.write_snapshot(idx, live_records(records))?;
-        shard.wal.set_len(0)?;
-        shard.wal.seek(std::io::SeekFrom::Start(0))?;
-        shard.wal_len = 0;
-        shard.wal.sync_data()?;
-        self.metrics.journal_fsyncs.fetch_add(1, Relaxed);
-        shard.unsynced = 0;
-        shard.flush_pending = false;
-        shard.wal_records = 0;
+        let (snap_epoch, snap_records) =
+            strip_epoch(decode_log(&read_file_if_exists(&snap_path(&self.dir, idx))?).records);
+        let mut records = snap_records;
+        // Fold the WAL only when the on-disk snapshot has not already
+        // done so — a retry after a crashed/failed truncation must not
+        // fold the same records twice.
+        if snap_epoch.unwrap_or(0) < shard.epoch {
+            let (_, wal_records) =
+                strip_epoch(decode_log(&read_file_if_exists(&wal_path(&self.dir, idx))?).records);
+            records.extend(wal_records);
+        }
+        self.write_snapshot(idx, shard.epoch, live_records(records))?;
+        let next = shard.epoch + 1;
+        stamp_wal(shard, next, &self.metrics)?;
         Ok(())
     }
 
-    /// Atomically replaces shard `idx`'s snapshot with `records`
-    /// (tmp-file + fsync + rename + dir fsync). An empty record set
-    /// removes the snapshot.
-    fn write_snapshot(&self, idx: usize, records: Vec<Record>) -> std::io::Result<()> {
+    /// Atomically replaces shard `idx`'s snapshot with `records` under an
+    /// `Epoch(epoch)` header (tmp-file + fsync + rename + dir fsync). An
+    /// empty record set removes the snapshot — safe without a marker,
+    /// because the WAL records a missing snapshot would "re-replay" are
+    /// by construction all from dead sessions.
+    fn write_snapshot(&self, idx: usize, epoch: u64, records: Vec<Record>) -> std::io::Result<()> {
         let path = snap_path(&self.dir, idx);
         if records.is_empty() {
             match fs::remove_file(&path) {
@@ -732,6 +892,9 @@ impl JournalSet {
         let tmp = self.dir.join(format!("shard-{idx}.snap.tmp"));
         let mut file = File::create(&tmp)?;
         let mut written = 0u64;
+        let header = encode_record(&Record::Epoch { generation: epoch });
+        file.write_all(&header)?;
+        written += header.len() as u64;
         for record in &records {
             let bytes = encode_record(record);
             file.write_all(&bytes)?;
@@ -746,9 +909,9 @@ impl JournalSet {
         Ok(())
     }
 
-    /// Flushes and fsyncs every shard, then compacts: after `drain`, all
-    /// WALs are empty and every live session sits in its snapshot — a
-    /// clean restart replays zero WAL records.
+    /// Flushes and fsyncs every shard, then compacts: after `drain`,
+    /// every WAL holds only its epoch marker and every live session sits
+    /// in its snapshot — a clean restart replays zero WAL records.
     pub fn drain(&self) -> std::io::Result<()> {
         for idx in 0..self.shard_count {
             let mut shard = self.shard(idx);
@@ -773,52 +936,84 @@ impl JournalSet {
         let started = std::time::Instant::now();
         let mut stats = RecoveryStats::default();
 
-        // Gather records file by file. Per-session order holds within a
-        // file; sessions never span files under a fixed shard count, and
-        // after a shard-count change the rebase compaction below restores
-        // the invariant before any new append.
-        let mut all_records: Vec<Record> = Vec::new();
-        for (idx, kind) in self.journal_files()? {
-            let path = match kind {
-                FileKind::Snap => snap_path(&self.dir, idx),
-                FileKind::Wal => wal_path(&self.dir, idx),
+        // Gather each shard's snapshot + WAL as one record stream, in
+        // file order. Per-session order holds within a stream; sessions
+        // never span streams under a fixed shard count, and after a
+        // shard-count change the ownership rule below plus the rebase
+        // compaction restore the invariant before any new append.
+        let mut streams: Vec<Vec<Record>> = Vec::new();
+        let mut max_epoch = 0u64;
+        for idx in self.shard_indices()? {
+            let snap = decode_log(&read_file_if_exists(&snap_path(&self.dir, idx))?);
+            let wal = decode_log(&read_file_if_exists(&wal_path(&self.dir, idx))?);
+            stats.truncated_tail |= snap.truncated;
+            let (snap_epoch, snap_records) = strip_epoch(snap.records);
+            let (wal_epoch, wal_records) = strip_epoch(wal.records);
+            let snap_epoch = snap_epoch.unwrap_or(0);
+            max_epoch = max_epoch.max(snap_epoch).max(wal_epoch.unwrap_or(0));
+            stats.snap_records += snap_records.len() as u64;
+            let mut stream = snap_records;
+            // Replay the WAL only when it is strictly newer than the
+            // snapshot next to it: equal/older means a compaction renamed
+            // a snapshot that already folds these records, then crashed
+            // before truncating. A legacy WAL without a marker predates
+            // epochs (whose compactions truncated inline) and is always
+            // replayed.
+            let fresh = match wal_epoch {
+                Some(w) => w > snap_epoch,
+                None => true,
             };
-            let log = decode_log(&read_file_if_exists(&path)?);
-            stats.truncated_tail |= log.truncated;
-            match kind {
-                FileKind::Snap => stats.snap_records += log.records.len() as u64,
-                FileKind::Wal => stats.wal_records += log.records.len() as u64,
+            if fresh {
+                stats.truncated_tail |= wal.truncated;
+                stats.wal_records += wal_records.len() as u64;
+                stream.extend(wal_records);
             }
-            all_records.extend(log.records);
+            streams.push(stream);
         }
 
         // Replay: rebuild each live session's controller from its seed
-        // and re-ingest its accepted stream.
+        // and re-ingest its accepted stream. The first stream carrying a
+        // session's `Create` *owns* it — a crash mid-rebase (after a
+        // shard-count change) can leave the same session duplicated
+        // across old and new files, and a duplicate `Create` must not
+        // reset the accumulated stream nor its frames be ingested twice.
         let mut order: Vec<u64> = Vec::new();
         let mut live: std::collections::HashMap<u64, (ControllerSeed, Vec<Frame>)> =
             std::collections::HashMap::new();
+        let mut owner: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
         let mut max_id = 0u64;
-        for record in all_records {
-            match record {
-                Record::Create { id, seed } => {
-                    max_id = max_id.max(id);
-                    if live.insert(id, (seed, Vec::new())).is_none() {
-                        order.push(id);
-                    }
-                }
-                Record::Frames(frames) => {
-                    for frame in frames {
-                        // A frame whose session already ended (raced an
-                        // eviction) is dropped — its state is gone either
-                        // way.
-                        if let Some((_, stream)) = live.get_mut(&frame.session) {
-                            stream.push(frame);
+        for (stream_idx, stream) in streams.into_iter().enumerate() {
+            for record in stream {
+                match record {
+                    Record::Create { id, seed } => {
+                        max_id = max_id.max(id);
+                        if let std::collections::hash_map::Entry::Vacant(slot) = owner.entry(id) {
+                            slot.insert(stream_idx);
+                            live.insert(id, (seed, Vec::new()));
+                            order.push(id);
                         }
                     }
-                }
-                Record::End { id, .. } => {
-                    max_id = max_id.max(id);
-                    live.remove(&id);
+                    Record::Frames(frames) => {
+                        for frame in frames {
+                            // Only the owning stream's frames count; a
+                            // frame whose session already ended (raced an
+                            // eviction) is dropped — its state is gone
+                            // either way.
+                            if owner.get(&frame.session) != Some(&stream_idx) {
+                                continue;
+                            }
+                            if let Some((_, stream)) = live.get_mut(&frame.session) {
+                                stream.push(frame);
+                            }
+                        }
+                    }
+                    Record::End { id, .. } => {
+                        max_id = max_id.max(id);
+                        if owner.get(&id) == Some(&stream_idx) {
+                            live.remove(&id);
+                        }
+                    }
+                    Record::Epoch { .. } => {}
                 }
             }
         }
@@ -858,29 +1053,27 @@ impl JournalSet {
         stats.sessions = restored.len();
 
         // Rebase: rewrite snapshots under the *current* shard mapping,
-        // truncate every WAL, and drop stray files from a previous
-        // shard-count configuration.
+        // stamp every WAL into a fresh generation, and drop stray files
+        // from a previous shard-count configuration. Every rebased
+        // snapshot gets one generation past anything seen on disk, so a
+        // crash part-way through leaves any not-yet-stamped WAL at an
+        // equal-or-older generation — skipped on the next recovery, not
+        // replayed on top of the snapshot that already folds it.
+        let rebased_epoch = max_epoch + 1;
         let mut by_shard: Vec<Vec<Record>> = (0..self.shard_count).map(|_| Vec::new()).collect();
         for (id, records) in restored {
             by_shard[self.shard_of(id)].extend(records);
         }
         for (idx, records) in by_shard.into_iter().enumerate() {
             let mut shard = self.shard(idx);
-            self.write_snapshot(idx, records)?;
-            shard.wal.set_len(0)?;
-            shard.wal.seek(std::io::SeekFrom::Start(0))?;
-            shard.wal_len = 0;
-            shard.wal.sync_data()?;
-            shard.unsynced = 0;
-            shard.wal_records = 0;
+            self.write_snapshot(idx, rebased_epoch, records)?;
+            shard.epoch = rebased_epoch;
+            stamp_wal(&mut shard, rebased_epoch + 1, &self.metrics)?;
         }
-        for (idx, kind) in self.journal_files()? {
+        for idx in self.shard_indices()? {
             if idx >= self.shard_count {
-                let path = match kind {
-                    FileKind::Snap => snap_path(&self.dir, idx),
-                    FileKind::Wal => wal_path(&self.dir, idx),
-                };
-                let _ = fs::remove_file(path);
+                let _ = fs::remove_file(snap_path(&self.dir, idx));
+                let _ = fs::remove_file(wal_path(&self.dir, idx));
             }
         }
 
@@ -890,26 +1083,26 @@ impl JournalSet {
         Ok(stats)
     }
 
-    /// Every `shard-<i>.{snap,wal}` in the directory, snapshots before
-    /// WALs, ordered by shard index within each kind (snapshots hold the
-    /// compacted past, WALs the tail that follows it).
-    fn journal_files(&self) -> std::io::Result<Vec<(usize, FileKind)>> {
-        let mut snaps = Vec::new();
-        let mut wals = Vec::new();
+    /// Every shard index with a `shard-<i>.snap` or `shard-<i>.wal` file
+    /// in the directory, sorted and deduplicated. Each index's snapshot
+    /// holds the compacted past and its WAL the tail that follows it.
+    fn shard_indices(&self) -> std::io::Result<Vec<usize>> {
+        let mut indices: Vec<usize> = Vec::new();
         for entry in fs::read_dir(&self.dir)? {
             let name = entry?.file_name();
             let Some(name) = name.to_str() else { continue };
             let Some(rest) = name.strip_prefix("shard-") else { continue };
-            if let Some(idx) = rest.strip_suffix(".snap").and_then(|i| i.parse().ok()) {
-                snaps.push((idx, FileKind::Snap));
-            } else if let Some(idx) = rest.strip_suffix(".wal").and_then(|i| i.parse().ok()) {
-                wals.push((idx, FileKind::Wal));
+            if let Some(idx) = rest
+                .strip_suffix(".snap")
+                .or_else(|| rest.strip_suffix(".wal"))
+                .and_then(|i| i.parse().ok())
+            {
+                indices.push(idx);
             }
         }
-        snaps.sort_unstable_by_key(|&(i, _)| i);
-        wals.sort_unstable_by_key(|&(i, _)| i);
-        snaps.extend(wals);
-        Ok(snaps)
+        indices.sort_unstable();
+        indices.dedup();
+        Ok(indices)
     }
 
     /// Current WAL size in bytes of every shard (test/ops visibility).
@@ -931,12 +1124,6 @@ impl Drop for JournalSet {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum FileKind {
-    Snap,
-    Wal,
-}
-
 /// Filters a record stream down to live sessions: a session with an
 /// `End` record — or no `Create` — contributes nothing.
 fn live_records(records: Vec<Record>) -> Vec<Record> {
@@ -951,7 +1138,7 @@ fn live_records(records: Vec<Record>) -> Vec<Record> {
             Record::End { id, .. } => {
                 ended.insert(*id);
             }
-            Record::Frames(_) => {}
+            Record::Frames(_) | Record::Epoch { .. } => {}
         }
     }
     let alive = |id: &u64| created.contains(id) && !ended.contains(id);
@@ -1006,6 +1193,7 @@ mod tests {
             Record::Create { id: 7, seed: seed() },
             Record::Frames(vec![frame(7, 1.0), frame(9, 2.0)]),
             Record::End { id: 7, reason: EndReason::Quarantined },
+            Record::Epoch { generation: 42 },
         ] {
             let bytes = encode_record(&record);
             let log = decode_log(&bytes);
@@ -1125,7 +1313,10 @@ mod tests {
         store.insert_with_id(live, s.build().expect("live"));
         journal.append_frames(live, vec![frame(live, 2.0)]);
         journal.drain().expect("drain");
-        assert!(journal.wal_bytes().expect("sizes").iter().all(|&b| b == 0), "WALs truncated");
+        assert!(
+            journal.wal_bytes().expect("sizes").iter().all(|&b| b == EPOCH_RECORD_BYTES as u64),
+            "WALs truncated down to their epoch marker"
+        );
         drop(journal);
 
         let journal = open(&dir, 2);
@@ -1166,6 +1357,99 @@ mod tests {
         journal.recover(&recovered).expect("recover");
         let got = recovered.get(id).expect("session").lock().expect("lock").plan_json();
         assert_eq!(got, expected, "compaction preserved the byte-identical stream");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// The compaction crash window: a `kill -9` after the snapshot
+    /// rename but before the WAL truncation leaves a snapshot that
+    /// already folds the WAL's records next to the un-truncated WAL.
+    /// The shared generation marker must keep the WAL from replaying on
+    /// top of the snapshot.
+    #[test]
+    fn crashed_compaction_window_does_not_double_ingest() {
+        let dir = tmp_dir("crashwin");
+        fs::create_dir_all(&dir).expect("mkdir");
+        let s = seed();
+        let id = 1u64;
+        let records =
+            [Record::Create { id, seed: s.clone() }, Record::Frames(vec![frame(id, 1.0)])];
+        let mut snap_bytes = encode_record(&Record::Epoch { generation: 3 });
+        let mut wal_bytes = encode_record(&Record::Epoch { generation: 3 });
+        for r in &records {
+            snap_bytes.extend(encode_record(r));
+            wal_bytes.extend(encode_record(r));
+        }
+        fs::write(snap_path(&dir, 0), &snap_bytes).expect("snap");
+        fs::write(wal_path(&dir, 0), &wal_bytes).expect("wal");
+
+        let journal = open(&dir, 1);
+        let recovered = SessionStore::new(8, 1);
+        let stats = journal.recover(&recovered).expect("recover");
+        assert_eq!(stats.sessions, 1);
+        assert_eq!(stats.wal_records, 0, "already-folded WAL must be skipped");
+        let mut expected = s.build().expect("build");
+        expected.ingest(&TelemetryBatch::tick(1.0)).expect("ingest");
+        let got = recovered.get(id).expect("session").lock().expect("lock").plan_json();
+        assert_eq!(got, expected.plan_json(), "frame ingested once, not twice");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// A duplicate `Create` (same id, same stream) must not reset the
+    /// session's accumulated frame stream during replay.
+    #[test]
+    fn duplicate_create_does_not_reset_the_stream() {
+        let dir = tmp_dir("dupcreate");
+        fs::create_dir_all(&dir).expect("mkdir");
+        let s = seed();
+        let id = 1u64;
+        let mut wal_bytes = encode_record(&Record::Epoch { generation: 1 });
+        wal_bytes.extend(encode_record(&Record::Create { id, seed: s.clone() }));
+        wal_bytes.extend(encode_record(&Record::Frames(vec![frame(id, 1.0)])));
+        wal_bytes.extend(encode_record(&Record::Create { id, seed: s.clone() }));
+        wal_bytes.extend(encode_record(&Record::Frames(vec![frame(id, 2.0)])));
+        fs::write(wal_path(&dir, 0), &wal_bytes).expect("wal");
+
+        let journal = open(&dir, 1);
+        let recovered = SessionStore::new(8, 1);
+        let stats = journal.recover(&recovered).expect("recover");
+        assert_eq!(stats.sessions, 1);
+        let mut expected = s.build().expect("build");
+        expected.ingest(&TelemetryBatch::tick(1.0)).expect("ingest 1");
+        expected.ingest(&TelemetryBatch::tick(2.0)).expect("ingest 2");
+        let got = recovered.get(id).expect("session").lock().expect("lock").plan_json();
+        assert_eq!(got, expected.plan_json(), "both frames kept despite the duplicate Create");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// A crash part-way through a shard-count rebase can leave the same
+    /// session's stream in a new snapshot *and* a stray old-shard file.
+    /// Only the owning (first) stream may contribute its records.
+    #[test]
+    fn crashed_rebase_duplicate_streams_ingest_once() {
+        let dir = tmp_dir("duprebase");
+        fs::create_dir_all(&dir).expect("mkdir");
+        let s = seed();
+        let id = 1u64;
+        let records =
+            [Record::Create { id, seed: s.clone() }, Record::Frames(vec![frame(id, 1.0)])];
+        let mut snap_bytes = encode_record(&Record::Epoch { generation: 4 });
+        let mut old_wal = encode_record(&Record::Epoch { generation: 1 });
+        for r in &records {
+            snap_bytes.extend(encode_record(r));
+            old_wal.extend(encode_record(r));
+        }
+        fs::write(snap_path(&dir, 0), &snap_bytes).expect("snap");
+        fs::write(wal_path(&dir, 5), &old_wal).expect("stray wal");
+
+        let journal = open(&dir, 2);
+        let recovered = SessionStore::new(8, 2);
+        let stats = journal.recover(&recovered).expect("recover");
+        assert_eq!(stats.sessions, 1, "one session despite two copies of its stream");
+        let mut expected = s.build().expect("build");
+        expected.ingest(&TelemetryBatch::tick(1.0)).expect("ingest");
+        let got = recovered.get(id).expect("session").lock().expect("lock").plan_json();
+        assert_eq!(got, expected.plan_json(), "frame ingested once, not twice");
+        assert!(!wal_path(&dir, 5).exists(), "stray old-shard file removed");
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -1248,6 +1532,9 @@ mod tests {
         let metrics = Arc::new(Metrics::default());
         let journal =
             JournalSet::open(&dir, 1, FsyncPolicy::Batch, 0, Arc::clone(&metrics)).expect("open");
+        // open() fsyncs once per shard stamping fresh WALs — measure the
+        // flusher's work relative to that baseline.
+        let baseline = metrics.journal_fsyncs.load(Relaxed);
         let id = 1;
         journal.append_create(id, &seed());
         for t in 0..(2 * BATCH_FSYNC_RECORDS) {
@@ -1257,7 +1544,7 @@ mod tests {
         // The flush crossed the threshold and kicked the flusher; the
         // fsync lands asynchronously, so poll rather than assert.
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
-        while metrics.journal_fsyncs.load(Relaxed) == 0 {
+        while metrics.journal_fsyncs.load(Relaxed) == baseline {
             assert!(std::time::Instant::now() < deadline, "flusher never fsynced");
             std::thread::sleep(Duration::from_millis(5));
         }

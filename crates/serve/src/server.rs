@@ -55,15 +55,17 @@ pub struct ServerConfig {
     /// Max threads applying a `/telemetry/batch` request's shard groups
     /// in parallel (`0` = auto: the worker count).
     pub session_threads: usize,
-    /// Per-connection socket read timeout (each read syscall re-arms it;
-    /// the deadline below bounds the total).
+    /// Per-connection socket read timeout: the longest one read syscall
+    /// may wait for *any* byte to arrive. The deadline below bounds the
+    /// whole request.
     pub read_timeout: Duration,
     /// Per-connection socket write timeout — a slow-reading client cannot
     /// wedge a worker on the response.
     pub write_timeout: Duration,
-    /// Whole-request deadline: a client that trickles bytes (staying
-    /// under the per-read timeout) gets `408` once this much wall clock
-    /// has passed since its connection was picked up. Zero disables.
+    /// Whole-request deadline, enforced inside every read syscall: a
+    /// client that trickles bytes (staying under the per-read timeout on
+    /// each one) gets `408` once this much wall clock has passed since
+    /// its connection was picked up. Zero disables.
     pub request_deadline: Duration,
     /// Write-ahead journal directory; `None` runs in-memory only.
     pub data_dir: Option<PathBuf>,
@@ -318,12 +320,15 @@ fn serve_connection(state: &AppState, mut stream: TcpStream, limits: ConnLimits)
     let started = Instant::now();
     let _ = stream.set_read_timeout(Some(limits.read_timeout));
     let _ = stream.set_write_timeout(Some(limits.write_timeout));
-    let resp = match read_request(&stream, limits.max_body) {
+    // The deadline is enforced *inside* read_request — every read syscall
+    // is clamped to the time remaining — so a client trickling one byte
+    // per read-timeout interval cannot hold this worker past it.
+    let deadline = (!limits.deadline.is_zero()).then(|| started + limits.deadline);
+    let resp = match read_request(&stream, limits.max_body, deadline) {
         Ok(req) => {
-            // Each read syscall re-arms the socket timeout, so a client
-            // trickling one byte per second can stretch the read phase
-            // indefinitely. The deadline bounds the total.
-            if !limits.deadline.is_zero() && started.elapsed() > limits.deadline {
+            // Belt and braces for the post-read phase: a request that
+            // arrived with no budget left is not worth routing.
+            if deadline.is_some_and(|d| Instant::now() > d) {
                 state.metrics.record_status(408);
                 let _ = error_response(&crate::http::HttpError::Deadline { phase: "handling" })
                     .map(|resp| resp.write_to(&mut stream));
@@ -348,7 +353,9 @@ fn admin_loop(listener: &TcpListener, shutdown: &Arc<ShutdownSignal>, read_timeo
         let Ok(mut stream) = conn else { continue };
         let _ = stream.set_read_timeout(Some(read_timeout));
         let _ = stream.set_write_timeout(Some(read_timeout));
-        let resp = match read_request(&stream, 4096) {
+        // Loopback-only listener: the per-read socket timeout is enough,
+        // no whole-request deadline.
+        let resp = match read_request(&stream, 4096, None) {
             Ok(req) => match (req.method.as_str(), req.path.as_str()) {
                 ("POST", "/shutdown") => {
                     // Answer first, then latch: the trigger's waker poke
@@ -405,6 +412,30 @@ mod tests {
         let resp = request(admin, "POST /shutdown HTTP/1.1\r\nhost: x\r\n\r\n");
         assert!(resp.contains("shutting down"), "{resp}");
         handle.wait(); // returns because the admin endpoint latched the signal
+    }
+
+    /// The request deadline must fire *inside* the read: with a 30s
+    /// per-read socket timeout, only the deadline (100ms) can explain a
+    /// prompt 408 on a stalled request head.
+    #[test]
+    fn request_deadline_interrupts_an_idle_read_before_the_socket_timeout() {
+        let handle = start(ServerConfig {
+            read_timeout: Duration::from_secs(30),
+            request_deadline: Duration::from_millis(100),
+            ..ServerConfig::default()
+        })
+        .expect("start");
+        let mut stream = TcpStream::connect(handle.addr).expect("connect");
+        stream.write_all(b"GET /healthz HT").expect("partial head");
+        let started = Instant::now();
+        let mut resp = String::new();
+        stream.read_to_string(&mut resp).expect("read response");
+        assert!(resp.starts_with("HTTP/1.1 408"), "{resp}");
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "the deadline answered, not the 30s socket timeout"
+        );
+        handle.shutdown();
     }
 
     #[test]
