@@ -292,21 +292,26 @@ fn per_sec(ops: usize, elapsed: Duration) -> u64 {
 /// the binary-vs-JSON byte comparison.
 fn wire_sample(frames: usize) -> (Vec<Frame>, usize) {
     let sample: Vec<Frame> = (0..frames as u64)
-        .map(|i| Frame {
-            session: i,
-            batch: TelemetryBatch {
-                time: i as f64 / 3.0 + 0.01,
-                records: vec![
-                    TelemetryRecord::full(0, i as f64 / 7.0 + 0.02, 0.5 + i as f64 / 1000.0),
-                    TelemetryRecord::rate(1, i as f64 / 11.0 + 0.03),
-                ],
-            },
+        .map(|i| {
+            Frame::telemetry(
+                i,
+                TelemetryBatch {
+                    time: i as f64 / 3.0 + 0.01,
+                    records: vec![
+                        TelemetryRecord::full(0, i as f64 / 7.0 + 0.02, 0.5 + i as f64 / 1000.0),
+                        TelemetryRecord::rate(1, i as f64 / 11.0 + 0.03),
+                    ],
+                },
+            )
         })
         .collect();
     let parts: Vec<String> = sample
         .iter()
         .map(|f| {
-            let batch = serde_json::to_string(&f.batch).expect("batch json");
+            let perpetuum_serve::wire::FramePayload::Telemetry(batch) = &f.payload else {
+                unreachable!("sample frames are telemetry");
+            };
+            let batch = serde_json::to_string(batch).expect("batch json");
             format!("{{\"session\":{},{}", f.session, &batch[1..])
         })
         .collect();
@@ -347,7 +352,7 @@ fn e2e_pass(addr: SocketAddr, ids: &[u64], time: f64, latencies: bool) -> (Durat
                     for batch in part.chunks(E2E_BATCH) {
                         let frames: Vec<Frame> = batch
                             .iter()
-                            .map(|&session| Frame { session, batch: TelemetryBatch::tick(time) })
+                            .map(|&session| Frame::telemetry(session, TelemetryBatch::tick(time)))
                             .collect();
                         let body = wire::encode_frames(&frames);
                         let t0 = latencies.then(Instant::now);
@@ -532,7 +537,7 @@ fn bench_ingest(c: &mut Criterion) {
         let frames: Vec<Frame> = e2e_ids
             .iter()
             .take(E2E_BATCH)
-            .map(|&session| Frame { session, batch: TelemetryBatch::tick(0.5) })
+            .map(|&session| Frame::telemetry(session, TelemetryBatch::tick(0.5)))
             .collect();
         let reports = post_batch(addr, &wire::encode_frames(&frames));
         let outcomes = wire::decode_reports(&reports).expect("binary reports");
@@ -627,10 +632,8 @@ fn bench_ingest(c: &mut Criterion) {
             let id = store.allocate_id();
             journal.append_create(id, &seed);
             for t in 1..=RECOVERY_FRAMES {
-                journal.append_frames(
-                    id,
-                    vec![Frame { session: id, batch: TelemetryBatch::tick(t as f64) }],
-                );
+                journal
+                    .append_frames(id, vec![Frame::telemetry(id, TelemetryBatch::tick(t as f64))]);
             }
         }
         journal.flush().expect("journal flush");

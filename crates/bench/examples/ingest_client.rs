@@ -79,8 +79,8 @@ fn main() {
     // to a session that does not exist — its rejection must arrive in
     // place without disturbing the others.
     let mut frames: Vec<Frame> =
-        ids.iter().map(|&session| Frame { session, batch: TelemetryBatch::tick(1.0) }).collect();
-    frames.push(Frame { session: u64::MAX, batch: TelemetryBatch::tick(1.0) });
+        ids.iter().map(|&session| Frame::telemetry(session, TelemetryBatch::tick(1.0))).collect();
+    frames.push(Frame::telemetry(u64::MAX, TelemetryBatch::tick(1.0)));
 
     let body = wire::encode_frames(&frames);
     let (status, resp) =

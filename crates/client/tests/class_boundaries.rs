@@ -1,0 +1,205 @@
+//! Rounding-class boundary and hysteresis-margin pinning tests.
+//!
+//! These pin the *exact* float semantics of the edge drift test: class
+//! edges land where repeated doubling says they land (no `log2` slop), the
+//! applicability band is closed below and open above, and a rate that
+//! oscillates across a class boundary while staying inside the margin band
+//! produces zero events — the whole point of the hysteresis.
+
+use perpetuum_client::{power_class, SensorClient};
+use proptest::prelude::*;
+
+#[test]
+fn power_class_exact_powers_of_two() {
+    // tau = 2^k · tau1 is exactly representable (exponent bump only), so
+    // the boundary must land in class k with no floating-point slop.
+    for k in 0..50usize {
+        let tau = (1u64 << k) as f64;
+        assert_eq!(power_class(1.0, tau), k, "tau = 2^{k}");
+        assert_eq!(power_class(0.375, 0.375 * tau), k, "tau1 = 0.375, tau = 0.375·2^{k}");
+    }
+}
+
+#[test]
+fn power_class_just_below_boundary_stays_in_lower_class() {
+    for k in 1..40usize {
+        let tau = (1u64 << k) as f64;
+        let below = f64::from_bits(tau.to_bits() - 1); // next float down
+        assert_eq!(power_class(1.0, below), k - 1, "just below 2^{k}");
+    }
+}
+
+#[test]
+#[should_panic(expected = "tau1 <= tau")]
+fn power_class_rejects_tau_below_tau1() {
+    power_class(2.0, f64::from_bits(2.0f64.to_bits() - 1));
+}
+
+/// Band edges with `margin = 0`: the paper's exact `assigned ≤ τ̂ < 2·assigned`.
+#[test]
+fn band_is_closed_below_open_above_at_zero_margin() {
+    // est = max(ρ̂, last) = last when last ≥ ρ̂ history; constant-rate feeds
+    // keep everything exact: τ̂ = capacity / rate (margin 0, horizon huge).
+    let mk = |assigned: f64| {
+        let mut c = SensorClient::new(0.5, 0.0, 1e6, 16.0, 2.0);
+        c.plan_update(4.0, assigned);
+        c
+    };
+    // τ̂ = 16/2 = 8 exactly.
+    let mut c = mk(8.0);
+    assert!(c.observe(1.0, 2.0).is_none(), "τ̂ = assigned is in band (closed below)");
+    let mut c = mk(4.0);
+    assert!(c.observe(1.0, 2.0).is_some(), "τ̂ = 2·assigned leaves band (open above)");
+    // One ulp inside the upper edge stays suppressed.
+    let mut c = SensorClient::new(0.5, 0.0, 1e6, f64::from_bits(16.0f64.to_bits() - 1), 2.0);
+    c.plan_update(4.0, 4.0);
+    assert!(c.observe(1.0, 2.0).is_none(), "τ̂ one ulp under 2·assigned is in band");
+}
+
+/// Band edge at the hysteresis margin: `τ̂ = assigned·(1−margin)` exactly is
+/// still in band; one ulp below is an event. margin = 0.25 keeps all the
+/// arithmetic exact in binary floating point.
+#[test]
+fn margin_edge_is_closed() {
+    let mut c = SensorClient::new(0.5, 0.25, 1e6, 16.0, 2.0);
+    c.plan_update(8.0, 8.0);
+    // τ̂ = 16/2 · 0.75 = 6.0 = assigned·(1−margin) exactly.
+    assert!(c.observe(1.0, 2.0).is_none(), "τ̂ exactly at the margin edge is in band");
+
+    let mut c = SensorClient::new(0.5, 0.25, 1e6, 16.0, 2.0);
+    c.plan_update(8.0, 8.0);
+    // A hair more drain: τ̂ drops below 6 and the event fires.
+    let rate = f64::from_bits(2.0f64.to_bits() + 1);
+    let ev = c.observe(1.0, rate);
+    assert!(ev.is_some(), "τ̂ one ulp below the margin edge leaves the band");
+    assert_eq!(ev.unwrap().last_rate, rate, "event carries the raw observation");
+}
+
+/// The headline hysteresis property: a rate oscillating across the class
+/// boundary (τ̂ crossing 2^1·τ₁ = 4 back and forth) but staying inside the
+/// margin band produces *zero* events over hundreds of slots.
+#[test]
+fn no_event_storm_across_class_boundary_within_margin() {
+    // capacity 8, margin 0.1 → τ̂ = 7.2/rate. Rates alternating 1.7/1.9
+    // give τ̂ ∈ [3.79, 4.24] — straddling the class boundary at 4.0, but
+    // comfortably inside the band [assigned·0.9, 2·assigned) = [3.6, 8).
+    let mut c = SensorClient::new(0.5, 0.1, 1000.0, 8.0, 1.8);
+    c.plan_update(4.0, 4.0);
+    let mut crossed_down = false;
+    let mut crossed_up = false;
+    for slot in 1..=400u32 {
+        let rate = if slot % 2 == 0 { 1.7 } else { 1.9 };
+        assert!(c.observe(slot as f64, rate).is_none(), "slot {slot} must be suppressed");
+        match c.tau_hat() {
+            t if t < 4.0 => crossed_down = true,
+            _ => crossed_up = true,
+        }
+    }
+    assert!(crossed_down && crossed_up, "τ̂ really did oscillate across the class boundary");
+    assert_eq!(c.observed(), 400);
+    assert_eq!(c.sent(), 0, "no event storm");
+
+    // Breaking out of the band fires exactly one event.
+    assert!(c.observe(401.0, 3.0).is_some(), "τ̂ = 2.4 < 3.6 leaves the band");
+    assert_eq!(c.sent(), 1);
+}
+
+/// Sustained downward drift in the rate eventually pushes τ̂ past the
+/// 2·assigned edge — the "could charge half as often" exit fires too.
+#[test]
+fn upward_tau_exit_fires_after_sustained_rate_drop() {
+    let mut c = SensorClient::new(0.5, 0.1, 1000.0, 8.0, 1.8);
+    c.plan_update(4.0, 4.0);
+    let mut fired_at = None;
+    for slot in 1..=20u32 {
+        if c.observe(slot as f64, 0.8).is_some() {
+            fired_at = Some(slot);
+            break;
+        }
+    }
+    let slot = fired_at.expect("the EWMA must decay into the upper exit within 20 slots");
+    assert!(c.tau_hat() >= 8.0, "exit was through the 2·assigned edge");
+    assert!(slot > 1, "hysteresis absorbs the first drop (est is pessimistic max)");
+}
+
+#[test]
+fn observe_without_plan_always_reports() {
+    let mut c = SensorClient::new(0.5, 0.1, 1000.0, 8.0, 1.8);
+    assert!(c.observe(1.0, 1.8).is_some(), "unconfigured sensor is conservative");
+    c.plan_update(4.0, 4.0);
+    assert!(c.observe(2.0, 1.8).is_none());
+}
+
+#[test]
+fn drift_class_tracks_tau_hat() {
+    let mut c = SensorClient::new(0.5, 0.0, 1000.0, 8.0, 2.0);
+    assert_eq!(c.drift_class(), None, "no plan yet");
+    c.plan_update(1.0, 4.0);
+    c.observe(1.0, 2.0); // τ̂ = 4 → class 2 over τ₁ = 1
+    assert_eq!(c.drift_class(), Some(2));
+}
+
+proptest! {
+    /// Doubling invariant: `2^k · τ₁ ≤ τ < 2^(k+1) · τ₁` with *exact*
+    /// arithmetic (scaling by two only bumps the exponent).
+    #[test]
+    fn power_class_doubling_invariant(
+        tau1 in 1e-3f64..1e3,
+        factor in 1.0f64..1e6,
+    ) {
+        let tau = tau1 * factor;
+        let k = power_class(tau1, tau);
+        let lo = tau1 * 2f64.powi(k as i32);
+        prop_assert!(lo <= tau, "2^k·τ₁ = {lo} must not exceed τ = {tau}");
+        prop_assert!(lo * 2.0 > tau, "2^(k+1)·τ₁ = {} must exceed τ = {tau}", lo * 2.0);
+    }
+
+    /// Event fires iff τ̂ leaves the band — pinned against the public
+    /// τ̂ accessor so the decision and the estimate cannot drift apart.
+    #[test]
+    fn event_iff_band_exit(
+        margin_idx in 0usize..4,
+        assigned_pow in 0u32..4,
+        capacity in 1.0f64..100.0,
+        rates in prop::collection::vec(0.01f64..10.0, 1..40),
+    ) {
+        let margin = [0.0, 0.05, 0.1, 0.25][margin_idx];
+        let tau1 = 2.0;
+        let assigned = tau1 * f64::from(1u32 << assigned_pow);
+        let mut c = SensorClient::new(0.5, margin, 1e4, capacity, 1.0);
+        c.plan_update(tau1, assigned);
+        for (i, &r) in rates.iter().enumerate() {
+            let ev = c.observe((i + 1) as f64, r);
+            let tau = c.tau_hat();
+            let in_band = if margin == 0.0 {
+                assigned <= tau && tau < 2.0 * assigned
+            } else {
+                tau >= assigned * (1.0 - margin) && tau < 2.0 * assigned
+            };
+            prop_assert_eq!(ev.is_some(), !in_band, "slot {}: τ̂ = {}", i + 1, tau);
+            if let Some(s) = ev {
+                prop_assert_eq!(s.last_rate, r);
+                prop_assert_eq!(s.level, c.level());
+            }
+        }
+    }
+
+    /// Generalised no-storm property: any rate sequence confined to an
+    /// interval whose τ̂ image sits strictly inside the band never emits an
+    /// event (the EWMA and the pessimistic max are both interval-stable).
+    #[test]
+    fn rates_confined_to_band_interior_never_event(
+        raw in prop::collection::vec(0.0f64..1.0, 1..200),
+    ) {
+        // capacity 8, margin 0.1, assigned 4 → band τ̂ ∈ [3.6, 8).
+        // rates in [1.0, 1.9] → τ̂ = 7.2/rate ∈ [3.79, 7.2] ⊂ (3.6, 8).
+        let (lo, hi) = (1.0, 1.9);
+        let mut c = SensorClient::new(0.5, 0.1, 1000.0, 8.0, lo);
+        c.plan_update(4.0, 4.0);
+        for (i, &u) in raw.iter().enumerate() {
+            let rate = lo + u * (hi - lo);
+            prop_assert!(c.observe((i + 1) as f64, rate).is_none(), "slot {}", i + 1);
+        }
+        prop_assert_eq!(c.sent(), 0);
+    }
+}

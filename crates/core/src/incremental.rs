@@ -15,7 +15,7 @@
 //!   a sparse candidate pool — surviving tree edges ∪ cached per-member
 //!   in-set k-NN lists ∪ refreshed lists for *dirty* members ∪ one
 //!   best-depot super-root edge per member — and un-contracted by the same
-//!   [`crate::qmsf::uncontract`] the from-scratch paths use. A member is
+//!   `crate::qmsf::uncontract` the from-scratch paths use. A member is
 //!   dirty when its cached list references a departed sensor, or an
 //!   arriving sensor would rank within its cached `k` nearest; after the
 //!   refresh every cached list equals the fresh k-NN list, so the pool
@@ -485,7 +485,7 @@ fn local_two_opt<M: Metric>(nodes: &mut [usize], dist: &M, touched: &[usize], wi
 }
 
 /// The incremental replanner: cached cycle partition, per-class
-/// [`DynamicSet`]s, and the anchor grid they are dispatched on.
+/// `DynamicSet`s, and the anchor grid they are dispatched on.
 #[derive(Debug)]
 pub struct IncrementalPlanner {
     cfg: IncrementalConfig,

@@ -15,23 +15,10 @@
 
 use serde::{Deserialize, Serialize};
 
-/// Largest `k ≥ 0` such that `2^k · tau1 ≤ tau`.
-///
-/// Computed by repeated doubling rather than `log2` so the class boundary
-/// semantics are exact even when `tau/tau1` sits on a power of two.
-///
-/// # Panics
-/// Panics when `tau < tau1` or either is non-positive.
-pub fn power_class(tau1: f64, tau: f64) -> usize {
-    assert!(tau1 > 0.0 && tau >= tau1, "need 0 < tau1 <= tau, got {tau1}, {tau}");
-    let mut k = 0usize;
-    let mut v = tau1;
-    while v * 2.0 <= tau {
-        v *= 2.0;
-        k += 1;
-    }
-    k
-}
+// The class computation itself lives in `perpetuum-client` (the `no_std`
+// sensor-side crate) so sensors and the base station share one definition;
+// re-exported here to keep the historical public path.
+pub use perpetuum_client::power_class;
 
 /// The sensor-class partition `V_0, …, V_K` and rounded cycles of
 /// Section V.A.

@@ -17,15 +17,35 @@
 //!   maximum-cycle estimators,
 //! * [`shock`] — adverse rate dynamics (shocks and drift) layered on any
 //!   rate process by the fault-injection subsystem.
+//!
+//! # `no_std` support
+//!
+//! The prediction module is the sensor-side half of the closed control
+//! loop, so it must run on the sensors themselves. With
+//! `default-features = false` the crate drops to `#![no_std]` and compiles
+//! only [`predictor`] — pure `core` float math, no allocation, no
+//! dependencies. The simulation-side models (battery, consumption, cycles,
+//! shock) need RNG and serde and stay behind the default `std` feature.
 
+#![cfg_attr(not(feature = "std"), no_std)]
+#![deny(unsafe_code)]
+
+#[cfg(feature = "std")]
 pub mod battery;
+#[cfg(feature = "std")]
 pub mod consumption;
+#[cfg(feature = "std")]
 pub mod cycles;
 pub mod predictor;
+#[cfg(feature = "std")]
 pub mod shock;
 
+#[cfg(feature = "std")]
 pub use battery::Battery;
+#[cfg(feature = "std")]
 pub use consumption::{ConsumptionProcess, FixedRate, MarkovBurst, SlottedResample};
+#[cfg(feature = "std")]
 pub use cycles::CycleDistribution;
 pub use predictor::{EwmaPredictor, HoltPredictor};
+#[cfg(feature = "std")]
 pub use shock::{RateShock, ShockState};

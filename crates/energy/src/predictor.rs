@@ -10,10 +10,9 @@
 //! from which the estimated residual lifetime `l̂_i(t) = re_i(t) / ρ̂_i(t+1)`
 //! and maximum charging cycle `τ̂_i(t) = B_i / ρ̂_i(t+1)` follow.
 
-use serde::{Deserialize, Serialize};
-
 /// EWMA consumption-rate predictor for one sensor.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "std", derive(serde::Serialize, serde::Deserialize))]
 pub struct EwmaPredictor {
     gamma: f64,
     rho_hat: f64,
@@ -41,6 +40,26 @@ impl EwmaPredictor {
     /// Predictor with the default `γ`.
     pub fn with_default_gamma(initial_rate: f64) -> Self {
         Self::new(Self::DEFAULT_GAMMA, initial_rate)
+    }
+
+    /// Reconstructs a predictor from previously captured state — the exact
+    /// `ρ̂` an identical predictor holds after some observation sequence.
+    /// Unlike [`EwmaPredictor::new`], the state may be zero or negative
+    /// (a run of idle/harvesting observations can drive `ρ̂` through zero);
+    /// the derived lifetimes already saturate at `∞` there.
+    ///
+    /// # Panics
+    /// Panics unless `0 < gamma < 1` and `rho_hat` is finite.
+    pub fn from_state(gamma: f64, rho_hat: f64) -> Self {
+        assert!(gamma > 0.0 && gamma < 1.0, "gamma must be in (0, 1), got {gamma}");
+        assert!(rho_hat.is_finite(), "rho_hat must be finite, got {rho_hat}");
+        Self { gamma, rho_hat }
+    }
+
+    /// The smoothing weight `γ` this predictor was built with.
+    #[inline]
+    pub fn gamma(&self) -> f64 {
+        self.gamma
     }
 
     /// Feeds the rate `rho` observed for the slot that just ended and
@@ -97,7 +116,8 @@ pub fn schedule_still_applicable(tau_scheduled: f64, tau_new: f64) -> bool {
 /// sampling rates) is extrapolated instead of lagged. An extension beyond
 /// the paper's trend-blind EWMA; `HoltPredictor` with `beta = 0`
 /// degenerates to it.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "std", derive(serde::Serialize, serde::Deserialize))]
 pub struct HoltPredictor {
     alpha: f64,
     beta: f64,
@@ -324,5 +344,33 @@ mod tests {
     #[should_panic(expected = "initial rate")]
     fn initial_rate_must_be_positive() {
         EwmaPredictor::new(0.5, 0.0);
+    }
+
+    #[test]
+    fn from_state_round_trips_observation_state() {
+        let mut live = EwmaPredictor::new(0.5, 1.0);
+        live.observe(2.0);
+        live.observe(0.7);
+        let restored = EwmaPredictor::from_state(live.gamma(), live.predicted_rate());
+        assert_eq!(restored, live, "restored predictor is bit-identical");
+        let mut a = live;
+        let mut b = restored;
+        assert_eq!(a.observe(1.3), b.observe(1.3), "and evolves identically");
+    }
+
+    #[test]
+    fn from_state_admits_non_positive_state() {
+        // A restored ρ̂ may have been driven to or below zero by idle
+        // slots; lifetimes saturate exactly as on the live predictor.
+        let p = EwmaPredictor::from_state(0.5, 0.0);
+        assert_eq!(p.max_cycle(1.0), f64::INFINITY);
+        let p = EwmaPredictor::from_state(0.5, -0.25);
+        assert_eq!(p.residual_lifetime(0.5), f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn from_state_rejects_nan() {
+        EwmaPredictor::from_state(0.5, f64::NAN);
     }
 }

@@ -45,6 +45,7 @@ use perpetuum_core::var::{replan_variable_detailed, RepairStrategy, VarInput};
 use perpetuum_energy::predictor::{schedule_still_applicable, EwmaPredictor};
 use serde::{Serialize, Value};
 
+use crate::events::EventBatch;
 use crate::telemetry::TelemetryBatch;
 
 /// Comparison slack for dispatch times, matching the sim engine's epsilon.
@@ -70,6 +71,11 @@ pub enum OnlineError {
     TimeNotMonotone { time: f64, now: f64 },
     /// A record names a sensor outside `0..n`.
     UnknownSensor { sensor: usize, n: usize },
+    /// A suppressed-event batch would trigger a *full* replan, whose new
+    /// `τ₁` grid depends on every sensor's current estimate — the client
+    /// fleet must retry with a sync batch covering all sensors. The
+    /// controller is left untouched (nothing was ingested).
+    SyncRequired,
 }
 
 impl fmt::Display for OnlineError {
@@ -94,6 +100,9 @@ impl fmt::Display for OnlineError {
             }
             Self::UnknownSensor { sensor, n } => {
                 write!(f, "sensor {sensor} out of range (n = {n})")
+            }
+            Self::SyncRequired => {
+                write!(f, "full replan required: retry with a sync batch covering all sensors")
             }
         }
     }
@@ -305,6 +314,12 @@ pub struct OnlineController {
     heap: BinaryHeap<Reverse<Deadline>>,
     stamp: Vec<u64>,
 
+    // --- charge log (for edge-client mirroring) ------------------------
+    /// When enabled, every applied charge is appended as `(time, sensor)`
+    /// so a harness can forward completed charges to `SensorClient`s.
+    log_charges: bool,
+    charged: Vec<(f64, usize)>,
+
     // --- counters ------------------------------------------------------
     revision: u64,
     planner_calls: usize,
@@ -376,6 +391,8 @@ impl OnlineController {
             planner: None,
             heap: BinaryHeap::new(),
             stamp: vec![0; n],
+            log_charges: false,
+            charged: Vec::new(),
             revision: 0,
             planner_calls: 0,
             full_replans: 0,
@@ -507,6 +524,23 @@ impl OnlineController {
         self.emergency_dispatches
     }
 
+    /// Enable (or disable) the charge log. Off by default — long-lived
+    /// serve sessions must not accumulate an unbounded log; a closed-loop
+    /// harness that mirrors charges into edge clients turns it on.
+    pub fn set_charge_log(&mut self, enabled: bool) {
+        self.log_charges = enabled;
+        if !enabled {
+            self.charged.clear();
+        }
+    }
+
+    /// Drain the charge log: every `(time, sensor)` charge applied since
+    /// the last drain, in application order. Always empty unless
+    /// [`Self::set_charge_log`] enabled logging.
+    pub fn take_charges(&mut self) -> Vec<(f64, usize)> {
+        std::mem::take(&mut self.charged)
+    }
+
     // --- ingest ---------------------------------------------------------
 
     /// Ingest one telemetry batch: advance the clock (executing due
@@ -634,6 +668,144 @@ impl OnlineController {
         batches.into_iter().map(|b| self.ingest(b)).collect()
     }
 
+    /// Ingest a suppressed-event batch from edge clients: reconstruct the
+    /// per-sensor estimator state carried by each [`crate::ClassEvent`]
+    /// verbatim
+    /// (`EwmaPredictor::from_state` — *not* a re-observation), then run the
+    /// same drift/replan/emergency machinery as [`Self::ingest`].
+    ///
+    /// Because every event carries the exact post-observation state the
+    /// full per-slot stream would have produced, the resulting plan
+    /// sequence is byte-identical to streaming — provided the clients'
+    /// drift tests mirror this controller's (they share the float
+    /// expressions via `perpetuum-client`) and their plan/charge pictures
+    /// are kept fresh.
+    ///
+    /// A batch that needs a **full** replan is refused with
+    /// [`OnlineError::SyncRequired`] *before any state is mutated* unless
+    /// [`EventBatch::sync`] is set: the new `τ₁` grid depends on every
+    /// sensor's current estimate, so the fleet must report everyone. The
+    /// tier decision is dry-run on the event payloads — valid because
+    /// `τ̂` depends only on the event state and clock advancement never
+    /// touches `assigned`/`τ₁`. A sync batch must carry one event per
+    /// sensor (duplicates are tolerated; the last wins).
+    pub fn ingest_events(&mut self, batch: &EventBatch) -> Result<IngestReport, OnlineError> {
+        if !batch.time.is_finite() {
+            return Err(OnlineError::NonFinite { field: "time", value: batch.time });
+        }
+        if batch.time < self.now - EPS {
+            return Err(OnlineError::TimeNotMonotone { time: batch.time, now: self.now });
+        }
+        let n = self.network.n();
+        for e in &batch.events {
+            if e.sensor >= n {
+                return Err(OnlineError::UnknownSensor { sensor: e.sensor, n });
+            }
+            if !e.rho_hat.is_finite() {
+                return Err(OnlineError::NonFinite { field: "rho_hat", value: e.rho_hat });
+            }
+            if !e.last_rate.is_finite() {
+                return Err(OnlineError::NonFinite { field: "last_rate", value: e.last_rate });
+            }
+            if e.last_rate < 0.0 {
+                return Err(OnlineError::NotPositive { field: "last_rate", value: e.last_rate });
+            }
+            if !e.level.is_finite() {
+                return Err(OnlineError::NonFinite { field: "level", value: e.level });
+            }
+            if e.level < 0.0 {
+                return Err(OnlineError::NotPositive { field: "level", value: e.level });
+            }
+        }
+
+        // Last event per sensor wins; `touched` in sorted order matches
+        // `ingest`'s sort+dedup, so the change list (and therefore every
+        // planner call) comes out in the identical order.
+        let mut last_event: Vec<Option<&crate::events::ClassEvent>> = vec![None; n];
+        let mut touched: Vec<usize> = Vec::with_capacity(batch.events.len());
+        for e in &batch.events {
+            if last_event[e.sensor].is_none() {
+                touched.push(e.sensor);
+            }
+            last_event[e.sensor] = Some(e);
+        }
+        touched.sort_unstable();
+        if batch.sync && touched.len() != n {
+            return Err(OnlineError::LengthMismatch {
+                field: "sync_events",
+                expected: n,
+                got: batch.events.len(),
+            });
+        }
+
+        // Dry-run the drift decision on the post-event state, before any
+        // mutation, so a refused batch leaves the controller untouched.
+        let t = batch.time.max(self.now);
+        let mut need_full = false;
+        let mut changes: Vec<(usize, usize)> = Vec::new();
+        for &i in &touched {
+            let e = last_event[i].expect("touched implies an event");
+            let rate = e.rho_hat.max(e.last_rate);
+            let tau = if rate <= 0.0 {
+                self.cfg.horizon
+            } else {
+                (self.capacities[i] / rate * (1.0 - self.cfg.margin)).min(self.cfg.horizon)
+            };
+            if self.still_applicable(i, tau) {
+                continue;
+            }
+            if tau < self.tau1 {
+                need_full = true;
+                changes.push((i, 0));
+            } else {
+                changes.push((i, power_class(self.tau1, tau)));
+            }
+        }
+        let class_changes = changes.len();
+        let will_replan = !changes.is_empty() && t < self.cfg.horizon;
+        if will_replan && (need_full || !self.incremental_feasible(&changes)) && !batch.sync {
+            return Err(OnlineError::SyncRequired);
+        }
+
+        // Commit: same clock/charge choreography as `ingest`, but the
+        // estimator state is *adopted*, not re-derived.
+        let planner_before = self.planner_calls;
+        self.execute_due(t - EPS);
+        self.now = t;
+        for &i in &touched {
+            let e = last_event[i].expect("touched implies an event");
+            self.predictors[i] = EwmaPredictor::from_state(self.cfg.gamma, e.rho_hat);
+            self.last_rate[i] = e.last_rate;
+            self.level[i] = e.level.min(self.capacities[i]);
+            self.level_time[i] = t;
+        }
+        self.execute_due(t + EPS);
+
+        let mut replan = ReplanKind::None;
+        if will_replan {
+            if !need_full && self.try_incremental(&changes) {
+                replan = ReplanKind::Incremental;
+            } else {
+                self.full_replan();
+                replan = ReplanKind::Full;
+            }
+        }
+
+        for &i in &touched {
+            self.push_deadline(i);
+        }
+        let emergency_sensors = self.check_emergencies();
+
+        Ok(IngestReport {
+            revision: self.revision,
+            time: self.now,
+            replan,
+            class_changes,
+            emergency_sensors,
+            planner_calls: self.planner_calls - planner_before,
+        })
+    }
+
     /// Execute every pending dispatch with time `<= limit`: covered
     /// sensors are considered recharged to capacity at the dispatch time
     /// (the fleet's travel time is below the slot scale, as in the paper's
@@ -649,6 +821,9 @@ impl OnlineController {
                 self.level[i] = self.capacities[i];
                 self.level_time[i] = d.time;
                 self.push_deadline(i);
+                if self.log_charges {
+                    self.charged.push((d.time, i));
+                }
             }
             self.next_dispatch += 1;
         }
@@ -687,6 +862,36 @@ impl OnlineController {
     /// vanished top class, or an emptied set — and a full replan is
     /// required instead.
     fn try_incremental(&mut self, changes: &[(usize, usize)]) -> bool {
+        if !self.incremental_feasible(changes) {
+            return false;
+        }
+        let Some(planner) = self.planner.as_mut() else {
+            return false; // unreachable: feasibility already checked
+        };
+
+        // Commit: splice the affected forests and swap the rebuilt sets in.
+        for k in planner.apply_migrations(&self.network, changes) {
+            self.planner_calls += 1;
+            let id = self.series.add_set(planner.tour_set(k).clone());
+            self.series.retarget_dispatches(self.base_ids[k], id, self.now);
+            self.base_ids[k] = id;
+        }
+        for &(i, k) in changes {
+            self.class_of[i] = k;
+            self.assigned[i] = self.tau1 * f64::powi(2.0, k as i32);
+        }
+        self.incremental_replans += 1;
+        self.revision += 1;
+        true
+    }
+
+    /// Read-only feasibility half of [`Self::try_incremental`]: `true` iff
+    /// the change set is non-structural and the persistent planner can
+    /// splice it. Used both as the commit guard and as the *dry-run* tier
+    /// decision of [`Self::ingest_events`] — the inputs (`changes`,
+    /// `class_of`, `base_ids`) are untouched by clock advancement, so the
+    /// pre-mutation answer is the post-mutation answer.
+    fn incremental_feasible(&self, changes: &[(usize, usize)]) -> bool {
         let n = self.network.n();
         let k_max = self.base_ids.len() - 1;
         let mut new_class = self.class_of.clone();
@@ -714,24 +919,7 @@ impl OnlineController {
                 return false;
             }
         }
-        let Some(planner) = self.planner.as_mut() else {
-            return false;
-        };
-
-        // Commit: splice the affected forests and swap the rebuilt sets in.
-        for k in planner.apply_migrations(&self.network, changes) {
-            self.planner_calls += 1;
-            let id = self.series.add_set(planner.tour_set(k).clone());
-            self.series.retarget_dispatches(self.base_ids[k], id, self.now);
-            self.base_ids[k] = id;
-        }
-        for &(i, k) in changes {
-            self.class_of[i] = k;
-            self.assigned[i] = self.tau1 * f64::powi(2.0, k as i32);
-        }
-        self.incremental_replans += 1;
-        self.revision += 1;
-        true
+        self.planner.is_some()
     }
 
     /// Full tier: rebuild the plan from scratch with Algorithm 3 + the
@@ -818,6 +1006,9 @@ impl OnlineController {
         for &i in &urgent {
             self.level[i] = self.capacities[i];
             self.level_time[i] = self.now;
+            if self.log_charges {
+                self.charged.push((self.now, i));
+            }
         }
         // The sort may have interleaved the rescue with executed history;
         // re-derive the executed prefix (everything due by `now` has been

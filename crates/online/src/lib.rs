@@ -20,9 +20,11 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod controller;
+pub mod events;
 pub mod snapshot;
 pub mod telemetry;
 
 pub use controller::{IngestReport, OnlineConfig, OnlineController, OnlineError, ReplanKind};
+pub use events::{ClassEvent, EventBatch};
 pub use snapshot::ControllerSeed;
 pub use telemetry::{TelemetryBatch, TelemetryRecord};

@@ -17,7 +17,10 @@ use crate::wire;
 use perpetuum_core::mtd::{plan_min_total_distance, MtdConfig};
 use perpetuum_core::network::{Instance, Network};
 use perpetuum_exp::scenario::{world_from_value, Algo, ScenarioError};
-use perpetuum_online::{ControllerSeed, OnlineConfig, TelemetryBatch, TelemetryRecord};
+use perpetuum_online::{
+    ClassEvent, ControllerSeed, EventBatch, OnlineConfig, OnlineError, TelemetryBatch,
+    TelemetryRecord,
+};
 use perpetuum_sim::FaultModel;
 use serde::{Deserialize, Serialize as _};
 use serde_json::Value;
@@ -488,7 +491,7 @@ pub fn session_telemetry(state: &AppState, id: u64, body: &[u8]) -> Response {
     // The batch was accepted: stage it while the slot lock still orders
     // this session's appends, then flush before acking.
     if let Some(journal) = &state.journal {
-        journal.append_frames(id, vec![wire::Frame { session: id, batch }]);
+        journal.append_frames(id, vec![wire::Frame::telemetry(id, batch)]);
     }
     drop(controller);
     if let Some(journal) = &state.journal {
@@ -512,6 +515,117 @@ pub fn session_telemetry(state: &AppState, id: u64, body: &[u8]) -> Response {
         report.emergency_sensors as u64,
         started.elapsed().as_secs_f64(),
     );
+    match serde_json::to_string(&report.to_value()) {
+        Ok(s) => Response::json(200, s),
+        Err(e) => Response::error(500, "internal_error", &e.to_string()),
+    }
+}
+
+/// `POST /session/{id}/events` — ingest one suppressed-event batch from
+/// edge clients.
+///
+/// Request: JSON [`EventBatch`]: `{"time": t, "sync"?: bool, "events":
+/// [{"sensor": i, "rho_hat": f, "last_rate": f, "level": f}, ...],
+/// "observed"?: n, "sent"?: n}` — or the compact binary frame batch of
+/// [`crate::wire`] when `Content-Type:` is [`wire::CONTENT_TYPE`],
+/// carrying exactly one events frame addressed to the path's session.
+/// Response: the controller's ingest report, as for telemetry.
+///
+/// A batch whose drift demands a **full** replan is refused with `409
+/// sync_required` and **zero** controller mutation — the client retries
+/// with a `sync: true` batch carrying every sensor's state. The refusal
+/// is never journaled (nothing changed), so recovery replay sees only
+/// the accepted stream.
+pub fn session_events(state: &AppState, id: u64, req: &Request) -> Response {
+    let Some(slot) = state.sessions.get(id) else {
+        return no_session(id);
+    };
+    let batch: EventBatch = if req.body_is(wire::CONTENT_TYPE) {
+        let frames = match wire::decode_frames(&req.body) {
+            Ok(f) => f,
+            Err(e) => return Response::error(400, "bad_wire", &e.to_string()),
+        };
+        match <[wire::Frame; 1]>::try_from(frames) {
+            Ok([frame]) if frame.session == id => match frame.payload {
+                wire::FramePayload::Events(b) => b,
+                wire::FramePayload::Telemetry(_) => {
+                    return Response::error(
+                        400,
+                        "bad_wire",
+                        "frame is telemetry; POST it to /session/{id}/telemetry",
+                    );
+                }
+            },
+            Ok([frame]) => {
+                return Response::error(
+                    400,
+                    "bad_wire",
+                    &format!("frame addresses session {}, path says {id}", frame.session),
+                );
+            }
+            Err(frames) => {
+                return Response::error(
+                    400,
+                    "bad_wire",
+                    &format!("expected exactly 1 frame, got {}", frames.len()),
+                );
+            }
+        }
+    } else {
+        let text = match std::str::from_utf8(&req.body) {
+            Ok(t) => t,
+            Err(e) => return bad_json(format!("body is not UTF-8: {e}")),
+        };
+        match serde_json::from_str(text) {
+            Ok(b) => b,
+            Err(e) => return bad_json(e),
+        }
+    };
+    let mut controller = match slot.lock() {
+        Ok(g) => g,
+        Err(_) => return quarantine(state, id),
+    };
+    let started = Instant::now();
+    let outcome = catch_unwind(AssertUnwindSafe(|| controller.ingest_events(&batch)));
+    let report = match outcome {
+        Ok(Ok(report)) => report,
+        // The sync refusal mutates nothing — safe to hand back for retry.
+        Ok(Err(OnlineError::SyncRequired)) => {
+            return Response::error(
+                409,
+                "sync_required",
+                "full replan required: retry with a sync batch covering all sensors",
+            );
+        }
+        Ok(Err(e)) => return Response::error(400, "invalid_events", &e.to_string()),
+        Err(_) => {
+            drop(controller);
+            return quarantine(state, id);
+        }
+    };
+    let (observed, sent) = (batch.observed, batch.sent);
+    // Accepted: stage under the slot lock, flush before acking — same
+    // durability contract as the telemetry path.
+    if let Some(journal) = &state.journal {
+        journal.append_frames(id, vec![wire::Frame::events(id, batch)]);
+    }
+    drop(controller);
+    if let Some(journal) = &state.journal {
+        if let Err(e) = journal.flush() {
+            quarantine_session(state, id);
+            return Response::error(
+                500,
+                "journal_error",
+                &format!("journal flush failed after ingest; session {id} quarantined: {e}"),
+            );
+        }
+    }
+    state.metrics.record_ingest(
+        report.replan,
+        report.emergency_sensors as u64,
+        started.elapsed().as_secs_f64(),
+    );
+    state.metrics.record_events(observed, sent);
     match serde_json::to_string(&report.to_value()) {
         Ok(s) => Response::json(200, s),
         Err(e) => Response::error(500, "internal_error", &e.to_string()),
@@ -602,13 +716,25 @@ pub fn telemetry_batch(state: &AppState, req: &Request) -> Response {
     }
 }
 
-/// JSON shape of one batched frame (`{"session", "time", "records"}`).
+/// JSON shape of one batched frame. Telemetry frames are
+/// `{"session", "time", "records"}`; suppressed-event frames carry an
+/// `"events"` array instead (plus optional `"sync"`, `"observed"`,
+/// `"sent"`). A frame with both `records` and `events` is ambiguous and
+/// rejected.
 #[derive(Deserialize)]
 struct JsonFrame {
     session: u64,
     time: f64,
     #[serde(default)]
     records: Vec<TelemetryRecord>,
+    #[serde(default)]
+    events: Option<Vec<ClassEvent>>,
+    #[serde(default)]
+    sync: bool,
+    #[serde(default)]
+    observed: u64,
+    #[serde(default)]
+    sent: u64,
 }
 
 /// JSON shape of the whole batch request.
@@ -621,14 +747,34 @@ fn json_frames(body: &[u8]) -> Result<Vec<wire::Frame>, Response> {
     let text =
         std::str::from_utf8(body).map_err(|e| bad_json(format!("body is not UTF-8: {e}")))?;
     let parsed: JsonBatchRequest = serde_json::from_str(text).map_err(bad_json)?;
-    Ok(parsed
+    parsed
         .frames
         .into_iter()
-        .map(|f| wire::Frame {
-            session: f.session,
-            batch: TelemetryBatch { time: f.time, records: f.records },
+        .map(|f| match f.events {
+            Some(events) => {
+                if !f.records.is_empty() {
+                    return Err(bad_json(format!(
+                        "frame for session {} has both records and events",
+                        f.session
+                    )));
+                }
+                Ok(wire::Frame::events(
+                    f.session,
+                    EventBatch {
+                        time: f.time,
+                        sync: f.sync,
+                        events,
+                        observed: f.observed,
+                        sent: f.sent,
+                    },
+                ))
+            }
+            None => Ok(wire::Frame::telemetry(
+                f.session,
+                TelemetryBatch { time: f.time, records: f.records },
+            )),
         })
-        .collect())
+        .collect()
 }
 
 /// Applies a decoded frame batch: group by session, bucket sessions by
@@ -703,7 +849,13 @@ fn apply_frames(state: &AppState, frames: &[wire::Frame]) -> Vec<wire::FrameOutc
             };
             let started = Instant::now();
             let reports = match catch_unwind(AssertUnwindSafe(|| {
-                controller.ingest_all(indices.iter().map(|&i| &frames[i].batch))
+                indices
+                    .iter()
+                    .map(|&i| match &frames[i].payload {
+                        wire::FramePayload::Telemetry(batch) => controller.ingest(batch),
+                        wire::FramePayload::Events(batch) => controller.ingest_events(batch),
+                    })
+                    .collect::<Vec<_>>()
             })) {
                 Ok(reports) => reports,
                 Err(_) => {
@@ -738,6 +890,9 @@ fn apply_frames(state: &AppState, frames: &[wire::Frame]) -> Vec<wire::FrameOutc
                             report.emergency_sensors as u64,
                             per_frame,
                         );
+                        if let wire::FramePayload::Events(b) = &frames[i].payload {
+                            state.metrics.record_events(b.observed, b.sent);
+                        }
                         Ok(report)
                     }
                     Err(e) => Err(e.to_string()),
@@ -1131,17 +1286,16 @@ mod tests {
         let s_ids = make_sessions(&sequential, 2);
         assert_eq!(b_ids, s_ids, "deterministic session ids");
 
-        let frames: Vec<wire::Frame> = vec![
-            wire::Frame {
-                session: b_ids[0],
-                batch: TelemetryBatch { time: 1.0, records: vec![TelemetryRecord::rate(0, 0.9)] },
-            },
-            wire::Frame { session: b_ids[1], batch: TelemetryBatch::tick(1.5) },
-            wire::Frame {
-                session: b_ids[0],
-                batch: TelemetryBatch { time: 2.0, records: vec![TelemetryRecord::level(1, 0.25)] },
-            },
+        let batches = vec![
+            (b_ids[0], TelemetryBatch { time: 1.0, records: vec![TelemetryRecord::rate(0, 0.9)] }),
+            (b_ids[1], TelemetryBatch::tick(1.5)),
+            (
+                b_ids[0],
+                TelemetryBatch { time: 2.0, records: vec![TelemetryRecord::level(1, 0.25)] },
+            ),
         ];
+        let frames: Vec<wire::Frame> =
+            batches.iter().map(|(id, b)| wire::Frame::telemetry(*id, b.clone())).collect();
 
         let resp = telemetry_batch(&batched, &batch_req(wire::encode_frames(&frames), true, true));
         assert_eq!(resp.status, 200);
@@ -1149,9 +1303,9 @@ mod tests {
         let outcomes = wire::decode_reports(&resp.body).expect("binary reports");
         assert_eq!(outcomes.len(), frames.len());
 
-        for f in &frames {
-            let body = serde_json::to_string(&f.batch).unwrap();
-            let r = session_telemetry(&sequential, f.session, body.as_bytes());
+        for (id, batch) in &batches {
+            let body = serde_json::to_string(batch).unwrap();
+            let r = session_telemetry(&sequential, *id, body.as_bytes());
             assert_eq!(r.status, 200);
         }
         for &id in &b_ids {
@@ -1264,8 +1418,8 @@ mod tests {
             panic!("controller bug");
         }));
         let frames = vec![
-            wire::Frame { session: ids[0], batch: TelemetryBatch::tick(1.0) },
-            wire::Frame { session: ids[1], batch: TelemetryBatch::tick(1.0) },
+            wire::Frame::telemetry(ids[0], TelemetryBatch::tick(1.0)),
+            wire::Frame::telemetry(ids[1], TelemetryBatch::tick(1.0)),
         ];
         let resp = telemetry_batch(&state, &batch_req(wire::encode_frames(&frames), true, true));
         assert_eq!(resp.status, 200);
@@ -1352,9 +1506,9 @@ mod tests {
         let ids = make_sessions(&state, 2);
         state.journal.as_ref().unwrap().fail_flush.store(true, Relaxed);
         let frames = vec![
-            wire::Frame { session: ids[0], batch: TelemetryBatch::tick(1.0) },
-            wire::Frame { session: ids[1], batch: TelemetryBatch::tick(1.0) },
-            wire::Frame { session: 777, batch: TelemetryBatch::tick(1.0) },
+            wire::Frame::telemetry(ids[0], TelemetryBatch::tick(1.0)),
+            wire::Frame::telemetry(ids[1], TelemetryBatch::tick(1.0)),
+            wire::Frame::telemetry(777, TelemetryBatch::tick(1.0)),
         ];
         let resp = telemetry_batch(&state, &batch_req(wire::encode_frames(&frames), true, false));
         assert_eq!(resp.status, 500);
@@ -1422,7 +1576,7 @@ mod tests {
         let text = String::from_utf8(r.body).unwrap();
         assert!(text.contains("unknown_session"), "{text}");
         // Binary negotiation: the frame fails in place with an error body.
-        let frames = vec![wire::Frame { session: ids[0], batch: TelemetryBatch::tick(2.0) }];
+        let frames = vec![wire::Frame::telemetry(ids[0], TelemetryBatch::tick(2.0))];
         let resp = telemetry_batch(&state, &batch_req(wire::encode_frames(&frames), true, true));
         assert_eq!(resp.status, 200);
         assert_eq!(resp.content_type, wire::CONTENT_TYPE);

@@ -1,6 +1,7 @@
 //! Per-shard write-ahead journal: the daemon's durability layer.
 //!
-//! Sessions are event-sourced. The [`OnlineController`] is a pure,
+//! Sessions are event-sourced. The
+//! [`OnlineController`](perpetuum_online::OnlineController) is a pure,
 //! deterministic state machine (see `perpetuum_online::snapshot`), so a
 //! session's complete state is its genesis — the [`ControllerSeed`]
 //! captured at `POST /session` — plus every telemetry batch it has
@@ -49,7 +50,7 @@
 //! every append inline (power-loss safe), `batch` hands fsync to a
 //! background flusher thread — kicked once a shard accumulates
 //! [`BATCH_FSYNC_RECORDS`] unsynced appends, sweeping at least every
-//! [`FLUSH_INTERVAL`] while anything is dirty — so the request path never
+//! `FLUSH_INTERVAL` while anything is dirty — so the request path never
 //! waits on the disk; `never` only fsyncs on drain. Appends are *group
 //! committed*: they stage encoded records in a per-shard buffer, and
 //! handlers [`flush`](JournalSet::flush) — one `write()` per dirty shard
@@ -109,7 +110,7 @@ pub enum FsyncPolicy {
     Always,
     /// A background thread fsyncs dirty shards — kicked every
     /// [`BATCH_FSYNC_RECORDS`] appends, sweeping at least every
-    /// [`FLUSH_INTERVAL`] — and drain fsyncs everything: an acknowledged
+    /// `FLUSH_INTERVAL` — and drain fsyncs everything: an acknowledged
     /// frame survives any daemon crash; power loss can cost the unsynced
     /// tail (bounded by the kick threshold plus one sweep interval).
     #[default]
@@ -1031,8 +1032,14 @@ impl JournalSet {
             };
             let mut kept: Vec<Frame> = Vec::new();
             for frame in stream {
-                match controller.ingest(&frame.batch) {
-                    Ok(_) => kept.push(frame),
+                let outcome = match &frame.payload {
+                    wire::FramePayload::Telemetry(batch) => controller.ingest(batch).map(|_| ()),
+                    wire::FramePayload::Events(batch) => {
+                        controller.ingest_events(batch).map(|_| ())
+                    }
+                };
+                match outcome {
+                    Ok(()) => kept.push(frame),
                     Err(_) => stats.skipped += 1,
                 }
             }
@@ -1159,7 +1166,7 @@ fn live_records(records: Vec<Record>) -> Vec<Record> {
 mod tests {
     use super::*;
     use crate::session::SessionStore;
-    use perpetuum_online::TelemetryBatch;
+    use perpetuum_online::{ClassEvent, EventBatch, TelemetryBatch};
 
     fn seed() -> ControllerSeed {
         ControllerSeed {
@@ -1172,7 +1179,7 @@ mod tests {
     }
 
     fn frame(session: u64, time: f64) -> Frame {
-        Frame { session, batch: TelemetryBatch::tick(time) }
+        Frame::telemetry(session, TelemetryBatch::tick(time))
     }
 
     fn tmp_dir(tag: &str) -> PathBuf {
@@ -1270,6 +1277,42 @@ mod tests {
         assert_eq!(slot.lock().expect("lock").plan_json(), expected_plan, "byte-identical plan");
         // Ids never reused: the next allocation is past the recovered id.
         assert!(recovered.allocate_id() > id);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn events_frames_replay_through_recovery() {
+        let dir = tmp_dir("events");
+        let journal = open(&dir, 2);
+        let store = SessionStore::new(8, 2);
+        let s = seed();
+        let id = store.allocate_id();
+        journal.append_create(id, &s);
+        assert!(store.insert_with_id(id, s.build().expect("build")).is_none());
+        let slot = store.get(id).expect("slot");
+        {
+            let mut guard = slot.lock().expect("not poisoned");
+            guard.ingest(&TelemetryBatch::tick(1.0)).expect("tick");
+            journal.append_frames(id, vec![frame(id, 1.0)]);
+            // An in-band suppressed event (sensor 1: τ̂ = 10 inside the
+            // [8, 16) band) — accepted, so journaled, so replayed.
+            let batch = EventBatch::new(2.0, vec![ClassEvent::new(1, 0.1, 0.1, 0.9)]);
+            guard.ingest_events(&batch).expect("in-band event");
+            journal.append_frames(id, vec![Frame::events(id, batch)]);
+        }
+        let expected_plan = slot.lock().expect("lock").plan_json();
+        let expected_level = slot.lock().expect("lock").level_estimate(1);
+        drop(journal);
+
+        let journal = open(&dir, 2);
+        let recovered = SessionStore::new(8, 2);
+        let stats = journal.recover(&recovered).expect("recover");
+        assert_eq!(stats.sessions, 1);
+        assert_eq!(stats.skipped, 0, "both frame kinds must replay");
+        let slot = recovered.get(id).expect("recovered session");
+        let guard = slot.lock().expect("lock");
+        assert_eq!(guard.plan_json(), expected_plan, "byte-identical plan");
+        assert!((guard.level_estimate(1) - expected_level).abs() < 1e-12, "event state replayed");
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -79,6 +79,15 @@ pub struct Metrics {
     /// Frames inside batches that were rejected (unknown session or
     /// invalid telemetry) — applied frames are `batch_frames - this`.
     pub batch_frame_errors: AtomicU64,
+    /// Suppressed-event batches accepted (any path: `/session/{id}/events`
+    /// or events frames inside `/telemetry/batch`).
+    pub events_ingested: AtomicU64,
+    /// Client-side observations reported by accepted event batches (the
+    /// frames edge clients *would* have streamed without suppression).
+    pub client_frames_observed: AtomicU64,
+    /// Frames edge clients actually sent, as reported by accepted event
+    /// batches. `1 - sent/observed` is the suppression ratio.
+    pub client_frames_sent: AtomicU64,
     /// `GET /healthz` + `GET /metrics` + unroutable requests.
     pub other_requests: AtomicU64,
     /// Plan-cache hits.
@@ -146,6 +155,15 @@ impl Metrics {
             ReplanKind::Full => self.planner_full.observe(seconds),
             ReplanKind::None => {}
         }
+    }
+
+    /// Records one accepted suppressed-event batch and its delta counters
+    /// (observations made vs frames actually sent since the client's last
+    /// accepted batch).
+    pub fn record_events(&self, observed: u64, sent: u64) {
+        self.events_ingested.fetch_add(1, Relaxed);
+        self.client_frames_observed.fetch_add(observed, Relaxed);
+        self.client_frames_sent.fetch_add(sent, Relaxed);
     }
 
     /// Records a finished response's status class.
@@ -221,6 +239,38 @@ impl Metrics {
             "perpetuum_batch_frame_errors_total {}",
             self.batch_frame_errors.load(Relaxed)
         );
+
+        out.push_str("# HELP perpetuum_events_ingested_total Suppressed-event batches accepted.\n");
+        out.push_str("# TYPE perpetuum_events_ingested_total counter\n");
+        let _ =
+            writeln!(out, "perpetuum_events_ingested_total {}", self.events_ingested.load(Relaxed));
+        out.push_str(
+            "# HELP perpetuum_client_frames_observed_total Edge-client observations reported.\n",
+        );
+        out.push_str("# TYPE perpetuum_client_frames_observed_total counter\n");
+        let _ = writeln!(
+            out,
+            "perpetuum_client_frames_observed_total {}",
+            self.client_frames_observed.load(Relaxed)
+        );
+        out.push_str(
+            "# HELP perpetuum_client_frames_sent_total Edge-client frames actually sent.\n",
+        );
+        out.push_str("# TYPE perpetuum_client_frames_sent_total counter\n");
+        let _ = writeln!(
+            out,
+            "perpetuum_client_frames_sent_total {}",
+            self.client_frames_sent.load(Relaxed)
+        );
+        out.push_str(
+            "# HELP perpetuum_frames_suppressed_ratio Fraction of edge observations never sent.\n",
+        );
+        out.push_str("# TYPE perpetuum_frames_suppressed_ratio gauge\n");
+        let observed = self.client_frames_observed.load(Relaxed);
+        let sent = self.client_frames_sent.load(Relaxed);
+        let suppressed =
+            if observed == 0 { 0.0 } else { 1.0 - (sent.min(observed) as f64 / observed as f64) };
+        let _ = writeln!(out, "perpetuum_frames_suppressed_ratio {suppressed}");
 
         out.push_str("# HELP perpetuum_session_replans_total Telemetry batches by replan kind.\n");
         out.push_str("# TYPE perpetuum_session_replans_total counter\n");
@@ -387,8 +437,14 @@ mod tests {
         m.journal_fsyncs.fetch_add(9, Relaxed);
         m.journal_replayed_wal_records.fetch_add(17, Relaxed);
         m.recovery_seconds.observe(0.012);
+        m.record_events(40, 3);
+        m.record_events(10, 2);
         let text = m.render(5, 2, &[2, 0]);
         for needle in [
+            "perpetuum_events_ingested_total 2",
+            "perpetuum_client_frames_observed_total 50",
+            "perpetuum_client_frames_sent_total 5",
+            "perpetuum_frames_suppressed_ratio 0.9",
             "perpetuum_sessions_quarantined_total 1",
             "perpetuum_sessions_recovered_total 3",
             "perpetuum_journal_bytes_written_total 4096",

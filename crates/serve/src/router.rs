@@ -66,8 +66,8 @@ pub fn route(state: &AppState, req: &Request) -> Response {
 
 /// Dispatches the `/session` endpoint family. Unlike the fixed routes,
 /// these paths carry a session id segment: `POST /session`,
-/// `POST /session/{id}/telemetry`, `GET /session/{id}/plan`,
-/// `DELETE /session/{id}`.
+/// `POST /session/{id}/telemetry`, `POST /session/{id}/events`,
+/// `GET /session/{id}/plan`, `DELETE /session/{id}`.
 fn route_session(state: &AppState, req: &Request, path: &str) -> Response {
     let method = req.method.as_str();
     let tail = path.strip_prefix("/session").unwrap_or("");
@@ -76,6 +76,7 @@ fn route_session(state: &AppState, req: &Request, path: &str) -> Response {
     enum Target {
         Create,
         Telemetry(u64),
+        Events(u64),
         Plan(u64),
         Delete(u64),
         WrongMethod,
@@ -96,9 +97,12 @@ fn route_session(state: &AppState, req: &Request, path: &str) -> Response {
             Err(_) => Target::Unknown,
             Ok(id) => match (method, action) {
                 ("POST", Some("telemetry")) => Target::Telemetry(id),
+                ("POST", Some("events")) => Target::Events(id),
                 ("GET", Some("plan")) => Target::Plan(id),
                 ("DELETE", None) => Target::Delete(id),
-                (_, Some("telemetry") | Some("plan") | None) => Target::WrongMethod,
+                (_, Some("telemetry") | Some("events") | Some("plan") | None) => {
+                    Target::WrongMethod
+                }
                 _ => Target::Unknown,
             },
         }
@@ -122,6 +126,7 @@ fn route_session(state: &AppState, req: &Request, path: &str) -> Response {
             let resp = match known {
                 Target::Create => handlers::session_create(state, &req.body),
                 Target::Telemetry(id) => handlers::session_telemetry(state, id, &req.body),
+                Target::Events(id) => handlers::session_events(state, id, req),
                 Target::Plan(id) => handlers::session_plan(state, id, req),
                 Target::Delete(id) => handlers::session_delete(state, id),
                 Target::WrongMethod | Target::Unknown => unreachable!("handled above"),
@@ -189,19 +194,21 @@ mod tests {
         assert_eq!(route(&state, &req("POST", "/session", "{not json")).status, 400);
         assert_eq!(route(&state, &req("GET", "/session/1/plan", "")).status, 404);
         assert_eq!(route(&state, &req("POST", "/session/1/telemetry", "{}")).status, 404);
+        assert_eq!(route(&state, &req("POST", "/session/1/events", "{}")).status, 404);
         assert_eq!(route(&state, &req("DELETE", "/session/1", "")).status, 404);
-        assert_eq!(state.metrics.session.requests.load(Relaxed), 4);
-        assert_eq!(state.metrics.session.latency.count(), 4);
+        assert_eq!(state.metrics.session.requests.load(Relaxed), 5);
+        assert_eq!(state.metrics.session.latency.count(), 5);
 
         // Wrong method on a known shape: 405, counted as `other`.
         assert_eq!(route(&state, &req("GET", "/session", "")).status, 405);
         assert_eq!(route(&state, &req("POST", "/session/1/plan", "")).status, 405);
+        assert_eq!(route(&state, &req("GET", "/session/1/events", "")).status, 405);
         assert_eq!(route(&state, &req("GET", "/session/1", "")).status, 405);
         // Unparsable id or unknown action: 404.
         assert_eq!(route(&state, &req("GET", "/session/abc/plan", "")).status, 404);
         assert_eq!(route(&state, &req("POST", "/session/1/nope", "")).status, 404);
-        assert_eq!(state.metrics.other_requests.load(Relaxed), 5);
-        assert_eq!(state.metrics.session.requests.load(Relaxed), 4, "rejections not mixed in");
+        assert_eq!(state.metrics.other_requests.load(Relaxed), 6);
+        assert_eq!(state.metrics.session.requests.load(Relaxed), 5, "rejections not mixed in");
     }
 
     #[test]

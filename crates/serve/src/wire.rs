@@ -24,13 +24,26 @@
 //! ├────────┴─────────────┤        ├────────┴─────────────┤
 //! │ frame × frames       │        │ report × reports     │
 //! └──────────────────────┘        └──────────────────────┘
-//! frame:   u64 session · f64 time · u32 records · record × records
+//! frame:   u64 session · u8 tag · payload
+//!   tag 0 (telemetry): f64 time · u32 records · record × records
+//!   tag 1 (events):    f64 time · u8 sync · u32 events · event × events
+//!                      · u64 observed · u64 sent
 //! record:  u32 sensor · u8 flags(1=rate,2=level) · [f64 rate] · [f64 level]
+//! event:   u32 sensor · f64 rho_hat · f64 last_rate · f64 level
 //! report:  u64 session · u8 ok
 //!          ok=1: u64 revision · f64 time · u8 replan(0|1|2)
 //!                · u32 class_changes · u32 emergencies · u32 planner_calls
 //!          ok=0: u16 len · len bytes of UTF-8 error text
 //! ```
+//!
+//! The per-frame tag byte is the codec's versioning space: tag 0 is
+//! per-slot telemetry, tag 1 the suppressed [`ClassEvent`] batches of
+//! `perpetuum-client`, and every other value is *reserved* — decoders
+//! reject it with the typed [`WireError::BadTag`] (`field: "frame_tag"`),
+//! never a misleading truncation error, so an old server confronted with
+//! a newer frame kind fails loud and precise. (The tag byte is a PBT1
+//! layout change; pre-1.0 journals written by earlier builds are not
+//! readable by this one.)
 //!
 //! Every decoder rejects truncated buffers ([`WireError::Truncated`]),
 //! trailing garbage ([`WireError::Trailing`]), bad magic, and
@@ -39,7 +52,9 @@
 //! against the remaining buffer length before any allocation, so a
 //! hostile 4-gigabyte count in a 40-byte body cannot reserve memory.
 
-use perpetuum_online::{IngestReport, ReplanKind, TelemetryBatch, TelemetryRecord};
+use perpetuum_online::{
+    ClassEvent, EventBatch, IngestReport, ReplanKind, TelemetryBatch, TelemetryRecord,
+};
 use std::fmt;
 
 /// MIME type negotiated for every binary message this module encodes.
@@ -250,21 +265,60 @@ impl<'a> Reader<'a> {
 
 // --- telemetry frames ----------------------------------------------------
 
-/// One telemetry frame addressed to a session: the batch-ingest unit.
+/// One ingest frame addressed to a session: the batch-ingest unit.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Frame {
     /// Target session id.
     pub session: u64,
-    /// The telemetry payload.
-    pub batch: TelemetryBatch,
+    /// What the frame carries.
+    pub payload: FramePayload,
 }
+
+/// The two kinds of payload a PBT1 frame can carry, discriminated on the
+/// wire by the per-frame tag byte. Tags outside this enum are reserved
+/// for future frame kinds and decode to [`WireError::BadTag`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FramePayload {
+    /// Tag 0: per-slot telemetry records (rates and/or levels).
+    Telemetry(TelemetryBatch),
+    /// Tag 1: suppressed rounding-class events from edge clients.
+    Events(EventBatch),
+}
+
+impl Frame {
+    /// A telemetry frame (wire tag [`TAG_TELEMETRY`]).
+    pub fn telemetry(session: u64, batch: TelemetryBatch) -> Self {
+        Self { session, payload: FramePayload::Telemetry(batch) }
+    }
+
+    /// A suppressed-event frame (wire tag [`TAG_EVENTS`]).
+    pub fn events(session: u64, batch: EventBatch) -> Self {
+        Self { session, payload: FramePayload::Events(batch) }
+    }
+
+    /// The payload's timestamp, whichever kind it is.
+    pub fn time(&self) -> f64 {
+        match &self.payload {
+            FramePayload::Telemetry(b) => b.time,
+            FramePayload::Events(b) => b.time,
+        }
+    }
+}
+
+/// Frame tag for a telemetry payload.
+pub const TAG_TELEMETRY: u8 = 0;
+/// Frame tag for a suppressed-event payload.
+pub const TAG_EVENTS: u8 = 1;
 
 const RATE_FLAG: u8 = 1;
 const LEVEL_FLAG: u8 = 2;
-/// Cheapest possible frame: session + time + record count.
-const MIN_FRAME_BYTES: usize = 8 + 8 + 4;
+/// Cheapest possible frame: session + tag + time + element count
+/// (the telemetry shape; an events frame is strictly larger).
+const MIN_FRAME_BYTES: usize = 8 + 1 + 8 + 4;
 /// Cheapest possible record: sensor + flags.
 const MIN_RECORD_BYTES: usize = 4 + 1;
+/// Exact event size: sensor + rho_hat + last_rate + level.
+const EVENT_BYTES: usize = 4 + 8 + 8 + 8;
 
 /// Encodes a frame batch (request body of `POST /telemetry/batch`).
 pub fn encode_frames(frames: &[Frame]) -> Vec<u8> {
@@ -273,30 +327,50 @@ pub fn encode_frames(frames: &[Frame]) -> Vec<u8> {
     w.put_u32(frames.len() as u32);
     for f in frames {
         w.put_u64(f.session);
-        w.put_f64(f.batch.time);
-        w.put_u32(f.batch.records.len() as u32);
-        for r in &f.batch.records {
-            w.put_u32(r.sensor as u32);
-            let mut flags = 0u8;
-            if r.rate.is_some() {
-                flags |= RATE_FLAG;
+        match &f.payload {
+            FramePayload::Telemetry(batch) => {
+                w.put_u8(TAG_TELEMETRY);
+                w.put_f64(batch.time);
+                w.put_u32(batch.records.len() as u32);
+                for r in &batch.records {
+                    w.put_u32(r.sensor as u32);
+                    let mut flags = 0u8;
+                    if r.rate.is_some() {
+                        flags |= RATE_FLAG;
+                    }
+                    if r.level.is_some() {
+                        flags |= LEVEL_FLAG;
+                    }
+                    w.put_u8(flags);
+                    if let Some(rate) = r.rate {
+                        w.put_f64(rate);
+                    }
+                    if let Some(level) = r.level {
+                        w.put_f64(level);
+                    }
+                }
             }
-            if r.level.is_some() {
-                flags |= LEVEL_FLAG;
-            }
-            w.put_u8(flags);
-            if let Some(rate) = r.rate {
-                w.put_f64(rate);
-            }
-            if let Some(level) = r.level {
-                w.put_f64(level);
+            FramePayload::Events(batch) => {
+                w.put_u8(TAG_EVENTS);
+                w.put_f64(batch.time);
+                w.put_u8(u8::from(batch.sync));
+                w.put_u32(batch.events.len() as u32);
+                for e in &batch.events {
+                    w.put_u32(e.sensor as u32);
+                    w.put_f64(e.rho_hat);
+                    w.put_f64(e.last_rate);
+                    w.put_f64(e.level);
+                }
+                w.put_u64(batch.observed);
+                w.put_u64(batch.sent);
             }
         }
     }
     w.into_bytes()
 }
 
-/// Decodes a frame batch, rejecting truncation and trailing garbage.
+/// Decodes a frame batch, rejecting truncation, trailing garbage and
+/// reserved frame tags.
 pub fn decode_frames(bytes: &[u8]) -> Result<Vec<Frame>, WireError> {
     let mut r = Reader::new(bytes);
     r.expect_magic(MAGIC_FRAMES)?;
@@ -304,20 +378,46 @@ pub fn decode_frames(bytes: &[u8]) -> Result<Vec<Frame>, WireError> {
     let mut out = Vec::with_capacity(frames);
     for _ in 0..frames {
         let session = r.get_u64()?;
-        let time = r.get_f64()?;
-        let records = r.get_count("records", MIN_RECORD_BYTES)?;
-        let mut batch = TelemetryBatch { time, records: Vec::with_capacity(records) };
-        for _ in 0..records {
-            let sensor = r.get_u32()? as usize;
-            let flags = r.get_u8()?;
-            if flags & !(RATE_FLAG | LEVEL_FLAG) != 0 {
-                return Err(WireError::BadTag { field: "record flags", value: flags });
+        let payload = match r.get_u8()? {
+            TAG_TELEMETRY => {
+                let time = r.get_f64()?;
+                let records = r.get_count("records", MIN_RECORD_BYTES)?;
+                let mut batch = TelemetryBatch { time, records: Vec::with_capacity(records) };
+                for _ in 0..records {
+                    let sensor = r.get_u32()? as usize;
+                    let flags = r.get_u8()?;
+                    if flags & !(RATE_FLAG | LEVEL_FLAG) != 0 {
+                        return Err(WireError::BadTag { field: "record flags", value: flags });
+                    }
+                    let rate = if flags & RATE_FLAG != 0 { Some(r.get_f64()?) } else { None };
+                    let level = if flags & LEVEL_FLAG != 0 { Some(r.get_f64()?) } else { None };
+                    batch.records.push(TelemetryRecord { sensor, rate, level });
+                }
+                FramePayload::Telemetry(batch)
             }
-            let rate = if flags & RATE_FLAG != 0 { Some(r.get_f64()?) } else { None };
-            let level = if flags & LEVEL_FLAG != 0 { Some(r.get_f64()?) } else { None };
-            batch.records.push(TelemetryRecord { sensor, rate, level });
-        }
-        out.push(Frame { session, batch });
+            TAG_EVENTS => {
+                let time = r.get_f64()?;
+                let sync = match r.get_u8()? {
+                    0 => false,
+                    1 => true,
+                    other => return Err(WireError::BadTag { field: "sync", value: other }),
+                };
+                let count = r.get_count("events", EVENT_BYTES)?;
+                let mut events = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let sensor = r.get_u32()? as usize;
+                    let rho_hat = r.get_f64()?;
+                    let last_rate = r.get_f64()?;
+                    let level = r.get_f64()?;
+                    events.push(ClassEvent { sensor, rho_hat, last_rate, level });
+                }
+                let observed = r.get_u64()?;
+                let sent = r.get_u64()?;
+                FramePayload::Events(EventBatch { time, sync, events, observed, sent })
+            }
+            other => return Err(WireError::BadTag { field: "frame_tag", value: other }),
+        };
+        out.push(Frame { session, payload });
     }
     r.finish()?;
     Ok(out)
@@ -496,9 +596,9 @@ mod tests {
 
     fn sample_frames() -> Vec<Frame> {
         vec![
-            Frame {
-                session: 7,
-                batch: TelemetryBatch {
+            Frame::telemetry(
+                7,
+                TelemetryBatch {
                     time: 1.5,
                     records: vec![
                         TelemetryRecord::rate(0, 0.25),
@@ -507,8 +607,22 @@ mod tests {
                         TelemetryRecord { sensor: 2, rate: None, level: None },
                     ],
                 },
-            },
-            Frame { session: u64::MAX, batch: TelemetryBatch::tick(2.0) },
+            ),
+            Frame::telemetry(u64::MAX, TelemetryBatch::tick(2.0)),
+            Frame::events(
+                9,
+                EventBatch {
+                    time: 3.5,
+                    sync: true,
+                    events: vec![
+                        ClassEvent::new(0, 0.25, 0.26, 0.75),
+                        ClassEvent::new(4, 0.125, 0.12, 1.0),
+                    ],
+                    observed: 40,
+                    sent: 2,
+                },
+            ),
+            Frame::events(10, EventBatch::new(4.0, vec![])),
         ]
     }
 
@@ -544,18 +658,42 @@ mod tests {
         bytes[0] = b'X';
         assert!(matches!(decode_frames(&bytes), Err(WireError::BadMagic { .. })));
 
-        let one = vec![Frame {
-            session: 1,
-            batch: TelemetryBatch { time: 0.0, records: vec![TelemetryRecord::rate(0, 0.1)] },
-        }];
+        let one = vec![Frame::telemetry(
+            1,
+            TelemetryBatch { time: 0.0, records: vec![TelemetryRecord::rate(0, 0.1)] },
+        )];
         let mut bytes = encode_frames(&one);
         // The flags byte of the single record: magic(4)+count(4)+session(8)
-        // +time(8)+records(4)+sensor(4) = offset 32.
-        bytes[32] = 0xFF;
+        // +tag(1)+time(8)+records(4)+sensor(4) = offset 33.
+        bytes[33] = 0xFF;
         assert!(matches!(
             decode_frames(&bytes),
             Err(WireError::BadTag { field: "record flags", .. })
         ));
+    }
+
+    #[test]
+    fn reserved_frame_tags_are_rejected_with_a_typed_error() {
+        let one = vec![Frame::telemetry(1, TelemetryBatch::tick(0.5))];
+        let mut bytes = encode_frames(&one);
+        // The frame tag byte: magic(4)+count(4)+session(8) = offset 16.
+        for reserved in [2u8, 3, 0x7F, 0xFF] {
+            bytes[16] = reserved;
+            assert_eq!(
+                decode_frames(&bytes),
+                Err(WireError::BadTag { field: "frame_tag", value: reserved }),
+                "reserved tag {reserved} must fail loud, not as truncation"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_sync_byte_is_rejected() {
+        let one = vec![Frame::events(1, EventBatch::new(0.5, vec![]))];
+        let mut bytes = encode_frames(&one);
+        // The sync byte: magic(4)+count(4)+session(8)+tag(1)+time(8) = 25.
+        bytes[25] = 7;
+        assert_eq!(decode_frames(&bytes), Err(WireError::BadTag { field: "sync", value: 7 }));
     }
 
     #[test]
@@ -616,23 +754,16 @@ mod tests {
     fn binary_frames_are_smaller_than_json() {
         // Realistic telemetry: measured floats whose shortest JSON
         // rendering runs to ~17 significant digits, vs 8 bytes binary.
-        let frames = vec![Frame {
-            session: 42,
-            batch: TelemetryBatch {
-                time: 17.0 / 3.0,
-                records: (0..32)
-                    .map(|i| TelemetryRecord::full(i, i as f64 / 3.0 + 0.01, i as f64 / 7.0))
-                    .collect(),
-            },
-        }];
-        let binary = encode_frames(&frames).len();
+        let batch = TelemetryBatch {
+            time: 17.0 / 3.0,
+            records: (0..32)
+                .map(|i| TelemetryRecord::full(i, i as f64 / 3.0 + 0.01, i as f64 / 7.0))
+                .collect(),
+        };
         // Size of the same request as the JSON batch body:
         // {"frames":[{"session":42,<batch fields>}]}.
-        let json: usize = 12
-            + frames
-                .iter()
-                .map(|f| 16 + serde_json::to_string(&f.batch).expect("json").len())
-                .sum::<usize>();
+        let json: usize = 12 + 16 + serde_json::to_string(&batch).expect("json").len();
+        let binary = encode_frames(&[Frame::telemetry(42, batch)]).len();
         assert!(binary * 2 < json, "binary {binary}B must be well under JSON {json}B");
     }
 }

@@ -75,23 +75,24 @@ fn stream_strategy() -> impl Strategy<Value = Vec<(usize, TelemetryBatch)>> {
 
 /// Resolves stream targets against the state's session ids (the
 /// out-of-range target becomes the unknown session 999).
-fn to_frames(stream: &[(usize, TelemetryBatch)], ids: &[u64]) -> Vec<Frame> {
+fn to_addressed(stream: &[(usize, TelemetryBatch)], ids: &[u64]) -> Vec<(u64, TelemetryBatch)> {
     stream
         .iter()
-        .map(|(target, batch)| Frame {
-            session: ids.get(*target).copied().unwrap_or(999),
-            batch: batch.clone(),
-        })
+        .map(|(target, batch)| (ids.get(*target).copied().unwrap_or(999), batch.clone()))
         .collect()
 }
 
+fn to_frames(addressed: &[(u64, TelemetryBatch)]) -> Vec<Frame> {
+    addressed.iter().map(|(id, batch)| Frame::telemetry(*id, batch.clone())).collect()
+}
+
 /// The JSON request body equivalent of a binary frame batch.
-fn json_body(frames: &[Frame]) -> String {
-    let parts: Vec<String> = frames
+fn json_body(addressed: &[(u64, TelemetryBatch)]) -> String {
+    let parts: Vec<String> = addressed
         .iter()
-        .map(|f| {
-            let batch = serde_json::to_string(&f.batch).expect("batch json");
-            format!("{{\"session\":{},{}", f.session, &batch[1..])
+        .map(|(id, batch)| {
+            let batch = serde_json::to_string(batch).expect("batch json");
+            format!("{{\"session\":{id},{}", &batch[1..])
         })
         .collect();
     format!("{{\"frames\":[{}]}}", parts.join(","))
@@ -124,7 +125,8 @@ proptest! {
         let (sequential, s_ids) = fresh_state(4, 4);
         prop_assert_eq!(&b_ids, &s_ids, "session ids must be deterministic");
 
-        let frames = to_frames(&stream, &b_ids);
+        let addressed = to_addressed(&stream, &b_ids);
+        let frames = to_frames(&addressed);
 
         // One batch request vs one request per frame.
         let resp = perpetuum_serve::handlers::telemetry_batch(
@@ -132,10 +134,10 @@ proptest! {
             &batch_request(wire::encode_frames(&frames), true),
         );
         prop_assert_eq!(resp.status, 200);
-        for f in &frames {
-            let body = serde_json::to_string(&f.batch).expect("batch json");
+        for (id, batch) in &addressed {
+            let body = serde_json::to_string(batch).expect("batch json");
             let r = perpetuum_serve::handlers::session_telemetry(
-                &sequential, f.session, body.as_bytes(),
+                &sequential, *id, body.as_bytes(),
             );
             // Rejections (404 unknown session / 400 time travel) are part
             // of the stream; both paths must reject the same frames.
@@ -155,14 +157,14 @@ proptest! {
         let (via_json, json_ids) = fresh_state(2, 1);
         prop_assert_eq!(&bin_ids, &json_ids);
 
-        let frames = to_frames(&stream, &bin_ids);
+        let addressed = to_addressed(&stream, &bin_ids);
         let r1 = perpetuum_serve::handlers::telemetry_batch(
             &via_binary,
-            &batch_request(wire::encode_frames(&frames), true),
+            &batch_request(wire::encode_frames(&to_frames(&addressed)), true),
         );
         let r2 = perpetuum_serve::handlers::telemetry_batch(
             &via_json,
-            &batch_request(json_body(&frames).into_bytes(), false),
+            &batch_request(json_body(&addressed).into_bytes(), false),
         );
         prop_assert_eq!(r1.status, 200);
         prop_assert_eq!(r2.status, 200);
@@ -182,8 +184,7 @@ proptest! {
         let (single, s_ids) = fresh_state(8, 1);
         prop_assert_eq!(&p_ids, &s_ids);
 
-        let frames = to_frames(&stream, &p_ids);
-        let body = wire::encode_frames(&frames);
+        let body = wire::encode_frames(&to_frames(&to_addressed(&stream, &p_ids)));
         let rp = perpetuum_serve::handlers::telemetry_batch(
             &parallel, &batch_request(body.clone(), true));
         let rs = perpetuum_serve::handlers::telemetry_batch(

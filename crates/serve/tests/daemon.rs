@@ -386,6 +386,77 @@ fn session_lifecycle_over_the_wire() {
 }
 
 #[test]
+fn suppressed_events_over_the_wire_update_suppression_metrics() {
+    let handle = start(ServerConfig::default()).expect("start");
+    let addr = handle.addr;
+    let created = post(addr, "/session", &scenario_body(21));
+    assert_eq!(created.status, 200, "{}", created.body);
+    let id = num_field(&created.body, "session") as u64;
+    let tau1 = num_field(&created.body, "tau1");
+    let assigned = assigned_cycles(&get(addr, &format!("/session/{id}/plan")).body);
+
+    // An empty events batch is a pure clock tick carrying suppression
+    // deltas: 10 client observations, 1 frame actually sent.
+    let r = post(
+        addr,
+        &format!("/session/{id}/events"),
+        r#"{"time": 0.5, "events": [], "observed": 10, "sent": 1}"#,
+    );
+    assert_eq!(r.status, 200, "{}", r.body);
+    assert!(r.body.contains("\"replan\":\"none\""), "{}", r.body);
+
+    // An in-band event for sensor 0 (τ̂ inside [assigned, 2·assigned))
+    // is adopted without a replan.
+    let in_band = 1.0 / (1.5 * assigned[0]);
+    let r = post(
+        addr,
+        &format!("/session/{id}/events"),
+        &format!(
+            r#"{{"time": 1.0, "events": [{{"sensor": 0, "rho_hat": {in_band}, "last_rate": {in_band}, "level": 0.9}}], "observed": 5, "sent": 1}}"#
+        ),
+    );
+    assert_eq!(r.status, 200, "{}", r.body);
+    assert_eq!(num_field(&r.body, "planner_calls"), 0.0, "{}", r.body);
+
+    // A rate fast enough to undercut τ₁ demands a full replan: the
+    // non-sync batch is refused with 409 and mutates nothing...
+    let fast = 2.0 / tau1;
+    let body = format!(
+        r#"{{"time": 2.0, "events": [{{"sensor": 0, "rho_hat": {fast}, "last_rate": {fast}, "level": 0.5}}]}}"#
+    );
+    let r = post(addr, &format!("/session/{id}/events"), &body);
+    assert_eq!(r.status, 409, "{}", r.body);
+    assert!(r.body.contains("sync_required"), "{}", r.body);
+
+    // ...and the sync retry carrying every sensor's state is accepted.
+    let events: Vec<String> = assigned
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| {
+            let rho = if i == 0 { fast } else { 1.0 / (1.5 * a) };
+            format!(r#"{{"sensor": {i}, "rho_hat": {rho}, "last_rate": {rho}, "level": 1.0}}"#)
+        })
+        .collect();
+    let sync = format!(r#"{{"time": 2.0, "sync": true, "events": [{}]}}"#, events.join(","));
+    let r = post(addr, &format!("/session/{id}/events"), &sync);
+    assert_eq!(r.status, 200, "{}", r.body);
+    assert!(r.body.contains("\"replan\":\"full\""), "{}", r.body);
+
+    // The scrape shows the accepted batches (the 409 is not counted) and
+    // the suppression ratio 1 - 2/15 from the delta counters.
+    let metrics = get(addr, "/metrics");
+    for family in [
+        "perpetuum_events_ingested_total 3",
+        "perpetuum_client_frames_observed_total 15",
+        "perpetuum_client_frames_sent_total 2",
+        "perpetuum_frames_suppressed_ratio 0.8666666666666667",
+    ] {
+        assert!(metrics.body.contains(family), "missing {family:?}:\n{}", metrics.body);
+    }
+    handle.shutdown();
+}
+
+#[test]
 fn session_eviction_shows_up_in_the_scrape() {
     // One shard: with capacity split across shards, a single-slot store
     // needs a single shard for exact LRU semantics.
@@ -476,13 +547,13 @@ fn binary_batch_ingest_over_the_wire() {
     // One binary batch carrying frames for all three sessions plus one
     // unknown session — posted with binary content-type AND accept.
     let frames = vec![
-        wire::Frame {
-            session: ids[0],
-            batch: TelemetryBatch { time: 1.0, records: vec![TelemetryRecord::rate(0, 0.05)] },
-        },
-        wire::Frame { session: ids[1], batch: TelemetryBatch::tick(1.0) },
-        wire::Frame { session: 999_999, batch: TelemetryBatch::tick(1.0) },
-        wire::Frame { session: ids[2], batch: TelemetryBatch::tick(2.0) },
+        wire::Frame::telemetry(
+            ids[0],
+            TelemetryBatch { time: 1.0, records: vec![TelemetryRecord::rate(0, 0.05)] },
+        ),
+        wire::Frame::telemetry(ids[1], TelemetryBatch::tick(1.0)),
+        wire::Frame::telemetry(999_999, TelemetryBatch::tick(1.0)),
+        wire::Frame::telemetry(ids[2], TelemetryBatch::tick(2.0)),
     ];
     let (status, body) = post_binary(addr, "/telemetry/batch", &wire::encode_frames(&frames));
     assert_eq!(status, 200);

@@ -8,7 +8,7 @@
 
 use perpetuum_online::{ControllerSeed, OnlineConfig, OnlineController, TelemetryBatch};
 use perpetuum_serve::journal::{decode_log, encode_record, Record};
-use perpetuum_serve::wire::Frame;
+use perpetuum_serve::wire::{Frame, FramePayload};
 use perpetuum_serve::{FsyncPolicy, JournalSet, Metrics, SessionStore};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
@@ -97,7 +97,7 @@ fn run_live(script: &Script, store: &SessionStore, journal: &JournalSet) -> Vec<
         let slot = store.get(id).expect("live session");
         let mut guard = slot.lock().expect("not poisoned");
         guard.ingest(&batch).expect("monotone generated stream");
-        journal.append_frames(id, vec![Frame { session: id, batch }]);
+        journal.append_frames(id, vec![Frame::telemetry(id, batch)]);
         journal.flush().expect("journal flush");
     }
     if let Some(d) = script.delete {
@@ -212,10 +212,12 @@ proptest! {
                 }
                 Record::Frames(frames) => {
                     for frame in frames {
-                        live.get_mut(&frame.session)
-                            .expect("create precedes frames")
-                            .ingest(&frame.batch)
-                            .expect("accepted stream replays");
+                        let c = live.get_mut(&frame.session).expect("create precedes frames");
+                        match &frame.payload {
+                            FramePayload::Telemetry(batch) => c.ingest(batch).map(|_| ()),
+                            FramePayload::Events(batch) => c.ingest_events(batch).map(|_| ()),
+                        }
+                        .expect("accepted stream replays");
                     }
                 }
                 Record::End { id, .. } => {

@@ -3,7 +3,9 @@
 //! buffer — truncation at any byte, trailing garbage — is rejected with
 //! a typed error, never a panic or a silent misparse.
 
-use perpetuum_online::{IngestReport, ReplanKind, TelemetryBatch, TelemetryRecord};
+use perpetuum_online::{
+    ClassEvent, EventBatch, IngestReport, ReplanKind, TelemetryBatch, TelemetryRecord,
+};
 use perpetuum_serve::wire::{
     decode_frames, decode_reports, encode_frames, encode_reports, Frame, FrameOutcome, PlanWire,
     WireError,
@@ -22,10 +24,25 @@ fn record_strategy() -> impl Strategy<Value = TelemetryRecord> {
     })
 }
 
-fn frame_strategy() -> impl Strategy<Value = Frame> {
-    (0u64..=u64::MAX, 0.0f64..1e6, prop::collection::vec(record_strategy(), 0..8)).prop_map(
-        |(session, time, records)| Frame { session, batch: TelemetryBatch { time, records } },
+fn event_strategy() -> impl Strategy<Value = ClassEvent> {
+    (0usize..4096, 0.0f64..10.0, 0.0f64..10.0, 0.0f64..1.0).prop_map(
+        |(sensor, rho_hat, last_rate, level)| ClassEvent { sensor, rho_hat, last_rate, level },
     )
+}
+
+fn frame_strategy() -> impl Strategy<Value = Frame> {
+    // `kind` selects the payload: 0 → telemetry, 1 → events, 2 → sync
+    // events, so both wire tags (and both sync bytes) are exercised.
+    (
+        (0u64..=u64::MAX, 0.0f64..1e6, 0u8..3),
+        prop::collection::vec(record_strategy(), 0..8),
+        prop::collection::vec(event_strategy(), 0..8),
+        (0u64..1 << 40, 0u64..1 << 40),
+    )
+        .prop_map(|((session, time, kind), records, events, (observed, sent))| match kind {
+            0 => Frame::telemetry(session, TelemetryBatch { time, records }),
+            k => Frame::events(session, EventBatch { time, sync: k == 2, events, observed, sent }),
+        })
 }
 
 fn frames_strategy() -> impl Strategy<Value = Vec<Frame>> {

@@ -19,9 +19,17 @@ use crate::engine::{run_with_faults, SimConfig};
 use crate::faults::{FaultModel, RateShock};
 use crate::policy::{ChargingPolicy, MtdPolicy, Observation, PlanUpdate};
 use crate::world::World;
+use perpetuum_client::{EwmaPredictor, SensorClient};
 use perpetuum_core::network::Network;
 use perpetuum_core::var::{replan_variable_with, RepairStrategy, VarInput};
-use perpetuum_online::{OnlineConfig, OnlineController, TelemetryBatch, TelemetryRecord};
+use perpetuum_online::{
+    ClassEvent, EventBatch, OnlineConfig, OnlineController, OnlineError, TelemetryBatch,
+    TelemetryRecord,
+};
+use std::collections::HashSet;
+
+/// Float slack for charge-time comparisons (matches the engine's).
+const EPS: f64 = 1e-9;
 
 /// The online controller as a [`ChargingPolicy`]: every slot boundary is
 /// turned into one telemetry batch (measured rate + reported level per
@@ -138,6 +146,285 @@ impl ChargingPolicy for OnlinePolicy {
         }
         self.last_revision = ctl.revision();
         PlanUpdate::Replace(ctl.pending_series(obs.time))
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Wire cost of one full telemetry record on the PBT1 binary wire
+/// (`perpetuum-serve::wire`): flags byte, sensor id, rate, level.
+pub const RECORD_WIRE_BYTES: u64 = 1 + 4 + 8 + 8;
+
+/// Wire cost of one suppressed-stream event on the PBT1 binary wire:
+/// sensor id, `ρ̂`, last observed rate, settled level.
+pub const EVENT_WIRE_BYTES: u64 = 4 + 8 + 8 + 8;
+
+/// Uplink traffic ledger of one edge-suppressed closed-loop run: what the
+/// sensor fleet observed versus what actually went on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SuppressionTraffic {
+    /// Per-sensor slot observations — exactly the records a per-slot
+    /// streaming fleet would have uplinked.
+    pub frames_observed: u64,
+    /// Per-sensor records actually uplinked: drift events plus the sync
+    /// records a [`perpetuum_online::OnlineError::SyncRequired`] retry
+    /// forces out of otherwise-quiet sensors.
+    pub frames_sent: u64,
+    /// Fleet-wide sync batches triggered by `SyncRequired` refusals.
+    pub sync_batches: usize,
+}
+
+impl SuppressionTraffic {
+    /// Frames-on-wire reduction factor versus per-slot streaming
+    /// (`observed / sent`; equals `observed` when nothing was sent).
+    pub fn reduction(&self) -> f64 {
+        self.frames_observed as f64 / self.frames_sent.max(1) as f64
+    }
+
+    /// Uplink payload bytes a streaming fleet would have put on the wire.
+    pub fn bytes_streaming(&self) -> u64 {
+        self.frames_observed * RECORD_WIRE_BYTES
+    }
+
+    /// Uplink payload bytes the suppressed fleet actually put on the wire.
+    /// Events are 7 bytes heavier than records (they carry the estimator
+    /// state), so the byte reduction is slightly below the frame reduction.
+    pub fn bytes_suppressed(&self) -> u64 {
+        self.frames_sent * EVENT_WIRE_BYTES
+    }
+}
+
+/// The edge-suppressed closed loop as a [`ChargingPolicy`]: every sensor
+/// runs a [`SensorClient`] mirroring its slice of the controller state, and
+/// only class-crossing slots reach [`OnlineController::ingest_events`] — an
+/// empty event batch stands in as the clock tick. `SyncRequired` refusals
+/// are answered with a fleet-wide sync snapshot, charge completions and
+/// plan revisions are mirrored back down, and every uplink record is
+/// counted in [`SuppressionTraffic`].
+///
+/// This is the sim-harness twin of the byte-identity proofs in
+/// `perpetuum-online`'s and `perpetuum-serve`'s suppression tests: same
+/// protocol, but driven by the event-driven engine's drifting worlds and
+/// scored on deaths/cost/traffic instead of plan bytes.
+#[derive(Debug)]
+pub struct SuppressedPolicy {
+    network: Network,
+    /// Planning safety margin, forwarded to [`OnlineConfig`] and mirrored
+    /// into every [`SensorClient`].
+    pub margin: f64,
+    /// Emergency head-start slack, forwarded to [`OnlineConfig`].
+    pub emergency_slack: f64,
+    /// EWMA smoothing factor shared by the controller and the clients.
+    pub gamma: f64,
+    controller: Option<OnlineController>,
+    clients: Vec<SensorClient>,
+    /// Every `(time, sensor)` charge the current schedule implies.
+    charges: Vec<(f64, usize)>,
+    /// Charges already mirrored into the clients, keyed by
+    /// `(time.to_bits(), sensor)`.
+    applied: HashSet<(u64, usize)>,
+    last_revision: u64,
+    syncs: usize,
+}
+
+impl SuppressedPolicy {
+    /// Edge-suppressed policy with [`OnlinePolicy::DEFAULT_MARGIN`].
+    pub fn new(network: &Network) -> Self {
+        Self {
+            network: network.clone(),
+            margin: OnlinePolicy::DEFAULT_MARGIN,
+            emergency_slack: 0.0,
+            gamma: EwmaPredictor::DEFAULT_GAMMA,
+            controller: None,
+            clients: Vec::new(),
+            charges: Vec::new(),
+            applied: HashSet::new(),
+            last_revision: 0,
+            syncs: 0,
+        }
+    }
+
+    /// Edge-suppressed policy planning against `(1 − margin)`-shrunken
+    /// cycles (clients inherit the same margin for their drift test).
+    pub fn with_margin(network: &Network, margin: f64) -> Self {
+        assert!((0.0..1.0).contains(&margin), "margin must be in [0, 1)");
+        Self { margin, ..Self::new(network) }
+    }
+
+    /// The wrapped controller (after initialization).
+    pub fn controller(&self) -> Option<&OnlineController> {
+        self.controller.as_ref()
+    }
+
+    /// Cumulative planner invocations (0 until initialized).
+    pub fn planner_calls(&self) -> usize {
+        self.controller.as_ref().map_or(0, |c| c.planner_calls())
+    }
+
+    /// Incremental (forest-splice) replans after initialization.
+    pub fn incremental_replans(&self) -> usize {
+        self.controller.as_ref().map_or(0, |c| c.incremental_replans())
+    }
+
+    /// Full replans after initialization (the seed plan is excluded).
+    pub fn full_replans(&self) -> usize {
+        self.controller.as_ref().map_or(0, |c| c.full_replans().saturating_sub(1))
+    }
+
+    /// Emergency rescue dispatches issued after initialization.
+    pub fn emergency_dispatches(&self) -> usize {
+        self.controller.as_ref().map_or(0, |c| c.emergency_dispatches())
+    }
+
+    /// Plan mutations after initialization.
+    pub fn replans(&self) -> usize {
+        self.incremental_replans() + self.emergency_dispatches() + self.full_replans()
+    }
+
+    /// Fleet-wide sync batches forced by `SyncRequired` refusals.
+    pub fn syncs(&self) -> usize {
+        self.syncs
+    }
+
+    /// The uplink traffic ledger so far.
+    pub fn traffic(&self) -> SuppressionTraffic {
+        SuppressionTraffic {
+            frames_observed: self.clients.iter().map(|c| c.observed()).sum(),
+            frames_sent: self.clients.iter().map(|c| c.sent()).sum(),
+            sync_batches: self.syncs,
+        }
+    }
+}
+
+/// Every `(time, sensor)` charge `ctl`'s current schedule implies — the
+/// physical charger arrivals an edge sensor would witness.
+fn schedule_charges(ctl: &OnlineController) -> Vec<(f64, usize)> {
+    let mut out = Vec::new();
+    for d in ctl.series().dispatches() {
+        for &i in ctl.series().sets()[d.set].sensors() {
+            out.push((d.time, i));
+        }
+    }
+    out.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    out
+}
+
+/// Mirror all not-yet-applied charges with time ≤ `limit` into the clients.
+fn apply_charges(
+    charges: &[(f64, usize)],
+    applied: &mut HashSet<(u64, usize)>,
+    clients: &mut [SensorClient],
+    limit: f64,
+) {
+    for &(time, i) in charges {
+        if time <= limit && applied.insert((time.to_bits(), i)) {
+            clients[i].recharged(time);
+        }
+    }
+}
+
+/// Downlink: push the current `(τ₁, assigned)` to every client.
+fn refresh_plans(ctl: &OnlineController, clients: &mut [SensorClient]) {
+    let tau1 = ctl.tau1();
+    for (i, c) in clients.iter_mut().enumerate() {
+        c.plan_update(tau1, ctl.assigned_cycles()[i]);
+    }
+}
+
+impl ChargingPolicy for SuppressedPolicy {
+    fn name(&self) -> &'static str {
+        "MinTotalDistance-suppressed"
+    }
+
+    fn initialize(&mut self, obs: &Observation) -> PlanUpdate {
+        if obs.levels.is_empty() {
+            return PlanUpdate::Keep;
+        }
+        let rates: Vec<f64> = (0..obs.levels.len()).map(|i| obs.rate_safe(i)).collect();
+        let cfg = OnlineConfig::new(obs.horizon)
+            .with_gamma(self.gamma)
+            .with_margin(self.margin)
+            .with_emergency_slack(self.emergency_slack);
+        match OnlineController::new(
+            self.network.clone(),
+            obs.capacities.to_vec(),
+            rates.clone(),
+            cfg,
+        ) {
+            Ok(ctl) => {
+                self.clients = rates
+                    .iter()
+                    .zip(obs.capacities)
+                    .map(|(&r, &cap)| {
+                        SensorClient::new(self.gamma, self.margin, obs.horizon, cap, r)
+                    })
+                    .collect();
+                refresh_plans(&ctl, &mut self.clients);
+                self.charges = schedule_charges(&ctl);
+                // Construction may already have executed a repair dispatch
+                // at t = 0.
+                apply_charges(&self.charges, &mut self.applied, &mut self.clients, obs.time + EPS);
+                let series = ctl.pending_series(obs.time);
+                self.last_revision = ctl.revision();
+                self.controller = Some(ctl);
+                PlanUpdate::Replace(series)
+            }
+            Err(_) => PlanUpdate::Keep,
+        }
+    }
+
+    fn on_slot_boundary(&mut self, obs: &Observation) -> PlanUpdate {
+        let Some(ctl) = self.controller.as_mut() else {
+            return PlanUpdate::Keep;
+        };
+        let t = obs.time;
+        apply_charges(&self.charges, &mut self.applied, &mut self.clients, t - EPS);
+
+        // Sensors observe the slot's measured rate; most slots are
+        // suppressed client-side and cost nothing on the wire.
+        let mut events = Vec::new();
+        for (i, c) in self.clients.iter_mut().enumerate() {
+            if let Some(s) = c.observe(t, obs.rho_now[i]) {
+                events.push(ClassEvent::new(i, s.rho_hat, s.last_rate, s.level));
+            }
+        }
+        let batch = EventBatch::new(t, events);
+        match ctl.ingest_events(&batch) {
+            Ok(_) => {}
+            Err(OnlineError::SyncRequired) => {
+                self.syncs += 1;
+                // Retry with the fleet-wide state snapshot; sensors whose
+                // slot was suppressed pay for their sync record now.
+                let all: Vec<ClassEvent> = self
+                    .clients
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(i, c)| {
+                        let s = c.state();
+                        if !batch.events.iter().any(|e| e.sensor == i) {
+                            c.record_sync();
+                        }
+                        ClassEvent::new(i, s.rho_hat, s.last_rate, s.level)
+                    })
+                    .collect();
+                let sync = EventBatch { time: t, sync: true, events: all, observed: 0, sent: 0 };
+                if ctl.ingest_events(&sync).is_err() {
+                    return PlanUpdate::Keep;
+                }
+            }
+            Err(_) => return PlanUpdate::Keep,
+        }
+
+        // Downlink: fresh plan + the (possibly revised) charge schedule.
+        refresh_plans(ctl, &mut self.clients);
+        self.charges = schedule_charges(ctl);
+        apply_charges(&self.charges, &mut self.applied, &mut self.clients, t + EPS);
+
+        if ctl.revision() == self.last_revision {
+            return PlanUpdate::Keep;
+        }
+        self.last_revision = ctl.revision();
+        PlanUpdate::Replace(ctl.pending_series(t))
     }
 }
 
@@ -298,6 +585,64 @@ pub fn compare_under_drift(world: &World, cfg: &SimConfig, drift: f64) -> Closed
     }
 }
 
+/// Outcome of [`compare_suppressed`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuppressionComparison {
+    /// Per-slot compounding drift factor applied to every true rate.
+    pub drift: f64,
+    /// Per-slot streaming [`OnlinePolicy`] (one record per sensor per slot).
+    pub streaming_arm: ArmOutcome,
+    /// Edge-suppressed [`SuppressedPolicy`] (events only).
+    pub suppressed_arm: ArmOutcome,
+    /// What the suppressed fleet put on the wire versus what it observed.
+    pub traffic: SuppressionTraffic,
+}
+
+/// Run the per-slot streaming and edge-suppressed closed loops over
+/// identical worlds, seeds and drift realizations: the data behind the
+/// `BENCH_client.json` traffic-reduction table. The suppressed arm must
+/// match the streaming arm's control quality while uplinking a small
+/// fraction of the frames.
+pub fn compare_suppressed(world: &World, cfg: &SimConfig, drift: f64) -> SuppressionComparison {
+    let faults = if drift == 0.0 {
+        FaultModel::none()
+    } else {
+        FaultModel::none().with_rate_shocks(RateShock::drift(drift)).with_seed(cfg.seed)
+    };
+    let network = world.network.clone();
+
+    let mut streaming_policy = OnlinePolicy::new(&network);
+    let streaming_result = run_with_faults(world.clone(), cfg, &mut streaming_policy, &faults);
+
+    let mut suppressed_policy = SuppressedPolicy::new(&network);
+    let suppressed_result = run_with_faults(world.clone(), cfg, &mut suppressed_policy, &faults);
+
+    SuppressionComparison {
+        drift,
+        streaming_arm: ArmOutcome {
+            name: "streaming",
+            deaths: streaming_result.deaths.len(),
+            service_cost: streaming_result.service_cost,
+            replans: streaming_policy.replans(),
+            incremental_replans: streaming_policy.incremental_replans(),
+            full_replans: streaming_policy.full_replans(),
+            emergency_dispatches: streaming_policy.emergency_dispatches(),
+            planner_calls: streaming_policy.planner_calls(),
+        },
+        suppressed_arm: ArmOutcome {
+            name: "suppressed",
+            deaths: suppressed_result.deaths.len(),
+            service_cost: suppressed_result.service_cost,
+            replans: suppressed_policy.replans(),
+            incremental_replans: suppressed_policy.incremental_replans(),
+            full_replans: suppressed_policy.full_replans(),
+            emergency_dispatches: suppressed_policy.emergency_dispatches(),
+            planner_calls: suppressed_policy.planner_calls(),
+        },
+        traffic: suppressed_policy.traffic(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -377,6 +722,47 @@ mod tests {
     fn oracle_bounds_online_death_count() {
         let outcome = compare_under_drift(&world(), &cfg(), 0.015);
         assert!(outcome.oracle_arm.deaths <= outcome.online_arm.deaths);
+    }
+
+    #[test]
+    fn suppressed_arm_is_silent_in_a_drift_free_world() {
+        let outcome = compare_suppressed(&world(), &cfg(), 0.0);
+        assert_eq!(outcome.suppressed_arm.deaths, 0, "no drift, no deaths");
+        assert_eq!(outcome.suppressed_arm.replans, 0, "constant rates stay in-band");
+        assert!(outcome.traffic.frames_observed > 0, "slots were observed");
+        assert_eq!(
+            outcome.traffic.frames_sent, 0,
+            "every in-band slot must be suppressed at the edge"
+        );
+        assert_eq!(outcome.traffic.sync_batches, 0);
+        assert_eq!(outcome.traffic.bytes_suppressed(), 0);
+        assert!(outcome.traffic.bytes_streaming() > 0);
+    }
+
+    #[test]
+    fn suppressed_arm_tracks_drift_with_a_fraction_of_the_frames() {
+        // Same drift realization as `closed_loop_beats_static_under_drift`:
+        // rates end ~1.8× their planning-time values.
+        let outcome = compare_suppressed(&world(), &cfg(), 0.015);
+        assert!(outcome.suppressed_arm.replans > 0, "drift must trigger replanning");
+        assert!(
+            outcome.traffic.sync_batches >= 1,
+            "compounding drift must eventually force a fleet-wide sync"
+        );
+        assert!(
+            outcome.suppressed_arm.deaths <= outcome.streaming_arm.deaths,
+            "suppression must not cost control quality: {} deaths vs {} streaming",
+            outcome.suppressed_arm.deaths,
+            outcome.streaming_arm.deaths
+        );
+        let reduction = outcome.traffic.reduction();
+        assert!(
+            reduction >= 5.0,
+            "frames-on-wire reduction too weak: {reduction:.1}x ({} of {} sent)",
+            outcome.traffic.frames_sent,
+            outcome.traffic.frames_observed
+        );
+        assert!(outcome.traffic.bytes_suppressed() * 3 < outcome.traffic.bytes_streaming());
     }
 
     #[test]

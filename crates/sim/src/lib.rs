@@ -40,7 +40,8 @@ pub mod trace;
 pub mod world;
 
 pub use closed_loop::{
-    compare_under_drift, ArmOutcome, ClosedLoopComparison, OnlinePolicy, OraclePolicy,
+    compare_suppressed, compare_under_drift, ArmOutcome, ClosedLoopComparison, OnlinePolicy,
+    OraclePolicy, SuppressedPolicy, SuppressionComparison, SuppressionTraffic,
 };
 pub use engine::{run, run_traced, run_with_faults, run_with_faults_traced, SimConfig};
 pub use faults::{ChargerFaults, FaultModel, RateShock, RecoveryConfig, SpeedFaults};
