@@ -53,6 +53,7 @@ pub mod network;
 pub mod qmsf;
 pub mod qtsp;
 pub mod recovery;
+pub mod refine;
 pub mod rounding;
 pub mod schedule;
 pub mod split;
@@ -75,6 +76,7 @@ pub use qtsp::{
     q_rooted_tsp_with_forest_src, tour_from_tree_doubling, tours_for_forest_src, QTours, Routing,
 };
 pub use recovery::{degraded_tour_set, surviving_depots};
+pub use refine::{refine, refine_tour_set, Budget, RefineReport};
 pub use rounding::{partition_cycles, power_class, CyclePartition};
 pub use schedule::{Dispatch, ScheduleSeries, TourSet};
 pub use split::{split_tour, split_tour_set, SplitError, SplitTourSet};

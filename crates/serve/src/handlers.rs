@@ -12,10 +12,13 @@ use crate::cache::{canonical_hash, PlanCache};
 use crate::http::{Request, Response};
 use crate::journal::{EndReason, JournalSet};
 use crate::metrics::Metrics;
+use crate::refine::{RefineJob, RefineQueue};
 use crate::session::SessionStore;
 use crate::wire;
 use perpetuum_core::mtd::{plan_min_total_distance, MtdConfig};
 use perpetuum_core::network::{Instance, Network};
+use perpetuum_core::refine::{refine, Budget, RefineReport};
+use perpetuum_core::ScheduleSeries;
 use perpetuum_exp::scenario::{world_from_value, Algo, ScenarioError};
 use perpetuum_online::{
     ClassEvent, ControllerSeed, EventBatch, OnlineConfig, OnlineError, TelemetryBatch,
@@ -49,6 +52,10 @@ pub struct AppState {
     pub batch_threads: usize,
     /// The write-ahead journal; `None` runs the daemon in-memory only.
     pub journal: Option<JournalSet>,
+    /// Pending background-refinement jobs (`/plan` with
+    /// `"refine":"background"`), drained by the pool in
+    /// [`crate::refine`].
+    pub refine_queue: RefineQueue,
 }
 
 impl AppState {
@@ -61,6 +68,7 @@ impl AppState {
             metrics: Arc::new(Metrics::default()),
             batch_threads: 1,
             journal: None,
+            refine_queue: RefineQueue::default(),
         }
     }
 
@@ -137,6 +145,93 @@ fn f64_field(v: &Value, key: &str) -> Result<Option<f64>, Response> {
     }
 }
 
+/// Default refinement step budget when a request opts into `refine`
+/// without setting `refine_steps` — enough to converge the Section VII
+/// grid sizes, small enough that an inline pass stays sub-second.
+pub const DEFAULT_REFINE_STEPS: u64 = 200_000;
+
+/// How a `/plan` request wants its schedule refined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RefineMode {
+    /// Constructive plan only (the default; byte-compatible with
+    /// requests that predate the knob).
+    Off,
+    /// Refine before responding: the response already carries the
+    /// improved schedule, at the price of local-search latency.
+    Inline,
+    /// Respond with the constructive plan immediately and enqueue a
+    /// background job that upgrades the cached entry in place.
+    Background,
+}
+
+fn refine_mode(v: &Value) -> Result<RefineMode, Response> {
+    match v.get("refine") {
+        None | Some(Value::Null) => Ok(RefineMode::Off),
+        Some(Value::Str(s)) => match s.as_str() {
+            "off" => Ok(RefineMode::Off),
+            "inline" => Ok(RefineMode::Inline),
+            "background" => Ok(RefineMode::Background),
+            other => Err(bad_json(format!(
+                "field `refine` must be \"off\", \"inline\" or \"background\", got {other:?}"
+            ))),
+        },
+        Some(other) => Err(bad_json(format!("field `refine` must be a string, got {other:?}"))),
+    }
+}
+
+/// The request-derived response fields a background upgrade must
+/// re-render around the improved schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanMeta {
+    /// Sensor count.
+    pub n: usize,
+    /// Depot count.
+    pub q: usize,
+    /// Master seed of the request.
+    pub seed: u64,
+    /// Scenario grid index.
+    pub index: u64,
+    /// Whether the sparse pipeline was forced.
+    pub sparse: bool,
+    /// Refinement step budget of the request.
+    pub refine_steps: u64,
+}
+
+/// Builds the `result` object of a `/plan` response. The field order is
+/// fixed — the background worker re-renders through this same function,
+/// so an upgraded cache entry differs from the original only in the
+/// schedule, the costs, and the `refine` object.
+pub fn render_plan_result(
+    meta: &PlanMeta,
+    schedule: &ScheduleSeries,
+    refine: Option<(&str, bool, Option<&RefineReport>)>,
+) -> Value {
+    let mut fields = vec![
+        ("n".to_string(), Value::Num(meta.n as f64)),
+        ("q".to_string(), Value::Num(meta.q as f64)),
+        ("seed".to_string(), Value::Num(meta.seed as f64)),
+        ("index".to_string(), Value::Num(meta.index as f64)),
+        ("sparse".to_string(), Value::Bool(meta.sparse)),
+        ("service_cost".to_string(), Value::Num(schedule.service_cost())),
+        ("dispatches".to_string(), Value::Num(schedule.dispatch_count() as f64)),
+        ("total_charges".to_string(), Value::Num(schedule.total_charges() as f64)),
+        ("schedule".to_string(), schedule.to_value()),
+    ];
+    if let Some((mode, refined, report)) = refine {
+        let mut obj = vec![
+            ("mode".to_string(), Value::Str(mode.to_string())),
+            ("refined".to_string(), Value::Bool(refined)),
+            ("budget_steps".to_string(), Value::Num(meta.refine_steps as f64)),
+        ];
+        if let Some(rep) = report {
+            obj.push(("constructive_cost".to_string(), Value::Num(rep.constructive_cost)));
+            obj.push(("improvement_ratio".to_string(), Value::Num(rep.improvement_ratio())));
+        }
+        fields.push(("refine".to_string(), Value::Obj(obj)));
+    }
+    Value::Obj(fields)
+}
+
 /// `GET /healthz`.
 pub fn healthz() -> Response {
     Response::json(200, "{\"status\":\"ok\"}".to_string())
@@ -189,6 +284,14 @@ pub fn plan(state: &AppState, body: &[u8]) -> Response {
         Ok(b) => b,
         Err(r) => return r,
     };
+    let mode = match refine_mode(&tree) {
+        Ok(m) => m,
+        Err(r) => return r,
+    };
+    let refine_steps = match u64_field(&tree, "refine_steps", DEFAULT_REFINE_STEPS) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
 
     let parsed = match world_from_value(scenario_value, seed, index) {
         Ok(p) => p,
@@ -205,24 +308,49 @@ pub fn plan(state: &AppState, body: &[u8]) -> Response {
         parsed.instance()
     };
     let schedule = plan_min_total_distance(&instance, &MtdConfig::default());
+    let meta = PlanMeta { n: instance.n(), q: instance.q(), seed, index, sparse, refine_steps };
 
-    let result = Value::Obj(vec![
-        ("n".to_string(), Value::Num(instance.n() as f64)),
-        ("q".to_string(), Value::Num(instance.q() as f64)),
-        ("seed".to_string(), Value::Num(seed as f64)),
-        ("index".to_string(), Value::Num(index as f64)),
-        ("sparse".to_string(), Value::Bool(sparse)),
-        ("service_cost".to_string(), Value::Num(schedule.service_cost())),
-        ("dispatches".to_string(), Value::Num(schedule.dispatch_count() as f64)),
-        ("total_charges".to_string(), Value::Num(schedule.total_charges() as f64)),
-        ("schedule".to_string(), schedule.to_value()),
-    ]);
+    let result = match mode {
+        // No `refine` object at all: byte-compatible with pre-knob
+        // responses, which the cache round-trip tests pin.
+        RefineMode::Off => render_plan_result(&meta, &schedule, None),
+        RefineMode::Inline => {
+            let t0 = Instant::now();
+            let (refined, report) =
+                refine(instance.network(), &schedule, &Budget::steps(refine_steps), seed);
+            state.metrics.record_refine(
+                report.constructive_cost,
+                report.refined_cost,
+                t0.elapsed().as_secs_f64(),
+            );
+            render_plan_result(&meta, &refined, Some(("inline", true, Some(&report))))
+        }
+        RefineMode::Background => {
+            render_plan_result(&meta, &schedule, Some(("background", false, None)))
+        }
+    };
     let rendered: Arc<str> = match serde_json::to_string(&result) {
         Ok(s) => Arc::from(s),
         Err(e) => return Response::error(500, "internal_error", &e.to_string()),
     };
     if state.cache.insert(key, Arc::clone(&rendered)) {
         state.metrics.cache_evictions.fetch_add(1, Relaxed);
+    }
+    if mode == RefineMode::Background {
+        // Enqueue after the constructive entry is cached so the worker's
+        // evicted-check races the right way; a full (or closed) queue
+        // just means this entry stays constructive.
+        let queued = state.refine_queue.push(RefineJob {
+            key,
+            instance,
+            schedule,
+            steps: refine_steps,
+            seed,
+            meta,
+        });
+        if !queued {
+            state.metrics.refine_jobs_dropped.fetch_add(1, Relaxed);
+        }
     }
     respond_plan(false, started, &rendered)
 }
@@ -1094,6 +1222,93 @@ mod tests {
         }
     }
 
+    /// Every refine mode is part of the cache key (the mode lives in the
+    /// request tree), so off/inline/background get distinct entries; the
+    /// inline entry carries the refined schedule and a `refine` object
+    /// with a non-negative improvement ratio.
+    #[test]
+    fn inline_refine_cuts_cost_and_records_metrics() {
+        let state = AppState::new(32);
+        let off = plan(&state, small_plan_body(9).as_bytes());
+        let inline_body =
+            small_plan_body(9).replace("\"seed\": 9", "\"seed\": 9, \"refine\": \"inline\"");
+        let refined = plan(&state, inline_body.as_bytes());
+        assert_eq!(off.status, 200);
+        assert_eq!(refined.status, 200);
+        assert_eq!(state.metrics.cache_misses.load(Relaxed), 2, "distinct cache entries");
+
+        let cost = |r: &Response| {
+            let body = std::str::from_utf8(&r.body).unwrap().to_string();
+            let v = serde_json::parse_value(&body).unwrap();
+            match v.get("result").and_then(|r| r.get("service_cost")) {
+                Some(Value::Num(n)) => *n,
+                other => panic!("no service_cost: {other:?}"),
+            }
+        };
+        assert!(cost(&refined) <= cost(&off) + 1e-9, "refined plan must not cost more");
+        let text = String::from_utf8(refined.body).unwrap();
+        assert!(text.contains("\"refine\":{\"mode\":\"inline\",\"refined\":true"), "{text}");
+        assert_eq!(state.metrics.refine_passes.load(Relaxed), 1);
+        // The off-mode response must stay byte-compatible: no refine
+        // object at all.
+        let off_text = String::from_utf8(off.body).unwrap();
+        assert!(!off_text.contains("\"refine\""), "{off_text}");
+    }
+
+    /// Background mode answers with the constructive plan immediately
+    /// (`refined:false`), and draining the queue upgrades the cached
+    /// entry in place: same key, same dispatch count, lower-or-equal
+    /// cost, `refined:true`.
+    #[test]
+    fn background_refine_upgrades_the_cached_entry_in_place() {
+        let state = AppState::new(32);
+        let body =
+            small_plan_body(11).replace("\"seed\": 11", "\"seed\": 11, \"refine\": \"background\"");
+        let first = plan(&state, body.as_bytes());
+        assert_eq!(first.status, 200);
+        let first_text = String::from_utf8(first.body).unwrap();
+        assert!(
+            first_text.contains("\"refine\":{\"mode\":\"background\",\"refined\":false"),
+            "{first_text}"
+        );
+        assert_eq!(state.refine_queue.len(), 1);
+
+        assert_eq!(crate::refine::drain(&state), 1);
+        assert_eq!(state.metrics.refine_upgrades.load(Relaxed), 1);
+        assert_eq!(state.metrics.refine_jobs_dropped.load(Relaxed), 0);
+
+        let second = plan(&state, body.as_bytes());
+        let second_text = String::from_utf8(second.body).unwrap();
+        assert!(second_text.starts_with("{\"cache_hit\":true,"), "{second_text}");
+        assert!(
+            second_text.contains("\"refine\":{\"mode\":\"background\",\"refined\":true"),
+            "{second_text}"
+        );
+        let cost = |t: &str| {
+            let v = serde_json::parse_value(t).unwrap();
+            match v.get("result").and_then(|r| r.get("service_cost")) {
+                Some(Value::Num(n)) => *n,
+                other => panic!("no service_cost: {other:?}"),
+            }
+        };
+        assert!(cost(&second_text) <= cost(&first_text) + 1e-9);
+    }
+
+    /// If the constructive entry is gone by the time its job runs (here:
+    /// a zero-capacity cache, the degenerate case of LRU eviction), the
+    /// upgrade is dropped and counted — never re-inserted over a live
+    /// entry's slot.
+    #[test]
+    fn background_refine_drops_evicted_entries() {
+        let state = AppState::new(0);
+        let body =
+            small_plan_body(13).replace("\"seed\": 13", "\"seed\": 13, \"refine\": \"background\"");
+        assert_eq!(plan(&state, body.as_bytes()).status, 200);
+        assert_eq!(crate::refine::drain(&state), 1);
+        assert_eq!(state.metrics.refine_upgrades.load(Relaxed), 0);
+        assert_eq!(state.metrics.refine_jobs_dropped.load(Relaxed), 1);
+    }
+
     #[test]
     fn simulate_runs_with_and_without_faults() {
         let body = small_plan_body(2).replace("\"seed\": 2", "\"seed\": 2, \"algo\": \"Greedy\"");
@@ -1348,13 +1563,19 @@ mod tests {
         assert!(!plan.assigned.is_empty());
     }
 
+    /// Four bytes that are a well-formed length but the wrong magic: the
+    /// same width as [`wire::MAGIC_FRAMES`] (`PBT1`), deliberately not
+    /// any of the `P??1` magics, so the decoder's magic check — not a
+    /// truncation check — must be what rejects it.
+    const WRONG_MAGIC: [u8; 4] = *b"XXXX";
+
     #[test]
     fn batch_rejects_malformed_bodies() {
         let state = AppState::new(8);
         for (body, binary, kind) in [
             (b"{".to_vec(), false, "bad_json"),
             (br#"{"no_frames": 1}"#.to_vec(), false, "bad_json"),
-            (b"XXXX".to_vec(), true, "bad_wire"),
+            (WRONG_MAGIC.to_vec(), true, "bad_wire"),
             (wire::encode_frames(&[])[..4].to_vec(), true, "bad_wire"),
         ] {
             let r = telemetry_batch(&state, &batch_req(body, binary, false));
@@ -1365,6 +1586,34 @@ mod tests {
         // An empty frame list is valid and a no-op.
         let r = telemetry_batch(&state, &batch_req(br#"{"frames": []}"#.to_vec(), false, false));
         assert_eq!(r.status, 200);
+    }
+
+    /// The refine knob must not open a parsing side door: binary garbage
+    /// (wrong magic or real PBT1 frames) posted to `/plan` is still
+    /// `bad_json`, and a bad `refine` value is rejected before any
+    /// scenario work.
+    #[test]
+    fn plan_refine_path_rejects_bad_knobs_and_binary_bodies() {
+        let state = AppState::new(8);
+        for body in [WRONG_MAGIC.to_vec(), wire::encode_frames(&[])] {
+            let r = plan(&state, &body);
+            assert_eq!(r.status, 400);
+            let text = String::from_utf8(r.body).unwrap();
+            assert!(text.contains("\"kind\":\"bad_json\""), "{text}");
+        }
+        for body in [
+            small_plan_body(1).replace("\"seed\": 1", "\"seed\": 1, \"refine\": \"sometimes\""),
+            small_plan_body(1).replace("\"seed\": 1", "\"seed\": 1, \"refine\": 3"),
+            small_plan_body(1).replace(
+                "\"seed\": 1",
+                "\"seed\": 1, \"refine\": \"inline\", \"refine_steps\": -1",
+            ),
+        ] {
+            let r = plan(&state, body.as_bytes());
+            assert_eq!(r.status, 400, "{body}");
+            let text = String::from_utf8(r.body).unwrap();
+            assert!(text.contains("\"kind\":\"bad_json\""), "{text}");
+        }
     }
 
     use crate::journal::FsyncPolicy;

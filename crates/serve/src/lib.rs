@@ -43,6 +43,7 @@ pub mod handlers;
 pub mod http;
 pub mod journal;
 pub mod metrics;
+pub mod refine;
 pub mod router;
 pub mod server;
 pub mod session;

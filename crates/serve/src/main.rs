@@ -41,6 +41,8 @@ OPTIONS:
     --write-timeout-secs <s>  per-connection socket write timeout [default: 10]
     --deadline-secs <s>       whole-request deadline; trickling clients get
                               408 past it (0 disables)  [default: 30]
+    --refine-workers <n>      background plan-refinement threads, 0..=64
+                              (0 disables the pool)  [default: 1]
     --data-dir <path>         write-ahead journal directory; sessions and
                               accepted telemetry survive a crash and are
                               replayed on restart   [default: in-memory only]
@@ -136,6 +138,9 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, ArgError> {
             "--deadline-secs" => {
                 let secs = parse_in_range("--deadline-secs", value, 0, 86_400)?;
                 cfg.request_deadline = Duration::from_secs(secs as u64);
+            }
+            "--refine-workers" => {
+                cfg.refine_workers = parse_in_range("--refine-workers", value, 0, 64)?
             }
             "--data-dir" => cfg.data_dir = Some(PathBuf::from(value)),
             "--fsync-policy" => {
@@ -241,6 +246,17 @@ mod tests {
         assert_eq!(cfg.session_shards, 32);
         assert_eq!(cfg.session_threads, 4);
         assert_eq!(cfg.session_capacity, 100_000);
+    }
+
+    #[test]
+    fn refine_workers_flag_parses_and_zero_disables() {
+        assert_eq!(parse_args(&[]).expect("empty args").refine_workers, 1);
+        let cfg = parse_args(&args(&["--refine-workers", "0"])).expect("zero is valid");
+        assert_eq!(cfg.refine_workers, 0);
+        assert_eq!(
+            parse_args(&args(&["--refine-workers", "65"])),
+            Err(ArgError::OutOfRange { flag: "--refine-workers", value: 65, min: 0, max: 64 })
+        );
     }
 
     #[test]

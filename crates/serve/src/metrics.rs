@@ -122,6 +122,23 @@ pub struct Metrics {
     pub planner_incremental: Histogram,
     /// Planner latency of telemetry batches that forced a full replan.
     pub planner_full: Histogram,
+    /// Refinement passes completed (inline `/plan` requests and background
+    /// worker jobs alike).
+    pub refine_passes: AtomicU64,
+    /// Cached `/plan` entries replaced in place by a background
+    /// refinement pass.
+    pub refine_upgrades: AtomicU64,
+    /// Background refinement jobs dropped: the queue was full, or the
+    /// cache entry was evicted before the upgrade landed.
+    pub refine_jobs_dropped: AtomicU64,
+    /// Cumulative constructive service cost seen by refinement passes,
+    /// in cost millis (integer atomics; the improvement-ratio gauge is
+    /// derived at render time).
+    pub refine_constructive_millicost: AtomicU64,
+    /// Cumulative refined service cost, in cost millis.
+    pub refine_refined_millicost: AtomicU64,
+    /// Wall-clock duration of refinement passes.
+    pub refine_seconds: Histogram,
     /// Connections rejected with `503` because the request queue was full.
     pub queue_rejected: AtomicU64,
     /// Responses by status class: `[2xx, 4xx, 5xx]`.
@@ -164,6 +181,17 @@ impl Metrics {
         self.events_ingested.fetch_add(1, Relaxed);
         self.client_frames_observed.fetch_add(observed, Relaxed);
         self.client_frames_sent.fetch_add(sent, Relaxed);
+    }
+
+    /// Records one completed refinement pass: the service cost before and
+    /// after, and the wall-clock time it took. Feeds the pass counter,
+    /// the improvement-ratio gauge and the latency histogram.
+    pub fn record_refine(&self, constructive_cost: f64, refined_cost: f64, seconds: f64) {
+        self.refine_passes.fetch_add(1, Relaxed);
+        self.refine_constructive_millicost
+            .fetch_add((constructive_cost.max(0.0) * 1e3) as u64, Relaxed);
+        self.refine_refined_millicost.fetch_add((refined_cost.max(0.0) * 1e3) as u64, Relaxed);
+        self.refine_seconds.observe(seconds);
     }
 
     /// Records a finished response's status class.
@@ -373,6 +401,40 @@ impl Metrics {
         out.push_str("# TYPE perpetuum_recovery_seconds histogram\n");
         self.recovery_seconds.render(&mut out, "perpetuum_recovery_seconds", "phase", "startup");
 
+        out.push_str("# HELP perpetuum_refine_passes_total Refinement passes completed.\n");
+        out.push_str("# TYPE perpetuum_refine_passes_total counter\n");
+        let _ = writeln!(out, "perpetuum_refine_passes_total {}", self.refine_passes.load(Relaxed));
+        out.push_str(
+            "# HELP perpetuum_refine_upgrades_total Cached plans upgraded in place by background refinement.\n",
+        );
+        out.push_str("# TYPE perpetuum_refine_upgrades_total counter\n");
+        let _ =
+            writeln!(out, "perpetuum_refine_upgrades_total {}", self.refine_upgrades.load(Relaxed));
+        out.push_str(
+            "# HELP perpetuum_refine_jobs_dropped_total Background refinement jobs dropped (queue full or entry evicted).\n",
+        );
+        out.push_str("# TYPE perpetuum_refine_jobs_dropped_total counter\n");
+        let _ = writeln!(
+            out,
+            "perpetuum_refine_jobs_dropped_total {}",
+            self.refine_jobs_dropped.load(Relaxed)
+        );
+        out.push_str(
+            "# HELP perpetuum_refine_improvement_ratio Service cost removed by refinement, as a fraction of constructive cost.\n",
+        );
+        out.push_str("# TYPE perpetuum_refine_improvement_ratio gauge\n");
+        let constructive = self.refine_constructive_millicost.load(Relaxed);
+        let refined = self.refine_refined_millicost.load(Relaxed);
+        let ratio = if constructive == 0 {
+            0.0
+        } else {
+            1.0 - refined.min(constructive) as f64 / constructive as f64
+        };
+        let _ = writeln!(out, "perpetuum_refine_improvement_ratio {ratio}");
+        out.push_str("# HELP perpetuum_refine_seconds Refinement pass duration.\n");
+        out.push_str("# TYPE perpetuum_refine_seconds histogram\n");
+        self.refine_seconds.render(&mut out, "perpetuum_refine_seconds", "kind", "pass");
+
         out.push_str("# HELP perpetuum_queue_rejected_total Connections shed with 503.\n");
         out.push_str("# TYPE perpetuum_queue_rejected_total counter\n");
         let _ =
@@ -439,8 +501,17 @@ mod tests {
         m.recovery_seconds.observe(0.012);
         m.record_events(40, 3);
         m.record_events(10, 2);
+        m.record_refine(200.0, 150.0, 0.004);
+        m.refine_upgrades.fetch_add(1, Relaxed);
+        m.refine_jobs_dropped.fetch_add(2, Relaxed);
         let text = m.render(5, 2, &[2, 0]);
         for needle in [
+            "perpetuum_refine_passes_total 1",
+            "perpetuum_refine_upgrades_total 1",
+            "perpetuum_refine_jobs_dropped_total 2",
+            "perpetuum_refine_improvement_ratio 0.25",
+            "perpetuum_refine_seconds_count{kind=\"pass\"} 1",
+            "perpetuum_refine_seconds_bucket{kind=\"pass\",le=\"0.005\"} 1",
             "perpetuum_events_ingested_total 2",
             "perpetuum_client_frames_observed_total 50",
             "perpetuum_client_frames_sent_total 5",

@@ -67,6 +67,10 @@ pub struct ServerConfig {
     /// each one) gets `408` once this much wall clock has passed since
     /// its connection was picked up. Zero disables.
     pub request_deadline: Duration,
+    /// Background-refinement worker threads draining `/plan` upgrade
+    /// jobs (`0` disables the pool; `refine=background` requests then
+    /// stay constructive and count as dropped).
+    pub refine_workers: usize,
     /// Write-ahead journal directory; `None` runs in-memory only.
     pub data_dir: Option<PathBuf>,
     /// When journaled appends reach stable storage.
@@ -91,6 +95,7 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(10),
             write_timeout: Duration::from_secs(10),
             request_deadline: Duration::from_secs(30),
+            refine_workers: 1,
             data_dir: None,
             fsync_policy: FsyncPolicy::Batch,
             compact_every: DEFAULT_COMPACT_EVERY,
@@ -138,6 +143,9 @@ impl ServerHandle {
     /// thread. In-flight and queued requests complete first.
     pub fn wait(self) {
         self.shutdown.wait();
+        // Wake the refinement pool: its workers block on the job queue,
+        // not the listener, so the close is what lets them exit.
+        self.state.refine_queue.close();
         for t in self.threads {
             let _ = t.join();
         }
@@ -230,6 +238,16 @@ pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
             thread::Builder::new()
                 .name(format!("serve-worker-{worker_id}"))
                 .spawn(move || worker_loop(&rx, &state, limits))?,
+        );
+    }
+
+    for refine_id in 0..cfg.refine_workers {
+        let state = Arc::clone(&state);
+        let shutdown = Arc::clone(&shutdown);
+        threads.push(
+            thread::Builder::new()
+                .name(format!("serve-refine-{refine_id}"))
+                .spawn(move || crate::refine::worker_loop(&state, &shutdown))?,
         );
     }
 

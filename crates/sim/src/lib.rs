@@ -40,8 +40,9 @@ pub mod trace;
 pub mod world;
 
 pub use closed_loop::{
-    compare_suppressed, compare_under_drift, ArmOutcome, ClosedLoopComparison, OnlinePolicy,
-    OraclePolicy, SuppressedPolicy, SuppressionComparison, SuppressionTraffic,
+    compare_refined, compare_suppressed, compare_under_drift, ArmOutcome, ClosedLoopComparison,
+    OnlinePolicy, OraclePolicy, RefinedComparison, SuppressedPolicy, SuppressionComparison,
+    SuppressionTraffic,
 };
 pub use engine::{run, run_traced, run_with_faults, run_with_faults_traced, SimConfig};
 pub use faults::{ChargerFaults, FaultModel, RateShock, RecoveryConfig, SpeedFaults};

@@ -83,7 +83,7 @@ fn every_scenario_file_round_trips() {
         assert_eq!(back.network_sizes, exp.network_sizes, "{path:?}");
         assert_eq!(back.faults, exp.faults, "{path:?}");
     }
-    assert!(seen >= 3, "expected the committed scenario files, found {seen}");
+    assert!(seen >= 4, "expected the committed scenario files, found {seen}");
 }
 
 #[test]
